@@ -1,0 +1,83 @@
+// Command characterize performs the paper's two characterisation steps
+// on simulated substrates:
+//
+//  1. NoC characterisation — run the cycle-accurate wormhole simulator,
+//     measure zero-load packet latencies, and fit the routing latency R
+//     and flow-control latency F of the analytic model, plus the mean
+//     per-router transport power of random packets.
+//  2. Processor characterisation — assemble and execute the software
+//     BIST kernel on the MIPS-I (Plasma) and SPARC V8 (Leon)
+//     instruction-set simulators, measuring cycles per pattern and the
+//     program's memory footprint.
+//
+// Usage:
+//
+//	characterize [-mesh 4x4] [-routing 5] [-flow 1] [-trials 40] [-patterns 5000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"noctest/internal/bist"
+	"noctest/internal/noc"
+	"noctest/internal/noc/sim"
+	"noctest/internal/soc"
+)
+
+func main() {
+	var (
+		meshSpec = flag.String("mesh", "4x4", "mesh dimensions WxH")
+		routing  = flag.Int("routing", 5, "ground-truth routing latency of the simulated routers")
+		flow     = flag.Int("flow", 1, "ground-truth flow-control latency of the simulated links")
+		trials   = flag.Int("trials", 40, "measurement packets for the latency fit")
+		patterns = flag.Int("patterns", 5000, "BIST patterns per processor characterisation")
+		seed     = flag.Int64("seed", 1, "measurement seed")
+	)
+	flag.Parse()
+
+	if err := run(*meshSpec, *routing, *flow, *trials, *patterns, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "characterize:", err)
+		os.Exit(1)
+	}
+}
+
+func run(meshSpec string, routing, flow, trials, patterns int, seed int64) error {
+	var w, h int
+	if _, err := fmt.Sscanf(meshSpec, "%dx%d", &w, &h); err != nil {
+		return fmt.Errorf("bad mesh %q: want WxH", meshSpec)
+	}
+	mesh, err := noc.NewMesh(w, h)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("== NoC characterisation (%s mesh, ground truth R=%d F=%d) ==\n", meshSpec, routing, flow)
+	cfg := sim.Config{Mesh: mesh, RoutingLatency: routing, FlowLatency: flow}
+	timing, fit, err := sim.CharacterizeTiming(cfg, 32, trials, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fitted routing latency: %.3f cycles (rounded %d)\n", fit.RoutingLatency, timing.RoutingLatency)
+	fmt.Printf("fitted flow latency:    %.3f cycles (rounded %d)\n", fit.FlowLatency, timing.FlowLatency)
+	fmt.Printf("fit RMSE:               %.6f cycles over %d packets\n", fit.RMSE, trials)
+
+	pw, err := sim.CharacterizePower(cfg, trials, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mean transport power:   %.2f per router (random packets)\n\n", pw.PerRouter)
+
+	fmt.Printf("== Processor characterisation (%d BIST patterns) ==\n", patterns)
+	for _, profile := range []soc.ProcessorProfile{soc.Plasma(), soc.Leon()} {
+		measured, res, err := bist.Characterize(profile, patterns)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-7s (%s): %.2f cycles/pattern (planner uses %d; paper assumes %d), %d instructions, %d program words\n",
+			profile.Name, profile.ISA, res.CyclesPerPattern, measured.CyclesPerPattern,
+			profile.CyclesPerPattern, res.Instructions, res.ProgramWords)
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+// Command figure1 regenerates every chart of the paper's Figure 1 —
+// {d695, p22810, p93791} x {Leon, Plasma}, test time versus number of
+// processors reused, with and without the 50% power limit — plus the
+// verdict table for the paper's headline claims and the ablations
+// recorded in DESIGN.md.
+//
+// Usage:
+//
+//	figure1            # all panels + claims
+//	figure1 -ablations # additionally run the A1/A2/A3 ablations
+//	figure1 -csv       # machine-readable points instead of charts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"noctest/internal/report"
+)
+
+func main() {
+	var (
+		csv       = flag.Bool("csv", false, "emit csv rows instead of charts")
+		ablations = flag.Bool("ablations", false, "also run the design ablations (slower)")
+		bist      = flag.Float64("bist", 0, "override the BIST pattern factor (default: repository calibration)")
+	)
+	flag.Parse()
+
+	if err := run(*csv, *ablations, *bist); err != nil {
+		fmt.Fprintln(os.Stderr, "figure1:", err)
+		os.Exit(1)
+	}
+}
+
+func run(csv, ablations bool, bist float64) error {
+	opts := report.PanelOptions{BISTFactor: bist}
+	var panels []report.Panel
+	for _, spec := range report.PaperPanels() {
+		p, err := report.RunPanel(spec, opts)
+		if err != nil {
+			return err
+		}
+		panels = append(panels, p)
+	}
+
+	if csv {
+		fmt.Println("benchmark,processor,reused,no_limit,power_limited")
+		for _, p := range panels {
+			for _, pt := range p.Points {
+				fmt.Printf("%s,%s,%d,%d,%d\n",
+					p.Spec.Benchmark, p.Spec.Processor, pt.Processors, pt.NoLimit, pt.PowerLimited)
+			}
+		}
+	} else {
+		fmt.Println("Figure 1 — test times (cycles) vs processors reused")
+		fmt.Println()
+		for _, p := range panels {
+			fmt.Print(p.Render())
+			fmt.Println()
+		}
+		fmt.Println("Tabular form:")
+		for _, p := range panels {
+			fmt.Print(p.Table())
+			fmt.Println()
+		}
+	}
+
+	fmt.Println("Paper claims:")
+	fmt.Print(report.RenderClaims(report.EvaluateClaims(panels)))
+
+	if !ablations {
+		return nil
+	}
+
+	fmt.Println("\nAblation A1 — interface choice (full reuse, no power limit):")
+	for _, spec := range report.PaperPanels() {
+		res, err := report.RunVariantAblation(spec)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-16s", spec.Benchmark+"_"+spec.Processor)
+		for _, name := range sortedKeys(res.Makespan) {
+			fmt.Printf("  %s=%d", name, res.Makespan[name])
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nAblation A2 — core priority (full reuse, no power limit):")
+	for _, spec := range report.PaperPanels() {
+		res, err := report.RunPriorityAblation(spec)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-16s", spec.Benchmark+"_"+spec.Processor)
+		for _, name := range sortedKeys(res.Makespan) {
+			fmt.Printf("  %s=%d", name, res.Makespan[name])
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nAblation A3 — power ceiling sweep on p93791_leon (full reuse):")
+	points, err := report.RunPowerSweep(report.PanelSpec{Benchmark: "p93791", Processor: "leon", Processors: 8}, nil)
+	if err != nil {
+		return err
+	}
+	for _, pt := range points {
+		if pt.Feasible {
+			fmt.Printf("  %3.0f%% ceiling: %d cycles\n", 100*pt.Fraction, pt.Makespan)
+		} else {
+			fmt.Printf("  %3.0f%% ceiling: infeasible\n", 100*pt.Fraction)
+		}
+	}
+
+	fmt.Println("\nExtension E1 — BIST vs decompression test application:")
+	for _, spec := range []report.PanelSpec{
+		{Benchmark: "d695", Processor: "plasma", Processors: 6},
+		{Benchmark: "d695", Processor: "leon", Processors: 6},
+	} {
+		cmp, err := report.RunApplicationComparison(spec)
+		if err != nil {
+			return err
+		}
+		fmt.Print(cmp.Render())
+	}
+
+	fmt.Println("\nExtension E2 — wrapper width staircase on d695_leon (full reuse):")
+	sweep, err := report.RunWrapperSweep(report.PanelSpec{Benchmark: "d695", Processor: "leon", Processors: 6}, nil)
+	if err != nil {
+		return err
+	}
+	for _, pt := range sweep {
+		fmt.Printf("  %2d wrapper chains: %d cycles\n", pt.Width, pt.Makespan)
+	}
+	return nil
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,156 @@
+// Command noctest schedules the test of a benchmark system and prints
+// the plan in the requested format.
+//
+// Usage:
+//
+//	noctest -bench d695 -cpu leon -procs 6 -reuse 6 -power 0.5 -format gantt
+//
+// Formats: summary (default), gantt, csv, json, table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"noctest/internal/core"
+	"noctest/internal/itc02"
+	"noctest/internal/replay"
+	"noctest/internal/soc"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "d695", "benchmark: d695, p22810, p93791, or a path to a .soc file")
+		cpuName   = flag.String("cpu", "leon", "processor profile: leon or plasma")
+		procs     = flag.Int("procs", 6, "processor instances present in the system")
+		reuse     = flag.Int("reuse", -1, "processors reused for test (-1: all, 0: none)")
+		power     = flag.Float64("power", 0, "power ceiling as a fraction of total core power (0: none)")
+		bist      = flag.Float64("bist", 1, "pattern inflation for processor-driven tests (>= 1)")
+		variant   = flag.String("variant", "greedy", "interface choice: greedy or lookahead")
+		priority  = flag.String("priority", "processors-first", "core order: processors-first, distance, volume")
+		exclusive = flag.Bool("exclusive-links", false, "reserve NoC links exclusively per test")
+		app       = flag.String("app", "bist", "processor test application: bist or decompression")
+		wrapperW  = flag.Int("wrapper", 0, "wrapper chains per core (0: transport-limited model)")
+		verify    = flag.Bool("verify", false, "replay the plan on the cycle-accurate simulator and report the wire-level slack")
+		format    = flag.String("format", "summary", "output: summary, gantt, csv, json, table")
+		width     = flag.Int("width", 100, "gantt chart width in columns")
+	)
+	flag.Parse()
+
+	if err := run(*benchName, *cpuName, *procs, *reuse, *power, *bist, *variant, *priority, *app, *exclusive, *wrapperW, *verify, *format, *width); err != nil {
+		fmt.Fprintln(os.Stderr, "noctest:", err)
+		os.Exit(1)
+	}
+}
+
+func run(benchName, cpuName string, procs, reuse int, power, bist float64, variant, priority, app string, exclusive bool, wrapperW int, verify bool, format string, width int) error {
+	bench, err := loadBench(benchName)
+	if err != nil {
+		return err
+	}
+	cfg := soc.BuildConfig{Processors: procs}
+	if procs > 0 {
+		cfg.Profile, err = soc.ProfileByName(cpuName)
+		if err != nil {
+			return err
+		}
+	}
+	sys, err := soc.Build(bench, cfg)
+	if err != nil {
+		return err
+	}
+
+	opts := core.Options{
+		PowerLimitFraction: power,
+		BISTPatternFactor:  bist,
+		ExclusiveLinks:     exclusive,
+		WrapperChains:      wrapperW,
+	}
+	switch app {
+	case "bist":
+		opts.Application = core.BISTApplication
+	case "decompression":
+		opts.Application = core.DecompressionApplication
+	default:
+		return fmt.Errorf("unknown application %q", app)
+	}
+	switch {
+	case reuse == 0:
+		opts.DisableReuse = true
+	case reuse > 0:
+		opts.MaxReusedProcessors = reuse
+	}
+	switch variant {
+	case "greedy":
+		opts.Variant = core.GreedyFirstAvailable
+	case "lookahead":
+		opts.Variant = core.LookaheadFastestFinish
+	default:
+		return fmt.Errorf("unknown variant %q", variant)
+	}
+	switch priority {
+	case "processors-first":
+		opts.Priority = core.ProcessorsFirst
+	case "distance":
+		opts.Priority = core.DistanceOnly
+	case "volume":
+		opts.Priority = core.VolumeDescending
+	default:
+		return fmt.Errorf("unknown priority %q", priority)
+	}
+
+	p, err := core.Schedule(sys, opts)
+	if err != nil {
+		return err
+	}
+
+	if verify {
+		results, err := replay.Replay(sys, p, replay.Config{})
+		if err != nil {
+			return fmt.Errorf("replay: %w", err)
+		}
+		worst, overruns := 1<<62, 0
+		for _, r := range results {
+			if r.Slack() < worst {
+				worst = r.Slack()
+			}
+			if r.Slack() < 0 {
+				overruns++
+			}
+		}
+		fmt.Printf("replay: %d tests driven on the wire, %d overran their window, worst slack %d cycles\n",
+			len(results), overruns, worst)
+	}
+
+	switch format {
+	case "summary":
+		fmt.Println(sys)
+		fmt.Print(p.Summary())
+	case "gantt":
+		fmt.Print(p.Gantt(width))
+	case "csv":
+		return p.WriteCSV(os.Stdout)
+	case "json":
+		return p.WriteJSON(os.Stdout)
+	case "table":
+		fmt.Println(sys)
+		fmt.Print(p.Summary())
+		fmt.Print(p.Gantt(width))
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	return nil
+}
+
+func loadBench(name string) (*itc02.SoC, error) {
+	if s, err := itc02.Benchmark(name); err == nil {
+		return s, nil
+	}
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, fmt.Errorf("%q is neither an embedded benchmark nor a readable file: %w", name, err)
+	}
+	defer f.Close()
+	return itc02.Parse(f)
+}

@@ -1,0 +1,63 @@
+// Command socgen emits a random-but-valid SoC description in the itc02
+// text format, for stress-testing the planner and the parser with
+// systems beyond the embedded benchmarks.
+//
+// Usage:
+//
+//	socgen -cores 24 -seed 7 > random.soc
+//	noctest -bench random.soc -procs 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"noctest/internal/itc02"
+)
+
+func main() {
+	var (
+		cores = flag.Int("cores", 16, "number of cores")
+		seed  = flag.Int64("seed", 1, "generator seed")
+		name  = flag.String("name", "", "soc name (default: genN-S)")
+	)
+	flag.Parse()
+
+	if err := run(*cores, *seed, *name); err != nil {
+		fmt.Fprintln(os.Stderr, "socgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cores int, seed int64, name string) error {
+	if cores < 1 {
+		return fmt.Errorf("need at least 1 core")
+	}
+	if name == "" {
+		name = fmt.Sprintf("gen%d-%d", cores, seed)
+	}
+	r := rand.New(rand.NewSource(seed))
+	s := &itc02.SoC{Name: name}
+	for i := 1; i <= cores; i++ {
+		c := itc02.Core{
+			ID:       i,
+			Name:     fmt.Sprintf("mod%02d", i),
+			Inputs:   10 + r.Intn(250),
+			Outputs:  10 + r.Intn(250),
+			Patterns: 10 + r.Intn(600),
+			Power:    float64(100 + r.Intn(1200)),
+		}
+		// Two thirds of the cores carry scan, like the benchmarks.
+		if r.Intn(3) > 0 {
+			chains := 1 + r.Intn(24)
+			total := 100 + r.Intn(8000)
+			for j := 0; j < chains; j++ {
+				c.ScanChains = append(c.ScanChains, total/chains+1)
+			}
+		}
+		s.Cores = append(s.Cores, c)
+	}
+	return itc02.Write(os.Stdout, s)
+}

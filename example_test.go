@@ -1,0 +1,90 @@
+package noctest_test
+
+import (
+	"fmt"
+	"log"
+
+	"noctest"
+)
+
+// ExampleSchedule plans the test of the paper's d695-based system with
+// six Leon processors reused under the 50% power ceiling.
+func ExampleSchedule() {
+	bench, err := noctest.LoadBenchmark("d695")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := noctest.BuildSystem(bench, noctest.BuildConfig{
+		Processors: 6,
+		Profile:    noctest.Leon(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := noctest.Schedule(sys, noctest.Options{PowerLimitFraction: 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(p.Entries), "tests planned")
+	fmt.Println(p.Makespan() > 0)
+	// Output:
+	// 16 tests planned
+	// true
+}
+
+// ExampleSchedule_baseline contrasts the no-reuse configuration: the
+// same system, but the processors only appear as cores under test.
+func ExampleSchedule_baseline() {
+	bench, _ := noctest.LoadBenchmark("d695")
+	sys, _ := noctest.BuildSystem(bench, noctest.BuildConfig{
+		Processors: 6,
+		Profile:    noctest.Leon(),
+	})
+	baseline, _ := noctest.Schedule(sys, noctest.Options{DisableReuse: true})
+	reused, _ := noctest.Schedule(sys, noctest.Options{})
+	fmt.Println("reuse helps:", reused.Makespan() < baseline.Makespan())
+	// Output:
+	// reuse helps: true
+}
+
+// ExampleParseSoC feeds a custom design to the planner.
+func ExampleParseSoC() {
+	design := `
+soc mini
+core 1 dsp
+  inputs 16
+  outputs 16
+  scanchains 64 64
+  patterns 100
+  power 300
+end
+core 2 uart
+  inputs 8
+  outputs 8
+  patterns 40
+  power 50
+end
+`
+	bench, err := noctest.ParseSoC(design)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(bench.Name, len(bench.Cores))
+	// Output:
+	// mini 2
+}
+
+// ExampleLoadBenchmark lists the embedded ITC'02-derived systems.
+func ExampleLoadBenchmark() {
+	for _, name := range noctest.Benchmarks() {
+		s, err := noctest.LoadBenchmark(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(s.Name, len(s.Cores))
+	}
+	// Output:
+	// d695 10
+	// p22810 28
+	// p93791 32
+}

@@ -1,0 +1,74 @@
+// Characterization walks the paper's two preparation steps end to end:
+// measuring the NoC's routing/flow-control latencies from the
+// cycle-accurate simulator, and measuring the processors'
+// cycles-per-pattern by running the software BIST kernel on each
+// instruction-set simulator — then feeds the measured values into a
+// schedule instead of the defaults.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"noctest"
+	"noctest/internal/bist"
+	"noctest/internal/noc"
+	"noctest/internal/noc/sim"
+)
+
+func main() {
+	// Step 1 — NoC characterisation. The "real" network is the cycle
+	// simulator; we fit the analytic wormhole model to its latencies.
+	mesh := noctest.Mesh{Width: 4, Height: 4}
+	ground := sim.Config{Mesh: mesh, RoutingLatency: 3, FlowLatency: 2}
+	timing, fit, err := sim.CharacterizeTiming(ground, 32, 30, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("NoC fit: R=%.2f F=%.2f (rmse %.4f) -> planner timing R=%d F=%d, %d-bit flits\n",
+		fit.RoutingLatency, fit.FlowLatency, fit.RMSE,
+		timing.RoutingLatency, timing.FlowLatency, timing.FlitWidth)
+
+	transport, err := sim.CharacterizePower(ground, 30, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("NoC transport power: %.2f per router\n\n", transport.PerRouter)
+
+	// Step 2 — processor characterisation on the ISS.
+	leon, leonRun, err := bist.Characterize(noctest.Leon(), 2000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("leon:   %.2f cycles/pattern on the SPARC V8 ISS -> planner uses %d\n",
+		leonRun.CyclesPerPattern, leon.CyclesPerPattern)
+
+	plasma, plasmaRun, err := bist.Characterize(noctest.Plasma(), 2000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plasma: %.2f cycles/pattern on the MIPS-I ISS  -> planner uses %d\n\n",
+		plasmaRun.CyclesPerPattern, plasma.CyclesPerPattern)
+
+	// Step 3 — schedule d695 with the measured characterisation
+	// instead of the library defaults.
+	bench, err := noctest.LoadBenchmark("d695")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := noctest.BuildSystem(bench, noctest.BuildConfig{
+		Mesh:       mesh,
+		Processors: 6,
+		Profile:    leon,
+		Timing:     timing,
+		Transport:  noc.TransportPower{PerRouter: transport.PerRouter},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := noctest.Schedule(sys, noctest.Options{PowerLimitFraction: 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(p.Summary())
+}

@@ -1,0 +1,45 @@
+// Powersweep explores the trade-off the paper's power constraint
+// embodies: tightening the ceiling (a fraction of the sum of all cores'
+// test power) forces tests apart in time and lengthens the schedule.
+// The sweep finds where the ceiling starts to bite on p93791 with eight
+// Leon processors reused.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"noctest"
+)
+
+func main() {
+	bench, err := noctest.LoadBenchmark("p93791")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := noctest.BuildSystem(bench, noctest.BuildConfig{
+		Processors: 8,
+		Profile:    noctest.Leon(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(sys)
+	fmt.Printf("total test power: %.0f units\n\n", sys.TotalPower())
+
+	fmt.Printf("%8s %12s %12s %14s\n", "ceiling", "makespan", "peak power", "vs unlimited")
+	unlimited, err := noctest.Schedule(sys, noctest.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, frac := range []float64{0.10, 0.15, 0.20, 0.30, 0.40, 0.50, 0.75, 1.0} {
+		p, err := noctest.Schedule(sys, noctest.Options{PowerLimitFraction: frac})
+		if err != nil {
+			fmt.Printf("%7.0f%% %12s\n", 100*frac, "infeasible")
+			continue
+		}
+		slowdown := float64(p.Makespan())/float64(unlimited.Makespan()) - 1
+		fmt.Printf("%7.0f%% %12d %12.0f %+13.1f%%\n", 100*frac, p.Makespan(), p.PeakPower(), 100*slowdown)
+	}
+	fmt.Printf("%8s %12d %12.0f\n", "none", unlimited.Makespan(), unlimited.PeakPower())
+}

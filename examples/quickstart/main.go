@@ -1,0 +1,52 @@
+// Quickstart: load a benchmark, add processors, schedule its test and
+// print the plan — the library's smallest complete workflow.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"noctest"
+)
+
+func main() {
+	// d695 is the ITC'02-derived benchmark the paper starts from.
+	bench, err := noctest.LoadBenchmark("d695")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Place it on the paper's 4x4 mesh with six Leon processors, the
+	// tester input port at the south-west corner and the output port at
+	// the north-east corner.
+	sys, err := noctest.BuildSystem(bench, noctest.BuildConfig{
+		Processors: 6,
+		Profile:    noctest.Leon(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(sys)
+
+	// First the baseline: the external tester does everything.
+	baseline, err := noctest.Schedule(sys, noctest.Options{DisableReuse: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Then the paper's approach: reuse the processors as extra test
+	// sources and sinks, under the 50% power ceiling.
+	reused, err := noctest.Schedule(sys, noctest.Options{PowerLimitFraction: 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nwithout reuse: %8d cycles\n", baseline.Makespan())
+	fmt.Printf("with reuse:    %8d cycles  (%.1f%% faster)\n\n",
+		reused.Makespan(),
+		100*(1-float64(reused.Makespan())/float64(baseline.Makespan())))
+
+	fmt.Print(reused.Summary())
+	fmt.Println()
+	fmt.Print(reused.Gantt(100))
+}

@@ -1,0 +1,160 @@
+package noctest
+
+// Cross-cutting integration tests exercising non-default substrates
+// through the whole stack: alternate routing, measured NoC timing, and
+// wire-level replay of facade-produced plans.
+
+import (
+	"testing"
+
+	"noctest/internal/noc"
+	"noctest/internal/noc/sim"
+	"noctest/internal/replay"
+	"noctest/internal/soc"
+)
+
+func TestEndToEndWithYXRouting(t *testing.T) {
+	bench, err := LoadBenchmark("d695")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysXY, err := BuildSystem(bench, BuildConfig{Processors: 4, Profile: Plasma()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysYX, err := BuildSystem(bench, BuildConfig{Processors: 4, Profile: Plasma(), Routing: noc.YX{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pXY, err := Schedule(sysXY, Options{ExclusiveLinks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pYX, err := Schedule(sysYX, Options{ExclusiveLinks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pXY.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pYX.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Different path shapes shift link conflicts, but both plans cover
+	// the same work; makespans must be in the same regime.
+	ratio := float64(pYX.Makespan()) / float64(pXY.Makespan())
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("YX (%d) vs XY (%d) makespans diverge implausibly", pYX.Makespan(), pXY.Makespan())
+	}
+}
+
+func TestEndToEndWithMeasuredTiming(t *testing.T) {
+	// Characterise a slower router class on the cycle simulator, then
+	// plan with the measured timing: every per-pattern time must grow
+	// relative to the default single-cycle links.
+	mesh := noc.MustMesh(4, 4)
+	timing, _, err := sim.CharacterizeTiming(sim.Config{Mesh: mesh, RoutingLatency: 8, FlowLatency: 3}, 32, 25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timing.RoutingLatency != 8 || timing.FlowLatency != 3 {
+		t.Fatalf("characterisation off: %+v", timing)
+	}
+	bench, err := LoadBenchmark("d695")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := BuildSystem(bench, BuildConfig{Processors: 2, Profile: Plasma()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := BuildSystem(bench, BuildConfig{Processors: 2, Profile: Plasma(), Timing: timing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pFast, err := Schedule(fast, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pSlow, err := Schedule(slow, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pSlow.Makespan() <= pFast.Makespan() {
+		t.Errorf("3-cycle links (%d) not slower than 1-cycle links (%d)",
+			pSlow.Makespan(), pFast.Makespan())
+	}
+}
+
+func TestFacadePlanSurvivesWireReplay(t *testing.T) {
+	bench, err := LoadBenchmark("d695")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := BuildSystem(bench, BuildConfig{Processors: 6, Profile: Leon()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Schedule(sys, Options{ExclusiveLinks: true, PowerLimitFraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := replay.Verify(sys, p, replay.Config{MaxPatternsPerTest: 6}, 64); err != nil {
+		t.Errorf("facade plan failed wire replay: %v", err)
+	}
+}
+
+func TestPackedSystemsScheduleOnPaperMeshes(t *testing.T) {
+	// p93791 + 8 processors = 40 cores on the paper's 5x5 mesh: tiles
+	// host multiple cores and the whole flow must still hold its
+	// invariants.
+	bench, err := LoadBenchmark("p93791")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := BuildSystem(bench, BuildConfig{Processors: 8, Profile: Leon()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Net.Mesh.Tiles() >= len(sys.Cores) {
+		t.Fatalf("test premise broken: %d tiles for %d cores", sys.Net.Mesh.Tiles(), len(sys.Cores))
+	}
+	for _, opts := range []Options{
+		{},
+		{PowerLimitFraction: 0.5},
+		{ExclusiveLinks: true},
+		{Application: DecompressionApplication, Variant: LookaheadFastestFinish},
+	} {
+		p, err := Schedule(sys, opts)
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+	}
+}
+
+// TestProfilesRoundTripThroughBuild guards a subtle aliasing bug class:
+// building two systems from one profile must not share self-test state.
+func TestProfilesRoundTripThroughBuild(t *testing.T) {
+	bench, err := LoadBenchmark("d695")
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile := Leon()
+	a, err := BuildSystem(bench, BuildConfig{Processors: 2, Profile: profile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildSystem(bench, BuildConfig{Processors: 2, Profile: profile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aProcs, bProcs := a.Processors(), b.Processors()
+	aProcs[0].Core.ScanChains[0] = 1
+	if bProcs[0].Core.ScanChains[0] == 1 {
+		t.Error("systems share processor scan-chain storage")
+	}
+	var _ soc.System = *a // facade alias and internal type agree
+}

@@ -1,0 +1,181 @@
+// Package bist builds and characterises the software BIST test
+// application the paper's processors run: an LFSR pseudo-random pattern
+// generator that streams test words to the core under test through the
+// network interface.
+//
+// This is the paper's second step — "the test application has to be
+// characterized in terms of time, memory requirements and power to each
+// processor in the system reused for test" — done by actually executing
+// the kernel on the MIPS-I (Plasma) and SPARC V8 (Leon) instruction-set
+// simulators and counting cycles. Both kernels implement the identical
+// 32-bit Galois LFSR, so their pattern streams must match the pure-Go
+// reference bit for bit, which the tests assert.
+package bist
+
+import (
+	"fmt"
+
+	"noctest/internal/isa"
+	"noctest/internal/isa/mips"
+	"noctest/internal/isa/sparc"
+	"noctest/internal/soc"
+)
+
+// Taps is the Galois-form feedback mask of the kernel's 32-bit LFSR
+// (polynomial x^32 + x^22 + x^2 + x + 1, a maximal-length choice used
+// widely in BIST hardware).
+const Taps uint32 = 0x80200003
+
+// DefaultSeed is the LFSR seed both kernels and the reference use
+// unless overridden. It must be non-zero.
+const DefaultSeed uint32 = 0xACE1ACE1
+
+// ReferenceLFSR returns the first n words of the Galois LFSR stream for
+// a seed: state advances right-shift-and-conditionally-XOR per word.
+func ReferenceLFSR(seed uint32, n int) []uint32 {
+	out := make([]uint32, 0, n)
+	state := seed
+	for i := 0; i < n; i++ {
+		if state&1 == 1 {
+			state = state>>1 ^ Taps
+		} else {
+			state >>= 1
+		}
+		out = append(out, state)
+	}
+	return out
+}
+
+// mipsKernel is the Plasma test application: generate `patterns` LFSR
+// words and push each to the CUT through the test port.
+const mipsKernel = `
+	# $t0 = lfsr state, $t1 = taps, $t2 = scratch,
+	# $t3 = port address, $t4 = remaining patterns
+	li    $t0, %d
+	li    $t1, 0x80200003
+	li    $t3, 0xFFFF0000
+	li    $t4, %d
+loop:
+	andi  $t2, $t0, 1
+	srl   $t0, $t0, 1
+	beq   $t2, $zero, send
+	nop
+	xor   $t0, $t0, $t1
+send:
+	sw    $t0, 0($t3)
+	addiu $t4, $t4, -1
+	bne   $t4, $zero, loop
+	nop
+	break
+`
+
+// sparcKernel is the Leon test application, the same algorithm in SPARC
+// V8 assembly.
+const sparcKernel = `
+	! l0 = lfsr state, l1 = taps, l2 = scratch,
+	! l3 = port address, l4 = remaining patterns
+	set   %d, %%l0
+	set   0x80200003, %%l1
+	set   0xFFFF0000, %%l3
+	set   %d, %%l4
+loop:
+	and   %%l0, 1, %%l2
+	srl   %%l0, 1, %%l0
+	subcc %%l2, 0, %%g0
+	be    send
+	nop
+	xor   %%l0, %%l1, %%l0
+send:
+	st    %%l0, [%%l3]
+	subcc %%l4, 1, %%l4
+	bne   loop
+	nop
+	ta    0
+`
+
+// KernelResult characterises one run of the BIST application.
+type KernelResult struct {
+	// ISA is "mips1" or "sparcv8".
+	ISA string
+	// Patterns holds the emitted pattern words, in order.
+	Patterns []uint32
+	// Instructions and Cycles are the executed totals.
+	Instructions int64
+	Cycles       int64
+	// CyclesPerPattern is the steady-state pattern cost: total cycles
+	// divided by the pattern count.
+	CyclesPerPattern float64
+	// ProgramWords is the footprint of the assembled kernel, the
+	// paper's "memory requirements" figure.
+	ProgramWords int
+}
+
+// RunKernel assembles and executes the BIST kernel for the given ISA
+// ("mips1" or "sparcv8"), generating `patterns` words from `seed`.
+func RunKernel(arch string, patterns int, seed uint32) (KernelResult, error) {
+	if patterns < 1 {
+		return KernelResult{}, fmt.Errorf("bist: need at least 1 pattern, got %d", patterns)
+	}
+	if seed == 0 {
+		return KernelResult{}, fmt.Errorf("bist: LFSR seed must be non-zero")
+	}
+
+	var (
+		image []uint32
+		err   error
+	)
+	switch arch {
+	case "mips1":
+		image, err = mips.Assemble(fmt.Sprintf(mipsKernel, int64(seed), patterns))
+	case "sparcv8":
+		image, err = sparc.Assemble(fmt.Sprintf(sparcKernel, int64(seed), patterns))
+	default:
+		return KernelResult{}, fmt.Errorf("bist: unknown ISA %q (have mips1, sparcv8)", arch)
+	}
+	if err != nil {
+		return KernelResult{}, fmt.Errorf("bist: assembling %s kernel: %w", arch, err)
+	}
+
+	mem := isa.NewMemory(len(image) + 64)
+	if err := mem.LoadProgram(image); err != nil {
+		return KernelResult{}, err
+	}
+	port := &isa.Port{}
+	var cpu isa.CPU
+	if arch == "mips1" {
+		cpu = mips.New(mem, port, mips.Timing{})
+	} else {
+		cpu = sparc.New(mem, port, sparc.Timing{})
+	}
+	budget := int64(patterns)*16 + 1024
+	stats, err := isa.Run(cpu, budget)
+	if err != nil {
+		return KernelResult{}, fmt.Errorf("bist: running %s kernel: %w", arch, err)
+	}
+	if len(port.Words) != patterns {
+		return KernelResult{}, fmt.Errorf("bist: %s kernel emitted %d patterns, want %d", arch, len(port.Words), patterns)
+	}
+	return KernelResult{
+		ISA:              arch,
+		Patterns:         port.Words,
+		Instructions:     stats.Instructions,
+		Cycles:           stats.Cycles,
+		CyclesPerPattern: float64(stats.Cycles) / float64(patterns),
+		ProgramWords:     len(image),
+	}, nil
+}
+
+// Characterize measures the BIST application on the processor profile's
+// ISA and returns a copy of the profile with the measured
+// CyclesPerPattern (rounded up) and MemoryWords filled in — the step
+// that turns an ISS run into planner input.
+func Characterize(profile soc.ProcessorProfile, patterns int) (soc.ProcessorProfile, KernelResult, error) {
+	res, err := RunKernel(profile.ISA, patterns, DefaultSeed)
+	if err != nil {
+		return profile, KernelResult{}, err
+	}
+	out := profile
+	out.CyclesPerPattern = int(res.CyclesPerPattern + 0.999999)
+	out.MemoryWords = res.ProgramWords
+	return out, res, nil
+}

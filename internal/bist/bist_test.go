@@ -1,0 +1,146 @@
+package bist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"noctest/internal/soc"
+)
+
+func TestReferenceLFSRProperties(t *testing.T) {
+	stream := ReferenceLFSR(DefaultSeed, 10000)
+	if len(stream) != 10000 {
+		t.Fatalf("stream length %d", len(stream))
+	}
+	// Never reaches the all-zero lock-up state from a non-zero seed.
+	seen := make(map[uint32]bool, len(stream))
+	for i, w := range stream {
+		if w == 0 {
+			t.Fatalf("LFSR locked up at word %d", i)
+		}
+		if seen[w] {
+			t.Fatalf("LFSR repeated %#x at word %d: period too short", w, i)
+		}
+		seen[w] = true
+	}
+}
+
+func TestReferenceLFSRDeterministic(t *testing.T) {
+	same := func(seed uint32) bool {
+		if seed == 0 {
+			return true
+		}
+		a := ReferenceLFSR(seed, 50)
+		b := ReferenceLFSR(seed, 50)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(same, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestKernelsMatchReference is the cross-ISA correctness anchor: the
+// MIPS and SPARC kernels must emit exactly the reference stream.
+func TestKernelsMatchReference(t *testing.T) {
+	const n = 500
+	want := ReferenceLFSR(DefaultSeed, n)
+	for _, arch := range []string{"mips1", "sparcv8"} {
+		res, err := RunKernel(arch, n, DefaultSeed)
+		if err != nil {
+			t.Fatalf("%s: %v", arch, err)
+		}
+		if len(res.Patterns) != n {
+			t.Fatalf("%s emitted %d patterns", arch, len(res.Patterns))
+		}
+		for i := range want {
+			if res.Patterns[i] != want[i] {
+				t.Fatalf("%s pattern %d = %#x, reference %#x", arch, i, res.Patterns[i], want[i])
+			}
+		}
+	}
+}
+
+func TestKernelsAgreeAcrossSeeds(t *testing.T) {
+	for _, seed := range []uint32{1, 0xDEADBEEF, 0x12345678} {
+		m, err := RunKernel("mips1", 100, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := RunKernel("sparcv8", 100, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range m.Patterns {
+			if m.Patterns[i] != s.Patterns[i] {
+				t.Fatalf("seed %#x: streams diverge at %d", seed, i)
+			}
+		}
+	}
+}
+
+// TestCyclesPerPatternNearPaperAssumption: the paper assumes a processor
+// takes 10 cycles to generate a pattern; the measured kernels must land
+// in that neighbourhood (8-14 cycles) on both ISAs.
+func TestCyclesPerPatternNearPaperAssumption(t *testing.T) {
+	for _, arch := range []string{"mips1", "sparcv8"} {
+		res, err := RunKernel(arch, 2000, DefaultSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CyclesPerPattern < 8 || res.CyclesPerPattern > 14 {
+			t.Errorf("%s: %.2f cycles/pattern, paper assumes ~10", arch, res.CyclesPerPattern)
+		}
+		t.Logf("%s: %.2f cycles/pattern, %d program words", arch, res.CyclesPerPattern, res.ProgramWords)
+	}
+}
+
+func TestCyclesScaleLinearly(t *testing.T) {
+	small, err := RunKernel("mips1", 100, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := RunKernel("mips1", 1000, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(large.Cycles) / float64(small.Cycles)
+	if ratio < 9 || ratio > 11 {
+		t.Errorf("cycles should scale ~10x with 10x patterns, got %.2fx", ratio)
+	}
+}
+
+func TestRunKernelErrors(t *testing.T) {
+	if _, err := RunKernel("mips1", 0, 1); err == nil {
+		t.Error("zero patterns accepted")
+	}
+	if _, err := RunKernel("mips1", 10, 0); err == nil {
+		t.Error("zero seed accepted")
+	}
+	if _, err := RunKernel("arm", 10, 1); err == nil {
+		t.Error("unknown ISA accepted")
+	}
+}
+
+func TestCharacterize(t *testing.T) {
+	for _, profile := range []soc.ProcessorProfile{soc.Leon(), soc.Plasma()} {
+		got, res, err := Characterize(profile, 1000)
+		if err != nil {
+			t.Fatalf("%s: %v", profile.Name, err)
+		}
+		if got.CyclesPerPattern < 8 || got.CyclesPerPattern > 14 {
+			t.Errorf("%s: characterised %d cycles/pattern", profile.Name, got.CyclesPerPattern)
+		}
+		if got.MemoryWords != res.ProgramWords || got.MemoryWords == 0 {
+			t.Errorf("%s: memory words %d vs program %d", profile.Name, got.MemoryWords, res.ProgramWords)
+		}
+		// The measurement must not clobber unrelated fields.
+		if got.Name != profile.Name || got.Power != profile.Power {
+			t.Errorf("%s: unrelated fields changed", profile.Name)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package bist
+
+import (
+	"fmt"
+
+	"noctest/internal/isa"
+	"noctest/internal/isa/mips"
+	"noctest/internal/isa/sparc"
+	"noctest/internal/soc"
+	"noctest/internal/tdc"
+)
+
+// mipsDecompressKernel is the Plasma decompression test application:
+// walk the tdc run-length stream at DATA_BASE, emit every decompressed
+// word to the CUT through the test port, halt on the end marker.
+const mipsDecompressKernel = `
+	# $t3 = port, $t5 = read pointer, $t7 = end marker,
+	# $t4 = run length, $t8 = fill flag, $t9 = data word
+	li    $t3, 0xFFFF0000
+	li    $t5, %d
+	li    $t7, 0xFFFFFFFF
+next:
+	lw    $t6, 0($t5)
+	addiu $t5, $t5, 4
+	beq   $t6, $t7, done
+	nop
+	andi  $t4, $t6, 0xFFFF
+	srl   $t8, $t6, 31
+	bne   $t8, $zero, fill
+	nop
+literal:
+	lw    $t9, 0($t5)
+	addiu $t5, $t5, 4
+	sw    $t9, 0($t3)
+	addiu $t4, $t4, -1
+	bne   $t4, $zero, literal
+	nop
+	j     next
+	nop
+fill:
+	lw    $t9, 0($t5)
+	addiu $t5, $t5, 4
+fillloop:
+	sw    $t9, 0($t3)
+	addiu $t4, $t4, -1
+	bne   $t4, $zero, fillloop
+	nop
+	j     next
+	nop
+done:
+	break
+`
+
+// sparcDecompressKernel is the Leon counterpart.
+const sparcDecompressKernel = `
+	! l3 = port, l5 = read pointer, l7 = end marker,
+	! l4 = run length, g2 = fill flag, g3 = data word, g4 = masked length
+	set   0xFFFF0000, %%l3
+	set   %d, %%l5
+	set   0xFFFFFFFF, %%l7
+	set   0xFFFF, %%l6
+next:
+	ld    [%%l5], %%g1
+	add   %%l5, 4, %%l5
+	subcc %%g1, %%l7, %%g0
+	be    done
+	nop
+	and   %%g1, %%l6, %%l4
+	srl   %%g1, 31, %%g2
+	subcc %%g2, 0, %%g0
+	bne   fill
+	nop
+literal:
+	ld    [%%l5], %%g3
+	add   %%l5, 4, %%l5
+	st    %%g3, [%%l3]
+	subcc %%l4, 1, %%l4
+	bne   literal
+	nop
+	ba    next
+	nop
+fill:
+	ld    [%%l5], %%g3
+	add   %%l5, 4, %%l5
+fillloop:
+	st    %%g3, [%%l3]
+	subcc %%l4, 1, %%l4
+	bne   fillloop
+	nop
+	ba    next
+	nop
+done:
+	ta    0
+`
+
+// DecompressionResult characterises one run of the decompression test
+// application.
+type DecompressionResult struct {
+	// ISA is "mips1" or "sparcv8".
+	ISA string
+	// Emitted holds the decompressed words sent to the CUT.
+	Emitted []uint32
+	// Instructions and Cycles are the executed totals.
+	Instructions int64
+	Cycles       int64
+	// CyclesPerWord is the mean cost of producing one stimulus word.
+	CyclesPerWord float64
+	// ProgramWords is the kernel footprint excluding the data buffer.
+	ProgramWords int
+	// StreamWords is the compressed input size.
+	StreamWords int
+}
+
+// RunDecompressionKernel assembles and executes the decompression
+// kernel for the given ISA over a tdc-compressed stream.
+func RunDecompressionKernel(arch string, stream []uint32) (DecompressionResult, error) {
+	if len(stream) == 0 {
+		return DecompressionResult{}, fmt.Errorf("bist: empty compressed stream")
+	}
+
+	// The data buffer sits on a 256-byte boundary past the program.
+	var (
+		image []uint32
+		err   error
+	)
+	assemble := func(dataBase int) ([]uint32, error) {
+		switch arch {
+		case "mips1":
+			return mips.Assemble(fmt.Sprintf(mipsDecompressKernel, dataBase))
+		case "sparcv8":
+			return sparc.Assemble(fmt.Sprintf(sparcDecompressKernel, dataBase))
+		}
+		return nil, fmt.Errorf("bist: unknown ISA %q (have mips1, sparcv8)", arch)
+	}
+	// First assemble with a placeholder to learn the program size, then
+	// place the buffer just past it and reassemble.
+	image, err = assemble(0)
+	if err != nil {
+		return DecompressionResult{}, fmt.Errorf("bist: assembling %s decompressor: %w", arch, err)
+	}
+	dataBase := (len(image)*4 + 255) / 256 * 256
+	image, err = assemble(dataBase)
+	if err != nil {
+		return DecompressionResult{}, err
+	}
+
+	mem := isa.NewMemory(dataBase/4 + len(stream) + 64)
+	if err := mem.LoadProgram(image); err != nil {
+		return DecompressionResult{}, err
+	}
+	for i, w := range stream {
+		if err := mem.Store(uint32(dataBase+4*i), w); err != nil {
+			return DecompressionResult{}, err
+		}
+	}
+
+	port := &isa.Port{}
+	var cpu isa.CPU
+	if arch == "mips1" {
+		cpu = mips.New(mem, port, mips.Timing{})
+	} else {
+		cpu = sparc.New(mem, port, sparc.Timing{})
+	}
+	budget := int64(len(stream))*(maxRunFactor*20) + 4096
+	stats, err := isa.Run(cpu, budget)
+	if err != nil {
+		return DecompressionResult{}, fmt.Errorf("bist: running %s decompressor: %w", arch, err)
+	}
+	res := DecompressionResult{
+		ISA:          arch,
+		Emitted:      port.Words,
+		Instructions: stats.Instructions,
+		Cycles:       stats.Cycles,
+		ProgramWords: len(image),
+		StreamWords:  len(stream),
+	}
+	if len(port.Words) > 0 {
+		res.CyclesPerWord = float64(stats.Cycles) / float64(len(port.Words))
+	}
+	return res, nil
+}
+
+// maxRunFactor bounds the per-stream-word work for the run budget: one
+// control word can expand to 65535 emissions, but synthetic test sets
+// keep runs short; 64 covers them with margin.
+const maxRunFactor = 64
+
+// DecompressionProfile is the scheduler-facing characterisation of the
+// decompression application on one processor class.
+type DecompressionProfile struct {
+	// CyclesPerWord is the measured cost of emitting one stimulus word.
+	CyclesPerWord float64
+	// CompressionRatio is compressed/raw volume on the synthetic test
+	// set used for measurement.
+	CompressionRatio float64
+	// ProgramWords is the kernel's memory footprint.
+	ProgramWords int
+}
+
+// CharacterizeDecompression measures the decompression application for
+// a processor profile over a synthetic test set of rawWords stimulus
+// words, verifying the kernel output against the reference decoder.
+func CharacterizeDecompression(profile soc.ProcessorProfile, rawWords int, seed int64) (DecompressionProfile, error) {
+	if rawWords < 1 {
+		return DecompressionProfile{}, fmt.Errorf("bist: need at least 1 raw word, got %d", rawWords)
+	}
+	stream, ratio := tdc.CompressTestSet(rawWords, seed)
+	res, err := RunDecompressionKernel(profile.ISA, stream)
+	if err != nil {
+		return DecompressionProfile{}, err
+	}
+	want, err := tdc.Decompress(stream)
+	if err != nil {
+		return DecompressionProfile{}, err
+	}
+	if len(res.Emitted) != len(want) {
+		return DecompressionProfile{}, fmt.Errorf("bist: %s decompressor emitted %d words, reference %d",
+			profile.ISA, len(res.Emitted), len(want))
+	}
+	for i := range want {
+		if res.Emitted[i] != want[i] {
+			return DecompressionProfile{}, fmt.Errorf("bist: %s decompressor diverges from reference at word %d", profile.ISA, i)
+		}
+	}
+	return DecompressionProfile{
+		CyclesPerWord:    res.CyclesPerWord,
+		CompressionRatio: ratio,
+		ProgramWords:     res.ProgramWords,
+	}, nil
+}

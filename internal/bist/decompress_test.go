@@ -1,0 +1,99 @@
+package bist
+
+import (
+	"testing"
+
+	"noctest/internal/soc"
+	"noctest/internal/tdc"
+)
+
+func TestDecompressionKernelsMatchReference(t *testing.T) {
+	raw := tdc.SyntheticStimulus(3000, 0.7, 11)
+	stream := tdc.Compress(raw)
+	for _, arch := range []string{"mips1", "sparcv8"} {
+		res, err := RunDecompressionKernel(arch, stream)
+		if err != nil {
+			t.Fatalf("%s: %v", arch, err)
+		}
+		if len(res.Emitted) != len(raw) {
+			t.Fatalf("%s emitted %d words, want %d", arch, len(res.Emitted), len(raw))
+		}
+		for i := range raw {
+			if res.Emitted[i] != raw[i] {
+				t.Fatalf("%s word %d = %#x, want %#x", arch, i, res.Emitted[i], raw[i])
+			}
+		}
+		t.Logf("%s: %.2f cycles/word over %d words (stream %d words)",
+			arch, res.CyclesPerWord, len(res.Emitted), res.StreamWords)
+	}
+}
+
+func TestDecompressionKernelEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  []uint32
+	}{
+		{"single literal", []uint32{0xDEADBEEF}},
+		{"pure fill", []uint32{5, 5, 5, 5, 5, 5, 5, 5}},
+		{"alternating", []uint32{1, 2, 1, 2, 1, 2}},
+		{"fill then literal", []uint32{0, 0, 0, 0, 9, 8, 7}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			stream := tdc.Compress(tc.raw)
+			for _, arch := range []string{"mips1", "sparcv8"} {
+				res, err := RunDecompressionKernel(arch, stream)
+				if err != nil {
+					t.Fatalf("%s: %v", arch, err)
+				}
+				if len(res.Emitted) != len(tc.raw) {
+					t.Fatalf("%s: emitted %d, want %d", arch, len(res.Emitted), len(tc.raw))
+				}
+				for i := range tc.raw {
+					if res.Emitted[i] != tc.raw[i] {
+						t.Fatalf("%s: word %d = %#x", arch, i, res.Emitted[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestDecompressionKernelErrors(t *testing.T) {
+	if _, err := RunDecompressionKernel("mips1", nil); err == nil {
+		t.Error("empty stream accepted")
+	}
+	if _, err := RunDecompressionKernel("arm", []uint32{tdc.EndMarker}); err == nil {
+		t.Error("unknown ISA accepted")
+	}
+	// A stream without end marker must exhaust the budget or fault, not
+	// hang forever.
+	if _, err := RunDecompressionKernel("mips1", []uint32{2, 5, 6}); err == nil {
+		t.Error("marker-less stream ran to completion")
+	}
+}
+
+func TestCharacterizeDecompression(t *testing.T) {
+	for _, profile := range []soc.ProcessorProfile{soc.Leon(), soc.Plasma()} {
+		dp, err := CharacterizeDecompression(profile, 4000, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", profile.Name, err)
+		}
+		// Decompressing one word takes several loads/stores plus loop
+		// overhead: expect mid-single to low-double digits.
+		if dp.CyclesPerWord < 4 || dp.CyclesPerWord > 20 {
+			t.Errorf("%s: %.2f cycles/word out of plausible range", profile.Name, dp.CyclesPerWord)
+		}
+		if dp.CompressionRatio <= 0 || dp.CompressionRatio > 0.8 {
+			t.Errorf("%s: ratio %.2f", profile.Name, dp.CompressionRatio)
+		}
+		if dp.ProgramWords == 0 {
+			t.Errorf("%s: zero program words", profile.Name)
+		}
+		t.Logf("%s: %.2f cycles/word, ratio %.2f, %d program words",
+			profile.Name, dp.CyclesPerWord, dp.CompressionRatio, dp.ProgramWords)
+	}
+	if _, err := CharacterizeDecompression(soc.Leon(), 0, 1); err == nil {
+		t.Error("zero raw words accepted")
+	}
+}

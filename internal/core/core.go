@@ -1,0 +1,746 @@
+// Package core implements the paper's contribution: a software-based
+// test planner for NoC-based systems that reuses embedded processors as
+// test sources and sinks alongside the external tester, with the on-chip
+// network as the test access mechanism.
+//
+// The planner is a greedy list scheduler. Cores are ordered by priority
+// — by default, processors first (they unlock further interfaces), then
+// cores closer to a test interface, as the paper describes: "The cores
+// closer to IO ports or processors are tested first." Each core is then
+// assigned the first test interface that becomes available, subject to
+// three resource constraints: interface exclusivity, exclusive
+// reservation of the directed NoC links on its stimulus and response
+// paths, and an optional power ceiling defined as a fraction of the sum
+// of all cores' test power.
+//
+// The paper observes that the first-available rule is what makes the
+// p22810 results irregular: a processor free now beats a faster external
+// tester free slightly later, even though the processor pays 10 cycles
+// of software pattern generation per pattern where the tester pays none.
+// The LookaheadFastestFinish variant repairs exactly that decision and
+// is used as the ablation baseline.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"noctest/internal/itc02"
+	"noctest/internal/noc"
+	"noctest/internal/plan"
+	"noctest/internal/power"
+	"noctest/internal/soc"
+	"noctest/internal/wrapper"
+)
+
+// Variant selects the interface-choice rule.
+type Variant int
+
+// Scheduling variants.
+const (
+	// GreedyFirstAvailable is the paper's rule: take the interface with
+	// the earliest feasible start time.
+	GreedyFirstAvailable Variant = iota
+	// LookaheadFastestFinish takes the interface with the earliest
+	// feasible completion time instead, avoiding the paper's greedy
+	// anomaly.
+	LookaheadFastestFinish
+)
+
+// String names the variant for plan records.
+func (v Variant) String() string {
+	switch v {
+	case GreedyFirstAvailable:
+		return "greedy-first-available"
+	case LookaheadFastestFinish:
+		return "lookahead-fastest-finish"
+	}
+	return fmt.Sprintf("variant(%d)", int(v))
+}
+
+// Priority selects the core ordering rule.
+type Priority int
+
+// Priority rules.
+const (
+	// ProcessorsFirst is the default: reused processors are tested
+	// first so interfaces come online as early as possible, then the
+	// remaining cores follow the paper's position rule ("cores closer
+	// to IO ports or processors are tested first"). Commissioning the
+	// processors early is what lets them be reused at all; a complex
+	// processor still pays its large self-test before helping, the
+	// effect the paper notes ("may be reused for test few times").
+	ProcessorsFirst Priority = iota
+	// DistanceOnly applies the paper's position rule literally to every
+	// core including the processors. Processors parked far from the
+	// tester are then commissioned very late and barely reused; kept as
+	// an ablation of the ordering decision.
+	DistanceOnly
+	// VolumeDescending orders by decreasing test data volume, the
+	// classic TAM-scheduling heuristic, as an ablation.
+	VolumeDescending
+)
+
+// String names the priority rule.
+func (p Priority) String() string {
+	switch p {
+	case DistanceOnly:
+		return "distance"
+	case ProcessorsFirst:
+		return "processors-first"
+	case VolumeDescending:
+		return "volume-descending"
+	}
+	return fmt.Sprintf("priority(%d)", int(p))
+}
+
+// TestApplication selects the software test application the reused
+// processors run.
+type TestApplication int
+
+// Test applications.
+const (
+	// BISTApplication is the paper's evaluated mode: the processor
+	// generates pseudo-random patterns in software (10 cycles per
+	// pattern in the paper; ~10.5-11 measured on the ISS kernels).
+	BISTApplication TestApplication = iota
+	// DecompressionApplication is the paper's announced follow-up mode:
+	// the processor reads tdc-compressed deterministic test data from
+	// its memory, decompresses it and streams it to the CUT. Patterns
+	// are the core's deterministic set (no BIST inflation), but each
+	// stimulus word costs DecompressionCyclesPerWord to produce and the
+	// compressed data must first be loaded from the tester port into
+	// the processor's buffer, which is charged to the test's setup.
+	DecompressionApplication
+)
+
+// String names the application for plan records.
+func (a TestApplication) String() string {
+	switch a {
+	case BISTApplication:
+		return "bist"
+	case DecompressionApplication:
+		return "decompression"
+	}
+	return fmt.Sprintf("application(%d)", int(a))
+}
+
+// Options configures a scheduling run. The zero value reproduces the
+// paper's unconstrained greedy planner with every processor reused.
+type Options struct {
+	// PowerLimitFraction, when positive, caps concurrent power at this
+	// fraction of the sum of all cores' test power (the paper's "50%
+	// power limit" is 0.5).
+	PowerLimitFraction float64
+	// PowerLimit, when positive, sets an absolute ceiling instead;
+	// it overrides PowerLimitFraction.
+	PowerLimit float64
+	// DisableReuse turns processor reuse off entirely: processors are
+	// tested as ordinary cores and only the external tester serves as
+	// interface. This is the paper's "noproc" configuration — the
+	// system still contains the processor cores, they just do not help.
+	DisableReuse bool
+	// MaxReusedProcessors, when positive, reuses only the first N
+	// processors (by core ID); the paper's figure sweeps this from 2 up
+	// to the processor count. Zero reuses all.
+	MaxReusedProcessors int
+	// Variant selects the interface-choice rule.
+	Variant Variant
+	// Priority selects the core ordering.
+	Priority Priority
+	// CaptureCycles is the per-pattern capture/apply cost at the core;
+	// zero selects 1.
+	CaptureCycles int
+	// ATECyclesPerPattern models tester-side pattern cost; the paper
+	// assumes 0.
+	ATECyclesPerPattern int
+	// BISTPatternFactor scales the pattern count of processor-driven
+	// tests, modelling the coverage gap between the software BIST's
+	// pseudo-random patterns and the deterministic patterns the
+	// external tester applies. Zero or 1 means parity (the paper's
+	// stated assumption); values above 1 make processor reuse costlier
+	// per core and sharpen the greedy anomaly.
+	BISTPatternFactor float64
+	// ExclusiveLinks reserves every directed NoC link on a test's paths
+	// for the whole test, modelling circuit-switched delivery. The
+	// default (false) models the paper's packet-switched transport,
+	// where test streams interleave on shared links and only the
+	// interfaces themselves are exclusive.
+	ExclusiveLinks bool
+	// Application selects the processors' software test application;
+	// the default is the paper's BIST mode.
+	Application TestApplication
+	// DecompressionCyclesPerWord is the software cost of producing one
+	// decompressed stimulus word; zero selects 7, the ISS-measured
+	// figure (package bist). Only used by DecompressionApplication.
+	DecompressionCyclesPerWord int
+	// CompressionRatio is compressed/raw test data volume; zero selects
+	// 0.2, conservative for the fill-heavy synthetic sets (package tdc
+	// measures ~0.14). Only used by DecompressionApplication.
+	CompressionRatio float64
+	// ProcessorBufferWords is the on-chip buffer for compressed data;
+	// larger test sets are loaded in chunks, each paying the transfer
+	// path setup again. Zero selects 8192 words.
+	ProcessorBufferWords int
+	// WrapperChains, when positive, bounds every pattern by the
+	// core-side wrapper shift time of a Best-Fit-Decreasing wrapper of
+	// that width (package wrapper): a narrow wrapper can make the core,
+	// not the NoC, the per-pattern bottleneck. Zero keeps the paper's
+	// transport-limited model.
+	WrapperChains int
+}
+
+func (o Options) withDefaults() Options {
+	if o.CaptureCycles == 0 {
+		o.CaptureCycles = 1
+	}
+	if o.BISTPatternFactor == 0 {
+		o.BISTPatternFactor = 1
+	}
+	if o.DecompressionCyclesPerWord == 0 {
+		o.DecompressionCyclesPerWord = 7
+	}
+	if o.CompressionRatio == 0 {
+		o.CompressionRatio = 0.2
+	}
+	if o.ProcessorBufferWords == 0 {
+		o.ProcessorBufferWords = 8192
+	}
+	return o
+}
+
+// Validate reports option inconsistencies.
+func (o Options) Validate() error {
+	if o.PowerLimitFraction < 0 || o.PowerLimitFraction > 1 {
+		return fmt.Errorf("core: power limit fraction %g outside [0,1]", o.PowerLimitFraction)
+	}
+	if o.PowerLimit < 0 {
+		return fmt.Errorf("core: negative absolute power limit %g", o.PowerLimit)
+	}
+	if o.CaptureCycles < 0 {
+		return fmt.Errorf("core: negative capture cycles %d", o.CaptureCycles)
+	}
+	if o.ATECyclesPerPattern < 0 {
+		return fmt.Errorf("core: negative ATE cycles per pattern %d", o.ATECyclesPerPattern)
+	}
+	if o.MaxReusedProcessors < 0 {
+		return fmt.Errorf("core: negative reused processor count %d", o.MaxReusedProcessors)
+	}
+	if o.BISTPatternFactor < 0 || (o.BISTPatternFactor > 0 && o.BISTPatternFactor < 1) {
+		return fmt.Errorf("core: BIST pattern factor %g must be >= 1 (or 0 for parity)", o.BISTPatternFactor)
+	}
+	if o.DecompressionCyclesPerWord < 0 {
+		return fmt.Errorf("core: negative decompression cycles per word %d", o.DecompressionCyclesPerWord)
+	}
+	if o.CompressionRatio < 0 || o.CompressionRatio > 1 {
+		return fmt.Errorf("core: compression ratio %g outside [0,1]", o.CompressionRatio)
+	}
+	if o.ProcessorBufferWords < 0 {
+		return fmt.Errorf("core: negative processor buffer %d", o.ProcessorBufferWords)
+	}
+	if o.WrapperChains < 0 {
+		return fmt.Errorf("core: negative wrapper width %d", o.WrapperChains)
+	}
+	switch o.Application {
+	case BISTApplication, DecompressionApplication:
+	default:
+		return fmt.Errorf("core: unknown test application %d", int(o.Application))
+	}
+	switch o.Variant {
+	case GreedyFirstAvailable, LookaheadFastestFinish:
+	default:
+		return fmt.Errorf("core: unknown variant %d", int(o.Variant))
+	}
+	switch o.Priority {
+	case DistanceOnly, ProcessorsFirst, VolumeDescending:
+	default:
+		return fmt.Errorf("core: unknown priority %d", int(o.Priority))
+	}
+	return nil
+}
+
+// iface is one test source/sink: an ATE port pair or a reused processor.
+type iface struct {
+	name       string
+	kind       plan.InterfaceKind
+	srcTile    noc.Coord // where stimuli enter the NoC
+	dstTile    noc.Coord // where responses leave the NoC
+	perPattern int       // software cycles added per pattern
+	runPower   float64   // extra draw while driving a test
+	procCore   int       // core ID of the backing processor, 0 for ATE
+	loadHops   int       // hops from the nearest tester input port
+
+	freeAt      int  // interface is idle from this cycle on
+	activatedAt int  // first cycle the interface may be used at all
+	active      bool // processors start inactive until self-tested
+}
+
+// span is a half-open busy interval on a link.
+type span struct{ start, end int }
+
+// scheduler carries the planning state for one run.
+type scheduler struct {
+	sys      *soc.System
+	opts     Options
+	limit    float64
+	tracker  *power.Tracker
+	links    map[noc.Link][]span
+	ifaces   []*iface
+	procIfx  map[int]*iface // processor core ID -> its interface
+	reused   map[int]bool   // processor core IDs reused as interfaces
+	wrappers map[int]int    // core ID -> cached wrapper shift cycles
+	entries  []plan.Entry
+}
+
+// Schedule plans the complete test of sys under opts and returns a
+// validated plan.
+func Schedule(sys *soc.System, opts Options) (*plan.Plan, error) {
+	opts = opts.withDefaults()
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+
+	limit := 0.0
+	switch {
+	case opts.PowerLimit > 0:
+		limit = opts.PowerLimit
+	case opts.PowerLimitFraction > 0:
+		limit = opts.PowerLimitFraction * sys.TotalPower()
+	}
+
+	s := &scheduler{
+		sys:      sys,
+		opts:     opts,
+		limit:    limit,
+		tracker:  power.NewTracker(limit),
+		links:    make(map[noc.Link][]span),
+		procIfx:  make(map[int]*iface),
+		reused:   make(map[int]bool),
+		wrappers: make(map[int]int),
+	}
+	if !opts.DisableReuse {
+		for i, pc := range sys.Processors() {
+			if opts.MaxReusedProcessors > 0 && i >= opts.MaxReusedProcessors {
+				break
+			}
+			s.reused[pc.Core.ID] = true
+		}
+	}
+	if err := s.buildInterfaces(); err != nil {
+		return nil, err
+	}
+
+	for _, pc := range s.order() {
+		if err := s.place(pc); err != nil {
+			return nil, err
+		}
+	}
+
+	p := &plan.Plan{
+		System:         sys.Name,
+		Algorithm:      fmt.Sprintf("%s/%s/%s", opts.Variant, opts.Priority, opts.Application),
+		PowerLimit:     limit,
+		ExclusiveLinks: opts.ExclusiveLinks,
+		Entries:        s.entries,
+	}
+	sort.Slice(p.Entries, func(i, j int) bool {
+		if p.Entries[i].Start != p.Entries[j].Start {
+			return p.Entries[i].Start < p.Entries[j].Start
+		}
+		return p.Entries[i].CoreID < p.Entries[j].CoreID
+	})
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("core: produced invalid plan: %w", err)
+	}
+	return p, nil
+}
+
+// buildInterfaces creates one interface per ATE port pair and one
+// (initially inactive) per processor.
+func (s *scheduler) buildInterfaces() error {
+	var ins, outs []soc.Port
+	for _, p := range s.sys.Ports {
+		if p.Dir == soc.In {
+			ins = append(ins, p)
+		} else {
+			outs = append(outs, p)
+		}
+	}
+	pairs := len(ins)
+	if len(outs) < pairs {
+		pairs = len(outs)
+	}
+	for i := 0; i < pairs; i++ {
+		s.ifaces = append(s.ifaces, &iface{
+			name:       fmt.Sprintf("ate%d", i),
+			kind:       plan.ATE,
+			srcTile:    ins[i].Tile,
+			dstTile:    outs[i].Tile,
+			perPattern: s.opts.ATECyclesPerPattern,
+			active:     true,
+		})
+	}
+	for _, pc := range s.sys.Processors() {
+		if !s.reused[pc.Core.ID] {
+			continue
+		}
+		loadHops := 1 << 30
+		for _, p := range ins {
+			if d := noc.ManhattanDistance(p.Tile, pc.Tile); d < loadHops {
+				loadHops = d
+			}
+		}
+		ifx := &iface{
+			name:       pc.Core.Name,
+			kind:       plan.Processor,
+			srcTile:    pc.Tile,
+			dstTile:    pc.Tile,
+			perPattern: pc.Processor.CyclesPerPattern,
+			runPower:   pc.Processor.Power,
+			procCore:   pc.Core.ID,
+			loadHops:   loadHops,
+		}
+		s.ifaces = append(s.ifaces, ifx)
+		s.procIfx[pc.Core.ID] = ifx
+	}
+	if len(s.ifaces) == 0 {
+		return fmt.Errorf("core: system %s has no test interfaces", s.sys.Name)
+	}
+	return nil
+}
+
+// order returns the cores in scheduling priority order.
+func (s *scheduler) order() []soc.PlacedCore {
+	cores := make([]soc.PlacedCore, len(s.sys.Cores))
+	copy(cores, s.sys.Cores)
+
+	// Interface positions: tester ports plus reused processors. A
+	// processor's own tile cannot test it, so its distance is taken to
+	// the nearest other interface.
+	type spot struct {
+		tile noc.Coord
+		core int // backing processor core ID, 0 for ports
+	}
+	var spots []spot
+	for _, p := range s.sys.Ports {
+		spots = append(spots, spot{tile: p.Tile})
+	}
+	for _, pc := range s.sys.Processors() {
+		if s.reused[pc.Core.ID] {
+			spots = append(spots, spot{tile: pc.Tile, core: pc.Core.ID})
+		}
+	}
+	distance := func(c soc.PlacedCore) int {
+		best := 1 << 30
+		for _, sp := range spots {
+			if sp.core != 0 && sp.core == c.Core.ID {
+				continue
+			}
+			if d := noc.ManhattanDistance(c.Tile, sp.tile); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+
+	sort.SliceStable(cores, func(i, j int) bool {
+		a, b := cores[i], cores[j]
+		switch s.opts.Priority {
+		case ProcessorsFirst:
+			ap, bp := s.reused[a.Core.ID], s.reused[b.Core.ID]
+			if ap != bp {
+				return ap
+			}
+			if da, db := distance(a), distance(b); da != db {
+				return da < db
+			}
+		case DistanceOnly:
+			if da, db := distance(a), distance(b); da != db {
+				return da < db
+			}
+		case VolumeDescending:
+			if va, vb := a.Core.TestDataVolume(), b.Core.TestDataVolume(); va != vb {
+				return va > vb
+			}
+		}
+		if va, vb := a.Core.TestDataVolume(), b.Core.TestDataVolume(); va != vb {
+			return va > vb
+		}
+		return a.Core.ID < b.Core.ID
+	})
+	return cores
+}
+
+// candidate is one feasible placement of a core test.
+type candidate struct {
+	ifx      *iface
+	start    int
+	duration int
+	entry    plan.Entry
+}
+
+// place schedules one core on the best interface per the variant rule.
+func (s *scheduler) place(pc soc.PlacedCore) error {
+	var best *candidate
+	for _, ifx := range s.ifaces {
+		if ifx.kind == plan.Processor && ifx.procCore == pc.Core.ID {
+			continue // a processor cannot test itself
+		}
+		if !ifx.active {
+			continue // processor not yet tested
+		}
+		cand, err := s.placement(pc, ifx)
+		if err != nil {
+			return err
+		}
+		if cand == nil {
+			continue
+		}
+		if best == nil || better(s.opts.Variant, cand, best) {
+			best = cand
+		}
+	}
+	if best == nil {
+		return fmt.Errorf("core: core %d (%s) cannot be scheduled on any interface (power limit %.1f too tight?)",
+			pc.Core.ID, pc.Core.Name, s.limit)
+	}
+	s.commit(pc, best)
+	return nil
+}
+
+// better reports whether a should replace b under the variant's rule.
+// Ties fall back to the earlier list position implicitly because b was
+// seen first and is kept on equality.
+func better(v Variant, a, b *candidate) bool {
+	switch v {
+	case LookaheadFastestFinish:
+		return a.start+a.duration < b.start+b.duration
+	default:
+		return a.start < b.start
+	}
+}
+
+// placement computes the earliest feasible reservation of pc on ifx, or
+// nil when the interface can never host the test (power-infeasible).
+func (s *scheduler) placement(pc soc.PlacedCore, ifx *iface) (*candidate, error) {
+	timing := s.sys.Net.Timing
+	pathIn, err := s.sys.Net.Path(ifx.srcTile, pc.Tile)
+	if err != nil {
+		return nil, err
+	}
+	pathOut, err := s.sys.Net.Path(pc.Tile, ifx.dstTile)
+	if err != nil {
+		return nil, err
+	}
+	hopsIn, hopsOut := len(pathIn)-1, len(pathOut)-1
+
+	inFlits := timing.Flits(pc.Core.StimulusBits())
+	outFlits := timing.Flits(pc.Core.ResponseBits())
+	streamFlits := inFlits
+	if outFlits > streamFlits {
+		streamFlits = outFlits
+	}
+	perPattern := timing.StreamCycles(streamFlits) + s.opts.CaptureCycles
+	if s.opts.WrapperChains > 0 {
+		// The core's wrapper shifts serially; a narrow wrapper caps the
+		// pattern rate below what the NoC could deliver.
+		shift, err := s.wrapperShift(pc.Core)
+		if err != nil {
+			return nil, err
+		}
+		if shift > perPattern {
+			perPattern = shift
+		}
+	}
+	setup := timing.PathSetupLatency(hopsIn) + timing.PathSetupLatency(hopsOut)
+	patterns := pc.Core.Patterns
+	switch {
+	case ifx.kind == plan.ATE:
+		perPattern += ifx.perPattern
+	case s.opts.Application == BISTApplication:
+		// Software pattern generation: extra cycles per pattern, and
+		// optionally more pseudo-random patterns for equal coverage.
+		perPattern += ifx.perPattern
+		if s.opts.BISTPatternFactor > 1 {
+			patterns = int(math.Ceil(float64(patterns) * s.opts.BISTPatternFactor))
+		}
+	case s.opts.Application == DecompressionApplication:
+		// Deterministic patterns decompressed in software: the word
+		// production rate competes with the NoC streaming rate, and the
+		// compressed set is first loaded from the tester port into the
+		// processor's buffer (charged as setup, chunked by buffer size).
+		inWords := (pc.Core.StimulusBits() + 31) / 32
+		if produce := inWords * s.opts.DecompressionCyclesPerWord; produce > timing.StreamCycles(streamFlits) {
+			perPattern = produce + s.opts.CaptureCycles
+		}
+		setup += s.loadCycles(ifx, inWords*pc.Core.Patterns)
+	}
+	duration := setup + patterns*perPattern
+
+	draw := pc.Core.Power + s.transportPower(pathIn, pathOut) + ifx.runPower
+	if s.limit > 0 && draw > s.limit+1e-9 {
+		return nil, nil // permanently infeasible on this interface
+	}
+
+	var links []noc.Link
+	if s.opts.ExclusiveLinks {
+		links = append(noc.PathLinks(pathIn), noc.PathLinks(pathOut)...)
+	}
+	start := s.earliestFeasible(ifx.earliest(), duration, links, draw)
+
+	return &candidate{
+		ifx:      ifx,
+		start:    start,
+		duration: duration,
+		entry: plan.Entry{
+			CoreID:          pc.Core.ID,
+			CoreName:        pc.Core.Name,
+			IsProcessor:     pc.IsProcessor(),
+			Interface:       ifx.name,
+			InterfaceKind:   ifx.kind,
+			InterfaceCoreID: ifx.procCore,
+			Start:           start,
+			End:             start + duration,
+			Setup:           setup,
+			Patterns:        patterns,
+			PerPattern:      perPattern,
+			PathIn:          pathIn,
+			PathOut:         pathOut,
+			Power:           draw,
+		},
+	}, nil
+}
+
+// wrapperShift returns (and caches) the per-pattern core-side shift
+// cost of a BFD wrapper of the configured width.
+func (s *scheduler) wrapperShift(c itc02.Core) (int, error) {
+	if cached, ok := s.wrappers[c.ID]; ok {
+		return cached, nil
+	}
+	d, err := wrapper.BFD(c, s.opts.WrapperChains)
+	if err != nil {
+		return 0, fmt.Errorf("core: wrapper for core %d: %w", c.ID, err)
+	}
+	shift := d.ShiftCycles()
+	s.wrappers[c.ID] = shift
+	return shift, nil
+}
+
+// loadCycles is the one-time cost of shipping a core's compressed test
+// set (rawWords stimulus words before compression) from the tester port
+// into the processor's buffer, reloading per chunk when the set exceeds
+// the buffer.
+func (s *scheduler) loadCycles(ifx *iface, rawWords int) int {
+	timing := s.sys.Net.Timing
+	comp := int(math.Ceil(float64(rawWords) * s.opts.CompressionRatio))
+	if comp < 1 {
+		comp = 1
+	}
+	chunks := (comp + s.opts.ProcessorBufferWords - 1) / s.opts.ProcessorBufferWords
+	flits := timing.Flits(comp * 32)
+	return chunks*timing.PathSetupLatency(ifx.loadHops) + timing.StreamCycles(flits)
+}
+
+// earliest returns the first cycle the interface may start a new test.
+func (x *iface) earliest() int {
+	if x.freeAt > x.activatedAt {
+		return x.freeAt
+	}
+	return x.activatedAt
+}
+
+// transportPower charges the per-router figure once per distinct router
+// on the stimulus and response paths.
+func (s *scheduler) transportPower(pathIn, pathOut []noc.Coord) float64 {
+	seen := make(map[noc.Coord]bool, len(pathIn)+len(pathOut))
+	for _, c := range pathIn {
+		seen[c] = true
+	}
+	for _, c := range pathOut {
+		seen[c] = true
+	}
+	return s.sys.Net.Power.PathPower(len(seen))
+}
+
+// earliestFeasible advances a candidate start time past link and power
+// conflicts until the whole [t, t+duration) window is clear. It
+// terminates because every conflict yields a strictly later restart
+// bound and the reservation sets are finite.
+func (s *scheduler) earliestFeasible(from, duration int, links []noc.Link, draw float64) int {
+	t := from
+	for {
+		if next, ok := s.linkConflict(t, t+duration, links); ok {
+			t = next
+			continue
+		}
+		if !s.tracker.CanAdd(t, t+duration, draw) {
+			t = s.nextPowerBoundary(t)
+			continue
+		}
+		return t
+	}
+}
+
+// linkConflict reports the earliest restart time if any link is busy
+// during [start, end).
+func (s *scheduler) linkConflict(start, end int, links []noc.Link) (int, bool) {
+	restart, found := 0, false
+	for _, l := range links {
+		for _, sp := range s.links[l] {
+			if start < sp.end && sp.start < end {
+				if !found || sp.end > restart {
+					// Restart after the latest conflicting occupancy so
+					// repeated scans converge quickly.
+					restart = sp.end
+					found = true
+				}
+			}
+		}
+	}
+	return restart, found
+}
+
+// nextPowerBoundary returns the first profile change strictly after t;
+// past the last reservation the profile is empty, so this always
+// advances.
+func (s *scheduler) nextPowerBoundary(t int) int {
+	next := -1
+	for _, iv := range s.tracker.Reservations() {
+		for _, b := range [2]int{iv.Start, iv.End} {
+			if b > t && (next == -1 || b < next) {
+				next = b
+			}
+		}
+	}
+	if next == -1 {
+		// No boundary ahead: the profile is already empty after t, so a
+		// failing CanAdd means the draw alone exceeds the ceiling, which
+		// placement() filtered out.
+		panic("core: power search stuck with empty profile ahead")
+	}
+	return next
+}
+
+// commit records the chosen placement and activates the processor
+// interface when the core under test is a processor.
+func (s *scheduler) commit(pc soc.PlacedCore, c *candidate) {
+	e := c.entry
+	if s.opts.ExclusiveLinks {
+		for _, l := range append(noc.PathLinks(e.PathIn), noc.PathLinks(e.PathOut)...) {
+			s.links[l] = append(s.links[l], span{e.Start, e.End})
+		}
+	}
+	if err := s.tracker.Add(e.Start, e.End, e.Power); err != nil {
+		panic(fmt.Sprintf("core: committing feasible placement failed: %v", err))
+	}
+	c.ifx.freeAt = e.End
+	s.entries = append(s.entries, e)
+	if ifx, ok := s.procIfx[pc.Core.ID]; ok {
+		ifx.active = true
+		ifx.activatedAt = e.End
+	}
+}

@@ -1,0 +1,420 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"noctest/internal/itc02"
+	"noctest/internal/noc"
+	"noctest/internal/plan"
+	"noctest/internal/soc"
+)
+
+// buildSystem assembles a benchmark-plus-processors system for tests.
+func buildSystem(t *testing.T, bench string, procs int, profile soc.ProcessorProfile) *soc.System {
+	t.Helper()
+	b, err := itc02.Benchmark(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := soc.Build(b, soc.BuildConfig{Processors: procs, Profile: profile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// tinySystem builds a hand-placed 3x3 system: two plain cores and one
+// processor, for crafted scheduling scenarios.
+func tinySystem(t *testing.T) *soc.System {
+	t.Helper()
+	net, err := noc.NewCharacterization(noc.MustMesh(3, 3), noc.XY{}, noc.DefaultTiming, noc.DefaultTransportPower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile := soc.Plasma()
+	cut := profile.SelfTest
+	cut.ID = 3
+	cut.Name = "plasma1"
+	sys := &soc.System{
+		Name: "tiny",
+		Net:  net,
+		Cores: []soc.PlacedCore{
+			{Core: itc02.Core{ID: 1, Name: "a", Inputs: 64, Outputs: 64, Patterns: 50, Power: 100}, Tile: noc.Coord{X: 1, Y: 0}},
+			{Core: itc02.Core{ID: 2, Name: "b", Inputs: 64, Outputs: 64, Patterns: 50, Power: 100}, Tile: noc.Coord{X: 1, Y: 2}},
+			{Core: cut, Tile: noc.Coord{X: 1, Y: 1}, Processor: &profile},
+		},
+		Ports: []soc.Port{
+			{Name: "in", Tile: noc.Coord{X: 0, Y: 0}, Dir: soc.In},
+			{Name: "out", Tile: noc.Coord{X: 2, Y: 2}, Dir: soc.Out},
+		},
+	}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func mustSchedule(t *testing.T, sys *soc.System, opts Options) *plan.Plan {
+	t.Helper()
+	p, err := Schedule(sys, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestOptionsValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		opts    Options
+		wantErr bool
+	}{
+		{"zero value", Options{}, false},
+		{"paper 50%", Options{PowerLimitFraction: 0.5}, false},
+		{"fraction too big", Options{PowerLimitFraction: 1.5}, true},
+		{"negative fraction", Options{PowerLimitFraction: -0.1}, true},
+		{"negative absolute", Options{PowerLimit: -1}, true},
+		{"negative capture", Options{CaptureCycles: -1}, true},
+		{"negative ATE cycles", Options{ATECyclesPerPattern: -1}, true},
+		{"negative reuse", Options{MaxReusedProcessors: -2}, true},
+		{"bist below one", Options{BISTPatternFactor: 0.5}, true},
+		{"bist three", Options{BISTPatternFactor: 3}, false},
+		{"bad variant", Options{Variant: Variant(9)}, true},
+		{"bad priority", Options{Priority: Priority(9)}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.opts.withDefaults().Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestVariantAndPriorityStrings(t *testing.T) {
+	if GreedyFirstAvailable.String() != "greedy-first-available" {
+		t.Error("greedy name")
+	}
+	if LookaheadFastestFinish.String() != "lookahead-fastest-finish" {
+		t.Error("lookahead name")
+	}
+	for _, p := range []Priority{ProcessorsFirst, DistanceOnly, VolumeDescending} {
+		if strings.HasPrefix(p.String(), "priority(") {
+			t.Errorf("priority %d missing name", int(p))
+		}
+	}
+	if !strings.HasPrefix(Variant(9).String(), "variant(") || !strings.HasPrefix(Priority(9).String(), "priority(") {
+		t.Error("unknown enum values should render as numbered placeholders")
+	}
+}
+
+// TestNoReuseIsSerial checks the noproc baseline: with a single ATE pair
+// and no reuse, tests run strictly one after another and the makespan is
+// the sum of the durations.
+func TestNoReuseIsSerial(t *testing.T) {
+	sys := buildSystem(t, "d695", 6, soc.Leon())
+	p := mustSchedule(t, sys, Options{DisableReuse: true})
+	total := 0
+	for _, e := range p.Entries {
+		if e.Interface != "ate0" {
+			t.Errorf("core %d scheduled on %s with reuse disabled", e.CoreID, e.Interface)
+		}
+		total += e.Duration()
+	}
+	if p.Makespan() != total {
+		t.Errorf("serial makespan %d != sum of durations %d", p.Makespan(), total)
+	}
+	if len(p.Entries) != 16 {
+		t.Errorf("entries = %d, want all 16 cores", len(p.Entries))
+	}
+}
+
+// TestReuseReducesTestTime is the paper's headline claim on every
+// benchmark and both processors.
+func TestReuseReducesTestTime(t *testing.T) {
+	for _, bench := range []string{"d695", "p22810", "p93791"} {
+		for _, profile := range []soc.ProcessorProfile{soc.Leon(), soc.Plasma()} {
+			procs := 8
+			if bench == "d695" {
+				procs = 6
+			}
+			sys := buildSystem(t, bench, procs, profile)
+			baseline := mustSchedule(t, sys, Options{DisableReuse: true})
+			reused := mustSchedule(t, sys, Options{})
+			if reused.Makespan() >= baseline.Makespan() {
+				t.Errorf("%s+%s: reuse did not help (%d >= %d)",
+					bench, profile.Name, reused.Makespan(), baseline.Makespan())
+			}
+		}
+	}
+}
+
+func TestMaxReusedProcessorsLimitsInterfaces(t *testing.T) {
+	sys := buildSystem(t, "d695", 6, soc.Leon())
+	for _, k := range []int{1, 2, 4} {
+		p := mustSchedule(t, sys, Options{MaxReusedProcessors: k})
+		procIfaces := make(map[string]bool)
+		for _, e := range p.Entries {
+			if e.InterfaceKind == plan.Processor {
+				procIfaces[e.Interface] = true
+			}
+		}
+		if len(procIfaces) > k {
+			t.Errorf("k=%d: %d processor interfaces in use", k, len(procIfaces))
+		}
+	}
+}
+
+func TestProcessorsOnlyServeAfterSelfTest(t *testing.T) {
+	sys := buildSystem(t, "p22810", 8, soc.Plasma())
+	p := mustSchedule(t, sys, Options{})
+	selfEnd := make(map[int]int)
+	for _, e := range p.Entries {
+		if e.IsProcessor {
+			selfEnd[e.CoreID] = e.End
+		}
+	}
+	for _, e := range p.Entries {
+		if e.InterfaceKind != plan.Processor {
+			continue
+		}
+		end, ok := selfEnd[e.InterfaceCoreID]
+		if !ok {
+			t.Fatalf("interface %s backed by untested core %d", e.Interface, e.InterfaceCoreID)
+		}
+		if e.Start < end {
+			t.Errorf("core %d starts at %d before its interface %s finished self-test at %d",
+				e.CoreID, e.Start, e.Interface, end)
+		}
+	}
+}
+
+func TestProcessorNeverTestsItself(t *testing.T) {
+	sys := buildSystem(t, "d695", 6, soc.Leon())
+	p := mustSchedule(t, sys, Options{})
+	for _, e := range p.Entries {
+		if e.InterfaceKind == plan.Processor && e.InterfaceCoreID == e.CoreID {
+			t.Errorf("core %d tested by itself", e.CoreID)
+		}
+	}
+}
+
+func TestPowerCeilingRespected(t *testing.T) {
+	sys := buildSystem(t, "d695", 6, soc.Leon())
+	for _, frac := range []float64{0.3, 0.5, 0.8} {
+		p := mustSchedule(t, sys, Options{PowerLimitFraction: frac})
+		limit := frac * sys.TotalPower()
+		if peak := p.PeakPower(); peak > limit+1e-9 {
+			t.Errorf("fraction %g: peak %g exceeds limit %g", frac, peak, limit)
+		}
+		if p.PowerLimit != limit {
+			t.Errorf("fraction %g: plan records limit %g, want %g", frac, p.PowerLimit, limit)
+		}
+	}
+}
+
+func TestAbsolutePowerLimitOverridesFraction(t *testing.T) {
+	sys := buildSystem(t, "d695", 6, soc.Leon())
+	p := mustSchedule(t, sys, Options{PowerLimitFraction: 0.9, PowerLimit: 3000})
+	if p.PowerLimit != 3000 {
+		t.Errorf("plan limit = %g, want absolute 3000", p.PowerLimit)
+	}
+}
+
+func TestInfeasiblePowerLimitFails(t *testing.T) {
+	sys := buildSystem(t, "d695", 0, soc.ProcessorProfile{})
+	// s38417 alone draws 1144 + transport; a 500 ceiling can never host it.
+	if _, err := Schedule(sys, Options{PowerLimit: 500}); err == nil {
+		t.Fatal("expected infeasibility error")
+	}
+}
+
+func TestTightPowerSerializes(t *testing.T) {
+	sys := tinySystem(t)
+	// Allow only one test at a time: every test draws at least 100
+	// (core) + transport; two concurrent would exceed 700.
+	p := mustSchedule(t, sys, Options{PowerLimit: 700})
+	entries := p.ByStart()
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Start < entries[i-1].End {
+			t.Errorf("tests %d and %d overlap under a one-test power budget",
+				entries[i-1].CoreID, entries[i].CoreID)
+		}
+	}
+}
+
+func TestBISTPatternFactorInflatesProcessorTests(t *testing.T) {
+	sys := buildSystem(t, "d695", 6, soc.Leon())
+	p := mustSchedule(t, sys, Options{BISTPatternFactor: 3})
+	sawProc := false
+	for _, e := range p.Entries {
+		c, ok := sys.CoreByID(e.CoreID)
+		if !ok {
+			t.Fatalf("unknown core %d", e.CoreID)
+		}
+		switch e.InterfaceKind {
+		case plan.ATE:
+			if e.Patterns != c.Core.Patterns {
+				t.Errorf("ATE-driven core %d has %d patterns, want %d", e.CoreID, e.Patterns, c.Core.Patterns)
+			}
+		case plan.Processor:
+			sawProc = true
+			if e.Patterns != 3*c.Core.Patterns {
+				t.Errorf("processor-driven core %d has %d patterns, want %d", e.CoreID, e.Patterns, 3*c.Core.Patterns)
+			}
+		}
+	}
+	if !sawProc {
+		t.Error("no processor-driven test scheduled; inflation untested")
+	}
+}
+
+func TestProcessorPerPatternOverhead(t *testing.T) {
+	sys := tinySystem(t)
+	p := mustSchedule(t, sys, Options{})
+	var ate, proc *plan.Entry
+	for i := range p.Entries {
+		e := &p.Entries[i]
+		if e.IsProcessor {
+			continue
+		}
+		switch e.InterfaceKind {
+		case plan.ATE:
+			ate = e
+		case plan.Processor:
+			proc = e
+		}
+	}
+	if ate == nil || proc == nil {
+		t.Skip("schedule did not split cores across interfaces")
+	}
+	// Cores a and b are identical, so the per-pattern times must differ
+	// by exactly the processor's software overhead.
+	if got := proc.PerPattern - ate.PerPattern; got != soc.Plasma().CyclesPerPattern {
+		t.Errorf("per-pattern delta = %d, want %d", got, soc.Plasma().CyclesPerPattern)
+	}
+}
+
+func TestATECyclesPerPattern(t *testing.T) {
+	sys := buildSystem(t, "d695", 0, soc.ProcessorProfile{})
+	fast := mustSchedule(t, sys, Options{})
+	slow := mustSchedule(t, sys, Options{ATECyclesPerPattern: 5})
+	if slow.Makespan() <= fast.Makespan() {
+		t.Errorf("ATE overhead did not lengthen the schedule (%d <= %d)", slow.Makespan(), fast.Makespan())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	sys := buildSystem(t, "p22810", 8, soc.Plasma())
+	a := mustSchedule(t, sys, Options{PowerLimitFraction: 0.5})
+	b := mustSchedule(t, sys, Options{PowerLimitFraction: 0.5})
+	if len(a.Entries) != len(b.Entries) {
+		t.Fatal("entry counts differ between identical runs")
+	}
+	for i := range a.Entries {
+		ea, eb := a.Entries[i], b.Entries[i]
+		if ea.CoreID != eb.CoreID || ea.Start != eb.Start || ea.End != eb.End || ea.Interface != eb.Interface {
+			t.Fatalf("entry %d differs: %+v vs %+v", i, ea, eb)
+		}
+	}
+}
+
+func TestLookaheadAvoidsSlowInterface(t *testing.T) {
+	// Craft the anomaly: processor free at 0, ATE free slightly later,
+	// processor much slower. Greedy takes the processor; lookahead waits
+	// for the ATE and finishes sooner.
+	sys := tinySystem(t)
+	greedy := mustSchedule(t, sys, Options{BISTPatternFactor: 8})
+	look := mustSchedule(t, sys, Options{BISTPatternFactor: 8, Variant: LookaheadFastestFinish})
+	if look.Makespan() > greedy.Makespan() {
+		t.Errorf("lookahead (%d) worse than greedy (%d)", look.Makespan(), greedy.Makespan())
+	}
+}
+
+func TestExclusiveLinksValidates(t *testing.T) {
+	sys := buildSystem(t, "d695", 6, soc.Leon())
+	p := mustSchedule(t, sys, Options{ExclusiveLinks: true})
+	if !p.ExclusiveLinks {
+		t.Error("plan does not record exclusive-link mode")
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("exclusive-link plan invalid: %v", err)
+	}
+	shared := mustSchedule(t, sys, Options{})
+	if shared.Makespan() > p.Makespan() {
+		t.Errorf("shared links (%d) slower than exclusive links (%d)", shared.Makespan(), p.Makespan())
+	}
+}
+
+func TestEveryCoreTestedExactlyOnce(t *testing.T) {
+	for _, bench := range []string{"d695", "p22810", "p93791"} {
+		sys := buildSystem(t, bench, 8, soc.Plasma())
+		p := mustSchedule(t, sys, Options{})
+		if len(p.Entries) != len(sys.Cores) {
+			t.Errorf("%s: %d entries for %d cores", bench, len(p.Entries), len(sys.Cores))
+		}
+		seen := make(map[int]bool)
+		for _, e := range p.Entries {
+			if seen[e.CoreID] {
+				t.Errorf("%s: core %d tested twice", bench, e.CoreID)
+			}
+			seen[e.CoreID] = true
+		}
+	}
+}
+
+func TestPriorityOrderings(t *testing.T) {
+	sys := buildSystem(t, "d695", 6, soc.Leon())
+	for _, prio := range []Priority{ProcessorsFirst, DistanceOnly, VolumeDescending} {
+		p := mustSchedule(t, sys, Options{Priority: prio})
+		if err := p.Validate(); err != nil {
+			t.Errorf("priority %v: invalid plan: %v", prio, err)
+		}
+		if !strings.Contains(p.Algorithm, prio.String()) {
+			t.Errorf("priority %v not recorded in algorithm %q", prio, p.Algorithm)
+		}
+	}
+	// ProcessorsFirst must schedule every reused processor before any
+	// non-processor core starts on a processor interface.
+	p := mustSchedule(t, sys, Options{Priority: ProcessorsFirst})
+	firstProcUse := -1
+	lastSelfTest := 0
+	for _, e := range p.Entries {
+		if e.IsProcessor && e.End > lastSelfTest {
+			lastSelfTest = e.End
+		}
+		if e.InterfaceKind == plan.Processor && (firstProcUse == -1 || e.Start < firstProcUse) {
+			firstProcUse = e.Start
+		}
+	}
+	if firstProcUse == -1 {
+		t.Error("no processor interface ever used")
+	}
+}
+
+func TestScheduleRejectsInvalidInputs(t *testing.T) {
+	sys := buildSystem(t, "d695", 0, soc.ProcessorProfile{})
+	if _, err := Schedule(sys, Options{PowerLimitFraction: 2}); err == nil {
+		t.Error("invalid options accepted")
+	}
+	bad := *sys
+	bad.Ports = nil
+	if _, err := Schedule(&bad, Options{}); err == nil {
+		t.Error("invalid system accepted")
+	}
+}
+
+func TestDisableReuseMatchesZeroProcessorSystem(t *testing.T) {
+	// A system whose processors are never reused must behave like the
+	// same cores without any interface beyond the tester; the makespan
+	// equals the serial sum either way.
+	sys := buildSystem(t, "d695", 4, soc.Plasma())
+	p := mustSchedule(t, sys, Options{DisableReuse: true})
+	for _, e := range p.Entries {
+		if e.InterfaceKind != plan.ATE {
+			t.Errorf("core %d on %v interface with reuse disabled", e.CoreID, e.InterfaceKind)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"noctest/internal/plan"
+	"noctest/internal/soc"
+)
+
+func TestDecompressionOptionsValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		opts    Options
+		wantErr bool
+	}{
+		{"decompression defaults", Options{Application: DecompressionApplication}, false},
+		{"bad application", Options{Application: TestApplication(7)}, true},
+		{"negative cycles per word", Options{Application: DecompressionApplication, DecompressionCyclesPerWord: -1}, true},
+		{"ratio above one", Options{Application: DecompressionApplication, CompressionRatio: 1.5}, true},
+		{"negative buffer", Options{Application: DecompressionApplication, ProcessorBufferWords: -1}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.opts.withDefaults().Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+	if BISTApplication.String() != "bist" || DecompressionApplication.String() != "decompression" {
+		t.Error("application names wrong")
+	}
+	if !strings.HasPrefix(TestApplication(9).String(), "application(") {
+		t.Error("unknown application placeholder wrong")
+	}
+}
+
+func TestDecompressionProducesValidPlan(t *testing.T) {
+	sys := buildSystem(t, "d695", 6, soc.Leon())
+	p := mustSchedule(t, sys, Options{Application: DecompressionApplication})
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.Algorithm, "decompression") {
+		t.Errorf("algorithm %q does not record the application", p.Algorithm)
+	}
+	if len(p.Entries) != len(sys.Cores) {
+		t.Errorf("entries = %d", len(p.Entries))
+	}
+}
+
+func TestDecompressionUsesDeterministicPatternCounts(t *testing.T) {
+	sys := buildSystem(t, "d695", 6, soc.Leon())
+	p := mustSchedule(t, sys, Options{
+		Application: DecompressionApplication,
+		// A BIST factor must be ignored in decompression mode.
+		BISTPatternFactor: 4,
+	})
+	for _, e := range p.Entries {
+		c, ok := sys.CoreByID(e.CoreID)
+		if !ok {
+			t.Fatalf("unknown core %d", e.CoreID)
+		}
+		if e.Patterns != c.Core.Patterns {
+			t.Errorf("core %d: %d patterns, want deterministic %d", e.CoreID, e.Patterns, c.Core.Patterns)
+		}
+	}
+}
+
+func TestDecompressionChargesDataLoadAsSetup(t *testing.T) {
+	sys := tinySystem(t)
+	bist := mustSchedule(t, sys, Options{})
+	decomp := mustSchedule(t, sys, Options{Application: DecompressionApplication})
+	var bistProc, decompProc *plan.Entry
+	for i := range bist.Entries {
+		if bist.Entries[i].InterfaceKind == plan.Processor {
+			bistProc = &bist.Entries[i]
+		}
+	}
+	for i := range decomp.Entries {
+		if decomp.Entries[i].InterfaceKind == plan.Processor {
+			decompProc = &decomp.Entries[i]
+		}
+	}
+	if bistProc == nil || decompProc == nil {
+		t.Skip("no processor-driven test in one of the schedules")
+	}
+	if decompProc.Setup <= bistProc.Setup {
+		t.Errorf("decompression setup %d should exceed BIST setup %d (data load)",
+			decompProc.Setup, bistProc.Setup)
+	}
+}
+
+func TestDecompressionBuffersChunking(t *testing.T) {
+	sys := buildSystem(t, "d695", 2, soc.Leon())
+	big := mustSchedule(t, sys, Options{Application: DecompressionApplication, ProcessorBufferWords: 100000})
+	small := mustSchedule(t, sys, Options{Application: DecompressionApplication, ProcessorBufferWords: 64})
+	// A tiny buffer forces many reload setups, so no processor-driven
+	// test can get cheaper and the total cannot shrink.
+	if small.Makespan() < big.Makespan() {
+		t.Errorf("smaller buffer shortened the schedule: %d < %d", small.Makespan(), big.Makespan())
+	}
+}
+
+func TestDecompressionRatioMatters(t *testing.T) {
+	sys := buildSystem(t, "d695", 6, soc.Leon())
+	tight := mustSchedule(t, sys, Options{Application: DecompressionApplication, CompressionRatio: 0.1})
+	loose := mustSchedule(t, sys, Options{Application: DecompressionApplication, CompressionRatio: 0.9})
+	// Worse compression means longer loads; the schedule can only get
+	// longer or redistribute, never strictly shorter.
+	if loose.Makespan() < tight.Makespan() {
+		t.Errorf("worse compression shortened the schedule: %d < %d", loose.Makespan(), tight.Makespan())
+	}
+}
+
+// TestDecompressionVsBISTTradeoff documents the regime boundary the two
+// applications create. The paper's BIST assumption (10 cycles per whole
+// pattern) is generous for wide scanned cores, whereas the ISS-measured
+// decompressor produces one 32-bit stimulus word per ~7 cycles — so on
+// a wide core the per-pattern cost of decompression dominates, while on
+// a narrow core the deterministic pattern count (no BIST inflation)
+// wins. Both directions are asserted on crafted cores.
+func TestDecompressionVsBISTTradeoff(t *testing.T) {
+	sys := tinySystem(t) // cores a and b: 64 in / 64 out, no scan -> 2 stimulus words
+	opts := Options{BISTPatternFactor: 4}
+	bist := mustSchedule(t, sys, opts)
+	opts.Application = DecompressionApplication
+	decomp := mustSchedule(t, sys, opts)
+	narrowBIST, narrowDecomp := procPerPattern(t, bist), procPerPattern(t, decomp)
+	// Narrow core: BIST pays 4x patterns; decompression pays 2 words *
+	// 7 cycles but keeps the deterministic count — decompression's
+	// total per-core cost must be lower.
+	if narrowDecomp.totalCost() >= narrowBIST.totalCost() {
+		t.Errorf("narrow core: decompression %d should beat 4x BIST %d",
+			narrowDecomp.totalCost(), narrowBIST.totalCost())
+	}
+
+	// Wide core: p93791's scanned cores have hundreds of stimulus words
+	// per pattern; per-word software production dominates and the
+	// paper-optimistic BIST accounting wins even at 4x patterns.
+	wide := buildSystem(t, "p93791", 8, soc.Leon())
+	wideBIST := mustSchedule(t, wide, Options{BISTPatternFactor: 4})
+	wideDecomp := mustSchedule(t, wide, Options{Application: DecompressionApplication})
+	if wideDecomp.Makespan() <= wideBIST.Makespan() {
+		t.Errorf("wide cores: decompression (%d) unexpectedly beat paper-accounted BIST (%d)",
+			wideDecomp.Makespan(), wideBIST.Makespan())
+	}
+	t.Logf("narrow per-core: bist=%d decomp=%d; p93791 makespan: bist(x4)=%d decomp=%d",
+		narrowBIST.totalCost(), narrowDecomp.totalCost(), wideBIST.Makespan(), wideDecomp.Makespan())
+}
+
+type entryCost struct{ patterns, perPattern, setup int }
+
+func (c entryCost) totalCost() int { return c.setup + c.patterns*c.perPattern }
+
+// procPerPattern extracts the cost decomposition of the first
+// processor-driven test in a plan.
+func procPerPattern(t *testing.T, p *plan.Plan) entryCost {
+	t.Helper()
+	for _, e := range p.Entries {
+		if e.InterfaceKind == plan.Processor {
+			return entryCost{patterns: e.Patterns, perPattern: e.PerPattern, setup: e.Setup}
+		}
+	}
+	t.Fatal("no processor-driven test in plan")
+	return entryCost{}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+
+	"noctest/internal/soc"
+	"noctest/internal/wrapper"
+)
+
+func TestWrapperChainsValidate(t *testing.T) {
+	if err := (Options{WrapperChains: -1}).withDefaults().Validate(); err == nil {
+		t.Error("negative wrapper width accepted")
+	}
+	if err := (Options{WrapperChains: 8}).withDefaults().Validate(); err != nil {
+		t.Errorf("wrapper width 8 rejected: %v", err)
+	}
+}
+
+// TestNarrowWrapperDominatesPerPattern: with a one-chain wrapper the
+// core-side shift (hundreds of cycles for d695's scanned cores) must
+// override the NoC streaming time as the per-pattern cost.
+func TestNarrowWrapperDominatesPerPattern(t *testing.T) {
+	sys := buildSystem(t, "d695", 0, soc.ProcessorProfile{})
+	wide := mustSchedule(t, sys, Options{})
+	narrow := mustSchedule(t, sys, Options{WrapperChains: 1})
+	if narrow.Makespan() <= wide.Makespan() {
+		t.Fatalf("1-chain wrapper (%d) not slower than transport-limited (%d)",
+			narrow.Makespan(), wide.Makespan())
+	}
+	// s38584 (core 5): 1426 scan bits + 38 inputs on one chain -> per
+	// pattern >= 1465 cycles.
+	e, ok := narrow.EntryFor(5)
+	if !ok {
+		t.Fatal("core 5 missing")
+	}
+	if e.PerPattern < 1465 {
+		t.Errorf("core 5 per-pattern = %d, want >= 1465 with a serial wrapper", e.PerPattern)
+	}
+}
+
+// TestWrapperWidthStaircase: widening the wrapper must never lengthen
+// the schedule — the classic test-time-vs-TAM-width staircase — and can
+// never beat the transport-limited model.
+func TestWrapperWidthStaircase(t *testing.T) {
+	sys := buildSystem(t, "d695", 6, soc.Leon())
+	transportLimited := mustSchedule(t, sys, Options{})
+	prev := 1 << 62
+	for _, width := range []int{1, 2, 4, 8, 16, 32, 64} {
+		p := mustSchedule(t, sys, Options{WrapperChains: width})
+		if p.Makespan() > prev {
+			t.Errorf("width %d: makespan %d worse than narrower wrapper %d", width, p.Makespan(), prev)
+		}
+		prev = p.Makespan()
+		if err := p.Validate(); err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+	}
+	if prev < transportLimited.Makespan() {
+		t.Errorf("wrapper-bounded makespan %d beats transport-limited %d", prev, transportLimited.Makespan())
+	}
+	// Exact oracle: at any width, every ATE-driven entry's per-pattern
+	// time must be max(transport stream + capture, BFD shift cycles).
+	plain := buildSystem(t, "d695", 0, soc.ProcessorProfile{})
+	for _, width := range []int{1, 4, 16} {
+		p := mustSchedule(t, plain, Options{WrapperChains: width})
+		for _, e := range p.Entries {
+			pc, ok := plain.CoreByID(e.CoreID)
+			if !ok {
+				t.Fatalf("unknown core %d", e.CoreID)
+			}
+			d, err := wrapper.BFD(pc.Core, width)
+			if err != nil {
+				t.Fatal(err)
+			}
+			timing := plain.Net.Timing
+			stream := timing.Flits(pc.Core.StimulusBits())
+			if out := timing.Flits(pc.Core.ResponseBits()); out > stream {
+				stream = out
+			}
+			want := timing.StreamCycles(stream) + 1
+			if d.ShiftCycles() > want {
+				want = d.ShiftCycles()
+			}
+			if e.PerPattern != want {
+				t.Errorf("width %d core %d: per-pattern %d, oracle %d", width, e.CoreID, e.PerPattern, want)
+			}
+		}
+	}
+}

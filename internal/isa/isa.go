@@ -1,0 +1,112 @@
+// Package isa is a small instruction-set-simulation framework used to
+// characterise the embedded processors the paper reuses for test
+// (step 2 of its flow). It provides the word-addressed memory, the
+// memory-mapped test port that stands in for the NoC network interface,
+// and the execution-accounting types shared by the MIPS-I (Plasma) and
+// SPARC V8 (Leon) backends in the sub-packages.
+package isa
+
+import "fmt"
+
+// PortAddr is the memory-mapped address of the test port: a store to
+// this address emits one 32-bit word towards the core under test, the
+// way the paper's BIST application "sends it to the CUT" through the
+// network interface.
+const PortAddr uint32 = 0xFFFF0000
+
+// Memory is a bounds-checked, word-addressed RAM. Addresses are byte
+// addresses and must be word-aligned.
+type Memory struct {
+	words []uint32
+}
+
+// NewMemory allocates a RAM of the given number of 32-bit words.
+func NewMemory(words int) *Memory {
+	return &Memory{words: make([]uint32, words)}
+}
+
+// Size returns the capacity in words.
+func (m *Memory) Size() int { return len(m.words) }
+
+func (m *Memory) index(addr uint32) (int, error) {
+	if addr%4 != 0 {
+		return 0, fmt.Errorf("isa: unaligned access at %#x", addr)
+	}
+	i := int(addr / 4)
+	if i < 0 || i >= len(m.words) {
+		return 0, fmt.Errorf("isa: address %#x outside %d-word memory", addr, len(m.words))
+	}
+	return i, nil
+}
+
+// Load reads the word at a byte address.
+func (m *Memory) Load(addr uint32) (uint32, error) {
+	i, err := m.index(addr)
+	if err != nil {
+		return 0, err
+	}
+	return m.words[i], nil
+}
+
+// Store writes the word at a byte address.
+func (m *Memory) Store(addr, val uint32) error {
+	i, err := m.index(addr)
+	if err != nil {
+		return err
+	}
+	m.words[i] = val
+	return nil
+}
+
+// LoadProgram copies an assembled image into memory starting at word 0.
+func (m *Memory) LoadProgram(image []uint32) error {
+	if len(image) > len(m.words) {
+		return fmt.Errorf("isa: program of %d words exceeds %d-word memory", len(image), len(m.words))
+	}
+	copy(m.words, image)
+	return nil
+}
+
+// Port collects the words a program emits through the test port.
+type Port struct {
+	Words []uint32
+}
+
+// Write records one emitted word.
+func (p *Port) Write(val uint32) { p.Words = append(p.Words, val) }
+
+// Stats accumulates execution counts for characterisation.
+type Stats struct {
+	// Instructions counts executed instructions, including those in
+	// branch delay slots.
+	Instructions int64
+	// Cycles counts consumed clock cycles under the backend's timing
+	// model.
+	Cycles int64
+}
+
+// CPU is the interface both ISA backends implement.
+type CPU interface {
+	// Step executes one instruction (plus its delay slot bookkeeping).
+	Step() error
+	// Halted reports whether the program has finished.
+	Halted() bool
+	// Stats returns the execution counters so far.
+	Stats() Stats
+	// PC returns the current program counter, for diagnostics.
+	PC() uint32
+}
+
+// Run drives a CPU until it halts or the instruction budget is
+// exhausted, returning the final statistics.
+func Run(c CPU, maxInstructions int64) (Stats, error) {
+	for !c.Halted() {
+		if c.Stats().Instructions >= maxInstructions {
+			return c.Stats(), fmt.Errorf("isa: budget of %d instructions exhausted at pc %#x", maxInstructions, c.PC())
+		}
+		if err := c.Step(); err != nil {
+			return c.Stats(), fmt.Errorf("isa: at pc %#x: %w", c.PC(), err)
+		}
+	}
+	return c.Stats(), nil
+}

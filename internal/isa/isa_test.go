@@ -1,0 +1,91 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMemoryBounds(t *testing.T) {
+	m := NewMemory(4)
+	if m.Size() != 4 {
+		t.Fatalf("Size = %d", m.Size())
+	}
+	if err := m.Store(12, 7); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Load(12)
+	if err != nil || v != 7 {
+		t.Fatalf("Load = %d, %v", v, err)
+	}
+	if _, err := m.Load(16); err == nil {
+		t.Error("out-of-range load accepted")
+	}
+	if err := m.Store(16, 1); err == nil {
+		t.Error("out-of-range store accepted")
+	}
+	if _, err := m.Load(2); err == nil || !strings.Contains(err.Error(), "unaligned") {
+		t.Error("unaligned load accepted")
+	}
+}
+
+func TestLoadProgram(t *testing.T) {
+	m := NewMemory(2)
+	if err := m.LoadProgram([]uint32{1, 2, 3}); err == nil {
+		t.Error("oversized program accepted")
+	}
+	if err := m.LoadProgram([]uint32{9, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Load(0); v != 9 {
+		t.Error("program not loaded")
+	}
+}
+
+func TestPortCollects(t *testing.T) {
+	p := &Port{}
+	p.Write(1)
+	p.Write(2)
+	if len(p.Words) != 2 || p.Words[1] != 2 {
+		t.Errorf("Words = %v", p.Words)
+	}
+}
+
+// stubCPU executes a fixed number of steps then halts.
+type stubCPU struct {
+	left  int
+	stats Stats
+	fail  bool
+}
+
+func (s *stubCPU) Step() error {
+	if s.fail {
+		return &stubErr{}
+	}
+	s.left--
+	s.stats.Instructions++
+	s.stats.Cycles += 2
+	return nil
+}
+func (s *stubCPU) Halted() bool { return s.left <= 0 }
+func (s *stubCPU) Stats() Stats { return s.stats }
+func (s *stubCPU) PC() uint32   { return 0 }
+
+type stubErr struct{}
+
+func (*stubErr) Error() string { return "boom" }
+
+func TestRun(t *testing.T) {
+	st, err := Run(&stubCPU{left: 5}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Instructions != 5 || st.Cycles != 10 {
+		t.Errorf("stats = %+v", st)
+	}
+	if _, err := Run(&stubCPU{left: 200}, 100); err == nil {
+		t.Error("budget exhaustion not reported")
+	}
+	if _, err := Run(&stubCPU{left: 1, fail: true}, 100); err == nil {
+		t.Error("step error not propagated")
+	}
+}

@@ -1,0 +1,332 @@
+package mips
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// regNames maps the conventional MIPS register names to numbers; plain
+// $0..$31 also work.
+var regNames = map[string]int{
+	"zero": 0, "at": 1, "v0": 2, "v1": 3,
+	"a0": 4, "a1": 5, "a2": 6, "a3": 7,
+	"t0": 8, "t1": 9, "t2": 10, "t3": 11, "t4": 12, "t5": 13, "t6": 14, "t7": 15,
+	"s0": 16, "s1": 17, "s2": 18, "s3": 19, "s4": 20, "s5": 21, "s6": 22, "s7": 23,
+	"t8": 24, "t9": 25, "k0": 26, "k1": 27,
+	"gp": 28, "sp": 29, "fp": 30, "ra": 31,
+}
+
+// Assemble translates MIPS-I assembly into a binary image loaded at
+// address 0. Supported syntax:
+//
+//	# comment           ; comment
+//	label:
+//	  addiu $t0, $zero, -5
+//	  lui   $t1, 0x8020
+//	  beq   $t2, $zero, label
+//	  sw    $t0, 0($t3)
+//	  li    $t4, 0x80200003   (pseudo: lui+ori, always two words)
+//	  nop                     (pseudo: sll $0,$0,0)
+//	  break                   (halt)
+//
+// Branch targets are labels; immediates are decimal or 0x-hex.
+func Assemble(src string) ([]uint32, error) {
+	lines := splitLines(src)
+
+	// Pass 1: label addresses (li always occupies two words).
+	labels := make(map[string]uint32)
+	addr := uint32(0)
+	for _, ln := range lines {
+		for _, lab := range ln.labels {
+			if _, dup := labels[lab]; dup {
+				return nil, fmt.Errorf("mips: line %d: duplicate label %q", ln.num, lab)
+			}
+			labels[lab] = addr
+		}
+		if ln.mnemonic == "" {
+			continue
+		}
+		if ln.mnemonic == "li" {
+			addr += 8
+		} else {
+			addr += 4
+		}
+	}
+
+	// Pass 2: encode.
+	var image []uint32
+	for _, ln := range lines {
+		if ln.mnemonic == "" {
+			continue
+		}
+		words, err := encode(ln, uint32(len(image)*4), labels)
+		if err != nil {
+			return nil, fmt.Errorf("mips: line %d: %w", ln.num, err)
+		}
+		image = append(image, words...)
+	}
+	return image, nil
+}
+
+type line struct {
+	num      int
+	labels   []string
+	mnemonic string
+	args     []string
+}
+
+func splitLines(src string) []line {
+	var out []line
+	for i, raw := range strings.Split(src, "\n") {
+		text := raw
+		if j := strings.IndexAny(text, "#;"); j >= 0 {
+			text = text[:j]
+		}
+		text = strings.TrimSpace(text)
+		ln := line{num: i + 1}
+		for {
+			colon := strings.Index(text, ":")
+			if colon < 0 {
+				break
+			}
+			label := strings.TrimSpace(text[:colon])
+			ln.labels = append(ln.labels, label)
+			text = strings.TrimSpace(text[colon+1:])
+		}
+		if text != "" {
+			fields := strings.Fields(text)
+			ln.mnemonic = strings.ToLower(fields[0])
+			rest := strings.Join(fields[1:], " ")
+			if rest != "" {
+				for _, a := range strings.Split(rest, ",") {
+					ln.args = append(ln.args, strings.TrimSpace(a))
+				}
+			}
+		}
+		out = append(out, ln)
+	}
+	return out
+}
+
+func reg(s string) (int, error) {
+	if !strings.HasPrefix(s, "$") {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	name := s[1:]
+	if n, err := strconv.Atoi(name); err == nil {
+		if n < 0 || n > 31 {
+			return 0, fmt.Errorf("register %q out of range", s)
+		}
+		return n, nil
+	}
+	if n, ok := regNames[name]; ok {
+		return n, nil
+	}
+	return 0, fmt.Errorf("unknown register %q", s)
+}
+
+func immediate(s string, bits int, signed bool) (uint32, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q: %v", s, err)
+	}
+	if signed {
+		min, max := int64(-1)<<(bits-1), int64(1)<<(bits-1)-1
+		if v < min || v > max {
+			return 0, fmt.Errorf("immediate %d outside signed %d-bit range", v, bits)
+		}
+	} else if v < 0 || v >= int64(1)<<bits {
+		return 0, fmt.Errorf("immediate %d outside unsigned %d-bit range", v, bits)
+	}
+	return uint32(v) & (1<<bits - 1), nil
+}
+
+// memOperand parses "offset($reg)".
+func memOperand(s string) (uint32, int, error) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	offText := strings.TrimSpace(s[:open])
+	if offText == "" {
+		offText = "0"
+	}
+	off, err := immediate(offText, 16, true)
+	if err != nil {
+		return 0, 0, err
+	}
+	base, err := reg(strings.TrimSpace(s[open+1 : len(s)-1]))
+	if err != nil {
+		return 0, 0, err
+	}
+	return off, base, nil
+}
+
+func rType(fn uint32, rd, rs, rt int, sh uint32) uint32 {
+	return uint32(rs)<<21 | uint32(rt)<<16 | uint32(rd)<<11 | sh<<6 | fn
+}
+
+func iType(op uint32, rs, rt int, imm uint32) uint32 {
+	return op<<26 | uint32(rs)<<21 | uint32(rt)<<16 | imm&0xffff
+}
+
+func encode(ln line, addr uint32, labels map[string]uint32) ([]uint32, error) {
+	need := func(n int) error {
+		if len(ln.args) != n {
+			return fmt.Errorf("%s wants %d operands, got %d", ln.mnemonic, n, len(ln.args))
+		}
+		return nil
+	}
+	branchOffset := func(target string) (uint32, error) {
+		t, ok := labels[target]
+		if !ok {
+			return 0, fmt.Errorf("unknown label %q", target)
+		}
+		diff := int32(t) - int32(addr+4)
+		return uint32(diff>>2) & 0xffff, nil
+	}
+
+	switch ln.mnemonic {
+	case "nop":
+		return []uint32{0}, nil
+	case "break":
+		return []uint32{fnBREAK}, nil
+	case "addu", "subu", "and", "or", "xor", "nor", "slt", "sltu":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err1 := reg(ln.args[0])
+		rs, err2 := reg(ln.args[1])
+		rt, err3 := reg(ln.args[2])
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		fn := map[string]uint32{
+			"addu": fnADDU, "subu": fnSUBU, "and": fnAND, "or": fnOR,
+			"xor": fnXOR, "nor": fnNOR, "slt": fnSLT, "sltu": fnSLTU,
+		}[ln.mnemonic]
+		return []uint32{rType(fn, rd, rs, rt, 0)}, nil
+	case "sll", "srl", "sra":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err1 := reg(ln.args[0])
+		rt, err2 := reg(ln.args[1])
+		sh, err3 := immediate(ln.args[2], 5, false)
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		fn := map[string]uint32{"sll": fnSLL, "srl": fnSRL, "sra": fnSRA}[ln.mnemonic]
+		return []uint32{rType(fn, rd, 0, rt, sh)}, nil
+	case "jr":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		rs, err := reg(ln.args[0])
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{rType(fnJR, 0, rs, 0, 0)}, nil
+	case "addiu", "slti":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rt, err1 := reg(ln.args[0])
+		rs, err2 := reg(ln.args[1])
+		imm, err3 := immediate(ln.args[2], 16, true)
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		op := map[string]uint32{"addiu": opADDIU, "slti": opSLTI}[ln.mnemonic]
+		return []uint32{iType(op, rs, rt, imm)}, nil
+	case "andi", "ori", "xori":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rt, err1 := reg(ln.args[0])
+		rs, err2 := reg(ln.args[1])
+		imm, err3 := immediate(ln.args[2], 16, false)
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		op := map[string]uint32{"andi": opANDI, "ori": opORI, "xori": opXORI}[ln.mnemonic]
+		return []uint32{iType(op, rs, rt, imm)}, nil
+	case "lui":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rt, err1 := reg(ln.args[0])
+		imm, err2 := immediate(ln.args[1], 16, false)
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return []uint32{iType(opLUI, 0, rt, imm)}, nil
+	case "li":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rt, err := reg(ln.args[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := strconv.ParseInt(ln.args[1], 0, 64)
+		if err != nil || v < -(1<<31) || v > (1<<32)-1 {
+			return nil, fmt.Errorf("bad 32-bit immediate %q", ln.args[1])
+		}
+		u := uint32(v)
+		return []uint32{
+			iType(opLUI, 0, rt, u>>16),
+			iType(opORI, rt, rt, u&0xffff),
+		}, nil
+	case "beq", "bne":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rs, err1 := reg(ln.args[0])
+		rt, err2 := reg(ln.args[1])
+		off, err3 := branchOffset(ln.args[2])
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		op := map[string]uint32{"beq": opBEQ, "bne": opBNE}[ln.mnemonic]
+		return []uint32{iType(op, rs, rt, off)}, nil
+	case "j", "jal":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		t, ok := labels[ln.args[0]]
+		if !ok {
+			return nil, fmt.Errorf("unknown label %q", ln.args[0])
+		}
+		op := uint32(opJ)
+		if ln.mnemonic == "jal" {
+			op = opJAL
+		}
+		return []uint32{op<<26 | (t >> 2 & 0x03ffffff)}, nil
+	case "lw", "sw":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rt, err1 := reg(ln.args[0])
+		off, base, err2 := memOperand(ln.args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		op := uint32(opLW)
+		if ln.mnemonic == "sw" {
+			op = opSW
+		}
+		return []uint32{iType(op, base, rt, off)}, nil
+	}
+	return nil, fmt.Errorf("unknown mnemonic %q", ln.mnemonic)
+}
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

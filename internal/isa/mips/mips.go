@@ -1,0 +1,217 @@
+// Package mips simulates the MIPS-I integer subset needed to
+// characterise the Plasma processor's software test application: the
+// classic R/I/J encodings, architectural branch delay slots, and a
+// Plasma-like cycle model. It includes a two-pass assembler (see
+// Assemble) so the BIST kernels are written as real assembly and
+// measured, not estimated.
+package mips
+
+import (
+	"fmt"
+
+	"noctest/internal/isa"
+)
+
+// Opcode and funct values of the implemented subset (MIPS-I encodings).
+const (
+	opSpecial = 0x00
+	opJ       = 0x02
+	opJAL     = 0x03
+	opBEQ     = 0x04
+	opBNE     = 0x05
+	opADDIU   = 0x09
+	opSLTI    = 0x0a
+	opANDI    = 0x0c
+	opORI     = 0x0d
+	opXORI    = 0x0e
+	opLUI     = 0x0f
+	opLW      = 0x23
+	opSW      = 0x2b
+
+	fnSLL   = 0x00
+	fnSRL   = 0x02
+	fnSRA   = 0x03
+	fnJR    = 0x08
+	fnBREAK = 0x0d
+	fnADDU  = 0x21
+	fnSUBU  = 0x23
+	fnAND   = 0x24
+	fnOR    = 0x25
+	fnXOR   = 0x26
+	fnNOR   = 0x27
+	fnSLT   = 0x2a
+	fnSLTU  = 0x2b
+)
+
+// Timing is the per-class cycle cost, defaulting to a Plasma-like
+// non-pipelined model.
+type Timing struct {
+	ALU         int // arithmetic, logic, shifts, lui
+	Load        int
+	Store       int
+	BranchTaken int
+	BranchNot   int
+	Jump        int
+}
+
+// DefaultTiming approximates the Plasma core (2-3 CPI, memory-coupled).
+var DefaultTiming = Timing{ALU: 1, Load: 2, Store: 2, BranchTaken: 2, BranchNot: 1, Jump: 2}
+
+// CPU is a MIPS-I processor instance.
+type CPU struct {
+	regs   [32]uint32
+	pc     uint32 // instruction being executed this Step
+	npc    uint32 // delay-slot successor
+	mem    *isa.Memory
+	port   *isa.Port
+	timing Timing
+	stats  isa.Stats
+	halted bool
+}
+
+// New builds a CPU over the given memory and test port.
+func New(mem *isa.Memory, port *isa.Port, timing Timing) *CPU {
+	if timing == (Timing{}) {
+		timing = DefaultTiming
+	}
+	return &CPU{mem: mem, port: port, timing: timing, pc: 0, npc: 4}
+}
+
+// PC implements isa.CPU.
+func (c *CPU) PC() uint32 { return c.pc }
+
+// Halted implements isa.CPU.
+func (c *CPU) Halted() bool { return c.halted }
+
+// Stats implements isa.CPU.
+func (c *CPU) Stats() isa.Stats { return c.stats }
+
+// Reg returns a register value, for tests and diagnostics.
+func (c *CPU) Reg(i int) uint32 { return c.regs[i] }
+
+func (c *CPU) set(rd int, val uint32) {
+	if rd != 0 {
+		c.regs[rd] = val
+	}
+}
+
+// Step implements isa.CPU: fetch, decode, execute one instruction with
+// MIPS delay-slot semantics (pc advances to npc; a taken branch only
+// redirects the instruction after the delay slot).
+func (c *CPU) Step() error {
+	if c.halted {
+		return nil
+	}
+	raw, err := c.mem.Load(c.pc)
+	if err != nil {
+		return fmt.Errorf("mips: fetch: %w", err)
+	}
+	nextNPC := c.npc + 4
+	cycles := c.timing.ALU
+
+	op := raw >> 26
+	rs := int(raw >> 21 & 31)
+	rt := int(raw >> 16 & 31)
+	rd := int(raw >> 11 & 31)
+	sh := raw >> 6 & 31
+	fn := raw & 63
+	imm := raw & 0xffff
+	simm := uint32(int32(int16(imm)))
+
+	switch op {
+	case opSpecial:
+		switch fn {
+		case fnSLL:
+			c.set(rd, c.regs[rt]<<sh)
+		case fnSRL:
+			c.set(rd, c.regs[rt]>>sh)
+		case fnSRA:
+			c.set(rd, uint32(int32(c.regs[rt])>>sh))
+		case fnADDU:
+			c.set(rd, c.regs[rs]+c.regs[rt])
+		case fnSUBU:
+			c.set(rd, c.regs[rs]-c.regs[rt])
+		case fnAND:
+			c.set(rd, c.regs[rs]&c.regs[rt])
+		case fnOR:
+			c.set(rd, c.regs[rs]|c.regs[rt])
+		case fnXOR:
+			c.set(rd, c.regs[rs]^c.regs[rt])
+		case fnNOR:
+			c.set(rd, ^(c.regs[rs] | c.regs[rt]))
+		case fnSLT:
+			c.set(rd, boolWord(int32(c.regs[rs]) < int32(c.regs[rt])))
+		case fnSLTU:
+			c.set(rd, boolWord(c.regs[rs] < c.regs[rt]))
+		case fnJR:
+			nextNPC = c.regs[rs]
+			cycles = c.timing.Jump
+		case fnBREAK:
+			c.halted = true
+			c.stats.Instructions++
+			c.stats.Cycles += int64(c.timing.ALU)
+			return nil
+		default:
+			return fmt.Errorf("mips: unimplemented funct %#x", fn)
+		}
+	case opADDIU:
+		c.set(rt, c.regs[rs]+simm)
+	case opSLTI:
+		c.set(rt, boolWord(int32(c.regs[rs]) < int32(simm)))
+	case opANDI:
+		c.set(rt, c.regs[rs]&imm)
+	case opORI:
+		c.set(rt, c.regs[rs]|imm)
+	case opXORI:
+		c.set(rt, c.regs[rs]^imm)
+	case opLUI:
+		c.set(rt, imm<<16)
+	case opBEQ, opBNE:
+		taken := (c.regs[rs] == c.regs[rt]) == (op == opBEQ)
+		if taken {
+			nextNPC = c.npc + simm<<2
+			cycles = c.timing.BranchTaken
+		} else {
+			cycles = c.timing.BranchNot
+		}
+	case opJ, opJAL:
+		if op == opJAL {
+			c.set(31, c.npc+4)
+		}
+		nextNPC = c.npc&0xf0000000 | raw<<6>>4
+		cycles = c.timing.Jump
+	case opLW:
+		addr := c.regs[rs] + simm
+		val, err := c.mem.Load(addr)
+		if err != nil {
+			return fmt.Errorf("mips: lw: %w", err)
+		}
+		c.set(rt, val)
+		cycles = c.timing.Load
+	case opSW:
+		addr := c.regs[rs] + simm
+		if addr == isa.PortAddr {
+			c.port.Write(c.regs[rt])
+		} else if err := c.mem.Store(addr, c.regs[rt]); err != nil {
+			return fmt.Errorf("mips: sw: %w", err)
+		}
+		cycles = c.timing.Store
+	default:
+		return fmt.Errorf("mips: unimplemented opcode %#x", op)
+	}
+
+	c.pc = c.npc
+	c.npc = nextNPC
+	c.stats.Instructions++
+	c.stats.Cycles += int64(cycles)
+	return nil
+}
+
+func boolWord(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+var _ isa.CPU = (*CPU)(nil)

@@ -1,0 +1,249 @@
+package mips
+
+import (
+	"strings"
+	"testing"
+
+	"noctest/internal/isa"
+)
+
+// run assembles and executes a program, returning the CPU and port.
+func run(t *testing.T, src string) (*CPU, *isa.Port) {
+	t.Helper()
+	image, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	mem := isa.NewMemory(4096)
+	if err := mem.LoadProgram(image); err != nil {
+		t.Fatal(err)
+	}
+	port := &isa.Port{}
+	cpu := New(mem, port, Timing{})
+	if _, err := isa.Run(cpu, 1_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return cpu, port
+}
+
+func TestArithmetic(t *testing.T) {
+	cpu, _ := run(t, `
+		addiu $t0, $zero, 40
+		addiu $t1, $zero, 2
+		addu  $t2, $t0, $t1
+		subu  $t3, $t0, $t1
+		and   $t4, $t0, $t1
+		or    $t5, $t0, $t1
+		xor   $t6, $t0, $t1
+		nor   $t7, $zero, $zero
+		break
+	`)
+	checks := map[int]uint32{
+		10: 42, 11: 38, 12: 0, 13: 42, 14: 42, 15: 0xffffffff,
+	}
+	for r, want := range checks {
+		if got := cpu.Reg(r); got != want {
+			t.Errorf("$%d = %#x, want %#x", r, got, want)
+		}
+	}
+}
+
+func TestShiftsAndCompares(t *testing.T) {
+	cpu, _ := run(t, `
+		li   $t0, 0x80000001
+		srl  $t1, $t0, 1
+		sra  $t2, $t0, 1
+		sll  $t3, $t0, 4
+		slt  $t4, $t0, $zero
+		sltu $t5, $t0, $zero
+		slti $t6, $zero, 5
+		break
+	`)
+	if got := cpu.Reg(9); got != 0x40000000 {
+		t.Errorf("srl = %#x", got)
+	}
+	if got := cpu.Reg(10); got != 0xc0000000 {
+		t.Errorf("sra = %#x", got)
+	}
+	if got := cpu.Reg(11); got != 0x00000010 {
+		t.Errorf("sll = %#x", got)
+	}
+	if cpu.Reg(12) != 1 { // signed: negative < 0
+		t.Error("slt wrong")
+	}
+	if cpu.Reg(13) != 0 { // unsigned: huge > 0
+		t.Error("sltu wrong")
+	}
+	if cpu.Reg(14) != 1 {
+		t.Error("slti wrong")
+	}
+}
+
+func TestZeroRegisterIsImmutable(t *testing.T) {
+	cpu, _ := run(t, `
+		addiu $zero, $zero, 123
+		addiu $t0, $zero, 7
+		break
+	`)
+	if cpu.Reg(0) != 0 {
+		t.Error("$zero was written")
+	}
+	if cpu.Reg(8) != 7 {
+		t.Error("$t0 wrong")
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	cpu, _ := run(t, `
+		addiu $t0, $zero, 0x100
+		addiu $t1, $zero, -77
+		sw    $t1, 4($t0)
+		lw    $t2, 4($t0)
+		break
+	`)
+	if got := cpu.Reg(10); got != uint32(0xffffffff-76) {
+		t.Errorf("lw round-trip = %#x", got)
+	}
+}
+
+func TestBranchDelaySlotExecutes(t *testing.T) {
+	// The addiu in the delay slot must execute even though the branch
+	// is taken.
+	cpu, _ := run(t, `
+		addiu $t0, $zero, 1
+		beq   $zero, $zero, target
+		addiu $t0, $t0, 10   # delay slot: executes
+		addiu $t0, $t0, 100  # skipped
+	target:
+		break
+	`)
+	if got := cpu.Reg(8); got != 11 {
+		t.Errorf("$t0 = %d, want 11 (delay slot executed, fallthrough skipped)", got)
+	}
+}
+
+func TestBackwardBranchLoop(t *testing.T) {
+	cpu, _ := run(t, `
+		addiu $t0, $zero, 5
+		addiu $t1, $zero, 0
+	loop:
+		addiu $t1, $t1, 3
+		addiu $t0, $t0, -1
+		bne   $t0, $zero, loop
+		nop
+		break
+	`)
+	if got := cpu.Reg(9); got != 15 {
+		t.Errorf("loop accumulated %d, want 15", got)
+	}
+}
+
+func TestJumpAndLink(t *testing.T) {
+	cpu, _ := run(t, `
+		jal  sub
+		nop
+		addiu $t1, $zero, 1
+		break
+	sub:
+		addiu $t0, $zero, 9
+		jr   $ra
+		nop
+	`)
+	if cpu.Reg(8) != 9 || cpu.Reg(9) != 1 {
+		t.Errorf("subroutine flow broken: $t0=%d $t1=%d", cpu.Reg(8), cpu.Reg(9))
+	}
+}
+
+func TestPortWrites(t *testing.T) {
+	_, port := run(t, `
+		li   $t3, 0xFFFF0000
+		addiu $t0, $zero, 3
+	loop:
+		sw   $t0, 0($t3)
+		addiu $t0, $t0, -1
+		bne  $t0, $zero, loop
+		nop
+		break
+	`)
+	if len(port.Words) != 3 {
+		t.Fatalf("port got %d words, want 3", len(port.Words))
+	}
+	if port.Words[0] != 3 || port.Words[2] != 1 {
+		t.Errorf("port stream = %v", port.Words)
+	}
+}
+
+func TestCycleAccounting(t *testing.T) {
+	cpu, _ := run(t, `
+		addiu $t0, $zero, 1
+		break
+	`)
+	st := cpu.Stats()
+	if st.Instructions != 2 {
+		t.Errorf("instructions = %d, want 2", st.Instructions)
+	}
+	if st.Cycles != 2 { // both cost ALU=1
+		t.Errorf("cycles = %d, want 2", st.Cycles)
+	}
+}
+
+func TestLoadCostsMoreThanALU(t *testing.T) {
+	aluOnly, _ := run(t, "addiu $t0, $zero, 1\nbreak\n")
+	withLoad, _ := run(t, "lw $t0, 0($zero)\nbreak\n")
+	if withLoad.Stats().Cycles <= aluOnly.Stats().Cycles {
+		t.Error("load should cost more cycles than ALU op")
+	}
+}
+
+func TestRunBudget(t *testing.T) {
+	image, err := Assemble("loop: beq $zero, $zero, loop\nnop\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := isa.NewMemory(64)
+	if err := mem.LoadProgram(image); err != nil {
+		t.Fatal(err)
+	}
+	cpu := New(mem, &isa.Port{}, Timing{})
+	if _, err := isa.Run(cpu, 100); err == nil {
+		t.Error("infinite loop not caught by budget")
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"unknown mnemonic", "frobnicate $t0", "unknown mnemonic"},
+		{"bad register", "addu $t0, $qq, $t1", "unknown register"},
+		{"missing operand", "addu $t0, $t1", "wants 3 operands"},
+		{"unknown label", "beq $t0, $t1, nowhere\nnop", "unknown label"},
+		{"immediate range", "addiu $t0, $zero, 70000", "range"},
+		{"duplicate label", "a:\na:\nnop", "duplicate label"},
+		{"bad shift amount", "sll $t0, $t1, 55", "range"},
+		{"bad memory operand", "lw $t0, $t1", "bad memory operand"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Assemble(tc.src)
+			if err == nil {
+				t.Fatalf("assembled %q", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q missing %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestUnimplementedInstructionFaults(t *testing.T) {
+	mem := isa.NewMemory(64)
+	// opcode 0x3f is not in the subset.
+	if err := mem.LoadProgram([]uint32{0xfc000000}); err != nil {
+		t.Fatal(err)
+	}
+	cpu := New(mem, &isa.Port{}, Timing{})
+	if err := cpu.Step(); err == nil {
+		t.Error("unimplemented opcode executed")
+	}
+}

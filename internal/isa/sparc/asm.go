@@ -1,0 +1,343 @@
+package sparc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates SPARC V8 assembly into a binary image loaded at
+// address 0. Supported syntax (SPARC operand order: sources first,
+// destination last):
+//
+//	! comment
+//	label:
+//	  set   0x80200003, %l1    ! pseudo: sethi+or, always two words
+//	  sethi 0x3fffff, %l2
+//	  and   %l0, 1, %l2
+//	  subcc %l4, 1, %l4
+//	  be    skip
+//	  nop
+//	  st    %l0, [%l3]
+//	  ld    [%l3 + 4], %l5
+//	  ba    loop
+//	  ta    0                  ! halt convention
+//
+// Branch targets are labels; immediates are decimal or 0x-hex and must
+// fit 13 signed bits (22 for sethi).
+func Assemble(src string) ([]uint32, error) {
+	lines := splitLines(src)
+
+	labels := make(map[string]uint32)
+	addr := uint32(0)
+	for _, ln := range lines {
+		for _, lab := range ln.labels {
+			if _, dup := labels[lab]; dup {
+				return nil, fmt.Errorf("sparc: line %d: duplicate label %q", ln.num, lab)
+			}
+			labels[lab] = addr
+		}
+		if ln.mnemonic == "" {
+			continue
+		}
+		if ln.mnemonic == "set" {
+			addr += 8
+		} else {
+			addr += 4
+		}
+	}
+
+	var image []uint32
+	for _, ln := range lines {
+		if ln.mnemonic == "" {
+			continue
+		}
+		words, err := encode(ln, uint32(len(image)*4), labels)
+		if err != nil {
+			return nil, fmt.Errorf("sparc: line %d: %w", ln.num, err)
+		}
+		image = append(image, words...)
+	}
+	return image, nil
+}
+
+type line struct {
+	num      int
+	labels   []string
+	mnemonic string
+	args     []string
+}
+
+func splitLines(src string) []line {
+	var out []line
+	for i, raw := range strings.Split(src, "\n") {
+		text := raw
+		if j := strings.IndexAny(text, "!#"); j >= 0 {
+			text = text[:j]
+		}
+		text = strings.TrimSpace(text)
+		ln := line{num: i + 1}
+		for {
+			colon := strings.Index(text, ":")
+			if colon < 0 {
+				break
+			}
+			ln.labels = append(ln.labels, strings.TrimSpace(text[:colon]))
+			text = strings.TrimSpace(text[colon+1:])
+		}
+		if text != "" {
+			fields := strings.Fields(text)
+			ln.mnemonic = strings.ToLower(fields[0])
+			rest := strings.Join(fields[1:], " ")
+			if rest != "" {
+				for _, a := range strings.Split(rest, ",") {
+					ln.args = append(ln.args, strings.TrimSpace(a))
+				}
+			}
+		}
+		out = append(out, ln)
+	}
+	return out
+}
+
+// regNames: %g0-7, %o0-7, %l0-7, %i0-7, plus %sp (%o6) and %fp (%i6).
+func reg(s string) (int, error) {
+	if !strings.HasPrefix(s, "%") {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	name := strings.ToLower(s[1:])
+	switch name {
+	case "sp":
+		return 14, nil
+	case "fp":
+		return 30, nil
+	}
+	if len(name) != 2 {
+		return 0, fmt.Errorf("unknown register %q", s)
+	}
+	n := int(name[1] - '0')
+	if n < 0 || n > 7 {
+		return 0, fmt.Errorf("unknown register %q", s)
+	}
+	switch name[0] {
+	case 'g':
+		return n, nil
+	case 'o':
+		return 8 + n, nil
+	case 'l':
+		return 16 + n, nil
+	case 'i':
+		return 24 + n, nil
+	}
+	return 0, fmt.Errorf("unknown register %q", s)
+}
+
+func immediate(s string, bits int) (uint32, bool) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, false
+	}
+	min, max := int64(-1)<<(bits-1), int64(1)<<(bits-1)-1
+	if v < min || v > max {
+		return 0, false
+	}
+	return uint32(v) & (1<<bits - 1), true
+}
+
+// format3 encodes op, rd, op3, rs1 and a register-or-immediate operand.
+func format3(op, op3 uint32, rd, rs1 int, operand string) (uint32, error) {
+	base := op<<30 | uint32(rd)<<25 | op3<<19 | uint32(rs1)<<14
+	if strings.HasPrefix(operand, "%") {
+		rs2, err := reg(operand)
+		if err != nil {
+			return 0, err
+		}
+		return base | uint32(rs2), nil
+	}
+	imm, ok := immediate(operand, 13)
+	if !ok {
+		return 0, fmt.Errorf("bad simm13 %q", operand)
+	}
+	return base | 1<<13 | imm, nil
+}
+
+var aluOps = map[string]uint32{
+	"add": op3ADD, "addcc": op3ADDcc,
+	"sub": op3SUB, "subcc": op3SUBcc,
+	"and": op3AND, "andcc": op3ANDcc,
+	"or": op3OR, "orcc": op3ORcc,
+	"xor": op3XOR,
+	"sll": op3SLL, "srl": op3SRL, "sra": op3SRA,
+}
+
+var branchConds = map[string]uint32{
+	"ba": condBA, "be": condBE, "bne": condBNE, "bn": condBN,
+}
+
+// memOperand parses "[%reg]" or "[%reg + imm]" or "[%reg + %reg]".
+func memOperand(s string) (rs1 int, operand string, err error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, "", fmt.Errorf("bad memory operand %q", s)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	plus := strings.Index(inner, "+")
+	if plus < 0 {
+		rs1, err = reg(inner)
+		return rs1, "0", err
+	}
+	rs1, err = reg(strings.TrimSpace(inner[:plus]))
+	return rs1, strings.TrimSpace(inner[plus+1:]), err
+}
+
+func encode(ln line, addr uint32, labels map[string]uint32) ([]uint32, error) {
+	need := func(n int) error {
+		if len(ln.args) != n {
+			return fmt.Errorf("%s wants %d operands, got %d", ln.mnemonic, n, len(ln.args))
+		}
+		return nil
+	}
+
+	switch {
+	case ln.mnemonic == "nop": // sethi 0, %g0
+		return []uint32{4 << 22}, nil
+	case ln.mnemonic == "ta":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return []uint32{2<<30 | condBA<<25 | op3TICC<<19 | 1<<13}, nil
+	case ln.mnemonic == "sethi":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		v, err := strconv.ParseUint(ln.args[0], 0, 32)
+		if err != nil || v >= 1<<22 {
+			return nil, fmt.Errorf("bad imm22 %q", ln.args[0])
+		}
+		rd, err2 := reg(ln.args[1])
+		if err2 != nil {
+			return nil, err2
+		}
+		return []uint32{uint32(rd)<<25 | 4<<22 | uint32(v)}, nil
+	case ln.mnemonic == "set":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		v, err := strconv.ParseInt(ln.args[0], 0, 64)
+		if err != nil || v < -(1<<31) || v > (1<<32)-1 {
+			return nil, fmt.Errorf("bad 32-bit immediate %q", ln.args[0])
+		}
+		rd, err2 := reg(ln.args[1])
+		if err2 != nil {
+			return nil, err2
+		}
+		u := uint32(v)
+		sethi := uint32(rd)<<25 | 4<<22 | u>>10
+		or := 2<<30 | uint32(rd)<<25 | uint32(op3OR)<<19 | uint32(rd)<<14 | 1<<13 | u&0x3ff
+		return []uint32{sethi, or}, nil
+	case aluOps[ln.mnemonic] != 0 || ln.mnemonic == "add":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rs1, err := reg(ln.args[0])
+		if err != nil {
+			return nil, err
+		}
+		rd, err := reg(ln.args[2])
+		if err != nil {
+			return nil, err
+		}
+		w, err := format3(2, aluOps[ln.mnemonic], rd, rs1, ln.args[1])
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{w}, nil
+	case branchConds[ln.mnemonic] != 0 || ln.mnemonic == "bn":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		t, ok := labels[ln.args[0]]
+		if !ok {
+			return nil, fmt.Errorf("unknown label %q", ln.args[0])
+		}
+		disp := (int32(t) - int32(addr)) >> 2
+		if disp < -(1<<21) || disp >= 1<<21 {
+			return nil, fmt.Errorf("branch to %q out of range", ln.args[0])
+		}
+		return []uint32{branchConds[ln.mnemonic]<<25 | 2<<22 | uint32(disp)&0x3fffff}, nil
+	case ln.mnemonic == "call":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		t, ok := labels[ln.args[0]]
+		if !ok {
+			return nil, fmt.Errorf("unknown label %q", ln.args[0])
+		}
+		disp := (int32(t) - int32(addr)) >> 2
+		return []uint32{1<<30 | uint32(disp)&0x3fffffff}, nil
+	case ln.mnemonic == "jmpl":
+		// jmpl %rs1 + operand, %rd
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		target := ln.args[0]
+		rd, err := reg(ln.args[1])
+		if err != nil {
+			return nil, err
+		}
+		plus := strings.Index(target, "+")
+		if plus < 0 {
+			return nil, fmt.Errorf("jmpl wants %%rs1 + operand, got %q", target)
+		}
+		rs1, err := reg(strings.TrimSpace(target[:plus]))
+		if err != nil {
+			return nil, err
+		}
+		w, err := format3(2, op3JMPL, rd, rs1, strings.TrimSpace(target[plus+1:]))
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{w}, nil
+	case ln.mnemonic == "retl":
+		// retl = jmpl %o7 + 8, %g0
+		w, err := format3(2, op3JMPL, 0, 15, "8")
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{w}, nil
+	case ln.mnemonic == "ld":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs1, operand, err := memOperand(ln.args[0])
+		if err != nil {
+			return nil, err
+		}
+		rd, err := reg(ln.args[1])
+		if err != nil {
+			return nil, err
+		}
+		w, err := format3(3, op3LD, rd, rs1, operand)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{w}, nil
+	case ln.mnemonic == "st":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := reg(ln.args[0])
+		if err != nil {
+			return nil, err
+		}
+		rs1, operand, err := memOperand(ln.args[1])
+		if err != nil {
+			return nil, err
+		}
+		w, err := format3(3, op3ST, rd, rs1, operand)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{w}, nil
+	}
+	return nil, fmt.Errorf("unknown mnemonic %q", ln.mnemonic)
+}

@@ -1,0 +1,257 @@
+// Package sparc simulates the SPARC V8 integer subset needed to
+// characterise the Leon processor's software test application: format
+// 1/2/3 encodings, integer condition codes, architectural branch delay
+// slots and a Leon-like cycle model, plus a two-pass assembler.
+//
+// Register windows are deliberately not modelled: the BIST kernels are
+// leaf routines that never execute SAVE/RESTORE, so a flat 32-register
+// file (%g, %o, %l, %i) is behaviourally identical for them.
+package sparc
+
+import (
+	"fmt"
+
+	"noctest/internal/isa"
+)
+
+// op3 values of the implemented format-3 subset.
+const (
+	op3ADD   = 0x00
+	op3AND   = 0x01
+	op3OR    = 0x02
+	op3XOR   = 0x03
+	op3SUB   = 0x04
+	op3ADDcc = 0x10
+	op3ANDcc = 0x11
+	op3ORcc  = 0x12
+	op3SUBcc = 0x14
+	op3SLL   = 0x25
+	op3SRL   = 0x26
+	op3SRA   = 0x27
+	op3JMPL  = 0x38
+	op3TICC  = 0x3a
+
+	op3LD = 0x00
+	op3ST = 0x04
+)
+
+// Branch condition codes (icc).
+const (
+	condBN  = 0x0
+	condBE  = 0x1
+	condBNE = 0x9
+	condBA  = 0x8
+)
+
+// Timing is the per-class cycle cost, defaulting to a Leon-like
+// pipelined model.
+type Timing struct {
+	ALU    int
+	Load   int
+	Store  int
+	Branch int
+	Jump   int
+}
+
+// DefaultTiming approximates the Leon integer pipeline (single-cycle
+// ALU, 2-cycle load, 2-cycle store, single-cycle branches with the
+// delay slot filled).
+var DefaultTiming = Timing{ALU: 1, Load: 2, Store: 2, Branch: 1, Jump: 2}
+
+// CPU is a SPARC V8 processor instance.
+type CPU struct {
+	regs   [32]uint32
+	icc    struct{ n, z, v, c bool }
+	pc     uint32
+	npc    uint32
+	mem    *isa.Memory
+	port   *isa.Port
+	timing Timing
+	stats  isa.Stats
+	halted bool
+}
+
+// New builds a CPU over the given memory and test port.
+func New(mem *isa.Memory, port *isa.Port, timing Timing) *CPU {
+	if timing == (Timing{}) {
+		timing = DefaultTiming
+	}
+	return &CPU{mem: mem, port: port, timing: timing, pc: 0, npc: 4}
+}
+
+// PC implements isa.CPU.
+func (c *CPU) PC() uint32 { return c.pc }
+
+// Halted implements isa.CPU.
+func (c *CPU) Halted() bool { return c.halted }
+
+// Stats implements isa.CPU.
+func (c *CPU) Stats() isa.Stats { return c.stats }
+
+// Reg returns a register value, for tests and diagnostics.
+func (c *CPU) Reg(i int) uint32 { return c.regs[i] }
+
+// Zero reports whether the Z condition flag is set, for tests.
+func (c *CPU) Zero() bool { return c.icc.z }
+
+func (c *CPU) set(rd int, val uint32) {
+	if rd != 0 {
+		c.regs[rd] = val
+	}
+}
+
+func (c *CPU) setICC(res uint32, v, carry bool) {
+	c.icc.n = int32(res) < 0
+	c.icc.z = res == 0
+	c.icc.v = v
+	c.icc.c = carry
+}
+
+// Step implements isa.CPU with SPARC delay-slot semantics.
+func (c *CPU) Step() error {
+	if c.halted {
+		return nil
+	}
+	raw, err := c.mem.Load(c.pc)
+	if err != nil {
+		return fmt.Errorf("sparc: fetch: %w", err)
+	}
+	nextNPC := c.npc + 4
+	cycles := c.timing.ALU
+
+	op := raw >> 30
+	switch op {
+	case 0: // format 2: SETHI / Bicc
+		op2 := raw >> 22 & 7
+		switch op2 {
+		case 4: // SETHI
+			rd := int(raw >> 25 & 31)
+			c.set(rd, raw<<10)
+		case 2: // Bicc
+			cond := raw >> 25 & 15
+			disp := uint32(int32(raw<<10) >> 10) // sign-extended disp22
+			taken := false
+			switch cond {
+			case condBA:
+				taken = true
+			case condBN:
+			case condBE:
+				taken = c.icc.z
+			case condBNE:
+				taken = !c.icc.z
+			default:
+				return fmt.Errorf("sparc: unimplemented branch condition %#x", cond)
+			}
+			if taken {
+				nextNPC = c.pc + disp<<2
+			}
+			cycles = c.timing.Branch
+		default:
+			return fmt.Errorf("sparc: unimplemented op2 %#x", op2)
+		}
+	case 1: // CALL
+		disp := raw << 2
+		c.set(15, c.pc) // %o7
+		nextNPC = c.pc + disp
+		cycles = c.timing.Jump
+	case 2: // format 3: arithmetic
+		rd := int(raw >> 25 & 31)
+		op3 := raw >> 19 & 63
+		rs1 := int(raw >> 14 & 31)
+		b := c.operand2(raw)
+		a := c.regs[rs1]
+		switch op3 {
+		case op3ADD:
+			c.set(rd, a+b)
+		case op3ADDcc:
+			res := a + b
+			c.set(rd, res)
+			c.setICC(res, addOverflow(a, b, res), res < a)
+		case op3SUB:
+			c.set(rd, a-b)
+		case op3SUBcc:
+			res := a - b
+			c.set(rd, res)
+			c.setICC(res, subOverflow(a, b, res), a < b)
+		case op3AND:
+			c.set(rd, a&b)
+		case op3ANDcc:
+			res := a & b
+			c.set(rd, res)
+			c.setICC(res, false, false)
+		case op3OR:
+			c.set(rd, a|b)
+		case op3ORcc:
+			res := a | b
+			c.set(rd, res)
+			c.setICC(res, false, false)
+		case op3XOR:
+			c.set(rd, a^b)
+		case op3SLL:
+			c.set(rd, a<<(b&31))
+		case op3SRL:
+			c.set(rd, a>>(b&31))
+		case op3SRA:
+			c.set(rd, uint32(int32(a)>>(b&31)))
+		case op3JMPL:
+			c.set(rd, c.pc)
+			nextNPC = a + b
+			cycles = c.timing.Jump
+		case op3TICC:
+			// Trap-always is the halt convention (ta 0).
+			c.halted = true
+			c.stats.Instructions++
+			c.stats.Cycles += int64(c.timing.ALU)
+			return nil
+		default:
+			return fmt.Errorf("sparc: unimplemented op3 %#x", op3)
+		}
+	case 3: // format 3: memory
+		rd := int(raw >> 25 & 31)
+		op3 := raw >> 19 & 63
+		rs1 := int(raw >> 14 & 31)
+		addr := c.regs[rs1] + c.operand2(raw)
+		switch op3 {
+		case op3LD:
+			val, err := c.mem.Load(addr)
+			if err != nil {
+				return fmt.Errorf("sparc: ld: %w", err)
+			}
+			c.set(rd, val)
+			cycles = c.timing.Load
+		case op3ST:
+			if addr == isa.PortAddr {
+				c.port.Write(c.regs[rd])
+			} else if err := c.mem.Store(addr, c.regs[rd]); err != nil {
+				return fmt.Errorf("sparc: st: %w", err)
+			}
+			cycles = c.timing.Store
+		default:
+			return fmt.Errorf("sparc: unimplemented memory op3 %#x", op3)
+		}
+	}
+
+	c.pc = c.npc
+	c.npc = nextNPC
+	c.stats.Instructions++
+	c.stats.Cycles += int64(cycles)
+	return nil
+}
+
+// operand2 decodes the register-or-immediate second operand.
+func (c *CPU) operand2(raw uint32) uint32 {
+	if raw>>13&1 == 1 {
+		return uint32(int32(raw<<19) >> 19) // sign-extended simm13
+	}
+	return c.regs[raw&31]
+}
+
+func addOverflow(a, b, res uint32) bool {
+	return ((a^res)&(b^res))>>31 == 1
+}
+
+func subOverflow(a, b, res uint32) bool {
+	return ((a^b)&(a^res))>>31 == 1
+}
+
+var _ isa.CPU = (*CPU)(nil)

@@ -1,0 +1,268 @@
+package sparc
+
+import (
+	"strings"
+	"testing"
+
+	"noctest/internal/isa"
+)
+
+func run(t *testing.T, src string) (*CPU, *isa.Port) {
+	t.Helper()
+	image, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	mem := isa.NewMemory(4096)
+	if err := mem.LoadProgram(image); err != nil {
+		t.Fatal(err)
+	}
+	port := &isa.Port{}
+	cpu := New(mem, port, Timing{})
+	if _, err := isa.Run(cpu, 1_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return cpu, port
+}
+
+// Register indices for assertions.
+const (
+	g1 = 1
+	g2 = 2
+	l0 = 16
+	l1 = 17
+	l2 = 18
+	l3 = 19
+	o7 = 15
+)
+
+func TestArithmetic(t *testing.T) {
+	cpu, _ := run(t, `
+		add %g0, 40, %g1
+		add %g1, 2, %g2
+		sub %g2, %g1, %l0
+		and %g2, 0xf, %l1
+		or  %g0, 0x55, %l2
+		xor %l2, 0xff, %l3
+		ta 0
+	`)
+	if got := cpu.Reg(g2); got != 42 {
+		t.Errorf("add chain = %d, want 42", got)
+	}
+	if got := cpu.Reg(l0); got != 2 {
+		t.Errorf("sub = %d, want 2", got)
+	}
+	if got := cpu.Reg(l1); got != 10 {
+		t.Errorf("and = %d, want 10", got)
+	}
+	if got := cpu.Reg(l3); got != 0xaa {
+		t.Errorf("xor = %#x, want 0xaa", got)
+	}
+}
+
+func TestShifts(t *testing.T) {
+	cpu, _ := run(t, `
+		set 0x80000001, %g1
+		srl %g1, 1, %g2
+		sra %g1, 1, %l0
+		sll %g1, 4, %l1
+		ta 0
+	`)
+	if got := cpu.Reg(g2); got != 0x40000000 {
+		t.Errorf("srl = %#x", got)
+	}
+	if got := cpu.Reg(l0); got != 0xc0000000 {
+		t.Errorf("sra = %#x", got)
+	}
+	if got := cpu.Reg(l1); got != 0x10 {
+		t.Errorf("sll = %#x", got)
+	}
+}
+
+func TestSethiAndSet(t *testing.T) {
+	cpu, _ := run(t, `
+		sethi 0x3fffff, %g1
+		set 0x80200003, %g2
+		ta 0
+	`)
+	if got := cpu.Reg(g1); got != 0xfffffc00 {
+		t.Errorf("sethi = %#x", got)
+	}
+	if got := cpu.Reg(g2); got != 0x80200003 {
+		t.Errorf("set = %#x", got)
+	}
+}
+
+func TestG0IsHardwiredZero(t *testing.T) {
+	cpu, _ := run(t, `
+		add %g0, 99, %g0
+		add %g0, 5, %g1
+		ta 0
+	`)
+	if cpu.Reg(0) != 0 {
+		t.Error("g0 register was written")
+	}
+	if cpu.Reg(g1) != 5 {
+		t.Error("g1 register wrong")
+	}
+}
+
+func TestConditionCodesAndBranches(t *testing.T) {
+	cpu, _ := run(t, `
+		add  %g0, 2, %g1
+	loop:
+		subcc %g1, 1, %g1
+		bne  loop
+		nop
+		add  %g0, 7, %g2
+		ta 0
+	`)
+	if cpu.Reg(g1) != 0 {
+		t.Errorf("countdown ended at %d", cpu.Reg(g1))
+	}
+	if !cpu.Zero() {
+		t.Error("Z flag should be set after reaching zero")
+	}
+	if cpu.Reg(g2) != 7 {
+		t.Error("fallthrough code did not run")
+	}
+}
+
+func TestDelaySlotExecutes(t *testing.T) {
+	cpu, _ := run(t, `
+		ba   target
+		add  %g0, 11, %g1   ! delay slot executes
+		add  %g0, 99, %g1   ! skipped
+	target:
+		ta 0
+	`)
+	if got := cpu.Reg(g1); got != 11 {
+		t.Errorf("%%g1 = %d, want 11 (delay slot ran, fallthrough skipped)", got)
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	cpu, _ := run(t, `
+		add %g0, 256, %g1
+		add %g0, -9, %g2
+		st  %g2, [%g1 + 4]
+		ld  [%g1 + 4], %l0
+		ta 0
+	`)
+	if got := cpu.Reg(l0); got != 0xfffffff7 {
+		t.Errorf("ld round-trip = %#x", got)
+	}
+}
+
+func TestPortWrites(t *testing.T) {
+	_, port := run(t, `
+		set 0xFFFF0000, %l3
+		add %g0, 3, %l0
+	loop:
+		st  %l0, [%l3]
+		subcc %l0, 1, %l0
+		bne loop
+		nop
+		ta 0
+	`)
+	if len(port.Words) != 3 {
+		t.Fatalf("port got %d words: %v", len(port.Words), port.Words)
+	}
+	if port.Words[0] != 3 || port.Words[2] != 1 {
+		t.Errorf("port stream = %v", port.Words)
+	}
+}
+
+func TestCallAndRetl(t *testing.T) {
+	cpu, _ := run(t, `
+		nop
+		call sub
+		nop
+		add %g0, 1, %g2
+		ta 0
+	sub:
+		add %g0, 9, %g1
+		retl
+		nop
+	`)
+	if cpu.Reg(g1) != 9 || cpu.Reg(g2) != 1 {
+		t.Errorf("call/retl flow broken: g1=%d g2=%d", cpu.Reg(g1), cpu.Reg(g2))
+	}
+	if cpu.Reg(o7) == 0 {
+		t.Error("o7 register not set by call")
+	}
+}
+
+func TestOverflowAndCarryFlags(t *testing.T) {
+	cpu, _ := run(t, `
+		set 0x7fffffff, %g1
+		addcc %g1, 1, %g2
+		ta 0
+	`)
+	if !cpu.icc.v {
+		t.Error("signed overflow not flagged")
+	}
+	if cpu.icc.z {
+		t.Error("Z flag wrongly set")
+	}
+	if !cpu.icc.n {
+		t.Error("N flag should be set (result negative)")
+	}
+	cpu2, _ := run(t, `
+		add %g0, 1, %g1
+		subcc %g0, %g1, %g2
+		ta 0
+	`)
+	if !cpu2.icc.c {
+		t.Error("borrow not flagged on 0-1")
+	}
+}
+
+func TestCycleModel(t *testing.T) {
+	alu, _ := run(t, "add %g0, 1, %g1\nta 0\n")
+	ld, _ := run(t, "ld [%g0], %g1\nta 0\n")
+	if ld.Stats().Cycles <= alu.Stats().Cycles {
+		t.Error("load should cost more than ALU op")
+	}
+	if alu.Stats().Instructions != 2 {
+		t.Errorf("instructions = %d", alu.Stats().Instructions)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"unknown mnemonic", "frob %g1", "unknown mnemonic"},
+		{"bad register", "add %zz, 1, %g1", "unknown register"},
+		{"operand count", "add %g1, 2", "wants 3 operands"},
+		{"unknown label", "ba nowhere\nnop", "unknown label"},
+		{"imm13 range", "add %g0, 5000, %g1", "bad simm13"},
+		{"imm22 range", "sethi 0x400000, %g1", "bad imm22"},
+		{"duplicate label", "x:\nx:\nnop", "duplicate label"},
+		{"bad memory operand", "ld %g1, %g2", "bad memory operand"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Assemble(tc.src)
+			if err == nil {
+				t.Fatalf("assembled %q", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q missing %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestUnimplementedFaults(t *testing.T) {
+	mem := isa.NewMemory(16)
+	// op=2 with op3=0x2f (unimplemented).
+	if err := mem.LoadProgram([]uint32{2<<30 | 0x2f<<19}); err != nil {
+		t.Fatal(err)
+	}
+	cpu := New(mem, &isa.Port{}, Timing{})
+	if err := cpu.Step(); err == nil {
+		t.Error("unimplemented op3 executed")
+	}
+}

@@ -1,0 +1,126 @@
+package itc02
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// d695Text is the d695 benchmark: ten ISCAS'85/89 circuits with the
+// pattern counts and scan structures published in the ITC'02 set, and
+// the test-mode power vector used throughout the NoC test-scheduling
+// literature (Cota et al.).
+const d695Text = `
+soc d695
+core 1 c6288
+  inputs 32
+  outputs 32
+  patterns 12
+  power 660
+end
+core 2 c7552
+  inputs 207
+  outputs 108
+  patterns 73
+  power 602
+end
+core 3 s838
+  inputs 34
+  outputs 1
+  scanchains 32
+  patterns 75
+  power 823
+end
+core 4 s9234
+  inputs 36
+  outputs 39
+  scanchains 54 53 52 52
+  patterns 105
+  power 275
+end
+core 5 s38584
+  inputs 38
+  outputs 304
+  scanchains 45 45 45 45 45 45 45 45 45 45 45 45 45 45 45 45 45 45 44 44 44 44 44 44 44 44 44 44 44 44 44 44
+  patterns 110
+  power 690
+end
+core 6 s13207
+  inputs 62
+  outputs 152
+  scanchains 40 40 40 40 40 40 40 40 40 40 40 40 40 40 39 39
+  patterns 236
+  power 354
+end
+core 7 s15850
+  inputs 77
+  outputs 150
+  scanchains 34 34 34 34 34 34 33 33 33 33 33 33 33 33 33 33
+  patterns 95
+  power 530
+end
+core 8 s5378
+  inputs 35
+  outputs 49
+  scanchains 46 45 44 44
+  patterns 97
+  power 753
+end
+core 9 s35932
+  inputs 35
+  outputs 320
+  scanchains 54 54 54 54 54 54 54 54 54 54 54 54 54 54 54 54 54 54 54 54 54 54 54 54 54 54 54 54 54 54 54 54
+  patterns 12
+  power 641
+end
+core 10 s38417
+  inputs 28
+  outputs 106
+  scanchains 52 52 52 52 51 51 51 51 51 51 51 51 51 51 51 51 51 51 51 51 51 51 51 51 51 51 51 51 51 51 51 51
+  patterns 68
+  power 1144
+end
+`
+
+var (
+	benchOnce  sync.Once
+	benchmarks map[string]*SoC
+	benchErr   error
+)
+
+func loadAll() {
+	benchmarks = make(map[string]*SoC)
+	for _, text := range []string{d695Text, p22810Text, p93791Text} {
+		s, err := ParseString(text)
+		if err != nil {
+			benchErr = fmt.Errorf("itc02: embedded benchmark corrupt: %w", err)
+			return
+		}
+		benchmarks[s.Name] = s
+	}
+}
+
+// Benchmark returns a deep copy of the named embedded benchmark (d695,
+// p22810 or p93791).
+func Benchmark(name string) (*SoC, error) {
+	benchOnce.Do(loadAll)
+	if benchErr != nil {
+		return nil, benchErr
+	}
+	s, ok := benchmarks[name]
+	if !ok {
+		return nil, fmt.Errorf("itc02: unknown benchmark %q (have %v)", name, BenchmarkNames())
+	}
+	return s.Clone(), nil
+}
+
+// BenchmarkNames lists the embedded benchmarks in sorted order.
+func BenchmarkNames() []string {
+	benchOnce.Do(loadAll)
+	names := make([]string, 0, len(benchmarks))
+	for n := range benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,423 @@
+package itc02
+
+// Embedded benchmark descriptions. d695 follows the published ITC'02
+// structure (ISCAS member circuits, pattern counts, scan chains) with the
+// test-power vector used across the NoC-test scheduling literature;
+// p22810 and p93791 are structurally matched synthetic systems calibrated
+// against the paper's Figure 1 no-reuse test times (see DESIGN.md).
+
+const p22810Text = `
+soc p22810
+core 1 mod01
+  inputs 248
+  outputs 57
+  patterns 267
+  power 247
+end
+core 2 mod02
+  inputs 225
+  outputs 52
+  patterns 120
+  power 122
+end
+core 3 mod03
+  inputs 175
+  outputs 156
+  patterns 71
+  power 324
+end
+core 4 mod04
+  inputs 209
+  outputs 200
+  patterns 122
+  power 432
+end
+core 5 mod05
+  inputs 234
+  outputs 96
+  patterns 80
+  power 264
+end
+core 6 mod06
+  inputs 93
+  outputs 131
+  patterns 142
+  power 245
+end
+core 7 mod07
+  inputs 147
+  outputs 75
+  scanchains 1946
+  patterns 330
+  power 644
+end
+core 8 mod08
+  inputs 103
+  outputs 36
+  scanchains 66 66 66 66 66 66 66 66 66 65 65 65 65
+  patterns 311
+  power 712
+end
+core 9 mod09
+  inputs 101
+  outputs 44
+  scanchains 257 257 257 257 257 257 257 257 257
+  patterns 342
+  power 784
+end
+core 10 mod10
+  inputs 121
+  outputs 83
+  scanchains 1130
+  patterns 299
+  power 307
+end
+core 11 mod11
+  inputs 67
+  outputs 54
+  scanchains 83 83 83 83 83 83 83
+  patterns 337
+  power 794
+end
+core 12 mod12
+  inputs 142
+  outputs 61
+  scanchains 129 128 128 128 128 128 128 128 128 128
+  patterns 114
+  power 835
+end
+core 13 mod13
+  inputs 68
+  outputs 31
+  scanchains 1953
+  patterns 282
+  power 521
+end
+core 14 mod14
+  inputs 91
+  outputs 62
+  scanchains 96 96 96 96 96 96 96 96 96 95 95 95 95
+  patterns 271
+  power 570
+end
+core 15 mod15
+  inputs 120
+  outputs 84
+  scanchains 230 230 230 230 229 229 229 229
+  patterns 187
+  power 546
+end
+core 16 mod16
+  inputs 88
+  outputs 134
+  scanchains 658 657
+  patterns 202
+  power 714
+end
+core 17 mod17
+  inputs 64
+  outputs 45
+  scanchains 333 333 333 333 332 332 332
+  patterns 317
+  power 521
+end
+core 18 mod18
+  inputs 112
+  outputs 167
+  scanchains 98 98 98 98 98 97 97 97 97 97 97 97 97
+  patterns 208
+  power 525
+end
+core 19 mod19
+  inputs 50
+  outputs 49
+  scanchains 78 78 78 78 77 77 77 77 77 77
+  patterns 337
+  power 437
+end
+core 20 mod20
+  inputs 106
+  outputs 155
+  scanchains 1907
+  patterns 121
+  power 588
+end
+core 21 mod21
+  inputs 104
+  outputs 133
+  scanchains 890 889 889 889 889 889 889 889 889 889
+  patterns 326
+  power 1121
+end
+core 22 mod22
+  inputs 92
+  outputs 50
+  scanchains 311 311 311 310 310 310 310 310 310 310 310 310 310 310 310 310 310
+  patterns 308
+  power 1286
+end
+core 23 mod23
+  inputs 59
+  outputs 48
+  scanchains 127 127 127 127 127 127 127 127 127 127 127 127 127 126 126 126 126 126 126 126 126 126 126 126 126 126
+  patterns 481
+  power 1019
+end
+core 24 mod24
+  inputs 169
+  outputs 80
+  scanchains 543 543 543 543 543 543 543 543 543 543 543 543 543 542 542
+  patterns 338
+  power 978
+end
+core 25 mod25
+  inputs 91
+  outputs 291
+  scanchains 277 277 277 277 277 277 277 277 277 277 277 277 277 276 276 276 276 276 276 276 276 276 276 276 276
+  patterns 293
+  power 864
+end
+core 26 mod26
+  inputs 128
+  outputs 203
+  scanchains 980 980 980 980 980 980 980 979
+  patterns 350
+  power 879
+end
+core 27 mod27
+  inputs 137
+  outputs 123
+  scanchains 356 356 355 355 355 355 355 355 355 355 355
+  patterns 150
+  power 1097
+end
+core 28 mod28
+  inputs 80
+  outputs 246
+  scanchains 445 445 445 445 445 445 445 445 445 445 445 445 445 445 445 445 445 445 445 444 444 444 444
+  patterns 184
+  power 1116
+end
+`
+
+const p93791Text = `
+soc p93791
+core 1 mod01
+  inputs 254
+  outputs 217
+  patterns 68
+  power 334
+end
+core 2 mod02
+  inputs 96
+  outputs 190
+  patterns 115
+  power 338
+end
+core 3 mod03
+  inputs 185
+  outputs 122
+  patterns 247
+  power 121
+end
+core 4 mod04
+  inputs 68
+  outputs 28
+  patterns 174
+  power 437
+end
+core 5 mod05
+  inputs 124
+  outputs 217
+  patterns 151
+  power 115
+end
+core 6 mod06
+  inputs 37
+  outputs 110
+  patterns 98
+  power 406
+end
+core 7 mod07
+  inputs 133
+  outputs 39
+  scanchains 80 80 80 80 80 80 79
+  patterns 264
+  power 701
+end
+core 8 mod08
+  inputs 49
+  outputs 43
+  scanchains 272 272 272 272 272 272 271
+  patterns 188
+  power 727
+end
+core 9 mod09
+  inputs 112
+  outputs 98
+  scanchains 270 270 270 270 270 270 270 269 269
+  patterns 251
+  power 487
+end
+core 10 mod10
+  inputs 49
+  outputs 120
+  scanchains 249 249 249 249 249 249 249 249 249 248
+  patterns 412
+  power 541
+end
+core 11 mod11
+  inputs 91
+  outputs 54
+  scanchains 1424
+  patterns 373
+  power 534
+end
+core 12 mod12
+  inputs 130
+  outputs 28
+  scanchains 236 236 236 235 235 235 235
+  patterns 138
+  power 516
+end
+core 13 mod13
+  inputs 131
+  outputs 156
+  scanchains 194 194 194 193 193
+  patterns 116
+  power 447
+end
+core 14 mod14
+  inputs 97
+  outputs 20
+  scanchains 459 458 458 458
+  patterns 341
+  power 822
+end
+core 15 mod15
+  inputs 122
+  outputs 57
+  scanchains 167 167 167 167 166 166 166 166 166 166 166
+  patterns 359
+  power 619
+end
+core 16 mod16
+  inputs 41
+  outputs 111
+  scanchains 505 505 505 504
+  patterns 293
+  power 835
+end
+core 17 mod17
+  inputs 95
+  outputs 41
+  scanchains 117 117 117 117 117 117 117 116 116 116
+  patterns 377
+  power 755
+end
+core 18 mod18
+  inputs 110
+  outputs 34
+  scanchains 114 114 114 114 114 114 114 114 114 114 114 113 113 113 113
+  patterns 251
+  power 366
+end
+core 19 mod19
+  inputs 78
+  outputs 76
+  scanchains 1076
+  patterns 171
+  power 841
+end
+core 20 mod20
+  inputs 128
+  outputs 53
+  scanchains 1886
+  patterns 222
+  power 689
+end
+core 21 mod21
+  inputs 175
+  outputs 173
+  scanchains 134 134 134 134 134 134 134 134 134 134 134 134 134 134 134 134 134 134 134 134 134 134 133 133 133 133 133 133 133 133 133 133 133 133 133
+  patterns 379
+  power 731
+end
+core 22 mod22
+  inputs 109
+  outputs 131
+  scanchains 949 949 949 949 949 948 948 948 948 948
+  patterns 609
+  power 1536
+end
+core 23 mod23
+  inputs 194
+  outputs 145
+  scanchains 204 204 204 204 204 203 203 203 203 203 203 203 203 203 203 203 203 203 203 203 203
+  patterns 352
+  power 1304
+end
+core 24 mod24
+  inputs 118
+  outputs 150
+  scanchains 311 311 311 311 311 311 311 311 311 311 311 311 311 311 311 310 310 310 310 310 310 310 310 310 310 310 310
+  patterns 326
+  power 1228
+end
+core 25 mod25
+  inputs 196
+  outputs 224
+  scanchains 301 301 301 301 301 301 301 301 301 300 300 300 300 300
+  patterns 590
+  power 1016
+end
+core 26 mod26
+  inputs 214
+  outputs 71
+  scanchains 165 165 165 165 165 165 165 165 165 165 165 165 165 165 165 165 165 165 165 165 165 165 165 165 165 164 164 164 164 164 164 164 164
+  patterns 307
+  power 1251
+end
+core 27 mod27
+  inputs 115
+  outputs 198
+  scanchains 506 506 506 506 506 505 505 505 505 505 505 505 505 505 505 505 505 505 505 505 505 505 505
+  patterns 363
+  power 1564
+end
+core 28 mod28
+  inputs 179
+  outputs 230
+  scanchains 464 464 464 464 463 463 463 463 463 463 463 463 463 463 463 463 463 463 463 463 463
+  patterns 391
+  power 1313
+end
+core 29 mod29
+  inputs 176
+  outputs 81
+  scanchains 433 433 433 433 433 433 433 433 433 433 433 432 432 432 432 432
+  patterns 324
+  power 1125
+end
+core 30 mod30
+  inputs 127
+  outputs 142
+  scanchains 112 112 112 112 112 112 112 112 112 112 112 112 112 112 112 112 111 111 111 111 111 111 111 111 111 111 111 111 111 111 111 111
+  patterns 589
+  power 1578
+end
+core 31 mod31
+  inputs 212
+  outputs 203
+  scanchains 170 170 170 170 170 170 170 170 170 170 170 170 170 170 170 170 170 170 169 169 169 169 169
+  patterns 306
+  power 1300
+end
+core 32 mod32
+  inputs 55
+  outputs 159
+  scanchains 202 202 202 202 202 202 202 202 202 202 202 202 202 202 202 202 202 202 202 202 202 201 201
+  patterns 222
+  power 607
+end
+`

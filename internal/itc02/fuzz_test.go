@@ -1,0 +1,78 @@
+package itc02
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the parser with arbitrary text: it must never panic,
+// and anything it accepts must be a valid SoC that survives the
+// canonical write/parse round trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"soc x\ncore 1 a\n inputs 1\n outputs 1\n patterns 1\n",
+		"soc x\ncore 1 a\n inputs 1\n outputs 1\n scanchains 3 4 5\n patterns 2\n power 1.5\nend\n",
+		"# comment only\n",
+		"soc x\ncore -1 a\n",
+		"soc x\ncore 1 a\n inputs 99999999999999999999\n",
+		"soc é\ncore 1 café\n inputs 1\n outputs 1\n patterns 1\n",
+		"soc x\ncore 1 a\nscanchains\npatterns 1\ninputs 1\noutputs 0\n",
+		d695Text,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := ParseString(input)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("Parse accepted an invalid SoC: %v", err)
+		}
+		text, err := WriteString(s)
+		if err != nil {
+			t.Fatalf("canonical write of parsed SoC failed: %v", err)
+		}
+		again, err := ParseString(text)
+		if err != nil {
+			t.Fatalf("canonical form does not reparse: %v\n%s", err, text)
+		}
+		if again.Name != s.Name || len(again.Cores) != len(s.Cores) {
+			t.Fatalf("round trip changed shape: %q/%d vs %q/%d",
+				s.Name, len(s.Cores), again.Name, len(again.Cores))
+		}
+	})
+}
+
+// TestParseHostileInputs covers pathological inputs outside the fuzz
+// corpus that have bitten line-oriented parsers before.
+func TestParseHostileInputs(t *testing.T) {
+	hostile := []string{
+		strings.Repeat("soc x\n", 1000),
+		"soc x\n" + strings.Repeat("core 1 a\n", 500),
+		"soc x\ncore 1 " + strings.Repeat("n", 100000) + "\n inputs 1\n outputs 1\n patterns 1\n",
+		"soc x\ncore 1 a\n inputs -9223372036854775808\n outputs 1\n patterns 1\n",
+		"soc x\ncore 1 a\n power NaN\n",
+		"soc x\ncore 1 a\n power Inf\n",
+		"soc x\ncore 9223372036854775807 a\n inputs 1\n outputs 1\n patterns 1\n",
+		"\x00\x01\x02",
+		"soc x\ncore 1 a:b:c\n inputs 1\n outputs 1\n patterns 1\n",
+	}
+	for i, in := range hostile {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("input %d caused panic: %v", i, r)
+				}
+			}()
+			s, err := ParseString(in)
+			if err == nil {
+				if err := s.Validate(); err != nil {
+					t.Errorf("input %d: accepted invalid SoC: %v", i, err)
+				}
+			}
+		}()
+	}
+}

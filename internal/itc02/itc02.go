@@ -1,0 +1,190 @@
+// Package itc02 models core-based SoC test descriptions in the spirit of
+// the ITC'02 SoC Test Benchmarks (Marinissen et al., ITC 2002), which the
+// paper's evaluation is built on.
+//
+// A SoC is a named set of cores; each core carries the test knowledge a
+// core provider ships with it: functional I/O counts, internal scan
+// chains, the number of test patterns, and the core's power consumption
+// in test mode. The package defines a plain-text interchange format (see
+// Parse and the embedded benchmark files), plus derived quantities —
+// bits per pattern and test data volume — that the planner consumes.
+//
+// The original ITC'02 files are not redistributable with this module, so
+// the embedded d695 reflects the widely published structure of that
+// benchmark, while p22810 and p93791 are structurally matched synthetic
+// systems calibrated against the paper's no-reuse test times (see
+// DESIGN.md for the substitution rationale).
+package itc02
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Core is one core and its provider-supplied test knowledge.
+type Core struct {
+	// ID is the core number within its SoC, unique and positive.
+	ID int
+	// Name is the circuit name (e.g. "s38417").
+	Name string
+	// Inputs and Outputs are functional terminal counts; Bidirs are
+	// counted on both sides of a pattern.
+	Inputs, Outputs, Bidirs int
+	// ScanChains holds the length of each internal scan chain.
+	ScanChains []int
+	// Patterns is the number of test patterns to apply.
+	Patterns int
+	// Power is the core's test-mode power consumption in the benchmark's
+	// arbitrary power units.
+	Power float64
+}
+
+// ScanBits returns the total number of scan flip-flops.
+func (c Core) ScanBits() int {
+	total := 0
+	for _, l := range c.ScanChains {
+		total += l
+	}
+	return total
+}
+
+// MaxChain returns the longest scan chain length, or 0 without scan.
+func (c Core) MaxChain() int {
+	longest := 0
+	for _, l := range c.ScanChains {
+		if l > longest {
+			longest = l
+		}
+	}
+	return longest
+}
+
+// StimulusBits returns the bits that must be delivered to the core per
+// pattern: functional inputs, bidirectional pins and the full scan load.
+func (c Core) StimulusBits() int { return c.Inputs + c.Bidirs + c.ScanBits() }
+
+// ResponseBits returns the bits produced by the core per pattern.
+func (c Core) ResponseBits() int { return c.Outputs + c.Bidirs + c.ScanBits() }
+
+// TestDataVolume returns the total bits moved for the whole test, in
+// both directions.
+func (c Core) TestDataVolume() int {
+	return c.Patterns * (c.StimulusBits() + c.ResponseBits())
+}
+
+// Validate reports the first problem with the core description.
+func (c Core) Validate() error {
+	if c.ID <= 0 {
+		return fmt.Errorf("itc02: core %q has non-positive id %d", c.Name, c.ID)
+	}
+	if c.Name == "" {
+		return fmt.Errorf("itc02: core %d has empty name", c.ID)
+	}
+	if c.Inputs < 0 || c.Outputs < 0 || c.Bidirs < 0 {
+		return fmt.Errorf("itc02: core %d (%s) has negative terminal counts", c.ID, c.Name)
+	}
+	if c.Inputs+c.Outputs+c.Bidirs == 0 && c.ScanBits() == 0 {
+		return fmt.Errorf("itc02: core %d (%s) has no terminals and no scan", c.ID, c.Name)
+	}
+	if c.Patterns <= 0 {
+		return fmt.Errorf("itc02: core %d (%s) has non-positive pattern count %d", c.ID, c.Name, c.Patterns)
+	}
+	if c.Power < 0 || math.IsNaN(c.Power) || math.IsInf(c.Power, 0) {
+		return fmt.Errorf("itc02: core %d (%s) has invalid power %g", c.ID, c.Name, c.Power)
+	}
+	for i, l := range c.ScanChains {
+		if l <= 0 {
+			return fmt.Errorf("itc02: core %d (%s) scan chain %d has non-positive length %d", c.ID, c.Name, i, l)
+		}
+	}
+	return nil
+}
+
+// SoC is a named system of cores.
+type SoC struct {
+	Name  string
+	Cores []Core
+}
+
+// Validate checks the SoC and every core, including ID uniqueness.
+func (s *SoC) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("itc02: soc has empty name")
+	}
+	if len(s.Cores) == 0 {
+		return fmt.Errorf("itc02: soc %q has no cores", s.Name)
+	}
+	seen := make(map[int]string, len(s.Cores))
+	for _, c := range s.Cores {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+		if prev, dup := seen[c.ID]; dup {
+			return fmt.Errorf("itc02: soc %q has duplicate core id %d (%s and %s)", s.Name, c.ID, prev, c.Name)
+		}
+		seen[c.ID] = c.Name
+	}
+	return nil
+}
+
+// CoreByID returns the core with the given ID.
+func (s *SoC) CoreByID(id int) (Core, bool) {
+	for _, c := range s.Cores {
+		if c.ID == id {
+			return c, true
+		}
+	}
+	return Core{}, false
+}
+
+// TotalPower is the sum of all cores' test-mode power, the base of the
+// paper's percentage power limits.
+func (s *SoC) TotalPower() float64 {
+	var total float64
+	for _, c := range s.Cores {
+		total += c.Power
+	}
+	return total
+}
+
+// TotalTestDataVolume sums the per-core test data volumes.
+func (s *SoC) TotalTestDataVolume() int {
+	total := 0
+	for _, c := range s.Cores {
+		total += c.TestDataVolume()
+	}
+	return total
+}
+
+// SortedByID returns the cores ordered by ID, without mutating the SoC.
+func (s *SoC) SortedByID() []Core {
+	cores := make([]Core, len(s.Cores))
+	copy(cores, s.Cores)
+	sort.Slice(cores, func(i, j int) bool { return cores[i].ID < cores[j].ID })
+	return cores
+}
+
+// Clone returns a deep copy, so callers can extend a benchmark (e.g.
+// appending processor cores) without aliasing the embedded data.
+func (s *SoC) Clone() *SoC {
+	out := &SoC{Name: s.Name, Cores: make([]Core, len(s.Cores))}
+	copy(out.Cores, s.Cores)
+	for i := range out.Cores {
+		if sc := s.Cores[i].ScanChains; sc != nil {
+			out.Cores[i].ScanChains = append([]int(nil), sc...)
+		}
+	}
+	return out
+}
+
+// NextCoreID returns an ID one past the largest in use.
+func (s *SoC) NextCoreID() int {
+	next := 1
+	for _, c := range s.Cores {
+		if c.ID >= next {
+			next = c.ID + 1
+		}
+	}
+	return next
+}

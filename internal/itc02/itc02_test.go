@@ -1,0 +1,222 @@
+package itc02
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleCore() Core {
+	return Core{
+		ID: 4, Name: "s9234",
+		Inputs: 36, Outputs: 39,
+		ScanChains: []int{54, 53, 52, 52},
+		Patterns:   105,
+		Power:      275,
+	}
+}
+
+func TestCoreDerivedQuantities(t *testing.T) {
+	c := sampleCore()
+	if got := c.ScanBits(); got != 211 {
+		t.Errorf("ScanBits() = %d, want 211", got)
+	}
+	if got := c.MaxChain(); got != 54 {
+		t.Errorf("MaxChain() = %d, want 54", got)
+	}
+	if got := c.StimulusBits(); got != 36+211 {
+		t.Errorf("StimulusBits() = %d, want 247", got)
+	}
+	if got := c.ResponseBits(); got != 39+211 {
+		t.Errorf("ResponseBits() = %d, want 250", got)
+	}
+	if got := c.TestDataVolume(); got != 105*(247+250) {
+		t.Errorf("TestDataVolume() = %d, want %d", got, 105*(247+250))
+	}
+}
+
+func TestCoreBidirsCountBothWays(t *testing.T) {
+	c := Core{ID: 1, Name: "x", Inputs: 10, Outputs: 5, Bidirs: 3, Patterns: 2}
+	if c.StimulusBits() != 13 {
+		t.Errorf("StimulusBits() = %d, want 13", c.StimulusBits())
+	}
+	if c.ResponseBits() != 8 {
+		t.Errorf("ResponseBits() = %d, want 8", c.ResponseBits())
+	}
+}
+
+func TestCoreValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Core)
+		wantErr bool
+	}{
+		{"valid", func(*Core) {}, false},
+		{"zero id", func(c *Core) { c.ID = 0 }, true},
+		{"empty name", func(c *Core) { c.Name = "" }, true},
+		{"negative inputs", func(c *Core) { c.Inputs = -1 }, true},
+		{"zero patterns", func(c *Core) { c.Patterns = 0 }, true},
+		{"negative power", func(c *Core) { c.Power = -5 }, true},
+		{"zero-length chain", func(c *Core) { c.ScanChains = []int{10, 0} }, true},
+		{"no terminals no scan", func(c *Core) {
+			c.Inputs, c.Outputs, c.Bidirs, c.ScanChains = 0, 0, 0, nil
+		}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := sampleCore()
+			tt.mutate(&c)
+			if err := c.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestSoCValidate(t *testing.T) {
+	s := &SoC{Name: "x", Cores: []Core{sampleCore()}}
+	if err := s.Validate(); err != nil {
+		t.Errorf("valid soc rejected: %v", err)
+	}
+	if err := (&SoC{Name: "", Cores: []Core{sampleCore()}}).Validate(); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := (&SoC{Name: "x"}).Validate(); err == nil {
+		t.Error("empty soc accepted")
+	}
+	dup := &SoC{Name: "x", Cores: []Core{sampleCore(), sampleCore()}}
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate ids accepted")
+	}
+}
+
+func TestSoCAccessors(t *testing.T) {
+	a, b := sampleCore(), sampleCore()
+	b.ID, b.Name, b.Power = 7, "other", 25
+	s := &SoC{Name: "x", Cores: []Core{b, a}}
+	if got, ok := s.CoreByID(4); !ok || got.Name != "s9234" {
+		t.Errorf("CoreByID(4) = %v, %v", got, ok)
+	}
+	if _, ok := s.CoreByID(99); ok {
+		t.Error("CoreByID(99) found a core")
+	}
+	if got := s.TotalPower(); got != 300 {
+		t.Errorf("TotalPower() = %g, want 300", got)
+	}
+	sorted := s.SortedByID()
+	if sorted[0].ID != 4 || sorted[1].ID != 7 {
+		t.Errorf("SortedByID() order = %d,%d", sorted[0].ID, sorted[1].ID)
+	}
+	if s.Cores[0].ID != 7 {
+		t.Error("SortedByID mutated the SoC")
+	}
+	if got := s.NextCoreID(); got != 8 {
+		t.Errorf("NextCoreID() = %d, want 8", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := &SoC{Name: "x", Cores: []Core{sampleCore()}}
+	c := s.Clone()
+	c.Cores[0].ScanChains[0] = 999
+	c.Cores[0].Name = "mutated"
+	if s.Cores[0].ScanChains[0] == 999 {
+		t.Error("Clone shares scan chain storage")
+	}
+	if s.Cores[0].Name == "mutated" {
+		t.Error("Clone shares core storage")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Benchmark("d695")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Summarize(s)
+	if sum.Name != "d695" || sum.Cores != 10 {
+		t.Errorf("summary = %+v", sum)
+	}
+	if sum.ScannedCores != 8 {
+		t.Errorf("ScannedCores = %d, want 8", sum.ScannedCores)
+	}
+	if sum.TotalPower != 6472 {
+		t.Errorf("TotalPower = %g, want 6472", sum.TotalPower)
+	}
+	if sum.LargestCore != "s13207" {
+		t.Errorf("LargestCore = %q", sum.LargestCore)
+	}
+}
+
+func TestSortCoresByVolume(t *testing.T) {
+	s, err := Benchmark("d695")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := SortCoresByVolume(s)
+	if len(ids) != 10 {
+		t.Fatalf("got %d ids", len(ids))
+	}
+	var prev int = 1 << 60
+	for _, id := range ids {
+		c, _ := s.CoreByID(id)
+		if c.TestDataVolume() > prev {
+			t.Fatalf("ids not ordered by decreasing volume at core %d", id)
+		}
+		prev = c.TestDataVolume()
+	}
+}
+
+func TestBenchmarksEmbedded(t *testing.T) {
+	names := BenchmarkNames()
+	want := []string{"d695", "p22810", "p93791"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("BenchmarkNames() = %v, want %v", names, want)
+	}
+	coreCounts := map[string]int{"d695": 10, "p22810": 28, "p93791": 32}
+	for name, wantCores := range coreCounts {
+		s, err := Benchmark(name)
+		if err != nil {
+			t.Fatalf("Benchmark(%q): %v", name, err)
+		}
+		if len(s.Cores) != wantCores {
+			t.Errorf("%s has %d cores, want %d", name, len(s.Cores), wantCores)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s does not validate: %v", name, err)
+		}
+	}
+	if _, err := Benchmark("p34392"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestBenchmarkReturnsCopy(t *testing.T) {
+	a, err := Benchmark("d695")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Cores[0].Patterns = 9999
+	b, err := Benchmark("d695")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Cores[0].Patterns == 9999 {
+		t.Error("Benchmark returns shared state")
+	}
+}
+
+// Relative sizes drive the scheduler: the synthetic systems must keep the
+// published ordering d695 < p22810 < p93791 in total test data volume.
+func TestBenchmarkOrdering(t *testing.T) {
+	var volumes []int
+	for _, name := range []string{"d695", "p22810", "p93791"} {
+		s, err := Benchmark(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		volumes = append(volumes, s.TotalTestDataVolume())
+	}
+	if !(volumes[0] < volumes[1] && volumes[1] < volumes[2]) {
+		t.Errorf("volume ordering violated: %v", volumes)
+	}
+}

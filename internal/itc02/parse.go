@@ -1,0 +1,223 @@
+package itc02
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The interchange format is line-oriented:
+//
+//	# comment
+//	soc d695
+//	core 1 c6288
+//	  inputs 32
+//	  outputs 32
+//	  bidirs 0
+//	  scanchains 32 54 52
+//	  patterns 12
+//	  power 660
+//	end
+//
+// Field lines may appear in any order inside a core block; omitted
+// numeric fields default to zero and "scanchains" may be omitted for
+// unscanned cores. Indentation is cosmetic.
+
+// Parse reads a SoC description from r, reporting errors with line
+// numbers.
+func Parse(r io.Reader) (*SoC, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+
+	soc := &SoC{}
+	var cur *Core
+	line := 0
+	finishCore := func() {
+		if cur != nil {
+			soc.Cores = append(soc.Cores, *cur)
+			cur = nil
+		}
+	}
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "soc":
+			if soc.Name != "" {
+				return nil, fmt.Errorf("itc02: line %d: duplicate soc declaration", line)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("itc02: line %d: want \"soc <name>\", got %q", line, text)
+			}
+			soc.Name = fields[1]
+		case "core":
+			if soc.Name == "" {
+				return nil, fmt.Errorf("itc02: line %d: core before soc declaration", line)
+			}
+			finishCore()
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("itc02: line %d: want \"core <id> <name>\", got %q", line, text)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("itc02: line %d: bad core id %q: %v", line, fields[1], err)
+			}
+			cur = &Core{ID: id, Name: fields[2]}
+		case "inputs", "outputs", "bidirs", "patterns":
+			if cur == nil {
+				return nil, fmt.Errorf("itc02: line %d: %s outside a core block", line, fields[0])
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("itc02: line %d: want \"%s <n>\", got %q", line, fields[0], text)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("itc02: line %d: bad %s value %q: %v", line, fields[0], fields[1], err)
+			}
+			switch fields[0] {
+			case "inputs":
+				cur.Inputs = n
+			case "outputs":
+				cur.Outputs = n
+			case "bidirs":
+				cur.Bidirs = n
+			case "patterns":
+				cur.Patterns = n
+			}
+		case "power":
+			if cur == nil {
+				return nil, fmt.Errorf("itc02: line %d: power outside a core block", line)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("itc02: line %d: want \"power <w>\", got %q", line, text)
+			}
+			w, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("itc02: line %d: bad power value %q: %v", line, fields[1], err)
+			}
+			cur.Power = w
+		case "scanchains":
+			if cur == nil {
+				return nil, fmt.Errorf("itc02: line %d: scanchains outside a core block", line)
+			}
+			if cur.ScanChains != nil {
+				return nil, fmt.Errorf("itc02: line %d: duplicate scanchains", line)
+			}
+			for _, f := range fields[1:] {
+				l, err := strconv.Atoi(f)
+				if err != nil {
+					return nil, fmt.Errorf("itc02: line %d: bad scan chain length %q: %v", line, f, err)
+				}
+				cur.ScanChains = append(cur.ScanChains, l)
+			}
+		case "end":
+			finishCore()
+		default:
+			return nil, fmt.Errorf("itc02: line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("itc02: reading input: %w", err)
+	}
+	finishCore()
+	if err := soc.Validate(); err != nil {
+		return nil, err
+	}
+	return soc, nil
+}
+
+// ParseString is Parse over an in-memory description.
+func ParseString(s string) (*SoC, error) { return Parse(strings.NewReader(s)) }
+
+// Write emits the canonical form of a SoC: cores ordered by ID, fields
+// in fixed order, zero-valued optional fields omitted. Parse(Write(s))
+// reproduces s exactly for valid systems.
+func Write(w io.Writer, s *SoC) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "soc %s\n", s.Name)
+	for _, c := range s.SortedByID() {
+		fmt.Fprintf(bw, "core %d %s\n", c.ID, c.Name)
+		fmt.Fprintf(bw, "  inputs %d\n", c.Inputs)
+		fmt.Fprintf(bw, "  outputs %d\n", c.Outputs)
+		if c.Bidirs != 0 {
+			fmt.Fprintf(bw, "  bidirs %d\n", c.Bidirs)
+		}
+		if len(c.ScanChains) > 0 {
+			fmt.Fprintf(bw, "  scanchains%s\n", joinInts(c.ScanChains))
+		}
+		fmt.Fprintf(bw, "  patterns %d\n", c.Patterns)
+		fmt.Fprintf(bw, "  power %s\n", strconv.FormatFloat(c.Power, 'f', -1, 64))
+		fmt.Fprintf(bw, "end\n")
+	}
+	return bw.Flush()
+}
+
+// WriteString renders the canonical form to a string.
+func WriteString(s *SoC) (string, error) {
+	var b strings.Builder
+	if err := Write(&b, s); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+func joinInts(vals []int) string {
+	var b strings.Builder
+	for _, v := range vals {
+		fmt.Fprintf(&b, " %d", v)
+	}
+	return b.String()
+}
+
+// Summary describes a SoC at a glance for reports and CLIs.
+type Summary struct {
+	Name         string
+	Cores        int
+	ScannedCores int
+	Patterns     int
+	DataVolume   int
+	TotalPower   float64
+	LargestCore  string
+}
+
+// Summarize computes a Summary.
+func Summarize(s *SoC) Summary {
+	sum := Summary{Name: s.Name, Cores: len(s.Cores), TotalPower: s.TotalPower()}
+	largest := -1
+	for _, c := range s.Cores {
+		sum.Patterns += c.Patterns
+		sum.DataVolume += c.TestDataVolume()
+		if len(c.ScanChains) > 0 {
+			sum.ScannedCores++
+		}
+		if c.TestDataVolume() > largest {
+			largest = c.TestDataVolume()
+			sum.LargestCore = c.Name
+		}
+	}
+	return sum
+}
+
+// SortCoresByVolume returns core IDs ordered by decreasing test data
+// volume, a common scheduling priority in the SoC test literature.
+func SortCoresByVolume(s *SoC) []int {
+	cores := s.SortedByID()
+	sort.SliceStable(cores, func(i, j int) bool {
+		return cores[i].TestDataVolume() > cores[j].TestDataVolume()
+	})
+	ids := make([]int, len(cores))
+	for i, c := range cores {
+		ids[i] = c.ID
+	}
+	return ids
+}

@@ -1,0 +1,184 @@
+package itc02
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestParseMinimal(t *testing.T) {
+	s, err := ParseString(`
+# a comment
+soc tiny
+core 1 alpha
+  inputs 8
+  outputs 4
+  patterns 10
+  power 5.5
+end
+core 2 beta
+  inputs 3
+  outputs 3
+  bidirs 2
+  scanchains 16 15
+  patterns 20
+  power 7
+end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "tiny" || len(s.Cores) != 2 {
+		t.Fatalf("parsed %q with %d cores", s.Name, len(s.Cores))
+	}
+	a := s.Cores[0]
+	if a.ID != 1 || a.Name != "alpha" || a.Inputs != 8 || a.Outputs != 4 || a.Patterns != 10 || a.Power != 5.5 {
+		t.Errorf("core a = %+v", a)
+	}
+	b := s.Cores[1]
+	if b.Bidirs != 2 || b.ScanBits() != 31 || len(b.ScanChains) != 2 {
+		t.Errorf("core b = %+v", b)
+	}
+}
+
+func TestParseWithoutEndDirectives(t *testing.T) {
+	// "end" is optional; a new "core" or EOF closes the block.
+	s, err := ParseString(`
+soc x
+core 1 a
+  inputs 1
+  outputs 1
+  patterns 1
+core 2 b
+  inputs 2
+  outputs 2
+  patterns 2
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Cores) != 2 {
+		t.Fatalf("got %d cores, want 2", len(s.Cores))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name, in, wantSub string
+	}{
+		{"no soc", "core 1 a\n inputs 1\n outputs 1\n patterns 1\n", "before soc"},
+		{"duplicate soc", "soc a\nsoc b\n", "duplicate soc"},
+		{"bad soc line", "soc a b\n", "want"},
+		{"bad core id", "soc a\ncore x y\n", "bad core id"},
+		{"core arity", "soc a\ncore 1\n", "want"},
+		{"field outside core", "soc a\ninputs 3\n", "outside a core"},
+		{"power outside core", "soc a\npower 3\n", "outside a core"},
+		{"scan outside core", "soc a\nscanchains 3\n", "outside a core"},
+		{"bad int", "soc a\ncore 1 x\ninputs zz\n", "bad inputs"},
+		{"bad power", "soc a\ncore 1 x\npower zz\n", "bad power"},
+		{"bad chain", "soc a\ncore 1 x\nscanchains 3 q\n", "bad scan chain"},
+		{"dup scanchains", "soc a\ncore 1 x\nscanchains 3\nscanchains 4\n", "duplicate scanchains"},
+		{"unknown directive", "soc a\nwibble 3\n", "unknown directive"},
+		{"field arity", "soc a\ncore 1 x\ninputs 1 2\n", "want"},
+		{"invalid soc result", "soc a\ncore 1 x\ninputs 1\noutputs 1\npatterns 0\n", "pattern count"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := ParseString(tt.in)
+			if err == nil {
+				t.Fatalf("Parse accepted %q", tt.in)
+			}
+			if !strings.Contains(err.Error(), tt.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tt.wantSub)
+			}
+		})
+	}
+}
+
+func TestParseReportsLineNumbers(t *testing.T) {
+	_, err := ParseString("soc a\ncore 1 x\n\n# pad\ninputs zz\n")
+	if err == nil || !strings.Contains(err.Error(), "line 5") {
+		t.Errorf("error %v should name line 5", err)
+	}
+}
+
+func TestWriteRejectsInvalid(t *testing.T) {
+	var b strings.Builder
+	if err := Write(&b, &SoC{Name: ""}); err == nil {
+		t.Error("Write accepted invalid soc")
+	}
+}
+
+// randomSoC builds a random valid SoC for the round-trip property.
+func randomSoC(r *rand.Rand) *SoC {
+	s := &SoC{Name: "rt"}
+	n := 1 + r.Intn(12)
+	for i := 0; i < n; i++ {
+		c := Core{
+			ID:       i + 1,
+			Name:     "core" + string(rune('a'+i)),
+			Inputs:   r.Intn(300),
+			Outputs:  r.Intn(300),
+			Bidirs:   r.Intn(10),
+			Patterns: 1 + r.Intn(1000),
+			Power:    float64(r.Intn(2000)),
+		}
+		if c.Inputs+c.Outputs+c.Bidirs == 0 {
+			c.Inputs = 1
+		}
+		for j := r.Intn(6); j > 0; j-- {
+			c.ScanChains = append(c.ScanChains, 1+r.Intn(100))
+		}
+		s.Cores = append(s.Cores, c)
+	}
+	return s
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		want := randomSoC(r)
+		text, err := WriteString(want)
+		if err != nil {
+			t.Fatalf("trial %d: Write: %v", trial, err)
+		}
+		got, err := ParseString(text)
+		if err != nil {
+			t.Fatalf("trial %d: Parse: %v\n%s", trial, err, text)
+		}
+		if got.Name != want.Name || len(got.Cores) != len(want.Cores) {
+			t.Fatalf("trial %d: shape mismatch", trial)
+		}
+		for i := range want.Cores {
+			w, g := want.Cores[i], got.Cores[i]
+			if w.ID != g.ID || w.Name != g.Name || w.Inputs != g.Inputs ||
+				w.Outputs != g.Outputs || w.Bidirs != g.Bidirs ||
+				w.Patterns != g.Patterns || w.Power != g.Power ||
+				w.ScanBits() != g.ScanBits() || len(w.ScanChains) != len(g.ScanChains) {
+				t.Fatalf("trial %d core %d: %+v != %+v", trial, i, w, g)
+			}
+		}
+	}
+}
+
+func TestCanonicalFormIsStable(t *testing.T) {
+	s, err := Benchmark("d695")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := WriteString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reparsed, err := ParseString(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := WriteString(reparsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Error("canonical form not a fixed point of Parse∘Write")
+	}
+}

@@ -1,0 +1,78 @@
+package noc
+
+import "fmt"
+
+// TransportPower models the power cost of carrying test traffic, as the
+// paper characterises it: a mean per-router figure measured while
+// sending packets of random size and payload, "added to each router the
+// packet passes through".
+type TransportPower struct {
+	// PerRouter is the mean power contribution of one router on the
+	// path of an active test stream, in the same arbitrary units as the
+	// cores' test power.
+	PerRouter float64
+}
+
+// DefaultTransportPower is used when no measured characterisation is
+// supplied. The value is small relative to typical core test powers
+// (hundreds of units) so that, as in the paper, transport power matters
+// only when many long paths are active at once.
+var DefaultTransportPower = TransportPower{PerRouter: 10}
+
+// Validate reports an error for negative power.
+func (p TransportPower) Validate() error {
+	if p.PerRouter < 0 {
+		return fmt.Errorf("noc: per-router transport power must be >= 0, got %g", p.PerRouter)
+	}
+	return nil
+}
+
+// PathPower returns the transport power of an active stream crossing the
+// given number of routers (path length in routers, i.e. hops+1).
+func (p TransportPower) PathPower(routers int) float64 {
+	if routers <= 0 {
+		return 0
+	}
+	return float64(routers) * p.PerRouter
+}
+
+// Characterization bundles everything the planner needs to know about
+// the network: the paper's step-one inputs (topology, routing algorithm,
+// number of routers, flit width, latencies, transport power).
+type Characterization struct {
+	Mesh    Mesh
+	Routing Routing
+	Timing  Timing
+	Power   TransportPower
+}
+
+// NewCharacterization assembles and validates a characterisation.
+func NewCharacterization(mesh Mesh, routing Routing, timing Timing, power TransportPower) (Characterization, error) {
+	c := Characterization{Mesh: mesh, Routing: routing, Timing: timing, Power: power}
+	return c, c.Validate()
+}
+
+// Validate checks all components.
+func (c Characterization) Validate() error {
+	if c.Mesh.Width < 1 || c.Mesh.Height < 1 {
+		return fmt.Errorf("noc: characterisation has invalid mesh %dx%d", c.Mesh.Width, c.Mesh.Height)
+	}
+	if c.Routing == nil {
+		return fmt.Errorf("noc: characterisation has no routing algorithm")
+	}
+	if err := c.Timing.Validate(); err != nil {
+		return err
+	}
+	return c.Power.Validate()
+}
+
+// Path routes between two tiles, validating that both lie on the mesh.
+func (c Characterization) Path(from, to Coord) ([]Coord, error) {
+	if !c.Mesh.Contains(from) {
+		return nil, fmt.Errorf("noc: source %v outside %dx%d mesh", from, c.Mesh.Width, c.Mesh.Height)
+	}
+	if !c.Mesh.Contains(to) {
+		return nil, fmt.Errorf("noc: destination %v outside %dx%d mesh", to, c.Mesh.Width, c.Mesh.Height)
+	}
+	return c.Routing.Path(from, to), nil
+}

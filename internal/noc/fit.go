@@ -1,0 +1,103 @@
+package noc
+
+import (
+	"fmt"
+	"math"
+)
+
+// Measurement is one latency observation taken on a real or simulated
+// network: a packet of PayloadFlits flits crossed Hops links in Latency
+// cycles under zero load.
+type Measurement struct {
+	Hops         int
+	PayloadFlits int
+	Latency      int
+}
+
+// FitResult is the outcome of characterising a router class from latency
+// measurements: the recovered routing and flow-control latencies plus
+// the fit residual.
+type FitResult struct {
+	RoutingLatency float64
+	FlowLatency    float64
+	// RMSE is the root-mean-square residual of the fit in cycles.
+	RMSE float64
+}
+
+// Timing rounds the fit to the integer-cycle Timing the planner uses,
+// attaching the given flit width.
+func (r FitResult) Timing(flitWidth int) Timing {
+	return Timing{
+		RoutingLatency: int(math.Round(r.RoutingLatency)),
+		FlowLatency:    int(math.Round(r.FlowLatency)),
+		FlitWidth:      flitWidth,
+	}
+}
+
+// FitTiming recovers the routing latency R and flow-control latency F
+// from zero-load measurements by least squares over the wormhole model
+//
+//	latency = hops*(R+F) + payloadFlits*F
+//
+// which is linear in the unknowns (R+F) and F. It is the quantitative
+// half of the paper's NoC characterisation step. At least two
+// measurements with distinct (hops, payloadFlits) shapes are required.
+func FitTiming(measurements []Measurement) (FitResult, error) {
+	if len(measurements) < 2 {
+		return FitResult{}, fmt.Errorf("noc: need at least 2 measurements to fit timing, got %d", len(measurements))
+	}
+	// Normal equations for y = a*h + b*f with a = R+F, b = F.
+	var shh, shf, sff, shy, sfy float64
+	for _, m := range measurements {
+		if m.Hops <= 0 {
+			return FitResult{}, fmt.Errorf("noc: measurement with non-positive hops %d", m.Hops)
+		}
+		h, f, y := float64(m.Hops), float64(m.PayloadFlits), float64(m.Latency)
+		shh += h * h
+		shf += h * f
+		sff += f * f
+		shy += h * y
+		sfy += f * y
+	}
+	det := shh*sff - shf*shf
+	if math.Abs(det) < 1e-9 {
+		return FitResult{}, fmt.Errorf("noc: measurements are degenerate (all same hops/flits ratio); vary both dimensions")
+	}
+	a := (shy*sff - sfy*shf) / det
+	b := (sfy*shh - shy*shf) / det
+	res := FitResult{RoutingLatency: a - b, FlowLatency: b}
+
+	var sq float64
+	for _, m := range measurements {
+		pred := a*float64(m.Hops) + b*float64(m.PayloadFlits)
+		d := pred - float64(m.Latency)
+		sq += d * d
+	}
+	res.RMSE = math.Sqrt(sq / float64(len(measurements)))
+	if res.FlowLatency <= 0 {
+		return res, fmt.Errorf("noc: fit produced non-positive flow latency %.3f; measurements inconsistent with wormhole model", res.FlowLatency)
+	}
+	if res.RoutingLatency < -0.5 {
+		return res, fmt.Errorf("noc: fit produced negative routing latency %.3f; measurements inconsistent with wormhole model", res.RoutingLatency)
+	}
+	return res, nil
+}
+
+// MeanTransportPower derives the per-router transport power from a set
+// of per-packet activity observations, mirroring the paper's "mean power
+// consumption to send packets of random size and random payload". Each
+// observation is the energy consumed by one packet divided by the number
+// of routers it crossed and the cycles it was in flight.
+func MeanTransportPower(perRouterSamples []float64) (TransportPower, error) {
+	if len(perRouterSamples) == 0 {
+		return TransportPower{}, fmt.Errorf("noc: no transport power samples")
+	}
+	var sum float64
+	for i, s := range perRouterSamples {
+		if s < 0 {
+			return TransportPower{}, fmt.Errorf("noc: sample %d is negative (%g)", i, s)
+		}
+		sum += s
+	}
+	return TransportPower{PerRouter: sum / float64(len(perRouterSamples))}, nil
+}

@@ -1,0 +1,103 @@
+package noc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// synthMeasurements produces exact zero-load observations for a known
+// timing, so the fit should recover it perfectly.
+func synthMeasurements(tm Timing, n int, r *rand.Rand) []Measurement {
+	ms := make([]Measurement, 0, n)
+	for i := 0; i < n; i++ {
+		hops := 1 + r.Intn(10)
+		flits := r.Intn(64)
+		ms = append(ms, Measurement{
+			Hops:         hops,
+			PayloadFlits: flits,
+			Latency:      tm.PacketLatency(hops, flits),
+		})
+	}
+	return ms
+}
+
+func TestFitTimingRecoversExactModel(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, tm := range []Timing{
+		{RoutingLatency: 5, FlowLatency: 1, FlitWidth: 32},
+		{RoutingLatency: 3, FlowLatency: 2, FlitWidth: 16},
+		{RoutingLatency: 10, FlowLatency: 4, FlitWidth: 64},
+	} {
+		got, err := FitTiming(synthMeasurements(tm, 40, r))
+		if err != nil {
+			t.Fatalf("FitTiming(%+v): %v", tm, err)
+		}
+		if math.Abs(got.RoutingLatency-float64(tm.RoutingLatency)) > 1e-6 {
+			t.Errorf("fit R = %g, want %d", got.RoutingLatency, tm.RoutingLatency)
+		}
+		if math.Abs(got.FlowLatency-float64(tm.FlowLatency)) > 1e-6 {
+			t.Errorf("fit F = %g, want %d", got.FlowLatency, tm.FlowLatency)
+		}
+		if got.RMSE > 1e-6 {
+			t.Errorf("RMSE = %g on exact data", got.RMSE)
+		}
+		rt := got.Timing(tm.FlitWidth)
+		if rt != tm {
+			t.Errorf("rounded timing = %+v, want %+v", rt, tm)
+		}
+	}
+}
+
+func TestFitTimingNoisyData(t *testing.T) {
+	tm := Timing{RoutingLatency: 5, FlowLatency: 1, FlitWidth: 32}
+	r := rand.New(rand.NewSource(11))
+	ms := synthMeasurements(tm, 200, r)
+	for i := range ms {
+		ms[i].Latency += r.Intn(3) - 1 // +-1 cycle jitter
+	}
+	got, err := FitTiming(ms)
+	if err != nil {
+		t.Fatalf("FitTiming: %v", err)
+	}
+	if got.Timing(32) != tm {
+		t.Errorf("noisy fit rounds to %+v, want %+v", got.Timing(32), tm)
+	}
+	if got.RMSE > 2 {
+		t.Errorf("RMSE = %g, want <= 2 for unit jitter", got.RMSE)
+	}
+}
+
+func TestFitTimingErrors(t *testing.T) {
+	if _, err := FitTiming(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := FitTiming([]Measurement{{1, 1, 7}}); err == nil {
+		t.Error("single measurement accepted")
+	}
+	// Degenerate: all observations have hops == payloadFlits, so the two
+	// regressors are linearly dependent.
+	degenerate := []Measurement{{1, 1, 7}, {2, 2, 14}, {3, 3, 21}}
+	if _, err := FitTiming(degenerate); err == nil {
+		t.Error("degenerate design matrix accepted")
+	}
+	if _, err := FitTiming([]Measurement{{0, 1, 7}, {1, 2, 9}}); err == nil {
+		t.Error("non-positive hops accepted")
+	}
+}
+
+func TestMeanTransportPower(t *testing.T) {
+	p, err := MeanTransportPower([]float64{8, 12, 10})
+	if err != nil {
+		t.Fatalf("MeanTransportPower: %v", err)
+	}
+	if p.PerRouter != 10 {
+		t.Errorf("PerRouter = %g, want 10", p.PerRouter)
+	}
+	if _, err := MeanTransportPower(nil); err == nil {
+		t.Error("empty samples accepted")
+	}
+	if _, err := MeanTransportPower([]float64{1, -2}); err == nil {
+		t.Error("negative sample accepted")
+	}
+}

@@ -1,0 +1,160 @@
+// Package noc models the on-chip network that the test planner reuses as
+// its test access mechanism.
+//
+// The model follows the characterisation step of Amory et al. (DATE'05):
+// a grid (2-D mesh) topology with a deterministic routing algorithm,
+// described by two latency figures — the routing latency (intra-router
+// cycles to establish a connection through one router) and the flow
+// control latency (inter-router cycles to move one flit across a link) —
+// plus the flit width and a mean per-router transport energy for test
+// packets.
+//
+// The package is purely analytic; the companion package noc/sim provides
+// a cycle-accurate wormhole simulator used to measure the latency figures
+// that this package consumes.
+package noc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Coord addresses a tile (router position) on the mesh. X grows to the
+// east, Y grows to the north. The south-west corner is (0, 0).
+type Coord struct {
+	X, Y int
+}
+
+// String returns the conventional "(x,y)" rendering of the coordinate.
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.X, c.Y) }
+
+// ManhattanDistance returns the hop distance between two tiles on a mesh
+// with dimension-ordered routing.
+func ManhattanDistance(a, b Coord) int {
+	return abs(a.X-b.X) + abs(a.Y-b.Y)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Link is a directed channel between two adjacent routers. Wormhole test
+// transport reserves links in a single direction, so Link{A,B} and
+// Link{B,A} are distinct resources.
+type Link struct {
+	From, To Coord
+}
+
+// String returns "(x,y)->(x,y)".
+func (l Link) String() string { return l.From.String() + "->" + l.To.String() }
+
+// Mesh is a Width x Height grid of routers, one tile per router.
+type Mesh struct {
+	Width, Height int
+}
+
+// NewMesh returns a mesh topology of the given dimensions.
+func NewMesh(width, height int) (Mesh, error) {
+	if width < 1 || height < 1 {
+		return Mesh{}, fmt.Errorf("noc: mesh dimensions must be positive, got %dx%d", width, height)
+	}
+	return Mesh{Width: width, Height: height}, nil
+}
+
+// MustMesh is NewMesh for statically known-good dimensions; it panics on
+// invalid input and is intended for tests and examples.
+func MustMesh(width, height int) Mesh {
+	m, err := NewMesh(width, height)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Tiles returns the number of tiles in the mesh.
+func (m Mesh) Tiles() int { return m.Width * m.Height }
+
+// Contains reports whether c is a valid tile of the mesh.
+func (m Mesh) Contains(c Coord) bool {
+	return c.X >= 0 && c.X < m.Width && c.Y >= 0 && c.Y < m.Height
+}
+
+// Index returns the row-major index of a tile, suitable for dense tables.
+func (m Mesh) Index(c Coord) int { return c.Y*m.Width + c.X }
+
+// CoordOf is the inverse of Index.
+func (m Mesh) CoordOf(index int) Coord {
+	return Coord{X: index % m.Width, Y: index / m.Width}
+}
+
+// Adjacent reports whether a and b are joined by a mesh link.
+func (m Mesh) Adjacent(a, b Coord) bool {
+	if !m.Contains(a) || !m.Contains(b) {
+		return false
+	}
+	return ManhattanDistance(a, b) == 1
+}
+
+// Neighbors returns the tiles adjacent to c in deterministic order
+// (east, west, north, south), skipping mesh edges.
+func (m Mesh) Neighbors(c Coord) []Coord {
+	candidates := []Coord{
+		{c.X + 1, c.Y},
+		{c.X - 1, c.Y},
+		{c.X, c.Y + 1},
+		{c.X, c.Y - 1},
+	}
+	out := candidates[:0]
+	for _, n := range candidates {
+		if m.Contains(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Links enumerates every directed link of the mesh in deterministic
+// order.
+func (m Mesh) Links() []Link {
+	var links []Link
+	for y := 0; y < m.Height; y++ {
+		for x := 0; x < m.Width; x++ {
+			from := Coord{x, y}
+			for _, to := range m.Neighbors(from) {
+				links = append(links, Link{From: from, To: to})
+			}
+		}
+	}
+	sort.Slice(links, func(i, j int) bool { return lessLink(links[i], links[j]) })
+	return links
+}
+
+func lessLink(a, b Link) bool {
+	if a.From != b.From {
+		return lessCoord(a.From, b.From)
+	}
+	return lessCoord(a.To, b.To)
+}
+
+func lessCoord(a, b Coord) bool {
+	if a.Y != b.Y {
+		return a.Y < b.Y
+	}
+	return a.X < b.X
+}
+
+// PathLinks expands a router-by-router path into the directed links it
+// occupies. A path with fewer than two routers occupies no links.
+func PathLinks(path []Coord) []Link {
+	if len(path) < 2 {
+		return nil
+	}
+	links := make([]Link, 0, len(path)-1)
+	for i := 1; i < len(path); i++ {
+		links = append(links, Link{From: path[i-1], To: path[i]})
+	}
+	return links
+}

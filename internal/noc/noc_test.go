@@ -1,0 +1,182 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMesh(t *testing.T) {
+	tests := []struct {
+		name          string
+		width, height int
+		wantErr       bool
+	}{
+		{"square", 4, 4, false},
+		{"rectangular", 5, 6, false},
+		{"single tile", 1, 1, false},
+		{"row", 8, 1, false},
+		{"zero width", 0, 4, true},
+		{"zero height", 4, 0, true},
+		{"negative", -1, 3, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m, err := NewMesh(tt.width, tt.height)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("NewMesh(%d,%d) error = %v, wantErr %v", tt.width, tt.height, err, tt.wantErr)
+			}
+			if err == nil && m.Tiles() != tt.width*tt.height {
+				t.Errorf("Tiles() = %d, want %d", m.Tiles(), tt.width*tt.height)
+			}
+		})
+	}
+}
+
+func TestMustMeshPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustMesh(0,0) did not panic")
+		}
+	}()
+	MustMesh(0, 0)
+}
+
+func TestMeshContains(t *testing.T) {
+	m := MustMesh(4, 3)
+	tests := []struct {
+		c    Coord
+		want bool
+	}{
+		{Coord{0, 0}, true},
+		{Coord{3, 2}, true},
+		{Coord{4, 2}, false},
+		{Coord{3, 3}, false},
+		{Coord{-1, 0}, false},
+		{Coord{0, -1}, false},
+	}
+	for _, tt := range tests {
+		if got := m.Contains(tt.c); got != tt.want {
+			t.Errorf("Contains(%v) = %v, want %v", tt.c, got, tt.want)
+		}
+	}
+}
+
+func TestMeshIndexRoundTrip(t *testing.T) {
+	m := MustMesh(5, 7)
+	for i := 0; i < m.Tiles(); i++ {
+		c := m.CoordOf(i)
+		if !m.Contains(c) {
+			t.Fatalf("CoordOf(%d) = %v is outside the mesh", i, c)
+		}
+		if got := m.Index(c); got != i {
+			t.Fatalf("Index(CoordOf(%d)) = %d", i, got)
+		}
+	}
+}
+
+func TestMeshNeighbors(t *testing.T) {
+	m := MustMesh(3, 3)
+	tests := []struct {
+		c    Coord
+		want int
+	}{
+		{Coord{1, 1}, 4}, // centre
+		{Coord{0, 0}, 2}, // corner
+		{Coord{1, 0}, 3}, // edge
+		{Coord{2, 2}, 2}, // corner
+	}
+	for _, tt := range tests {
+		got := m.Neighbors(tt.c)
+		if len(got) != tt.want {
+			t.Errorf("Neighbors(%v) has %d entries, want %d", tt.c, len(got), tt.want)
+		}
+		for _, n := range got {
+			if ManhattanDistance(tt.c, n) != 1 {
+				t.Errorf("Neighbors(%v) contains non-adjacent %v", tt.c, n)
+			}
+		}
+	}
+}
+
+func TestMeshLinksCount(t *testing.T) {
+	// A WxH mesh has 2*(W-1)*H horizontal + 2*W*(H-1) vertical directed links.
+	for _, dims := range [][2]int{{1, 1}, {2, 2}, {4, 4}, {5, 6}, {1, 5}} {
+		m := MustMesh(dims[0], dims[1])
+		want := 2*(m.Width-1)*m.Height + 2*m.Width*(m.Height-1)
+		if got := len(m.Links()); got != want {
+			t.Errorf("%dx%d mesh: len(Links()) = %d, want %d", m.Width, m.Height, got, want)
+		}
+	}
+}
+
+func TestMeshLinksAreAdjacentAndUnique(t *testing.T) {
+	m := MustMesh(4, 5)
+	seen := make(map[Link]bool)
+	for _, l := range m.Links() {
+		if !m.Adjacent(l.From, l.To) {
+			t.Errorf("link %v joins non-adjacent tiles", l)
+		}
+		if seen[l] {
+			t.Errorf("link %v appears twice", l)
+		}
+		seen[l] = true
+	}
+}
+
+func TestPathLinks(t *testing.T) {
+	path := []Coord{{0, 0}, {1, 0}, {2, 0}, {2, 1}}
+	links := PathLinks(path)
+	want := []Link{
+		{Coord{0, 0}, Coord{1, 0}},
+		{Coord{1, 0}, Coord{2, 0}},
+		{Coord{2, 0}, Coord{2, 1}},
+	}
+	if len(links) != len(want) {
+		t.Fatalf("PathLinks returned %d links, want %d", len(links), len(want))
+	}
+	for i := range want {
+		if links[i] != want[i] {
+			t.Errorf("link[%d] = %v, want %v", i, links[i], want[i])
+		}
+	}
+	if PathLinks(nil) != nil {
+		t.Error("PathLinks(nil) should be nil")
+	}
+	if PathLinks([]Coord{{1, 1}}) != nil {
+		t.Error("PathLinks of single tile should be nil")
+	}
+}
+
+func TestManhattanDistanceProperties(t *testing.T) {
+	symmetric := func(ax, ay, bx, by int8) bool {
+		a, b := Coord{int(ax), int(ay)}, Coord{int(bx), int(by)}
+		return ManhattanDistance(a, b) == ManhattanDistance(b, a)
+	}
+	if err := quick.Check(symmetric, nil); err != nil {
+		t.Errorf("distance not symmetric: %v", err)
+	}
+	nonNegative := func(ax, ay, bx, by int8) bool {
+		a, b := Coord{int(ax), int(ay)}, Coord{int(bx), int(by)}
+		d := ManhattanDistance(a, b)
+		return d >= 0 && (d == 0) == (a == b)
+	}
+	if err := quick.Check(nonNegative, nil); err != nil {
+		t.Errorf("distance identity violated: %v", err)
+	}
+	triangle := func(ax, ay, bx, by, cx, cy int8) bool {
+		a, b, c := Coord{int(ax), int(ay)}, Coord{int(bx), int(by)}, Coord{int(cx), int(cy)}
+		return ManhattanDistance(a, c) <= ManhattanDistance(a, b)+ManhattanDistance(b, c)
+	}
+	if err := quick.Check(triangle, nil); err != nil {
+		t.Errorf("triangle inequality violated: %v", err)
+	}
+}
+
+func TestCoordString(t *testing.T) {
+	if got := (Coord{3, 4}).String(); got != "(3,4)" {
+		t.Errorf("Coord.String() = %q", got)
+	}
+	if got := (Link{Coord{0, 0}, Coord{1, 0}}).String(); got != "(0,0)->(1,0)" {
+		t.Errorf("Link.String() = %q", got)
+	}
+}

@@ -1,0 +1,80 @@
+package noc
+
+import "fmt"
+
+// Routing computes the router-by-router path a packet follows between
+// two tiles. Implementations must be deterministic and minimal (the path
+// length equals the Manhattan distance) so that reserved test paths are
+// reproducible.
+type Routing interface {
+	// Path returns the ordered tiles a packet visits, including both
+	// endpoints. Path(a, a) returns [a].
+	Path(from, to Coord) []Coord
+	// Name identifies the algorithm in reports and serialised plans.
+	Name() string
+}
+
+// XY is dimension-ordered routing that exhausts the X offset before the
+// Y offset. It is the algorithm the paper's tool supports.
+type XY struct{}
+
+// Name implements Routing.
+func (XY) Name() string { return "xy" }
+
+// Path implements Routing.
+func (XY) Path(from, to Coord) []Coord {
+	path := make([]Coord, 0, ManhattanDistance(from, to)+1)
+	cur := from
+	path = append(path, cur)
+	for cur.X != to.X {
+		cur.X += step(cur.X, to.X)
+		path = append(path, cur)
+	}
+	for cur.Y != to.Y {
+		cur.Y += step(cur.Y, to.Y)
+		path = append(path, cur)
+	}
+	return path
+}
+
+// YX is dimension-ordered routing that exhausts the Y offset first. It
+// is provided as an ablation point for path-conflict sensitivity.
+type YX struct{}
+
+// Name implements Routing.
+func (YX) Name() string { return "yx" }
+
+// Path implements Routing.
+func (YX) Path(from, to Coord) []Coord {
+	path := make([]Coord, 0, ManhattanDistance(from, to)+1)
+	cur := from
+	path = append(path, cur)
+	for cur.Y != to.Y {
+		cur.Y += step(cur.Y, to.Y)
+		path = append(path, cur)
+	}
+	for cur.X != to.X {
+		cur.X += step(cur.X, to.X)
+		path = append(path, cur)
+	}
+	return path
+}
+
+func step(from, to int) int {
+	if to > from {
+		return 1
+	}
+	return -1
+}
+
+// RoutingByName returns the routing algorithm registered under name.
+// Supported names are "xy" and "yx".
+func RoutingByName(name string) (Routing, error) {
+	switch name {
+	case "xy":
+		return XY{}, nil
+	case "yx":
+		return YX{}, nil
+	}
+	return nil, fmt.Errorf("noc: unknown routing algorithm %q", name)
+}

@@ -1,0 +1,117 @@
+package noc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// meshPair generates a random mesh and two tiles on it, shared by the
+// routing property tests.
+func meshPair(r *rand.Rand) (Mesh, Coord, Coord) {
+	m := MustMesh(1+r.Intn(8), 1+r.Intn(8))
+	a := Coord{r.Intn(m.Width), r.Intn(m.Height)}
+	b := Coord{r.Intn(m.Width), r.Intn(m.Height)}
+	return m, a, b
+}
+
+func checkRoutingProperties(t *testing.T, algo Routing) {
+	t.Helper()
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		m, a, b := meshPair(r)
+		path := algo.Path(a, b)
+		if len(path) == 0 {
+			t.Fatalf("%s.Path(%v,%v) is empty", algo.Name(), a, b)
+		}
+		if path[0] != a || path[len(path)-1] != b {
+			t.Fatalf("%s.Path(%v,%v) endpoints = %v..%v", algo.Name(), a, b, path[0], path[len(path)-1])
+		}
+		// Minimal: length == Manhattan distance + 1.
+		if len(path) != ManhattanDistance(a, b)+1 {
+			t.Fatalf("%s.Path(%v,%v) has %d tiles, want %d", algo.Name(), a, b, len(path), ManhattanDistance(a, b)+1)
+		}
+		// Every step is a mesh link; no tile repeats (cycle-free).
+		seen := map[Coord]bool{path[0]: true}
+		for j := 1; j < len(path); j++ {
+			if !m.Adjacent(path[j-1], path[j]) {
+				t.Fatalf("%s.Path(%v,%v) step %v->%v is not a mesh link", algo.Name(), a, b, path[j-1], path[j])
+			}
+			if seen[path[j]] {
+				t.Fatalf("%s.Path(%v,%v) revisits %v", algo.Name(), a, b, path[j])
+			}
+			seen[path[j]] = true
+		}
+	}
+}
+
+func TestXYRoutingProperties(t *testing.T) { checkRoutingProperties(t, XY{}) }
+func TestYXRoutingProperties(t *testing.T) { checkRoutingProperties(t, YX{}) }
+
+func TestXYPathShape(t *testing.T) {
+	// XY must finish all X movement before any Y movement.
+	path := XY{}.Path(Coord{0, 0}, Coord{3, 2})
+	want := []Coord{{0, 0}, {1, 0}, {2, 0}, {3, 0}, {3, 1}, {3, 2}}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path[%d] = %v, want %v (full %v)", i, path[i], want[i], path)
+		}
+	}
+}
+
+func TestYXPathShape(t *testing.T) {
+	path := YX{}.Path(Coord{0, 0}, Coord{3, 2})
+	want := []Coord{{0, 0}, {0, 1}, {0, 2}, {1, 2}, {2, 2}, {3, 2}}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path[%d] = %v, want %v (full %v)", i, path[i], want[i], path)
+		}
+	}
+}
+
+func TestPathToSelf(t *testing.T) {
+	for _, algo := range []Routing{XY{}, YX{}} {
+		p := algo.Path(Coord{2, 2}, Coord{2, 2})
+		if len(p) != 1 || p[0] != (Coord{2, 2}) {
+			t.Errorf("%s.Path(self) = %v, want single tile", algo.Name(), p)
+		}
+	}
+}
+
+func TestXYAndYXAgreeOnStraightLines(t *testing.T) {
+	agree := func(x1, x2, y int8) bool {
+		a := Coord{int(x1), int(y)}
+		b := Coord{int(x2), int(y)}
+		pa, pb := XY{}.Path(a, b), YX{}.Path(a, b)
+		if len(pa) != len(pb) {
+			return false
+		}
+		for i := range pa {
+			if pa[i] != pb[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(agree, nil); err != nil {
+		t.Errorf("XY and YX disagree on a horizontal line: %v", err)
+	}
+}
+
+func TestRoutingByName(t *testing.T) {
+	for _, name := range []string{"xy", "yx"} {
+		algo, err := RoutingByName(name)
+		if err != nil {
+			t.Fatalf("RoutingByName(%q): %v", name, err)
+		}
+		if algo.Name() != name {
+			t.Errorf("RoutingByName(%q).Name() = %q", name, algo.Name())
+		}
+	}
+	if _, err := RoutingByName("adaptive"); err == nil {
+		t.Error("RoutingByName(adaptive) should fail")
+	}
+}

@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"noctest/internal/noc"
+)
+
+// MeasureZeroLoad injects a single packet into an otherwise idle network
+// and returns its observed latency as a measurement usable by
+// noc.FitTiming.
+func MeasureZeroLoad(cfg Config, src, dst noc.Coord, payloadFlits int) (noc.Measurement, error) {
+	n, err := New(cfg)
+	if err != nil {
+		return noc.Measurement{}, err
+	}
+	id, err := n.Inject(src, dst, payloadFlits, 0)
+	if err != nil {
+		return noc.Measurement{}, err
+	}
+	budget := 1000 + (cfg.RoutingLatency+cfg.FlowLatency+2)*(cfg.Mesh.Width+cfg.Mesh.Height+payloadFlits+4)
+	if err := n.RunUntilDelivered(budget); err != nil {
+		return noc.Measurement{}, err
+	}
+	d, ok := n.Delivery(id)
+	if !ok {
+		return noc.Measurement{}, fmt.Errorf("sim: packet %d not delivered", id)
+	}
+	return noc.Measurement{Hops: d.Hops, PayloadFlits: d.PayloadFlits, Latency: d.Latency()}, nil
+}
+
+// CollectMeasurements gathers zero-load latency observations over
+// random source/destination pairs and payload sizes, the raw material
+// for the paper's performance characterisation. Pairs with zero hops are
+// rerolled since they carry no routing information.
+func CollectMeasurements(cfg Config, trials int, seed int64) ([]noc.Measurement, error) {
+	if trials < 2 {
+		return nil, fmt.Errorf("sim: need at least 2 trials, got %d", trials)
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(seed))
+	ms := make([]noc.Measurement, 0, trials)
+	for len(ms) < trials {
+		src := noc.Coord{X: r.Intn(cfg.Mesh.Width), Y: r.Intn(cfg.Mesh.Height)}
+		dst := noc.Coord{X: r.Intn(cfg.Mesh.Width), Y: r.Intn(cfg.Mesh.Height)}
+		if src == dst {
+			continue
+		}
+		payload := r.Intn(64)
+		m, err := MeasureZeroLoad(cfg, src, dst, payload)
+		if err != nil {
+			return nil, err
+		}
+		ms = append(ms, m)
+	}
+	return ms, nil
+}
+
+// CharacterizeTiming performs the paper's step-one performance
+// characterisation end to end: measure latencies on the simulated
+// network, fit the wormhole model, and return the integer-cycle Timing
+// the planner consumes.
+func CharacterizeTiming(cfg Config, flitWidth, trials int, seed int64) (noc.Timing, noc.FitResult, error) {
+	ms, err := CollectMeasurements(cfg, trials, seed)
+	if err != nil {
+		return noc.Timing{}, noc.FitResult{}, err
+	}
+	fit, err := noc.FitTiming(ms)
+	if err != nil {
+		return noc.Timing{}, noc.FitResult{}, err
+	}
+	t := fit.Timing(flitWidth)
+	if err := t.Validate(); err != nil {
+		return noc.Timing{}, fit, err
+	}
+	return t, fit, nil
+}
+
+// CharacterizePower reproduces the paper's power characterisation:
+// "the mean power consumption to send packets of random size and random
+// payload ... added to each router the packet passes through". It sends
+// random packets one at a time and averages, per packet, the energy per
+// router-cycle of occupancy, yielding the additive per-router transport
+// power term.
+func CharacterizePower(cfg Config, trials int, seed int64) (noc.TransportPower, error) {
+	if trials < 1 {
+		return noc.TransportPower{}, fmt.Errorf("sim: need at least 1 trial, got %d", trials)
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return noc.TransportPower{}, err
+	}
+	r := rand.New(rand.NewSource(seed))
+	samples := make([]float64, 0, trials)
+	for len(samples) < trials {
+		src := noc.Coord{X: r.Intn(cfg.Mesh.Width), Y: r.Intn(cfg.Mesh.Height)}
+		dst := noc.Coord{X: r.Intn(cfg.Mesh.Width), Y: r.Intn(cfg.Mesh.Height)}
+		if src == dst {
+			continue
+		}
+		payload := 1 + r.Intn(63)
+		n, err := New(cfg)
+		if err != nil {
+			return noc.TransportPower{}, err
+		}
+		id, err := n.Inject(src, dst, payload, 0)
+		if err != nil {
+			return noc.TransportPower{}, err
+		}
+		if err := n.RunUntilDelivered(100000); err != nil {
+			return noc.TransportPower{}, err
+		}
+		d, _ := n.Delivery(id)
+		if d.Routers == 0 || d.Latency() == 0 {
+			continue
+		}
+		// Energy of the packet spread over the routers it kept busy,
+		// normalised by its time in flight: a per-router power figure.
+		energy := cfg.EnergyPerFlit * float64(d.Transmissions)
+		samples = append(samples, energy/float64(d.Routers))
+	}
+	return noc.MeanTransportPower(samples)
+}
+
+// TrafficStats summarises a random-traffic run, used by load/saturation
+// tests and benchmarks.
+type TrafficStats struct {
+	Packets       int
+	Cycles        int
+	MeanLatency   float64
+	MaxLatency    int
+	MinLatency    int
+	FlitsPerCycle float64
+}
+
+// RunRandomTraffic injects packets uniform-randomly (one source emits at
+// most one packet per interval cycles) and runs to completion,
+// returning aggregate statistics. It doubles as a stress test of the
+// wormhole protocol under contention.
+func RunRandomTraffic(cfg Config, packets, maxPayload, interval int, seed int64) (TrafficStats, error) {
+	if packets < 1 {
+		return TrafficStats{}, fmt.Errorf("sim: need at least 1 packet, got %d", packets)
+	}
+	if maxPayload < 1 {
+		return TrafficStats{}, fmt.Errorf("sim: maxPayload must be >= 1, got %d", maxPayload)
+	}
+	if interval < 1 {
+		return TrafficStats{}, fmt.Errorf("sim: interval must be >= 1, got %d", interval)
+	}
+	cfg = cfg.withDefaults()
+	n, err := New(cfg)
+	if err != nil {
+		return TrafficStats{}, err
+	}
+	r := rand.New(rand.NewSource(seed))
+	injected := 0
+	for at := 0; injected < packets; at += interval {
+		src := noc.Coord{X: r.Intn(cfg.Mesh.Width), Y: r.Intn(cfg.Mesh.Height)}
+		dst := noc.Coord{X: r.Intn(cfg.Mesh.Width), Y: r.Intn(cfg.Mesh.Height)}
+		if src == dst {
+			continue
+		}
+		if _, err := n.Inject(src, dst, 1+r.Intn(maxPayload), at); err != nil {
+			return TrafficStats{}, err
+		}
+		injected++
+	}
+	budget := (packets + 10) * (maxPayload + cfg.Mesh.Width + cfg.Mesh.Height) * (cfg.RoutingLatency + cfg.FlowLatency + 2) * 10
+	if err := n.RunUntilDelivered(budget); err != nil {
+		return TrafficStats{}, err
+	}
+	stats := TrafficStats{Packets: packets, Cycles: n.Now(), MinLatency: -1}
+	var totalFlits, totalLatency int
+	for _, d := range n.Deliveries() {
+		l := d.Latency()
+		totalLatency += l
+		totalFlits += d.PayloadFlits + 1
+		if l > stats.MaxLatency {
+			stats.MaxLatency = l
+		}
+		if stats.MinLatency < 0 || l < stats.MinLatency {
+			stats.MinLatency = l
+		}
+	}
+	stats.MeanLatency = float64(totalLatency) / float64(packets)
+	stats.FlitsPerCycle = float64(totalFlits) / float64(n.Now())
+	return stats, nil
+}

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"testing"
+
+	"noctest/internal/noc"
+)
+
+func TestCollectMeasurementsShape(t *testing.T) {
+	ms, err := CollectMeasurements(cfg4x4(5, 1), 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 30 {
+		t.Fatalf("got %d measurements, want 30", len(ms))
+	}
+	for _, m := range ms {
+		if m.Hops < 1 || m.Hops > 6 {
+			t.Errorf("hops %d out of 4x4 mesh range", m.Hops)
+		}
+		if m.Latency <= 0 {
+			t.Errorf("non-positive latency %d", m.Latency)
+		}
+	}
+	if _, err := CollectMeasurements(cfg4x4(5, 1), 1, 1); err == nil {
+		t.Error("trials=1 accepted")
+	}
+}
+
+// TestCharacterizeTimingRecoversGroundTruth is the paper's step 1 end to
+// end: simulate, measure, fit — the fitted R and F must equal the values
+// the simulator was built with.
+func TestCharacterizeTimingRecoversGroundTruth(t *testing.T) {
+	cases := []struct{ r, f int }{{5, 1}, {3, 2}, {8, 1}, {1, 3}}
+	for _, c := range cases {
+		timing, fit, err := CharacterizeTiming(cfg4x4(c.r, c.f), 32, 25, 7)
+		if err != nil {
+			t.Fatalf("R=%d F=%d: %v", c.r, c.f, err)
+		}
+		if timing.RoutingLatency != c.r || timing.FlowLatency != c.f {
+			t.Errorf("characterised (R,F) = (%d,%d), ground truth (%d,%d)",
+				timing.RoutingLatency, timing.FlowLatency, c.r, c.f)
+		}
+		if fit.RMSE > 1e-6 {
+			t.Errorf("RMSE %g on deterministic zero-load data", fit.RMSE)
+		}
+		if timing.FlitWidth != 32 {
+			t.Errorf("flit width %d, want 32", timing.FlitWidth)
+		}
+	}
+}
+
+func TestCharacterizePower(t *testing.T) {
+	cfg := cfg4x4(5, 1)
+	cfg.EnergyPerFlit = 2
+	p, err := CharacterizePower(cfg, 40, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PerRouter <= 0 {
+		t.Fatalf("per-router power %g, want > 0", p.PerRouter)
+	}
+	// Each flit is forwarded once per router it crosses, so the mean
+	// per-router energy equals energyPerFlit * flitsPerPacket; with
+	// payload 1..63 the sample mean must sit well inside (2*2, 2*64).
+	if p.PerRouter < 4 || p.PerRouter > 128 {
+		t.Errorf("per-router power %g outside plausible range", p.PerRouter)
+	}
+	if _, err := CharacterizePower(cfg, 0, 9); err == nil {
+		t.Error("trials=0 accepted")
+	}
+}
+
+func TestCharacterizePowerScalesWithEnergy(t *testing.T) {
+	cfg := cfg4x4(5, 1)
+	cfg.EnergyPerFlit = 1
+	p1, err := CharacterizePower(cfg, 30, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.EnergyPerFlit = 3
+	p3, err := CharacterizePower(cfg, 30, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := p3.PerRouter / p1.PerRouter
+	if ratio < 2.99 || ratio > 3.01 {
+		t.Errorf("power should scale linearly with energy per flit; ratio = %g", ratio)
+	}
+}
+
+func TestRunRandomTraffic(t *testing.T) {
+	cfg := Config{Mesh: noc.MustMesh(4, 4), RoutingLatency: 3, FlowLatency: 1}
+	stats, err := RunRandomTraffic(cfg, 100, 8, 5, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Packets != 100 {
+		t.Errorf("Packets = %d", stats.Packets)
+	}
+	if stats.MeanLatency <= 0 || stats.MaxLatency < stats.MinLatency {
+		t.Errorf("implausible stats %+v", stats)
+	}
+	timing := noc.Timing{RoutingLatency: 3, FlowLatency: 1, FlitWidth: 32}
+	if stats.MinLatency < timing.PacketLatency(1, 1) {
+		t.Errorf("min latency %d below smallest possible packet", stats.MinLatency)
+	}
+	if _, err := RunRandomTraffic(cfg, 0, 8, 5, 21); err == nil {
+		t.Error("packets=0 accepted")
+	}
+	if _, err := RunRandomTraffic(cfg, 1, 0, 5, 21); err == nil {
+		t.Error("maxPayload=0 accepted")
+	}
+	if _, err := RunRandomTraffic(cfg, 1, 1, 0, 21); err == nil {
+		t.Error("interval=0 accepted")
+	}
+}
+
+// TestTrafficLoadMonotonicity: pushing packets closer together must not
+// reduce mean latency (contention only adds delay).
+func TestTrafficLoadMonotonicity(t *testing.T) {
+	cfg := Config{Mesh: noc.MustMesh(4, 4), RoutingLatency: 3, FlowLatency: 1}
+	relaxed, err := RunRandomTraffic(cfg, 150, 8, 60, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	congested, err := RunRandomTraffic(cfg, 150, 8, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if congested.MeanLatency < relaxed.MeanLatency {
+		t.Errorf("congested mean latency %.1f below relaxed %.1f",
+			congested.MeanLatency, relaxed.MeanLatency)
+	}
+}

@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"noctest/internal/noc"
+)
+
+// TestMinimalBufferStillDelivers: depth-1 buffers force hop-by-hop
+// stalls but must not deadlock or corrupt streams.
+func TestMinimalBufferStillDelivers(t *testing.T) {
+	cfg := Config{Mesh: noc.MustMesh(4, 4), RoutingLatency: 2, FlowLatency: 1, BufferDepth: 1}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]PacketID, 0, 3)
+	for i := 0; i < 3; i++ {
+		id, err := n.Inject(noc.Coord{X: 0, Y: i}, noc.Coord{X: 3, Y: 3 - i}, 12, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := n.RunUntilDelivered(100000); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		d, ok := n.Delivery(id)
+		if !ok || d.PayloadFlits != 12 {
+			t.Fatalf("packet %d: %+v, %v", id, d, ok)
+		}
+	}
+}
+
+// TestSlowLinksThrottleThroughput: with flow latency F, a long stream's
+// tail latency grows linearly in F (payload*F term).
+func TestSlowLinksThrottleThroughput(t *testing.T) {
+	const payload = 50
+	var latencies []int
+	for _, f := range []int{1, 2, 4} {
+		cfg := Config{Mesh: noc.MustMesh(4, 1), RoutingLatency: 1, FlowLatency: f}
+		m, err := MeasureZeroLoad(cfg, noc.Coord{X: 0, Y: 0}, noc.Coord{X: 3, Y: 0}, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 3*(1+f) + payload*f
+		if m.Latency != want {
+			t.Errorf("F=%d: latency %d, want %d", f, m.Latency, want)
+		}
+		latencies = append(latencies, m.Latency)
+	}
+	if !(latencies[0] < latencies[1] && latencies[1] < latencies[2]) {
+		t.Errorf("latencies not increasing with F: %v", latencies)
+	}
+}
+
+// TestRoundRobinFairness: two sustained flows contending for one output
+// must both make progress and finish within a modest factor of each
+// other.
+func TestRoundRobinFairness(t *testing.T) {
+	cfg := Config{Mesh: noc.MustMesh(3, 3), RoutingLatency: 1, FlowLatency: 1}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both flows converge on the link (1,1)->(2,1): with XY routing the
+	// west flow goes straight, the packets from (1,0) route X-first...
+	// use (0,1)->(2,1) and (1,0)->(2,0)? To truly share, send both to
+	// the same destination from sources aligned along different ports
+	// of the same router.
+	var a, b []PacketID
+	for i := 0; i < 5; i++ {
+		pa, err := n.Inject(noc.Coord{X: 0, Y: 1}, noc.Coord{X: 2, Y: 1}, 8, i*4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := n.Inject(noc.Coord{X: 1, Y: 0}, noc.Coord{X: 2, Y: 1}, 8, i*4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b = append(a, pa), append(b, pb)
+	}
+	if err := n.RunUntilDelivered(100000); err != nil {
+		t.Fatal(err)
+	}
+	lastA, lastB := 0, 0
+	for _, id := range a {
+		if d, _ := n.Delivery(id); d.Delivered > lastA {
+			lastA = d.Delivered
+		}
+	}
+	for _, id := range b {
+		if d, _ := n.Delivery(id); d.Delivered > lastB {
+			lastB = d.Delivered
+		}
+	}
+	ratio := float64(lastA) / float64(lastB)
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("flows finished unfairly: A at %d, B at %d", lastA, lastB)
+	}
+}
+
+// TestWormholeNonInterleaving: flits of different packets never
+// interleave at a destination — every delivered packet has exactly its
+// own flit count ejected (the sim panics on interleaving; this test
+// drives the dangerous many-to-one pattern).
+func TestWormholeNonInterleaving(t *testing.T) {
+	cfg := Config{Mesh: noc.MustMesh(4, 4), RoutingLatency: 1, FlowLatency: 1, BufferDepth: 2}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := noc.Coord{X: 3, Y: 3}
+	count := 0
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 3; x++ {
+			if _, err := n.Inject(noc.Coord{X: x, Y: y}, dst, 6, 0); err != nil {
+				t.Fatal(err)
+			}
+			count++
+		}
+	}
+	if err := n.RunUntilDelivered(100000); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Deliveries()) != count {
+		t.Errorf("delivered %d of %d packets", len(n.Deliveries()), count)
+	}
+}
+
+// TestDeterministicReplay: identical configurations and injections give
+// identical cycle-level outcomes.
+func TestDeterministicReplay(t *testing.T) {
+	build := func() map[PacketID]Delivery {
+		cfg := Config{Mesh: noc.MustMesh(4, 4), RoutingLatency: 3, FlowLatency: 2}
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(77))
+		for i := 0; i < 40; i++ {
+			src := noc.Coord{X: r.Intn(4), Y: r.Intn(4)}
+			dst := noc.Coord{X: r.Intn(4), Y: r.Intn(4)}
+			if src == dst {
+				continue
+			}
+			if _, err := n.Inject(src, dst, r.Intn(10), r.Intn(50)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := n.RunUntilDelivered(100000); err != nil {
+			t.Fatal(err)
+		}
+		return n.Deliveries()
+	}
+	first, second := build(), build()
+	if len(first) != len(second) {
+		t.Fatalf("delivery counts differ: %d vs %d", len(first), len(second))
+	}
+	for id, d1 := range first {
+		d2, ok := second[id]
+		if !ok || d1 != d2 {
+			t.Fatalf("packet %d differs between replays: %+v vs %+v", id, d1, d2)
+		}
+	}
+}
+
+// TestCreditConservation: after the network drains, every output port's
+// credit count must be restored to the full buffer depth.
+func TestCreditConservation(t *testing.T) {
+	cfg := Config{Mesh: noc.MustMesh(3, 3), RoutingLatency: 2, FlowLatency: 1, BufferDepth: 3}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 30; i++ {
+		src := noc.Coord{X: r.Intn(3), Y: r.Intn(3)}
+		dst := noc.Coord{X: r.Intn(3), Y: r.Intn(3)}
+		if src == dst {
+			continue
+		}
+		if _, err := n.Inject(src, dst, r.Intn(8), r.Intn(20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.RunUntilDelivered(100000); err != nil {
+		t.Fatal(err)
+	}
+	for _, rt := range n.routers {
+		for p, out := range rt.outputs {
+			if p == portLocal {
+				continue
+			}
+			// Outputs facing off-mesh edges never carry traffic and
+			// keep their initial credits too.
+			if out.credits != cfg.BufferDepth {
+				t.Errorf("router %v port %s: %d credits after drain, want %d",
+					rt.at, portNames[p], out.credits, cfg.BufferDepth)
+			}
+			if out.owner != -1 {
+				t.Errorf("router %v port %s: still owned after drain", rt.at, portNames[p])
+			}
+		}
+	}
+}

@@ -1,0 +1,587 @@
+// Package sim is a cycle-accurate simulator for the wormhole mesh NoC
+// modelled analytically by package noc.
+//
+// Routers are input-buffered with one virtual channel per port,
+// dimension-ordered routing, round-robin output arbitration and
+// credit-based flow control. The simulator exists to perform the paper's
+// first step — characterising the network "in terms of time and power" —
+// by measuring packet latencies and per-router activity, from which the
+// analytic routing/flow-control latencies and the mean transport power
+// are fitted (see Measure* and Characterize* in this package).
+//
+// At zero load the simulator reproduces the analytic wormhole latency
+// exactly:
+//
+//	tailLatency = hops*(R+F) + payloadFlits*F
+//
+// which the package tests assert flit-for-flit.
+package sim
+
+import (
+	"fmt"
+
+	"noctest/internal/noc"
+)
+
+// Port indices of a mesh router.
+const (
+	portLocal = iota
+	portEast
+	portWest
+	portNorth
+	portSouth
+	numPorts
+)
+
+var portNames = [numPorts]string{"local", "east", "west", "north", "south"}
+
+// PacketID identifies an injected packet.
+type PacketID int
+
+// Config describes the simulated network. Zero values select defaults:
+// XY routing, flow latency 1, buffer depth 4, unit energy per flit.
+type Config struct {
+	Mesh noc.Mesh
+	// Routing selects the deterministic routing algorithm; nil means XY.
+	Routing noc.Routing
+	// RoutingLatency is the intra-router cycles a header spends being
+	// routed at each router it crosses.
+	RoutingLatency int
+	// FlowLatency is the cycles one flit occupies a link.
+	FlowLatency int
+	// BufferDepth is the per-input-port flit buffer capacity.
+	BufferDepth int
+	// EnergyPerFlit is the energy charged per flit-forwarding event,
+	// used by the power characterisation. Zero means 1.0.
+	EnergyPerFlit float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Routing == nil {
+		c.Routing = noc.XY{}
+	}
+	if c.BufferDepth == 0 {
+		c.BufferDepth = 4
+	}
+	if c.EnergyPerFlit == 0 {
+		c.EnergyPerFlit = 1
+	}
+	if c.FlowLatency == 0 {
+		c.FlowLatency = 1
+	}
+	return c
+}
+
+// Validate reports a descriptive error for unusable configurations.
+func (c Config) Validate() error {
+	if c.Mesh.Width < 1 || c.Mesh.Height < 1 {
+		return fmt.Errorf("sim: invalid mesh %dx%d", c.Mesh.Width, c.Mesh.Height)
+	}
+	if c.RoutingLatency < 0 {
+		return fmt.Errorf("sim: routing latency must be >= 0, got %d", c.RoutingLatency)
+	}
+	if c.FlowLatency < 1 {
+		return fmt.Errorf("sim: flow latency must be >= 1, got %d", c.FlowLatency)
+	}
+	if c.BufferDepth < 1 {
+		return fmt.Errorf("sim: buffer depth must be >= 1, got %d", c.BufferDepth)
+	}
+	if c.EnergyPerFlit < 0 {
+		return fmt.Errorf("sim: energy per flit must be >= 0, got %g", c.EnergyPerFlit)
+	}
+	return nil
+}
+
+type flit struct {
+	packet PacketID
+	dst    noc.Coord
+	isHead bool
+	isTail bool
+}
+
+// inputPort is one buffered router input with its wormhole route state.
+type inputPort struct {
+	queue   []flit
+	routed  bool // route computed for the packet currently at front
+	output  int  // output port held by the current packet
+	delay   int  // remaining routing-latency cycles
+	granted bool // output allocation granted
+}
+
+func (p *inputPort) reset() {
+	p.routed = false
+	p.granted = false
+	p.output = -1
+	p.delay = 0
+}
+
+// outputPort tracks wormhole ownership, link occupancy and credits for
+// the downstream buffer.
+type outputPort struct {
+	owner     int // input port index holding this output, -1 if free
+	busyUntil int // link occupied through cycles < busyUntil
+	credits   int // free slots in the downstream input buffer
+	rrNext    int // round-robin arbitration pointer
+}
+
+type router struct {
+	at      noc.Coord
+	inputs  [numPorts]inputPort
+	outputs [numPorts]outputPort
+	// transmissions counts flit-forwarding events at this router, for
+	// power characterisation.
+	transmissions int
+}
+
+// pendingInjection is a packet waiting (or streaming) at a source NI.
+type pendingInjection struct {
+	id      PacketID
+	src     noc.Coord
+	dst     noc.Coord
+	flits   int // total flits including header
+	sent    int
+	startAt int
+}
+
+// transitFlit is a flit crossing a link, landing in the downstream
+// buffer at cycle arriveAt.
+type transitFlit struct {
+	to       noc.Coord
+	port     int
+	f        flit
+	arriveAt int
+}
+
+// Delivery records the fate of one delivered packet.
+type Delivery struct {
+	Src, Dst noc.Coord
+	// Injected is the first cycle the header was visible inside the
+	// source router.
+	Injected int
+	// Delivered is the cycle the tail flit left the network at the
+	// destination.
+	Delivered int
+	// Hops is the link count of the route taken.
+	Hops int
+	// PayloadFlits excludes the header flit.
+	PayloadFlits int
+	// Transmissions is the total flit-forwarding events attributed to
+	// the packet, summed over every router it crossed.
+	Transmissions int
+	// Routers is the number of routers on the packet's path.
+	Routers int
+}
+
+// Latency is the injection-to-tail-delivery packet latency in cycles.
+func (d Delivery) Latency() int { return d.Delivered - d.Injected }
+
+// Network is a running simulation instance.
+type Network struct {
+	cfg     Config
+	routers []*router
+	now     int
+
+	nextID   PacketID
+	waiting  []*pendingInjection   // startAt in the future
+	niQueues [][]*pendingInjection // per-tile FIFO of streaming packets
+	transit  []transitFlit
+
+	inFlight   map[PacketID]*packetState
+	deliveries map[PacketID]Delivery
+}
+
+type packetState struct {
+	src, dst      noc.Coord
+	injected      int
+	flits         int
+	ejected       int
+	transmissions int
+	hops          int
+}
+
+// New builds a network from the configuration.
+func New(cfg Config) (*Network, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{
+		cfg:        cfg,
+		routers:    make([]*router, cfg.Mesh.Tiles()),
+		niQueues:   make([][]*pendingInjection, cfg.Mesh.Tiles()),
+		inFlight:   make(map[PacketID]*packetState),
+		deliveries: make(map[PacketID]Delivery),
+	}
+	for i := range n.routers {
+		r := &router{at: cfg.Mesh.CoordOf(i)}
+		for p := range r.inputs {
+			r.inputs[p].reset()
+		}
+		for p := range r.outputs {
+			r.outputs[p] = outputPort{owner: -1, credits: cfg.BufferDepth}
+		}
+		n.routers[i] = r
+	}
+	return n, nil
+}
+
+// Now returns the current simulation cycle.
+func (n *Network) Now() int { return n.now }
+
+// Inject schedules a packet of payloadFlits payload flits (a header flit
+// is added automatically) from src to dst, entering the network at cycle
+// at (>= current time). Packets sharing a source stream one at a time,
+// in injection order, as a network interface would send them.
+func (n *Network) Inject(src, dst noc.Coord, payloadFlits int, at int) (PacketID, error) {
+	if !n.cfg.Mesh.Contains(src) {
+		return 0, fmt.Errorf("sim: source %v outside mesh", src)
+	}
+	if !n.cfg.Mesh.Contains(dst) {
+		return 0, fmt.Errorf("sim: destination %v outside mesh", dst)
+	}
+	if payloadFlits < 0 {
+		return 0, fmt.Errorf("sim: negative payload flit count %d", payloadFlits)
+	}
+	if at < n.now {
+		return 0, fmt.Errorf("sim: injection time %d is in the past (now %d)", at, n.now)
+	}
+	id := n.nextID
+	n.nextID++
+	n.waiting = append(n.waiting, &pendingInjection{
+		id: id, src: src, dst: dst, flits: payloadFlits + 1, startAt: at,
+	})
+	return id, nil
+}
+
+// Delivery returns the delivery record for a packet, if it has arrived.
+func (n *Network) Delivery(id PacketID) (Delivery, bool) {
+	d, ok := n.deliveries[id]
+	return d, ok
+}
+
+// Deliveries returns all delivery records keyed by packet.
+func (n *Network) Deliveries() map[PacketID]Delivery { return n.deliveries }
+
+// Pending reports how many injected packets have not been fully
+// delivered yet.
+func (n *Network) Pending() int {
+	pending := len(n.waiting) + len(n.inFlight)
+	for _, q := range n.niQueues {
+		for _, p := range q {
+			if p.sent == 0 { // not yet counted via inFlight
+				pending++
+			}
+		}
+	}
+	return pending
+}
+
+// RunUntilDelivered advances the simulation until every injected packet
+// has been delivered, or maxCycles have elapsed, in which case it
+// reports an error naming the backlog.
+func (n *Network) RunUntilDelivered(maxCycles int) error {
+	deadline := n.now + maxCycles
+	for n.Pending() > 0 {
+		if n.now >= deadline {
+			return fmt.Errorf("sim: %d packets undelivered after %d cycles (deadlock or overload)", n.Pending(), maxCycles)
+		}
+		n.Step()
+	}
+	return nil
+}
+
+// Step advances the simulation by one cycle.
+func (n *Network) Step() {
+	n.landArrivals()
+	n.startInjections()
+	n.decrementRoutingDelays()
+	n.computeRoutes()
+	n.allocateOutputs()
+	n.transmit()
+	n.injectFlits()
+	n.now++
+}
+
+// landArrivals moves transit flits whose link traversal has completed
+// into their downstream input buffers.
+func (n *Network) landArrivals() {
+	var still []transitFlit
+	for _, t := range n.transit {
+		if t.arriveAt <= n.now {
+			r := n.routerAt(t.to)
+			r.inputs[t.port].queue = append(r.inputs[t.port].queue, t.f)
+		} else {
+			still = append(still, t)
+		}
+	}
+	n.transit = still
+}
+
+// startInjections moves due packets into their source NI queue.
+func (n *Network) startInjections() {
+	var still []*pendingInjection
+	for _, p := range n.waiting {
+		if p.startAt <= n.now {
+			idx := n.cfg.Mesh.Index(p.src)
+			n.niQueues[idx] = append(n.niQueues[idx], p)
+		} else {
+			still = append(still, p)
+		}
+	}
+	n.waiting = still
+}
+
+// decrementRoutingDelays performs one cycle of routing work on every
+// header waiting in a router.
+func (n *Network) decrementRoutingDelays() {
+	for _, r := range n.routers {
+		for p := range r.inputs {
+			in := &r.inputs[p]
+			if in.routed && in.delay > 0 {
+				in.delay--
+			}
+		}
+	}
+}
+
+// computeRoutes assigns an output port to each newly arrived header.
+func (n *Network) computeRoutes() {
+	for _, r := range n.routers {
+		for p := range r.inputs {
+			in := &r.inputs[p]
+			if in.routed || len(in.queue) == 0 {
+				continue
+			}
+			front := in.queue[0]
+			if !front.isHead {
+				// Wormhole switching keeps a packet's flits contiguous
+				// per input, so only a header may appear at the front of
+				// an unrouted port. Anything else is a protocol bug.
+				panic(fmt.Sprintf("sim: body flit of packet %d at front of unrouted port %v/%s",
+					front.packet, r.at, portNames[p]))
+			}
+			out := n.routeOutput(r.at, front.dst)
+			in.routed = true
+			in.output = out
+			if out == portLocal {
+				in.delay = 0 // ejection pays no routing latency
+			} else {
+				in.delay = n.cfg.RoutingLatency
+			}
+		}
+	}
+}
+
+// routeOutput picks the output port at router cur for a packet headed to
+// dst, following the configured deterministic routing algorithm.
+func (n *Network) routeOutput(cur, dst noc.Coord) int {
+	if cur == dst {
+		return portLocal
+	}
+	path := n.cfg.Routing.Path(cur, dst)
+	next := path[1]
+	switch {
+	case next.X > cur.X:
+		return portEast
+	case next.X < cur.X:
+		return portWest
+	case next.Y > cur.Y:
+		return portNorth
+	default:
+		return portSouth
+	}
+}
+
+// allocateOutputs grants free outputs to routed headers, round-robin per
+// output for fairness.
+func (n *Network) allocateOutputs() {
+	for _, r := range n.routers {
+		for out := range r.outputs {
+			o := &r.outputs[out]
+			if o.owner != -1 {
+				continue
+			}
+			for k := 0; k < numPorts; k++ {
+				p := (o.rrNext + k) % numPorts
+				in := &r.inputs[p]
+				if in.routed && !in.granted && in.delay == 0 && in.output == out && len(in.queue) > 0 {
+					o.owner = p
+					o.rrNext = (p + 1) % numPorts
+					in.granted = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// transmit forwards one flit per granted input whose output link is free
+// and has downstream credit; ejections leave the network immediately.
+func (n *Network) transmit() {
+	for _, r := range n.routers {
+		for p := range r.inputs {
+			in := &r.inputs[p]
+			if !in.granted || len(in.queue) == 0 {
+				continue
+			}
+			out := &r.outputs[in.output]
+			if out.owner != p {
+				continue
+			}
+			f := in.queue[0]
+			if in.output == portLocal {
+				// Ejection: unlimited sink bandwidth, one flit per cycle.
+				in.queue = in.queue[1:]
+				r.transmissions++
+				n.eject(f, r.at)
+				n.returnCredit(r.at, p)
+				if f.isTail {
+					out.owner = -1
+					in.reset()
+				}
+				continue
+			}
+			if out.busyUntil > n.now || out.credits == 0 {
+				continue
+			}
+			in.queue = in.queue[1:]
+			out.busyUntil = n.now + n.cfg.FlowLatency
+			out.credits--
+			r.transmissions++
+			if st, ok := n.inFlight[f.packet]; ok {
+				st.transmissions++
+			}
+			n.transit = append(n.transit, transitFlit{
+				to:       neighborOf(r.at, in.output),
+				port:     oppositePort(in.output),
+				f:        f,
+				arriveAt: n.now + n.cfg.FlowLatency,
+			})
+			n.returnCredit(r.at, p)
+			if f.isTail {
+				out.owner = -1
+				in.reset()
+			}
+		}
+	}
+}
+
+// returnCredit informs the upstream router that a buffer slot freed at
+// our input port p. Local ports have no upstream router; injection
+// space is tracked directly by buffer occupancy.
+func (n *Network) returnCredit(at noc.Coord, p int) {
+	if p == portLocal {
+		return
+	}
+	up := neighborOf(at, p)
+	n.routerAt(up).outputs[oppositePort(p)].credits++
+}
+
+// injectFlits streams the front packet of each NI queue into the local
+// input buffer, one flit per cycle, subject to buffer space. Packets at
+// the same source never interleave.
+func (n *Network) injectFlits() {
+	for idx := range n.niQueues {
+		q := n.niQueues[idx]
+		if len(q) == 0 {
+			continue
+		}
+		p := q[0]
+		r := n.routers[idx]
+		in := &r.inputs[portLocal]
+		if len(in.queue) >= n.cfg.BufferDepth {
+			continue
+		}
+		f := flit{
+			packet: p.id,
+			dst:    p.dst,
+			isHead: p.sent == 0,
+			isTail: p.sent == p.flits-1,
+		}
+		if p.sent == 0 {
+			hops := len(n.cfg.Routing.Path(p.src, p.dst)) - 1
+			// The flit becomes visible to the router pipeline at the
+			// start of the next cycle; stamping now+1 makes zero-load
+			// latency exactly hops*(R+F) + payload*F.
+			n.inFlight[p.id] = &packetState{
+				src: p.src, dst: p.dst,
+				injected: n.now + 1, flits: p.flits, hops: hops,
+			}
+		}
+		in.queue = append(in.queue, f)
+		p.sent++
+		if p.sent == p.flits {
+			n.niQueues[idx] = q[1:]
+		}
+	}
+}
+
+// eject removes a flit from the network at its destination and completes
+// the delivery record on the tail.
+func (n *Network) eject(f flit, at noc.Coord) {
+	st, ok := n.inFlight[f.packet]
+	if !ok {
+		panic(fmt.Sprintf("sim: ejecting unknown packet %d at %v", f.packet, at))
+	}
+	st.ejected++
+	st.transmissions++ // ejection counts as activity at the destination router
+	if f.isTail {
+		if st.ejected != st.flits {
+			panic(fmt.Sprintf("sim: packet %d tail ejected after %d of %d flits", f.packet, st.ejected, st.flits))
+		}
+		n.deliveries[f.packet] = Delivery{
+			Src: st.src, Dst: st.dst,
+			Injected:      st.injected,
+			Delivered:     n.now,
+			Hops:          st.hops,
+			PayloadFlits:  st.flits - 1,
+			Transmissions: st.transmissions,
+			Routers:       st.hops + 1,
+		}
+		delete(n.inFlight, f.packet)
+	}
+}
+
+func (n *Network) routerAt(c noc.Coord) *router {
+	return n.routers[n.cfg.Mesh.Index(c)]
+}
+
+// neighborOf returns the tile reached by leaving c through output port.
+func neighborOf(c noc.Coord, port int) noc.Coord {
+	switch port {
+	case portEast:
+		return noc.Coord{X: c.X + 1, Y: c.Y}
+	case portWest:
+		return noc.Coord{X: c.X - 1, Y: c.Y}
+	case portNorth:
+		return noc.Coord{X: c.X, Y: c.Y + 1}
+	case portSouth:
+		return noc.Coord{X: c.X, Y: c.Y - 1}
+	}
+	panic(fmt.Sprintf("sim: no neighbor through port %d", port))
+}
+
+// oppositePort maps an output port to the input port it feeds on the
+// neighbouring router.
+func oppositePort(port int) int {
+	switch port {
+	case portEast:
+		return portWest
+	case portWest:
+		return portEast
+	case portNorth:
+		return portSouth
+	case portSouth:
+		return portNorth
+	}
+	panic(fmt.Sprintf("sim: port %d has no opposite", port))
+}
+
+// TotalTransmissions sums flit-forwarding events over all routers.
+func (n *Network) TotalTransmissions() int {
+	total := 0
+	for _, r := range n.routers {
+		total += r.transmissions
+	}
+	return total
+}

@@ -1,0 +1,79 @@
+package noc
+
+import "fmt"
+
+// Timing holds the performance characterisation of one router class, as
+// defined in the paper: the routing latency (intra-router cycles needed
+// to create a connection through the router) and the flow control
+// latency (inter-router cycles needed to send one flit across a
+// channel), together with the channel flit width in bits.
+type Timing struct {
+	// RoutingLatency is the cycles a header flit spends inside each
+	// router to allocate the output (paper: "routing latency").
+	RoutingLatency int
+	// FlowLatency is the cycles one flit needs to traverse one channel
+	// once the path is set up (paper: "flow control latency").
+	FlowLatency int
+	// FlitWidth is the payload width of one flit in bits.
+	FlitWidth int
+}
+
+// DefaultTiming is the characterisation used throughout the experiments
+// unless a measured one is supplied: a single-cycle-per-hop wormhole
+// router with 32-bit flits, matching the Hermes-class NoC the authors
+// built on.
+var DefaultTiming = Timing{RoutingLatency: 5, FlowLatency: 1, FlitWidth: 32}
+
+// Validate reports a descriptive error if any field is non-positive.
+func (t Timing) Validate() error {
+	if t.RoutingLatency < 0 {
+		return fmt.Errorf("noc: routing latency must be >= 0, got %d", t.RoutingLatency)
+	}
+	if t.FlowLatency < 1 {
+		return fmt.Errorf("noc: flow latency must be >= 1, got %d", t.FlowLatency)
+	}
+	if t.FlitWidth < 1 {
+		return fmt.Errorf("noc: flit width must be >= 1, got %d", t.FlitWidth)
+	}
+	return nil
+}
+
+// Flits returns the number of flits needed to carry bits of payload on a
+// channel of this width. Zero bits need zero flits.
+func (t Timing) Flits(bits int) int {
+	if bits <= 0 {
+		return 0
+	}
+	return (bits + t.FlitWidth - 1) / t.FlitWidth
+}
+
+// PacketLatency returns the zero-load wormhole latency, in cycles, for a
+// packet of the given payload flit count (excluding the header flit)
+// crossing hops links: the header pays the routing plus flow latency at
+// every hop, then the payload streams behind it one flit per flow-latency
+// cycle.
+func (t Timing) PacketLatency(hops, payloadFlits int) int {
+	if hops <= 0 {
+		return 0
+	}
+	return hops*(t.RoutingLatency+t.FlowLatency) + payloadFlits*t.FlowLatency
+}
+
+// PathSetupLatency returns the one-time cost of streaming the first
+// header down a path of the given hop count.
+func (t Timing) PathSetupLatency(hops int) int {
+	if hops <= 0 {
+		return 0
+	}
+	return hops * (t.RoutingLatency + t.FlowLatency)
+}
+
+// StreamCycles returns the steady-state cycles needed to push the given
+// payload flit count through an already-established path: one flit per
+// flow-latency cycle.
+func (t Timing) StreamCycles(payloadFlits int) int {
+	if payloadFlits <= 0 {
+		return 0
+	}
+	return payloadFlits * t.FlowLatency
+}

@@ -1,0 +1,136 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimingValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		timing  Timing
+		wantErr bool
+	}{
+		{"default", DefaultTiming, false},
+		{"zero routing latency ok", Timing{0, 1, 16}, false},
+		{"negative routing latency", Timing{-1, 1, 16}, true},
+		{"zero flow latency", Timing{1, 0, 16}, true},
+		{"zero flit width", Timing{1, 1, 0}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.timing.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestTimingFlits(t *testing.T) {
+	tm := Timing{RoutingLatency: 5, FlowLatency: 1, FlitWidth: 32}
+	tests := []struct {
+		bits, want int
+	}{
+		{0, 0}, {-3, 0}, {1, 1}, {32, 1}, {33, 2}, {64, 2}, {65, 3}, {1000, 32},
+	}
+	for _, tt := range tests {
+		if got := tm.Flits(tt.bits); got != tt.want {
+			t.Errorf("Flits(%d) = %d, want %d", tt.bits, got, tt.want)
+		}
+	}
+}
+
+func TestFlitsCoversBits(t *testing.T) {
+	tm := DefaultTiming
+	covers := func(bits uint16) bool {
+		f := tm.Flits(int(bits))
+		return f*tm.FlitWidth >= int(bits) && (f == 0 || (f-1)*tm.FlitWidth < int(bits))
+	}
+	if err := quick.Check(covers, nil); err != nil {
+		t.Errorf("Flits does not tightly cover payload: %v", err)
+	}
+}
+
+func TestPacketLatency(t *testing.T) {
+	tm := Timing{RoutingLatency: 5, FlowLatency: 1, FlitWidth: 32}
+	tests := []struct {
+		hops, flits, want int
+	}{
+		{0, 10, 0},  // same tile: no network traversal
+		{1, 0, 6},   // header only: R+F
+		{1, 4, 10},  // 6 + 4
+		{3, 10, 28}, // 3*6 + 10
+		{5, 1, 31},  // 30 + 1
+	}
+	for _, tt := range tests {
+		if got := tm.PacketLatency(tt.hops, tt.flits); got != tt.want {
+			t.Errorf("PacketLatency(%d,%d) = %d, want %d", tt.hops, tt.flits, got, tt.want)
+		}
+	}
+}
+
+func TestPacketLatencyDecomposition(t *testing.T) {
+	tm := Timing{RoutingLatency: 3, FlowLatency: 2, FlitWidth: 16}
+	decomposes := func(hops, flits uint8) bool {
+		h, f := int(hops%16)+1, int(flits)
+		return tm.PacketLatency(h, f) == tm.PathSetupLatency(h)+tm.StreamCycles(f)
+	}
+	if err := quick.Check(decomposes, nil); err != nil {
+		t.Errorf("latency does not decompose into setup + stream: %v", err)
+	}
+}
+
+func TestTransportPower(t *testing.T) {
+	p := TransportPower{PerRouter: 10}
+	if got := p.PathPower(4); got != 40 {
+		t.Errorf("PathPower(4) = %g, want 40", got)
+	}
+	if got := p.PathPower(0); got != 0 {
+		t.Errorf("PathPower(0) = %g, want 0", got)
+	}
+	if err := (TransportPower{PerRouter: -1}).Validate(); err == nil {
+		t.Error("negative transport power should not validate")
+	}
+}
+
+func TestCharacterization(t *testing.T) {
+	c, err := NewCharacterization(MustMesh(4, 4), XY{}, DefaultTiming, DefaultTransportPower)
+	if err != nil {
+		t.Fatalf("NewCharacterization: %v", err)
+	}
+	path, err := c.Path(Coord{0, 0}, Coord{3, 3})
+	if err != nil {
+		t.Fatalf("Path: %v", err)
+	}
+	if len(path) != 7 {
+		t.Errorf("path length = %d, want 7", len(path))
+	}
+	if _, err := c.Path(Coord{0, 0}, Coord{4, 0}); err == nil {
+		t.Error("Path to off-mesh tile should fail")
+	}
+	if _, err := c.Path(Coord{-1, 0}, Coord{0, 0}); err == nil {
+		t.Error("Path from off-mesh tile should fail")
+	}
+}
+
+func TestCharacterizationValidate(t *testing.T) {
+	good := Characterization{Mesh: MustMesh(2, 2), Routing: XY{}, Timing: DefaultTiming, Power: DefaultTransportPower}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid characterisation rejected: %v", err)
+	}
+	bad := good
+	bad.Routing = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("nil routing accepted")
+	}
+	bad = good
+	bad.Timing.FlitWidth = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid timing accepted")
+	}
+	bad = good
+	bad.Mesh = Mesh{}
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid mesh accepted")
+	}
+}

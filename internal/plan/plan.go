@@ -1,0 +1,284 @@
+// Package plan defines the artifact the test planner produces: a set of
+// per-core test reservations with their interfaces, NoC paths, timing
+// and power, plus validation of the scheduling invariants, metrics, and
+// renderings (Gantt chart, CSV, JSON).
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"noctest/internal/noc"
+	"noctest/internal/power"
+)
+
+// InterfaceKind distinguishes the external tester from a reused
+// embedded processor.
+type InterfaceKind int
+
+// Interface kinds.
+const (
+	ATE InterfaceKind = iota
+	Processor
+)
+
+// String returns "ate" or "processor".
+func (k InterfaceKind) String() string {
+	if k == ATE {
+		return "ate"
+	}
+	return "processor"
+}
+
+// Entry is one scheduled core test.
+type Entry struct {
+	// CoreID and CoreName identify the core under test.
+	CoreID   int
+	CoreName string
+	// IsProcessor marks the self-test of an embedded processor.
+	IsProcessor bool
+	// Interface names the test source/sink serving this test.
+	Interface string
+	// InterfaceKind tells whether the interface is the tester or a
+	// reused processor.
+	InterfaceKind InterfaceKind
+	// InterfaceCoreID is the core ID of the serving processor, or 0 for
+	// the ATE.
+	InterfaceCoreID int
+	// Start and End delimit the reservation, in cycles, half-open.
+	Start, End int
+	// Setup is the path-establishment share of the duration.
+	Setup int
+	// Patterns and PerPattern decompose the streaming share:
+	// End-Start == Setup + Patterns*PerPattern.
+	Patterns   int
+	PerPattern int
+	// PathIn is the stimulus route (source tile to core tile); PathOut
+	// is the response route (core tile to sink tile).
+	PathIn, PathOut []noc.Coord
+	// Power is the total additional draw while the test runs: core test
+	// power + NoC transport power + processor power when applicable.
+	Power float64
+}
+
+// Duration returns the reservation length in cycles.
+func (e Entry) Duration() int { return e.End - e.Start }
+
+// Plan is a complete test schedule for one system.
+type Plan struct {
+	// System names the scheduled system (e.g. "d695_leon").
+	System string
+	// Algorithm records the scheduling variant that produced the plan.
+	Algorithm string
+	// PowerLimit is the ceiling the plan was built under; 0 means
+	// unconstrained.
+	PowerLimit float64
+	// ExclusiveLinks records whether the plan was built with
+	// circuit-switched (link-exclusive) transport; when set, Validate
+	// rejects concurrent tests sharing a directed link.
+	ExclusiveLinks bool
+	// Entries holds one reservation per core, in start order.
+	Entries []Entry
+}
+
+// Makespan returns the total test time: the latest entry end.
+func (p *Plan) Makespan() int {
+	m := 0
+	for _, e := range p.Entries {
+		if e.End > m {
+			m = e.End
+		}
+	}
+	return m
+}
+
+// EntryFor returns the entry testing the given core.
+func (p *Plan) EntryFor(coreID int) (Entry, bool) {
+	for _, e := range p.Entries {
+		if e.CoreID == coreID {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// ByStart returns the entries sorted by start time (then core ID).
+func (p *Plan) ByStart() []Entry {
+	out := make([]Entry, len(p.Entries))
+	copy(out, p.Entries)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].CoreID < out[j].CoreID
+	})
+	return out
+}
+
+// Interfaces lists the interface names used by the plan, ATE first,
+// then by first use.
+func (p *Plan) Interfaces() []string {
+	seen := make(map[string]bool)
+	var names []string
+	for _, e := range p.ByStart() {
+		if !seen[e.Interface] {
+			seen[e.Interface] = true
+			names = append(names, e.Interface)
+		}
+	}
+	sort.SliceStable(names, func(i, j int) bool {
+		ai, aj := strings.HasPrefix(names[i], "ate"), strings.HasPrefix(names[j], "ate")
+		if ai != aj {
+			return ai
+		}
+		return false
+	})
+	return names
+}
+
+// Utilization returns, per interface, the fraction of the makespan the
+// interface spends testing.
+func (p *Plan) Utilization() map[string]float64 {
+	total := p.Makespan()
+	util := make(map[string]float64)
+	if total == 0 {
+		return util
+	}
+	for _, e := range p.Entries {
+		util[e.Interface] += float64(e.Duration()) / float64(total)
+	}
+	return util
+}
+
+// PeakPower recomputes the maximum concurrent draw from the entries.
+func (p *Plan) PeakPower() float64 {
+	t := power.NewTracker(0)
+	for _, e := range p.Entries {
+		// Reservations were feasible when created; an unlimited tracker
+		// cannot fail.
+		if err := t.Add(e.Start, e.End, e.Power); err != nil {
+			panic(fmt.Sprintf("plan: corrupt entry %d: %v", e.CoreID, err))
+		}
+	}
+	return t.Peak()
+}
+
+// PowerProfile renders the plan's power-over-time steps.
+func (p *Plan) PowerProfile() []power.Sample {
+	t := power.NewTracker(0)
+	for _, e := range p.Entries {
+		if err := t.Add(e.Start, e.End, e.Power); err != nil {
+			panic(fmt.Sprintf("plan: corrupt entry %d: %v", e.CoreID, err))
+		}
+	}
+	return t.Profile()
+}
+
+// Validate checks every scheduling invariant a correct plan must hold:
+//
+//   - every entry is internally consistent (times, decomposition, paths)
+//   - no core is tested twice
+//   - no interface runs two tests at once
+//   - no directed NoC link carries two concurrent tests
+//   - a processor serves as interface only after its own test ends
+//   - the power ceiling (when set) is never exceeded
+func (p *Plan) Validate() error {
+	if len(p.Entries) == 0 {
+		return fmt.Errorf("plan: no entries")
+	}
+	coreSeen := make(map[int]bool)
+	ifaceBusy := make(map[string][][2]int)
+	linkBusy := make(map[noc.Link][]busySpan)
+	procTestEnd := make(map[int]int) // processor core id -> self-test end
+
+	for _, e := range p.Entries {
+		if err := validateEntry(e); err != nil {
+			return err
+		}
+		if coreSeen[e.CoreID] {
+			return fmt.Errorf("plan: core %d tested twice", e.CoreID)
+		}
+		coreSeen[e.CoreID] = true
+		if e.IsProcessor {
+			procTestEnd[e.CoreID] = e.End
+		}
+	}
+
+	for _, e := range p.Entries {
+		for _, span := range ifaceBusy[e.Interface] {
+			if overlaps(e.Start, e.End, span[0], span[1]) {
+				return fmt.Errorf("plan: interface %s runs two tests at once ([%d,%d) vs [%d,%d))",
+					e.Interface, e.Start, e.End, span[0], span[1])
+			}
+		}
+		ifaceBusy[e.Interface] = append(ifaceBusy[e.Interface], [2]int{e.Start, e.End})
+
+		if e.InterfaceKind == Processor {
+			end, ok := procTestEnd[e.InterfaceCoreID]
+			if !ok {
+				return fmt.Errorf("plan: core %d tested by processor core %d which has no self-test entry",
+					e.CoreID, e.InterfaceCoreID)
+			}
+			if e.Start < end {
+				return fmt.Errorf("plan: core %d test starts at %d on processor core %d still under test until %d",
+					e.CoreID, e.Start, e.InterfaceCoreID, end)
+			}
+		}
+
+		if p.ExclusiveLinks {
+			for _, l := range append(noc.PathLinks(e.PathIn), noc.PathLinks(e.PathOut)...) {
+				for _, span := range linkBusy[l] {
+					if span.core != e.CoreID && overlaps(e.Start, e.End, span.start, span.end) {
+						return fmt.Errorf("plan: link %v shared by cores %d and %d concurrently",
+							l, span.core, e.CoreID)
+					}
+				}
+				linkBusy[l] = append(linkBusy[l], busySpan{e.Start, e.End, e.CoreID})
+			}
+		}
+	}
+
+	if p.PowerLimit > 0 {
+		if peak := p.PeakPower(); peak > p.PowerLimit+1e-9 {
+			return fmt.Errorf("plan: peak power %.1f exceeds limit %.1f", peak, p.PowerLimit)
+		}
+	}
+	return nil
+}
+
+type busySpan struct {
+	start, end int
+	core       int
+}
+
+func validateEntry(e Entry) error {
+	if e.End <= e.Start {
+		return fmt.Errorf("plan: core %d has empty reservation [%d,%d)", e.CoreID, e.Start, e.End)
+	}
+	if e.Start < 0 {
+		return fmt.Errorf("plan: core %d starts before time zero", e.CoreID)
+	}
+	if e.Patterns <= 0 || e.PerPattern <= 0 {
+		return fmt.Errorf("plan: core %d has degenerate pattern decomposition %dx%d", e.CoreID, e.Patterns, e.PerPattern)
+	}
+	if e.Duration() != e.Setup+e.Patterns*e.PerPattern {
+		return fmt.Errorf("plan: core %d duration %d != setup %d + %d patterns * %d",
+			e.CoreID, e.Duration(), e.Setup, e.Patterns, e.PerPattern)
+	}
+	if len(e.PathIn) == 0 || len(e.PathOut) == 0 {
+		return fmt.Errorf("plan: core %d missing paths", e.CoreID)
+	}
+	if e.PathIn[len(e.PathIn)-1] != e.PathOut[0] {
+		return fmt.Errorf("plan: core %d stimulus path ends at %v but response path starts at %v",
+			e.CoreID, e.PathIn[len(e.PathIn)-1], e.PathOut[0])
+	}
+	if e.Power < 0 {
+		return fmt.Errorf("plan: core %d has negative power", e.CoreID)
+	}
+	return nil
+}
+
+func overlaps(aStart, aEnd, bStart, bEnd int) bool {
+	return aStart < bEnd && bStart < aEnd
+}

@@ -1,0 +1,187 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"noctest/internal/noc"
+)
+
+// samplePlan builds a small consistent plan: an ATE-driven processor
+// self-test followed by a processor-driven core test.
+func samplePlan() *Plan {
+	return &Plan{
+		System:     "sample",
+		Algorithm:  "greedy/test",
+		PowerLimit: 1000,
+		Entries: []Entry{
+			{
+				CoreID: 11, CoreName: "proc1", IsProcessor: true,
+				Interface: "ate0", InterfaceKind: ATE,
+				Start: 0, End: 110, Setup: 10, Patterns: 10, PerPattern: 10,
+				PathIn:  []noc.Coord{{X: 0, Y: 0}, {X: 1, Y: 0}},
+				PathOut: []noc.Coord{{X: 1, Y: 0}, {X: 2, Y: 0}},
+				Power:   300,
+			},
+			{
+				CoreID: 1, CoreName: "a",
+				Interface: "proc1", InterfaceKind: Processor, InterfaceCoreID: 11,
+				Start: 110, End: 160, Setup: 0, Patterns: 5, PerPattern: 10,
+				PathIn:  []noc.Coord{{X: 1, Y: 0}},
+				PathOut: []noc.Coord{{X: 1, Y: 0}},
+				Power:   200,
+			},
+			{
+				CoreID: 2, CoreName: "b",
+				Interface: "ate0", InterfaceKind: ATE,
+				Start: 110, End: 140, Setup: 0, Patterns: 3, PerPattern: 10,
+				PathIn:  []noc.Coord{{X: 0, Y: 0}, {X: 0, Y: 1}},
+				PathOut: []noc.Coord{{X: 0, Y: 1}, {X: 1, Y: 1}, {X: 2, Y: 1}},
+				Power:   500,
+			},
+		},
+	}
+}
+
+func TestPlanMetrics(t *testing.T) {
+	p := samplePlan()
+	if got := p.Makespan(); got != 160 {
+		t.Errorf("Makespan = %d, want 160", got)
+	}
+	if got := p.PeakPower(); got != 700 { // entries 1 and 2 overlap: 200+500
+		t.Errorf("PeakPower = %g, want 700", got)
+	}
+	if e, ok := p.EntryFor(2); !ok || e.CoreName != "b" {
+		t.Errorf("EntryFor(2) = %+v, %v", e, ok)
+	}
+	if _, ok := p.EntryFor(99); ok {
+		t.Error("EntryFor(99) found")
+	}
+	if got := p.Entries[0].Duration(); got != 110 {
+		t.Errorf("Duration = %d", got)
+	}
+}
+
+func TestByStartOrders(t *testing.T) {
+	p := samplePlan()
+	order := p.ByStart()
+	if order[0].CoreID != 11 || order[1].CoreID != 1 || order[2].CoreID != 2 {
+		t.Errorf("ByStart order = %d,%d,%d", order[0].CoreID, order[1].CoreID, order[2].CoreID)
+	}
+}
+
+func TestInterfacesATEFirst(t *testing.T) {
+	p := samplePlan()
+	names := p.Interfaces()
+	if len(names) != 2 || names[0] != "ate0" || names[1] != "proc1" {
+		t.Errorf("Interfaces = %v", names)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	p := samplePlan()
+	util := p.Utilization()
+	// ate0: (110 + 30) / 160, proc1: 50/160.
+	if got := util["ate0"]; got < 0.874 || got > 0.876 {
+		t.Errorf("ate0 utilisation = %g", got)
+	}
+	if got := util["proc1"]; got < 0.312 || got > 0.313 {
+		t.Errorf("proc1 utilisation = %g", got)
+	}
+}
+
+func TestValidateAcceptsConsistentPlan(t *testing.T) {
+	if err := samplePlan().Validate(); err != nil {
+		t.Fatalf("consistent plan rejected: %v", err)
+	}
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Plan)
+		wantSub string
+	}{
+		{"empty plan", func(p *Plan) { p.Entries = nil }, "no entries"},
+		{"duplicate core", func(p *Plan) { p.Entries[2].CoreID = 1 }, "twice"},
+		{"interface overlap", func(p *Plan) {
+			p.Entries[2].Interface = "proc1"
+			p.Entries[2].InterfaceKind = Processor
+			p.Entries[2].InterfaceCoreID = 11
+		}, "two tests at once"},
+		{"empty reservation", func(p *Plan) { p.Entries[1].End = p.Entries[1].Start }, "empty reservation"},
+		{"negative start", func(p *Plan) { p.Entries[0].Start = -5; p.Entries[0].End = 105 }, "before time zero"},
+		{"bad decomposition", func(p *Plan) { p.Entries[1].Setup = 3 }, "duration"},
+		{"missing paths", func(p *Plan) { p.Entries[1].PathIn = nil }, "missing paths"},
+		{"disjoint paths", func(p *Plan) { p.Entries[1].PathOut = []noc.Coord{{X: 2, Y: 2}} }, "response path starts"},
+		{"negative power", func(p *Plan) { p.Entries[1].Power = -1 }, "negative power"},
+		{"degenerate patterns", func(p *Plan) { p.Entries[1].Patterns = 0; p.Entries[1].Setup = 50 }, "degenerate"},
+		{"untested processor interface", func(p *Plan) { p.Entries[1].InterfaceCoreID = 42 }, "no self-test"},
+		{"use before self-test done", func(p *Plan) {
+			p.Entries[1].Start = 50
+			p.Entries[1].End = 100
+		}, "still under test"},
+		{"power breach", func(p *Plan) { p.PowerLimit = 600 }, "exceeds limit"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := samplePlan()
+			tt.mutate(p)
+			err := p.Validate()
+			if err == nil {
+				t.Fatal("violation accepted")
+			}
+			if !strings.Contains(err.Error(), tt.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tt.wantSub)
+			}
+		})
+	}
+}
+
+func TestValidateLinkExclusivity(t *testing.T) {
+	p := samplePlan()
+	p.ExclusiveLinks = true
+	// Entries 1 and 2 overlap in time but share no directed link.
+	if err := p.Validate(); err != nil {
+		t.Fatalf("link-disjoint plan rejected: %v", err)
+	}
+	// Make entry 2's stimulus path use entry 1's response link while
+	// overlapping in time with... entry 1 runs 110..160, entry 2 runs
+	// 110..140: give entry 2 a path through (1,0)->(1,1)? Entry 1 uses
+	// only tile (1,0) with no links. Instead overlap with entry 0 by
+	// shifting entry 2 to start at 50 on its own interface.
+	p2 := samplePlan()
+	p2.ExclusiveLinks = true
+	p2.Entries[2].Interface = "ate1" // separate interface, no iface clash
+	p2.Entries[2].Start, p2.Entries[2].End = 50, 80
+	p2.Entries[2].PathIn = []noc.Coord{{X: 0, Y: 0}, {X: 1, Y: 0}} // clashes with entry 0
+	p2.Entries[2].PathOut = []noc.Coord{{X: 1, Y: 0}, {X: 1, Y: 1}}
+	if err := p2.Validate(); err == nil {
+		t.Fatal("concurrent link sharing accepted in exclusive mode")
+	}
+	p2.ExclusiveLinks = false
+	if err := p2.Validate(); err != nil {
+		t.Fatalf("shared-link mode rejected: %v", err)
+	}
+}
+
+func TestPowerProfile(t *testing.T) {
+	p := samplePlan()
+	prof := p.PowerProfile()
+	if len(prof) == 0 {
+		t.Fatal("empty profile")
+	}
+	var peak float64
+	for _, s := range prof {
+		if s.Load > peak {
+			peak = s.Load
+		}
+	}
+	if peak != p.PeakPower() {
+		t.Errorf("profile peak %g != PeakPower %g", peak, p.PeakPower())
+	}
+	last := prof[len(prof)-1]
+	if last.Load != 0 {
+		t.Errorf("profile does not return to zero: %+v", last)
+	}
+}

@@ -1,0 +1,99 @@
+package plan
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestGantt(t *testing.T) {
+	p := samplePlan()
+	g := p.Gantt(60)
+	if !strings.Contains(g, "makespan 160 cycles") {
+		t.Errorf("Gantt header missing makespan:\n%s", g)
+	}
+	for _, iface := range []string{"ate0", "proc1"} {
+		if !strings.Contains(g, iface) {
+			t.Errorf("Gantt missing row for %s:\n%s", iface, g)
+		}
+	}
+	// Core 11 occupies most of ate0's row.
+	if !strings.Contains(g, "11") {
+		t.Errorf("Gantt missing core 11 marker:\n%s", g)
+	}
+	if got := (&Plan{}).Gantt(40); got != "(empty plan)\n" {
+		t.Errorf("empty plan Gantt = %q", got)
+	}
+	// Tiny widths are clamped, not crashed.
+	if g := p.Gantt(1); !strings.Contains(g, "ate0") {
+		t.Error("clamped Gantt unusable")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	p := samplePlan()
+	var buf bytes.Buffer
+	if err := p.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 1+len(p.Entries) {
+		t.Fatalf("csv rows = %d, want %d", len(records), 1+len(p.Entries))
+	}
+	if records[0][0] != "core_id" {
+		t.Errorf("header = %v", records[0])
+	}
+	// First data row is the earliest entry: core 11.
+	if records[1][0] != "11" || records[1][3] != "ate0" {
+		t.Errorf("first row = %v", records[1])
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	p := samplePlan()
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		System    string  `json:"system"`
+		Makespan  int     `json:"makespan"`
+		PeakPower float64 `json:"peak_power"`
+		Entries   []struct {
+			CoreID    int                  `json:"core_id"`
+			Interface string               `json:"interface"`
+			PathIn    []struct{ X, Y int } `json:"path_in"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if decoded.System != "sample" || decoded.Makespan != 160 || decoded.PeakPower != 700 {
+		t.Errorf("decoded header = %+v", decoded)
+	}
+	if len(decoded.Entries) != 3 || decoded.Entries[0].CoreID != 11 {
+		t.Errorf("decoded entries = %+v", decoded.Entries)
+	}
+	if len(decoded.Entries[0].PathIn) != 2 {
+		t.Errorf("path_in = %+v", decoded.Entries[0].PathIn)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	p := samplePlan()
+	s := p.Summary()
+	for _, want := range []string{"sample", "makespan:   160", "peak power: 700.0", "ate0", "proc1", "limit 1000"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Summary missing %q:\n%s", want, s)
+		}
+	}
+	p.PowerLimit = 0
+	if !strings.Contains(p.Summary(), "unconstrained") {
+		t.Error("unconstrained plan should say so")
+	}
+}

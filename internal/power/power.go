@@ -1,0 +1,163 @@
+// Package power accounts for test-mode power over time.
+//
+// The paper constrains schedules with a ceiling defined as a percentage
+// of the sum of all cores' test power; every concurrently running test
+// contributes its core's power, the transport power of the routers on
+// its NoC paths, and — when a processor drives it — the processor's
+// power. Tracker maintains the resulting piecewise-constant profile and
+// answers feasibility queries for candidate reservations.
+package power
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Unlimited is the ceiling value meaning "no power constraint".
+const Unlimited = math.MaxFloat64
+
+// Interval is a half-open time span [Start, End) drawing Amount power.
+type Interval struct {
+	Start, End int
+	Amount     float64
+}
+
+// Tracker records power reservations against a ceiling. The zero value
+// is unusable; create trackers with NewTracker.
+type Tracker struct {
+	limit     float64
+	intervals []Interval
+}
+
+// NewTracker returns a tracker enforcing the given ceiling. Use
+// Unlimited (or any non-positive value) for an unconstrained tracker.
+func NewTracker(limit float64) *Tracker {
+	if limit <= 0 {
+		limit = Unlimited
+	}
+	return &Tracker{limit: limit}
+}
+
+// Limit returns the ceiling.
+func (t *Tracker) Limit() float64 { return t.limit }
+
+// Reservations returns a copy of the recorded intervals.
+func (t *Tracker) Reservations() []Interval {
+	out := make([]Interval, len(t.intervals))
+	copy(out, t.intervals)
+	return out
+}
+
+// LoadAt returns the total power drawn at time instant at.
+func (t *Tracker) LoadAt(at int) float64 {
+	var load float64
+	for _, iv := range t.intervals {
+		if iv.Start <= at && at < iv.End {
+			load += iv.Amount
+		}
+	}
+	return load
+}
+
+// PeakIn returns the maximum load over [start, end). The profile is
+// piecewise constant, changing only at interval boundaries, so checking
+// the window start plus every boundary inside the window suffices.
+func (t *Tracker) PeakIn(start, end int) float64 {
+	if end <= start {
+		return 0
+	}
+	peak := t.LoadAt(start)
+	for _, iv := range t.intervals {
+		if iv.Start > start && iv.Start < end {
+			if l := t.LoadAt(iv.Start); l > peak {
+				peak = l
+			}
+		}
+	}
+	return peak
+}
+
+// Peak returns the maximum load over the whole recorded profile.
+func (t *Tracker) Peak() float64 {
+	var peak float64
+	for _, iv := range t.intervals {
+		if l := t.LoadAt(iv.Start); l > peak {
+			peak = l
+		}
+	}
+	return peak
+}
+
+// CanAdd reports whether reserving amount over [start, end) keeps the
+// profile at or below the ceiling.
+func (t *Tracker) CanAdd(start, end int, amount float64) bool {
+	if amount < 0 || end <= start {
+		return false
+	}
+	if t.limit == Unlimited {
+		return true
+	}
+	return t.PeakIn(start, end)+amount <= t.limit+1e-9
+}
+
+// Add records a reservation, failing if it would breach the ceiling.
+func (t *Tracker) Add(start, end int, amount float64) error {
+	if end <= start {
+		return fmt.Errorf("power: empty interval [%d,%d)", start, end)
+	}
+	if amount < 0 {
+		return fmt.Errorf("power: negative amount %g", amount)
+	}
+	if !t.CanAdd(start, end, amount) {
+		return fmt.Errorf("power: adding %g over [%d,%d) exceeds ceiling %g (peak %g)",
+			amount, start, end, t.limit, t.PeakIn(start, end))
+	}
+	t.intervals = append(t.intervals, Interval{Start: start, End: end, Amount: amount})
+	return nil
+}
+
+// Sample is one step of the rendered power profile.
+type Sample struct {
+	Time int
+	Load float64
+}
+
+// Profile renders the piecewise-constant load as a minimal sequence of
+// samples: one at every instant the load changes, starting at the
+// earliest reservation. An empty tracker yields no samples.
+func (t *Tracker) Profile() []Sample {
+	if len(t.intervals) == 0 {
+		return nil
+	}
+	boundaries := make(map[int]bool, 2*len(t.intervals))
+	for _, iv := range t.intervals {
+		boundaries[iv.Start] = true
+		boundaries[iv.End] = true
+	}
+	times := make([]int, 0, len(boundaries))
+	for at := range boundaries {
+		times = append(times, at)
+	}
+	sort.Ints(times)
+	samples := make([]Sample, 0, len(times))
+	var prev float64 = -1
+	for _, at := range times {
+		load := t.LoadAt(at)
+		if load != prev {
+			samples = append(samples, Sample{Time: at, Load: load})
+			prev = load
+		}
+	}
+	return samples
+}
+
+// Energy integrates the profile: the sum over reservations of
+// amount * duration.
+func (t *Tracker) Energy() float64 {
+	var e float64
+	for _, iv := range t.intervals {
+		e += iv.Amount * float64(iv.End-iv.Start)
+	}
+	return e
+}

@@ -1,0 +1,182 @@
+package power
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTrackerBasics(t *testing.T) {
+	tr := NewTracker(100)
+	if tr.Limit() != 100 {
+		t.Fatalf("Limit = %g", tr.Limit())
+	}
+	if err := tr.Add(0, 10, 60); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Add(5, 15, 40); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.LoadAt(7); got != 100 {
+		t.Errorf("LoadAt(7) = %g, want 100", got)
+	}
+	if got := tr.LoadAt(12); got != 40 {
+		t.Errorf("LoadAt(12) = %g, want 40", got)
+	}
+	if got := tr.LoadAt(15); got != 0 {
+		t.Errorf("LoadAt(15) = %g, want 0 (half-open)", got)
+	}
+	if got := tr.Peak(); got != 100 {
+		t.Errorf("Peak = %g, want 100", got)
+	}
+	if got := tr.Energy(); got != 60*10+40*10 {
+		t.Errorf("Energy = %g, want 1000", got)
+	}
+}
+
+func TestCeilingEnforced(t *testing.T) {
+	tr := NewTracker(100)
+	if err := tr.Add(0, 10, 60); err != nil {
+		t.Fatal(err)
+	}
+	if tr.CanAdd(5, 8, 50) {
+		t.Error("CanAdd allowed breach (60+50 > 100)")
+	}
+	if err := tr.Add(5, 8, 50); err == nil {
+		t.Error("Add allowed breach")
+	}
+	// Exactly at the ceiling is allowed.
+	if !tr.CanAdd(5, 8, 40) {
+		t.Error("CanAdd rejected exact fit")
+	}
+	// Disjoint interval unaffected.
+	if !tr.CanAdd(10, 20, 100) {
+		t.Error("CanAdd rejected disjoint reservation")
+	}
+	if tr.CanAdd(0, 5, -1) {
+		t.Error("negative amount accepted")
+	}
+	if tr.CanAdd(5, 5, 1) {
+		t.Error("empty interval accepted")
+	}
+}
+
+func TestUnlimitedTracker(t *testing.T) {
+	for _, limit := range []float64{0, -5} {
+		tr := NewTracker(limit)
+		if tr.Limit() != Unlimited {
+			t.Fatalf("NewTracker(%g).Limit() = %g", limit, tr.Limit())
+		}
+		if err := tr.Add(0, 10, 1e12); err != nil {
+			t.Errorf("unlimited tracker rejected load: %v", err)
+		}
+		if !tr.CanAdd(0, 10, 1e18) {
+			t.Error("unlimited tracker refused")
+		}
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	tr := NewTracker(100)
+	if err := tr.Add(10, 10, 5); err == nil {
+		t.Error("empty interval accepted")
+	}
+	if err := tr.Add(10, 5, 5); err == nil {
+		t.Error("inverted interval accepted")
+	}
+	if err := tr.Add(0, 5, -3); err == nil {
+		t.Error("negative amount accepted")
+	}
+}
+
+func TestPeakIn(t *testing.T) {
+	tr := NewTracker(0)
+	mustAdd(t, tr, 0, 10, 30)
+	mustAdd(t, tr, 10, 20, 70)
+	mustAdd(t, tr, 15, 25, 20)
+	tests := []struct {
+		start, end int
+		want       float64
+	}{
+		{0, 10, 30},
+		{0, 11, 70},
+		{15, 20, 90},
+		{20, 30, 20},
+		{25, 40, 0},
+		{5, 5, 0},
+	}
+	for _, tt := range tests {
+		if got := tr.PeakIn(tt.start, tt.end); got != tt.want {
+			t.Errorf("PeakIn(%d,%d) = %g, want %g", tt.start, tt.end, got, tt.want)
+		}
+	}
+}
+
+func TestProfile(t *testing.T) {
+	tr := NewTracker(0)
+	mustAdd(t, tr, 0, 10, 30)
+	mustAdd(t, tr, 5, 15, 20)
+	samples := tr.Profile()
+	want := []Sample{{0, 30}, {5, 50}, {10, 20}, {15, 0}}
+	if len(samples) != len(want) {
+		t.Fatalf("Profile() = %v, want %v", samples, want)
+	}
+	for i := range want {
+		if samples[i] != want[i] {
+			t.Errorf("sample[%d] = %v, want %v", i, samples[i], want[i])
+		}
+	}
+	if got := NewTracker(0).Profile(); got != nil {
+		t.Errorf("empty tracker Profile() = %v", got)
+	}
+}
+
+func TestReservationsIsCopy(t *testing.T) {
+	tr := NewTracker(0)
+	mustAdd(t, tr, 0, 10, 30)
+	rs := tr.Reservations()
+	rs[0].Amount = 999
+	if tr.LoadAt(5) != 30 {
+		t.Error("Reservations exposes internal state")
+	}
+}
+
+// TestCeilingInvariantRandomized drives random feasible reservations and
+// asserts the profile never exceeds the ceiling — the property the
+// scheduler depends on.
+func TestCeilingInvariantRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		limit := 50 + float64(r.Intn(200))
+		tr := NewTracker(limit)
+		for i := 0; i < 100; i++ {
+			start := r.Intn(1000)
+			end := start + 1 + r.Intn(100)
+			amount := float64(r.Intn(120))
+			if tr.CanAdd(start, end, amount) {
+				if err := tr.Add(start, end, amount); err != nil {
+					t.Fatalf("CanAdd/Add disagree: %v", err)
+				}
+			}
+		}
+		if peak := tr.Peak(); peak > limit+1e-9 {
+			t.Fatalf("trial %d: peak %g exceeds limit %g", trial, peak, limit)
+		}
+		// Profile maximum must agree with Peak.
+		var profMax float64
+		for _, s := range tr.Profile() {
+			if s.Load > profMax {
+				profMax = s.Load
+			}
+		}
+		if profMax != tr.Peak() {
+			t.Fatalf("trial %d: profile max %g != peak %g", trial, profMax, tr.Peak())
+		}
+	}
+}
+
+func mustAdd(t *testing.T, tr *Tracker, start, end int, amount float64) {
+	t.Helper()
+	if err := tr.Add(start, end, amount); err != nil {
+		t.Fatal(err)
+	}
+}

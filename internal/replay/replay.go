@@ -1,0 +1,187 @@
+// Package replay cross-validates test plans against the cycle-accurate
+// NoC simulator. The planner's model is circuit-like: a test's paths
+// are set up once and its patterns stream continuously, so each test is
+// replayed as one long wormhole stream per direction (stimulus towards
+// the core, responses towards the sink) injected at the planned start.
+// If the analytic model is sound, the wire-level completion of each
+// test lands at or before the planned end — the planner additionally
+// charges capture and software cycles the wire never sees.
+//
+// The replay also exposes a real limitation the analytic model glosses
+// over: with a single virtual channel, two circuit-like streams sharing
+// a link serialise (wormhole blocking) instead of interleaving, so only
+// plans built with ExclusiveLinks are guaranteed to meet their windows
+// on this wire; shared-link plans assume an interleaving transport
+// (virtual channels or per-pattern packetisation with amortised
+// headers). The tests record both behaviours.
+//
+// Replay is the repository's end-to-end integration check between the
+// planner (internal/core), the analytic NoC model (internal/noc) and
+// the simulator (internal/noc/sim).
+package replay
+
+import (
+	"fmt"
+
+	"noctest/internal/noc/sim"
+	"noctest/internal/plan"
+	"noctest/internal/soc"
+)
+
+// Config bounds the replay.
+type Config struct {
+	// MaxPatternsPerTest caps how many patterns of each test are
+	// replayed; long tests are truncated to keep simulation tractable.
+	// Zero selects 20.
+	MaxPatternsPerTest int
+	// CycleBudget aborts a stuck simulation; zero derives a generous
+	// bound from the plan's makespan.
+	CycleBudget int
+}
+
+func (c Config) withDefaults(p *plan.Plan) Config {
+	if c.MaxPatternsPerTest == 0 {
+		c.MaxPatternsPerTest = 20
+	}
+	if c.CycleBudget == 0 {
+		c.CycleBudget = 10*p.Makespan() + 1_000_000
+	}
+	return c
+}
+
+// Result compares one test's planned window with its wire measurement.
+type Result struct {
+	CoreID int
+	// PlannedStart and PlannedEnd delimit the reservation (PlannedEnd
+	// recomputed for the replayed pattern count).
+	PlannedStart, PlannedEnd int
+	// ReplayedPatterns is the number of patterns actually driven.
+	ReplayedPatterns int
+	// MeasuredEnd is the delivery time of the test's last flit on the
+	// simulated network.
+	MeasuredEnd int
+	// Packets is the number of packets injected for the test.
+	Packets int
+}
+
+// Slack is the margin between plan and wire: positive means the wire
+// finished early (expected — the simulator does not charge capture or
+// software cycles).
+func (r Result) Slack() int { return r.PlannedEnd - r.MeasuredEnd }
+
+// Replay drives the plan's tests through the simulator and returns one
+// result per entry, ordered as plan.ByStart.
+func Replay(sys *soc.System, p *plan.Plan, cfg Config) ([]Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("replay: plan invalid: %w", err)
+	}
+	cfg = cfg.withDefaults(p)
+	timing := sys.Net.Timing
+
+	net, err := sim.New(sim.Config{
+		Mesh:           sys.Net.Mesh,
+		Routing:        sys.Net.Routing,
+		RoutingLatency: timing.RoutingLatency,
+		FlowLatency:    timing.FlowLatency,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	type pending struct {
+		result  Result
+		packets []sim.PacketID
+	}
+	var tests []*pending
+
+	for _, e := range p.ByStart() {
+		src := e.PathIn[0]
+		core := e.PathIn[len(e.PathIn)-1]
+		dst := e.PathOut[len(e.PathOut)-1]
+		pc, ok := sys.CoreByID(e.CoreID)
+		if !ok {
+			return nil, fmt.Errorf("replay: plan entry for unknown core %d", e.CoreID)
+		}
+		inFlits := timing.Flits(pc.Core.StimulusBits())
+		outFlits := timing.Flits(pc.Core.ResponseBits())
+
+		patterns := e.Patterns
+		if patterns > cfg.MaxPatternsPerTest {
+			patterns = cfg.MaxPatternsPerTest
+		}
+		pend := &pending{result: Result{
+			CoreID:           e.CoreID,
+			PlannedStart:     e.Start,
+			PlannedEnd:       e.Start + e.Setup + patterns*e.PerPattern,
+			ReplayedPatterns: patterns,
+		}}
+		// One continuous stream per direction, as the circuit-like
+		// model assumes; zero-hop legs (interface and core on one tile)
+		// need no traffic.
+		if src != core && inFlits > 0 {
+			id, err := net.Inject(src, core, patterns*inFlits-1, e.Start)
+			if err != nil {
+				return nil, err
+			}
+			pend.packets = append(pend.packets, id)
+		}
+		if core != dst && outFlits > 0 {
+			id, err := net.Inject(core, dst, patterns*outFlits-1, e.Start)
+			if err != nil {
+				return nil, err
+			}
+			pend.packets = append(pend.packets, id)
+		}
+		pend.result.Packets = len(pend.packets)
+		tests = append(tests, pend)
+	}
+
+	if err := net.RunUntilDelivered(cfg.CycleBudget); err != nil {
+		return nil, fmt.Errorf("replay: simulation did not drain: %w", err)
+	}
+
+	results := make([]Result, 0, len(tests))
+	for _, pend := range tests {
+		for _, id := range pend.packets {
+			d, ok := net.Delivery(id)
+			if !ok {
+				return nil, fmt.Errorf("replay: packet %d of core %d not delivered", id, pend.result.CoreID)
+			}
+			if d.Delivered > pend.result.MeasuredEnd {
+				pend.result.MeasuredEnd = d.Delivered
+			}
+		}
+		if pend.result.MeasuredEnd == 0 {
+			// Zero-hop test: nothing crossed the wire; the planned
+			// window stands by construction.
+			pend.result.MeasuredEnd = pend.result.PlannedEnd
+		}
+		results = append(results, pend.result)
+	}
+	return results, nil
+}
+
+// Verify replays the plan and reports the first test whose wire-level
+// completion overruns its planned window by more than the allowed
+// slack (in cycles). It returns the worst (most negative) observed
+// slack.
+func Verify(sys *soc.System, p *plan.Plan, cfg Config, allowedOverrun int) (worst int, err error) {
+	results, err := Replay(sys, p, cfg)
+	if err != nil {
+		return 0, err
+	}
+	worst = 1 << 62
+	for _, r := range results {
+		if r.Slack() < worst {
+			worst = r.Slack()
+		}
+		if r.Slack() < -allowedOverrun {
+			return r.Slack(), fmt.Errorf("replay: core %d overran its window: planned end %d, measured %d (slack %d)",
+				r.CoreID, r.PlannedEnd, r.MeasuredEnd, r.Slack())
+		}
+	}
+	if len(results) == 0 {
+		return 0, fmt.Errorf("replay: empty plan")
+	}
+	return worst, nil
+}

@@ -1,0 +1,117 @@
+package replay
+
+import (
+	"testing"
+
+	"noctest/internal/core"
+	"noctest/internal/itc02"
+	"noctest/internal/soc"
+)
+
+func TestReplaySerialPlanMeetsWindows(t *testing.T) {
+	bench, err := itc02.Benchmark("d695")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := soc.Build(bench, soc.BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.Schedule(sys, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := Replay(sys, p, Config{MaxPatternsPerTest: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(p.Entries) {
+		t.Fatalf("results = %d for %d entries", len(results), len(p.Entries))
+	}
+	for _, r := range results {
+		if r.ReplayedPatterns == 0 || r.Packets == 0 {
+			t.Errorf("core %d: nothing replayed (%+v)", r.CoreID, r)
+		}
+		// Serial plan: each test has the mesh to itself, so the wire
+		// must finish within its window (the planner additionally
+		// charges capture cycles the wire does not see).
+		if r.Slack() < 0 {
+			t.Errorf("core %d overran: slack %d (planned end %d, measured %d)",
+				r.CoreID, r.Slack(), r.PlannedEnd, r.MeasuredEnd)
+		}
+	}
+}
+
+func TestReplayConcurrentSharedLinksDocumented(t *testing.T) {
+	bench, err := itc02.Benchmark("d695")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := soc.Build(bench, soc.BuildConfig{Processors: 6, Profile: soc.Plasma()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.Schedule(sys, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shared-link plans assume an interleaving transport; on the
+	// single-VC wormhole wire, circuit-like streams sharing a link
+	// serialise instead, so overruns are possible and expected. The
+	// replay must still complete and deliver every stream.
+	results, err := Replay(sys, p, Config{MaxPatternsPerTest: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, overruns := 1<<62, 0
+	for _, r := range results {
+		if r.Slack() < worst {
+			worst = r.Slack()
+		}
+		if r.Slack() < 0 {
+			overruns++
+		}
+	}
+	t.Logf("shared-link replay: %d/%d tests overran, worst slack %d cycles",
+		overruns, len(results), worst)
+}
+
+func TestReplayExclusiveLinksNeverOverruns(t *testing.T) {
+	bench, err := itc02.Benchmark("d695")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := soc.Build(bench, soc.BuildConfig{Processors: 6, Profile: soc.Plasma()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.Schedule(sys, core.Options{ExclusiveLinks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With exclusive link reservation concurrent streams cannot collide
+	// on the mesh... except at a shared destination NI, whose single
+	// ejection port is not a reserved resource; allow a small grace.
+	if _, err := Verify(sys, p, Config{MaxPatternsPerTest: 8}, 64); err != nil {
+		t.Errorf("exclusive-link plan overran on the wire: %v", err)
+	}
+}
+
+func TestVerifyRejectsUndeliverablePlan(t *testing.T) {
+	bench, err := itc02.Benchmark("d695")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := soc.Build(bench, soc.BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.Schedule(sys, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Starve the budget so the simulation cannot drain.
+	if _, err := Replay(sys, p, Config{MaxPatternsPerTest: 5, CycleBudget: 3}); err == nil {
+		t.Error("impossible cycle budget accepted")
+	}
+}

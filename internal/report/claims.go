@@ -1,0 +1,186 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"noctest/internal/core"
+)
+
+// Claim compares one quantitative statement from the paper's text with
+// the reproduction's measurement.
+type Claim struct {
+	ID          string
+	Description string
+	// Paper is the value the paper reports (fractional reduction, or 1
+	// for boolean claims).
+	Paper float64
+	// Measured is the reproduction's value.
+	Measured float64
+	// Holds records whether the reproduction supports the claim's
+	// direction and rough magnitude.
+	Holds bool
+	// Note explains the verdict.
+	Note string
+}
+
+// EvaluateClaims checks the paper's four headline statements against a
+// set of panels produced with the same options (normally RunFigure1
+// output).
+func EvaluateClaims(panels []Panel) []Claim {
+	byKey := make(map[string]Panel, len(panels))
+	for _, p := range panels {
+		byKey[p.Spec.Benchmark+"/"+p.Spec.Processor] = p
+	}
+	var claims []Claim
+
+	if p, ok := byKey["d695/leon"]; ok {
+		r := p.BestReduction(false)
+		claims = append(claims, Claim{
+			ID:          "T1",
+			Description: "d695: even small systems benefit from the extra interfaces (paper: 28% reduction)",
+			Paper:       0.28,
+			Measured:    r,
+			Holds:       r >= 0.10 && r <= 0.50,
+			Note:        "holds when measured reduction is positive and of the same order (10-50%)",
+		})
+	}
+	if p, ok := byKey["p93791/leon"]; ok {
+		r := p.BestReduction(false)
+		claims = append(claims, Claim{
+			ID:          "T2",
+			Description: "p93791: gain can be as high as 44% without power constraints",
+			Paper:       0.44,
+			Measured:    r,
+			Holds:       r >= 0.30 && r <= 0.65,
+			Note:        "holds when the largest system shows the largest reduction, around the paper's 44%",
+		})
+		rl := p.BestReduction(true)
+		claims = append(claims, Claim{
+			ID:          "T3",
+			Description: "p93791: with power constraints the reduction drops (paper: 37% vs 44%)",
+			Paper:       0.37,
+			Measured:    rl,
+			Holds:       rl > 0 && rl <= p.BestReduction(false)+1e-9,
+			Note:        "holds when the power-limited reduction is positive and no better than the unconstrained one",
+		})
+	}
+	{
+		var irregular []string
+		for _, p := range panels {
+			if p.NonMonotone() {
+				irregular = append(irregular, p.Spec.Benchmark+"_"+p.Spec.Processor)
+			}
+		}
+		claims = append(claims, Claim{
+			ID:          "T4",
+			Description: "the greedy first-available rule produces irregular series (paper observed this on p22810)",
+			Paper:       1,
+			Measured:    boolToFloat(len(irregular) > 0),
+			Holds:       len(irregular) > 0,
+			Note:        "non-monotone panels: " + strings.Join(irregular, ", "),
+		})
+	}
+	// Ordering claim implicit in the paper's narrative: larger systems
+	// gain more from reuse.
+	if small, okS := byKey["d695/leon"]; okS {
+		if big, okB := byKey["p93791/leon"]; okB {
+			rs, rb := small.BestReduction(false), big.BestReduction(false)
+			claims = append(claims, Claim{
+				ID:          "T5",
+				Description: "larger systems gain more from processor reuse than d695",
+				Paper:       1,
+				Measured:    boolToFloat(rb > rs),
+				Holds:       rb > rs,
+				Note:        "paper reports 28% for d695 vs 44% for p93791",
+			})
+		}
+	}
+	return claims
+}
+
+func boolToFloat(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// RenderClaims renders a verdict table.
+func RenderClaims(claims []Claim) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-7s %9s %9s  %s\n", "id", "verdict", "paper", "measured", "claim")
+	for _, c := range claims {
+		verdict := "HOLDS"
+		if !c.Holds {
+			verdict = "DIFFERS"
+		}
+		fmt.Fprintf(&b, "%-4s %-7s %8.1f%% %8.1f%%  %s\n",
+			c.ID, verdict, 100*c.Paper, 100*c.Measured, c.Description)
+	}
+	return b.String()
+}
+
+// AblationResult compares scheduler design choices on one panel spec.
+type AblationResult struct {
+	Spec     PanelSpec
+	Name     string
+	Makespan map[string]int
+}
+
+// RunVariantAblation compares the greedy first-available rule with the
+// lookahead variant at full reuse (ablation A1 in DESIGN.md).
+func RunVariantAblation(spec PanelSpec) (AblationResult, error) {
+	res := AblationResult{Spec: spec, Name: "variant", Makespan: make(map[string]int)}
+	for _, v := range []core.Variant{core.GreedyFirstAvailable, core.LookaheadFastestFinish} {
+		p, err := RunPanel(spec, PanelOptions{Variant: v})
+		if err != nil {
+			return res, err
+		}
+		res.Makespan[v.String()] = p.Points[len(p.Points)-1].NoLimit
+	}
+	return res, nil
+}
+
+// RunPriorityAblation compares core orderings at full reuse (A2).
+func RunPriorityAblation(spec PanelSpec) (AblationResult, error) {
+	res := AblationResult{Spec: spec, Name: "priority", Makespan: make(map[string]int)}
+	for _, pr := range []core.Priority{core.ProcessorsFirst, core.DistanceOnly, core.VolumeDescending} {
+		p, err := RunPanel(spec, PanelOptions{Priority: pr})
+		if err != nil {
+			return res, err
+		}
+		res.Makespan[pr.String()] = p.Points[len(p.Points)-1].NoLimit
+	}
+	return res, nil
+}
+
+// PowerSweepPoint is one step of the power-ceiling sweep (A3).
+type PowerSweepPoint struct {
+	Fraction float64
+	Makespan int
+	Feasible bool
+}
+
+// RunPowerSweep schedules the spec at full reuse under ceilings from 30%
+// to 100% of total power.
+func RunPowerSweep(spec PanelSpec, fractions []float64) ([]PowerSweepPoint, error) {
+	if len(fractions) == 0 {
+		fractions = []float64{0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	}
+	var points []PowerSweepPoint
+	for _, f := range fractions {
+		p, err := RunPanel(spec, PanelOptions{PowerFraction: f})
+		if err != nil {
+			// A very tight ceiling can be infeasible; record and move on.
+			points = append(points, PowerSweepPoint{Fraction: f})
+			continue
+		}
+		points = append(points, PowerSweepPoint{
+			Fraction: f,
+			Makespan: p.Points[len(p.Points)-1].PowerLimited,
+			Feasible: true,
+		})
+	}
+	return points, nil
+}

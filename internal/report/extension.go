@@ -1,0 +1,138 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"noctest/internal/bist"
+	"noctest/internal/core"
+	"noctest/internal/itc02"
+	"noctest/internal/soc"
+)
+
+// ApplicationComparison is extension experiment E1: the paper's
+// evaluated BIST reuse mode against the decompression mode it announces
+// as future work, on the same system at full reuse.
+type ApplicationComparison struct {
+	Spec PanelSpec
+	// Baseline is the no-reuse makespan.
+	Baseline int
+	// BIST is the makespan with the calibrated BIST application.
+	BIST int
+	// Decompression is the makespan with the decompression application
+	// (deterministic pattern counts, ISS-measured cycles per word,
+	// tdc-measured compression ratio, chunked data loads).
+	Decompression int
+	// CyclesPerWord and Ratio record the measured decompression
+	// characterisation used.
+	CyclesPerWord float64
+	Ratio         float64
+}
+
+// RunApplicationComparison measures E1 for one panel spec. The
+// decompression parameters are not assumed: the kernel is executed on
+// the corresponding ISS and the codec measured on a synthetic test set.
+func RunApplicationComparison(spec PanelSpec) (ApplicationComparison, error) {
+	bench, err := itc02.Benchmark(spec.Benchmark)
+	if err != nil {
+		return ApplicationComparison{}, err
+	}
+	profile, err := soc.ProfileByName(spec.Processor)
+	if err != nil {
+		return ApplicationComparison{}, err
+	}
+	sys, err := soc.Build(bench, soc.BuildConfig{Processors: spec.Processors, Profile: profile})
+	if err != nil {
+		return ApplicationComparison{}, err
+	}
+
+	dp, err := bist.CharacterizeDecompression(profile, 20000, 1)
+	if err != nil {
+		return ApplicationComparison{}, err
+	}
+
+	baseline, err := core.Schedule(sys, core.Options{DisableReuse: true})
+	if err != nil {
+		return ApplicationComparison{}, err
+	}
+	bistPlan, err := core.Schedule(sys, core.Options{BISTPatternFactor: PaperBISTFactor})
+	if err != nil {
+		return ApplicationComparison{}, err
+	}
+	// Decompression is scheduled with the lookahead variant: a software
+	// decompressor is often slower than the tester for wide cores, and
+	// the greedy first-available rule would blindly assign them anyway
+	// (the paper's anomaly, magnified). Lookahead only reuses a
+	// processor when that actually finishes the core sooner.
+	decompPlan, err := core.Schedule(sys, core.Options{
+		Application:                core.DecompressionApplication,
+		DecompressionCyclesPerWord: int(dp.CyclesPerWord + 0.999999),
+		CompressionRatio:           dp.CompressionRatio,
+		Variant:                    core.LookaheadFastestFinish,
+	})
+	if err != nil {
+		return ApplicationComparison{}, err
+	}
+
+	return ApplicationComparison{
+		Spec:          spec,
+		Baseline:      baseline.Makespan(),
+		BIST:          bistPlan.Makespan(),
+		Decompression: decompPlan.Makespan(),
+		CyclesPerWord: dp.CyclesPerWord,
+		Ratio:         dp.CompressionRatio,
+	}, nil
+}
+
+// WrapperSweepPoint is one step of extension experiment E2: the system
+// makespan when every core's wrapper has the given number of chains.
+type WrapperSweepPoint struct {
+	Width    int
+	Makespan int
+}
+
+// RunWrapperSweep measures the classic test-time-versus-wrapper-width
+// staircase at full reuse: narrow wrappers make the cores the
+// per-pattern bottleneck, wide ones return to the transport-limited
+// regime.
+func RunWrapperSweep(spec PanelSpec, widths []int) ([]WrapperSweepPoint, error) {
+	if len(widths) == 0 {
+		widths = []int{1, 2, 4, 8, 16, 32}
+	}
+	bench, err := itc02.Benchmark(spec.Benchmark)
+	if err != nil {
+		return nil, err
+	}
+	profile, err := soc.ProfileByName(spec.Processor)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := soc.Build(bench, soc.BuildConfig{Processors: spec.Processors, Profile: profile})
+	if err != nil {
+		return nil, err
+	}
+	var points []WrapperSweepPoint
+	for _, w := range widths {
+		p, err := core.Schedule(sys, core.Options{
+			WrapperChains:     w,
+			BISTPatternFactor: PaperBISTFactor,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("report: wrapper sweep width %d: %w", w, err)
+		}
+		points = append(points, WrapperSweepPoint{Width: w, Makespan: p.Makespan()})
+	}
+	return points, nil
+}
+
+// Render formats the comparison with reductions against the baseline.
+func (c ApplicationComparison) Render() string {
+	var b strings.Builder
+	reduction := func(v int) float64 { return 100 * (1 - float64(v)/float64(c.Baseline)) }
+	fmt.Fprintf(&b, "%s_%s (decompressor: %.1f cycles/word, ratio %.2f)\n",
+		c.Spec.Benchmark, c.Spec.Processor, c.CyclesPerWord, c.Ratio)
+	fmt.Fprintf(&b, "  no reuse:      %9d\n", c.Baseline)
+	fmt.Fprintf(&b, "  bist:          %9d  (%+.1f%%)\n", c.BIST, -reduction(c.BIST))
+	fmt.Fprintf(&b, "  decompression: %9d  (%+.1f%%)\n", c.Decompression, -reduction(c.Decompression))
+	return b.String()
+}

@@ -1,0 +1,65 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunApplicationComparison(t *testing.T) {
+	spec := PanelSpec{Benchmark: "d695", Processor: "plasma", Processors: 6}
+	cmp, err := RunApplicationComparison(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Baseline <= 0 || cmp.BIST <= 0 || cmp.Decompression <= 0 {
+		t.Fatalf("degenerate makespans: %+v", cmp)
+	}
+	// Reuse in either mode must beat no reuse on d695 — decompression's
+	// per-word cost is offset by d695's narrow combinational cores.
+	if cmp.BIST >= cmp.Baseline {
+		t.Errorf("BIST reuse (%d) did not beat baseline (%d)", cmp.BIST, cmp.Baseline)
+	}
+	// The characterisation must come from the ISS measurement, not a
+	// default constant.
+	if cmp.CyclesPerWord < 4 || cmp.CyclesPerWord > 20 {
+		t.Errorf("cycles/word %.2f outside ISS-measured range", cmp.CyclesPerWord)
+	}
+	if cmp.Ratio <= 0 || cmp.Ratio > 0.8 {
+		t.Errorf("ratio %.2f implausible", cmp.Ratio)
+	}
+	r := cmp.Render()
+	for _, want := range []string{"d695_plasma", "no reuse", "bist", "decompression"} {
+		if !strings.Contains(r, want) {
+			t.Errorf("Render missing %q:\n%s", want, r)
+		}
+	}
+}
+
+func TestRunWrapperSweep(t *testing.T) {
+	spec := PanelSpec{Benchmark: "d695", Processor: "leon", Processors: 6}
+	points, err := RunWrapperSweep(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Makespan > points[i-1].Makespan {
+			t.Errorf("width %d makespan %d worse than width %d (%d)",
+				points[i].Width, points[i].Makespan, points[i-1].Width, points[i-1].Makespan)
+		}
+	}
+	if points[0].Makespan <= points[len(points)-1].Makespan {
+		t.Error("narrow wrapper should be strictly slower than wide")
+	}
+}
+
+func TestRunApplicationComparisonUnknownSpec(t *testing.T) {
+	if _, err := RunApplicationComparison(PanelSpec{Benchmark: "zzz", Processor: "leon", Processors: 2}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := RunApplicationComparison(PanelSpec{Benchmark: "d695", Processor: "zzz", Processors: 2}); err == nil {
+		t.Error("unknown processor accepted")
+	}
+}

@@ -1,0 +1,282 @@
+// Package report runs the paper's experiments and renders their tables
+// and figures: the six Figure 1 panels ({d695, p22810, p93791} x {Leon,
+// Plasma}), the headline claims in the text, and the ablations DESIGN.md
+// calls out.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"noctest/internal/core"
+	"noctest/internal/itc02"
+	"noctest/internal/plan"
+	"noctest/internal/soc"
+)
+
+// Calibration constants for the paper reproduction. The paper assumes a
+// processor produces one pattern in 10 cycles but does not publish the
+// pattern-count penalty of its pseudo-random software BIST relative to
+// the tester's deterministic patterns; a factor of 3 reproduces the
+// magnitude of the paper's reported reductions (d695 ~28%, p93791 up to
+// ~44%) against our calibrated benchmark data. See EXPERIMENTS.md.
+const (
+	// PaperBISTFactor is the pattern inflation applied to
+	// processor-driven tests in the reproduction harness.
+	PaperBISTFactor = 3.0
+	// PaperPowerFraction is the constrained case of Figure 1.
+	PaperPowerFraction = 0.5
+)
+
+// PanelSpec identifies one Figure 1 panel.
+type PanelSpec struct {
+	Benchmark  string // "d695", "p22810", "p93791"
+	Processor  string // "leon", "plasma"
+	Processors int    // processor instances in the system (paper: 6 or 8)
+}
+
+// PaperPanels lists the six panels of Figure 1 in paper order.
+func PaperPanels() []PanelSpec {
+	var specs []PanelSpec
+	for _, proc := range []string{"leon", "plasma"} {
+		for _, b := range []string{"d695", "p22810", "p93791"} {
+			n := 8
+			if b == "d695" {
+				n = 6
+			}
+			specs = append(specs, PanelSpec{Benchmark: b, Processor: proc, Processors: n})
+		}
+	}
+	return specs
+}
+
+// PanelOptions tunes the experiment; the zero value reproduces the
+// paper's setup with the repository calibration.
+type PanelOptions struct {
+	// BISTFactor overrides PaperBISTFactor; values below 1 select it.
+	BISTFactor float64
+	// PowerFraction overrides PaperPowerFraction for the constrained
+	// series; values outside (0, 1] select the paper's 0.5.
+	PowerFraction float64
+	// Variant and Priority select scheduler rules (defaults: the
+	// paper's greedy first-available, processors first).
+	Variant  core.Variant
+	Priority core.Priority
+	// Step is the processor-count stride of the sweep; zero selects the
+	// paper's 2.
+	Step int
+}
+
+func (o PanelOptions) withDefaults() PanelOptions {
+	if o.BISTFactor < 1 {
+		o.BISTFactor = PaperBISTFactor
+	}
+	if o.PowerFraction <= 0 || o.PowerFraction > 1 {
+		o.PowerFraction = PaperPowerFraction
+	}
+	if o.Step <= 0 {
+		o.Step = 2
+	}
+	return o
+}
+
+// Point is one x-position of a panel: both bars of the paper's chart.
+type Point struct {
+	// Processors reused for test (0 = the paper's "noproc").
+	Processors int
+	// NoLimit is the makespan without power constraint.
+	NoLimit int
+	// PowerLimited is the makespan under the power ceiling.
+	PowerLimited int
+}
+
+// Panel is one reproduced chart of Figure 1.
+type Panel struct {
+	Spec   PanelSpec
+	Opts   PanelOptions
+	Points []Point
+}
+
+// Baseline returns the noproc makespan (unconstrained).
+func (p Panel) Baseline() int {
+	if len(p.Points) == 0 {
+		return 0
+	}
+	return p.Points[0].NoLimit
+}
+
+// Reduction returns the fractional test-time reduction at the given
+// point index, for the unconstrained or power-limited series.
+func (p Panel) Reduction(index int, limited bool) float64 {
+	base := p.Baseline()
+	if base == 0 || index >= len(p.Points) {
+		return 0
+	}
+	v := p.Points[index].NoLimit
+	if limited {
+		v = p.Points[index].PowerLimited
+	}
+	return 1 - float64(v)/float64(base)
+}
+
+// BestReduction returns the largest reduction over the series.
+func (p Panel) BestReduction(limited bool) float64 {
+	best := 0.0
+	for i := range p.Points {
+		if r := p.Reduction(i, limited); r > best {
+			best = r
+		}
+	}
+	return best
+}
+
+// NonMonotone reports whether the unconstrained series ever increases
+// when more processors are reused — the paper's p22810 irregularity.
+func (p Panel) NonMonotone() bool {
+	for i := 1; i < len(p.Points); i++ {
+		if p.Points[i].NoLimit > p.Points[i-1].NoLimit {
+			return true
+		}
+	}
+	return false
+}
+
+// RunPanel builds the panel's system once and sweeps the number of
+// reused processors, scheduling each point with and without the power
+// ceiling — exactly the procedure behind each chart of Figure 1.
+func RunPanel(spec PanelSpec, opts PanelOptions) (Panel, error) {
+	opts = opts.withDefaults()
+	bench, err := itc02.Benchmark(spec.Benchmark)
+	if err != nil {
+		return Panel{}, err
+	}
+	profile, err := soc.ProfileByName(spec.Processor)
+	if err != nil {
+		return Panel{}, err
+	}
+	sys, err := soc.Build(bench, soc.BuildConfig{Processors: spec.Processors, Profile: profile})
+	if err != nil {
+		return Panel{}, err
+	}
+
+	panel := Panel{Spec: spec, Opts: opts}
+	for procs := 0; procs <= spec.Processors; procs += opts.Step {
+		schedOpts := core.Options{
+			DisableReuse:        procs == 0,
+			MaxReusedProcessors: procs,
+			Variant:             opts.Variant,
+			Priority:            opts.Priority,
+			BISTPatternFactor:   opts.BISTFactor,
+		}
+		unconstrained, err := core.Schedule(sys, schedOpts)
+		if err != nil {
+			return Panel{}, fmt.Errorf("report: %s/%s %dproc: %w", spec.Benchmark, spec.Processor, procs, err)
+		}
+		schedOpts.PowerLimitFraction = opts.PowerFraction
+		limited, err := core.Schedule(sys, schedOpts)
+		if err != nil {
+			return Panel{}, fmt.Errorf("report: %s/%s %dproc (power): %w", spec.Benchmark, spec.Processor, procs, err)
+		}
+		panel.Points = append(panel.Points, Point{
+			Processors:   procs,
+			NoLimit:      unconstrained.Makespan(),
+			PowerLimited: limited.Makespan(),
+		})
+	}
+	return panel, nil
+}
+
+// RunFigure1 reproduces all six panels with the paper calibration.
+func RunFigure1() ([]Panel, error) {
+	var panels []Panel
+	for _, spec := range PaperPanels() {
+		p, err := RunPanel(spec, PanelOptions{})
+		if err != nil {
+			return nil, err
+		}
+		panels = append(panels, p)
+	}
+	return panels, nil
+}
+
+// Render draws the panel as the paper draws it: grouped bars per
+// processor count, one bar for the power-limited run and one without.
+func (p Panel) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s_%s (%d processors present, %g power limit vs none)\n",
+		p.Spec.Benchmark, p.Spec.Processor, p.Spec.Processors, p.Opts.PowerFraction)
+	max := 0
+	for _, pt := range p.Points {
+		if pt.NoLimit > max {
+			max = pt.NoLimit
+		}
+		if pt.PowerLimited > max {
+			max = pt.PowerLimited
+		}
+	}
+	if max == 0 {
+		return b.String()
+	}
+	const width = 46
+	for _, pt := range p.Points {
+		label := fmt.Sprintf("%dproc", pt.Processors)
+		if pt.Processors == 0 {
+			label = "noproc"
+		}
+		fmt.Fprintf(&b, "  %-7s %s %8d  (50%% limit)\n", label, bar(pt.PowerLimited, max, width), pt.PowerLimited)
+		fmt.Fprintf(&b, "  %-7s %s %8d  (no limit, -%0.0f%%)\n", "", bar(pt.NoLimit, max, width), pt.NoLimit,
+			100*(1-float64(pt.NoLimit)/float64(p.Baseline())))
+	}
+	return b.String()
+}
+
+func bar(v, max, width int) string {
+	n := v * width / max
+	if n < 1 && v > 0 {
+		n = 1
+	}
+	return strings.Repeat("#", n) + strings.Repeat(" ", width-n)
+}
+
+// Table renders the panel as aligned rows: processors, both series and
+// the reductions, the machine-checkable counterpart of the chart.
+func (p Panel) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "system %s_%s\n", p.Spec.Benchmark, p.Spec.Processor)
+	fmt.Fprintf(&b, "%8s %12s %10s %12s %10s\n", "reused", "no-limit", "reduction", "power-lim", "reduction")
+	for i, pt := range p.Points {
+		fmt.Fprintf(&b, "%8d %12d %9.1f%% %12d %9.1f%%\n",
+			pt.Processors, pt.NoLimit, 100*p.Reduction(i, false),
+			pt.PowerLimited, 100*p.Reduction(i, true))
+	}
+	return b.String()
+}
+
+// ScheduleForPoint re-runs the scheduler behind a panel point and
+// returns the full plan, for drill-down inspection from the CLIs.
+func ScheduleForPoint(spec PanelSpec, opts PanelOptions, procs int, limited bool) (*plan.Plan, error) {
+	opts = opts.withDefaults()
+	bench, err := itc02.Benchmark(spec.Benchmark)
+	if err != nil {
+		return nil, err
+	}
+	profile, err := soc.ProfileByName(spec.Processor)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := soc.Build(bench, soc.BuildConfig{Processors: spec.Processors, Profile: profile})
+	if err != nil {
+		return nil, err
+	}
+	schedOpts := core.Options{
+		DisableReuse:        procs == 0,
+		MaxReusedProcessors: procs,
+		Variant:             opts.Variant,
+		Priority:            opts.Priority,
+		BISTPatternFactor:   opts.BISTFactor,
+	}
+	if limited {
+		schedOpts.PowerLimitFraction = opts.PowerFraction
+	}
+	return core.Schedule(sys, schedOpts)
+}

@@ -1,0 +1,221 @@
+package soc
+
+import (
+	"fmt"
+
+	"noctest/internal/itc02"
+	"noctest/internal/noc"
+)
+
+// BuildConfig controls system assembly. The zero value (plus a profile
+// when Processors > 0) reproduces the paper's setup: the benchmark's
+// published mesh dimensions, XY routing, default router timing, one
+// tester input port at the south-west corner and one output port at the
+// north-east corner.
+type BuildConfig struct {
+	// Mesh sets the grid dimensions; zero selects the dimensions the
+	// paper states for the known benchmarks (4x4 for d695-based systems,
+	// 5x6 for p22810, 5x5 for p93791) or the smallest square that fits.
+	Mesh noc.Mesh
+	// Processors is the number of processor instances appended to the
+	// benchmark ("noproc" is 0).
+	Processors int
+	// Profile describes the processor class; required when
+	// Processors > 0.
+	Profile ProcessorProfile
+	// Timing overrides the router characterisation; zero selects
+	// noc.DefaultTiming.
+	Timing noc.Timing
+	// Transport overrides the per-router transport power; zero selects
+	// noc.DefaultTransportPower.
+	Transport noc.TransportPower
+	// Routing overrides the routing algorithm; nil selects XY.
+	Routing noc.Routing
+	// ExtraPortPairs adds further tester interface pairs beyond the
+	// paper's single input/output pair, placed at the remaining corners.
+	ExtraPortPairs int
+}
+
+// paperMeshes records the network dimensions stated in the paper's
+// experimental section for the processor-extended systems.
+var paperMeshes = map[string]noc.Mesh{
+	"d695":   {Width: 4, Height: 4},
+	"p22810": {Width: 5, Height: 6},
+	"p93791": {Width: 5, Height: 5},
+}
+
+// Build places a benchmark plus cfg.Processors processor instances on a
+// mesh and attaches tester ports. Processor instances are spread evenly
+// over the tiles; remaining cores fill the mesh row-major, wrapping onto
+// already occupied tiles when the system has more cores than tiles (the
+// paper's p22810 and p93791 systems do).
+func Build(bench *itc02.SoC, cfg BuildConfig) (*System, error) {
+	if err := bench.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Processors < 0 {
+		return nil, fmt.Errorf("soc: negative processor count %d", cfg.Processors)
+	}
+	if cfg.Processors > 0 {
+		if err := cfg.Profile.Validate(); err != nil {
+			return nil, err
+		}
+	}
+
+	total := len(bench.Cores) + cfg.Processors
+	mesh := cfg.Mesh
+	if mesh == (noc.Mesh{}) {
+		if m, ok := paperMeshes[bench.Name]; ok {
+			mesh = m
+		} else {
+			mesh = squareFor(total)
+		}
+	}
+	if mesh.Width < 1 || mesh.Height < 1 {
+		return nil, fmt.Errorf("soc: invalid mesh %dx%d", mesh.Width, mesh.Height)
+	}
+
+	timing := cfg.Timing
+	if timing == (noc.Timing{}) {
+		timing = noc.DefaultTiming
+	}
+	transport := cfg.Transport
+	if transport == (noc.TransportPower{}) {
+		transport = noc.DefaultTransportPower
+	}
+	routing := cfg.Routing
+	if routing == nil {
+		routing = noc.XY{}
+	}
+	net, err := noc.NewCharacterization(mesh, routing, timing, transport)
+	if err != nil {
+		return nil, err
+	}
+
+	name := bench.Name
+	if cfg.Processors > 0 {
+		name = fmt.Sprintf("%s_%s", bench.Name, cfg.Profile.Name)
+	}
+	sys := &System{Name: name, Net: net}
+
+	// Processor tiles first: spread with an even stride so that reused
+	// test interfaces cover the mesh, as a designer would place them.
+	procTiles := spreadTiles(mesh, cfg.Processors)
+	nextID := bench.NextCoreID()
+	for i := 0; i < cfg.Processors; i++ {
+		profile := cfg.Profile // copy per instance
+		cut := profile.SelfTest
+		cut.ID = nextID
+		cut.Name = fmt.Sprintf("%s%d", profile.Name, i+1)
+		cut.ScanChains = append([]int(nil), cut.ScanChains...)
+		nextID++
+		sys.Cores = append(sys.Cores, PlacedCore{Core: cut, Tile: procTiles[i], Processor: &profile})
+	}
+
+	// Plain cores fill remaining tiles row-major, wrapping when the
+	// system is larger than the mesh.
+	occupied := make(map[noc.Coord]int, mesh.Tiles())
+	for _, t := range procTiles {
+		occupied[t]++
+	}
+	free := make([]noc.Coord, 0, mesh.Tiles())
+	for i := 0; i < mesh.Tiles(); i++ {
+		c := mesh.CoordOf(i)
+		if occupied[c] == 0 {
+			free = append(free, c)
+		}
+	}
+	cores := bench.SortedByID()
+	for i, c := range cores {
+		var tile noc.Coord
+		if i < len(free) {
+			tile = free[i]
+		} else {
+			// Wrap: share tiles round-robin across the whole mesh.
+			tile = mesh.CoordOf((i - len(free)) % mesh.Tiles())
+		}
+		cc := c
+		cc.ScanChains = append([]int(nil), c.ScanChains...)
+		sys.Cores = append(sys.Cores, PlacedCore{Core: cc, Tile: tile})
+	}
+
+	// Tester ports: the paper's two external interfaces, at opposite
+	// corners; extra pairs take the remaining corners then edge midpoints.
+	pairs := 1 + cfg.ExtraPortPairs
+	inSpots, outSpots := portSpots(mesh)
+	for i := 0; i < pairs; i++ {
+		if i >= len(inSpots) || i >= len(outSpots) {
+			return nil, fmt.Errorf("soc: mesh %dx%d cannot host %d port pairs", mesh.Width, mesh.Height, pairs)
+		}
+		sys.Ports = append(sys.Ports,
+			Port{Name: fmt.Sprintf("ate-in%d", i), Tile: inSpots[i], Dir: In},
+			Port{Name: fmt.Sprintf("ate-out%d", i), Tile: outSpots[i], Dir: Out},
+		)
+	}
+
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// squareFor returns the smallest square mesh with at least n tiles.
+func squareFor(n int) noc.Mesh {
+	side := 1
+	for side*side < n {
+		side++
+	}
+	return noc.Mesh{Width: side, Height: side}
+}
+
+// spreadTiles picks n tiles evenly strided across the mesh in row-major
+// order, so processors end up distributed rather than clustered.
+func spreadTiles(mesh noc.Mesh, n int) []noc.Coord {
+	if n == 0 {
+		return nil
+	}
+	tiles := make([]noc.Coord, 0, n)
+	total := mesh.Tiles()
+	for i := 0; i < n; i++ {
+		idx := (i*total + total/2) / maxInt(n, 1) % total
+		tiles = append(tiles, mesh.CoordOf(idx))
+	}
+	// Strides can collide on tiny meshes; nudge duplicates forward.
+	used := make(map[noc.Coord]bool, n)
+	for i, t := range tiles {
+		for used[t] {
+			t = mesh.CoordOf((mesh.Index(t) + 1) % total)
+		}
+		tiles[i] = t
+		used[t] = true
+	}
+	return tiles
+}
+
+// portSpots returns candidate input and output port tiles: opposite
+// corners first, then midpoints of opposite edges.
+func portSpots(mesh noc.Mesh) (ins, outs []noc.Coord) {
+	w, h := mesh.Width-1, mesh.Height-1
+	ins = []noc.Coord{{X: 0, Y: 0}, {X: 0, Y: h}, {X: 0, Y: h / 2}, {X: w / 2, Y: 0}}
+	outs = []noc.Coord{{X: w, Y: h}, {X: w, Y: 0}, {X: w, Y: h / 2}, {X: w / 2, Y: h}}
+	return dedupTiles(ins), dedupTiles(outs)
+}
+
+func dedupTiles(ts []noc.Coord) []noc.Coord {
+	seen := make(map[noc.Coord]bool, len(ts))
+	out := ts[:0]
+	for _, t := range ts {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,272 @@
+// Package soc assembles the system under test: a benchmark's cores and a
+// configurable number of embedded processors placed on the tiles of a
+// mesh NoC, plus the I/O ports that connect the external tester.
+//
+// This is the second information set the paper's tool consumes: "the
+// position of each core (including the processors reused for test), and
+// the number and position of the IO ports that can be connected to the
+// external tester".
+package soc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"noctest/internal/itc02"
+	"noctest/internal/noc"
+)
+
+// ProcessorProfile characterises one embedded processor class reused for
+// test: the paper's step two. CyclesPerPattern and MemoryWords come from
+// running the software BIST application on an instruction-set simulator
+// (package bist); the paper's experiments assume 10 cycles per pattern.
+type ProcessorProfile struct {
+	// Name identifies the processor class, e.g. "leon" or "plasma".
+	Name string
+	// ISA names the instruction set, e.g. "sparcv8" or "mips1".
+	ISA string
+	// CyclesPerPattern is the software overhead to produce one BIST
+	// pattern, added to every pattern the processor sources.
+	CyclesPerPattern int
+	// Power is the processor's consumption while running the test
+	// application, charged whenever it drives a test.
+	Power float64
+	// MemoryWords is the footprint of the test program, a
+	// characterisation record (it does not constrain scheduling).
+	MemoryWords int
+	// SelfTest is the CUT record for testing the processor itself; its
+	// ID is rewritten when instances are added to a system.
+	SelfTest itc02.Core
+}
+
+// Validate reports the first problem with the profile.
+func (p ProcessorProfile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("soc: processor profile has empty name")
+	}
+	if p.CyclesPerPattern < 0 {
+		return fmt.Errorf("soc: processor %s has negative cycles per pattern", p.Name)
+	}
+	if p.Power < 0 {
+		return fmt.Errorf("soc: processor %s has negative power", p.Name)
+	}
+	st := p.SelfTest
+	st.ID = 1
+	return st.Validate()
+}
+
+// Leon is the SPARC V8 compatible processor evaluated in the paper
+// (Gaisler's Leon). Its self-test record reflects a processor of roughly
+// 4k scannable flip-flops; the 10-cycle pattern cost matches the paper's
+// stated assumption and the figure obtained by running the BIST kernel
+// on the SPARC ISS (package bist refines it).
+func Leon() ProcessorProfile {
+	return ProcessorProfile{
+		Name:             "leon",
+		ISA:              "sparcv8",
+		CyclesPerPattern: 10,
+		Power:            800,
+		MemoryWords:      2048,
+		SelfTest: itc02.Core{
+			Name:       "leon",
+			Inputs:     92,
+			Outputs:    64,
+			ScanChains: []int{512, 512, 512, 512, 512, 512, 512, 512},
+			Patterns:   180,
+			Power:      800,
+		},
+	}
+}
+
+// Plasma is the MIPS-I compatible processor evaluated in the paper
+// (opencores Plasma), roughly a third of Leon's size.
+func Plasma() ProcessorProfile {
+	return ProcessorProfile{
+		Name:             "plasma",
+		ISA:              "mips1",
+		CyclesPerPattern: 10,
+		Power:            500,
+		MemoryWords:      1536,
+		SelfTest: itc02.Core{
+			Name:       "plasma",
+			Inputs:     70,
+			Outputs:    50,
+			ScanChains: []int{384, 384, 384, 384},
+			Patterns:   140,
+			Power:      500,
+		},
+	}
+}
+
+// ProfileByName returns the built-in profile with the given name.
+func ProfileByName(name string) (ProcessorProfile, error) {
+	switch name {
+	case "leon":
+		return Leon(), nil
+	case "plasma":
+		return Plasma(), nil
+	}
+	return ProcessorProfile{}, fmt.Errorf("soc: unknown processor profile %q (have leon, plasma)", name)
+}
+
+// PlacedCore is a core bound to a mesh tile. Processor instances carry
+// their profile; plain cores have a nil Processor.
+type PlacedCore struct {
+	Core      itc02.Core
+	Tile      noc.Coord
+	Processor *ProcessorProfile
+}
+
+// IsProcessor reports whether this placed core is a reusable processor.
+func (p PlacedCore) IsProcessor() bool { return p.Processor != nil }
+
+// PortDir distinguishes tester input (stimulus) from output (response)
+// connections.
+type PortDir int
+
+// Port directions.
+const (
+	In PortDir = iota
+	Out
+)
+
+// String returns "in" or "out".
+func (d PortDir) String() string {
+	if d == In {
+		return "in"
+	}
+	return "out"
+}
+
+// Port is an external tester connection at a mesh tile.
+type Port struct {
+	Name string
+	Tile noc.Coord
+	Dir  PortDir
+}
+
+// System is a fully placed system ready for test planning.
+type System struct {
+	Name  string
+	Net   noc.Characterization
+	Cores []PlacedCore
+	Ports []Port
+}
+
+// Validate checks placement and component consistency.
+func (s *System) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("soc: system has empty name")
+	}
+	if err := s.Net.Validate(); err != nil {
+		return err
+	}
+	if len(s.Cores) == 0 {
+		return fmt.Errorf("soc: system %s has no cores", s.Name)
+	}
+	ids := make(map[int]bool, len(s.Cores))
+	for _, pc := range s.Cores {
+		if err := pc.Core.Validate(); err != nil {
+			return err
+		}
+		if !s.Net.Mesh.Contains(pc.Tile) {
+			return fmt.Errorf("soc: core %d (%s) placed off-mesh at %v", pc.Core.ID, pc.Core.Name, pc.Tile)
+		}
+		if ids[pc.Core.ID] {
+			return fmt.Errorf("soc: duplicate core id %d", pc.Core.ID)
+		}
+		ids[pc.Core.ID] = true
+		if pc.Processor != nil {
+			if err := pc.Processor.Validate(); err != nil {
+				return err
+			}
+		}
+	}
+	if len(s.Ports) == 0 {
+		return fmt.Errorf("soc: system %s has no tester ports", s.Name)
+	}
+	var ins, outs int
+	for _, p := range s.Ports {
+		if !s.Net.Mesh.Contains(p.Tile) {
+			return fmt.Errorf("soc: port %s placed off-mesh at %v", p.Name, p.Tile)
+		}
+		if p.Dir == In {
+			ins++
+		} else {
+			outs++
+		}
+	}
+	if ins == 0 || outs == 0 {
+		return fmt.Errorf("soc: system %s needs at least one input and one output port (have %d in, %d out)", s.Name, ins, outs)
+	}
+	return nil
+}
+
+// Processors returns the processor instances, ordered by core ID.
+func (s *System) Processors() []PlacedCore {
+	var procs []PlacedCore
+	for _, pc := range s.Cores {
+		if pc.IsProcessor() {
+			procs = append(procs, pc)
+		}
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i].Core.ID < procs[j].Core.ID })
+	return procs
+}
+
+// PlainCores returns the non-processor cores, ordered by core ID.
+func (s *System) PlainCores() []PlacedCore {
+	var cores []PlacedCore
+	for _, pc := range s.Cores {
+		if !pc.IsProcessor() {
+			cores = append(cores, pc)
+		}
+	}
+	sort.Slice(cores, func(i, j int) bool { return cores[i].Core.ID < cores[j].Core.ID })
+	return cores
+}
+
+// CoreByID finds a placed core.
+func (s *System) CoreByID(id int) (PlacedCore, bool) {
+	for _, pc := range s.Cores {
+		if pc.Core.ID == id {
+			return pc, true
+		}
+	}
+	return PlacedCore{}, false
+}
+
+// TotalPower sums the test-mode power of every core including processor
+// instances — the base of the paper's percentage power limits.
+func (s *System) TotalPower() float64 {
+	var total float64
+	for _, pc := range s.Cores {
+		total += pc.Core.Power
+	}
+	return total
+}
+
+// InterfaceTiles returns the tiles holding test interfaces: every port
+// and every processor. Cores closer to these are tested first.
+func (s *System) InterfaceTiles() []noc.Coord {
+	var tiles []noc.Coord
+	for _, p := range s.Ports {
+		tiles = append(tiles, p.Tile)
+	}
+	for _, pc := range s.Cores {
+		if pc.IsProcessor() {
+			tiles = append(tiles, pc.Tile)
+		}
+	}
+	return tiles
+}
+
+// String renders a one-line summary.
+func (s *System) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %dx%d mesh, %d cores (%d processors), %d ports, total power %.0f",
+		s.Name, s.Net.Mesh.Width, s.Net.Mesh.Height,
+		len(s.Cores), len(s.Processors()), len(s.Ports), s.TotalPower())
+	return b.String()
+}

@@ -1,0 +1,275 @@
+package soc
+
+import (
+	"strings"
+	"testing"
+
+	"noctest/internal/itc02"
+	"noctest/internal/noc"
+)
+
+func TestProfiles(t *testing.T) {
+	for _, name := range []string{"leon", "plasma"} {
+		p, err := ProfileByName(name)
+		if err != nil {
+			t.Fatalf("ProfileByName(%q): %v", name, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s profile invalid: %v", name, err)
+		}
+		if p.CyclesPerPattern != 10 {
+			t.Errorf("%s cycles per pattern = %d, want the paper's 10", name, p.CyclesPerPattern)
+		}
+	}
+	if _, err := ProfileByName("arm"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	leon, plasma := Leon(), Plasma()
+	if leon.SelfTest.ScanBits() <= plasma.SelfTest.ScanBits() {
+		t.Error("Leon should be the larger processor")
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	p := Leon()
+	p.Name = ""
+	if err := p.Validate(); err == nil {
+		t.Error("empty name accepted")
+	}
+	p = Leon()
+	p.CyclesPerPattern = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative cycles accepted")
+	}
+	p = Leon()
+	p.SelfTest.Patterns = 0
+	if err := p.Validate(); err == nil {
+		t.Error("invalid self-test record accepted")
+	}
+}
+
+func buildD695(t *testing.T, procs int, profile ProcessorProfile) *System {
+	t.Helper()
+	bench, err := itc02.Benchmark("d695")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := Build(bench, BuildConfig{Processors: procs, Profile: profile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestBuildNoProcessors(t *testing.T) {
+	sys := buildD695(t, 0, ProcessorProfile{})
+	if sys.Name != "d695" {
+		t.Errorf("Name = %q", sys.Name)
+	}
+	if got := sys.Net.Mesh; got != (noc.Mesh{Width: 4, Height: 4}) {
+		t.Errorf("mesh = %+v, want paper's 4x4", got)
+	}
+	if len(sys.Cores) != 10 || len(sys.Processors()) != 0 {
+		t.Errorf("cores = %d, processors = %d", len(sys.Cores), len(sys.Processors()))
+	}
+	if len(sys.Ports) != 2 {
+		t.Errorf("ports = %d, want the paper's 2 external interfaces", len(sys.Ports))
+	}
+}
+
+func TestBuildWithLeon(t *testing.T) {
+	sys := buildD695(t, 6, Leon())
+	if sys.Name != "d695_leon" {
+		t.Errorf("Name = %q", sys.Name)
+	}
+	if len(sys.Cores) != 16 {
+		t.Errorf("total cores = %d, want the paper's 16", len(sys.Cores))
+	}
+	procs := sys.Processors()
+	if len(procs) != 6 {
+		t.Fatalf("processors = %d", len(procs))
+	}
+	// Instances are distinct cores with distinct IDs and tiles.
+	tiles := make(map[noc.Coord]bool)
+	for i, p := range procs {
+		if p.Core.ID != 11+i {
+			t.Errorf("processor %d has id %d, want %d", i, p.Core.ID, 11+i)
+		}
+		if !strings.HasPrefix(p.Core.Name, "leon") {
+			t.Errorf("processor name %q", p.Core.Name)
+		}
+		if tiles[p.Tile] {
+			t.Errorf("two processors share tile %v", p.Tile)
+		}
+		tiles[p.Tile] = true
+	}
+	// 16 cores on 16 tiles: every core has its own tile.
+	all := make(map[noc.Coord]int)
+	for _, c := range sys.Cores {
+		all[c.Tile]++
+	}
+	for tile, n := range all {
+		if n != 1 {
+			t.Errorf("tile %v hosts %d cores; d695_leon fits 1:1", tile, n)
+		}
+	}
+}
+
+func TestBuildPackedSystems(t *testing.T) {
+	// p22810+8 = 36 cores on 5x6 = 30 tiles; p93791+8 = 40 on 5x5 = 25.
+	cases := []struct {
+		bench string
+		procs int
+		tiles int
+	}{
+		{"p22810", 8, 30},
+		{"p93791", 8, 25},
+	}
+	for _, tc := range cases {
+		bench, err := itc02.Benchmark(tc.bench)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := Build(bench, BuildConfig{Processors: tc.procs, Profile: Plasma()})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.bench, err)
+		}
+		if sys.Net.Mesh.Tiles() != tc.tiles {
+			t.Errorf("%s mesh tiles = %d, want %d", tc.bench, sys.Net.Mesh.Tiles(), tc.tiles)
+		}
+		if len(sys.Cores) != len(bench.Cores)+tc.procs {
+			t.Errorf("%s cores = %d", tc.bench, len(sys.Cores))
+		}
+		if err := sys.Validate(); err != nil {
+			t.Errorf("%s: %v", tc.bench, err)
+		}
+	}
+}
+
+func TestBuildUnknownBenchmarkGetsSquareMesh(t *testing.T) {
+	bench := &itc02.SoC{Name: "custom", Cores: []itc02.Core{
+		{ID: 1, Name: "a", Inputs: 4, Outputs: 4, Patterns: 5},
+		{ID: 2, Name: "b", Inputs: 4, Outputs: 4, Patterns: 5},
+		{ID: 3, Name: "c", Inputs: 4, Outputs: 4, Patterns: 5},
+		{ID: 4, Name: "d", Inputs: 4, Outputs: 4, Patterns: 5},
+		{ID: 5, Name: "e", Inputs: 4, Outputs: 4, Patterns: 5},
+	}}
+	sys, err := Build(bench, BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Net.Mesh != (noc.Mesh{Width: 3, Height: 3}) {
+		t.Errorf("mesh = %+v, want smallest square 3x3", sys.Net.Mesh)
+	}
+}
+
+func TestBuildConfigErrors(t *testing.T) {
+	bench, err := itc02.Benchmark("d695")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(bench, BuildConfig{Processors: -1}); err == nil {
+		t.Error("negative processors accepted")
+	}
+	if _, err := Build(bench, BuildConfig{Processors: 2}); err == nil {
+		t.Error("missing profile accepted")
+	}
+	if _, err := Build(&itc02.SoC{Name: "empty"}, BuildConfig{}); err == nil {
+		t.Error("invalid benchmark accepted")
+	}
+}
+
+func TestBuildExtraPortPairs(t *testing.T) {
+	bench, err := itc02.Benchmark("d695")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := Build(bench, BuildConfig{ExtraPortPairs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Ports) != 4 {
+		t.Fatalf("ports = %d, want 4", len(sys.Ports))
+	}
+	seen := make(map[noc.Coord]bool)
+	for _, p := range sys.Ports {
+		key := p.Tile
+		if p.Dir == In {
+			key.X -= 100 // separate namespaces for in/out collision check
+		}
+		if seen[key] {
+			t.Errorf("duplicate port placement %v %v", p.Tile, p.Dir)
+		}
+		seen[key] = true
+	}
+}
+
+func TestSystemAccessors(t *testing.T) {
+	sys := buildD695(t, 2, Plasma())
+	if got := len(sys.PlainCores()); got != 10 {
+		t.Errorf("PlainCores = %d", got)
+	}
+	if _, ok := sys.CoreByID(1); !ok {
+		t.Error("CoreByID(1) missing")
+	}
+	if _, ok := sys.CoreByID(99); ok {
+		t.Error("CoreByID(99) found")
+	}
+	// 10 d695 cores (6472) + 2 plasma (500 each).
+	if got := sys.TotalPower(); got != 6472+1000 {
+		t.Errorf("TotalPower = %g, want 7472", got)
+	}
+	tiles := sys.InterfaceTiles()
+	if len(tiles) != 2+2 {
+		t.Errorf("InterfaceTiles = %d, want ports+processors = 4", len(tiles))
+	}
+	if s := sys.String(); !strings.Contains(s, "d695_plasma") || !strings.Contains(s, "2 processors") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestSystemValidate(t *testing.T) {
+	sys := buildD695(t, 0, ProcessorProfile{})
+	bad := *sys
+	bad.Cores = append([]PlacedCore(nil), sys.Cores...)
+	bad.Cores[0].Tile = noc.Coord{X: 99, Y: 0}
+	if err := bad.Validate(); err == nil {
+		t.Error("off-mesh core accepted")
+	}
+	bad = *sys
+	bad.Ports = []Port{{Name: "in-only", Tile: noc.Coord{X: 0, Y: 0}, Dir: In}}
+	if err := bad.Validate(); err == nil {
+		t.Error("system without output port accepted")
+	}
+	bad = *sys
+	bad.Ports = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("system without ports accepted")
+	}
+}
+
+func TestSpreadTilesProperties(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 6, 8} {
+		mesh := noc.MustMesh(4, 4)
+		tiles := spreadTiles(mesh, n)
+		if len(tiles) != n {
+			t.Fatalf("n=%d: got %d tiles", n, len(tiles))
+		}
+		seen := make(map[noc.Coord]bool)
+		for _, tile := range tiles {
+			if !mesh.Contains(tile) {
+				t.Errorf("n=%d: tile %v off mesh", n, tile)
+			}
+			if seen[tile] {
+				t.Errorf("n=%d: duplicate tile %v", n, tile)
+			}
+			seen[tile] = true
+		}
+	}
+}
+
+func TestPortDirString(t *testing.T) {
+	if In.String() != "in" || Out.String() != "out" {
+		t.Error("PortDir.String() wrong")
+	}
+}

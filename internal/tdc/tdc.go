@@ -1,0 +1,165 @@
+// Package tdc implements the test-data-compression substrate for the
+// paper's second processor reuse mode: "run a test program that reads
+// the compressed test data from a memory, decompresses it and sends it
+// to the core under test" — the mode the paper lists as upcoming work.
+//
+// The codec is a word-level run-length scheme in the spirit of the
+// fill-run encodings used by embedded-tester compression work (e.g.
+// Hwang & Abraham, the paper's reference [5]): deterministic test cubes
+// are mostly fill (don't-care bits mapped to constant fill words), so
+// runs of identical words compress to a two-word (control, value) pair.
+//
+// Stream format, one uint32 per word:
+//
+//	control = 0x0000_nnnn          literal run: the next nnnn words are data
+//	control = 0x8000_nnnn, value   fill run: value repeats nnnn times
+//	control = 0xFFFF_FFFF          end of stream
+//
+// Runs are capped at 65535 words; nnnn is never zero.
+package tdc
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// EndMarker terminates a compressed stream.
+const EndMarker uint32 = 0xFFFFFFFF
+
+// fillFlag marks a control word as a fill run.
+const fillFlag uint32 = 0x80000000
+
+// maxRun is the longest run a single control word can describe.
+const maxRun = 0xFFFF
+
+// minFillRun is the shortest run worth encoding as a fill: a fill pair
+// costs two words, so runs of three or more save space.
+const minFillRun = 3
+
+// Compress encodes words into the run-length stream, always appending
+// the end marker. Compressing an empty input yields just the marker.
+func Compress(words []uint32) []uint32 {
+	var out []uint32
+	i := 0
+	literalStart := 0
+	flushLiterals := func(end int) {
+		for start := literalStart; start < end; start += maxRun {
+			n := end - start
+			if n > maxRun {
+				n = maxRun
+			}
+			out = append(out, uint32(n))
+			out = append(out, words[start:start+n]...)
+		}
+	}
+	for i < len(words) {
+		run := 1
+		for i+run < len(words) && words[i+run] == words[i] && run < maxRun {
+			run++
+		}
+		if run >= minFillRun {
+			flushLiterals(i)
+			out = append(out, fillFlag|uint32(run), words[i])
+			i += run
+			literalStart = i
+		} else {
+			i += run
+		}
+	}
+	flushLiterals(len(words))
+	return append(out, EndMarker)
+}
+
+// Decompress is the reference decoder; the ISS kernels must agree with
+// it word for word.
+func Decompress(stream []uint32) ([]uint32, error) {
+	var out []uint32
+	i := 0
+	for {
+		if i >= len(stream) {
+			return nil, fmt.Errorf("tdc: stream truncated before end marker")
+		}
+		control := stream[i]
+		i++
+		if control == EndMarker {
+			return out, nil
+		}
+		n := int(control & maxRun)
+		if n == 0 {
+			return nil, fmt.Errorf("tdc: zero-length run at word %d", i-1)
+		}
+		if control&fillFlag != 0 {
+			if i >= len(stream) {
+				return nil, fmt.Errorf("tdc: fill run missing value at word %d", i-1)
+			}
+			value := stream[i]
+			i++
+			for j := 0; j < n; j++ {
+				out = append(out, value)
+			}
+		} else {
+			if i+n > len(stream) {
+				return nil, fmt.Errorf("tdc: literal run of %d exceeds stream at word %d", n, i-1)
+			}
+			out = append(out, stream[i:i+n]...)
+			i += n
+		}
+	}
+}
+
+// Ratio returns compressed size over raw size for a raw word count;
+// both counts exclude nothing (the end marker is part of the stream).
+func Ratio(raw, compressed int) float64 {
+	if raw == 0 {
+		return 1
+	}
+	return float64(compressed) / float64(raw)
+}
+
+// SyntheticStimulus deterministically generates raw stimulus words for
+// a test set of the given word count, with the fill-heavy structure of
+// X-filled deterministic cubes: fillFraction of the stream consists of
+// runs of constant fill words (all-zeros or all-ones), the rest is
+// pseudo-random care data. Typical deterministic test sets X-fill 95%+
+// of their bits; fillFraction 0.7 at word granularity is conservative.
+func SyntheticStimulus(words int, fillFraction float64, seed int64) []uint32 {
+	if words <= 0 {
+		return nil
+	}
+	if fillFraction < 0 {
+		fillFraction = 0
+	}
+	if fillFraction > 1 {
+		fillFraction = 1
+	}
+	r := rand.New(rand.NewSource(seed))
+	out := make([]uint32, 0, words)
+	for len(out) < words {
+		if r.Float64() < fillFraction {
+			fill := uint32(0)
+			if r.Intn(2) == 1 {
+				fill = 0xFFFFFFFF
+			}
+			run := 3 + r.Intn(30)
+			for j := 0; j < run && len(out) < words; j++ {
+				out = append(out, fill)
+			}
+		} else {
+			run := 1 + r.Intn(4)
+			for j := 0; j < run && len(out) < words; j++ {
+				out = append(out, r.Uint32())
+			}
+		}
+	}
+	return out
+}
+
+// CompressTestSet generates the synthetic stimulus for a test set of
+// rawWords words, compresses it, and returns the stream plus the
+// achieved ratio — the characterisation input for decompression-based
+// scheduling.
+func CompressTestSet(rawWords int, seed int64) (stream []uint32, ratio float64) {
+	raw := SyntheticStimulus(rawWords, 0.7, seed)
+	stream = Compress(raw)
+	return stream, Ratio(len(raw), len(stream))
+}

@@ -1,0 +1,159 @@
+package tdc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompressEmpty(t *testing.T) {
+	stream := Compress(nil)
+	if len(stream) != 1 || stream[0] != EndMarker {
+		t.Fatalf("Compress(nil) = %v", stream)
+	}
+	out, err := Decompress(stream)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("Decompress = %v, %v", out, err)
+	}
+}
+
+func TestRoundTripSimple(t *testing.T) {
+	cases := [][]uint32{
+		{1},
+		{1, 2, 3},
+		{7, 7, 7, 7, 7},
+		{0, 0, 0, 9, 9, 9, 5},
+		{1, 1}, // below minFillRun: stays literal
+	}
+	for _, in := range cases {
+		out, err := Decompress(Compress(in))
+		if err != nil {
+			t.Fatalf("%v: %v", in, err)
+		}
+		if len(out) != len(in) {
+			t.Fatalf("%v: round trip length %d", in, len(out))
+		}
+		for i := range in {
+			if out[i] != in[i] {
+				t.Fatalf("%v: word %d = %d", in, i, out[i])
+			}
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	trip := func(n uint16, fillBias bool) bool {
+		words := make([]uint32, int(n)%2000)
+		for i := range words {
+			if fillBias && r.Intn(3) > 0 {
+				words[i] = 0
+			} else {
+				words[i] = r.Uint32() % 8
+			}
+		}
+		out, err := Decompress(Compress(words))
+		if err != nil || len(out) != len(words) {
+			return false
+		}
+		for i := range words {
+			if out[i] != words[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(trip, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLongRunsSplit(t *testing.T) {
+	// A run longer than 65535 must split into multiple fill pairs.
+	words := make([]uint32, 70000)
+	stream := Compress(words)
+	out, err := Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(words) {
+		t.Fatalf("round trip length %d", len(out))
+	}
+	if len(stream) > 8 {
+		t.Errorf("70000 zeros compressed to %d words, want a handful", len(stream))
+	}
+}
+
+func TestFillHeavyDataCompressesWell(t *testing.T) {
+	raw := SyntheticStimulus(20000, 0.7, 1)
+	stream := Compress(raw)
+	if r := Ratio(len(raw), len(stream)); r > 0.7 {
+		t.Errorf("fill-heavy ratio = %.2f, want < 0.7", r)
+	}
+	// Incompressible data must not blow up badly (worst case adds one
+	// control word per 65535 literals plus run breaks).
+	rr := rand.New(rand.NewSource(9))
+	noise := make([]uint32, 5000)
+	for i := range noise {
+		noise[i] = rr.Uint32()
+	}
+	stream = Compress(noise)
+	if r := Ratio(len(noise), len(stream)); r > 1.1 {
+		t.Errorf("incompressible ratio = %.2f, want <= ~1", r)
+	}
+}
+
+func TestDecompressErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		stream []uint32
+	}{
+		{"empty", nil},
+		{"no end marker", []uint32{2, 5, 6}},
+		{"zero run", []uint32{0, EndMarker}},
+		{"zero fill run", []uint32{fillFlag, 7, EndMarker}},
+		{"fill missing value", []uint32{fillFlag | 3}},
+		{"literal overrun", []uint32{5, 1, 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Decompress(tc.stream); err == nil {
+				t.Errorf("accepted %v", tc.stream)
+			}
+		})
+	}
+}
+
+func TestSyntheticStimulus(t *testing.T) {
+	a := SyntheticStimulus(1000, 0.7, 42)
+	b := SyntheticStimulus(1000, 0.7, 42)
+	if len(a) != 1000 {
+		t.Fatalf("length %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+	if got := SyntheticStimulus(0, 0.5, 1); got != nil {
+		t.Error("zero words should yield nil")
+	}
+	// Clamped fractions must not panic and still produce output.
+	if got := SyntheticStimulus(10, -1, 1); len(got) != 10 {
+		t.Error("negative fraction mishandled")
+	}
+	if got := SyntheticStimulus(10, 2, 1); len(got) != 10 {
+		t.Error("fraction > 1 mishandled")
+	}
+}
+
+func TestCompressTestSet(t *testing.T) {
+	stream, ratio := CompressTestSet(10000, 7)
+	if ratio <= 0 || ratio > 0.7 {
+		t.Errorf("ratio = %.2f", ratio)
+	}
+	out, err := Decompress(stream)
+	if err != nil || len(out) != 10000 {
+		t.Fatalf("decompress: %d words, %v", len(out), err)
+	}
+}

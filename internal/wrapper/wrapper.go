@@ -1,0 +1,190 @@
+// Package wrapper designs test wrappers for cores: the partitioning of
+// a core's internal scan chains and functional terminals into a fixed
+// number of balanced wrapper scan chains, in the style of the ITC'02
+// benchmark flow (Iyengar, Chakrabarty, Marinissen's Design_wrapper
+// with the Best Fit Decreasing heuristic).
+//
+// The wrapper determines the core-side scan time per pattern: stimuli
+// shift through the wrapper chains serially, so an unbalanced or narrow
+// wrapper lengthens every pattern regardless of how fast the NoC
+// delivers data. The planner consumes ScanIn/ScanOut as the core-side
+// bound on the per-pattern time.
+package wrapper
+
+import (
+	"fmt"
+	"sort"
+
+	"noctest/internal/itc02"
+)
+
+// Chain is one wrapper scan chain: the internal scan chains routed
+// through it plus the functional wrapper cells appended to it.
+type Chain struct {
+	// ScanChains holds the lengths of internal chains on this wrapper
+	// chain, in assignment order.
+	ScanChains []int
+	// InputCells and OutputCells count functional wrapper cells.
+	InputCells  int
+	OutputCells int
+}
+
+// ScanLength returns the total internal scan bits on the chain.
+func (c Chain) ScanLength() int {
+	total := 0
+	for _, l := range c.ScanChains {
+		total += l
+	}
+	return total
+}
+
+// InLength is the shift-in length: scan bits plus input cells.
+func (c Chain) InLength() int { return c.ScanLength() + c.InputCells }
+
+// OutLength is the shift-out length: scan bits plus output cells.
+func (c Chain) OutLength() int { return c.ScanLength() + c.OutputCells }
+
+// Design is a complete wrapper for one core.
+type Design struct {
+	// Width is the number of wrapper chains.
+	Width int
+	// Chains holds the per-chain assignment.
+	Chains []Chain
+	// ScanIn and ScanOut are the wrapper's shift times per pattern: the
+	// longest shift-in and shift-out chain.
+	ScanIn, ScanOut int
+}
+
+// ShiftCycles is the per-pattern core-side cost: shifting in the next
+// stimulus while shifting out the previous response overlaps, so the
+// longer of the two governs, plus one capture cycle.
+func (d Design) ShiftCycles() int {
+	m := d.ScanIn
+	if d.ScanOut > m {
+		m = d.ScanOut
+	}
+	return m + 1
+}
+
+// TestCycles is the classic standalone wrapper test time
+// (1 + max(si,so))*p + min(si,so): p overlapping shift/capture rounds
+// plus the final response shift-out.
+func (d Design) TestCycles(patterns int) int {
+	si, so := d.ScanIn, d.ScanOut
+	maxS, minS := si, so
+	if so > maxS {
+		maxS, minS = so, si
+	}
+	return (1+maxS)*patterns + minS
+}
+
+// BFD designs a wrapper with the Best Fit Decreasing heuristic:
+// internal scan chains (unbreakable) are placed longest-first onto the
+// currently shortest wrapper chain; functional inputs and outputs
+// (breakable, one cell each) then level the shift-in and shift-out
+// lengths. A width larger than the chain count plus terminals is
+// clamped to what the core can use.
+func BFD(core itc02.Core, width int) (Design, error) {
+	if err := core.Validate(); err != nil {
+		return Design{}, err
+	}
+	if width < 1 {
+		return Design{}, fmt.Errorf("wrapper: width must be >= 1, got %d", width)
+	}
+	// More wrapper chains than items cannot help; clamp to keep the
+	// design meaningful and the invariants simple.
+	maxUseful := len(core.ScanChains)
+	if core.Inputs+core.Bidirs > 0 || core.Outputs+core.Bidirs > 0 {
+		maxUseful++
+	}
+	if maxUseful == 0 {
+		maxUseful = 1
+	}
+	if width > maxUseful {
+		width = maxUseful
+	}
+
+	d := Design{Width: width, Chains: make([]Chain, width)}
+
+	// Internal chains, longest first, onto the shortest wrapper chain.
+	chains := append([]int(nil), core.ScanChains...)
+	sort.Sort(sort.Reverse(sort.IntSlice(chains)))
+	for _, l := range chains {
+		best := 0
+		for i := 1; i < width; i++ {
+			if d.Chains[i].ScanLength() < d.Chains[best].ScanLength() {
+				best = i
+			}
+		}
+		d.Chains[best].ScanChains = append(d.Chains[best].ScanChains, l)
+	}
+
+	// Functional cells level the shift lengths one cell at a time.
+	for n := core.Inputs + core.Bidirs; n > 0; n-- {
+		best := 0
+		for i := 1; i < width; i++ {
+			if d.Chains[i].InLength() < d.Chains[best].InLength() {
+				best = i
+			}
+		}
+		d.Chains[best].InputCells++
+	}
+	for n := core.Outputs + core.Bidirs; n > 0; n-- {
+		best := 0
+		for i := 1; i < width; i++ {
+			if d.Chains[i].OutLength() < d.Chains[best].OutLength() {
+				best = i
+			}
+		}
+		d.Chains[best].OutputCells++
+	}
+
+	for _, c := range d.Chains {
+		if c.InLength() > d.ScanIn {
+			d.ScanIn = c.InLength()
+		}
+		if c.OutLength() > d.ScanOut {
+			d.ScanOut = c.OutLength()
+		}
+	}
+	return d, nil
+}
+
+// Validate checks a design's internal consistency against its core:
+// every internal chain appears exactly once and every terminal has a
+// cell.
+func (d Design) Validate(core itc02.Core) error {
+	if len(d.Chains) != d.Width {
+		return fmt.Errorf("wrapper: %d chains for width %d", len(d.Chains), d.Width)
+	}
+	var scan []int
+	ins, outs := 0, 0
+	for _, c := range d.Chains {
+		scan = append(scan, c.ScanChains...)
+		ins += c.InputCells
+		outs += c.OutputCells
+	}
+	if ins != core.Inputs+core.Bidirs {
+		return fmt.Errorf("wrapper: %d input cells for %d terminals", ins, core.Inputs+core.Bidirs)
+	}
+	if outs != core.Outputs+core.Bidirs {
+		return fmt.Errorf("wrapper: %d output cells for %d terminals", outs, core.Outputs+core.Bidirs)
+	}
+	want := append([]int(nil), core.ScanChains...)
+	sort.Ints(want)
+	sort.Ints(scan)
+	if len(scan) != len(want) {
+		return fmt.Errorf("wrapper: %d internal chains routed, core has %d", len(scan), len(want))
+	}
+	for i := range want {
+		if scan[i] != want[i] {
+			return fmt.Errorf("wrapper: internal chain multiset differs at %d", i)
+		}
+	}
+	for _, c := range d.Chains {
+		if c.InLength() > d.ScanIn || c.OutLength() > d.ScanOut {
+			return fmt.Errorf("wrapper: recorded scan times below an actual chain length")
+		}
+	}
+	return nil
+}

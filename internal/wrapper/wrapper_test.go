@@ -1,0 +1,142 @@
+package wrapper
+
+import (
+	"math/rand"
+	"testing"
+
+	"noctest/internal/itc02"
+)
+
+func s38417() itc02.Core {
+	chains := make([]int, 32)
+	for i := range chains {
+		chains[i] = 51
+		if i < 4 {
+			chains[i] = 52
+		}
+	}
+	return itc02.Core{ID: 10, Name: "s38417", Inputs: 28, Outputs: 106,
+		ScanChains: chains, Patterns: 68, Power: 1144}
+}
+
+func TestBFDBalances(t *testing.T) {
+	core := s38417()
+	for _, width := range []int{1, 2, 4, 8, 16, 32} {
+		d, err := BFD(core, width)
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		if err := d.Validate(core); err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		// Perfect balance bound: total bits / width; BFD must stay
+		// within one internal chain of it.
+		totalIn := core.ScanBits() + core.Inputs
+		lower := (totalIn + width - 1) / width
+		if d.ScanIn < lower {
+			t.Errorf("width %d: ScanIn %d below bound %d", width, d.ScanIn, lower)
+		}
+		if d.ScanIn > lower+core.MaxChain() {
+			t.Errorf("width %d: ScanIn %d far above bound %d (unbalanced)", width, d.ScanIn, lower)
+		}
+	}
+}
+
+func TestBFDWidthMonotone(t *testing.T) {
+	core := s38417()
+	prev := 1 << 30
+	for width := 1; width <= 32; width++ {
+		d, err := BFD(core, width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.ShiftCycles() > prev {
+			t.Errorf("width %d: shift %d worse than narrower wrapper %d", width, d.ShiftCycles(), prev)
+		}
+		prev = d.ShiftCycles()
+	}
+}
+
+func TestBFDCombinationalCore(t *testing.T) {
+	core := itc02.Core{ID: 1, Name: "c6288", Inputs: 32, Outputs: 32, Patterns: 12, Power: 660}
+	d, err := BFD(core, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No scan: width clamps to 1, cells pile on one chain.
+	if d.Width != 1 {
+		t.Errorf("width = %d, want clamp to 1", d.Width)
+	}
+	if d.ScanIn != 32 || d.ScanOut != 32 {
+		t.Errorf("scan times = %d/%d, want 32/32", d.ScanIn, d.ScanOut)
+	}
+	if err := d.Validate(core); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBFDWidthClamp(t *testing.T) {
+	core := itc02.Core{ID: 1, Name: "x", Inputs: 4, Outputs: 4,
+		ScanChains: []int{100, 90}, Patterns: 5, Power: 10}
+	d, err := BFD(core, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Width != 3 { // 2 chains + 1 for terminals
+		t.Errorf("width = %d, want 3", d.Width)
+	}
+	if err := d.Validate(core); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBFDErrors(t *testing.T) {
+	if _, err := BFD(s38417(), 0); err == nil {
+		t.Error("width 0 accepted")
+	}
+	if _, err := BFD(itc02.Core{}, 4); err == nil {
+		t.Error("invalid core accepted")
+	}
+}
+
+func TestTestCycles(t *testing.T) {
+	d := Design{Width: 1, ScanIn: 10, ScanOut: 6}
+	// (1+10)*5 + 6 = 61
+	if got := d.TestCycles(5); got != 61 {
+		t.Errorf("TestCycles = %d, want 61", got)
+	}
+	if got := d.ShiftCycles(); got != 11 {
+		t.Errorf("ShiftCycles = %d, want 11", got)
+	}
+}
+
+func TestBFDRandomizedInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		core := itc02.Core{
+			ID: 1, Name: "r", Patterns: 1,
+			Inputs:  r.Intn(300),
+			Outputs: r.Intn(300),
+			Bidirs:  r.Intn(20),
+		}
+		for j := r.Intn(40); j > 0; j-- {
+			core.ScanChains = append(core.ScanChains, 1+r.Intn(400))
+		}
+		if core.Inputs+core.Outputs+core.Bidirs+core.ScanBits() == 0 {
+			core.Inputs = 1
+		}
+		width := 1 + r.Intn(40)
+		d, err := BFD(core, width)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := d.Validate(core); err != nil {
+			t.Fatalf("trial %d (width %d): %v", trial, width, err)
+		}
+		// The widest chain can never beat the perfect-balance bound.
+		totalIn := core.ScanBits() + core.Inputs + core.Bidirs
+		if d.ScanIn*d.Width < totalIn {
+			t.Fatalf("trial %d: ScanIn %d * width %d below total %d", trial, d.ScanIn, d.Width, totalIn)
+		}
+	}
+}

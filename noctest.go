@@ -1,0 +1,109 @@
+// Package noctest is a test-planning library for network-on-chip based
+// systems-on-chip, reproducing Amory et al., "Test Time Reduction
+// Reusing Multiple Processors in a Network-on-Chip Based Architecture"
+// (DATE 2005).
+//
+// The library plans the manufacturing test of a core-based SoC whose
+// interconnect is a mesh NoC: test stimuli and responses travel through
+// the network, the external tester attaches at I/O ports, and embedded
+// processors — once they have passed their own test — are reused as
+// additional test sources and sinks running a software BIST application.
+// The planner assigns every core a test interface and a time window
+// under interface, NoC-path and power constraints, minimising total test
+// time with the paper's greedy heuristic.
+//
+// # Quick start
+//
+//	bench, _ := noctest.LoadBenchmark("d695")
+//	sys, _ := noctest.BuildSystem(bench, noctest.BuildConfig{
+//		Processors: 6,
+//		Profile:    noctest.Leon(),
+//	})
+//	p, _ := noctest.Schedule(sys, noctest.Options{PowerLimitFraction: 0.5})
+//	fmt.Println(p.Summary())
+//	fmt.Print(p.Gantt(100))
+//
+// The facade re-exports the library's types from the internal packages;
+// see the examples directory for complete programs and cmd/figure1 for
+// the paper's full evaluation.
+package noctest
+
+import (
+	"noctest/internal/core"
+	"noctest/internal/itc02"
+	"noctest/internal/noc"
+	"noctest/internal/plan"
+	"noctest/internal/report"
+	"noctest/internal/soc"
+)
+
+// Re-exported model types.
+type (
+	// SoC is a benchmark description: cores with their test knowledge.
+	SoC = itc02.SoC
+	// Core is one core's provider-supplied test record.
+	Core = itc02.Core
+	// System is a placed system: cores and processors on mesh tiles
+	// plus tester ports.
+	System = soc.System
+	// BuildConfig controls system assembly.
+	BuildConfig = soc.BuildConfig
+	// ProcessorProfile characterises an embedded processor reused for
+	// test.
+	ProcessorProfile = soc.ProcessorProfile
+	// Options configures the scheduler.
+	Options = core.Options
+	// Plan is a complete validated test schedule.
+	Plan = plan.Plan
+	// Entry is one scheduled core test.
+	Entry = plan.Entry
+	// Mesh is the NoC grid topology.
+	Mesh = noc.Mesh
+	// Coord addresses a mesh tile.
+	Coord = noc.Coord
+	// Timing is the NoC router characterisation.
+	Timing = noc.Timing
+)
+
+// Scheduler variant, priority and application constants, re-exported.
+const (
+	GreedyFirstAvailable   = core.GreedyFirstAvailable
+	LookaheadFastestFinish = core.LookaheadFastestFinish
+	ProcessorsFirst        = core.ProcessorsFirst
+	DistanceOnly           = core.DistanceOnly
+	VolumeDescending       = core.VolumeDescending
+	BISTApplication        = core.BISTApplication
+	// DecompressionApplication selects the software-decompression test
+	// application the paper lists as upcoming work (see internal/tdc).
+	DecompressionApplication = core.DecompressionApplication
+)
+
+// LoadBenchmark returns a copy of an embedded benchmark: "d695",
+// "p22810" or "p93791".
+func LoadBenchmark(name string) (*SoC, error) { return itc02.Benchmark(name) }
+
+// Benchmarks lists the embedded benchmark names.
+func Benchmarks() []string { return itc02.BenchmarkNames() }
+
+// ParseSoC reads a benchmark description in the itc02 text format.
+func ParseSoC(text string) (*SoC, error) { return itc02.ParseString(text) }
+
+// Leon returns the SPARC V8 processor profile evaluated in the paper.
+func Leon() ProcessorProfile { return soc.Leon() }
+
+// Plasma returns the MIPS-I processor profile evaluated in the paper.
+func Plasma() ProcessorProfile { return soc.Plasma() }
+
+// BuildSystem places a benchmark plus processors on a mesh NoC.
+func BuildSystem(bench *SoC, cfg BuildConfig) (*System, error) { return soc.Build(bench, cfg) }
+
+// Schedule plans the complete test of a system and returns a validated
+// plan.
+func Schedule(sys *System, opts Options) (*Plan, error) { return core.Schedule(sys, opts) }
+
+// Figure1Panel is one reproduced chart of the paper's Figure 1.
+type Figure1Panel = report.Panel
+
+// Figure1 reproduces the paper's six result charts with the repository
+// calibration (see EXPERIMENTS.md).
+func Figure1() ([]Figure1Panel, error) { return report.RunFigure1() }

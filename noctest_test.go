@@ -1,0 +1,68 @@
+package noctest
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	bench, err := LoadBenchmark("d695")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := BuildSystem(bench, BuildConfig{Processors: 6, Profile: Leon()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Schedule(sys, Options{PowerLimitFraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Makespan() <= 0 || len(p.Entries) != 16 {
+		t.Errorf("plan: makespan %d, entries %d", p.Makespan(), len(p.Entries))
+	}
+	if !strings.Contains(p.Summary(), "d695_leon") {
+		t.Error("summary missing system name")
+	}
+}
+
+func TestFacadeBenchmarks(t *testing.T) {
+	names := Benchmarks()
+	if len(names) != 3 {
+		t.Fatalf("Benchmarks() = %v", names)
+	}
+	for _, n := range names {
+		if _, err := LoadBenchmark(n); err != nil {
+			t.Errorf("LoadBenchmark(%q): %v", n, err)
+		}
+	}
+}
+
+func TestFacadeParse(t *testing.T) {
+	s, err := ParseSoC("soc x\ncore 1 a\n inputs 4\n outputs 4\n patterns 3\n power 10\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "x" || len(s.Cores) != 1 {
+		t.Errorf("parsed %+v", s)
+	}
+}
+
+func TestFacadeProfiles(t *testing.T) {
+	if Leon().Name != "leon" || Plasma().Name != "plasma" {
+		t.Error("profile names wrong")
+	}
+	if Leon().SelfTest.ScanBits() <= Plasma().SelfTest.ScanBits() {
+		t.Error("Leon should be larger than Plasma")
+	}
+}
+
+func TestFacadeConstants(t *testing.T) {
+	opts := Options{Variant: LookaheadFastestFinish, Priority: VolumeDescending}
+	if err := opts.Validate(); err != nil {
+		t.Errorf("re-exported constants unusable: %v", err)
+	}
+}
