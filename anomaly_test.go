@@ -1,0 +1,125 @@
+package noctest
+
+// Regression tests for the greedy anomaly the paper reports on p22810:
+// reusing more processors can lengthen the greedy schedule, because the
+// first-available rule takes a processor free now over a faster tester
+// free slightly later. The lookahead variant and the portfolio engine
+// must not show the anomaly. Promoted from examples/greedyanomaly.
+
+import (
+	"context"
+	"testing"
+)
+
+// anomalySweep schedules a benchmark across reuse counts with both
+// variants under the pattern inflation that sharpens the anomaly, and
+// returns the two makespan series.
+func anomalySweep(t *testing.T, benchName string, procs int) (greedy, lookahead []int) {
+	t.Helper()
+	sys := anomalySystem(t, benchName, procs)
+	for reuse := 0; reuse <= procs; reuse += 2 {
+		opts := Options{
+			DisableReuse:        reuse == 0,
+			MaxReusedProcessors: reuse,
+			BISTPatternFactor:   3,
+		}
+		g, err := Schedule(sys, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedy = append(greedy, g.Makespan())
+		opts.Variant = LookaheadFastestFinish
+		l, err := Schedule(sys, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lookahead = append(lookahead, l.Makespan())
+	}
+	return greedy, lookahead
+}
+
+func anomalySystem(t *testing.T, benchName string, procs int) *System {
+	t.Helper()
+	bench, err := LoadBenchmark(benchName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := BuildSystem(bench, BuildConfig{Processors: procs, Profile: Plasma()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestGreedyAnomalyOnP22810 asserts the anomaly the paper discusses
+// exists: somewhere in the p22810 reuse sweep, adding processors makes
+// the greedy schedule longer.
+func TestGreedyAnomalyOnP22810(t *testing.T) {
+	greedy, _ := anomalySweep(t, "p22810", 8)
+	anomaly := false
+	for i := 1; i < len(greedy); i++ {
+		if greedy[i] > greedy[i-1] {
+			anomaly = true
+		}
+	}
+	if !anomaly {
+		t.Fatalf("greedy p22810 sweep %v is monotone: the paper's anomaly disappeared", greedy)
+	}
+}
+
+// TestLookaheadMonotone asserts the lookahead repair is monotonically
+// no worse as reuse grows, on every benchmark.
+func TestLookaheadMonotone(t *testing.T) {
+	for _, benchName := range Benchmarks() {
+		procs := 8
+		if benchName == "d695" {
+			procs = 6
+		}
+		_, lookahead := anomalySweep(t, benchName, procs)
+		for i := 1; i < len(lookahead); i++ {
+			if lookahead[i] > lookahead[i-1] {
+				t.Errorf("%s: lookahead makespan rose from %d to %d at reuse %d",
+					benchName, lookahead[i-1], lookahead[i], 2*i)
+			}
+		}
+	}
+}
+
+// TestPortfolioMonotoneOnP22810 asserts the portfolio result is
+// monotonically no worse as reuse grows on the anomalous benchmark, and
+// never worse than greedy at any point.
+func TestPortfolioMonotoneOnP22810(t *testing.T) {
+	sys := anomalySystem(t, "p22810", 8)
+	pf := Portfolio{Schedulers: []Scheduler{
+		ListScheduler{Variant: GreedyFirstAvailable, Priority: ProcessorsFirst},
+		ListScheduler{Variant: LookaheadFastestFinish, Priority: ProcessorsFirst},
+		RandomRestartScheduler{Variant: LookaheadFastestFinish, Seed: 11, Restarts: 6},
+		AnnealingScheduler{Variant: LookaheadFastestFinish, Seed: 12, Steps: 80},
+	}}
+	prev := 0
+	for reuse := 0; reuse <= 8; reuse += 2 {
+		opts := Options{
+			DisableReuse:        reuse == 0,
+			MaxReusedProcessors: reuse,
+			BISTPatternFactor:   3,
+		}
+		g, err := Schedule(sys, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := pf.ScheduleBest(context.Background(), sys, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Plan.Validate(); err != nil {
+			t.Fatalf("reuse %d: invalid portfolio plan: %v", reuse, err)
+		}
+		if res.Makespan() > g.Makespan() {
+			t.Errorf("reuse %d: portfolio %d worse than greedy %d", reuse, res.Makespan(), g.Makespan())
+		}
+		if prev > 0 && res.Makespan() > prev {
+			t.Errorf("reuse %d: portfolio makespan rose from %d to %d", reuse, prev, res.Makespan())
+		}
+		prev = res.Makespan()
+	}
+}

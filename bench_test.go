@@ -7,7 +7,9 @@ package noctest
 // so `go test -bench .` reproduces the paper's evaluation end to end.
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"noctest/internal/bist"
@@ -15,6 +17,7 @@ import (
 	"noctest/internal/itc02"
 	"noctest/internal/noc"
 	"noctest/internal/noc/sim"
+	"noctest/internal/plan"
 	"noctest/internal/report"
 	"noctest/internal/soc"
 )
@@ -222,6 +225,53 @@ func BenchmarkSchedule(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkPortfolio compares the single-variant planner against the
+// concurrent portfolio engine on the anomalous benchmark, across worker
+// pool sizes up to GOMAXPROCS. Each run reports the greedy and
+// portfolio makespans so the search win is visible next to its wall
+// time.
+func BenchmarkPortfolio(b *testing.B) {
+	bm, err := itc02.Benchmark("p22810")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := soc.Build(bm, soc.BuildConfig{Processors: 8, Profile: soc.Leon()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.Options{PowerLimitFraction: 0.5, BISTPatternFactor: report.PaperBISTFactor}
+
+	b.Run("single", func(b *testing.B) {
+		var p *plan.Plan
+		for i := 0; i < b.N; i++ {
+			if p, err = core.Schedule(sys, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(p.Makespan()), "cycles_greedy")
+	})
+
+	workerSet := []int{1, 2, 4}
+	if max := runtime.GOMAXPROCS(0); max > 4 {
+		workerSet = append(workerSet, max)
+	}
+	for _, workers := range workerSet {
+		workers := workers
+		b.Run(fmt.Sprintf("portfolio_workers%d", workers), func(b *testing.B) {
+			pf := core.Portfolio{Schedulers: core.DefaultPortfolio(1), Workers: workers}
+			var res *core.PortfolioResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = pf.ScheduleBest(context.Background(), sys, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Makespan()), "cycles_portfolio")
 		})
 	}
 }

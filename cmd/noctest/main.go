@@ -4,54 +4,109 @@
 // Usage:
 //
 //	noctest -bench d695 -cpu leon -procs 6 -reuse 6 -power 0.5 -format gantt
+//	noctest -bench p22810 -portfolio -seed 42
+//	noctest -all -timeout 2m
 //
-// Formats: summary (default), gantt, csv, json, table.
+// Formats: summary (default), gantt, csv, json, table. -portfolio races
+// the full scheduler portfolio concurrently and reports per-strategy
+// statistics next to the winning plan; -all sweeps every embedded
+// benchmark across power limits, reuse counts and link modes through
+// the batch engine.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"noctest/internal/core"
 	"noctest/internal/itc02"
+	"noctest/internal/plan"
 	"noctest/internal/replay"
+	"noctest/internal/report"
 	"noctest/internal/soc"
 )
 
-func main() {
-	var (
-		benchName = flag.String("bench", "d695", "benchmark: d695, p22810, p93791, or a path to a .soc file")
-		cpuName   = flag.String("cpu", "leon", "processor profile: leon or plasma")
-		procs     = flag.Int("procs", 6, "processor instances present in the system")
-		reuse     = flag.Int("reuse", -1, "processors reused for test (-1: all, 0: none)")
-		power     = flag.Float64("power", 0, "power ceiling as a fraction of total core power (0: none)")
-		bist      = flag.Float64("bist", 1, "pattern inflation for processor-driven tests (>= 1)")
-		variant   = flag.String("variant", "greedy", "interface choice: greedy or lookahead")
-		priority  = flag.String("priority", "processors-first", "core order: processors-first, distance, volume")
-		exclusive = flag.Bool("exclusive-links", false, "reserve NoC links exclusively per test")
-		app       = flag.String("app", "bist", "processor test application: bist or decompression")
-		wrapperW  = flag.Int("wrapper", 0, "wrapper chains per core (0: transport-limited model)")
-		verify    = flag.Bool("verify", false, "replay the plan on the cycle-accurate simulator and report the wire-level slack")
-		format    = flag.String("format", "summary", "output: summary, gantt, csv, json, table")
-		width     = flag.Int("width", 100, "gantt chart width in columns")
-	)
-	flag.Parse()
+// config carries the parsed command line.
+type config struct {
+	bench     string
+	cpu       string
+	procs     int
+	reuse     int
+	power     float64
+	bist      float64
+	variant   string
+	priority  string
+	exclusive bool
+	app       string
+	wrapperW  int
+	verify    bool
+	format    string
+	width     int
 
-	if err := run(*benchName, *cpuName, *procs, *reuse, *power, *bist, *variant, *priority, *app, *exclusive, *wrapperW, *verify, *format, *width); err != nil {
+	portfolio bool
+	all       bool
+	seed      int64
+	workers   int
+	timeout   time.Duration
+}
+
+func main() {
+	var c config
+	flag.StringVar(&c.bench, "bench", "d695", "benchmark: d695, p22810, p93791, or a path to a .soc file")
+	flag.StringVar(&c.cpu, "cpu", "leon", "processor profile: leon or plasma")
+	flag.IntVar(&c.procs, "procs", 6, "processor instances present in the system")
+	flag.IntVar(&c.reuse, "reuse", -1, "processors reused for test (-1: all, 0: none)")
+	flag.Float64Var(&c.power, "power", 0, "power ceiling as a fraction of total core power (0: none)")
+	flag.Float64Var(&c.bist, "bist", 1, "pattern inflation for processor-driven tests (>= 1)")
+	flag.StringVar(&c.variant, "variant", "greedy", "interface choice: greedy or lookahead")
+	flag.StringVar(&c.priority, "priority", "processors-first", "core order: processors-first, distance, volume, longest")
+	flag.BoolVar(&c.exclusive, "exclusive-links", false, "reserve NoC links exclusively per test")
+	flag.StringVar(&c.app, "app", "bist", "processor test application: bist or decompression")
+	flag.IntVar(&c.wrapperW, "wrapper", 0, "wrapper chains per core (0: transport-limited model)")
+	flag.BoolVar(&c.verify, "verify", false, "replay the plan on the cycle-accurate simulator and report the wire-level slack")
+	flag.StringVar(&c.format, "format", "summary", "output: summary, gantt, csv, json, table")
+	flag.IntVar(&c.width, "width", 100, "gantt chart width in columns")
+	flag.BoolVar(&c.portfolio, "portfolio", false, "race the full scheduler portfolio and keep the best plan")
+	flag.BoolVar(&c.all, "all", false, "sweep every benchmark x {power, reuse, links} through the portfolio engine")
+	flag.Int64Var(&c.seed, "seed", 1, "seed for the portfolio's randomized searches")
+	flag.IntVar(&c.workers, "workers", 0, "concurrent scheduler runs (0: GOMAXPROCS)")
+	flag.DurationVar(&c.timeout, "timeout", 0, "overall deadline for portfolio/batch runs (0: none)")
+	flag.Parse()
+	if c.portfolio || c.all {
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "variant" || f.Name == "priority" {
+				fmt.Fprintf(os.Stderr, "noctest: -%s has no effect with -portfolio/-all: every portfolio strategy sets its own rule\n", f.Name)
+			}
+		})
+	}
+
+	if err := run(c); err != nil {
 		fmt.Fprintln(os.Stderr, "noctest:", err)
 		os.Exit(1)
 	}
 }
 
-func run(benchName, cpuName string, procs, reuse int, power, bist float64, variant, priority, app string, exclusive bool, wrapperW int, verify bool, format string, width int) error {
-	bench, err := loadBench(benchName)
+func run(c config) error {
+	ctx := context.Background()
+	if c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
+	if c.all {
+		return runGrid(ctx, c)
+	}
+
+	bench, err := loadBench(c.bench)
 	if err != nil {
 		return err
 	}
-	cfg := soc.BuildConfig{Processors: procs}
-	if procs > 0 {
-		cfg.Profile, err = soc.ProfileByName(cpuName)
+	cfg := soc.BuildConfig{Processors: c.procs}
+	if c.procs > 0 {
+		cfg.Profile, err = soc.ProfileByName(c.cpu)
 		if err != nil {
 			return err
 		}
@@ -61,51 +116,90 @@ func run(benchName, cpuName string, procs, reuse int, power, bist float64, varia
 		return err
 	}
 
-	opts := core.Options{
-		PowerLimitFraction: power,
-		BISTPatternFactor:  bist,
-		ExclusiveLinks:     exclusive,
-		WrapperChains:      wrapperW,
+	opts, err := c.options()
+	if err != nil {
+		return err
 	}
-	switch app {
+	return c.schedule(ctx, sys, opts)
+}
+
+// options translates the flag values into scheduler options.
+func (c config) options() (core.Options, error) {
+	opts := core.Options{
+		PowerLimitFraction: c.power,
+		BISTPatternFactor:  c.bist,
+		ExclusiveLinks:     c.exclusive,
+		WrapperChains:      c.wrapperW,
+	}
+	switch c.app {
 	case "bist":
 		opts.Application = core.BISTApplication
 	case "decompression":
 		opts.Application = core.DecompressionApplication
 	default:
-		return fmt.Errorf("unknown application %q", app)
+		return opts, fmt.Errorf("unknown application %q", c.app)
 	}
 	switch {
-	case reuse == 0:
+	case c.reuse == 0:
 		opts.DisableReuse = true
-	case reuse > 0:
-		opts.MaxReusedProcessors = reuse
+	case c.reuse > 0:
+		opts.MaxReusedProcessors = c.reuse
 	}
-	switch variant {
+	switch c.variant {
 	case "greedy":
 		opts.Variant = core.GreedyFirstAvailable
 	case "lookahead":
 		opts.Variant = core.LookaheadFastestFinish
 	default:
-		return fmt.Errorf("unknown variant %q", variant)
+		return opts, fmt.Errorf("unknown variant %q", c.variant)
 	}
-	switch priority {
+	switch c.priority {
 	case "processors-first":
 		opts.Priority = core.ProcessorsFirst
 	case "distance":
 		opts.Priority = core.DistanceOnly
 	case "volume":
 		opts.Priority = core.VolumeDescending
+	case "longest":
+		opts.Priority = core.LongestTestFirst
 	default:
-		return fmt.Errorf("unknown priority %q", priority)
+		return opts, fmt.Errorf("unknown priority %q", c.priority)
+	}
+	return opts, nil
+}
+
+// schedule plans one system — single-variant or portfolio — and prints
+// the result in the requested format.
+func (c config) schedule(ctx context.Context, sys *soc.System, opts core.Options) error {
+	var p *plan.Plan
+	if c.portfolio {
+		pf := core.Portfolio{Schedulers: core.DefaultPortfolio(c.seed), Workers: c.workers}
+		res, err := pf.ScheduleBest(ctx, sys, opts)
+		if err != nil {
+			return err
+		}
+		p = res.Plan
+		fmt.Printf("portfolio: %d strategies raced, best %s\n", len(res.Results), res.Best)
+		for _, r := range res.Results {
+			if r.Err != nil {
+				fmt.Printf("  %-48s failed: %v\n", r.Scheduler, r.Err)
+				continue
+			}
+			marker := ""
+			if r.Scheduler == res.Best {
+				marker = "  <- best"
+			}
+			fmt.Printf("  %-48s %12d cycles %12v%s\n", r.Scheduler, r.Makespan, r.Elapsed.Round(time.Microsecond), marker)
+		}
+	} else {
+		var err error
+		p, err = core.Schedule(sys, opts)
+		if err != nil {
+			return err
+		}
 	}
 
-	p, err := core.Schedule(sys, opts)
-	if err != nil {
-		return err
-	}
-
-	if verify {
+	if c.verify {
 		results, err := replay.Replay(sys, p, replay.Config{})
 		if err != nil {
 			return fmt.Errorf("replay: %w", err)
@@ -123,12 +217,12 @@ func run(benchName, cpuName string, procs, reuse int, power, bist float64, varia
 			len(results), overruns, worst)
 	}
 
-	switch format {
+	switch c.format {
 	case "summary":
 		fmt.Println(sys)
 		fmt.Print(p.Summary())
 	case "gantt":
-		fmt.Print(p.Gantt(width))
+		fmt.Print(p.Gantt(c.width))
 	case "csv":
 		return p.WriteCSV(os.Stdout)
 	case "json":
@@ -136,10 +230,22 @@ func run(benchName, cpuName string, procs, reuse int, power, bist float64, varia
 	case "table":
 		fmt.Println(sys)
 		fmt.Print(p.Summary())
-		fmt.Print(p.Gantt(width))
+		fmt.Print(p.Gantt(c.width))
 	default:
-		return fmt.Errorf("unknown format %q", format)
+		return fmt.Errorf("unknown format %q", c.format)
 	}
+	return nil
+}
+
+// runGrid sweeps every benchmark through the batch portfolio engine.
+func runGrid(ctx context.Context, c config) error {
+	grid := report.GridSpec{Processor: c.cpu, BISTFactor: c.bist}
+	pf := core.Portfolio{Schedulers: core.DefaultPortfolio(c.seed), Workers: c.workers}
+	rows, err := report.RunPortfolioGrid(ctx, grid, pf)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.RenderGrid(rows))
 	return nil
 }
 

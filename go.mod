@@ -1,0 +1,3 @@
+module noctest
+
+go 1.24.0

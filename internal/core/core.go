@@ -22,6 +22,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -80,6 +81,11 @@ const (
 	// VolumeDescending orders by decreasing test data volume, the
 	// classic TAM-scheduling heuristic, as an ablation.
 	VolumeDescending
+	// LongestTestFirst orders by decreasing standalone test length —
+	// patterns times the per-pattern streaming bits — the critical-path
+	// rule: the test that dominates the makespan is placed while every
+	// interface is still free.
+	LongestTestFirst
 )
 
 // String names the priority rule.
@@ -91,6 +97,8 @@ func (p Priority) String() string {
 		return "processors-first"
 	case VolumeDescending:
 		return "volume-descending"
+	case LongestTestFirst:
+		return "longest-test-first"
 	}
 	return fmt.Sprintf("priority(%d)", int(p))
 }
@@ -253,7 +261,7 @@ func (o Options) Validate() error {
 		return fmt.Errorf("core: unknown variant %d", int(o.Variant))
 	}
 	switch o.Priority {
-	case DistanceOnly, ProcessorsFirst, VolumeDescending:
+	case DistanceOnly, ProcessorsFirst, VolumeDescending, LongestTestFirst:
 	default:
 		return fmt.Errorf("core: unknown priority %d", int(o.Priority))
 	}
@@ -296,6 +304,30 @@ type scheduler struct {
 // Schedule plans the complete test of sys under opts and returns a
 // validated plan.
 func Schedule(sys *soc.System, opts Options) (*plan.Plan, error) {
+	return scheduleList(context.Background(), sys, opts, nil, "")
+}
+
+// reusedSet returns the processor core IDs opts reuses as interfaces.
+func reusedSet(sys *soc.System, opts Options) map[int]bool {
+	reused := make(map[int]bool)
+	if opts.DisableReuse {
+		return reused
+	}
+	for i, pc := range sys.Processors() {
+		if opts.MaxReusedProcessors > 0 && i >= opts.MaxReusedProcessors {
+			break
+		}
+		reused[pc.Core.ID] = true
+	}
+	return reused
+}
+
+// scheduleList runs one greedy list-scheduling pass. A non-nil order
+// overrides the priority-rule core ordering (the hook the randomized and
+// annealing searches use); a non-empty algorithm overrides the recorded
+// algorithm string. The context is checked between core placements so
+// portfolio searches cancel promptly.
+func scheduleList(ctx context.Context, sys *soc.System, opts Options, order []soc.PlacedCore, algorithm string) (*plan.Plan, error) {
 	opts = opts.withDefaults()
 	if err := opts.Validate(); err != nil {
 		return nil, err
@@ -319,30 +351,33 @@ func Schedule(sys *soc.System, opts Options) (*plan.Plan, error) {
 		tracker:  power.NewTracker(limit),
 		links:    make(map[noc.Link][]span),
 		procIfx:  make(map[int]*iface),
-		reused:   make(map[int]bool),
+		reused:   reusedSet(sys, opts),
 		wrappers: make(map[int]int),
-	}
-	if !opts.DisableReuse {
-		for i, pc := range sys.Processors() {
-			if opts.MaxReusedProcessors > 0 && i >= opts.MaxReusedProcessors {
-				break
-			}
-			s.reused[pc.Core.ID] = true
-		}
 	}
 	if err := s.buildInterfaces(); err != nil {
 		return nil, err
 	}
 
-	for _, pc := range s.order() {
+	if order == nil {
+		order = s.order()
+	} else if len(order) != len(sys.Cores) {
+		return nil, fmt.Errorf("core: explicit order covers %d of %d cores", len(order), len(sys.Cores))
+	}
+	for _, pc := range order {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := s.place(pc); err != nil {
 			return nil, err
 		}
 	}
 
+	if algorithm == "" {
+		algorithm = fmt.Sprintf("%s/%s/%s", opts.Variant, opts.Priority, opts.Application)
+	}
 	p := &plan.Plan{
 		System:         sys.Name,
-		Algorithm:      fmt.Sprintf("%s/%s/%s", opts.Variant, opts.Priority, opts.Application),
+		Algorithm:      algorithm,
 		PowerLimit:     limit,
 		ExclusiveLinks: opts.ExclusiveLinks,
 		Entries:        s.entries,
@@ -415,8 +450,25 @@ func (s *scheduler) buildInterfaces() error {
 
 // order returns the cores in scheduling priority order.
 func (s *scheduler) order() []soc.PlacedCore {
-	cores := make([]soc.PlacedCore, len(s.sys.Cores))
-	copy(cores, s.sys.Cores)
+	return orderCores(s.sys, s.opts, s.reused)
+}
+
+// testLength estimates a core's standalone streaming test length:
+// patterns times the wider of the stimulus and response widths. It
+// ranks cores for LongestTestFirst without needing interface context.
+func testLength(c itc02.Core) int {
+	bits := c.StimulusBits()
+	if r := c.ResponseBits(); r > bits {
+		bits = r
+	}
+	return c.Patterns * bits
+}
+
+// orderCores returns sys's cores in the priority order opts selects,
+// given the set of reused processor core IDs.
+func orderCores(sys *soc.System, opts Options, reused map[int]bool) []soc.PlacedCore {
+	cores := make([]soc.PlacedCore, len(sys.Cores))
+	copy(cores, sys.Cores)
 
 	// Interface positions: tester ports plus reused processors. A
 	// processor's own tile cannot test it, so its distance is taken to
@@ -426,11 +478,11 @@ func (s *scheduler) order() []soc.PlacedCore {
 		core int // backing processor core ID, 0 for ports
 	}
 	var spots []spot
-	for _, p := range s.sys.Ports {
+	for _, p := range sys.Ports {
 		spots = append(spots, spot{tile: p.Tile})
 	}
-	for _, pc := range s.sys.Processors() {
-		if s.reused[pc.Core.ID] {
+	for _, pc := range sys.Processors() {
+		if reused[pc.Core.ID] {
 			spots = append(spots, spot{tile: pc.Tile, core: pc.Core.ID})
 		}
 	}
@@ -449,9 +501,9 @@ func (s *scheduler) order() []soc.PlacedCore {
 
 	sort.SliceStable(cores, func(i, j int) bool {
 		a, b := cores[i], cores[j]
-		switch s.opts.Priority {
+		switch opts.Priority {
 		case ProcessorsFirst:
-			ap, bp := s.reused[a.Core.ID], s.reused[b.Core.ID]
+			ap, bp := reused[a.Core.ID], reused[b.Core.ID]
 			if ap != bp {
 				return ap
 			}
@@ -465,6 +517,10 @@ func (s *scheduler) order() []soc.PlacedCore {
 		case VolumeDescending:
 			if va, vb := a.Core.TestDataVolume(), b.Core.TestDataVolume(); va != vb {
 				return va > vb
+			}
+		case LongestTestFirst:
+			if la, lb := testLength(a.Core), testLength(b.Core); la != lb {
+				return la > lb
 			}
 		}
 		if va, vb := a.Core.TestDataVolume(), b.Core.TestDataVolume(); va != vb {

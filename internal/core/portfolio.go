@@ -1,0 +1,211 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"noctest/internal/plan"
+	"noctest/internal/soc"
+)
+
+// Portfolio races a set of schedulers over a goroutine worker pool and
+// keeps the minimum-makespan plan. The zero value races
+// DefaultPortfolio(0) on GOMAXPROCS workers.
+type Portfolio struct {
+	// Schedulers is the strategy set to race; nil selects
+	// DefaultPortfolio(0).
+	Schedulers []Scheduler
+	// Workers bounds the concurrent scheduler runs; values below 1
+	// select GOMAXPROCS.
+	Workers int
+}
+
+// VariantResult is one scheduler's outcome within a portfolio run.
+type VariantResult struct {
+	// Scheduler is the strategy name.
+	Scheduler string
+	// Makespan is the plan's total test time, 0 when the run failed.
+	Makespan int
+	// Elapsed is the strategy's wall time.
+	Elapsed time.Duration
+	// Err is the strategy's failure, nil on success.
+	Err error
+}
+
+// PortfolioResult is the outcome of a ScheduleBest run.
+type PortfolioResult struct {
+	// Plan is the minimum-makespan plan across the portfolio.
+	Plan *plan.Plan
+	// Best is the name of the scheduler that produced Plan.
+	Best string
+	// Results holds every strategy's outcome, in portfolio order.
+	Results []VariantResult
+}
+
+// Makespan returns the winning plan's makespan.
+func (r *PortfolioResult) Makespan() int { return r.Plan.Makespan() }
+
+// ScheduleBest races the default portfolio over sys under opts and
+// returns the minimum-makespan plan with per-variant statistics.
+func ScheduleBest(ctx context.Context, sys *soc.System, opts Options) (*PortfolioResult, error) {
+	return Portfolio{}.ScheduleBest(ctx, sys, opts)
+}
+
+// ScheduleBest races the portfolio's schedulers concurrently and
+// returns the minimum-makespan plan. Every candidate is re-checked with
+// plan.Validate before it may win; ties go to the earliest scheduler in
+// portfolio order, which makes the result deterministic for a fixed
+// scheduler set regardless of goroutine interleaving. The engine is an
+// anytime search: when the context expires after at least one strategy
+// has finished, the best completed plan is returned (interrupted
+// strategies record their context error in Results). An error is
+// returned only when the context ends with no plan in hand or every
+// strategy fails.
+func (pf Portfolio) ScheduleBest(ctx context.Context, sys *soc.System, opts Options) (*PortfolioResult, error) {
+	scheds := pf.Schedulers
+	if len(scheds) == 0 {
+		scheds = DefaultPortfolio(0)
+	}
+	workers := pf.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(scheds) {
+		workers = len(scheds)
+	}
+
+	plans := make([]*plan.Plan, len(scheds))
+	results := make([]VariantResult, len(scheds))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				start := time.Now()
+				p, err := scheds[i].Schedule(ctx, sys, opts)
+				if err == nil {
+					if verr := p.Validate(); verr != nil {
+						err = fmt.Errorf("core: %s produced invalid plan: %w", scheds[i].Name(), verr)
+					}
+				}
+				res := VariantResult{Scheduler: scheds[i].Name(), Elapsed: time.Since(start), Err: err}
+				if err == nil {
+					res.Makespan = p.Makespan()
+					plans[i] = p
+				}
+				results[i] = res
+			}
+		}()
+	}
+feed:
+	for i := range scheds {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			// Stop feeding; in-flight runs see the cancellation through
+			// their own context checks.
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	out := &PortfolioResult{Results: results}
+	bestIdx := -1
+	for i, p := range plans {
+		if p == nil {
+			continue
+		}
+		if bestIdx < 0 || p.Makespan() < plans[bestIdx].Makespan() {
+			bestIdx = i
+		}
+	}
+	if bestIdx < 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		firstErr := results[0].Err
+		for _, r := range results {
+			if r.Err != nil {
+				firstErr = r.Err
+				break
+			}
+		}
+		return nil, fmt.Errorf("core: every portfolio strategy failed: %w", firstErr)
+	}
+	out.Plan = plans[bestIdx]
+	out.Best = results[bestIdx].Scheduler
+	return out, nil
+}
+
+// BatchJob is one system-plus-options cell of a batch run.
+type BatchJob struct {
+	// Label identifies the job in the results (e.g.
+	// "p22810/power=0.5/reuse=8/packet").
+	Label string
+	// Sys is the placed system to schedule.
+	Sys *soc.System
+	// Opts configures the run.
+	Opts Options
+}
+
+// BatchResult is one job's outcome.
+type BatchResult struct {
+	// Label echoes the job's label.
+	Label string
+	// Result is the portfolio outcome, nil when Err is set.
+	Result *PortfolioResult
+	// Err is the job's failure, nil on success.
+	Err error
+}
+
+// ScheduleAll schedules every job concurrently with the default
+// portfolio and returns one result per job, in job order.
+func ScheduleAll(ctx context.Context, jobs []BatchJob) []BatchResult {
+	return Portfolio{}.ScheduleAll(ctx, jobs)
+}
+
+// ScheduleAll schedules every job concurrently, one portfolio run per
+// job, over the portfolio's worker budget. The jobs are the concurrency
+// unit: within a job the portfolio runs its schedulers sequentially, so
+// the pool is never oversubscribed. Results come back in job order; a
+// cancelled context marks the unstarted jobs with the context error.
+func (pf Portfolio) ScheduleAll(ctx context.Context, jobs []BatchJob) []BatchResult {
+	workers := pf.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	inner := Portfolio{Schedulers: pf.Schedulers, Workers: 1}
+
+	out := make([]BatchResult, len(jobs))
+	feed := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				res, err := inner.ScheduleBest(ctx, jobs[i].Sys, jobs[i].Opts)
+				out[i] = BatchResult{Label: jobs[i].Label, Result: res, Err: err}
+			}
+		}()
+	}
+	for i := range jobs {
+		select {
+		case feed <- i:
+		case <-ctx.Done():
+			out[i] = BatchResult{Label: jobs[i].Label, Err: ctx.Err()}
+		}
+	}
+	close(feed)
+	wg.Wait()
+	return out
+}

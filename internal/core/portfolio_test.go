@@ -1,0 +1,240 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"noctest/internal/itc02"
+	"noctest/internal/soc"
+)
+
+// smallPortfolio is a reduced-budget portfolio for fast tests: both
+// paper variants plus both seeded searches with trimmed budgets.
+func smallPortfolio(seed int64) Portfolio {
+	return Portfolio{Schedulers: []Scheduler{
+		ListScheduler{GreedyFirstAvailable, ProcessorsFirst},
+		ListScheduler{LookaheadFastestFinish, ProcessorsFirst},
+		RandomRestartScheduler{Variant: LookaheadFastestFinish, Seed: seed, Restarts: 6},
+		AnnealingScheduler{Variant: LookaheadFastestFinish, Seed: seed + 1, Steps: 60},
+	}}
+}
+
+// TestScheduleBestBeatsSingleVariants checks the engine's contract on
+// every benchmark: the portfolio plan validates and its makespan is no
+// worse than either existing single-variant scheduler.
+func TestScheduleBestBeatsSingleVariants(t *testing.T) {
+	for _, benchName := range itc02.BenchmarkNames() {
+		t.Run(benchName, func(t *testing.T) {
+			procs := 8
+			if benchName == "d695" {
+				procs = 6
+			}
+			sys := buildSystem(t, benchName, procs, soc.Leon())
+			opts := Options{PowerLimitFraction: 0.5, BISTPatternFactor: 3}
+
+			singleBest := 0
+			for _, v := range []Variant{GreedyFirstAvailable, LookaheadFastestFinish} {
+				o := opts
+				o.Variant = v
+				p := mustSchedule(t, sys, o)
+				if singleBest == 0 || p.Makespan() < singleBest {
+					singleBest = p.Makespan()
+				}
+			}
+
+			res, err := smallPortfolio(1).ScheduleBest(context.Background(), sys, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := res.Plan.Validate(); err != nil {
+				t.Fatalf("portfolio plan invalid: %v", err)
+			}
+			if res.Makespan() > singleBest {
+				t.Errorf("portfolio makespan %d worse than best single variant %d", res.Makespan(), singleBest)
+			}
+			if len(res.Results) != 4 {
+				t.Fatalf("got %d variant results, want 4", len(res.Results))
+			}
+			for _, r := range res.Results {
+				if r.Err != nil {
+					t.Errorf("strategy %s failed: %v", r.Scheduler, r.Err)
+				}
+				if r.Makespan < res.Makespan() {
+					t.Errorf("strategy %s reported %d below the winning %d", r.Scheduler, r.Makespan, res.Makespan())
+				}
+			}
+		})
+	}
+}
+
+// TestScheduleBestDeterministic checks that a fixed seed gives an
+// identical winner and identical plan entries across runs, regardless
+// of worker interleaving.
+func TestScheduleBestDeterministic(t *testing.T) {
+	sys := buildSystem(t, "p22810", 8, soc.Plasma())
+	opts := Options{BISTPatternFactor: 3}
+
+	first, err := smallPortfolio(42).ScheduleBest(context.Background(), sys, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 3; run++ {
+		pf := smallPortfolio(42)
+		pf.Workers = 1 + run // vary the pool to vary the interleaving
+		res, err := pf.ScheduleBest(context.Background(), sys, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Best != first.Best {
+			t.Fatalf("run %d winner %s != first winner %s", run, res.Best, first.Best)
+		}
+		if !reflect.DeepEqual(res.Plan.Entries, first.Plan.Entries) {
+			t.Fatalf("run %d plan differs from first run", run)
+		}
+		for i, r := range res.Results {
+			if r.Makespan != first.Results[i].Makespan {
+				t.Fatalf("run %d strategy %s makespan %d != %d", run, r.Scheduler, r.Makespan, first.Results[i].Makespan)
+			}
+		}
+	}
+}
+
+// TestScheduleBestCancellation checks that cancellation surfaces as a
+// context error and returns promptly even with a large search budget.
+func TestScheduleBestCancellation(t *testing.T) {
+	sys := buildSystem(t, "p93791", 8, soc.Leon())
+	pf := Portfolio{Schedulers: []Scheduler{
+		AnnealingScheduler{Variant: LookaheadFastestFinish, Seed: 1, Steps: 1 << 20},
+	}}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := pf.ScheduleBest(ctx, sys, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled run returned %v, want context.Canceled", err)
+	}
+
+	ctx, cancel = context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := pf.ScheduleBest(ctx, sys, Options{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline run returned %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v, want prompt return", elapsed)
+	}
+}
+
+// TestScheduleBestAnytime checks the engine returns the best completed
+// plan when the deadline fires mid-race: a fast list scheduler finishes,
+// an effectively unbounded annealer does not, and the result is the
+// fast scheduler's plan with the annealer's interruption recorded.
+func TestScheduleBestAnytime(t *testing.T) {
+	sys := buildSystem(t, "d695", 6, soc.Leon())
+	pf := Portfolio{Schedulers: []Scheduler{
+		ListScheduler{LookaheadFastestFinish, ProcessorsFirst},
+		AnnealingScheduler{Variant: LookaheadFastestFinish, Seed: 1, Steps: 1 << 20},
+	}, Workers: 1}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	res, err := pf.ScheduleBest(ctx, sys, Options{})
+	if err != nil {
+		t.Fatalf("anytime run failed outright: %v", err)
+	}
+	if res.Best != (ListScheduler{LookaheadFastestFinish, ProcessorsFirst}).Name() {
+		t.Errorf("winner %s, want the completed list scheduler", res.Best)
+	}
+	if err := res.Plan.Validate(); err != nil {
+		t.Fatalf("anytime plan invalid: %v", err)
+	}
+	if got := res.Results[1].Err; !errors.Is(got, context.DeadlineExceeded) {
+		t.Errorf("interrupted annealer recorded %v, want context.DeadlineExceeded", got)
+	}
+}
+
+// TestScheduleAll checks batch scheduling: results align with jobs,
+// labels are preserved, every plan validates, and a job whose power
+// ceiling is unsatisfiable reports an error without failing the batch.
+func TestScheduleAll(t *testing.T) {
+	sys := buildSystem(t, "d695", 6, soc.Leon())
+	jobs := []BatchJob{
+		{Label: "plain", Sys: sys, Opts: Options{}},
+		{Label: "power", Sys: sys, Opts: Options{PowerLimitFraction: 0.5}},
+		{Label: "infeasible", Sys: sys, Opts: Options{PowerLimit: 1}},
+	}
+	results := smallPortfolio(3).ScheduleAll(context.Background(), jobs)
+	if len(results) != len(jobs) {
+		t.Fatalf("got %d results for %d jobs", len(results), len(jobs))
+	}
+	for i, res := range results {
+		if res.Label != jobs[i].Label {
+			t.Errorf("result %d label %q != job label %q", i, res.Label, jobs[i].Label)
+		}
+	}
+	for _, res := range results[:2] {
+		if res.Err != nil {
+			t.Fatalf("job %s failed: %v", res.Label, res.Err)
+		}
+		if err := res.Result.Plan.Validate(); err != nil {
+			t.Errorf("job %s plan invalid: %v", res.Label, err)
+		}
+	}
+	if results[2].Err == nil {
+		t.Error("unsatisfiable power ceiling did not report an error")
+	}
+}
+
+// TestSearchSchedulersValidAndSeedSensitive checks each new search
+// scheduler directly: plans validate, repeat runs with one seed agree,
+// and the recorded algorithm names the strategy.
+func TestSearchSchedulersValidAndSeedSensitive(t *testing.T) {
+	sys := buildSystem(t, "p22810", 8, soc.Leon())
+	opts := Options{BISTPatternFactor: 3}
+	for _, sched := range []Scheduler{
+		RandomRestartScheduler{Variant: LookaheadFastestFinish, Seed: 9, Restarts: 6},
+		AnnealingScheduler{Variant: LookaheadFastestFinish, Seed: 9, Steps: 60},
+	} {
+		t.Run(sched.Name(), func(t *testing.T) {
+			a, err := sched.Schedule(context.Background(), sys, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Validate(); err != nil {
+				t.Fatalf("invalid plan: %v", err)
+			}
+			if a.Algorithm != sched.Name() {
+				t.Errorf("plan algorithm %q, want %q", a.Algorithm, sched.Name())
+			}
+			b, err := sched.Schedule(context.Background(), sys, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Makespan() != b.Makespan() {
+				t.Errorf("same seed gave makespans %d and %d", a.Makespan(), b.Makespan())
+			}
+		})
+	}
+}
+
+// TestLongestTestFirstOrdering checks the new priority rule schedules
+// and sorts by descending standalone test length.
+func TestLongestTestFirstOrdering(t *testing.T) {
+	sys := buildSystem(t, "d695", 6, soc.Leon())
+	opts := Options{Priority: LongestTestFirst}
+	p := mustSchedule(t, sys, opts)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	order := orderCores(sys, opts.withDefaults(), reusedSet(sys, opts))
+	for i := 1; i < len(order); i++ {
+		if testLength(order[i].Core) > testLength(order[i-1].Core) {
+			t.Fatalf("order[%d] %s (length %d) longer than order[%d] %s (length %d)",
+				i, order[i].Core.Name, testLength(order[i].Core),
+				i-1, order[i-1].Core.Name, testLength(order[i-1].Core))
+		}
+	}
+}

@@ -82,6 +82,22 @@ type Plan struct {
 	Entries []Entry
 }
 
+// Best returns the plan with the smallest makespan, skipping nils; ties
+// keep the earliest argument, so a fixed candidate order gives a fixed
+// winner. It returns nil when every argument is nil.
+func Best(plans ...*Plan) *Plan {
+	var best *Plan
+	for _, p := range plans {
+		if p == nil {
+			continue
+		}
+		if best == nil || p.Makespan() < best.Makespan() {
+			best = p
+		}
+	}
+	return best
+}
+
 // Makespan returns the total test time: the latest entry end.
 func (p *Plan) Makespan() int {
 	m := 0

@@ -62,6 +62,24 @@ func TestPlanMetrics(t *testing.T) {
 	}
 }
 
+func TestBest(t *testing.T) {
+	short := &Plan{Entries: []Entry{{CoreID: 1, Start: 0, End: 50, Patterns: 5, PerPattern: 10}}}
+	long := &Plan{Entries: []Entry{{CoreID: 1, Start: 0, End: 90, Patterns: 9, PerPattern: 10}}}
+	tied := &Plan{Entries: []Entry{{CoreID: 2, Start: 0, End: 50, Patterns: 5, PerPattern: 10}}}
+	if got := Best(); got != nil {
+		t.Errorf("Best() = %v, want nil", got)
+	}
+	if got := Best(nil, long, short); got != short {
+		t.Errorf("Best picked makespan %d, want %d", got.Makespan(), short.Makespan())
+	}
+	if got := Best(short, tied); got != short {
+		t.Error("Best did not keep the earliest plan on a tie")
+	}
+	if got := Best(nil, nil); got != nil {
+		t.Errorf("Best(nil, nil) = %v, want nil", got)
+	}
+}
+
 func TestByStartOrders(t *testing.T) {
 	p := samplePlan()
 	order := p.ByStart()

@@ -1,0 +1,58 @@
+package report
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"noctest/internal/core"
+)
+
+// testPortfolio is a trimmed portfolio keeping the grid test fast while
+// still covering both paper variants and one search strategy.
+func testPortfolio() core.Portfolio {
+	return core.Portfolio{Schedulers: []core.Scheduler{
+		core.ListScheduler{Variant: core.GreedyFirstAvailable, Priority: core.ProcessorsFirst},
+		core.ListScheduler{Variant: core.LookaheadFastestFinish, Priority: core.ProcessorsFirst},
+		core.RandomRestartScheduler{Variant: core.LookaheadFastestFinish, Seed: 5, Restarts: 4},
+	}}
+}
+
+func TestRunPortfolioGrid(t *testing.T) {
+	grid := GridSpec{
+		Benchmarks:     []string{"d695"},
+		PowerFractions: []float64{0, 0.5},
+		ReuseCounts:    []int{0, -1},
+		ExclusiveLinks: []bool{false},
+	}
+	rows, err := RunPortfolioGrid(context.Background(), grid, testPortfolio())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Makespan <= 0 || r.Greedy <= 0 {
+			t.Errorf("%s: degenerate makespans %d/%d", r.Label(), r.Makespan, r.Greedy)
+		}
+		if r.Makespan > r.Greedy {
+			t.Errorf("%s: portfolio %d worse than greedy baseline %d", r.Label(), r.Makespan, r.Greedy)
+		}
+		if r.Best == "" {
+			t.Errorf("%s: no winner recorded", r.Label())
+		}
+	}
+	rendered := RenderGrid(rows)
+	if !strings.Contains(rendered, "d695/power=0.5/reuse=all/packet") {
+		t.Errorf("rendered table missing cell label:\n%s", rendered)
+	}
+}
+
+func TestRunPortfolioGridCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunPortfolioGrid(ctx, GridSpec{Benchmarks: []string{"d695"}}, testPortfolio()); err == nil {
+		t.Fatal("cancelled grid run returned no error")
+	}
+}

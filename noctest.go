@@ -23,12 +23,32 @@
 //	fmt.Println(p.Summary())
 //	fmt.Print(p.Gantt(100))
 //
+// # Portfolio search
+//
+// Beyond the single-pass planner, ScheduleBest races a portfolio of
+// scheduling strategies — the paper's greedy rule, the lookahead
+// repair, critical-path and volume priority orderings, a seeded
+// multi-start randomized-priority search and seeded simulated
+// annealing — concurrently over a worker pool and returns the
+// minimum-makespan plan with per-strategy statistics:
+//
+//	res, _ := noctest.ScheduleBest(ctx, sys, noctest.Options{PowerLimitFraction: 0.5})
+//	fmt.Println(res.Best, res.Plan.Makespan())
+//
+// ScheduleAll batches many systems-times-options cells through the same
+// engine, one portfolio run per cell, for sweep-style evaluations; the
+// noctest command exposes both through -portfolio and -all. Every
+// returned plan has passed Plan.Validate, and results are deterministic
+// for a fixed seed regardless of worker interleaving.
+//
 // The facade re-exports the library's types from the internal packages;
 // see the examples directory for complete programs and cmd/figure1 for
 // the paper's full evaluation.
 package noctest
 
 import (
+	"context"
+
 	"noctest/internal/core"
 	"noctest/internal/itc02"
 	"noctest/internal/noc"
@@ -63,6 +83,25 @@ type (
 	Coord = noc.Coord
 	// Timing is the NoC router characterisation.
 	Timing = noc.Timing
+	// Scheduler is one pluggable scheduling strategy.
+	Scheduler = core.Scheduler
+	// Portfolio races a scheduler set over a worker pool.
+	Portfolio = core.Portfolio
+	// PortfolioResult is a ScheduleBest outcome: the winning plan plus
+	// per-strategy statistics.
+	PortfolioResult = core.PortfolioResult
+	// VariantResult is one strategy's outcome within a portfolio run.
+	VariantResult = core.VariantResult
+	// BatchJob is one system-plus-options cell of a ScheduleAll run.
+	BatchJob = core.BatchJob
+	// BatchResult is one ScheduleAll cell's outcome.
+	BatchResult = core.BatchResult
+	// ListScheduler is the deterministic single-pass list scheduler.
+	ListScheduler = core.ListScheduler
+	// RandomRestartScheduler is the seeded multi-start random search.
+	RandomRestartScheduler = core.RandomRestartScheduler
+	// AnnealingScheduler is the seeded simulated-annealing search.
+	AnnealingScheduler = core.AnnealingScheduler
 )
 
 // Scheduler variant, priority and application constants, re-exported.
@@ -72,7 +111,10 @@ const (
 	ProcessorsFirst        = core.ProcessorsFirst
 	DistanceOnly           = core.DistanceOnly
 	VolumeDescending       = core.VolumeDescending
-	BISTApplication        = core.BISTApplication
+	// LongestTestFirst is the critical-path ordering: longest standalone
+	// test first.
+	LongestTestFirst = core.LongestTestFirst
+	BISTApplication  = core.BISTApplication
 	// DecompressionApplication selects the software-decompression test
 	// application the paper lists as upcoming work (see internal/tdc).
 	DecompressionApplication = core.DecompressionApplication
@@ -100,6 +142,22 @@ func BuildSystem(bench *SoC, cfg BuildConfig) (*System, error) { return soc.Buil
 // Schedule plans the complete test of a system and returns a validated
 // plan.
 func Schedule(sys *System, opts Options) (*Plan, error) { return core.Schedule(sys, opts) }
+
+// ScheduleBest races the default scheduler portfolio concurrently and
+// returns the minimum-makespan plan with per-strategy statistics.
+func ScheduleBest(ctx context.Context, sys *System, opts Options) (*PortfolioResult, error) {
+	return core.ScheduleBest(ctx, sys, opts)
+}
+
+// ScheduleAll schedules every job concurrently with the default
+// portfolio, one result per job in job order.
+func ScheduleAll(ctx context.Context, jobs []BatchJob) []BatchResult {
+	return core.ScheduleAll(ctx, jobs)
+}
+
+// DefaultPortfolio returns the standard scheduler set ScheduleBest
+// races, seeded for its randomized members.
+func DefaultPortfolio(seed int64) []Scheduler { return core.DefaultPortfolio(seed) }
 
 // Figure1Panel is one reproduced chart of the paper's Figure 1.
 type Figure1Panel = report.Panel
