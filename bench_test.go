@@ -230,49 +230,53 @@ func BenchmarkSchedule(b *testing.B) {
 }
 
 // BenchmarkPortfolio compares the single-variant planner against the
-// concurrent portfolio engine on the anomalous benchmark, across worker
-// pool sizes up to GOMAXPROCS. Each run reports the greedy and
-// portfolio makespans so the search win is visible next to its wall
-// time.
+// concurrent portfolio engine — on the anomalous benchmark and on the
+// largest one — across worker pool sizes up to GOMAXPROCS. Each run
+// reports the greedy and portfolio makespans so the search win is
+// visible next to its wall time; the ns/op of the portfolio runs is the
+// per-ScheduleBest cost tracked in BENCH_schedule.json.
 func BenchmarkPortfolio(b *testing.B) {
-	bm, err := itc02.Benchmark("p22810")
-	if err != nil {
-		b.Fatal(err)
-	}
-	sys, err := soc.Build(bm, soc.BuildConfig{Processors: 8, Profile: soc.Leon()})
-	if err != nil {
-		b.Fatal(err)
-	}
-	opts := core.Options{PowerLimitFraction: 0.5, BISTPatternFactor: report.PaperBISTFactor}
-
-	b.Run("single", func(b *testing.B) {
-		var p *plan.Plan
-		for i := 0; i < b.N; i++ {
-			if p, err = core.Schedule(sys, opts); err != nil {
-				b.Fatal(err)
-			}
+	for _, benchName := range []string{"p22810", "p93791"} {
+		benchName := benchName
+		bm, err := itc02.Benchmark(benchName)
+		if err != nil {
+			b.Fatal(err)
 		}
-		b.ReportMetric(float64(p.Makespan()), "cycles_greedy")
-	})
+		sys, err := soc.Build(bm, soc.BuildConfig{Processors: 8, Profile: soc.Leon()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := core.Options{PowerLimitFraction: 0.5, BISTPatternFactor: report.PaperBISTFactor}
 
-	workerSet := []int{1, 2, 4}
-	if max := runtime.GOMAXPROCS(0); max > 4 {
-		workerSet = append(workerSet, max)
-	}
-	for _, workers := range workerSet {
-		workers := workers
-		b.Run(fmt.Sprintf("portfolio_workers%d", workers), func(b *testing.B) {
-			pf := core.Portfolio{Schedulers: core.DefaultPortfolio(1), Workers: workers}
-			var res *core.PortfolioResult
+		b.Run(benchName+"/single", func(b *testing.B) {
+			var p *plan.Plan
 			for i := 0; i < b.N; i++ {
-				var err error
-				res, err = pf.ScheduleBest(context.Background(), sys, opts)
-				if err != nil {
+				if p, err = core.Schedule(sys, opts); err != nil {
 					b.Fatal(err)
 				}
 			}
-			b.ReportMetric(float64(res.Makespan()), "cycles_portfolio")
+			b.ReportMetric(float64(p.Makespan()), "cycles_greedy")
 		})
+
+		workerSet := []int{1, 2, 4}
+		if max := runtime.GOMAXPROCS(0); max > 4 {
+			workerSet = append(workerSet, max)
+		}
+		for _, workers := range workerSet {
+			workers := workers
+			b.Run(fmt.Sprintf("%s/portfolio_workers%d", benchName, workers), func(b *testing.B) {
+				pf := core.Portfolio{Schedulers: core.DefaultPortfolio(1), Workers: workers}
+				var res *core.PortfolioResult
+				for i := 0; i < b.N; i++ {
+					var err error
+					res, err = pf.ScheduleBest(context.Background(), sys, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(res.Makespan()), "cycles_portfolio")
+			})
+		}
 	}
 }
 

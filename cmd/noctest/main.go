@@ -6,12 +6,17 @@
 //	noctest -bench d695 -cpu leon -procs 6 -reuse 6 -power 0.5 -format gantt
 //	noctest -bench p22810 -portfolio -seed 42
 //	noctest -all -timeout 2m
+//	noctest -all -bench d695,p22810
+//	noctest -bench-json BENCH_schedule.json
 //
 // Formats: summary (default), gantt, csv, json, table. -portfolio races
 // the full scheduler portfolio concurrently and reports per-strategy
-// statistics next to the winning plan; -all sweeps every embedded
-// benchmark across power limits, reuse counts and link modes through
-// the batch engine.
+// statistics next to the winning plan; -all sweeps benchmarks across
+// power limits, reuse counts and link modes through the batch engine
+// (every embedded benchmark by default, or a comma-separated -bench
+// list); -bench-json writes the machine-readable perf trajectory
+// (best makespan and ns per ScheduleBest call per benchmark) used to
+// track engine regressions across PRs.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"noctest/internal/core"
@@ -32,6 +38,7 @@ import (
 // config carries the parsed command line.
 type config struct {
 	bench     string
+	benchSet  bool // -bench was given explicitly
 	cpu       string
 	procs     int
 	reuse     int
@@ -51,11 +58,12 @@ type config struct {
 	seed      int64
 	workers   int
 	timeout   time.Duration
+	benchJSON string
 }
 
 func main() {
 	var c config
-	flag.StringVar(&c.bench, "bench", "d695", "benchmark: d695, p22810, p93791, or a path to a .soc file")
+	flag.StringVar(&c.bench, "bench", "d695", "benchmark: d695, p22810, p93791, or a path to a .soc file; with -all/-bench-json, a comma-separated list of embedded benchmark names")
 	flag.StringVar(&c.cpu, "cpu", "leon", "processor profile: leon or plasma")
 	flag.IntVar(&c.procs, "procs", 6, "processor instances present in the system")
 	flag.IntVar(&c.reuse, "reuse", -1, "processors reused for test (-1: all, 0: none)")
@@ -74,14 +82,26 @@ func main() {
 	flag.Int64Var(&c.seed, "seed", 1, "seed for the portfolio's randomized searches")
 	flag.IntVar(&c.workers, "workers", 0, "concurrent scheduler runs (0: GOMAXPROCS)")
 	flag.DurationVar(&c.timeout, "timeout", 0, "overall deadline for portfolio/batch runs (0: none)")
+	flag.StringVar(&c.benchJSON, "bench-json", "", "write the machine-readable perf trajectory (BENCH_schedule.json) to this path and exit")
 	flag.Parse()
-	if c.portfolio || c.all {
-		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "variant" || f.Name == "priority" {
-				fmt.Fprintf(os.Stderr, "noctest: -%s has no effect with -portfolio/-all: every portfolio strategy sets its own rule\n", f.Name)
-			}
-		})
+	// Flags that a mode ignores are reported, not silently dropped.
+	ignoredByBenchJSON := map[string]bool{
+		"cpu": true, "procs": true, "reuse": true, "power": true, "bist": true,
+		"variant": true, "priority": true, "exclusive-links": true, "app": true,
+		"wrapper": true, "verify": true, "format": true, "width": true,
+		"portfolio": true, "all": true,
 	}
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "bench" {
+			c.benchSet = true
+		}
+		switch {
+		case c.benchJSON != "" && ignoredByBenchJSON[f.Name]:
+			fmt.Fprintf(os.Stderr, "noctest: -%s has no effect with -bench-json: it measures the canonical leon/full-reuse/power=0.5 configuration\n", f.Name)
+		case (c.portfolio || c.all) && (f.Name == "variant" || f.Name == "priority"):
+			fmt.Fprintf(os.Stderr, "noctest: -%s has no effect with -portfolio/-all: every portfolio strategy sets its own rule\n", f.Name)
+		}
+	})
 
 	if err := run(c); err != nil {
 		fmt.Fprintln(os.Stderr, "noctest:", err)
@@ -95,6 +115,9 @@ func run(c config) error {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.timeout)
 		defer cancel()
+	}
+	if c.benchJSON != "" {
+		return runBenchJSON(ctx, c)
 	}
 	if c.all {
 		return runGrid(ctx, c)
@@ -237,15 +260,57 @@ func (c config) schedule(ctx context.Context, sys *soc.System, opts core.Options
 	return nil
 }
 
-// runGrid sweeps every benchmark through the batch portfolio engine.
+// gridBenchmarks returns the benchmark restriction for -all and
+// -bench-json: every embedded benchmark by default, or the
+// comma-separated -bench list (embedded names only; whitespace and
+// empty elements are dropped) when the flag was given explicitly.
+func (c config) gridBenchmarks() []string {
+	if !c.benchSet {
+		return nil
+	}
+	var names []string
+	for _, name := range strings.Split(c.bench, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			names = append(names, name)
+		}
+	}
+	return names
+}
+
+// runGrid sweeps benchmarks through the batch portfolio engine.
 func runGrid(ctx context.Context, c config) error {
-	grid := report.GridSpec{Processor: c.cpu, BISTFactor: c.bist}
+	grid := report.GridSpec{Benchmarks: c.gridBenchmarks(), Processor: c.cpu, BISTFactor: c.bist}
 	pf := core.Portfolio{Schedulers: core.DefaultPortfolio(c.seed), Workers: c.workers}
 	rows, err := report.RunPortfolioGrid(ctx, grid, pf)
 	if err != nil {
 		return err
 	}
 	fmt.Print(report.RenderGrid(rows))
+	return nil
+}
+
+// runBenchJSON measures the portfolio on each benchmark and writes the
+// machine-readable perf trajectory.
+func runBenchJSON(ctx context.Context, c config) error {
+	bench, err := report.RunScheduleBench(ctx, c.gridBenchmarks(), c.seed, c.workers)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(c.benchJSON)
+	if err != nil {
+		return err
+	}
+	if err := bench.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	for _, r := range bench.Records {
+		fmt.Printf("%-8s best %10d cycles (%s), %12d ns per ScheduleBest\n",
+			r.Benchmark, r.BestMakespan, r.BestScheduler, r.NsPerScheduleBest)
+	}
 	return nil
 }
 

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"noctest/internal/report"
+)
+
+// capture redirects stdout around fn and returns what it printed. The
+// run function prints plans and tables to stdout; the smoke tests only
+// assert on the structure of that output.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	r.Close()
+	return out, runErr
+}
+
+// TestRunSingleVariant drives the plain scheduling path end to end.
+func TestRunSingleVariant(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run(config{bench: "d695", cpu: "leon", procs: 6, reuse: -1,
+			variant: "greedy", priority: "processors-first", app: "bist",
+			bist: 1, format: "summary", width: 80})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "makespan:") {
+		t.Errorf("summary output missing makespan:\n%s", out)
+	}
+}
+
+// TestRunPortfolio drives the -portfolio path and checks the
+// per-strategy statistics and winner marker appear.
+func TestRunPortfolio(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run(config{bench: "d695", cpu: "leon", procs: 6, reuse: -1,
+			variant: "greedy", priority: "processors-first", app: "bist",
+			bist: 1, format: "summary", width: 80,
+			portfolio: true, seed: 7})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"strategies raced", "<- best", "anneal(", "random-restart("} {
+		if !strings.Contains(out, want) {
+			t.Errorf("portfolio output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunGridRestricted drives -all with a -bench restriction and
+// checks one row per grid cell of the single benchmark appears.
+func TestRunGridRestricted(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run(config{bench: "d695", benchSet: true, cpu: "leon",
+			bist: 1, all: true, seed: 7})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "d695/") {
+			rows++
+		}
+		if strings.Contains(line, "p22810/") || strings.Contains(line, "p93791/") {
+			t.Errorf("-bench d695 restriction leaked other benchmarks: %s", line)
+		}
+	}
+	// Default grid: 2 power fractions x 2 reuse counts x 2 link modes.
+	if rows != 8 {
+		t.Errorf("got %d d695 grid rows, want 8:\n%s", rows, out)
+	}
+}
+
+// TestRunBenchJSON drives -bench-json and checks the written document
+// parses and carries one record with plausible fields.
+func TestRunBenchJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_schedule.json")
+	_, err := capture(t, func() error {
+		return run(config{bench: "d695", benchSet: true, cpu: "leon",
+			bist: 1, seed: 7, benchJSON: path})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc report.ScheduleBench
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("bench json does not parse: %v\n%s", err, data)
+	}
+	if len(doc.Records) != 1 || doc.Records[0].Benchmark != "d695" {
+		t.Fatalf("unexpected records: %+v", doc.Records)
+	}
+	r := doc.Records[0]
+	if r.BestMakespan <= 0 || r.NsPerScheduleBest <= 0 || r.BestScheduler == "" {
+		t.Errorf("implausible record: %+v", r)
+	}
+	if doc.Seed != 7 {
+		t.Errorf("seed %d, want 7", doc.Seed)
+	}
+}
+
+// TestRunFlagValidation covers the error paths of flag translation and
+// benchmark loading.
+func TestRunFlagValidation(t *testing.T) {
+	base := config{bench: "d695", cpu: "leon", procs: 6, reuse: -1,
+		variant: "greedy", priority: "processors-first", app: "bist",
+		bist: 1, format: "summary", width: 80}
+
+	cases := []struct {
+		name   string
+		mutate func(*config)
+		want   string
+	}{
+		{"variant", func(c *config) { c.variant = "psychic" }, "unknown variant"},
+		{"priority", func(c *config) { c.priority = "vibes" }, "unknown priority"},
+		{"application", func(c *config) { c.app = "teleport" }, "unknown application"},
+		{"format", func(c *config) { c.format = "holograph" }, "unknown format"},
+		{"benchmark", func(c *config) { c.bench = "nonexistent-bench" }, "neither an embedded benchmark"},
+		{"cpu", func(c *config) { c.cpu = "pentium" }, "unknown processor profile"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := base
+			tc.mutate(&c)
+			_, err := capture(t, func() error { return run(c) })
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("got error %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}

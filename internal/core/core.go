@@ -19,20 +19,25 @@
 // of software pattern generation per pattern where the tester pays none.
 // The LookaheadFastestFinish variant repairs exactly that decision and
 // is used as the ablation baseline.
+//
+// The engine is split compile-once/search-many: Compile builds an
+// immutable Model of one (system, options) pair — routes, dense link
+// IDs, per-(core, interface) candidate records — and every scheduling
+// pass replays a core order against pooled scratch state. The search
+// strategies in this package (see Scheduler) evaluate thousands of
+// orders on one shared model; Schedule below is the single-pass
+// convenience wrapper.
 package core
 
 import (
 	"context"
 	"fmt"
-	"math"
 	"sort"
 
 	"noctest/internal/itc02"
 	"noctest/internal/noc"
 	"noctest/internal/plan"
-	"noctest/internal/power"
 	"noctest/internal/soc"
-	"noctest/internal/wrapper"
 )
 
 // Variant selects the interface-choice rule.
@@ -86,6 +91,11 @@ const (
 	// rule: the test that dominates the makespan is placed while every
 	// interface is still free.
 	LongestTestFirst
+
+	// priorityCount counts the rules above; a compiled Model caches one
+	// core ordering per rule. Keep it directly after the last rule so
+	// adding a Priority updates it automatically.
+	priorityCount
 )
 
 // String names the priority rule.
@@ -268,43 +278,18 @@ func (o Options) Validate() error {
 	return nil
 }
 
-// iface is one test source/sink: an ATE port pair or a reused processor.
-type iface struct {
-	name       string
-	kind       plan.InterfaceKind
-	srcTile    noc.Coord // where stimuli enter the NoC
-	dstTile    noc.Coord // where responses leave the NoC
-	perPattern int       // software cycles added per pattern
-	runPower   float64   // extra draw while driving a test
-	procCore   int       // core ID of the backing processor, 0 for ATE
-	loadHops   int       // hops from the nearest tester input port
-
-	freeAt      int  // interface is idle from this cycle on
-	activatedAt int  // first cycle the interface may be used at all
-	active      bool // processors start inactive until self-tested
-}
-
-// span is a half-open busy interval on a link.
-type span struct{ start, end int }
-
-// scheduler carries the planning state for one run.
-type scheduler struct {
-	sys      *soc.System
-	opts     Options
-	limit    float64
-	tracker  *power.Tracker
-	links    map[noc.Link][]span
-	ifaces   []*iface
-	procIfx  map[int]*iface // processor core ID -> its interface
-	reused   map[int]bool   // processor core IDs reused as interfaces
-	wrappers map[int]int    // core ID -> cached wrapper shift cycles
-	entries  []plan.Entry
-}
-
 // Schedule plans the complete test of sys under opts and returns a
-// validated plan.
+// validated plan: one compile, one pass under the options' variant and
+// priority. Callers running many passes over one configuration should
+// Compile once and drive the Model (or a Portfolio) directly.
 func Schedule(sys *soc.System, opts Options) (*plan.Plan, error) {
-	return scheduleList(context.Background(), sys, opts, nil, "")
+	m, err := Compile(sys, opts)
+	if err != nil {
+		return nil, err
+	}
+	o := m.Options()
+	algorithm := fmt.Sprintf("%s/%s/%s", o.Variant, o.Priority, o.Application)
+	return m.Plan(context.Background(), o.Variant, m.DefaultOrder(), algorithm)
 }
 
 // reusedSet returns the processor core IDs opts reuses as interfaces.
@@ -322,137 +307,6 @@ func reusedSet(sys *soc.System, opts Options) map[int]bool {
 	return reused
 }
 
-// scheduleList runs one greedy list-scheduling pass. A non-nil order
-// overrides the priority-rule core ordering (the hook the randomized and
-// annealing searches use); a non-empty algorithm overrides the recorded
-// algorithm string. The context is checked between core placements so
-// portfolio searches cancel promptly.
-func scheduleList(ctx context.Context, sys *soc.System, opts Options, order []soc.PlacedCore, algorithm string) (*plan.Plan, error) {
-	opts = opts.withDefaults()
-	if err := opts.Validate(); err != nil {
-		return nil, err
-	}
-	if err := sys.Validate(); err != nil {
-		return nil, err
-	}
-
-	limit := 0.0
-	switch {
-	case opts.PowerLimit > 0:
-		limit = opts.PowerLimit
-	case opts.PowerLimitFraction > 0:
-		limit = opts.PowerLimitFraction * sys.TotalPower()
-	}
-
-	s := &scheduler{
-		sys:      sys,
-		opts:     opts,
-		limit:    limit,
-		tracker:  power.NewTracker(limit),
-		links:    make(map[noc.Link][]span),
-		procIfx:  make(map[int]*iface),
-		reused:   reusedSet(sys, opts),
-		wrappers: make(map[int]int),
-	}
-	if err := s.buildInterfaces(); err != nil {
-		return nil, err
-	}
-
-	if order == nil {
-		order = s.order()
-	} else if len(order) != len(sys.Cores) {
-		return nil, fmt.Errorf("core: explicit order covers %d of %d cores", len(order), len(sys.Cores))
-	}
-	for _, pc := range order {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		if err := s.place(pc); err != nil {
-			return nil, err
-		}
-	}
-
-	if algorithm == "" {
-		algorithm = fmt.Sprintf("%s/%s/%s", opts.Variant, opts.Priority, opts.Application)
-	}
-	p := &plan.Plan{
-		System:         sys.Name,
-		Algorithm:      algorithm,
-		PowerLimit:     limit,
-		ExclusiveLinks: opts.ExclusiveLinks,
-		Entries:        s.entries,
-	}
-	sort.Slice(p.Entries, func(i, j int) bool {
-		if p.Entries[i].Start != p.Entries[j].Start {
-			return p.Entries[i].Start < p.Entries[j].Start
-		}
-		return p.Entries[i].CoreID < p.Entries[j].CoreID
-	})
-	if err := p.Validate(); err != nil {
-		return nil, fmt.Errorf("core: produced invalid plan: %w", err)
-	}
-	return p, nil
-}
-
-// buildInterfaces creates one interface per ATE port pair and one
-// (initially inactive) per processor.
-func (s *scheduler) buildInterfaces() error {
-	var ins, outs []soc.Port
-	for _, p := range s.sys.Ports {
-		if p.Dir == soc.In {
-			ins = append(ins, p)
-		} else {
-			outs = append(outs, p)
-		}
-	}
-	pairs := len(ins)
-	if len(outs) < pairs {
-		pairs = len(outs)
-	}
-	for i := 0; i < pairs; i++ {
-		s.ifaces = append(s.ifaces, &iface{
-			name:       fmt.Sprintf("ate%d", i),
-			kind:       plan.ATE,
-			srcTile:    ins[i].Tile,
-			dstTile:    outs[i].Tile,
-			perPattern: s.opts.ATECyclesPerPattern,
-			active:     true,
-		})
-	}
-	for _, pc := range s.sys.Processors() {
-		if !s.reused[pc.Core.ID] {
-			continue
-		}
-		loadHops := 1 << 30
-		for _, p := range ins {
-			if d := noc.ManhattanDistance(p.Tile, pc.Tile); d < loadHops {
-				loadHops = d
-			}
-		}
-		ifx := &iface{
-			name:       pc.Core.Name,
-			kind:       plan.Processor,
-			srcTile:    pc.Tile,
-			dstTile:    pc.Tile,
-			perPattern: pc.Processor.CyclesPerPattern,
-			runPower:   pc.Processor.Power,
-			procCore:   pc.Core.ID,
-			loadHops:   loadHops,
-		}
-		s.ifaces = append(s.ifaces, ifx)
-		s.procIfx[pc.Core.ID] = ifx
-	}
-	if len(s.ifaces) == 0 {
-		return fmt.Errorf("core: system %s has no test interfaces", s.sys.Name)
-	}
-	return nil
-}
-
-// order returns the cores in scheduling priority order.
-func (s *scheduler) order() []soc.PlacedCore {
-	return orderCores(s.sys, s.opts, s.reused)
-}
-
 // testLength estimates a core's standalone streaming test length:
 // patterns times the wider of the stimulus and response widths. It
 // ranks cores for LongestTestFirst without needing interface context.
@@ -464,11 +318,14 @@ func testLength(c itc02.Core) int {
 	return c.Patterns * bits
 }
 
-// orderCores returns sys's cores in the priority order opts selects,
-// given the set of reused processor core IDs.
-func orderCores(sys *soc.System, opts Options, reused map[int]bool) []soc.PlacedCore {
-	cores := make([]soc.PlacedCore, len(sys.Cores))
-	copy(cores, sys.Cores)
+// orderCoreIndices returns the indices of sys.Cores in the priority
+// rule's order, given the set of reused processor core IDs. This is the
+// ordering a compiled Model caches per rule.
+func orderCoreIndices(sys *soc.System, priority Priority, reused map[int]bool) []int {
+	idx := make([]int, len(sys.Cores))
+	for i := range idx {
+		idx[i] = i
+	}
 
 	// Interface positions: tester ports plus reused processors. A
 	// processor's own tile cannot test it, so its distance is taken to
@@ -499,9 +356,9 @@ func orderCores(sys *soc.System, opts Options, reused map[int]bool) []soc.Placed
 		return best
 	}
 
-	sort.SliceStable(cores, func(i, j int) bool {
-		a, b := cores[i], cores[j]
-		switch opts.Priority {
+	sort.SliceStable(idx, func(i, j int) bool {
+		a, b := sys.Cores[idx[i]], sys.Cores[idx[j]]
+		switch priority {
 		case ProcessorsFirst:
 			ap, bp := reused[a.Core.ID], reused[b.Core.ID]
 			if ap != bp {
@@ -528,275 +385,16 @@ func orderCores(sys *soc.System, opts Options, reused map[int]bool) []soc.Placed
 		}
 		return a.Core.ID < b.Core.ID
 	})
+	return idx
+}
+
+// orderCores returns sys's cores in the priority order opts selects,
+// given the set of reused processor core IDs.
+func orderCores(sys *soc.System, opts Options, reused map[int]bool) []soc.PlacedCore {
+	idx := orderCoreIndices(sys, opts.Priority, reused)
+	cores := make([]soc.PlacedCore, len(idx))
+	for i, ci := range idx {
+		cores[i] = sys.Cores[ci]
+	}
 	return cores
-}
-
-// candidate is one feasible placement of a core test.
-type candidate struct {
-	ifx      *iface
-	start    int
-	duration int
-	entry    plan.Entry
-}
-
-// place schedules one core on the best interface per the variant rule.
-func (s *scheduler) place(pc soc.PlacedCore) error {
-	var best *candidate
-	for _, ifx := range s.ifaces {
-		if ifx.kind == plan.Processor && ifx.procCore == pc.Core.ID {
-			continue // a processor cannot test itself
-		}
-		if !ifx.active {
-			continue // processor not yet tested
-		}
-		cand, err := s.placement(pc, ifx)
-		if err != nil {
-			return err
-		}
-		if cand == nil {
-			continue
-		}
-		if best == nil || better(s.opts.Variant, cand, best) {
-			best = cand
-		}
-	}
-	if best == nil {
-		return fmt.Errorf("core: core %d (%s) cannot be scheduled on any interface (power limit %.1f too tight?)",
-			pc.Core.ID, pc.Core.Name, s.limit)
-	}
-	s.commit(pc, best)
-	return nil
-}
-
-// better reports whether a should replace b under the variant's rule.
-// Ties fall back to the earlier list position implicitly because b was
-// seen first and is kept on equality.
-func better(v Variant, a, b *candidate) bool {
-	switch v {
-	case LookaheadFastestFinish:
-		return a.start+a.duration < b.start+b.duration
-	default:
-		return a.start < b.start
-	}
-}
-
-// placement computes the earliest feasible reservation of pc on ifx, or
-// nil when the interface can never host the test (power-infeasible).
-func (s *scheduler) placement(pc soc.PlacedCore, ifx *iface) (*candidate, error) {
-	timing := s.sys.Net.Timing
-	pathIn, err := s.sys.Net.Path(ifx.srcTile, pc.Tile)
-	if err != nil {
-		return nil, err
-	}
-	pathOut, err := s.sys.Net.Path(pc.Tile, ifx.dstTile)
-	if err != nil {
-		return nil, err
-	}
-	hopsIn, hopsOut := len(pathIn)-1, len(pathOut)-1
-
-	inFlits := timing.Flits(pc.Core.StimulusBits())
-	outFlits := timing.Flits(pc.Core.ResponseBits())
-	streamFlits := inFlits
-	if outFlits > streamFlits {
-		streamFlits = outFlits
-	}
-	perPattern := timing.StreamCycles(streamFlits) + s.opts.CaptureCycles
-	if s.opts.WrapperChains > 0 {
-		// The core's wrapper shifts serially; a narrow wrapper caps the
-		// pattern rate below what the NoC could deliver.
-		shift, err := s.wrapperShift(pc.Core)
-		if err != nil {
-			return nil, err
-		}
-		if shift > perPattern {
-			perPattern = shift
-		}
-	}
-	setup := timing.PathSetupLatency(hopsIn) + timing.PathSetupLatency(hopsOut)
-	patterns := pc.Core.Patterns
-	switch {
-	case ifx.kind == plan.ATE:
-		perPattern += ifx.perPattern
-	case s.opts.Application == BISTApplication:
-		// Software pattern generation: extra cycles per pattern, and
-		// optionally more pseudo-random patterns for equal coverage.
-		perPattern += ifx.perPattern
-		if s.opts.BISTPatternFactor > 1 {
-			patterns = int(math.Ceil(float64(patterns) * s.opts.BISTPatternFactor))
-		}
-	case s.opts.Application == DecompressionApplication:
-		// Deterministic patterns decompressed in software: the word
-		// production rate competes with the NoC streaming rate, and the
-		// compressed set is first loaded from the tester port into the
-		// processor's buffer (charged as setup, chunked by buffer size).
-		inWords := (pc.Core.StimulusBits() + 31) / 32
-		if produce := inWords * s.opts.DecompressionCyclesPerWord; produce > timing.StreamCycles(streamFlits) {
-			perPattern = produce + s.opts.CaptureCycles
-		}
-		setup += s.loadCycles(ifx, inWords*pc.Core.Patterns)
-	}
-	duration := setup + patterns*perPattern
-
-	draw := pc.Core.Power + s.transportPower(pathIn, pathOut) + ifx.runPower
-	if s.limit > 0 && draw > s.limit+1e-9 {
-		return nil, nil // permanently infeasible on this interface
-	}
-
-	var links []noc.Link
-	if s.opts.ExclusiveLinks {
-		links = append(noc.PathLinks(pathIn), noc.PathLinks(pathOut)...)
-	}
-	start := s.earliestFeasible(ifx.earliest(), duration, links, draw)
-
-	return &candidate{
-		ifx:      ifx,
-		start:    start,
-		duration: duration,
-		entry: plan.Entry{
-			CoreID:          pc.Core.ID,
-			CoreName:        pc.Core.Name,
-			IsProcessor:     pc.IsProcessor(),
-			Interface:       ifx.name,
-			InterfaceKind:   ifx.kind,
-			InterfaceCoreID: ifx.procCore,
-			Start:           start,
-			End:             start + duration,
-			Setup:           setup,
-			Patterns:        patterns,
-			PerPattern:      perPattern,
-			PathIn:          pathIn,
-			PathOut:         pathOut,
-			Power:           draw,
-		},
-	}, nil
-}
-
-// wrapperShift returns (and caches) the per-pattern core-side shift
-// cost of a BFD wrapper of the configured width.
-func (s *scheduler) wrapperShift(c itc02.Core) (int, error) {
-	if cached, ok := s.wrappers[c.ID]; ok {
-		return cached, nil
-	}
-	d, err := wrapper.BFD(c, s.opts.WrapperChains)
-	if err != nil {
-		return 0, fmt.Errorf("core: wrapper for core %d: %w", c.ID, err)
-	}
-	shift := d.ShiftCycles()
-	s.wrappers[c.ID] = shift
-	return shift, nil
-}
-
-// loadCycles is the one-time cost of shipping a core's compressed test
-// set (rawWords stimulus words before compression) from the tester port
-// into the processor's buffer, reloading per chunk when the set exceeds
-// the buffer.
-func (s *scheduler) loadCycles(ifx *iface, rawWords int) int {
-	timing := s.sys.Net.Timing
-	comp := int(math.Ceil(float64(rawWords) * s.opts.CompressionRatio))
-	if comp < 1 {
-		comp = 1
-	}
-	chunks := (comp + s.opts.ProcessorBufferWords - 1) / s.opts.ProcessorBufferWords
-	flits := timing.Flits(comp * 32)
-	return chunks*timing.PathSetupLatency(ifx.loadHops) + timing.StreamCycles(flits)
-}
-
-// earliest returns the first cycle the interface may start a new test.
-func (x *iface) earliest() int {
-	if x.freeAt > x.activatedAt {
-		return x.freeAt
-	}
-	return x.activatedAt
-}
-
-// transportPower charges the per-router figure once per distinct router
-// on the stimulus and response paths.
-func (s *scheduler) transportPower(pathIn, pathOut []noc.Coord) float64 {
-	seen := make(map[noc.Coord]bool, len(pathIn)+len(pathOut))
-	for _, c := range pathIn {
-		seen[c] = true
-	}
-	for _, c := range pathOut {
-		seen[c] = true
-	}
-	return s.sys.Net.Power.PathPower(len(seen))
-}
-
-// earliestFeasible advances a candidate start time past link and power
-// conflicts until the whole [t, t+duration) window is clear. It
-// terminates because every conflict yields a strictly later restart
-// bound and the reservation sets are finite.
-func (s *scheduler) earliestFeasible(from, duration int, links []noc.Link, draw float64) int {
-	t := from
-	for {
-		if next, ok := s.linkConflict(t, t+duration, links); ok {
-			t = next
-			continue
-		}
-		if !s.tracker.CanAdd(t, t+duration, draw) {
-			t = s.nextPowerBoundary(t)
-			continue
-		}
-		return t
-	}
-}
-
-// linkConflict reports the earliest restart time if any link is busy
-// during [start, end).
-func (s *scheduler) linkConflict(start, end int, links []noc.Link) (int, bool) {
-	restart, found := 0, false
-	for _, l := range links {
-		for _, sp := range s.links[l] {
-			if start < sp.end && sp.start < end {
-				if !found || sp.end > restart {
-					// Restart after the latest conflicting occupancy so
-					// repeated scans converge quickly.
-					restart = sp.end
-					found = true
-				}
-			}
-		}
-	}
-	return restart, found
-}
-
-// nextPowerBoundary returns the first profile change strictly after t;
-// past the last reservation the profile is empty, so this always
-// advances.
-func (s *scheduler) nextPowerBoundary(t int) int {
-	next := -1
-	for _, iv := range s.tracker.Reservations() {
-		for _, b := range [2]int{iv.Start, iv.End} {
-			if b > t && (next == -1 || b < next) {
-				next = b
-			}
-		}
-	}
-	if next == -1 {
-		// No boundary ahead: the profile is already empty after t, so a
-		// failing CanAdd means the draw alone exceeds the ceiling, which
-		// placement() filtered out.
-		panic("core: power search stuck with empty profile ahead")
-	}
-	return next
-}
-
-// commit records the chosen placement and activates the processor
-// interface when the core under test is a processor.
-func (s *scheduler) commit(pc soc.PlacedCore, c *candidate) {
-	e := c.entry
-	if s.opts.ExclusiveLinks {
-		for _, l := range append(noc.PathLinks(e.PathIn), noc.PathLinks(e.PathOut)...) {
-			s.links[l] = append(s.links[l], span{e.Start, e.End})
-		}
-	}
-	if err := s.tracker.Add(e.Start, e.End, e.Power); err != nil {
-		panic(fmt.Sprintf("core: committing feasible placement failed: %v", err))
-	}
-	c.ifx.freeAt = e.End
-	s.entries = append(s.entries, e)
-	if ifx, ok := s.procIfx[pc.Core.ID]; ok {
-		ifx.active = true
-		ifx.activatedAt = e.End
-	}
 }

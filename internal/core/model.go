@@ -1,0 +1,622 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"noctest/internal/noc"
+	"noctest/internal/plan"
+	"noctest/internal/power"
+	"noctest/internal/soc"
+	"noctest/internal/wrapper"
+)
+
+// Model is the precompiled, immutable scheduling model for one
+// (system, options) pair: the compile-once half of the engine's
+// compile-once/search-many split.
+//
+// Compile resolves everything a scheduling pass would otherwise
+// recompute — interface records, NoC routes from the shared
+// noc.RouteTable, dense link IDs, per-(core, interface) setup latency,
+// pattern counts and per-pattern cycles, transport power draw, wrapper
+// shift times and power feasibility — into flat candidate tables. A
+// pass then only replays an order against cheap per-pass scratch state
+// (dense link timelines indexed by noc.LinkID and a resettable
+// power.Profile), drawn from an internal pool, so search strategies can
+// evaluate thousands of orders per second on shared read-only data.
+//
+// A Model is safe for concurrent use: every public method may be called
+// from multiple goroutines at once. Slices returned by Order are shared
+// and must not be mutated; copy before permuting.
+type Model struct {
+	sys  *soc.System
+	opts Options
+	// limit is the resolved absolute power ceiling, 0 when unconstrained.
+	limit float64
+	// notes records compile observations surfaced on every produced
+	// plan, e.g. unpaired tester ports that could not form an interface.
+	notes  []string
+	reused map[int]bool
+
+	cores []soc.PlacedCore
+	// selfIface maps a core index to the interface backed by that core,
+	// or -1: a processor cannot test itself, and completing its test
+	// activates the interface.
+	selfIface []int
+	ifaces    []ifaceModel
+	// cands is indexed [core index][interface index].
+	cands [][]cand
+	// orders caches the core-index ordering of every Priority rule,
+	// indexed by Priority.
+	orders [priorityCount][]int
+
+	exclusive bool
+	numLinks  int
+
+	pool sync.Pool
+}
+
+// ifaceModel is the immutable record of one test interface.
+type ifaceModel struct {
+	name     string
+	kind     plan.InterfaceKind
+	procCore int // core ID of the backing processor, 0 for ATE
+}
+
+// cand is one precompiled (core, interface) placement candidate:
+// everything about the reservation except its start time.
+type cand struct {
+	// feasible is false when the candidate can never be placed: the
+	// interface is the core's own processor, or the draw alone exceeds
+	// the power ceiling.
+	feasible bool
+	setup    int
+	patterns int
+	perPat   int
+	duration int
+	draw     float64
+	// links lists the dense IDs of every directed link on the stimulus
+	// and response paths; nil unless ExclusiveLinks is set.
+	links []noc.LinkID
+	// entry is the plan record template; Start and End are zero until a
+	// pass commits the candidate.
+	entry plan.Entry
+}
+
+// span is a half-open busy interval on a link.
+type span struct{ start, end int }
+
+// scratch is the per-pass mutable state replayed against a Model. It is
+// pooled and reset between passes so a search allocates nothing per
+// order beyond the plan it finally keeps.
+type scratch struct {
+	gen       int
+	placedGen []int
+	free      []int
+	activated []int
+	active    []bool
+	linkBusy  [][]span
+	touched   []noc.LinkID
+	profile   *power.Profile
+}
+
+// Compile builds the immutable scheduling model of sys under opts. The
+// returned model embeds opts with defaults applied; Variant and
+// Priority act only as defaults for Schedule-style entry points, since
+// both are per-pass search parameters.
+func Compile(sys *soc.System, opts Options) (*Model, error) {
+	opts = opts.withDefaults()
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+
+	limit := 0.0
+	switch {
+	case opts.PowerLimit > 0:
+		limit = opts.PowerLimit
+	case opts.PowerLimitFraction > 0:
+		limit = opts.PowerLimitFraction * sys.TotalPower()
+	}
+
+	routes, err := noc.NewRouteTable(sys.Net.Mesh, sys.Net.Routing)
+	if err != nil {
+		return nil, err
+	}
+
+	m := &Model{
+		sys:       sys,
+		opts:      opts,
+		limit:     limit,
+		reused:    reusedSet(sys, opts),
+		cores:     sys.Cores,
+		exclusive: opts.ExclusiveLinks,
+		numLinks:  sys.Net.Mesh.LinkCount(),
+	}
+	ifaces, err := m.compileInterfaces()
+	if err != nil {
+		return nil, err
+	}
+	if err := m.compileCandidates(routes, ifaces); err != nil {
+		return nil, err
+	}
+	for p := Priority(0); p < priorityCount; p++ {
+		m.orders[p] = orderCoreIndices(sys, p, m.reused)
+	}
+	m.pool.New = func() any { return m.newScratch() }
+	return m, nil
+}
+
+// compIface carries the compile-time geometry of one interface; only
+// the ifaceModel part survives into the model.
+type compIface struct {
+	ifaceModel
+	src, dst   noc.Coord
+	perPattern int
+	runPower   float64
+	loadHops   int
+}
+
+// compileInterfaces creates one interface per ATE port pair and one per
+// reused processor. Tester ports are paired in declaration order; ports
+// beyond the shorter direction list cannot form an interface and are
+// recorded in the model's notes instead of being silently dropped.
+func (m *Model) compileInterfaces() ([]compIface, error) {
+	var ins, outs []soc.Port
+	for _, p := range m.sys.Ports {
+		if p.Dir == soc.In {
+			ins = append(ins, p)
+		} else {
+			outs = append(outs, p)
+		}
+	}
+	pairs := len(ins)
+	if len(outs) < pairs {
+		pairs = len(outs)
+	}
+	if len(ins) != len(outs) {
+		var dropped []string
+		for _, p := range ins[pairs:] {
+			dropped = append(dropped, fmt.Sprintf("%s(%s)", p.Name, p.Dir))
+		}
+		for _, p := range outs[pairs:] {
+			dropped = append(dropped, fmt.Sprintf("%s(%s)", p.Name, p.Dir))
+		}
+		m.notes = append(m.notes, fmt.Sprintf(
+			"unpaired tester ports not usable as ATE interfaces: %s (%d in, %d out)",
+			strings.Join(dropped, ", "), len(ins), len(outs)))
+	}
+
+	var ifaces []compIface
+	for i := 0; i < pairs; i++ {
+		ifaces = append(ifaces, compIface{
+			ifaceModel: ifaceModel{name: fmt.Sprintf("ate%d", i), kind: plan.ATE},
+			src:        ins[i].Tile,
+			dst:        outs[i].Tile,
+			perPattern: m.opts.ATECyclesPerPattern,
+		})
+	}
+	for _, pc := range m.sys.Processors() {
+		if !m.reused[pc.Core.ID] {
+			continue
+		}
+		loadHops := 1 << 30
+		for _, p := range ins {
+			if d := noc.ManhattanDistance(p.Tile, pc.Tile); d < loadHops {
+				loadHops = d
+			}
+		}
+		ifaces = append(ifaces, compIface{
+			ifaceModel: ifaceModel{name: pc.Core.Name, kind: plan.Processor, procCore: pc.Core.ID},
+			src:        pc.Tile,
+			dst:        pc.Tile,
+			perPattern: pc.Processor.CyclesPerPattern,
+			runPower:   pc.Processor.Power,
+			loadHops:   loadHops,
+		})
+	}
+	if len(ifaces) == 0 {
+		return nil, fmt.Errorf("core: system %s has no test interfaces", m.sys.Name)
+	}
+	m.ifaces = make([]ifaceModel, len(ifaces))
+	for i, ifx := range ifaces {
+		m.ifaces[i] = ifx.ifaceModel
+	}
+	return ifaces, nil
+}
+
+// compileCandidates fills the per-(core, interface) candidate table.
+func (m *Model) compileCandidates(routes *noc.RouteTable, ifaces []compIface) error {
+	timing := m.sys.Net.Timing
+	m.cands = make([][]cand, len(m.cores))
+	m.selfIface = make([]int, len(m.cores))
+	for ci, pc := range m.cores {
+		m.selfIface[ci] = -1
+		shift := 0
+		if m.opts.WrapperChains > 0 {
+			d, err := wrapper.BFD(pc.Core, m.opts.WrapperChains)
+			if err != nil {
+				return fmt.Errorf("core: wrapper for core %d: %w", pc.Core.ID, err)
+			}
+			shift = d.ShiftCycles()
+		}
+		inFlits := timing.Flits(pc.Core.StimulusBits())
+		outFlits := timing.Flits(pc.Core.ResponseBits())
+		streamFlits := inFlits
+		if outFlits > streamFlits {
+			streamFlits = outFlits
+		}
+		basePerPattern := timing.StreamCycles(streamFlits) + m.opts.CaptureCycles
+		if shift > basePerPattern {
+			// The core's wrapper shifts serially; a narrow wrapper caps
+			// the pattern rate below what the NoC could deliver.
+			basePerPattern = shift
+		}
+
+		row := make([]cand, len(ifaces))
+		for ii, ifx := range ifaces {
+			if ifx.kind == plan.Processor && ifx.procCore == pc.Core.ID {
+				m.selfIface[ci] = ii // a processor cannot test itself
+				continue
+			}
+			pathIn, err := routes.Path(ifx.src, pc.Tile)
+			if err != nil {
+				return err
+			}
+			pathOut, err := routes.Path(pc.Tile, ifx.dst)
+			if err != nil {
+				return err
+			}
+			hopsIn, hopsOut := len(pathIn)-1, len(pathOut)-1
+
+			perPattern := basePerPattern
+			setup := timing.PathSetupLatency(hopsIn) + timing.PathSetupLatency(hopsOut)
+			patterns := pc.Core.Patterns
+			switch {
+			case ifx.kind == plan.ATE:
+				perPattern += ifx.perPattern
+			case m.opts.Application == BISTApplication:
+				// Software pattern generation: extra cycles per pattern,
+				// and optionally more pseudo-random patterns for equal
+				// coverage.
+				perPattern += ifx.perPattern
+				if m.opts.BISTPatternFactor > 1 {
+					patterns = int(math.Ceil(float64(patterns) * m.opts.BISTPatternFactor))
+				}
+			case m.opts.Application == DecompressionApplication:
+				// Deterministic patterns decompressed in software: the
+				// word production rate competes with the NoC streaming
+				// rate, and the compressed set is first loaded from the
+				// tester port into the processor's buffer (charged as
+				// setup, chunked by buffer size).
+				inWords := (pc.Core.StimulusBits() + 31) / 32
+				if produce := inWords * m.opts.DecompressionCyclesPerWord; produce > timing.StreamCycles(streamFlits) {
+					perPattern = produce + m.opts.CaptureCycles
+				}
+				setup += m.loadCycles(ifx.loadHops, inWords*pc.Core.Patterns)
+			}
+			duration := setup + patterns*perPattern
+
+			draw := pc.Core.Power + transportPower(m.sys.Net.Power, pathIn, pathOut) + ifx.runPower
+			if m.limit > 0 && draw > m.limit+1e-9 {
+				continue // permanently infeasible on this interface
+			}
+
+			var links []noc.LinkID
+			if m.exclusive {
+				idsIn, err := routes.LinkIDs(ifx.src, pc.Tile)
+				if err != nil {
+					return err
+				}
+				idsOut, err := routes.LinkIDs(pc.Tile, ifx.dst)
+				if err != nil {
+					return err
+				}
+				links = make([]noc.LinkID, 0, len(idsIn)+len(idsOut))
+				links = append(append(links, idsIn...), idsOut...)
+			}
+
+			row[ii] = cand{
+				feasible: true,
+				setup:    setup,
+				patterns: patterns,
+				perPat:   perPattern,
+				duration: duration,
+				draw:     draw,
+				links:    links,
+				entry: plan.Entry{
+					CoreID:          pc.Core.ID,
+					CoreName:        pc.Core.Name,
+					IsProcessor:     pc.IsProcessor(),
+					Interface:       ifx.name,
+					InterfaceKind:   ifx.kind,
+					InterfaceCoreID: ifx.procCore,
+					Setup:           setup,
+					Patterns:        patterns,
+					PerPattern:      perPattern,
+					PathIn:          pathIn,
+					PathOut:         pathOut,
+					Power:           draw,
+				},
+			}
+		}
+		m.cands[ci] = row
+	}
+	return nil
+}
+
+// loadCycles is the one-time cost of shipping a core's compressed test
+// set (rawWords stimulus words before compression) from the tester port
+// into the processor's buffer, reloading per chunk when the set exceeds
+// the buffer.
+func (m *Model) loadCycles(loadHops, rawWords int) int {
+	timing := m.sys.Net.Timing
+	comp := int(math.Ceil(float64(rawWords) * m.opts.CompressionRatio))
+	if comp < 1 {
+		comp = 1
+	}
+	chunks := (comp + m.opts.ProcessorBufferWords - 1) / m.opts.ProcessorBufferWords
+	flits := timing.Flits(comp * 32)
+	return chunks*timing.PathSetupLatency(loadHops) + timing.StreamCycles(flits)
+}
+
+// transportPower charges the per-router figure once per distinct router
+// on the stimulus and response paths.
+func transportPower(tp noc.TransportPower, pathIn, pathOut []noc.Coord) float64 {
+	seen := make(map[noc.Coord]bool, len(pathIn)+len(pathOut))
+	for _, c := range pathIn {
+		seen[c] = true
+	}
+	for _, c := range pathOut {
+		seen[c] = true
+	}
+	return tp.PathPower(len(seen))
+}
+
+// System returns the compiled system.
+func (m *Model) System() *soc.System { return m.sys }
+
+// Options returns the compiled options with defaults applied.
+func (m *Model) Options() Options { return m.opts }
+
+// PowerLimit returns the resolved absolute ceiling, 0 when unlimited.
+func (m *Model) PowerLimit() float64 { return m.limit }
+
+// Notes returns compile observations (e.g. dropped unpaired tester
+// ports) that are attached to every plan the model produces.
+func (m *Model) Notes() []string { return m.notes }
+
+// Order returns the core indices in the given priority rule's order.
+// The slice is shared across all callers: copy it before permuting.
+// An unknown priority panics: it is a programming error (every rule is
+// cached at compile time), and silently substituting another order
+// would mislabel every plan the caller produces.
+func (m *Model) Order(p Priority) []int {
+	if p < 0 || p >= priorityCount {
+		panic(fmt.Sprintf("core: unknown priority %d, model caches %d rules", int(p), int(priorityCount)))
+	}
+	return m.orders[p]
+}
+
+// DefaultOrder returns Order for the compiled options' priority rule.
+func (m *Model) DefaultOrder() []int { return m.Order(m.opts.Priority) }
+
+// newScratch allocates pass state sized for the model.
+func (m *Model) newScratch() *scratch {
+	s := &scratch{
+		placedGen: make([]int, len(m.cores)),
+		free:      make([]int, len(m.ifaces)),
+		activated: make([]int, len(m.ifaces)),
+		active:    make([]bool, len(m.ifaces)),
+		profile:   power.NewProfile(m.limit),
+	}
+	if m.exclusive {
+		s.linkBusy = make([][]span, m.numLinks)
+	}
+	return s
+}
+
+// reset prepares the scratch for a fresh pass, clearing only the state
+// the previous pass touched.
+func (s *scratch) reset(m *Model) {
+	s.gen++
+	for i, ifx := range m.ifaces {
+		s.free[i] = 0
+		s.activated[i] = 0
+		s.active[i] = ifx.kind == plan.ATE
+	}
+	for _, id := range s.touched {
+		s.linkBusy[id] = s.linkBusy[id][:0]
+	}
+	s.touched = s.touched[:0]
+	s.profile.Reset(m.limit)
+}
+
+// Makespan replays order against the model under the variant's
+// interface-choice rule and returns the resulting makespan without
+// materialising a plan — the cheap inner loop of the search strategies.
+func (m *Model) Makespan(ctx context.Context, v Variant, order []int) (int, error) {
+	return m.run(ctx, v, order, nil)
+}
+
+// Plan replays order against the model and returns the full validated
+// plan. An empty algorithm records "variant/application".
+func (m *Model) Plan(ctx context.Context, v Variant, order []int, algorithm string) (*plan.Plan, error) {
+	entries := make([]plan.Entry, 0, len(m.cores))
+	if _, err := m.run(ctx, v, order, &entries); err != nil {
+		return nil, err
+	}
+	if algorithm == "" {
+		algorithm = fmt.Sprintf("%s/%s", v, m.opts.Application)
+	}
+	p := &plan.Plan{
+		System:         m.sys.Name,
+		Algorithm:      algorithm,
+		PowerLimit:     m.limit,
+		ExclusiveLinks: m.exclusive,
+		Notes:          m.notes,
+		Entries:        entries,
+	}
+	sort.Slice(p.Entries, func(i, j int) bool {
+		if p.Entries[i].Start != p.Entries[j].Start {
+			return p.Entries[i].Start < p.Entries[j].Start
+		}
+		return p.Entries[i].CoreID < p.Entries[j].CoreID
+	})
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("core: produced invalid plan: %w", err)
+	}
+	return p, nil
+}
+
+// run is one scheduling pass: place every core of order, in order, on
+// the best feasible interface under the variant rule. It returns the
+// makespan; when entries is non-nil the committed reservations are
+// appended to it.
+func (m *Model) run(ctx context.Context, v Variant, order []int, entries *[]plan.Entry) (int, error) {
+	if len(order) != len(m.cores) {
+		return 0, fmt.Errorf("core: explicit order covers %d of %d cores", len(order), len(m.cores))
+	}
+	s := m.pool.Get().(*scratch)
+	defer m.pool.Put(s)
+	s.reset(m)
+
+	makespan := 0
+	for _, ci := range order {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		if ci < 0 || ci >= len(m.cores) {
+			return 0, fmt.Errorf("core: order names core index %d outside [0,%d)", ci, len(m.cores))
+		}
+		if s.placedGen[ci] == s.gen {
+			return 0, fmt.Errorf("core: order repeats core %d", m.cores[ci].Core.ID)
+		}
+		s.placedGen[ci] = s.gen
+
+		end, err := m.place(s, v, ci, entries)
+		if err != nil {
+			return 0, err
+		}
+		if end > makespan {
+			makespan = end
+		}
+	}
+	return makespan, nil
+}
+
+// place commits core ci on the best interface per the variant rule and
+// returns the reservation end. Ties keep the first interface scanned,
+// matching the list scheduler's first-available convention.
+func (m *Model) place(s *scratch, v Variant, ci int, entries *[]plan.Entry) (int, error) {
+	row := m.cands[ci]
+	bestIface, bestStart, bestKey := -1, 0, 0
+	for ii := range row {
+		c := &row[ii]
+		if !c.feasible || !s.active[ii] {
+			continue
+		}
+		from := s.free[ii]
+		if s.activated[ii] > from {
+			from = s.activated[ii]
+		}
+		if bestIface >= 0 {
+			// The placement can only start at or after from, so its key
+			// is bounded below; an interface that cannot strictly beat
+			// the incumbent needs no feasibility scan. Ties keep the
+			// first interface either way.
+			lower := from
+			if v == LookaheadFastestFinish {
+				lower = from + c.duration
+			}
+			if lower >= bestKey {
+				continue
+			}
+		}
+		start := s.earliestFeasible(from, c)
+		key := start
+		if v == LookaheadFastestFinish {
+			key = start + c.duration
+		}
+		if bestIface < 0 || key < bestKey {
+			bestIface, bestStart, bestKey = ii, start, key
+		}
+	}
+	if bestIface < 0 {
+		pc := m.cores[ci]
+		return 0, fmt.Errorf("core: core %d (%s) cannot be scheduled on any interface (power limit %.1f too tight?)",
+			pc.Core.ID, pc.Core.Name, m.limit)
+	}
+
+	c := &row[bestIface]
+	end := bestStart + c.duration
+	for _, id := range c.links {
+		if len(s.linkBusy[id]) == 0 {
+			s.touched = append(s.touched, id)
+		}
+		s.linkBusy[id] = append(s.linkBusy[id], span{bestStart, end})
+	}
+	if !s.profile.CanAdd(bestStart, end, c.draw) {
+		panic(fmt.Sprintf("core: committing feasible placement of core %d failed", m.cores[ci].Core.ID))
+	}
+	s.profile.Add(bestStart, end, c.draw)
+	s.free[bestIface] = end
+	if si := m.selfIface[ci]; si >= 0 {
+		s.active[si] = true
+		s.activated[si] = end
+	}
+	if entries != nil {
+		e := c.entry
+		e.Start, e.End = bestStart, end
+		*entries = append(*entries, e)
+	}
+	return end, nil
+}
+
+// earliestFeasible advances a candidate start time past link and power
+// conflicts until the whole [t, t+duration) window is clear. It
+// terminates because every conflict yields a strictly later restart
+// bound and the reservation sets are finite.
+func (s *scratch) earliestFeasible(from int, c *cand) int {
+	t := from
+	for {
+		if next, ok := s.linkConflict(t, t+c.duration, c.links); ok {
+			t = next
+			continue
+		}
+		next := s.profile.FirstFit(t, c.duration, c.draw)
+		if next < 0 {
+			// Only reachable when the draw alone exceeds the ceiling,
+			// which compilation filtered out.
+			panic("core: power search stuck with empty profile ahead")
+		}
+		if next == t {
+			return t
+		}
+		t = next
+	}
+}
+
+// linkConflict reports the earliest restart time if any link is busy
+// during [start, end): past the latest conflicting occupancy, so
+// repeated scans converge quickly.
+func (s *scratch) linkConflict(start, end int, links []noc.LinkID) (int, bool) {
+	restart, found := 0, false
+	for _, id := range links {
+		for _, sp := range s.linkBusy[id] {
+			if start < sp.end && sp.start < end {
+				if !found || sp.end > restart {
+					restart = sp.end
+					found = true
+				}
+			}
+		}
+	}
+	return restart, found
+}

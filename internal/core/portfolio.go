@@ -12,8 +12,11 @@ import (
 )
 
 // Portfolio races a set of schedulers over a goroutine worker pool and
-// keeps the minimum-makespan plan. The zero value races
-// DefaultPortfolio(0) on GOMAXPROCS workers.
+// keeps the minimum-makespan plan. The system is compiled once into a
+// Model shared by every strategy and worker; each strategy replays the
+// model with its own search, so the per-strategy cost is search, not
+// recompilation. The zero value races DefaultPortfolio(0) on GOMAXPROCS
+// workers.
 type Portfolio struct {
 	// Schedulers is the strategy set to race; nil selects
 	// DefaultPortfolio(0).
@@ -54,17 +57,27 @@ func ScheduleBest(ctx context.Context, sys *soc.System, opts Options) (*Portfoli
 	return Portfolio{}.ScheduleBest(ctx, sys, opts)
 }
 
-// ScheduleBest races the portfolio's schedulers concurrently and
-// returns the minimum-makespan plan. Every candidate is re-checked with
-// plan.Validate before it may win; ties go to the earliest scheduler in
-// portfolio order, which makes the result deterministic for a fixed
-// scheduler set regardless of goroutine interleaving. The engine is an
-// anytime search: when the context expires after at least one strategy
-// has finished, the best completed plan is returned (interrupted
-// strategies record their context error in Results). An error is
-// returned only when the context ends with no plan in hand or every
-// strategy fails.
+// ScheduleBest compiles sys under opts once and races the portfolio's
+// schedulers over the shared model.
 func (pf Portfolio) ScheduleBest(ctx context.Context, sys *soc.System, opts Options) (*PortfolioResult, error) {
+	m, err := Compile(sys, opts)
+	if err != nil {
+		return nil, err
+	}
+	return pf.ScheduleModel(ctx, m)
+}
+
+// ScheduleModel races the portfolio's schedulers concurrently over one
+// precompiled model and returns the minimum-makespan plan. Every
+// candidate is re-checked with plan.Validate before it may win; ties go
+// to the earliest scheduler in portfolio order, which makes the result
+// deterministic for a fixed scheduler set regardless of goroutine
+// interleaving. The engine is an anytime search: when the context
+// expires after at least one strategy has finished, the best completed
+// plan is returned (interrupted strategies record their context error
+// in Results). An error is returned only when the context ends with no
+// plan in hand or every strategy fails.
+func (pf Portfolio) ScheduleModel(ctx context.Context, m *Model) (*PortfolioResult, error) {
 	scheds := pf.Schedulers
 	if len(scheds) == 0 {
 		scheds = DefaultPortfolio(0)
@@ -87,7 +100,7 @@ func (pf Portfolio) ScheduleBest(ctx context.Context, sys *soc.System, opts Opti
 			defer wg.Done()
 			for i := range jobs {
 				start := time.Now()
-				p, err := scheds[i].Schedule(ctx, sys, opts)
+				p, err := scheds[i].Schedule(ctx, m)
 				if err == nil {
 					if verr := p.Validate(); verr != nil {
 						err = fmt.Errorf("core: %s produced invalid plan: %w", scheds[i].Name(), verr)
@@ -143,15 +156,20 @@ feed:
 	return out, nil
 }
 
-// BatchJob is one system-plus-options cell of a batch run.
+// BatchJob is one cell of a batch run: either a precompiled model or a
+// system-plus-options pair compiled on demand.
 type BatchJob struct {
 	// Label identifies the job in the results (e.g.
 	// "p22810/power=0.5/reuse=8/packet").
 	Label string
-	// Sys is the placed system to schedule.
+	// Sys is the placed system to schedule; ignored when Model is set.
 	Sys *soc.System
-	// Opts configures the run.
+	// Opts configures the run; ignored when Model is set.
 	Opts Options
+	// Model, when non-nil, is the precompiled model for this cell, so
+	// batch drivers that already compiled (e.g. the report grid) are
+	// not compiled again.
+	Model *Model
 }
 
 // BatchResult is one job's outcome.
@@ -173,8 +191,10 @@ func ScheduleAll(ctx context.Context, jobs []BatchJob) []BatchResult {
 // ScheduleAll schedules every job concurrently, one portfolio run per
 // job, over the portfolio's worker budget. The jobs are the concurrency
 // unit: within a job the portfolio runs its schedulers sequentially, so
-// the pool is never oversubscribed. Results come back in job order; a
-// cancelled context marks the unstarted jobs with the context error.
+// the pool is never oversubscribed. Each job compiles its model once
+// (or reuses job.Model when the caller precompiled). Results come back
+// in job order; a cancelled context marks the unstarted jobs with the
+// context error.
 func (pf Portfolio) ScheduleAll(ctx context.Context, jobs []BatchJob) []BatchResult {
 	workers := pf.Workers
 	if workers < 1 {
@@ -193,7 +213,14 @@ func (pf Portfolio) ScheduleAll(ctx context.Context, jobs []BatchJob) []BatchRes
 		go func() {
 			defer wg.Done()
 			for i := range feed {
-				res, err := inner.ScheduleBest(ctx, jobs[i].Sys, jobs[i].Opts)
+				m, err := jobs[i].Model, error(nil)
+				if m == nil {
+					m, err = Compile(jobs[i].Sys, jobs[i].Opts)
+				}
+				var res *PortfolioResult
+				if err == nil {
+					res, err = inner.ScheduleModel(ctx, m)
+				}
 				out[i] = BatchResult{Label: jobs[i].Label, Result: res, Err: err}
 			}
 		}()

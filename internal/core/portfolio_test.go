@@ -188,18 +188,22 @@ func TestScheduleAll(t *testing.T) {
 	}
 }
 
-// TestSearchSchedulersValidAndSeedSensitive checks each new search
-// scheduler directly: plans validate, repeat runs with one seed agree,
-// and the recorded algorithm names the strategy.
+// TestSearchSchedulersValidAndSeedSensitive checks each search
+// scheduler directly on a shared compiled model: plans validate, repeat
+// runs with one seed agree, and the recorded algorithm names the
+// strategy.
 func TestSearchSchedulersValidAndSeedSensitive(t *testing.T) {
 	sys := buildSystem(t, "p22810", 8, soc.Leon())
-	opts := Options{BISTPatternFactor: 3}
+	m, err := Compile(sys, Options{BISTPatternFactor: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, sched := range []Scheduler{
 		RandomRestartScheduler{Variant: LookaheadFastestFinish, Seed: 9, Restarts: 6},
 		AnnealingScheduler{Variant: LookaheadFastestFinish, Seed: 9, Steps: 60},
 	} {
 		t.Run(sched.Name(), func(t *testing.T) {
-			a, err := sched.Schedule(context.Background(), sys, opts)
+			a, err := sched.Schedule(context.Background(), m)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -209,7 +213,7 @@ func TestSearchSchedulersValidAndSeedSensitive(t *testing.T) {
 			if a.Algorithm != sched.Name() {
 				t.Errorf("plan algorithm %q, want %q", a.Algorithm, sched.Name())
 			}
-			b, err := sched.Schedule(context.Background(), sys, opts)
+			b, err := sched.Schedule(context.Background(), m)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -217,6 +221,66 @@ func TestSearchSchedulersValidAndSeedSensitive(t *testing.T) {
 				t.Errorf("same seed gave makespans %d and %d", a.Makespan(), b.Makespan())
 			}
 		})
+	}
+}
+
+// TestCrossStrategyTieBreakDeterministic checks the portfolio's
+// tie-breaking contract across strategies: when several schedulers
+// produce equal-makespan plans, the winner is the earliest one in
+// portfolio order, identically across repeat runs and worker counts.
+// d695 is the tie-rich case: the lookahead list schedulers and both
+// searches all reach the same makespan.
+func TestCrossStrategyTieBreakDeterministic(t *testing.T) {
+	sys := buildSystem(t, "d695", 6, soc.Leon())
+	opts := Options{PowerLimitFraction: 0.5, BISTPatternFactor: 3}
+	scheds := DefaultPortfolio(11)
+
+	var first *PortfolioResult
+	for run := 0; run < 3; run++ {
+		for workers := 1; workers <= 4; workers++ {
+			pf := Portfolio{Schedulers: scheds, Workers: workers}
+			res, err := pf.ScheduleBest(context.Background(), sys, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The winner must be the first strategy in portfolio order
+			// that achieved the minimum makespan.
+			for _, r := range res.Results {
+				if r.Err == nil && r.Makespan == res.Makespan() {
+					if r.Scheduler != res.Best {
+						t.Fatalf("workers=%d: tie broken to %q, want first-in-order %q", workers, res.Best, r.Scheduler)
+					}
+					break
+				}
+			}
+			if first == nil {
+				first = res
+				continue
+			}
+			if res.Best != first.Best {
+				t.Fatalf("run %d workers=%d: winner %q != %q", run, workers, res.Best, first.Best)
+			}
+			if !reflect.DeepEqual(res.Plan.Entries, first.Plan.Entries) {
+				t.Fatalf("run %d workers=%d: winning plan entries differ", run, workers)
+			}
+			for i, r := range res.Results {
+				if r.Makespan != first.Results[i].Makespan {
+					t.Fatalf("run %d workers=%d: strategy %s makespan %d != %d",
+						run, workers, r.Scheduler, r.Makespan, first.Results[i].Makespan)
+				}
+			}
+		}
+	}
+
+	// The tie must actually exist for this test to mean anything.
+	ties := 0
+	for _, r := range first.Results {
+		if r.Err == nil && r.Makespan == first.Makespan() {
+			ties++
+		}
+	}
+	if ties < 2 {
+		t.Fatalf("expected an equal-makespan tie between strategies, got %d at the minimum", ties)
 	}
 }
 

@@ -7,26 +7,29 @@ import (
 	"math/rand"
 
 	"noctest/internal/plan"
-	"noctest/internal/soc"
 )
 
-// Scheduler is one pluggable search strategy: it plans the complete
-// test of a system under the given options and returns a validated
-// plan. Implementations must be deterministic for a fixed
+// Scheduler is one pluggable search strategy over a compiled Model: it
+// plans the complete test of the model's system and returns a validated
+// plan. The model is shared — a portfolio compiles once and hands the
+// same model to every strategy and worker — so implementations must
+// treat it as read-only, must be deterministic for a fixed
 // configuration (searches take an explicit seed) and must honour
-// context cancellation promptly.
+// context cancellation promptly. Variant and priority are per-strategy
+// choices: a strategy picks its own interface-choice rule and core
+// orders; the model's Options supply everything else.
 type Scheduler interface {
 	// Name identifies the strategy in per-variant statistics and plan
 	// algorithm records.
 	Name() string
-	// Schedule plans the test of sys under opts.
-	Schedule(ctx context.Context, sys *soc.System, opts Options) (*plan.Plan, error)
+	// Schedule searches m and returns the best plan found.
+	Schedule(ctx context.Context, m *Model) (*plan.Plan, error)
 }
 
 // ListScheduler is the deterministic single-pass list scheduler the
 // paper describes, parameterised by interface-choice rule and core
-// ordering. Its Variant and Priority override the ones in Options so a
-// portfolio can race every combination under otherwise equal settings.
+// ordering. Its Variant and Priority override the compiled options'
+// rules so a portfolio can race every combination over one model.
 type ListScheduler struct {
 	Variant  Variant
 	Priority Priority
@@ -38,59 +41,78 @@ func (l ListScheduler) Name() string {
 }
 
 // Schedule runs one list-scheduling pass.
-func (l ListScheduler) Schedule(ctx context.Context, sys *soc.System, opts Options) (*plan.Plan, error) {
-	opts.Variant = l.Variant
-	opts.Priority = l.Priority
-	return scheduleList(ctx, sys, opts, nil, "")
+func (l ListScheduler) Schedule(ctx context.Context, m *Model) (*plan.Plan, error) {
+	algorithm := fmt.Sprintf("%s/%s/%s", l.Variant, l.Priority, m.Options().Application)
+	return m.Plan(ctx, l.Variant, m.Order(l.Priority), algorithm)
 }
 
 // RandomRestartScheduler is a multi-start randomized-priority search:
 // it schedules the default priority order first, then a fixed number of
 // random core orders — half fresh permutations, half local
 // perturbations of the default order — and keeps the best plan. The
-// search is deterministic for a fixed seed.
+// search is deterministic for a fixed seed. Each restart is one cheap
+// replay of the shared model; only the winning order is rebuilt into a
+// full plan.
 type RandomRestartScheduler struct {
 	// Variant is the interface-choice rule applied to every restart.
 	Variant Variant
 	// Seed drives the permutation stream.
 	Seed int64
-	// Restarts is the number of random orders tried; zero selects 16.
+	// Restarts is the number of random orders tried; zero selects 64.
+	// (The pre-model engine defaulted to 16; compiled replays are cheap
+	// enough to quadruple the default budget. The first 16 restarts of
+	// a seed reproduce the old stream exactly, so raising the default
+	// never worsens a fixed-seed result.)
 	Restarts int
 }
 
-// Name returns "random-restart(variant,seed=N)".
+// DefaultRestarts is the restart budget a zero Restarts selects.
+const DefaultRestarts = 64
+
+// Name returns "random-restart(variant,seed=N,restarts=N)".
 func (r RandomRestartScheduler) Name() string {
-	return fmt.Sprintf("random-restart(%s,seed=%d)", r.Variant, r.Seed)
+	return fmt.Sprintf("random-restart(%s,seed=%d,restarts=%d)", r.Variant, r.Seed, r.restarts())
+}
+
+func (r RandomRestartScheduler) restarts() int {
+	if r.Restarts <= 0 {
+		return DefaultRestarts
+	}
+	return r.Restarts
 }
 
 // Schedule runs the multi-start search.
-func (r RandomRestartScheduler) Schedule(ctx context.Context, sys *soc.System, opts Options) (*plan.Plan, error) {
-	restarts := r.Restarts
-	if restarts <= 0 {
-		restarts = 16
-	}
-	opts.Variant = r.Variant
+func (r RandomRestartScheduler) Schedule(ctx context.Context, m *Model) (*plan.Plan, error) {
 	algorithm := r.Name()
 
 	// A list-schedule failure can be order-dependent (e.g. a tight power
 	// ceiling hit from an unlucky permutation), so a failed pass —
 	// including the default-order one — discards that pass only and the
 	// search continues; the first error is reported when no order works.
-	best, firstErr := scheduleList(ctx, sys, opts, nil, algorithm)
-	if firstErr != nil && ctx.Err() != nil {
-		return nil, ctx.Err()
+	base := m.DefaultOrder()
+	bestMs := -1
+	var bestOrder []int
+	var firstErr error
+	if ms, err := m.Makespan(ctx, r.Variant, base); err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		firstErr = err
+	} else {
+		bestMs = ms
+		bestOrder = append([]int(nil), base...)
 	}
-	base := orderCores(sys, opts.withDefaults(), reusedSet(sys, opts))
+
 	rng := rand.New(rand.NewSource(r.Seed))
-	for i := 0; i < restarts; i++ {
-		order := make([]soc.PlacedCore, len(base))
+	order := make([]int, len(base))
+	for i := 0; i < r.restarts(); i++ {
 		copy(order, base)
 		if i%2 == 0 {
 			rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
 		} else {
 			perturb(order, rng, 1+len(order)/8)
 		}
-		p, err := scheduleList(ctx, sys, opts, order, algorithm)
+		ms, err := m.Makespan(ctx, r.Variant, order)
 		if err != nil {
 			if ctx.Err() != nil {
 				return nil, ctx.Err()
@@ -100,16 +122,19 @@ func (r RandomRestartScheduler) Schedule(ctx context.Context, sys *soc.System, o
 			}
 			continue
 		}
-		best = plan.Best(best, p)
+		if bestMs < 0 || ms < bestMs {
+			bestMs = ms
+			bestOrder = append(bestOrder[:0], order...)
+		}
 	}
-	if best == nil {
+	if bestMs < 0 {
 		return nil, firstErr
 	}
-	return best, nil
+	return m.Plan(ctx, r.Variant, bestOrder, algorithm)
 }
 
 // perturb applies n random pair swaps to order in place.
-func perturb(order []soc.PlacedCore, rng *rand.Rand, n int) {
+func perturb(order []int, rng *rand.Rand, n int) {
 	for k := 0; k < n; k++ {
 		i, j := rng.Intn(len(order)), rng.Intn(len(order))
 		order[i], order[j] = order[j], order[i]
@@ -118,44 +143,53 @@ func perturb(order []soc.PlacedCore, rng *rand.Rand, n int) {
 
 // AnnealingScheduler searches the core-order space with seeded
 // simulated annealing: each step swaps two positions of the current
-// order, reschedules, and accepts worse makespans with a probability
-// that decays linearly over the step budget. Deterministic for a fixed
-// seed.
+// order, replays the model, and accepts worse makespans with a
+// probability that decays linearly over the step budget. Deterministic
+// for a fixed seed.
 type AnnealingScheduler struct {
 	// Variant is the interface-choice rule applied to every evaluation.
 	Variant Variant
 	// Seed drives the move and acceptance streams.
 	Seed int64
-	// Steps is the annealing budget; zero selects 300.
+	// Steps is the annealing budget; zero selects 1200. (The pre-model
+	// engine defaulted to 300; DefaultPortfolio keeps one annealer at
+	// the old budget so fixed-seed results never regress, and adds a
+	// second at the new default.)
 	Steps int
 }
 
-// Name returns "anneal(variant,seed=N)".
+// DefaultAnnealingSteps is the step budget a zero Steps selects.
+const DefaultAnnealingSteps = 1200
+
+// Name returns "anneal(variant,seed=N,steps=N)".
 func (a AnnealingScheduler) Name() string {
-	return fmt.Sprintf("anneal(%s,seed=%d)", a.Variant, a.Seed)
+	return fmt.Sprintf("anneal(%s,seed=%d,steps=%d)", a.Variant, a.Seed, a.steps())
+}
+
+func (a AnnealingScheduler) steps() int {
+	if a.Steps <= 0 {
+		return DefaultAnnealingSteps
+	}
+	return a.Steps
 }
 
 // Schedule runs the annealing search.
-func (a AnnealingScheduler) Schedule(ctx context.Context, sys *soc.System, opts Options) (*plan.Plan, error) {
-	steps := a.Steps
-	if steps <= 0 {
-		steps = 300
-	}
-	opts.Variant = a.Variant
+func (a AnnealingScheduler) Schedule(ctx context.Context, m *Model) (*plan.Plan, error) {
+	steps := a.steps()
 	algorithm := a.Name()
 	rng := rand.New(rand.NewSource(a.Seed))
 
 	// Start from the default priority order; if that order happens to be
 	// infeasible (order-dependent power failures exist), probe a few
 	// seeded shuffles for a feasible starting point before giving up.
-	order := orderCores(sys, opts.withDefaults(), reusedSet(sys, opts))
-	cur, err := scheduleList(ctx, sys, opts, nil, algorithm)
+	order := append([]int(nil), m.DefaultOrder()...)
+	curMs, err := m.Makespan(ctx, a.Variant, order)
 	for probe := 0; err != nil && probe < 8; probe++ {
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-		cur, err = scheduleList(ctx, sys, opts, order, algorithm)
+		curMs, err = m.Makespan(ctx, a.Variant, order)
 	}
 	if err != nil {
 		if ctx.Err() != nil {
@@ -163,11 +197,12 @@ func (a AnnealingScheduler) Schedule(ctx context.Context, sys *soc.System, opts 
 		}
 		return nil, err
 	}
-	best := cur
+	bestMs := curMs
+	bestOrder := append([]int(nil), order...)
 	if len(order) < 2 {
-		return best, nil
+		return m.Plan(ctx, a.Variant, bestOrder, algorithm)
 	}
-	t0 := 0.05 * float64(cur.Makespan())
+	t0 := 0.05 * float64(curMs)
 	for step := 0; step < steps; step++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -177,7 +212,7 @@ func (a AnnealingScheduler) Schedule(ctx context.Context, sys *soc.System, opts 
 			continue
 		}
 		order[i], order[j] = order[j], order[i]
-		cand, err := scheduleList(ctx, sys, opts, order, algorithm)
+		candMs, err := m.Makespan(ctx, a.Variant, order)
 		if err != nil {
 			if ctx.Err() != nil {
 				return nil, ctx.Err()
@@ -185,23 +220,30 @@ func (a AnnealingScheduler) Schedule(ctx context.Context, sys *soc.System, opts 
 			order[i], order[j] = order[j], order[i] // infeasible move, undo
 			continue
 		}
-		delta := float64(cand.Makespan() - cur.Makespan())
+		delta := float64(candMs - curMs)
 		temp := t0 * float64(steps-step) / float64(steps)
 		if delta <= 0 || (temp > 0 && rng.Float64() < math.Exp(-delta/temp)) {
-			cur = cand
-			best = plan.Best(best, cur)
+			curMs = candMs
+			if curMs < bestMs {
+				bestMs = curMs
+				bestOrder = append(bestOrder[:0], order...)
+			}
 		} else {
 			order[i], order[j] = order[j], order[i] // rejected, undo
 		}
 	}
-	return best, nil
+	return m.Plan(ctx, a.Variant, bestOrder, algorithm)
 }
 
 // DefaultPortfolio returns the standard scheduler set ScheduleBest
 // races: every list-scheduler combination that has shown a win on some
-// benchmark plus the two seeded searches. The paper's own rule
+// benchmark plus the seeded searches. The paper's own rule
 // (greedy/processors-first) and its lookahead repair are always
-// included, so the portfolio result is never worse than either.
+// included, so the portfolio result is never worse than either. The
+// search members are a strict superset of the pre-model portfolio for
+// any fixed seed — the restart stream extends the old one and the
+// 300-step annealer is kept alongside the bigger default — so raising
+// the budgets can only improve a fixed-seed result.
 func DefaultPortfolio(seed int64) []Scheduler {
 	return []Scheduler{
 		ListScheduler{GreedyFirstAvailable, ProcessorsFirst},
@@ -212,6 +254,7 @@ func DefaultPortfolio(seed int64) []Scheduler {
 		ListScheduler{LookaheadFastestFinish, LongestTestFirst},
 		ListScheduler{LookaheadFastestFinish, DistanceOnly},
 		RandomRestartScheduler{Variant: LookaheadFastestFinish, Seed: seed},
-		AnnealingScheduler{Variant: LookaheadFastestFinish, Seed: seed + 1},
+		AnnealingScheduler{Variant: LookaheadFastestFinish, Seed: seed + 1, Steps: 300},
+		AnnealingScheduler{Variant: LookaheadFastestFinish, Seed: seed + 2},
 	}
 }

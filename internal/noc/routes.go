@@ -1,0 +1,136 @@
+package noc
+
+import "fmt"
+
+// LinkID is a stable dense index for a directed mesh link, suitable for
+// slice-based resource state in hot scheduling loops. IDs are assigned
+// arithmetically from the source tile's row-major index and the link
+// direction, so they are stable across runs and independent of the
+// order links are first seen. Not every ID in [0, LinkCount) names a
+// physical link: tiles on the mesh edge have fewer than four neighbours,
+// and those direction slots stay unused.
+type LinkID int32
+
+// NoLink is the sentinel for "not a mesh link".
+const NoLink LinkID = -1
+
+// linkDirections indexes the four directed-neighbour offsets in the
+// same deterministic order Neighbors uses (east, west, north, south).
+var linkDirections = [4]Coord{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}
+
+// LinkCount returns the size of the dense LinkID space: four direction
+// slots per tile. Slices indexed by LinkID must have this length.
+func (m Mesh) LinkCount() int { return 4 * m.Tiles() }
+
+// LinkID returns the dense ID of a directed link, or NoLink when the
+// endpoints are not adjacent tiles of the mesh.
+func (m Mesh) LinkID(l Link) LinkID {
+	if !m.Contains(l.From) || !m.Contains(l.To) {
+		return NoLink
+	}
+	dx, dy := l.To.X-l.From.X, l.To.Y-l.From.Y
+	for d, off := range linkDirections {
+		if off.X == dx && off.Y == dy {
+			return LinkID(4*m.Index(l.From) + d)
+		}
+	}
+	return NoLink
+}
+
+// LinkByID is the inverse of LinkID. It returns false for IDs outside
+// the dense space or for unused edge slots.
+func (m Mesh) LinkByID(id LinkID) (Link, bool) {
+	if id < 0 || int(id) >= m.LinkCount() {
+		return Link{}, false
+	}
+	from := m.CoordOf(int(id) / 4)
+	off := linkDirections[int(id)%4]
+	to := Coord{from.X + off.X, from.Y + off.Y}
+	if !m.Contains(to) {
+		return Link{}, false
+	}
+	return Link{From: from, To: to}, true
+}
+
+// RouteTable caches every source-to-destination route of a routing
+// algorithm on a mesh, as both coordinate paths and dense link-ID
+// lists. Building the table once and sharing it removes the per-query
+// path allocation that otherwise dominates schedulers which re-route
+// the same pairs thousands of times. The table is immutable after
+// construction and safe for concurrent use; callers must treat the
+// returned slices as read-only.
+type RouteTable struct {
+	mesh    Mesh
+	routing Routing
+	paths   [][]Coord
+	links   [][]LinkID
+}
+
+// NewRouteTable precomputes all Tiles^2 routes of the routing algorithm
+// on the mesh. For the mesh sizes the planner handles (tens of tiles)
+// the table is a few thousand short slices.
+func NewRouteTable(mesh Mesh, routing Routing) (*RouteTable, error) {
+	if mesh.Width < 1 || mesh.Height < 1 {
+		return nil, fmt.Errorf("noc: route table needs a valid mesh, got %dx%d", mesh.Width, mesh.Height)
+	}
+	if routing == nil {
+		return nil, fmt.Errorf("noc: route table needs a routing algorithm")
+	}
+	tiles := mesh.Tiles()
+	t := &RouteTable{
+		mesh:    mesh,
+		routing: routing,
+		paths:   make([][]Coord, tiles*tiles),
+		links:   make([][]LinkID, tiles*tiles),
+	}
+	for fi := 0; fi < tiles; fi++ {
+		from := mesh.CoordOf(fi)
+		for ti := 0; ti < tiles; ti++ {
+			to := mesh.CoordOf(ti)
+			path := routing.Path(from, to)
+			if len(path) != ManhattanDistance(from, to)+1 {
+				return nil, fmt.Errorf("noc: routing %s returned non-minimal path %v for %v->%v",
+					routing.Name(), path, from, to)
+			}
+			ids := make([]LinkID, 0, len(path)-1)
+			for _, l := range PathLinks(path) {
+				id := mesh.LinkID(l)
+				if id == NoLink {
+					return nil, fmt.Errorf("noc: routing %s produced non-mesh hop %v", routing.Name(), l)
+				}
+				ids = append(ids, id)
+			}
+			t.paths[fi*tiles+ti] = path
+			t.links[fi*tiles+ti] = ids
+		}
+	}
+	return t, nil
+}
+
+// Mesh returns the table's topology.
+func (t *RouteTable) Mesh() Mesh { return t.mesh }
+
+// Routing returns the algorithm the table was built from.
+func (t *RouteTable) Routing() Routing { return t.routing }
+
+// Path returns the cached route between two tiles, including both
+// endpoints. The slice is shared — callers must not mutate it.
+func (t *RouteTable) Path(from, to Coord) ([]Coord, error) {
+	if !t.mesh.Contains(from) {
+		return nil, fmt.Errorf("noc: source %v outside %dx%d mesh", from, t.mesh.Width, t.mesh.Height)
+	}
+	if !t.mesh.Contains(to) {
+		return nil, fmt.Errorf("noc: destination %v outside %dx%d mesh", to, t.mesh.Width, t.mesh.Height)
+	}
+	return t.paths[t.mesh.Index(from)*t.mesh.Tiles()+t.mesh.Index(to)], nil
+}
+
+// LinkIDs returns the dense IDs of the directed links the cached route
+// occupies, in path order. The slice is shared — callers must not
+// mutate it.
+func (t *RouteTable) LinkIDs(from, to Coord) ([]LinkID, error) {
+	if !t.mesh.Contains(from) || !t.mesh.Contains(to) {
+		return nil, fmt.Errorf("noc: route %v->%v outside %dx%d mesh", from, to, t.mesh.Width, t.mesh.Height)
+	}
+	return t.links[t.mesh.Index(from)*t.mesh.Tiles()+t.mesh.Index(to)], nil
+}

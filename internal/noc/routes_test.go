@@ -1,0 +1,125 @@
+package noc
+
+import "testing"
+
+// TestLinkIDRoundTrip checks that every physical link maps to a unique
+// dense ID and back, and that non-links are rejected.
+func TestLinkIDRoundTrip(t *testing.T) {
+	m := MustMesh(4, 3)
+	seen := make(map[LinkID]Link)
+	for _, l := range m.Links() {
+		id := m.LinkID(l)
+		if id == NoLink {
+			t.Fatalf("physical link %v got NoLink", l)
+		}
+		if int(id) < 0 || int(id) >= m.LinkCount() {
+			t.Fatalf("link %v id %d outside dense space [0,%d)", l, id, m.LinkCount())
+		}
+		if prev, dup := seen[id]; dup {
+			t.Fatalf("links %v and %v share id %d", prev, l, id)
+		}
+		seen[id] = l
+		back, ok := m.LinkByID(id)
+		if !ok || back != l {
+			t.Fatalf("LinkByID(%d) = %v,%v, want %v", id, back, ok, l)
+		}
+	}
+
+	for _, bad := range []Link{
+		{Coord{0, 0}, Coord{2, 0}},  // not adjacent
+		{Coord{0, 0}, Coord{0, 0}},  // self
+		{Coord{0, 0}, Coord{-1, 0}}, // off mesh
+		{Coord{9, 9}, Coord{9, 8}},  // off mesh entirely
+	} {
+		if id := m.LinkID(bad); id != NoLink {
+			t.Errorf("non-link %v got id %d, want NoLink", bad, id)
+		}
+	}
+}
+
+// TestLinkByIDUnusedSlots checks edge-tile direction slots report false.
+func TestLinkByIDUnusedSlots(t *testing.T) {
+	m := MustMesh(2, 2)
+	// Tile (0,0) has no west or south neighbour: slots 1 and 3.
+	for _, id := range []LinkID{1, 3} {
+		if l, ok := m.LinkByID(id); ok {
+			t.Errorf("unused slot %d resolved to %v", id, l)
+		}
+	}
+	if _, ok := m.LinkByID(NoLink); ok {
+		t.Error("NoLink resolved to a link")
+	}
+	if _, ok := m.LinkByID(LinkID(m.LinkCount())); ok {
+		t.Error("out-of-range id resolved to a link")
+	}
+}
+
+// TestRouteTableMatchesRouting checks the cached paths and link IDs
+// agree with querying the routing algorithm directly, for both
+// dimension orders.
+func TestRouteTableMatchesRouting(t *testing.T) {
+	m := MustMesh(4, 3)
+	for _, r := range []Routing{XY{}, YX{}} {
+		table, err := NewRouteTable(m, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if table.Mesh() != m || table.Routing().Name() != r.Name() {
+			t.Fatalf("table identity mismatch")
+		}
+		for fi := 0; fi < m.Tiles(); fi++ {
+			for ti := 0; ti < m.Tiles(); ti++ {
+				from, to := m.CoordOf(fi), m.CoordOf(ti)
+				got, err := table.Path(from, to)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := r.Path(from, to)
+				if len(got) != len(want) {
+					t.Fatalf("%s path %v->%v length %d, want %d", r.Name(), from, to, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%s path %v->%v differs at %d: %v vs %v", r.Name(), from, to, i, got[i], want[i])
+					}
+				}
+				ids, err := table.LinkIDs(from, to)
+				if err != nil {
+					t.Fatal(err)
+				}
+				links := PathLinks(want)
+				if len(ids) != len(links) {
+					t.Fatalf("%v->%v has %d link ids for %d links", from, to, len(ids), len(links))
+				}
+				for i, l := range links {
+					if m.LinkID(l) != ids[i] {
+						t.Fatalf("%v->%v link %d id %d, want %d", from, to, i, ids[i], m.LinkID(l))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRouteTableRejectsBadInput covers constructor and query errors.
+func TestRouteTableRejectsBadInput(t *testing.T) {
+	if _, err := NewRouteTable(Mesh{}, XY{}); err == nil {
+		t.Error("invalid mesh accepted")
+	}
+	if _, err := NewRouteTable(MustMesh(2, 2), nil); err == nil {
+		t.Error("nil routing accepted")
+	}
+	table, err := NewRouteTable(MustMesh(2, 2), XY{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := table.Path(Coord{0, 0}, Coord{5, 5}); err == nil {
+		t.Error("off-mesh destination accepted")
+	}
+	if _, err := table.Path(Coord{-1, 0}, Coord{0, 0}); err == nil {
+		t.Error("off-mesh source accepted")
+	}
+	if _, err := table.LinkIDs(Coord{0, 0}, Coord{5, 5}); err == nil {
+		t.Error("off-mesh link query accepted")
+	}
+}

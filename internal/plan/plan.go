@@ -78,6 +78,10 @@ type Plan struct {
 	// circuit-switched (link-exclusive) transport; when set, Validate
 	// rejects concurrent tests sharing a directed link.
 	ExclusiveLinks bool
+	// Notes records scheduler observations that do not invalidate the
+	// plan but that a consumer should see — e.g. tester ports that
+	// could not be paired into an ATE interface and went unused.
+	Notes []string
 	// Entries holds one reservation per core, in start order.
 	Entries []Entry
 }

@@ -180,5 +180,8 @@ func (p *Plan) Summary() string {
 	for _, name := range p.Interfaces() {
 		fmt.Fprintf(&b, "  %-12s %5.1f%% busy\n", name, 100*util[name])
 	}
+	for _, note := range p.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", note)
+	}
 	return b.String()
 }

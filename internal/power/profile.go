@@ -1,0 +1,171 @@
+package power
+
+// Profile is a dense piecewise-constant load profile for hot scheduling
+// loops. It answers the same feasibility questions as Tracker but keeps
+// the profile as sorted segment boundaries with incrementally maintained
+// loads, so a peak query costs a binary search plus a scan of the
+// boundaries inside the window instead of a rescan of every recorded
+// reservation. A Profile is resettable in place: Reset keeps the backing
+// arrays, which lets a scheduler replay thousands of passes without
+// reallocating. Profiles are not safe for concurrent use; give each
+// worker its own.
+type Profile struct {
+	limit float64
+	// times[i] opens the segment [times[i], times[i+1]) carrying
+	// loads[i]; the final segment extends to +inf. Before the first
+	// boundary the load is zero.
+	times []int
+	loads []float64
+}
+
+// NewProfile returns an empty profile enforcing the given ceiling. Use
+// Unlimited (or any non-positive value) for an unconstrained profile.
+func NewProfile(limit float64) *Profile {
+	p := &Profile{}
+	p.Reset(limit)
+	return p
+}
+
+// Reset empties the profile in place and installs a new ceiling,
+// keeping the backing arrays for reuse.
+func (p *Profile) Reset(limit float64) {
+	if limit <= 0 {
+		limit = Unlimited
+	}
+	p.limit = limit
+	p.times = p.times[:0]
+	p.loads = p.loads[:0]
+}
+
+// Limit returns the ceiling.
+func (p *Profile) Limit() float64 { return p.limit }
+
+// segmentBefore returns the index of the last boundary <= t, or -1 when
+// t precedes every boundary.
+func (p *Profile) segmentBefore(t int) int {
+	lo, hi := 0, len(p.times)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.times[mid] <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1
+}
+
+// PeakIn returns the maximum load over [start, end).
+func (p *Profile) PeakIn(start, end int) float64 {
+	if end <= start || len(p.times) == 0 {
+		return 0
+	}
+	peak := 0.0
+	i := p.segmentBefore(start)
+	if i >= 0 {
+		peak = p.loads[i]
+	}
+	for j := i + 1; j < len(p.times) && p.times[j] < end; j++ {
+		if p.loads[j] > peak {
+			peak = p.loads[j]
+		}
+	}
+	return peak
+}
+
+// CanAdd reports whether reserving amount over [start, end) keeps the
+// profile at or below the ceiling. The tolerance matches Tracker.CanAdd.
+func (p *Profile) CanAdd(start, end int, amount float64) bool {
+	if amount < 0 || end <= start {
+		return false
+	}
+	if p.limit == Unlimited {
+		return true
+	}
+	return p.PeakIn(start, end)+amount <= p.limit+1e-9
+}
+
+// Add records a reservation unconditionally; callers gate on CanAdd.
+// Scheduling passes intentionally separate the check from the commit so
+// a feasibility scan can probe many windows before reserving one.
+func (p *Profile) Add(start, end int, amount float64) {
+	if end <= start {
+		return
+	}
+	p.ensureBoundary(start)
+	p.ensureBoundary(end)
+	for i := p.segmentBefore(start); i < len(p.times) && p.times[i] < end; i++ {
+		p.loads[i] += amount
+	}
+}
+
+// ensureBoundary splits the segment containing t so a boundary starts
+// exactly at t.
+func (p *Profile) ensureBoundary(t int) {
+	i := p.segmentBefore(t)
+	if i >= 0 && p.times[i] == t {
+		return
+	}
+	load := 0.0
+	if i >= 0 {
+		load = p.loads[i]
+	}
+	p.times = append(p.times, 0)
+	p.loads = append(p.loads, 0)
+	copy(p.times[i+2:], p.times[i+1:])
+	copy(p.loads[i+2:], p.loads[i+1:])
+	p.times[i+1] = t
+	p.loads[i+1] = load
+}
+
+// NextBoundaryAfter returns the first segment boundary strictly after
+// t, or -1 when none exists. Feasibility loops use it to advance a
+// candidate start past the profile step that rejected it.
+func (p *Profile) NextBoundaryAfter(t int) int {
+	i := p.segmentBefore(t) + 1
+	if i < len(p.times) {
+		return p.times[i]
+	}
+	return -1
+}
+
+// FirstFit returns the earliest t >= from such that reserving amount
+// over [t, t+duration) stays at or below the ceiling. It walks the
+// segments once, restarting the window after every blocking segment, so
+// it is equivalent to — but much cheaper than — probing CanAdd at every
+// boundary. Each segment is judged with the same expression CanAdd
+// uses (load+amount <= limit+1e-9), and the peak of a window clears the
+// ceiling exactly when every overlapped segment does, so FirstFit and
+// the CanAdd/NextBoundaryAfter loop reach identical decisions. A
+// duration <= 0 or negative amount returns -1 (no feasible window, as
+// for CanAdd); an amount exceeding the ceiling on its own also returns
+// -1 rather than searching an empty horizon.
+func (p *Profile) FirstFit(from, duration int, amount float64) int {
+	if duration <= 0 || amount < 0 {
+		return -1
+	}
+	if p.limit == Unlimited {
+		return from
+	}
+	if amount > p.limit+1e-9 {
+		return -1
+	}
+	t := from
+	i := p.segmentBefore(from)
+	if i < 0 {
+		i = 0 // the zero-load stretch before the first boundary never blocks
+	}
+	for ; i < len(p.times); i++ {
+		if p.times[i] >= t+duration {
+			return t // window closed before this segment: no blocker overlaps
+		}
+		if p.loads[i]+amount > p.limit+1e-9 {
+			// Blocking segment inside the window: the window must start
+			// at or after its end, which is the next boundary (the last
+			// segment has load zero by construction — every reservation
+			// ends — so a blocking segment always has a successor).
+			t = p.times[i+1]
+		}
+	}
+	return t
+}

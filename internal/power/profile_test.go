@@ -1,0 +1,140 @@
+package power
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestProfileMatchesTracker drives a Profile and a Tracker with the same
+// random reservation stream and checks every feasibility answer, peak
+// query and boundary step agrees. The Profile is the dense hot-loop
+// variant, the Tracker the reference implementation.
+func TestProfileMatchesTracker(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		limit := 0.0
+		if trial%2 == 0 {
+			limit = 50 + 100*rng.Float64()
+		}
+		tracker := NewTracker(limit)
+		profile := NewProfile(limit)
+		if tracker.Limit() != profile.Limit() {
+			t.Fatalf("limits diverge: %g vs %g", tracker.Limit(), profile.Limit())
+		}
+		for step := 0; step < 60; step++ {
+			start := rng.Intn(200)
+			end := start + 1 + rng.Intn(50)
+			amount := 5 + 20*rng.Float64()
+
+			if got, want := profile.CanAdd(start, end, amount), tracker.CanAdd(start, end, amount); got != want {
+				t.Fatalf("trial %d step %d: CanAdd(%d,%d,%g) = %v, tracker %v", trial, step, start, end, amount, got, want)
+			}
+			if profile.CanAdd(start, end, amount) {
+				profile.Add(start, end, amount)
+				if err := tracker.Add(start, end, amount); err != nil {
+					t.Fatalf("tracker rejected what profile accepted: %v", err)
+				}
+			}
+
+			qs := rng.Intn(260)
+			qe := qs + rng.Intn(60)
+			got, want := profile.PeakIn(qs, qe), tracker.PeakIn(qs, qe)
+			if diff := got - want; diff > 1e-6 || diff < -1e-6 {
+				t.Fatalf("trial %d step %d: PeakIn(%d,%d) = %g, tracker %g", trial, step, qs, qe, got, want)
+			}
+
+			at := rng.Intn(260)
+			if got, want := profile.NextBoundaryAfter(at), trackerNextBoundary(tracker, at); got != want {
+				t.Fatalf("trial %d step %d: NextBoundaryAfter(%d) = %d, tracker %d", trial, step, at, got, want)
+			}
+
+			ffFrom, ffDur := rng.Intn(260), 1+rng.Intn(40)
+			ffAmt := 5 + 30*rng.Float64()
+			if got, want := profile.FirstFit(ffFrom, ffDur, ffAmt), referenceFirstFit(tracker, ffFrom, ffDur, ffAmt); got != want {
+				t.Fatalf("trial %d step %d: FirstFit(%d,%d,%g) = %d, reference %d", trial, step, ffFrom, ffDur, ffAmt, got, want)
+			}
+		}
+	}
+}
+
+// referenceFirstFit replays the scheduler's old feasibility loop on the
+// reference Tracker: probe CanAdd, advance to the next boundary on
+// rejection, give up (-1) when no boundary is ahead.
+func referenceFirstFit(tr *Tracker, from, duration int, amount float64) int {
+	t := from
+	for {
+		if tr.CanAdd(t, t+duration, amount) {
+			return t
+		}
+		next := trackerNextBoundary(tr, t)
+		if next < 0 {
+			return -1
+		}
+		t = next
+	}
+}
+
+// trackerNextBoundary reimplements the scheduler's old boundary step on
+// the reference Tracker: the smallest interval start or end strictly
+// after t, or -1.
+func trackerNextBoundary(tr *Tracker, t int) int {
+	next := -1
+	for _, iv := range tr.Reservations() {
+		for _, b := range [2]int{iv.Start, iv.End} {
+			if b > t && (next == -1 || b < next) {
+				next = b
+			}
+		}
+	}
+	return next
+}
+
+// TestProfileReset checks Reset empties the profile and reinstalls the
+// ceiling while keeping answers correct afterwards.
+func TestProfileReset(t *testing.T) {
+	p := NewProfile(100)
+	p.Add(0, 10, 60)
+	if p.CanAdd(0, 10, 60) {
+		t.Fatal("120 over ceiling 100 accepted")
+	}
+	p.Reset(30)
+	if p.Limit() != 30 {
+		t.Fatalf("limit after reset %g, want 30", p.Limit())
+	}
+	if got := p.PeakIn(0, 100); got != 0 {
+		t.Fatalf("peak after reset %g, want 0", got)
+	}
+	if p.NextBoundaryAfter(-1) != -1 {
+		t.Fatal("boundary survived reset")
+	}
+	if !p.CanAdd(0, 10, 30) {
+		t.Fatal("exact-ceiling reservation rejected after reset")
+	}
+	p.Reset(0)
+	if p.Limit() != Unlimited {
+		t.Fatal("non-positive limit did not select Unlimited")
+	}
+	if !p.CanAdd(0, 1, 1e12) {
+		t.Fatal("unlimited profile rejected a reservation")
+	}
+}
+
+// TestProfileDegenerateWindows pins the edge semantics shared with
+// Tracker: empty windows and negative amounts are infeasible, and
+// queries on an empty profile return zero.
+func TestProfileDegenerateWindows(t *testing.T) {
+	p := NewProfile(10)
+	if p.CanAdd(5, 5, 1) || p.CanAdd(6, 5, 1) {
+		t.Error("empty window accepted")
+	}
+	if p.CanAdd(0, 1, -1) {
+		t.Error("negative amount accepted")
+	}
+	if p.PeakIn(0, 100) != 0 {
+		t.Error("empty profile has non-zero peak")
+	}
+	p.Add(3, 3, 5) // no-op
+	if p.NextBoundaryAfter(-10) != -1 {
+		t.Error("empty Add created a boundary")
+	}
+}

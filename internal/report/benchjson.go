@@ -1,0 +1,111 @@
+package report
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"noctest/internal/core"
+	"noctest/internal/itc02"
+	"noctest/internal/soc"
+)
+
+// ScheduleBenchRecord is one benchmark's entry in the machine-readable
+// perf trajectory (BENCH_schedule.json): the portfolio's best makespan
+// for the canonical configuration and the wall cost of one ScheduleBest
+// call, so successive PRs can diff both search quality and engine speed.
+type ScheduleBenchRecord struct {
+	// Benchmark names the ITC'02 system.
+	Benchmark string `json:"benchmark"`
+	// BestMakespan is the portfolio's winning test time in cycles.
+	BestMakespan int `json:"best_makespan"`
+	// BestScheduler names the winning strategy.
+	BestScheduler string `json:"best_scheduler"`
+	// NsPerScheduleBest is the mean wall time of one ScheduleBest call
+	// (one compile plus the full portfolio race), in nanoseconds.
+	NsPerScheduleBest int64 `json:"ns_per_schedule_best"`
+	// Runs is the number of timed calls averaged into NsPerScheduleBest.
+	Runs int `json:"runs"`
+}
+
+// ScheduleBench is the full perf-trajectory document.
+type ScheduleBench struct {
+	// Seed drives the portfolio's randomized searches; the makespans
+	// are deterministic for a fixed seed.
+	Seed int64 `json:"seed"`
+	// Workers is the portfolio worker bound (0 means GOMAXPROCS).
+	Workers int `json:"workers"`
+	// Options documents the canonical configuration measured: the
+	// paper's 50% power ceiling and BIST pattern factor on the fully
+	// processor-extended systems.
+	Options string `json:"options"`
+	// Records holds one entry per benchmark, in itc02 order.
+	Records []ScheduleBenchRecord `json:"records"`
+}
+
+// benchRuns is the number of timed ScheduleBest calls per benchmark.
+const benchRuns = 3
+
+// RunScheduleBench measures every named benchmark (nil selects all
+// embedded benchmarks) under the canonical portfolio configuration:
+// Leon processors at full reuse, the paper's 50% power ceiling and BIST
+// factor, default portfolio with the given seed. Each benchmark is
+// scheduled benchRuns+1 times — one warm-up, then timed runs — and the
+// mean wall time and (seed-deterministic) best makespan are recorded.
+func RunScheduleBench(ctx context.Context, benchmarks []string, seed int64, workers int) (*ScheduleBench, error) {
+	if len(benchmarks) == 0 {
+		benchmarks = itc02.BenchmarkNames()
+	}
+	out := &ScheduleBench{
+		Seed:    seed,
+		Workers: workers,
+		Options: fmt.Sprintf("leon/full-reuse/power=%g/bist=%g", PaperPowerFraction, PaperBISTFactor),
+	}
+	pf := core.Portfolio{Schedulers: core.DefaultPortfolio(seed), Workers: workers}
+	for _, benchName := range benchmarks {
+		bench, err := itc02.Benchmark(benchName)
+		if err != nil {
+			return nil, err
+		}
+		procs := 8
+		if benchName == "d695" {
+			procs = 6
+		}
+		sys, err := soc.Build(bench, soc.BuildConfig{Processors: procs, Profile: soc.Leon()})
+		if err != nil {
+			return nil, err
+		}
+		opts := core.Options{PowerLimitFraction: PaperPowerFraction, BISTPatternFactor: PaperBISTFactor}
+
+		var res *core.PortfolioResult
+		var elapsed time.Duration
+		for run := 0; run < benchRuns+1; run++ {
+			start := time.Now()
+			res, err = pf.ScheduleBest(ctx, sys, opts)
+			if err != nil {
+				return nil, fmt.Errorf("report: bench %s: %w", benchName, err)
+			}
+			if run > 0 { // first run warms code and allocator caches
+				elapsed += time.Since(start)
+			}
+		}
+		out.Records = append(out.Records, ScheduleBenchRecord{
+			Benchmark:         benchName,
+			BestMakespan:      res.Makespan(),
+			BestScheduler:     res.Best,
+			NsPerScheduleBest: elapsed.Nanoseconds() / benchRuns,
+			Runs:              benchRuns,
+		})
+	}
+	return out, nil
+}
+
+// WriteJSON renders the document with stable indentation so diffs stay
+// readable in version control.
+func (b *ScheduleBench) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}

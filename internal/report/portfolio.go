@@ -89,7 +89,9 @@ func (r GridRow) Label() string {
 
 // RunPortfolioGrid schedules every cell of the grid concurrently with
 // the portfolio engine and reports each cell's winner against the
-// paper's greedy baseline. The first cell failure aborts the sweep.
+// paper's greedy baseline. Each cell is compiled into one core.Model
+// that every portfolio strategy — and the greedy baseline, when it must
+// be rerun — replays. The first cell failure aborts the sweep.
 func RunPortfolioGrid(ctx context.Context, g GridSpec, pf core.Portfolio) ([]GridRow, error) {
 	g = g.withDefaults()
 	profile, err := soc.ProfileByName(g.Processor)
@@ -127,14 +129,18 @@ func RunPortfolioGrid(ctx context.Context, g GridSpec, pf core.Portfolio) ([]Gri
 						opts.MaxReusedProcessors = reuse
 					}
 					row := GridRow{Benchmark: benchName, Power: power, Reuse: reuse, Exclusive: excl}
-					jobs = append(jobs, core.BatchJob{Label: row.Label(), Sys: sys, Opts: opts})
+					model, err := core.Compile(sys, opts)
+					if err != nil {
+						return nil, fmt.Errorf("report: compile %s: %w", row.Label(), err)
+					}
+					jobs = append(jobs, core.BatchJob{Label: row.Label(), Model: model})
 					rows = append(rows, row)
 				}
 			}
 		}
 	}
 
-	greedyName := core.ListScheduler{Variant: core.GreedyFirstAvailable, Priority: core.ProcessorsFirst}.Name()
+	greedy := core.ListScheduler{Variant: core.GreedyFirstAvailable, Priority: core.ProcessorsFirst}
 	results := pf.ScheduleAll(ctx, jobs)
 	for i, res := range results {
 		if res.Err != nil {
@@ -143,20 +149,21 @@ func RunPortfolioGrid(ctx context.Context, g GridSpec, pf core.Portfolio) ([]Gri
 		rows[i].Makespan = res.Result.Makespan()
 		rows[i].Best = res.Result.Best
 		// The paper's baseline is usually a member of the portfolio just
-		// raced; only rerun it when the portfolio did not include it.
+		// raced; only rerun it (on the same compiled model) when the
+		// portfolio did not include it.
 		baseline := 0
 		for _, vr := range res.Result.Results {
-			if vr.Scheduler == greedyName && vr.Err == nil {
+			if vr.Scheduler == greedy.Name() && vr.Err == nil {
 				baseline = vr.Makespan
 				break
 			}
 		}
 		if baseline == 0 {
-			greedy, err := core.Schedule(jobs[i].Sys, jobs[i].Opts)
+			p, err := greedy.Schedule(ctx, jobs[i].Model)
 			if err != nil {
 				return nil, fmt.Errorf("report: %s greedy baseline: %w", res.Label, err)
 			}
-			baseline = greedy.Makespan()
+			baseline = p.Makespan()
 		}
 		rows[i].Greedy = baseline
 		if rows[i].Greedy > 0 {

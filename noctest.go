@@ -30,7 +30,11 @@
 // repair, critical-path and volume priority orderings, a seeded
 // multi-start randomized-priority search and seeded simulated
 // annealing — concurrently over a worker pool and returns the
-// minimum-makespan plan with per-strategy statistics:
+// minimum-makespan plan with per-strategy statistics. The engine is
+// split compile-once/search-many: the system is compiled once into an
+// immutable Model (routes, dense link IDs, per-candidate timing and
+// power) that every strategy and worker replays against pooled scratch
+// state, so the search budget buys orders explored, not recompilation:
 //
 //	res, _ := noctest.ScheduleBest(ctx, sys, noctest.Options{PowerLimitFraction: 0.5})
 //	fmt.Println(res.Best, res.Plan.Makespan())
@@ -83,7 +87,12 @@ type (
 	Coord = noc.Coord
 	// Timing is the NoC router characterisation.
 	Timing = noc.Timing
-	// Scheduler is one pluggable scheduling strategy.
+	// Model is the precompiled, immutable scheduling model of one
+	// (system, options) pair; see Compile. Portfolio strategies replay
+	// it thousands of times without recompiling routes or candidates.
+	Model = core.Model
+	// Scheduler is one pluggable scheduling strategy over a compiled
+	// Model.
 	Scheduler = core.Scheduler
 	// Portfolio races a scheduler set over a worker pool.
 	Portfolio = core.Portfolio
@@ -140,8 +149,14 @@ func Plasma() ProcessorProfile { return soc.Plasma() }
 func BuildSystem(bench *SoC, cfg BuildConfig) (*System, error) { return soc.Build(bench, cfg) }
 
 // Schedule plans the complete test of a system and returns a validated
-// plan.
+// plan: one compile, one list-scheduling pass.
 func Schedule(sys *System, opts Options) (*Plan, error) { return core.Schedule(sys, opts) }
+
+// Compile builds the immutable scheduling model of sys under opts — the
+// compile-once half of the engine. Drive it with a Portfolio
+// (ScheduleModel) or a custom Scheduler when running many searches over
+// one configuration.
+func Compile(sys *System, opts Options) (*Model, error) { return core.Compile(sys, opts) }
 
 // ScheduleBest races the default scheduler portfolio concurrently and
 // returns the minimum-makespan plan with per-strategy statistics.
