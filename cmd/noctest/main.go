@@ -8,6 +8,7 @@
 //	noctest -all -timeout 2m
 //	noctest -all -bench d695,p22810
 //	noctest -bench-json BENCH_schedule.json
+//	noctest -sweep 200 -seed 1 -sweep-out sweep.json
 //
 // Formats: summary (default), gantt, csv, json, table. -portfolio races
 // the full scheduler portfolio concurrently and reports per-strategy
@@ -16,7 +17,12 @@
 // (every embedded benchmark by default, or a comma-separated -bench
 // list); -bench-json writes the machine-readable perf trajectory
 // (best makespan and ns per ScheduleBest call per benchmark) used to
-// track engine regressions across PRs.
+// track engine regressions across PRs; -sweep runs the randomized
+// scenario-sweep verification engine (internal/verify) over N generated
+// systems, writes the JSON summary (oracle tallies, worst lower-bound
+// gap, embedded-benchmark gap records), shrinks any failing scenario to
+// a minimal reproduction under -shrink-dir, and exits non-zero on any
+// oracle violation.
 package main
 
 import (
@@ -33,6 +39,7 @@ import (
 	"noctest/internal/replay"
 	"noctest/internal/report"
 	"noctest/internal/soc"
+	"noctest/internal/verify"
 )
 
 // config carries the parsed command line.
@@ -59,6 +66,10 @@ type config struct {
 	workers   int
 	timeout   time.Duration
 	benchJSON string
+
+	sweep     int
+	sweepOut  string
+	shrinkDir string
 }
 
 func main() {
@@ -83,19 +94,33 @@ func main() {
 	flag.IntVar(&c.workers, "workers", 0, "concurrent scheduler runs (0: GOMAXPROCS)")
 	flag.DurationVar(&c.timeout, "timeout", 0, "overall deadline for portfolio/batch runs (0: none)")
 	flag.StringVar(&c.benchJSON, "bench-json", "", "write the machine-readable perf trajectory (BENCH_schedule.json) to this path and exit")
+	flag.IntVar(&c.sweep, "sweep", 0, "run the scenario-sweep verification engine over this many generated systems and exit non-zero on any oracle violation")
+	flag.StringVar(&c.sweepOut, "sweep-out", "", "write the sweep's JSON summary to this path instead of stdout")
+	flag.StringVar(&c.shrinkDir, "shrink-dir", "testdata/shrunk", "directory for shrunk failure reproductions (empty: do not shrink)")
 	flag.Parse()
 	// Flags that a mode ignores are reported, not silently dropped.
 	ignoredByBenchJSON := map[string]bool{
 		"cpu": true, "procs": true, "reuse": true, "power": true, "bist": true,
 		"variant": true, "priority": true, "exclusive-links": true, "app": true,
 		"wrapper": true, "verify": true, "format": true, "width": true,
-		"portfolio": true, "all": true,
+		"portfolio": true, "all": true, "sweep": true, "sweep-out": true,
+		"shrink-dir": true,
+	}
+	ignoredBySweep := map[string]bool{
+		"bench": true, "cpu": true, "procs": true, "reuse": true, "power": true,
+		"bist": true, "variant": true, "priority": true, "exclusive-links": true,
+		"app": true, "wrapper": true, "verify": true, "format": true, "width": true,
+		"portfolio": true, "all": true, "bench-json": true,
 	}
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "bench" {
 			c.benchSet = true
 		}
 		switch {
+		case c.sweep > 0 && ignoredBySweep[f.Name]:
+			fmt.Fprintf(os.Stderr, "noctest: -%s has no effect with -sweep: scenarios and option regimes are drawn by internal/verify\n", f.Name)
+		case c.sweep > 0:
+			// -sweep wins the mode dispatch; no other mode's notices apply.
 		case c.benchJSON != "" && ignoredByBenchJSON[f.Name]:
 			fmt.Fprintf(os.Stderr, "noctest: -%s has no effect with -bench-json: it measures the canonical leon/full-reuse/power=0.5 configuration\n", f.Name)
 		case (c.portfolio || c.all) && (f.Name == "variant" || f.Name == "priority"):
@@ -115,6 +140,9 @@ func run(c config) error {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.timeout)
 		defer cancel()
+	}
+	if c.sweep > 0 {
+		return runSweep(ctx, c)
 	}
 	if c.benchJSON != "" {
 		return runBenchJSON(ctx, c)
@@ -312,6 +340,55 @@ func runBenchJSON(ctx context.Context, c config) error {
 			r.Benchmark, r.BestMakespan, r.BestScheduler, r.NsPerScheduleBest)
 	}
 	return nil
+}
+
+// runSweep drives the scenario-sweep verification engine and reports
+// its summary; any oracle violation is an error so CI fails the run.
+func runSweep(ctx context.Context, c config) error {
+	sum, err := verify.Sweep(ctx, verify.Config{
+		Scenarios: c.sweep,
+		Seed:      c.seed,
+		Workers:   c.workers,
+		ShrinkDir: c.shrinkDir,
+	})
+	if err != nil {
+		return err
+	}
+	if c.sweepOut == "" {
+		if err := sum.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+	} else {
+		f, err := os.Create(c.sweepOut)
+		if err != nil {
+			return err
+		}
+		if err := sum.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	for _, g := range sum.BenchmarkGaps {
+		fmt.Fprintf(os.Stderr, "noctest: %-8s makespan %9d vs lower bound %9d (gap %.2fx)\n",
+			g.Benchmark, g.Makespan, g.LowerBound, g.Gap)
+	}
+	if n := sum.Failed(); n > 0 {
+		return fmt.Errorf("sweep: %d oracle violations across %d scenarios (see summary failures%s)",
+			n, sum.Scenarios, shrinkHint(c.shrinkDir))
+	}
+	fmt.Fprintf(os.Stderr, "noctest: sweep passed: %d scenarios, worst lower-bound gap %.2fx\n",
+		sum.Scenarios, sum.WorstGap)
+	return nil
+}
+
+func shrinkHint(dir string) string {
+	if dir == "" {
+		return ""
+	}
+	return " and " + dir
 }
 
 func loadBench(name string) (*itc02.SoC, error) {

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"noctest/internal/report"
+	"noctest/internal/verify"
 )
 
 // capture redirects stdout around fn and returns what it printed. The
@@ -122,6 +123,58 @@ func TestRunBenchJSON(t *testing.T) {
 	}
 	if doc.Seed != 7 {
 		t.Errorf("seed %d, want 7", doc.Seed)
+	}
+}
+
+// TestRunSweep drives -sweep end to end: the JSON summary must land in
+// -sweep-out, parse as a verify.Summary, report zero violations on the
+// fixed seed and carry the three embedded-benchmark gap records.
+func TestRunSweep(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	_, err := capture(t, func() error {
+		return run(config{sweep: 6, seed: 1, sweepOut: path, shrinkDir: ""})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum verify.Summary
+	if err := json.Unmarshal(data, &sum); err != nil {
+		t.Fatalf("sweep json does not parse: %v\n%s", err, data)
+	}
+	if sum.Scenarios != 6 || sum.Seed != 1 {
+		t.Errorf("summary echoes scenarios=%d seed=%d, want 6/1", sum.Scenarios, sum.Seed)
+	}
+	if n := sum.Failed(); n != 0 {
+		t.Errorf("fixed-seed smoke sweep reported %d violations: %+v", n, sum.Failures)
+	}
+	if sum.WorstGap < 1 {
+		t.Errorf("worst lower-bound gap %g below 1", sum.WorstGap)
+	}
+	if len(sum.BenchmarkGaps) != 3 {
+		t.Fatalf("want 3 benchmark gap records, got %+v", sum.BenchmarkGaps)
+	}
+	for _, g := range sum.BenchmarkGaps {
+		if g.Gap < 1 || g.LowerBound < 1 {
+			t.Errorf("%s: implausible gap record %+v", g.Benchmark, g)
+		}
+	}
+}
+
+// TestRunSweepWithoutOut checks the summary goes to stdout when no
+// -sweep-out is given.
+func TestRunSweepWithoutOut(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run(config{sweep: 2, seed: 5, shrinkDir: ""})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "\"worst_lower_bound_gap\"") {
+		t.Errorf("stdout missing sweep summary:\n%s", out)
 	}
 }
 

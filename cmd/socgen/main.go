@@ -1,63 +1,63 @@
 // Command socgen emits a random-but-valid SoC description in the itc02
 // text format, for stress-testing the planner and the parser with
-// systems beyond the embedded benchmarks.
+// systems beyond the embedded benchmarks. It is a thin wrapper around
+// internal/socgen, the generator library the verification sweep
+// (internal/verify, noctest -sweep) draws its scenarios from.
 //
 // Usage:
 //
 //	socgen -cores 24 -seed 7 > random.soc
+//	socgen -cores 24 -seed 7 -pattern-skew 3 -power-span 400
+//	socgen -scenario -seed 7 > scenario.soc
 //	noctest -bench random.soc -procs 4
+//
+// With -scenario the output additionally carries a "# scenario" header
+// comment recording a randomly drawn placement (mesh, processors,
+// ports), the reproduction format internal/verify shrinks failures to.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 
 	"noctest/internal/itc02"
+	"noctest/internal/socgen"
 )
 
 func main() {
 	var (
-		cores = flag.Int("cores", 16, "number of cores")
-		seed  = flag.Int64("seed", 1, "generator seed")
-		name  = flag.String("name", "", "soc name (default: genN-S)")
+		p        socgen.Params
+		scenario = flag.Bool("scenario", false, "emit a full placed scenario (mesh, processors, ports) instead of a bare SoC")
 	)
+	flag.IntVar(&p.Cores, "cores", 16, "number of cores")
+	flag.Int64Var(&p.Seed, "seed", 1, "generator seed")
+	flag.StringVar(&p.Name, "name", "", "soc name (default: genN-S)")
+	flag.IntVar(&p.MaxIO, "max-io", 0, "bound on functional inputs/outputs per core (0: 250)")
+	flag.IntVar(&p.MaxPatterns, "max-patterns", 0, "bound on patterns per core (0: 600)")
+	flag.Float64Var(&p.PatternSkew, "pattern-skew", 0, "pattern-count skew exponent (0: uniform; >1: few pattern-rich cores)")
+	flag.IntVar(&p.PowerSpan, "power-span", 0, "width of the uniform power draw above 100 units (0: 1200)")
+	flag.Float64Var(&p.ScanFraction, "scan-fraction", 0, "probability a core carries scan (0: 2/3; negative: none)")
 	flag.Parse()
 
-	if err := run(*cores, *seed, *name); err != nil {
+	if err := run(p, *scenario); err != nil {
 		fmt.Fprintln(os.Stderr, "socgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cores int, seed int64, name string) error {
-	if cores < 1 {
+func run(p socgen.Params, scenario bool) error {
+	if p.Cores < 1 {
 		return fmt.Errorf("need at least 1 core")
 	}
-	if name == "" {
-		name = fmt.Sprintf("gen%d-%d", cores, seed)
-	}
-	r := rand.New(rand.NewSource(seed))
-	s := &itc02.SoC{Name: name}
-	for i := 1; i <= cores; i++ {
-		c := itc02.Core{
-			ID:       i,
-			Name:     fmt.Sprintf("mod%02d", i),
-			Inputs:   10 + r.Intn(250),
-			Outputs:  10 + r.Intn(250),
-			Patterns: 10 + r.Intn(600),
-			Power:    float64(100 + r.Intn(1200)),
+	if scenario {
+		sc := socgen.NewScenario(p.Seed, socgen.ScenarioParams{
+			MinCores: p.Cores, MaxCores: p.Cores, SoC: p,
+		})
+		if p.Name != "" {
+			sc.SoC.Name = p.Name
 		}
-		// Two thirds of the cores carry scan, like the benchmarks.
-		if r.Intn(3) > 0 {
-			chains := 1 + r.Intn(24)
-			total := 100 + r.Intn(8000)
-			for j := 0; j < chains; j++ {
-				c.ScanChains = append(c.ScanChains, total/chains+1)
-			}
-		}
-		s.Cores = append(s.Cores, c)
+		return sc.Encode(os.Stdout)
 	}
-	return itc02.Write(os.Stdout, s)
+	return itc02.Write(os.Stdout, socgen.Generate(p))
 }

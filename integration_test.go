@@ -11,6 +11,7 @@ import (
 	"noctest/internal/noc/sim"
 	"noctest/internal/replay"
 	"noctest/internal/soc"
+	"noctest/internal/socgen"
 )
 
 func TestEndToEndWithYXRouting(t *testing.T) {
@@ -131,6 +132,48 @@ func TestPackedSystemsScheduleOnPaperMeshes(t *testing.T) {
 		}
 		if err := p.Validate(); err != nil {
 			t.Fatalf("%+v: %v", opts, err)
+		}
+	}
+}
+
+// TestGeneratedExclusiveScenarioMeetsReplayWindows is the replay
+// acceptance test on a generated system: a fixed-seed socgen scenario
+// is planned with exclusive links and driven through the cycle-accurate
+// simulator, and every test's wire-level completion must land at or
+// before its planned end — the analytic model charges capture and
+// software cycles the wire never sees, so a sound plan always has
+// non-negative slack here.
+func TestGeneratedExclusiveScenarioMeetsReplayWindows(t *testing.T) {
+	sc := socgen.NewScenario(18, socgen.ScenarioParams{
+		MaxCores:  12,
+		MeshSlack: 3,
+		SoC:       socgen.Params{MaxPatterns: 120},
+	})
+	sys, err := sc.Build()
+	if err != nil {
+		t.Fatalf("scenario %s: %v", sc, err)
+	}
+	if sys.Net.Mesh.Tiles() < len(sys.Cores) {
+		t.Fatalf("test premise broken: scenario %s packs tiles, wire windows not guaranteed", sc)
+	}
+	p, err := Schedule(sys, Options{ExclusiveLinks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.ExclusiveLinks {
+		t.Fatal("plan lost its exclusive-links mode")
+	}
+	results, err := replay.Replay(sys, p, replay.Config{MaxPatternsPerTest: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(p.Entries) {
+		t.Fatalf("replayed %d of %d tests", len(results), len(p.Entries))
+	}
+	for _, r := range results {
+		if r.MeasuredEnd > r.PlannedEnd {
+			t.Errorf("core %d: wire completion %d after planned end %d (slack %d)",
+				r.CoreID, r.MeasuredEnd, r.PlannedEnd, r.Slack())
 		}
 	}
 }

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"noctest/internal/noc"
+)
+
+// Bound is the analytic lower bound on the makespan of any plan a
+// compiled Model can produce, in the multi-site test-infrastructure
+// tradition: schedules are validated against what the resources permit,
+// not just against each other. Each component bounds the makespan
+// independently; Cycles returns the binding one.
+//
+// Every component is sound for every scheduling strategy and core
+// order, because each argues only from the per-(core, interface)
+// candidate table the strategies themselves place from:
+//
+//   - CriticalCore: every core must run one feasible candidate in full,
+//     so no schedule beats the largest per-core minimum duration.
+//   - InterfaceCapacity: each candidate occupies exactly one interface
+//     for its whole duration and interfaces run one test at a time, so
+//     the total minimum work divided by the interface count is a floor
+//     (optimistically assuming every processor interface is available
+//     from cycle zero).
+//   - BottleneckLink (ExclusiveLinks models only): when every feasible
+//     candidate of a core crosses the same directed link, that link
+//     carries the core's minimum duration no matter what the scheduler
+//     picks; concurrent tests may not share the link, so the busiest
+//     link's unavoidable occupancy is a floor.
+//   - PowerFloor (power-limited models only): the instantaneous draw
+//     never exceeds the ceiling, so the schedule length is at least the
+//     total minimum energy divided by the ceiling.
+type Bound struct {
+	// CriticalCore is the largest minimum single-test duration.
+	CriticalCore int
+	// InterfaceCapacity is the total minimum work over the interface
+	// count, rounded up.
+	InterfaceCapacity int
+	// BottleneckLink is the largest unavoidable directed-link occupancy;
+	// zero unless the model reserves links exclusively.
+	BottleneckLink int
+	// PowerFloor is the total minimum energy over the power ceiling,
+	// rounded up; zero when the model is unconstrained.
+	PowerFloor int
+}
+
+// Cycles returns the binding bound: the maximum component.
+func (b Bound) Cycles() int {
+	best := b.CriticalCore
+	for _, c := range []int{b.InterfaceCapacity, b.BottleneckLink, b.PowerFloor} {
+		if c > best {
+			best = c
+		}
+	}
+	return best
+}
+
+// String renders the components with the binding one marked.
+func (b Bound) String() string {
+	return fmt.Sprintf("lower bound %d (critical-core %d, interface-capacity %d, bottleneck-link %d, power-floor %d)",
+		b.Cycles(), b.CriticalCore, b.InterfaceCapacity, b.BottleneckLink, b.PowerFloor)
+}
+
+// LowerBound computes the analytic makespan floor of the model. Cores
+// with no feasible candidate are skipped: no plan exists for them at
+// all, and every scheduling pass reports that separately.
+func (m *Model) LowerBound() Bound {
+	var (
+		totalDur    int
+		totalEnergy float64
+		crit        int
+		linkOcc     []int
+		linkSeen    map[noc.LinkID]int
+	)
+	if m.exclusive {
+		linkOcc = make([]int, m.numLinks)
+		linkSeen = make(map[noc.LinkID]int)
+	}
+	for ci := range m.cores {
+		minDur, minEnergy := -1, 0.0
+		feasible := 0
+		clear(linkSeen)
+		for ii := range m.cands[ci] {
+			c := &m.cands[ci][ii]
+			if !c.feasible {
+				continue
+			}
+			feasible++
+			if minDur < 0 || c.duration < minDur {
+				minDur = c.duration
+			}
+			if e := float64(c.duration) * c.draw; feasible == 1 || e < minEnergy {
+				minEnergy = e
+			}
+			for _, id := range c.links {
+				linkSeen[id]++
+			}
+		}
+		if minDur < 0 {
+			continue
+		}
+		totalDur += minDur
+		totalEnergy += minEnergy
+		if minDur > crit {
+			crit = minDur
+		}
+		// Links every feasible candidate crosses carry this core's test
+		// whatever the scheduler decides.
+		for id, n := range linkSeen {
+			if n == feasible {
+				linkOcc[id] += minDur
+			}
+		}
+	}
+
+	b := Bound{
+		CriticalCore:      crit,
+		InterfaceCapacity: ceilDiv(totalDur, len(m.ifaces)),
+	}
+	for _, occ := range linkOcc {
+		if occ > b.BottleneckLink {
+			b.BottleneckLink = occ
+		}
+	}
+	if m.limit > 0 {
+		// The tiny slack keeps float rounding from ever pushing the
+		// floor past a genuinely achievable integer makespan.
+		b.PowerFloor = int(math.Ceil(totalEnergy/m.limit - 1e-9))
+	}
+	return b
+}
+
+func ceilDiv(a, b int) int {
+	return (a + b - 1) / b
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -86,6 +87,13 @@ type cand struct {
 	// pass commits the candidate.
 	entry plan.Entry
 }
+
+// ErrUnschedulable marks a scheduling failure that is a property of the
+// configuration, not of the engine: some core has no feasible interface
+// under the options (typically a power ceiling below the core's own
+// draw). Sweep harnesses match it with errors.Is to tell infeasible
+// scenarios apart from engine bugs.
+var ErrUnschedulable = errors.New("no feasible interface")
 
 // span is a half-open busy interval on a link.
 type span struct{ start, end int }
@@ -550,8 +558,8 @@ func (m *Model) place(s *scratch, v Variant, ci int, entries *[]plan.Entry) (int
 	}
 	if bestIface < 0 {
 		pc := m.cores[ci]
-		return 0, fmt.Errorf("core: core %d (%s) cannot be scheduled on any interface (power limit %.1f too tight?)",
-			pc.Core.ID, pc.Core.Name, m.limit)
+		return 0, fmt.Errorf("core: core %d (%s) cannot be scheduled on any interface (power limit %.1f too tight?): %w",
+			pc.Core.ID, pc.Core.Name, m.limit, ErrUnschedulable)
 	}
 
 	c := &row[bestIface]

@@ -1,0 +1,80 @@
+package power
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveFirstFit is the O(n^2) reference for Profile.FirstFit: probe
+// CanAdd at the query start and at every later segment boundary, and
+// return the earliest feasible start. It mirrors FirstFit's documented
+// contract for degenerate inputs.
+func naiveFirstFit(p *Profile, from, duration int, amount float64) int {
+	if duration <= 0 || amount < 0 {
+		return -1
+	}
+	if p.Limit() != Unlimited && amount > p.Limit()+1e-9 {
+		return -1
+	}
+	t := from
+	for {
+		if p.CanAdd(t, t+duration, amount) {
+			return t
+		}
+		next := p.NextBoundaryAfter(t)
+		if next < 0 {
+			// Past every boundary the load is zero, so CanAdd can only
+			// keep failing when the amount alone exceeds the ceiling —
+			// handled above.
+			return -1
+		}
+		t = next
+	}
+}
+
+// TestFirstFitMatchesNaiveScan is the brute-force differential check:
+// on random workloads, the one-pass FirstFit must agree with the
+// boundary-probing naive scan for every query, and its result must be
+// genuinely earliest (no feasible start at any earlier boundary).
+func TestFirstFitMatchesNaiveScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260730))
+	for trial := 0; trial < 400; trial++ {
+		limit := 20 + rng.Float64()*100
+		if trial%7 == 0 {
+			limit = 0 // unconstrained
+		}
+		p := NewProfile(limit)
+		reservations := rng.Intn(12)
+		for i := 0; i < reservations; i++ {
+			start := rng.Intn(200)
+			end := start + 1 + rng.Intn(60)
+			amount := rng.Float64() * limit
+			if limit == 0 {
+				amount = rng.Float64() * 100
+			}
+			if p.CanAdd(start, end, amount) {
+				p.Add(start, end, amount)
+			}
+		}
+		for q := 0; q < 8; q++ {
+			from := rng.Intn(250)
+			duration := rng.Intn(80) // sometimes zero: degenerate query
+			amount := rng.Float64() * 140
+			got := p.FirstFit(from, duration, amount)
+			want := naiveFirstFit(p, from, duration, amount)
+			if got != want {
+				t.Fatalf("trial %d: FirstFit(%d, %d, %g) = %d, naive scan = %d (limit %g)",
+					trial, from, duration, amount, got, want, p.Limit())
+			}
+			if got < 0 {
+				continue
+			}
+			if got < from {
+				t.Fatalf("trial %d: FirstFit returned %d before from=%d", trial, got, from)
+			}
+			if !p.CanAdd(got, got+duration, amount) {
+				t.Fatalf("trial %d: FirstFit start %d not actually feasible", trial, got)
+			}
+		}
+	}
+}

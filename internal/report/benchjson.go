@@ -48,6 +48,39 @@ type ScheduleBench struct {
 // benchRuns is the number of timed ScheduleBest calls per benchmark.
 const benchRuns = 3
 
+// PaperProcessors returns the processor-instance count of the paper's
+// evaluation systems: 8, or 6 for the smaller d695.
+func PaperProcessors(benchName string) int {
+	if benchName == "d695" {
+		return 6
+	}
+	return 8
+}
+
+// CanonicalSystem builds the canonical reproduction cell of one
+// embedded benchmark — Leon processors at full reuse under the paper's
+// power ceiling and BIST factor. It is the single definition of the
+// cell that BENCH_schedule.json and the verification sweep's benchmark
+// gap records both measure, so the two trajectories stay comparable.
+func CanonicalSystem(benchName string) (*soc.System, core.Options, error) {
+	bench, err := itc02.Benchmark(benchName)
+	if err != nil {
+		return nil, core.Options{}, err
+	}
+	sys, err := soc.Build(bench, soc.BuildConfig{
+		Processors: PaperProcessors(benchName),
+		Profile:    soc.Leon(),
+	})
+	if err != nil {
+		return nil, core.Options{}, err
+	}
+	opts := core.Options{
+		PowerLimitFraction: PaperPowerFraction,
+		BISTPatternFactor:  PaperBISTFactor,
+	}
+	return sys, opts, nil
+}
+
 // RunScheduleBench measures every named benchmark (nil selects all
 // embedded benchmarks) under the canonical portfolio configuration:
 // Leon processors at full reuse, the paper's 50% power ceiling and BIST
@@ -65,19 +98,10 @@ func RunScheduleBench(ctx context.Context, benchmarks []string, seed int64, work
 	}
 	pf := core.Portfolio{Schedulers: core.DefaultPortfolio(seed), Workers: workers}
 	for _, benchName := range benchmarks {
-		bench, err := itc02.Benchmark(benchName)
+		sys, opts, err := CanonicalSystem(benchName)
 		if err != nil {
 			return nil, err
 		}
-		procs := 8
-		if benchName == "d695" {
-			procs = 6
-		}
-		sys, err := soc.Build(bench, soc.BuildConfig{Processors: procs, Profile: soc.Leon()})
-		if err != nil {
-			return nil, err
-		}
-		opts := core.Options{PowerLimitFraction: PaperPowerFraction, BISTPatternFactor: PaperBISTFactor}
 
 		var res *core.PortfolioResult
 		var elapsed time.Duration

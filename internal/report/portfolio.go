@@ -106,11 +106,7 @@ func RunPortfolioGrid(ctx context.Context, g GridSpec, pf core.Portfolio) ([]Gri
 		if err != nil {
 			return nil, err
 		}
-		procs := 8
-		if benchName == "d695" {
-			procs = 6
-		}
-		sys, err := soc.Build(bench, soc.BuildConfig{Processors: procs, Profile: profile})
+		sys, err := soc.Build(bench, soc.BuildConfig{Processors: PaperProcessors(benchName), Profile: profile})
 		if err != nil {
 			return nil, err
 		}

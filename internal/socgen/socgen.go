@@ -1,0 +1,352 @@
+// Package socgen generates random-but-valid SoC descriptions and fully
+// placed test scenarios, for stress-testing the planner, the parser and
+// the verification sweep with systems beyond the embedded benchmarks.
+//
+// The package has two layers. Generate draws one itc02 SoC from
+// parameterized distributions (core count, functional I/O width, pattern
+// count with optional skew, power spread, scan population). NewScenario
+// draws a complete scenario on top of it: the SoC plus the mesh shape,
+// the number of embedded processor instances, the processor class and
+// the tester port count — everything soc.Build needs. Both are
+// deterministic for a fixed seed, so any generated system is
+// reproducible from its seed alone, and a scenario can additionally be
+// serialised to (and re-read from) a single itc02-format file whose
+// header comments carry the placement parameters; see Encode and
+// ParseScenario. The verification sweep (internal/verify) writes shrunk
+// failure reproductions in exactly that format.
+package socgen
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"strings"
+
+	"noctest/internal/itc02"
+	"noctest/internal/noc"
+	"noctest/internal/soc"
+)
+
+// Params parameterises the per-SoC distributions. The zero value (plus
+// Cores and Seed) reproduces the historical socgen command: cores with
+// 10-259 functional pins per side, 10-609 patterns drawn uniformly,
+// power drawn uniformly from [100, 1300), and two thirds of the cores
+// carrying 1-24 scan chains totalling 100-8100 flip-flops.
+type Params struct {
+	// Cores is the number of cores; zero selects 16.
+	Cores int
+	// Seed drives every draw.
+	Seed int64
+	// Name is the soc name; empty selects "genC-S" from Cores and Seed.
+	Name string
+	// MaxIO bounds the functional input and output counts (exclusive,
+	// added to a floor of 10); values below 1 select 250.
+	MaxIO int
+	// MaxPatterns bounds the pattern count (exclusive, added to a floor
+	// of 10); values below 1 select 600.
+	MaxPatterns int
+	// PatternSkew, when positive, replaces the uniform pattern draw with
+	// MaxPatterns * U^skew: values above 1 make most cores small with a
+	// heavy tail of pattern-rich cores, the shape that separates
+	// critical-core-bound scenarios from capacity-bound ones.
+	PatternSkew float64
+	// PowerSpan is the width of the uniform power draw above the floor
+	// of 100 units; values below 1 select 1200. Narrow spans make the
+	// paper's fractional power ceilings bind uniformly, wide spans
+	// concentrate the ceiling on a few hot cores.
+	PowerSpan int
+	// ScanFraction is the probability a core carries internal scan; zero
+	// selects 2/3 (the benchmarks' shape), negative disables scan.
+	ScanFraction float64
+	// MaxScanChains bounds the scan chain count per scanned core
+	// (exclusive, added to a floor of 1); values below 1 select 24.
+	MaxScanChains int
+	// MaxScanBits bounds the total scan length per scanned core
+	// (exclusive, added to a floor of 100); values below 1 select 8000.
+	MaxScanBits int
+}
+
+// defaultScanFraction is the benchmarks' scan population: two thirds of
+// the cores, drawn with the historical command's Intn(3) gate.
+const defaultScanFraction = 2.0 / 3.0
+
+func (p Params) withDefaults() Params {
+	if p.Cores == 0 {
+		p.Cores = 16
+	}
+	if p.Name == "" {
+		p.Name = fmt.Sprintf("gen%d-%d", p.Cores, p.Seed)
+	}
+	if p.MaxIO < 1 {
+		p.MaxIO = 250
+	}
+	if p.MaxPatterns < 1 {
+		p.MaxPatterns = 600
+	}
+	if p.PowerSpan < 1 {
+		p.PowerSpan = 1200
+	}
+	if p.ScanFraction == 0 {
+		p.ScanFraction = defaultScanFraction
+	}
+	if p.MaxScanChains < 1 {
+		p.MaxScanChains = 24
+	}
+	if p.MaxScanBits < 1 {
+		p.MaxScanBits = 8000
+	}
+	return p
+}
+
+// Generate draws one SoC from the distributions. The result always
+// passes itc02 validation and survives the canonical write/parse round
+// trip; it panics only on a non-positive core count, which is a caller
+// bug rather than a draw outcome.
+func Generate(p Params) *itc02.SoC {
+	p = p.withDefaults()
+	if p.Cores < 1 {
+		panic(fmt.Sprintf("socgen: need at least 1 core, got %d", p.Cores))
+	}
+	r := rand.New(rand.NewSource(p.Seed))
+	s := &itc02.SoC{Name: p.Name}
+	for i := 1; i <= p.Cores; i++ {
+		// The draw order (inputs, outputs, patterns, power, scan) is the
+		// historical socgen command's; keeping it preserves every SoC
+		// ever shared as a (cores, seed) pair under default parameters.
+		c := itc02.Core{
+			ID:      i,
+			Name:    fmt.Sprintf("mod%02d", i),
+			Inputs:  10 + r.Intn(p.MaxIO),
+			Outputs: 10 + r.Intn(p.MaxIO),
+		}
+		if p.PatternSkew > 0 {
+			c.Patterns = 10 + int(float64(p.MaxPatterns)*math.Pow(r.Float64(), p.PatternSkew))
+		} else {
+			c.Patterns = 10 + r.Intn(p.MaxPatterns)
+		}
+		c.Power = float64(100 + r.Intn(p.PowerSpan))
+		scan := false
+		switch {
+		case p.ScanFraction == defaultScanFraction:
+			// The historical command gated scan on Intn(3) > 0; drawing
+			// the same stream element keeps default output bit-identical.
+			scan = r.Intn(3) > 0
+		case p.ScanFraction > 0:
+			scan = r.Float64() < p.ScanFraction
+		}
+		if scan {
+			chains := 1 + r.Intn(p.MaxScanChains)
+			total := 100 + r.Intn(p.MaxScanBits)
+			for j := 0; j < chains; j++ {
+				c.ScanChains = append(c.ScanChains, total/chains+1)
+			}
+		}
+		s.Cores = append(s.Cores, c)
+	}
+	return s
+}
+
+// ScenarioParams parameterises scenario generation: the SoC
+// distributions plus the placement space.
+type ScenarioParams struct {
+	// MinCores and MaxCores bound the uniform core-count draw; zero
+	// selects 4 and 24.
+	MinCores, MaxCores int
+	// MaxProcessors bounds the processor-instance draw (inclusive, from
+	// 0); zero selects 6, negative forbids processors entirely.
+	MaxProcessors int
+	// MaxExtraPortPairs bounds the extra tester port pairs beyond the
+	// default corner pair (inclusive, from 0); zero selects 1, negative
+	// keeps the single pair.
+	MaxExtraPortPairs int
+	// MeshSlack widens the mesh-side draw around the smallest square
+	// that fits the cores; zero selects 2. Sides range over
+	// [side-1, side+slack-1], floored at 2, so scenarios cover both
+	// packed meshes (several cores per tile) and sparse ones.
+	MeshSlack int
+	// SoC carries the per-core distributions; Cores, Seed and Name are
+	// overridden per scenario.
+	SoC Params
+}
+
+func (p ScenarioParams) withDefaults() ScenarioParams {
+	if p.MinCores == 0 {
+		p.MinCores = 4
+	}
+	if p.MaxCores == 0 {
+		p.MaxCores = 24
+	}
+	if p.MaxCores < p.MinCores {
+		p.MaxCores = p.MinCores
+	}
+	if p.MaxProcessors == 0 {
+		p.MaxProcessors = 6
+	}
+	if p.MaxExtraPortPairs == 0 {
+		p.MaxExtraPortPairs = 1
+	}
+	if p.MeshSlack == 0 {
+		p.MeshSlack = 2
+	}
+	return p
+}
+
+// Scenario is one complete randomized verification scenario: a SoC plus
+// everything soc.Build needs to place it.
+type Scenario struct {
+	// Seed is the draw that produced the scenario (informational once
+	// the scenario is materialised or shrunk).
+	Seed int64
+	// SoC is the benchmark description.
+	SoC *itc02.SoC
+	// Mesh is the NoC grid; it may hold fewer tiles than cores (tiles
+	// are then shared, as the paper's large systems do).
+	Mesh noc.Mesh
+	// Processors is the number of embedded processor instances appended
+	// to the SoC's cores.
+	Processors int
+	// Profile names the processor class ("leon" or "plasma"); ignored
+	// when Processors is zero.
+	Profile string
+	// ExtraPortPairs is the number of tester port pairs beyond the
+	// default corner pair.
+	ExtraPortPairs int
+}
+
+// NewScenario draws a scenario deterministically from seed.
+func NewScenario(seed int64, p ScenarioParams) Scenario {
+	p = p.withDefaults()
+	r := rand.New(rand.NewSource(seed))
+	cores := p.MinCores + r.Intn(p.MaxCores-p.MinCores+1)
+	procs := 0
+	if p.MaxProcessors > 0 {
+		procs = r.Intn(p.MaxProcessors + 1)
+	}
+	profile := "leon"
+	if r.Intn(2) == 1 {
+		profile = "plasma"
+	}
+	side := 2
+	for side*side < cores+procs {
+		side++
+	}
+	w := maxInt(2, side-1+r.Intn(p.MeshSlack+1))
+	h := maxInt(2, side-1+r.Intn(p.MeshSlack+1))
+	extra := 0
+	if p.MaxExtraPortPairs > 0 && w >= 3 && h >= 3 {
+		extra = r.Intn(p.MaxExtraPortPairs + 1)
+	}
+	sp := p.SoC
+	sp.Cores = cores
+	sp.Seed = r.Int63()
+	sp.Name = fmt.Sprintf("sweep%d", seed)
+	return Scenario{
+		Seed:           seed,
+		SoC:            Generate(sp),
+		Mesh:           noc.Mesh{Width: w, Height: h},
+		Processors:     procs,
+		Profile:        profile,
+		ExtraPortPairs: extra,
+	}
+}
+
+// Build places the scenario into a validated system.
+func (sc Scenario) Build() (*soc.System, error) {
+	cfg := soc.BuildConfig{
+		Mesh:           sc.Mesh,
+		Processors:     sc.Processors,
+		ExtraPortPairs: sc.ExtraPortPairs,
+	}
+	if sc.Processors > 0 {
+		profile, err := soc.ProfileByName(sc.Profile)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Profile = profile
+	}
+	return soc.Build(sc.SoC, cfg)
+}
+
+// String summarises the scenario on one line.
+func (sc Scenario) String() string {
+	return fmt.Sprintf("seed=%d cores=%d mesh=%dx%d procs=%d profile=%s extraports=%d",
+		sc.Seed, len(sc.SoC.Cores), sc.Mesh.Width, sc.Mesh.Height,
+		sc.Processors, sc.Profile, sc.ExtraPortPairs)
+}
+
+// Encode writes the scenario as a single itc02-format file: the given
+// note lines and the placement parameters as header comments, then the
+// canonical SoC text. ParseScenario reads the result back; a plain
+// itc02.Parse reads the same file as just the SoC.
+func (sc Scenario) Encode(w io.Writer, notes ...string) error {
+	for _, n := range notes {
+		for _, line := range strings.Split(n, "\n") {
+			if _, err := fmt.Fprintf(w, "# %s\n", line); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# scenario seed=%d mesh=%dx%d procs=%d profile=%s extraports=%d\n",
+		sc.Seed, sc.Mesh.Width, sc.Mesh.Height, sc.Processors, sc.Profile, sc.ExtraPortPairs); err != nil {
+		return err
+	}
+	return itc02.Write(w, sc.SoC)
+}
+
+// ParseScenario reads a scenario file written by Encode: the "# scenario"
+// header comment supplies the placement, the itc02 body supplies the SoC.
+func ParseScenario(text string) (Scenario, error) {
+	sc := Scenario{Profile: "leon"}
+	found := false
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "# scenario ") {
+			continue
+		}
+		if found {
+			return Scenario{}, fmt.Errorf("socgen: duplicate scenario header")
+		}
+		found = true
+		for _, tok := range strings.Fields(strings.TrimPrefix(line, "# scenario ")) {
+			key, val, ok := strings.Cut(tok, "=")
+			if !ok {
+				return Scenario{}, fmt.Errorf("socgen: bad scenario token %q", tok)
+			}
+			var err error
+			switch key {
+			case "seed":
+				_, err = fmt.Sscanf(val, "%d", &sc.Seed)
+			case "mesh":
+				_, err = fmt.Sscanf(val, "%dx%d", &sc.Mesh.Width, &sc.Mesh.Height)
+			case "procs":
+				_, err = fmt.Sscanf(val, "%d", &sc.Processors)
+			case "profile":
+				sc.Profile = val
+			case "extraports":
+				_, err = fmt.Sscanf(val, "%d", &sc.ExtraPortPairs)
+			default:
+				return Scenario{}, fmt.Errorf("socgen: unknown scenario key %q", key)
+			}
+			if err != nil {
+				return Scenario{}, fmt.Errorf("socgen: bad scenario value %q: %v", tok, err)
+			}
+		}
+	}
+	if !found {
+		return Scenario{}, fmt.Errorf("socgen: no \"# scenario\" header in input")
+	}
+	s, err := itc02.ParseString(text)
+	if err != nil {
+		return Scenario{}, err
+	}
+	sc.SoC = s
+	return sc, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,161 @@
+package socgen
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"noctest/internal/itc02"
+)
+
+// TestGenerateRoundTripsAndValidates drives the generator across a
+// spread of seeds and sizes: every generated SoC must validate, survive
+// the canonical write/parse round trip, and come back identical.
+func TestGenerateRoundTripsAndValidates(t *testing.T) {
+	for _, cores := range []int{1, 2, 7, 16, 40} {
+		for seed := int64(0); seed < 12; seed++ {
+			s := Generate(Params{Cores: cores, Seed: seed})
+			if err := s.Validate(); err != nil {
+				t.Fatalf("cores=%d seed=%d: invalid SoC: %v", cores, seed, err)
+			}
+			if len(s.Cores) != cores {
+				t.Fatalf("cores=%d seed=%d: got %d cores", cores, seed, len(s.Cores))
+			}
+			text, err := itc02.WriteString(s)
+			if err != nil {
+				t.Fatalf("cores=%d seed=%d: write: %v", cores, seed, err)
+			}
+			again, err := itc02.ParseString(text)
+			if err != nil {
+				t.Fatalf("cores=%d seed=%d: reparse: %v", cores, seed, err)
+			}
+			if !reflect.DeepEqual(s, again) {
+				t.Fatalf("cores=%d seed=%d: round trip changed the SoC", cores, seed)
+			}
+		}
+	}
+}
+
+// TestGenerateDeterministic pins the draw to its seed.
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Params{Cores: 10, Seed: 42})
+	b := Generate(Params{Cores: 10, Seed: 42})
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different SoCs")
+	}
+	c := Generate(Params{Cores: 10, Seed: 43})
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical SoCs")
+	}
+}
+
+// TestGenerateDistributionKnobs checks the parameterized distributions
+// actually move the draws.
+func TestGenerateDistributionKnobs(t *testing.T) {
+	noScan := Generate(Params{Cores: 30, Seed: 1, ScanFraction: -1})
+	for _, c := range noScan.Cores {
+		if len(c.ScanChains) != 0 {
+			t.Fatalf("ScanFraction=-1 still produced scan on core %d", c.ID)
+		}
+	}
+	skewed := Generate(Params{Cores: 200, Seed: 1, PatternSkew: 4})
+	uniform := Generate(Params{Cores: 200, Seed: 1})
+	mean := func(s *itc02.SoC) float64 {
+		total := 0
+		for _, c := range s.Cores {
+			total += c.Patterns
+		}
+		return float64(total) / float64(len(s.Cores))
+	}
+	if mean(skewed) >= mean(uniform) {
+		t.Errorf("PatternSkew=4 mean %g not below uniform mean %g", mean(skewed), mean(uniform))
+	}
+	narrow := Generate(Params{Cores: 50, Seed: 1, PowerSpan: 1})
+	for _, c := range narrow.Cores {
+		if c.Power != 100 {
+			t.Fatalf("PowerSpan=1 drew power %g on core %d", c.Power, c.ID)
+		}
+	}
+}
+
+// TestScenarioBuildsAndValidates draws scenarios across many seeds:
+// every one must build into a valid placed system with the drawn shape.
+func TestScenarioBuildsAndValidates(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		sc := NewScenario(seed, ScenarioParams{})
+		sys, err := sc.Build()
+		if err != nil {
+			t.Fatalf("seed %d (%s): build: %v", seed, sc, err)
+		}
+		if err := sys.Validate(); err != nil {
+			t.Fatalf("seed %d (%s): invalid system: %v", seed, sc, err)
+		}
+		if got := len(sys.Cores); got != len(sc.SoC.Cores)+sc.Processors {
+			t.Errorf("seed %d: system has %d cores, want %d benchmark + %d processors",
+				seed, got, len(sc.SoC.Cores), sc.Processors)
+		}
+		if got := len(sys.Processors()); got != sc.Processors {
+			t.Errorf("seed %d: system has %d processors, want %d", seed, got, sc.Processors)
+		}
+		if sys.Net.Mesh != sc.Mesh {
+			t.Errorf("seed %d: mesh %v, want %v", seed, sys.Net.Mesh, sc.Mesh)
+		}
+	}
+}
+
+// TestScenarioDeterministic pins scenario draws to their seed.
+func TestScenarioDeterministic(t *testing.T) {
+	a := NewScenario(7, ScenarioParams{})
+	b := NewScenario(7, ScenarioParams{})
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different scenarios")
+	}
+}
+
+// TestScenarioEncodeParseRoundTrip serialises a scenario with note lines
+// and reads it back: placement and SoC must survive, and the same file
+// must parse as a plain itc02 description too.
+func TestScenarioEncodeParseRoundTrip(t *testing.T) {
+	sc := NewScenario(99, ScenarioParams{})
+	var b strings.Builder
+	if err := sc.Encode(&b, "written by a test", "oracle lower-bound"); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if !strings.Contains(text, "# written by a test") {
+		t.Errorf("note line missing from encoding:\n%s", text)
+	}
+	again, err := ParseScenario(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sc, again) {
+		t.Errorf("round trip changed the scenario:\n got %+v\nwant %+v", again, sc)
+	}
+	plain, err := itc02.ParseString(text)
+	if err != nil {
+		t.Fatalf("encoded scenario is not a valid itc02 file: %v", err)
+	}
+	if !reflect.DeepEqual(plain, sc.SoC) {
+		t.Error("plain itc02 parse of the scenario file differs from the SoC")
+	}
+}
+
+// TestParseScenarioErrors covers malformed headers.
+func TestParseScenarioErrors(t *testing.T) {
+	soc := "soc x\ncore 1 a\n inputs 1\n outputs 1\n patterns 1\nend\n"
+	for _, tc := range []struct{ name, text, want string }{
+		{"missing", soc, "no \"# scenario\" header"},
+		{"duplicate", "# scenario seed=1 mesh=2x2 procs=0\n# scenario seed=2 mesh=2x2 procs=0\n" + soc, "duplicate"},
+		{"badtoken", "# scenario seed\n" + soc, "bad scenario token"},
+		{"badvalue", "# scenario mesh=wide\n" + soc, "bad scenario value"},
+		{"badkey", "# scenario turbo=1\n" + soc, "unknown scenario key"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseScenario(tc.text)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("got %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}

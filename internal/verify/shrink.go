@@ -1,0 +1,202 @@
+package verify
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"noctest/internal/itc02"
+	"noctest/internal/socgen"
+)
+
+// defaultShrinkBudget caps the number of candidate checks one shrink
+// run may spend. Each check replays the full oracle set on the
+// candidate, so the budget bounds shrink cost at roughly budget x one
+// scenario check.
+const defaultShrinkBudget = 250
+
+// Shrink minimises a failing scenario: it repeatedly tries reductions —
+// dropping the tail half of the cores, dropping single cores, halving
+// every pattern count, shrinking the mesh, removing a processor,
+// removing extra tester ports — and keeps any candidate that still
+// fails the same (regime, oracle) pair as want. The result is the
+// smallest scenario the budget reached; it is guaranteed to still
+// reproduce the failure. A budget of zero selects the default.
+func (e Engine) Shrink(ctx context.Context, sc socgen.Scenario, want Failure, budget int) (socgen.Scenario, error) {
+	if budget <= 0 {
+		budget = defaultShrinkBudget
+	}
+	// Failures confined to an independent regime re-check just that
+	// regime; "base" failures (including the cross-regime oracles, which
+	// anchor there) need the full run since base inherits from the
+	// constrained regimes.
+	only := want.Regime
+	if only == "base" {
+		only = ""
+	}
+	stillFails := func(cand socgen.Scenario) (bool, error) {
+		rep, err := e.check(ctx, cand, only)
+		if err != nil {
+			return false, err
+		}
+		for _, f := range rep.Failures {
+			if f.Regime == want.Regime && f.Oracle == want.Oracle {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+
+	improved := true
+	for improved && budget > 0 {
+		improved = false
+		for _, cand := range reductions(sc) {
+			if budget <= 0 {
+				break
+			}
+			budget--
+			ok, err := stillFails(cand)
+			if err != nil {
+				return sc, err
+			}
+			if ok {
+				sc = cand
+				improved = true
+				break // restart the reduction ladder from the smaller scenario
+			}
+		}
+	}
+	return sc, nil
+}
+
+// reductions returns candidate smaller scenarios, most aggressive
+// first. Every candidate is a deep copy; the input is never mutated.
+func reductions(sc socgen.Scenario) []socgen.Scenario {
+	var out []socgen.Scenario
+	n := len(sc.SoC.Cores)
+
+	// Halve the core list (drop the tail), then drop single cores from
+	// the tail forward so the minimal repro keeps the earliest cores.
+	if n >= 2 {
+		out = append(out, withCores(sc, sc.SoC.Cores[:n/2]))
+		for i := n - 1; i >= 0; i-- {
+			cores := make([]itc02.Core, 0, n-1)
+			cores = append(cores, sc.SoC.Cores[:i]...)
+			cores = append(cores, sc.SoC.Cores[i+1:]...)
+			out = append(out, withCores(sc, cores))
+		}
+	}
+
+	// Halve every pattern count.
+	if halved, changed := halvePatterns(sc); changed {
+		out = append(out, halved)
+	}
+
+	// Shrink the mesh one column or row at a time (floor 2x2); tiny
+	// meshes drop the extra tester ports the generator gates on size.
+	if sc.Mesh.Width > 2 {
+		out = append(out, withMesh(sc, sc.Mesh.Width-1, sc.Mesh.Height))
+	}
+	if sc.Mesh.Height > 2 {
+		out = append(out, withMesh(sc, sc.Mesh.Width, sc.Mesh.Height-1))
+	}
+
+	// Remove a processor instance, then the extra tester port pairs.
+	if sc.Processors > 0 {
+		cand := clone(sc)
+		cand.Processors--
+		out = append(out, cand)
+	}
+	if sc.ExtraPortPairs > 0 {
+		cand := clone(sc)
+		cand.ExtraPortPairs--
+		out = append(out, cand)
+	}
+	return out
+}
+
+func clone(sc socgen.Scenario) socgen.Scenario {
+	sc.SoC = sc.SoC.Clone()
+	return sc
+}
+
+func withCores(sc socgen.Scenario, cores []itc02.Core) socgen.Scenario {
+	cand := clone(sc)
+	cand.SoC.Cores = make([]itc02.Core, len(cores))
+	copy(cand.SoC.Cores, cores)
+	for i := range cand.SoC.Cores {
+		if chains := cand.SoC.Cores[i].ScanChains; chains != nil {
+			cand.SoC.Cores[i].ScanChains = append([]int(nil), chains...)
+		}
+	}
+	return cand
+}
+
+func withMesh(sc socgen.Scenario, w, h int) socgen.Scenario {
+	cand := clone(sc)
+	cand.Mesh.Width, cand.Mesh.Height = w, h
+	if w < 3 || h < 3 {
+		cand.ExtraPortPairs = 0
+	}
+	return cand
+}
+
+func halvePatterns(sc socgen.Scenario) (socgen.Scenario, bool) {
+	cand := clone(sc)
+	changed := false
+	for i := range cand.SoC.Cores {
+		if p := cand.SoC.Cores[i].Patterns; p > 1 {
+			cand.SoC.Cores[i].Patterns = p / 2
+			changed = true
+		}
+	}
+	return cand, changed
+}
+
+// ShrinkToFile shrinks the scenario for want and writes the minimal
+// reproduction under dir as a self-describing itc02 file named after
+// the seed, regime and oracle. It returns the shrunk scenario and the
+// written path.
+func (e Engine) ShrinkToFile(ctx context.Context, sc socgen.Scenario, want Failure, dir string) (socgen.Scenario, string, error) {
+	shrunk, err := e.Shrink(ctx, sc, want, 0)
+	if err != nil {
+		return sc, "", err
+	}
+	// Re-check the minimised scenario so the file records its own error
+	// text, not the original large scenario's.
+	if rep, err := e.Check(ctx, shrunk); err == nil {
+		for _, f := range rep.Failures {
+			if f.Regime == want.Regime && f.Oracle == want.Oracle {
+				want.Error = f.Error
+				break
+			}
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return shrunk, "", err
+	}
+	regime := want.Regime
+	if regime == "" {
+		regime = "scenario"
+	}
+	name := fmt.Sprintf("seed%d-%s-%s.soc", shrunk.Seed, regime, want.Oracle)
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return shrunk, "", err
+	}
+	notes := []string{
+		"shrunk reproduction written by internal/verify",
+		fmt.Sprintf("failing oracle: %s (regime %s)", want.Oracle, regime),
+		"error: " + strings.ReplaceAll(want.Error, "\n", " "),
+		"reproduce: parse with socgen.ParseScenario, then run verify.Engine.Check",
+		"(see README \"Verification harness\")",
+	}
+	if err := shrunk.Encode(f, notes...); err != nil {
+		f.Close()
+		return shrunk, "", err
+	}
+	return shrunk, path, f.Close()
+}

@@ -1,0 +1,599 @@
+// Package verify is the randomized scenario-sweep verification engine:
+// the safety net every engine change runs against. It draws placed
+// systems from internal/socgen across the space the ROADMAP demands —
+// core counts, processor counts, mesh shapes, power spreads, pattern
+// skews — runs the scheduler portfolio on each under a grid of option
+// regimes, and checks every result against oracles that do not trust
+// the schedulers:
+//
+//   - validate: every produced plan passes plan.Validate.
+//   - lower-bound: every makespan is at or above the analytic floor
+//     (core.Model.LowerBound) — schedules are measured against what the
+//     resources permit, not only against each other.
+//   - more-processors-help: reusing the embedded processors never
+//     worsens the best makespan. Any no-reuse plan remains feasible
+//     when interfaces are added, so the engine warm-starts the
+//     unconstrained search with the constrained winners' orders and
+//     inherits their plans outright when the search fails to beat
+//     them; the oracle then guards that dominance reasoning (and the
+//     inherited plans' validity) rather than betting on search noise.
+//   - more-power-helps: lifting the power ceiling never worsens the
+//     best makespan, by the same warm-start-plus-inheritance
+//     construction.
+//   - replay-window: circuit-switched (ExclusiveLinks) plans meet their
+//     windows on the cycle-accurate wormhole simulator via
+//     internal/replay. Only endpoint-disjoint plans are checked: when
+//     concurrent tests share a stream endpoint tile (packed meshes) the
+//     single-virtual-channel wire serialises them at the tile's local
+//     port, which the analytic model deliberately abstracts away (see
+//     wireReplayable).
+//
+// On any oracle failure the engine auto-shrinks the scenario — dropping
+// cores, halving pattern counts, shrinking the mesh, removing
+// processors and ports — to a minimal reproduction that still fails the
+// same oracle, and writes it as a single itc02-format file (see
+// socgen.Scenario.Encode) naming the seed and the oracle, so a failure
+// found in a 30-core sweep comes back as a handful of cores that fit in
+// a unit test.
+//
+// The engine is exposed twice: as a deterministic seeded go test in
+// this package (tier-1 sized) and as `noctest -sweep N -seed S`, which
+// emits the machine-readable Summary consumed by CI.
+package verify
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"noctest/internal/core"
+	"noctest/internal/itc02"
+	"noctest/internal/noc"
+	"noctest/internal/plan"
+	"noctest/internal/replay"
+	"noctest/internal/report"
+	"noctest/internal/soc"
+	"noctest/internal/socgen"
+)
+
+// Oracle names, in reporting order. The first three are plumbing checks
+// (a scenario that fails to build, compile or schedule is itself a
+// finding); the rest are the scheduling oracles described in the
+// package comment.
+var oracleNames = []string{
+	"build", "compile", "schedule",
+	"validate", "lower-bound", "more-processors-help", "more-power-helps", "replay-window",
+}
+
+// regime is one option configuration every scenario is scheduled under.
+type regime struct {
+	name string
+	opts core.Options
+}
+
+// regimes is the sweep's option grid. "base" dominates "noreuse"
+// (strictly more interfaces: a no-reuse plan never touches the
+// processor interfaces, so it stays feasible when they appear) and
+// "halfpower" (strictly higher budget), so its best makespan may never
+// be worse than theirs — the differential oracles. The constrained
+// regimes are listed before "base" so their winning orders can
+// warm-start it; see Check.
+var regimes = []regime{
+	{"noreuse", core.Options{DisableReuse: true}},
+	{"halfpower", core.Options{PowerLimitFraction: 0.5}},
+	{"base", core.Options{}},
+	{"exclusive", core.Options{ExclusiveLinks: true}},
+}
+
+// Engine checks scenarios against the oracles. The zero value is ready
+// to use.
+type Engine struct {
+	// Portfolio builds the scheduler set raced on each regime; nil
+	// selects core.DefaultPortfolio. The seed passed in is the
+	// scenario's, so randomized searches differ per scenario but are
+	// reproducible from the scenario file.
+	Portfolio func(seed int64) []core.Scheduler
+	// ReplayPatterns caps the patterns replayed per test on the
+	// simulator; zero selects 4.
+	ReplayPatterns int
+	// ReplayMaxMakespan skips the wire replay for plans longer than this
+	// (the simulator is cycle-accurate and its cost is the plan horizon);
+	// zero selects 150000 cycles, negative disables replay entirely.
+	ReplayMaxMakespan int
+	// MutatePlan, when set, corrupts every winning plan before the
+	// oracles see it. It exists so tests can prove the oracles catch —
+	// and the shrinker minimises — broken plans.
+	MutatePlan func(*plan.Plan)
+}
+
+func (e Engine) withDefaults() Engine {
+	if e.Portfolio == nil {
+		e.Portfolio = core.DefaultPortfolio
+	}
+	if e.ReplayPatterns == 0 {
+		e.ReplayPatterns = 4
+	}
+	if e.ReplayMaxMakespan == 0 {
+		e.ReplayMaxMakespan = 150_000
+	}
+	return e
+}
+
+// Failure is one oracle violation.
+type Failure struct {
+	// ScenarioSeed reproduces the scenario via socgen.NewScenario.
+	ScenarioSeed int64 `json:"scenario_seed"`
+	// Regime names the option configuration ("base", "noreuse",
+	// "halfpower", "exclusive"), empty for scenario-level failures.
+	Regime string `json:"regime,omitempty"`
+	// Oracle names the violated check.
+	Oracle string `json:"oracle"`
+	// Error is the violation detail.
+	Error string `json:"error"`
+	// ShrunkFile is the written reproduction, when shrinking ran.
+	ShrunkFile string `json:"shrunk_file,omitempty"`
+	// ShrunkCores is the reproduction's benchmark core count.
+	ShrunkCores int `json:"shrunk_cores,omitempty"`
+}
+
+// Report is the outcome of checking one scenario.
+type Report struct {
+	// Failures lists the oracle violations, in check order.
+	Failures []Failure
+	// Checked counts the oracle evaluations performed, by oracle name.
+	Checked map[string]int
+	// Gaps maps each regime that produced a valid plan to the ratio of
+	// its best makespan over the analytic lower bound (>= 1 when the
+	// lower-bound oracle holds).
+	Gaps map[string]float64
+}
+
+// Failed reports whether any oracle was violated.
+func (r *Report) Failed() bool { return len(r.Failures) > 0 }
+
+// Check runs every oracle on one scenario.
+func (e Engine) Check(ctx context.Context, sc socgen.Scenario) (*Report, error) {
+	return e.check(ctx, sc, "")
+}
+
+// check optionally restricts the run to one regime (the shrinker's
+// fast path); the empty filter runs everything. Only regimes whose
+// plan production is independent of the others may be filtered —
+// "base" takes warm starts and inherited plans from the constrained
+// regimes, so it (like the cross-regime oracles that anchor on it)
+// always requires the full run.
+func (e Engine) check(ctx context.Context, sc socgen.Scenario, only string) (*Report, error) {
+	e = e.withDefaults()
+	rep := &Report{Checked: make(map[string]int), Gaps: make(map[string]float64)}
+	fail := func(regimeName, oracle string, err error) {
+		rep.Failures = append(rep.Failures, Failure{
+			ScenarioSeed: sc.Seed, Regime: regimeName, Oracle: oracle, Error: err.Error(),
+		})
+	}
+
+	rep.Checked["build"]++
+	sys, err := sc.Build()
+	if err != nil {
+		fail("", "build", err)
+		return rep, nil
+	}
+
+	best := make(map[string]*plan.Plan, len(regimes))
+	pf := core.Portfolio{Schedulers: e.Portfolio(sc.Seed), Workers: 1}
+	// The constrained regimes run first so their winning core orders can
+	// warm-start the dominant "base" search: a ceiling or a smaller
+	// interface set explores parts of the order space the unconstrained
+	// searches never visit, and any order they surface is a legal input
+	// for the base model. Without this cross-seeding the monotonicity
+	// oracles would measure search noise instead of engine soundness.
+	var warmOrders [][]int
+	var inherited []*plan.Plan
+	for _, reg := range regimes {
+		if only != "" && reg.name != only {
+			continue
+		}
+		rep.Checked["compile"]++
+		m, err := core.Compile(sys, reg.opts)
+		if err != nil {
+			fail(reg.name, "compile", err)
+			continue
+		}
+		rep.Checked["schedule"]++
+		res, err := pf.ScheduleModel(ctx, m)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			if reg.name == "halfpower" && errors.Is(err, core.ErrUnschedulable) {
+				// A fractional ceiling below some core's own draw is a
+				// property of the drawn system, not an engine bug: the
+				// regime is skipped, not failed.
+				continue
+			}
+			fail(reg.name, "schedule", err)
+			continue
+		}
+		p := res.Plan
+		switch reg.name {
+		case "noreuse", "halfpower":
+			if order, ok := coreOrder(sys, p); ok {
+				warmOrders = append(warmOrders, order)
+			}
+			inherited = append(inherited, transplant(p, reg.name))
+		case "base":
+			// Warm starts: replay the constrained winners' orders on the
+			// unconstrained model, where the greedy placement may find
+			// plans the unconstrained searches missed.
+			for _, order := range warmOrders {
+				for _, v := range []core.Variant{core.GreedyFirstAvailable, core.LookaheadFastestFinish} {
+					warm, err := m.Plan(ctx, v, order, fmt.Sprintf("warm-start(%s)", v))
+					if err != nil {
+						continue // an order can be infeasible on another model; the portfolio result stands
+					}
+					p = plan.Best(p, warm)
+				}
+			}
+			// Inheritance: a dominated regime's plan is feasible under
+			// base verbatim (the ceiling is lifted, the interfaces it
+			// used all still exist), so the engine keeps it when the
+			// search failed to beat it. This is what makes the monotone
+			// oracles an engine invariant rather than a bet on search
+			// noise; they now guard the dominance reasoning itself.
+			p = plan.Best(append([]*plan.Plan{p}, inherited...)...)
+		}
+		if e.MutatePlan != nil {
+			e.MutatePlan(p)
+		}
+		rep.Checked["validate"]++
+		if err := p.Validate(); err != nil {
+			fail(reg.name, "validate", err)
+			continue
+		}
+		bound := m.LowerBound()
+		rep.Checked["lower-bound"]++
+		if p.Makespan() < bound.Cycles() {
+			fail(reg.name, "lower-bound", fmt.Errorf(
+				"best makespan %d (%s) below analytic floor: %v", p.Makespan(), res.Best, bound))
+			continue
+		}
+		best[reg.name] = p
+		rep.Gaps[reg.name] = float64(p.Makespan()) / float64(bound.Cycles())
+
+		if reg.name == "exclusive" && e.ReplayMaxMakespan > 0 &&
+			p.Makespan() <= e.ReplayMaxMakespan && wireReplayable(p) {
+			rep.Checked["replay-window"]++
+			if _, err := replay.Verify(sys, p, replay.Config{MaxPatternsPerTest: e.ReplayPatterns}, 0); err != nil {
+				fail(reg.name, "replay-window", err)
+			}
+		}
+	}
+
+	// Differential oracles: the dominated regimes may never beat "base".
+	if base, ok := best["base"]; ok {
+		for _, dom := range []struct{ name, oracle string }{
+			{"noreuse", "more-processors-help"},
+			{"halfpower", "more-power-helps"},
+		} {
+			other, ok := best[dom.name]
+			if !ok {
+				continue
+			}
+			rep.Checked[dom.oracle]++
+			if base.Makespan() > other.Makespan() {
+				fail("base", dom.oracle, fmt.Errorf(
+					"best makespan %d under base options worse than %d under %s, yet every %s plan is feasible under base",
+					base.Makespan(), other.Makespan(), dom.name, dom.name))
+			}
+		}
+	}
+	return rep, nil
+}
+
+// transplant deep-copies a dominated regime's plan into base-regime
+// form: the power ceiling is lifted and the provenance recorded. The
+// entries are copied so later inspection of the donor plan never sees
+// mutations of the inherited one.
+func transplant(p *plan.Plan, from string) *plan.Plan {
+	cp := *p
+	cp.PowerLimit = 0
+	cp.Algorithm = fmt.Sprintf("inherited(%s:%s)", from, p.Algorithm)
+	cp.Entries = make([]plan.Entry, len(p.Entries))
+	copy(cp.Entries, p.Entries)
+	return &cp
+}
+
+// coreOrder recovers a scheduling order from a plan: the model core
+// indices sorted by reservation start. It is not necessarily the exact
+// order the producing pass used (simultaneous starts are ambiguous),
+// but any permutation is a legal warm-start input.
+func coreOrder(sys *soc.System, p *plan.Plan) ([]int, bool) {
+	idx := make(map[int]int, len(sys.Cores))
+	for i, pc := range sys.Cores {
+		idx[pc.Core.ID] = i
+	}
+	order := make([]int, 0, len(sys.Cores))
+	for _, e := range p.ByStart() {
+		ci, ok := idx[e.CoreID]
+		if !ok {
+			return nil, false
+		}
+		order = append(order, ci)
+	}
+	if len(order) != len(sys.Cores) {
+		return nil, false
+	}
+	return order, true
+}
+
+// wireReplayable reports whether the plan is guaranteed to meet its
+// windows on the single-virtual-channel wormhole wire. Exclusive links
+// keep concurrent tests off shared channels, but the simulator's
+// routers still serialise streams that meet at a tile's local
+// injection or ejection port — which happens exactly when two
+// concurrent tests share a stream endpoint tile (packed meshes place
+// several cores per tile), or when one test's stimulus and response
+// paths cross the same channel. Such plans are legal (the analytic
+// model assumes per-tile port bandwidth scales with its cores) but not
+// wire-checkable, so the replay oracle skips them.
+func wireReplayable(p *plan.Plan) bool {
+	entries := p.ByStart()
+	ends := func(e plan.Entry) [3]noc.Coord {
+		return [3]noc.Coord{e.PathIn[0], e.PathIn[len(e.PathIn)-1], e.PathOut[len(e.PathOut)-1]}
+	}
+	for i, a := range entries {
+		inLinks := make(map[noc.Link]bool)
+		for _, l := range noc.PathLinks(a.PathIn) {
+			inLinks[l] = true
+		}
+		for _, l := range noc.PathLinks(a.PathOut) {
+			if inLinks[l] {
+				return false
+			}
+		}
+		for _, b := range entries[i+1:] {
+			if b.Start >= a.End {
+				break // ByStart order: no later entry overlaps a either
+			}
+			for _, ta := range ends(a) {
+				for _, tb := range ends(b) {
+					if ta == tb {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Config sizes a sweep.
+type Config struct {
+	// Scenarios is the number of scenarios drawn; zero selects 50.
+	Scenarios int
+	// Seed drives the whole sweep; scenario i gets a seed mixed from
+	// (Seed, i), so any failing scenario reproduces from its own seed.
+	Seed int64
+	// Workers bounds concurrent scenario checks; zero selects
+	// GOMAXPROCS.
+	Workers int
+	// Params shapes the scenario distributions; the zero value selects
+	// the socgen defaults.
+	Params socgen.ScenarioParams
+	// Engine configures the oracles.
+	Engine Engine
+	// ShrinkDir, when non-empty, receives one shrunk reproduction file
+	// per failing scenario (the first failure is minimised).
+	ShrinkDir string
+	// SkipBenchmarks omits the embedded-benchmark gap records (used by
+	// fast unit tests; the CLI always includes them).
+	SkipBenchmarks bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scenarios == 0 {
+		c.Scenarios = 50
+	}
+	if c.Workers < 1 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// OracleStat is one oracle's tally across a sweep.
+type OracleStat struct {
+	Name    string `json:"name"`
+	Checked int    `json:"checked"`
+	Failed  int    `json:"failed"`
+}
+
+// BenchmarkGap records how far the portfolio's best makespan sits above
+// the analytic floor on one embedded benchmark under the canonical
+// reproduction configuration — the tightness measure the sweep logs so
+// the bound itself is kept honest against known systems.
+type BenchmarkGap struct {
+	Benchmark  string  `json:"benchmark"`
+	Makespan   int     `json:"makespan"`
+	LowerBound int     `json:"lower_bound"`
+	Gap        float64 `json:"gap"`
+}
+
+// Summary is the machine-readable outcome of a sweep. For a fixed seed
+// and configuration it is byte-identical across runs.
+type Summary struct {
+	Scenarios int          `json:"scenarios"`
+	Seed      int64        `json:"seed"`
+	Oracles   []OracleStat `json:"oracles"`
+	// WorstGap is the largest makespan-over-bound ratio observed across
+	// all scenarios and regimes, with its location.
+	WorstGap   float64 `json:"worst_lower_bound_gap"`
+	WorstGapAt string  `json:"worst_gap_at,omitempty"`
+	// BenchmarkGaps holds the embedded-benchmark tightness records.
+	BenchmarkGaps []BenchmarkGap `json:"benchmark_gaps,omitempty"`
+	Failures      []Failure      `json:"failures,omitempty"`
+}
+
+// Failed returns the total oracle violations.
+func (s *Summary) Failed() int {
+	n := 0
+	for _, o := range s.Oracles {
+		n += o.Failed
+	}
+	return n
+}
+
+// WriteJSON renders the summary with stable indentation.
+func (s *Summary) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// scenarioSeed mixes the sweep seed and index (splitmix64 finaliser) so
+// neighbouring sweeps draw unrelated scenario streams.
+func scenarioSeed(seed int64, i int) int64 {
+	z := uint64(seed) + uint64(i)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// Sweep draws and checks cfg.Scenarios scenarios concurrently, shrinks
+// any failures, and aggregates the deterministic summary. The error is
+// non-nil only for harness-level problems (context cancellation, an
+// unwritable shrink directory); oracle violations are reported in the
+// summary, not as an error.
+func Sweep(ctx context.Context, cfg Config) (*Summary, error) {
+	cfg = cfg.withDefaults()
+	reports := make([]*Report, cfg.Scenarios)
+	scenarios := make([]socgen.Scenario, cfg.Scenarios)
+
+	var wg sync.WaitGroup
+	feed := make(chan int)
+	errs := make([]error, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range feed {
+				sc := socgen.NewScenario(scenarioSeed(cfg.Seed, i), cfg.Params)
+				rep, err := cfg.Engine.Check(ctx, sc)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				scenarios[i], reports[i] = sc, rep
+			}
+		}(w)
+	}
+feed:
+	for i := 0; i < cfg.Scenarios; i++ {
+		select {
+		case feed <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(feed)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	sum := &Summary{Scenarios: cfg.Scenarios, Seed: cfg.Seed}
+	checked := make(map[string]int)
+	failed := make(map[string]int)
+	for i, rep := range reports {
+		if rep == nil {
+			continue
+		}
+		for name, n := range rep.Checked {
+			checked[name] += n
+		}
+		for _, f := range rep.Failures {
+			failed[f.Oracle]++
+		}
+		for _, reg := range regimes {
+			gap, ok := rep.Gaps[reg.name]
+			if !ok {
+				continue
+			}
+			if gap > sum.WorstGap {
+				sum.WorstGap = gap
+				sum.WorstGapAt = fmt.Sprintf("seed=%d regime=%s", scenarios[i].Seed, reg.name)
+			}
+		}
+		if rep.Failed() {
+			fs := rep.Failures
+			if cfg.ShrinkDir != "" {
+				shrunk, file, err := cfg.Engine.ShrinkToFile(ctx, scenarios[i], fs[0], cfg.ShrinkDir)
+				if err != nil {
+					return nil, err
+				}
+				fs[0].ShrunkFile = file
+				fs[0].ShrunkCores = len(shrunk.SoC.Cores)
+			}
+			sum.Failures = append(sum.Failures, fs...)
+		}
+	}
+	for _, name := range oracleNames {
+		if checked[name] == 0 && failed[name] == 0 {
+			continue
+		}
+		sum.Oracles = append(sum.Oracles, OracleStat{Name: name, Checked: checked[name], Failed: failed[name]})
+	}
+	sort.SliceStable(sum.Failures, func(a, b int) bool {
+		return sum.Failures[a].ScenarioSeed < sum.Failures[b].ScenarioSeed
+	})
+
+	if !cfg.SkipBenchmarks {
+		gaps, err := benchmarkGaps(ctx, cfg.Seed, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		sum.BenchmarkGaps = gaps
+	}
+	return sum, nil
+}
+
+// benchmarkGaps schedules the embedded benchmarks on the canonical
+// reproduction cell (report.CanonicalSystem, the cell tracked in
+// BENCH_schedule.json) and records makespan, floor and their ratio.
+func benchmarkGaps(ctx context.Context, seed int64, workers int) ([]BenchmarkGap, error) {
+	pf := core.Portfolio{Schedulers: core.DefaultPortfolio(seed), Workers: workers}
+	var gaps []BenchmarkGap
+	for _, name := range itc02.BenchmarkNames() {
+		sys, opts, err := report.CanonicalSystem(name)
+		if err != nil {
+			return nil, err
+		}
+		m, err := core.Compile(sys, opts)
+		if err != nil {
+			return nil, err
+		}
+		res, err := pf.ScheduleModel(ctx, m)
+		if err != nil {
+			return nil, fmt.Errorf("verify: benchmark %s: %w", name, err)
+		}
+		bound := m.LowerBound().Cycles()
+		gaps = append(gaps, BenchmarkGap{
+			Benchmark:  name,
+			Makespan:   res.Makespan(),
+			LowerBound: bound,
+			Gap:        float64(res.Makespan()) / float64(bound),
+		})
+	}
+	return gaps, nil
+}

@@ -1,0 +1,178 @@
+package verify
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"noctest/internal/noc"
+	"noctest/internal/plan"
+	"noctest/internal/socgen"
+)
+
+// tier1Config sizes a sweep for the regular test run: small systems,
+// generous mesh slack (so most exclusive plans are wire-replayable) and
+// modest pattern counts keep the whole sweep in low single-digit
+// seconds.
+func tier1Config() Config {
+	return Config{
+		Scenarios: 25,
+		Seed:      1,
+		Params: socgen.ScenarioParams{
+			MaxCores:  12,
+			MeshSlack: 3,
+			SoC:       socgen.Params{MaxPatterns: 120},
+		},
+	}
+}
+
+// TestSweepAllOraclesPass is the package's deterministic seeded sweep:
+// every oracle must hold on every drawn scenario, the lower bound must
+// be attained within a finite gap everywhere, and the embedded
+// benchmarks must come back with finite gap records.
+func TestSweepAllOraclesPass(t *testing.T) {
+	sum, err := Sweep(context.Background(), tier1Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := sum.Failed(); n != 0 {
+		t.Fatalf("%d oracle violations:\n%+v", n, sum.Failures)
+	}
+	if sum.WorstGap < 1 {
+		t.Errorf("worst lower-bound gap %g below 1: the bound cannot exceed a valid makespan", sum.WorstGap)
+	}
+	stats := make(map[string]OracleStat)
+	for _, o := range sum.Oracles {
+		stats[o.Name] = o
+	}
+	for _, name := range oracleNames {
+		if stats[name].Checked == 0 {
+			t.Errorf("oracle %s never ran", name)
+		}
+	}
+	if len(sum.BenchmarkGaps) != 3 {
+		t.Fatalf("want 3 benchmark gap records, got %+v", sum.BenchmarkGaps)
+	}
+	for _, g := range sum.BenchmarkGaps {
+		if g.LowerBound < 1 || g.Makespan < g.LowerBound {
+			t.Errorf("%s: implausible gap record %+v", g.Benchmark, g)
+		}
+		if g.Gap < 1 || g.Gap > 100 {
+			t.Errorf("%s: gap %g not finite-and-sane", g.Benchmark, g.Gap)
+		}
+	}
+}
+
+// TestSweepDeterministic pins the whole summary to its seed: two runs
+// must serialise byte-identically, so CI can diff sweep outputs.
+func TestSweepDeterministic(t *testing.T) {
+	cfg := tier1Config()
+	cfg.Scenarios = 8
+	cfg.SkipBenchmarks = true
+	render := func() []byte {
+		t.Helper()
+		sum, err := Sweep(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		if err := sum.WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Errorf("same seed produced different summaries:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestSweepHonoursContext checks cancellation surfaces as an error, not
+// a partial summary.
+func TestSweepHonoursContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Sweep(ctx, tier1Config()); err == nil {
+		t.Error("cancelled sweep returned no error")
+	}
+}
+
+// TestWireReplayableGate exercises the endpoint-disjointness predicate
+// directly: overlapping tests sharing a stream endpoint tile are not
+// wire-checkable, disjoint ones are.
+func TestWireReplayableGate(t *testing.T) {
+	path := func(cs ...noc.Coord) []noc.Coord { return cs }
+	entry := func(id, start, end int, in, out []noc.Coord) plan.Entry {
+		return plan.Entry{CoreID: id, Start: start, End: end, PathIn: in, PathOut: out}
+	}
+	a := entry(1, 0, 100,
+		path(noc.Coord{X: 0, Y: 0}, noc.Coord{X: 1, Y: 0}),
+		path(noc.Coord{X: 1, Y: 0}, noc.Coord{X: 2, Y: 0}))
+	disjoint := entry(2, 50, 150,
+		path(noc.Coord{X: 0, Y: 2}, noc.Coord{X: 1, Y: 2}),
+		path(noc.Coord{X: 1, Y: 2}, noc.Coord{X: 2, Y: 2}))
+	sharedSrc := entry(3, 50, 150,
+		path(noc.Coord{X: 0, Y: 0}, noc.Coord{X: 0, Y: 1}),
+		path(noc.Coord{X: 0, Y: 1}, noc.Coord{X: 0, Y: 2}))
+	later := entry(4, 100, 200,
+		path(noc.Coord{X: 0, Y: 0}, noc.Coord{X: 1, Y: 0}),
+		path(noc.Coord{X: 1, Y: 0}, noc.Coord{X: 2, Y: 0}))
+
+	if !wireReplayable(&plan.Plan{Entries: []plan.Entry{a, disjoint}}) {
+		t.Error("endpoint-disjoint concurrent tests reported unreplayable")
+	}
+	if wireReplayable(&plan.Plan{Entries: []plan.Entry{a, sharedSrc}}) {
+		t.Error("concurrent tests sharing a source tile reported replayable")
+	}
+	if !wireReplayable(&plan.Plan{Entries: []plan.Entry{a, later}}) {
+		t.Error("non-overlapping tests sharing tiles reported unreplayable")
+	}
+	selfCross := entry(5, 0, 100,
+		path(noc.Coord{X: 0, Y: 0}, noc.Coord{X: 1, Y: 0}),
+		path(noc.Coord{X: 1, Y: 0}, noc.Coord{X: 0, Y: 0}, noc.Coord{X: 1, Y: 0}, noc.Coord{X: 2, Y: 0}))
+	if wireReplayable(&plan.Plan{Entries: []plan.Entry{selfCross}}) {
+		t.Error("test whose response path re-crosses its stimulus channel reported replayable")
+	}
+}
+
+// TestShrunkCorpusPasses replays every committed reproduction under
+// testdata/shrunk: once a failure is fixed (or was injected, as the
+// committed example's was) its repro must pass all oracles, so the
+// corpus doubles as a regression suite.
+func TestShrunkCorpusPasses(t *testing.T) {
+	dir := filepath.Join("..", "..", "testdata", "shrunk")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("shrunk corpus missing: %v", err)
+	}
+	found := 0
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".soc") {
+			continue
+		}
+		found++
+		t.Run(ent.Name(), func(t *testing.T) {
+			data, err := os.ReadFile(filepath.Join(dir, ent.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc, err := socgen.ParseScenario(string(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := Engine{}.Check(context.Background(), sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Failed() {
+				t.Errorf("committed repro still fails: %+v", rep.Failures)
+			}
+		})
+	}
+	if found == 0 {
+		t.Error("no .soc files in the shrunk corpus")
+	}
+}
