@@ -22,7 +22,8 @@
 // systems, writes the JSON summary (oracle tallies, worst lower-bound
 // gap, embedded-benchmark gap records), shrinks any failing scenario to
 // a minimal reproduction under -shrink-dir, and exits non-zero on any
-// oracle violation.
+// oracle violation. Any mode can be profiled with -cpuprofile and
+// -memprofile, which write pprof files for the whole run.
 package main
 
 import (
@@ -30,6 +31,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -70,6 +73,9 @@ type config struct {
 	sweep     int
 	sweepOut  string
 	shrinkDir string
+
+	cpuProfile string
+	memProfile string
 }
 
 func main() {
@@ -97,6 +103,8 @@ func main() {
 	flag.IntVar(&c.sweep, "sweep", 0, "run the scenario-sweep verification engine over this many generated systems and exit non-zero on any oracle violation")
 	flag.StringVar(&c.sweepOut, "sweep-out", "", "write the sweep's JSON summary to this path instead of stdout")
 	flag.StringVar(&c.shrinkDir, "shrink-dir", "testdata/shrunk", "directory for shrunk failure reproductions (empty: do not shrink)")
+	flag.StringVar(&c.cpuProfile, "cpuprofile", "", "write a pprof CPU profile of the run to this path")
+	flag.StringVar(&c.memProfile, "memprofile", "", "write a pprof heap profile at the end of the run to this path")
 	flag.Parse()
 	// Flags that a mode ignores are reported, not silently dropped.
 	ignoredByBenchJSON := map[string]bool{
@@ -134,7 +142,38 @@ func main() {
 	}
 }
 
+// run dispatches the selected mode, bracketed by the pprof collection
+// the -cpuprofile/-memprofile flags request, so perf work on the engine
+// can attach profiles of exactly the workload under discussion.
 func run(c config) error {
+	if c.cpuProfile != "" {
+		f, err := os.Create(c.cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if c.memProfile != "" {
+		f, err := os.Create(c.memProfile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "noctest: memprofile:", err)
+			}
+			f.Close()
+		}()
+	}
+	return c.dispatch()
+}
+
+func (c config) dispatch() error {
 	ctx := context.Background()
 	if c.timeout > 0 {
 		var cancel context.CancelFunc

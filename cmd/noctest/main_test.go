@@ -208,3 +208,30 @@ func TestRunFlagValidation(t *testing.T) {
 		})
 	}
 }
+
+// TestRunProfiles drives -cpuprofile/-memprofile around a portfolio run
+// and checks both pprof files land non-empty, so future perf PRs can
+// attach evidence without re-plumbing the collection.
+func TestRunProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	_, err := capture(t, func() error {
+		return run(config{bench: "d695", cpu: "leon", procs: 6, reuse: -1,
+			variant: "greedy", priority: "processors-first", app: "bist",
+			bist: 1, format: "summary", width: 80,
+			portfolio: true, seed: 3, cpuProfile: cpu, memProfile: mem})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("profile %s is empty", path)
+		}
+	}
+}

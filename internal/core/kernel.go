@@ -1,0 +1,216 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"noctest/internal/noc"
+	"noctest/internal/power"
+)
+
+// Evaluator is the incremental search kernel: it scores a stream of
+// related core orders against one model, replaying only the suffix
+// that differs from the previously evaluated order. After every
+// placement it checkpoints the pass state — interface frontiers, the
+// power profile, the running makespan — and journals the committed link
+// reservations, so rewinding to position k costs one checkpoint copy
+// plus popping the journalled links (the link timelines themselves are
+// epoch-tagged and never rebuilt). A neighbourhood search whose moves
+// touch position k onward therefore pays only for positions >= k,
+// instead of the whole order that Model.Makespan replays.
+//
+// Evaluate also takes an incumbent bound and aborts a pass the moment
+// its partial makespan exceeds it (see MakespanBounded for why that is
+// sound). An aborted or failed pass leaves the kernel holding the
+// evaluated prefix, which the next Evaluate reuses like any other.
+//
+// The kernel produces exactly the makespans of the full-replay path:
+// internal/verify's incremental-replay oracle cross-checks the two on
+// every sweep scenario. An Evaluator owns pooled scratch state and is
+// not safe for concurrent use; each search chain creates its own and
+// must Close it to return the scratch to the model's pool.
+type Evaluator struct {
+	m *Model
+	v Variant
+	s *scratch
+
+	// ref is the last evaluated order; its first valid positions are
+	// committed in the scratch, with cps[0..valid] current and log[i]
+	// journalling the links position i reserved.
+	ref   []int
+	valid int
+	cps   []checkpoint
+	log   [][]noc.LinkID
+
+	// seen/seenGen validate each order as a permutation in O(n) without
+	// clearing between calls.
+	seen    []int
+	seenGen int
+}
+
+// checkpoint is the pass state before placing one position.
+type checkpoint struct {
+	makespan  int
+	free      []int
+	activated []int
+	active    []bool
+	profile   power.ProfileSnapshot
+}
+
+// NewEvaluator returns an incremental evaluator for one interface-choice
+// rule, holding a scratch from the model's pool until Close.
+func (m *Model) NewEvaluator(v Variant) *Evaluator {
+	e := &Evaluator{
+		m:    m,
+		v:    v,
+		s:    m.pool.Get().(*scratch),
+		ref:  make([]int, 0, len(m.cores)),
+		cps:  make([]checkpoint, len(m.cores)+1),
+		log:  make([][]noc.LinkID, len(m.cores)),
+		seen: make([]int, len(m.cores)),
+	}
+	e.s.reset(m)
+	e.capture(&e.cps[0], 0)
+	return e
+}
+
+// Close returns the evaluator's scratch to the model's pool. The
+// evaluator must not be used afterwards.
+func (e *Evaluator) Close() {
+	if e.s != nil {
+		e.m.pool.Put(e.s)
+		e.s = nil
+	}
+}
+
+// capture snapshots the scratch into cp, reusing cp's backing arrays.
+func (e *Evaluator) capture(cp *checkpoint, makespan int) {
+	cp.makespan = makespan
+	cp.free = append(cp.free[:0], e.s.free...)
+	cp.activated = append(cp.activated[:0], e.s.activated...)
+	cp.active = append(cp.active[:0], e.s.active...)
+	e.s.profile.Snapshot(&cp.profile)
+}
+
+// rewind restores the scratch to the checkpoint before position k:
+// the journalled link reservations of positions k..valid-1 are popped
+// (O(links undone)), then the interface frontiers and power profile are
+// copied back from cps[k].
+func (e *Evaluator) rewind(k int) int {
+	for i := e.valid - 1; i >= k; i-- {
+		for _, id := range e.log[i] {
+			e.s.lines.Pop(id)
+		}
+	}
+	cp := &e.cps[k]
+	copy(e.s.free, cp.free)
+	copy(e.s.activated, cp.activated)
+	copy(e.s.active, cp.active)
+	e.s.profile.Restore(&cp.profile)
+	e.valid = k
+	return cp.makespan
+}
+
+// divergence returns the first position where order differs from the
+// committed prefix of the reference order.
+func (e *Evaluator) divergence(order []int) int {
+	k := 0
+	for k < e.valid && order[k] == e.ref[k] {
+		k++
+	}
+	return k
+}
+
+// checkPermutation rejects orders run would reject, up front: wrong
+// length, out-of-range indices, repeats.
+func (e *Evaluator) checkPermutation(order []int) error {
+	if len(order) != len(e.m.cores) {
+		return fmt.Errorf("core: explicit order covers %d of %d cores", len(order), len(e.m.cores))
+	}
+	e.seenGen++
+	for _, ci := range order {
+		if ci < 0 || ci >= len(e.m.cores) {
+			return fmt.Errorf("core: order names core index %d outside [0,%d)", ci, len(e.m.cores))
+		}
+		if e.seen[ci] == e.seenGen {
+			return fmt.Errorf("core: order repeats core %d", e.m.cores[ci].Core.ID)
+		}
+		e.seen[ci] = e.seenGen
+	}
+	return nil
+}
+
+// Evaluate scores order under the evaluator's variant rule and returns
+// its makespan, replaying only the positions at or after the first
+// difference from the previously evaluated order. The pass aborts with
+// pruned=true as soon as the partial makespan exceeds bound; the value
+// returned is then the makespan right after the first placement that
+// crossed the bound — exactly what the full-replay path reports, even
+// when that placement sits inside the reused prefix (the checkpoints'
+// makespans are monotone in position, so the crossing is found without
+// replaying anything). A non-positive bound disables pruning. On error
+// the prefix evaluated so far is retained, so infeasible neighbours
+// cost only their divergent suffix too.
+func (e *Evaluator) Evaluate(ctx context.Context, order []int, bound int) (ms int, pruned bool, err error) {
+	if err := e.checkPermutation(order); err != nil {
+		return 0, false, err
+	}
+	if bound <= 0 {
+		bound = noBound
+	}
+	k := e.divergence(order)
+	e.m.stats.orders.Add(1)
+	e.m.stats.recordLocality(k, len(order))
+	e.m.stats.replayed.Add(uint64(k))
+	makespan := e.rewind(k)
+
+	if makespan > bound {
+		// The reused prefix alone exceeds the bound: report the partial
+		// makespan at the first crossing, as a full replay would.
+		lo, hi := 1, k
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if e.cps[mid].makespan > bound {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		e.commitPrefix(order, k)
+		e.m.stats.pruned.Add(1)
+		return e.cps[lo].makespan, true, nil
+	}
+
+	for i := k; i < len(order); i++ {
+		if err := ctx.Err(); err != nil {
+			e.commitPrefix(order, i)
+			return 0, false, err
+		}
+		end, c, err := e.m.place(e.s, e.v, order[i], nil)
+		if err != nil {
+			e.commitPrefix(order, i)
+			return 0, false, err
+		}
+		e.log[i] = c.links
+		if end > makespan {
+			makespan = end
+		}
+		e.capture(&e.cps[i+1], makespan)
+		if makespan > bound {
+			e.commitPrefix(order, i+1)
+			e.m.stats.pruned.Add(1)
+			e.m.stats.placed.Add(uint64(i + 1 - k))
+			return makespan, true, nil
+		}
+	}
+	e.commitPrefix(order, len(order))
+	e.m.stats.placed.Add(uint64(len(order) - k))
+	return makespan, false, nil
+}
+
+// commitPrefix records that the first n positions of order are now the
+// committed state of the scratch.
+func (e *Evaluator) commitPrefix(order []int, n int) {
+	e.ref = append(e.ref[:0], order...)
+	e.valid = n
+}

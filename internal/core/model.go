@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"noctest/internal/noc"
 	"noctest/internal/plan"
@@ -26,9 +27,12 @@ import (
 // pattern counts and per-pattern cycles, transport power draw, wrapper
 // shift times and power feasibility — into flat candidate tables. A
 // pass then only replays an order against cheap per-pass scratch state
-// (dense link timelines indexed by noc.LinkID and a resettable
+// (epoch-tagged link timelines indexed by noc.LinkID and a resettable
 // power.Profile), drawn from an internal pool, so search strategies can
 // evaluate thousands of orders per second on shared read-only data.
+// Neighbourhood searches go further through NewEvaluator, the
+// incremental kernel that checkpoints a pass per position and replays
+// only the order suffix a move actually changed.
 //
 // A Model is safe for concurrent use: every public method may be called
 // from multiple goroutines at once. Slices returned by Order are shared
@@ -58,7 +62,74 @@ type Model struct {
 	exclusive bool
 	numLinks  int
 
-	pool sync.Pool
+	pool  sync.Pool
+	stats searchCounters
+}
+
+// searchCounters aggregates search-throughput telemetry across every
+// pass replayed against one model, from any goroutine. The counters are
+// observational only — they never influence scheduling decisions — so
+// their cross-worker interleaving cannot perturb deterministic results.
+type searchCounters struct {
+	orders   atomic.Uint64
+	pruned   atomic.Uint64
+	placed   atomic.Uint64
+	replayed atomic.Uint64
+	locality [localityBuckets]atomic.Uint64
+}
+
+// localityBuckets is the resolution of the move-locality histogram: one
+// bucket per decile of the order a pass replays from.
+const localityBuckets = 10
+
+// recordLocality buckets one evaluation by the fraction of the order it
+// could skip: start is the first position actually replayed (0 for a
+// cold full replay), n the order length.
+func (c *searchCounters) recordLocality(start, n int) {
+	b := 0
+	if n > 0 {
+		b = start * localityBuckets / n
+		if b >= localityBuckets {
+			b = localityBuckets - 1
+		}
+	}
+	c.locality[b].Add(1)
+}
+
+// SearchStats is a snapshot of a model's cumulative search telemetry.
+type SearchStats struct {
+	// Orders counts evaluation passes started (full replays and
+	// incremental evaluations alike, pruned or not).
+	Orders uint64
+	// Pruned counts passes aborted early by an incumbent bound.
+	Pruned uint64
+	// Placed counts core placements actually evaluated.
+	Placed uint64
+	// Replayed counts core placements restored from checkpoints instead
+	// of being re-evaluated — the work the incremental kernel avoided.
+	Replayed uint64
+	// Locality is the move-locality histogram: Locality[d] counts the
+	// evaluations whose replay started in decile d of the order, so
+	// bucket 0 holds cold full replays and bucket 9 the most local
+	// suffix moves.
+	Locality [localityBuckets]uint64
+}
+
+// SearchStats returns a snapshot of the model's cumulative search
+// telemetry. Counters only ever grow; diff two snapshots to meter one
+// run. The buckets are read individually, so a snapshot taken while
+// passes are in flight is approximate.
+func (m *Model) SearchStats() SearchStats {
+	st := SearchStats{
+		Orders:   m.stats.orders.Load(),
+		Pruned:   m.stats.pruned.Load(),
+		Placed:   m.stats.placed.Load(),
+		Replayed: m.stats.replayed.Load(),
+	}
+	for i := range st.Locality {
+		st.Locality[i] = m.stats.locality[i].Load()
+	}
+	return st
 }
 
 // ifaceModel is the immutable record of one test interface.
@@ -95,20 +166,18 @@ type cand struct {
 // scenarios apart from engine bugs.
 var ErrUnschedulable = errors.New("no feasible interface")
 
-// span is a half-open busy interval on a link.
-type span struct{ start, end int }
-
 // scratch is the per-pass mutable state replayed against a Model. It is
 // pooled and reset between passes so a search allocates nothing per
-// order beyond the plan it finally keeps.
+// order beyond the plan it finally keeps. Reset cost is independent of
+// mesh size: the link timelines are epoch-tagged (noc.Timelines), so a
+// pass over a large mesh leaves nothing to clear.
 type scratch struct {
 	gen       int
 	placedGen []int
 	free      []int
 	activated []int
 	active    []bool
-	linkBusy  [][]span
-	touched   []noc.LinkID
+	lines     *noc.Timelines
 	profile   *power.Profile
 }
 
@@ -425,13 +494,15 @@ func (m *Model) newScratch() *scratch {
 		profile:   power.NewProfile(m.limit),
 	}
 	if m.exclusive {
-		s.linkBusy = make([][]span, m.numLinks)
+		s.lines = noc.NewTimelines(m.numLinks)
 	}
 	return s
 }
 
-// reset prepares the scratch for a fresh pass, clearing only the state
-// the previous pass touched.
+// reset prepares the scratch for a fresh pass. The cost is O(interfaces)
+// — never O(mesh) or O(previous pass's work): the link timelines and the
+// placed-core set roll their epochs forward, and the power profile
+// truncates in place.
 func (s *scratch) reset(m *Model) {
 	s.gen++
 	for i, ifx := range m.ifaces {
@@ -439,10 +510,9 @@ func (s *scratch) reset(m *Model) {
 		s.activated[i] = 0
 		s.active[i] = ifx.kind == plan.ATE
 	}
-	for _, id := range s.touched {
-		s.linkBusy[id] = s.linkBusy[id][:0]
+	if s.lines != nil {
+		s.lines.Reset()
 	}
-	s.touched = s.touched[:0]
 	s.profile.Reset(m.limit)
 }
 
@@ -450,14 +520,29 @@ func (s *scratch) reset(m *Model) {
 // interface-choice rule and returns the resulting makespan without
 // materialising a plan — the cheap inner loop of the search strategies.
 func (m *Model) Makespan(ctx context.Context, v Variant, order []int) (int, error) {
-	return m.run(ctx, v, order, nil)
+	ms, _, err := m.run(ctx, v, order, noBound, nil)
+	return ms, err
+}
+
+// MakespanBounded is Makespan with an early-abort incumbent bound: the
+// pass aborts as soon as its partial makespan exceeds bound and reports
+// pruned=true with the partial value. The abort is sound for search
+// pruning because placements only ever extend a schedule — the running
+// makespan is monotone in the number of cores placed — so a partial
+// value above bound proves the full value is too. A non-positive bound
+// disables pruning.
+func (m *Model) MakespanBounded(ctx context.Context, v Variant, order []int, bound int) (ms int, pruned bool, err error) {
+	if bound <= 0 {
+		bound = noBound
+	}
+	return m.run(ctx, v, order, bound, nil)
 }
 
 // Plan replays order against the model and returns the full validated
 // plan. An empty algorithm records "variant/application".
 func (m *Model) Plan(ctx context.Context, v Variant, order []int, algorithm string) (*plan.Plan, error) {
 	entries := make([]plan.Entry, 0, len(m.cores))
-	if _, err := m.run(ctx, v, order, &entries); err != nil {
+	if _, _, err := m.run(ctx, v, order, noBound, &entries); err != nil {
 		return nil, err
 	}
 	if algorithm == "" {
@@ -483,46 +568,61 @@ func (m *Model) Plan(ctx context.Context, v Variant, order []int, algorithm stri
 	return p, nil
 }
 
+// noBound disables early-abort pruning: no makespan reaches it.
+const noBound = int(^uint(0) >> 1)
+
 // run is one scheduling pass: place every core of order, in order, on
 // the best feasible interface under the variant rule. It returns the
 // makespan; when entries is non-nil the committed reservations are
-// appended to it.
-func (m *Model) run(ctx context.Context, v Variant, order []int, entries *[]plan.Entry) (int, error) {
+// appended to it. The pass aborts with pruned=true as soon as the
+// running makespan exceeds bound (sound: the running makespan is
+// monotone in list order, so the full value can only be larger).
+func (m *Model) run(ctx context.Context, v Variant, order []int, bound int, entries *[]plan.Entry) (int, bool, error) {
 	if len(order) != len(m.cores) {
-		return 0, fmt.Errorf("core: explicit order covers %d of %d cores", len(order), len(m.cores))
+		return 0, false, fmt.Errorf("core: explicit order covers %d of %d cores", len(order), len(m.cores))
 	}
 	s := m.pool.Get().(*scratch)
 	defer m.pool.Put(s)
 	s.reset(m)
+	m.stats.orders.Add(1)
+	m.stats.recordLocality(0, len(order))
 
 	makespan := 0
-	for _, ci := range order {
+	for i, ci := range order {
 		if err := ctx.Err(); err != nil {
-			return 0, err
+			return 0, false, err
 		}
 		if ci < 0 || ci >= len(m.cores) {
-			return 0, fmt.Errorf("core: order names core index %d outside [0,%d)", ci, len(m.cores))
+			return 0, false, fmt.Errorf("core: order names core index %d outside [0,%d)", ci, len(m.cores))
 		}
 		if s.placedGen[ci] == s.gen {
-			return 0, fmt.Errorf("core: order repeats core %d", m.cores[ci].Core.ID)
+			return 0, false, fmt.Errorf("core: order repeats core %d", m.cores[ci].Core.ID)
 		}
 		s.placedGen[ci] = s.gen
 
-		end, err := m.place(s, v, ci, entries)
+		end, _, err := m.place(s, v, ci, entries)
 		if err != nil {
-			return 0, err
+			return 0, false, err
 		}
 		if end > makespan {
 			makespan = end
 		}
+		if makespan > bound {
+			m.stats.pruned.Add(1)
+			m.stats.placed.Add(uint64(i + 1))
+			return makespan, true, nil
+		}
 	}
-	return makespan, nil
+	m.stats.placed.Add(uint64(len(order)))
+	return makespan, false, nil
 }
 
 // place commits core ci on the best interface per the variant rule and
-// returns the reservation end. Ties keep the first interface scanned,
-// matching the list scheduler's first-available convention.
-func (m *Model) place(s *scratch, v Variant, ci int, entries *[]plan.Entry) (int, error) {
+// returns the reservation end plus the committed candidate (so the
+// incremental kernel can journal the links to undo). Ties keep the
+// first interface scanned, matching the list scheduler's
+// first-available convention.
+func (m *Model) place(s *scratch, v Variant, ci int, entries *[]plan.Entry) (int, *cand, error) {
 	row := m.cands[ci]
 	bestIface, bestStart, bestKey := -1, 0, 0
 	for ii := range row {
@@ -558,22 +658,18 @@ func (m *Model) place(s *scratch, v Variant, ci int, entries *[]plan.Entry) (int
 	}
 	if bestIface < 0 {
 		pc := m.cores[ci]
-		return 0, fmt.Errorf("core: core %d (%s) cannot be scheduled on any interface (power limit %.1f too tight?): %w",
+		return 0, nil, fmt.Errorf("core: core %d (%s) cannot be scheduled on any interface (power limit %.1f too tight?): %w",
 			pc.Core.ID, pc.Core.Name, m.limit, ErrUnschedulable)
 	}
 
 	c := &row[bestIface]
 	end := bestStart + c.duration
 	for _, id := range c.links {
-		if len(s.linkBusy[id]) == 0 {
-			s.touched = append(s.touched, id)
-		}
-		s.linkBusy[id] = append(s.linkBusy[id], span{bestStart, end})
+		s.lines.Add(id, noc.Span{Start: bestStart, End: end})
 	}
-	if !s.profile.CanAdd(bestStart, end, c.draw) {
+	if !s.profile.TryAdd(bestStart, end, c.draw) {
 		panic(fmt.Sprintf("core: committing feasible placement of core %d failed", m.cores[ci].Core.ID))
 	}
-	s.profile.Add(bestStart, end, c.draw)
 	s.free[bestIface] = end
 	if si := m.selfIface[ci]; si >= 0 {
 		s.active[si] = true
@@ -584,7 +680,7 @@ func (m *Model) place(s *scratch, v Variant, ci int, entries *[]plan.Entry) (int
 		e.Start, e.End = bestStart, end
 		*entries = append(*entries, e)
 	}
-	return end, nil
+	return end, c, nil
 }
 
 // earliestFeasible advances a candidate start time past link and power
@@ -617,10 +713,10 @@ func (s *scratch) earliestFeasible(from int, c *cand) int {
 func (s *scratch) linkConflict(start, end int, links []noc.LinkID) (int, bool) {
 	restart, found := 0, false
 	for _, id := range links {
-		for _, sp := range s.linkBusy[id] {
-			if start < sp.end && sp.start < end {
-				if !found || sp.end > restart {
-					restart = sp.end
+		for _, sp := range s.lines.Spans(id) {
+			if start < sp.End && sp.Start < end {
+				if !found || sp.End > restart {
+					restart = sp.End
 					found = true
 				}
 			}

@@ -77,6 +77,14 @@ func (pf Portfolio) ScheduleBest(ctx context.Context, sys *soc.System, opts Opti
 // plan is returned (interrupted strategies record their context error
 // in Results). An error is returned only when the context ends with no
 // plan in hand or every strategy fails.
+//
+// Before the race starts, the portfolio's deterministic list-rule
+// members are replayed once (makespan only, microseconds each) to seed
+// a shared Incumbent, which every BoundedScheduler in the race consumes
+// for early-abort pruning: the fast greedy results immediately tighten
+// the bound inside every concurrent anneal/restart chain. The incumbent
+// is sealed once the race begins — see Incumbent for why live feeding
+// would trade the engine's determinism contract for nothing.
 func (pf Portfolio) ScheduleModel(ctx context.Context, m *Model) (*PortfolioResult, error) {
 	scheds := pf.Schedulers
 	if len(scheds) == 0 {
@@ -90,6 +98,15 @@ func (pf Portfolio) ScheduleModel(ctx context.Context, m *Model) (*PortfolioResu
 		workers = len(scheds)
 	}
 
+	inc := NewIncumbent()
+	for _, s := range scheds {
+		if ls, ok := s.(ListScheduler); ok {
+			if ms, err := m.Makespan(ctx, ls.Variant, m.Order(ls.Priority)); err == nil {
+				inc.Tighten(ms)
+			}
+		}
+	}
+
 	plans := make([]*plan.Plan, len(scheds))
 	results := make([]VariantResult, len(scheds))
 	jobs := make(chan int)
@@ -100,7 +117,13 @@ func (pf Portfolio) ScheduleModel(ctx context.Context, m *Model) (*PortfolioResu
 			defer wg.Done()
 			for i := range jobs {
 				start := time.Now()
-				p, err := scheds[i].Schedule(ctx, m)
+				var p *plan.Plan
+				var err error
+				if bs, ok := scheds[i].(BoundedScheduler); ok {
+					p, err = bs.ScheduleBounded(ctx, m, inc)
+				} else {
+					p, err = scheds[i].Schedule(ctx, m)
+				}
 				if err == nil {
 					if verr := p.Validate(); verr != nil {
 						err = fmt.Errorf("core: %s produced invalid plan: %w", scheds[i].Name(), verr)

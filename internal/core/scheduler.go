@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"noctest/internal/plan"
 )
@@ -24,6 +25,79 @@ type Scheduler interface {
 	Name() string
 	// Schedule searches m and returns the best plan found.
 	Schedule(ctx context.Context, m *Model) (*plan.Plan, error)
+}
+
+// Incumbent is the best-makespan bound a portfolio run shares across
+// its workers: one atomic value every search chain reads to abort
+// evaluations that provably cannot matter (see Evaluator and
+// MakespanBounded for the abort mechanics).
+//
+// The portfolio seeds the incumbent from its deterministic list-rule
+// members before the concurrent race starts, and the value is left
+// untouched during the race. That sealing is deliberate: per-strategy
+// results are part of the engine's determinism contract (fixed seed =>
+// identical results regardless of worker count or interleaving), and a
+// live cross-worker feed would make each strategy's pruning — hence its
+// reported plan — depend on which sibling finished first.
+//
+// How a consumer may use the bound differs by search. Restart pruning
+// is lossless for the portfolio outcome: a restart is only aborted
+// once it provably cannot strictly beat a plan the portfolio already
+// holds, and ties lose to the earlier strategy anyway. The annealer
+// instead folds the incumbent into its acceptance rule — a deliberate,
+// deterministic narrowing of its uphill exploration, gated by the
+// no-regression records in BENCH_schedule.json rather than claimed to
+// be outcome-neutral. In both cases "aborted" must coincide exactly
+// with "the fully computed makespan would have been discarded", which
+// is what the bound-soundness property test asserts.
+type Incumbent struct {
+	best atomic.Int64
+}
+
+// NewIncumbent returns an incumbent holding no bound yet.
+func NewIncumbent() *Incumbent {
+	inc := &Incumbent{}
+	inc.best.Store(int64(noBound))
+	return inc
+}
+
+// Bound returns the current bound. A nil incumbent is a valid empty
+// bound, so single-strategy callers can pass nil.
+func (inc *Incumbent) Bound() int {
+	if inc == nil {
+		return noBound
+	}
+	return int(inc.best.Load())
+}
+
+// Tighten lowers the bound to ms if it improves it, reporting whether
+// it did. Tighten on a nil incumbent reports false.
+func (inc *Incumbent) Tighten(ms int) bool {
+	if inc == nil {
+		return false
+	}
+	for {
+		cur := inc.best.Load()
+		if int64(ms) >= cur {
+			return false
+		}
+		if inc.best.CompareAndSwap(cur, int64(ms)) {
+			return true
+		}
+	}
+}
+
+// BoundedScheduler is a Scheduler that can additionally prune its
+// search with a shared incumbent bound. Portfolio runs prefer this
+// entry point; Schedule must behave exactly like ScheduleBounded with
+// an empty incumbent.
+type BoundedScheduler interface {
+	Scheduler
+	// ScheduleBounded searches m, aborting evaluations that the
+	// incumbent proves irrelevant. It must return the same plan for a
+	// fixed (model, seed, incumbent-at-entry) regardless of goroutine
+	// interleaving.
+	ScheduleBounded(ctx context.Context, m *Model, inc *Incumbent) (*plan.Plan, error)
 }
 
 // ListScheduler is the deterministic single-pass list scheduler the
@@ -46,28 +120,49 @@ func (l ListScheduler) Schedule(ctx context.Context, m *Model) (*plan.Plan, erro
 	return m.Plan(ctx, l.Variant, m.Order(l.Priority), algorithm)
 }
 
+// searchEval scores one order for a search chain: through the
+// incremental kernel normally, or through the full-replay path when
+// fullReplay is set — the differential-oracle arm, which makes
+// identical accept/prune decisions from a fully computed makespan so
+// tests can prove early abort never changes a search's outcome.
+func searchEval(ctx context.Context, m *Model, ev *Evaluator, fullReplay bool, v Variant, order []int, bound int) (int, bool, error) {
+	if !fullReplay {
+		return ev.Evaluate(ctx, order, bound)
+	}
+	ms, err := m.Makespan(ctx, v, order)
+	if err != nil {
+		return 0, false, err
+	}
+	return ms, bound > 0 && ms > bound, nil
+}
+
 // RandomRestartScheduler is a multi-start randomized-priority search:
 // it schedules the default priority order first, then a fixed number of
 // random core orders — half fresh permutations, half local
 // perturbations of the default order — and keeps the best plan. The
-// search is deterministic for a fixed seed. Each restart is one cheap
-// replay of the shared model; only the winning order is rebuilt into a
-// full plan.
+// search is deterministic for a fixed seed. Each restart is one replay
+// through the incremental kernel, pruned against the tighter of the
+// search's own best and the portfolio incumbent; only the winning order
+// is rebuilt into a full plan.
 type RandomRestartScheduler struct {
 	// Variant is the interface-choice rule applied to every restart.
 	Variant Variant
 	// Seed drives the permutation stream.
 	Seed int64
-	// Restarts is the number of random orders tried; zero selects 64.
-	// (The pre-model engine defaulted to 16; compiled replays are cheap
-	// enough to quadruple the default budget. The first 16 restarts of
-	// a seed reproduce the old stream exactly, so raising the default
-	// never worsens a fixed-seed result.)
+	// Restarts is the number of random orders tried; zero selects 256.
+	// (The pre-kernel engine defaulted to 64; incremental replays with
+	// early abort are cheap enough to quadruple the budget again. The
+	// first restarts of a seed reproduce the old candidate-order stream
+	// exactly, so raising the budget never worsens a fixed-seed result.)
 	Restarts int
+	// FullReplay scores every order with the full-replay path instead
+	// of the incremental kernel, with identical keep/prune decisions.
+	// It exists for the differential tests and costs only speed.
+	FullReplay bool
 }
 
 // DefaultRestarts is the restart budget a zero Restarts selects.
-const DefaultRestarts = 64
+const DefaultRestarts = 256
 
 // Name returns "random-restart(variant,seed=N,restarts=N)".
 func (r RandomRestartScheduler) Name() string {
@@ -81,26 +176,56 @@ func (r RandomRestartScheduler) restarts() int {
 	return r.Restarts
 }
 
-// Schedule runs the multi-start search.
+// Schedule runs the multi-start search without an incumbent.
 func (r RandomRestartScheduler) Schedule(ctx context.Context, m *Model) (*plan.Plan, error) {
+	return r.ScheduleBounded(ctx, m, nil)
+}
+
+// ScheduleBounded runs the multi-start search. A restart is aborted as
+// soon as it provably cannot strictly improve on the search's own best
+// order, nor on the shared incumbent: a restart pruned at the incumbent
+// could at best tie a plan the portfolio already holds, and ties lose
+// to the earlier strategy anyway, so pruning never changes the
+// portfolio outcome.
+func (r RandomRestartScheduler) ScheduleBounded(ctx context.Context, m *Model, inc *Incumbent) (*plan.Plan, error) {
 	algorithm := r.Name()
+	ev := m.NewEvaluator(r.Variant)
+	defer ev.Close()
 
 	// A list-schedule failure can be order-dependent (e.g. a tight power
 	// ceiling hit from an unlucky permutation), so a failed pass —
 	// including the default-order one — discards that pass only and the
 	// search continues; the first error is reported when no order works.
+	// The first successful pass runs unbounded to establish the local
+	// best; pruning needs a plan to fall back on.
 	base := m.DefaultOrder()
 	bestMs := -1
 	var bestOrder []int
 	var firstErr error
-	if ms, err := m.Makespan(ctx, r.Variant, base); err != nil {
+	bound := func() int {
+		if bestMs < 0 {
+			return noBound
+		}
+		b := bestMs - 1
+		if ib := inc.Bound(); ib < b {
+			b = ib
+		}
+		return b
+	}
+	keep := func(order []int, ms int, pruned bool) {
+		if !pruned && (bestMs < 0 || ms < bestMs) {
+			bestMs = ms
+			bestOrder = append(bestOrder[:0], order...)
+		}
+	}
+
+	if ms, pruned, err := searchEval(ctx, m, ev, r.FullReplay, r.Variant, base, bound()); err != nil {
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
 		firstErr = err
 	} else {
-		bestMs = ms
-		bestOrder = append([]int(nil), base...)
+		keep(base, ms, pruned)
 	}
 
 	rng := rand.New(rand.NewSource(r.Seed))
@@ -112,7 +237,7 @@ func (r RandomRestartScheduler) Schedule(ctx context.Context, m *Model) (*plan.P
 		} else {
 			perturb(order, rng, 1+len(order)/8)
 		}
-		ms, err := m.Makespan(ctx, r.Variant, order)
+		ms, pruned, err := searchEval(ctx, m, ev, r.FullReplay, r.Variant, order, bound())
 		if err != nil {
 			if ctx.Err() != nil {
 				return nil, ctx.Err()
@@ -122,14 +247,14 @@ func (r RandomRestartScheduler) Schedule(ctx context.Context, m *Model) (*plan.P
 			}
 			continue
 		}
-		if bestMs < 0 || ms < bestMs {
-			bestMs = ms
-			bestOrder = append(bestOrder[:0], order...)
-		}
+		keep(order, ms, pruned)
 	}
 	if bestMs < 0 {
 		return nil, firstErr
 	}
+	// Deliberately no inc.Tighten here: the incumbent is sealed during
+	// the race (see Incumbent) — publishing a mid-race improvement would
+	// make sibling searches' pruning depend on finish order.
 	return m.Plan(ctx, r.Variant, bestOrder, algorithm)
 }
 
@@ -143,23 +268,32 @@ func perturb(order []int, rng *rand.Rand, n int) {
 
 // AnnealingScheduler searches the core-order space with seeded
 // simulated annealing: each step swaps two positions of the current
-// order, replays the model, and accepts worse makespans with a
-// probability that decays linearly over the step budget. Deterministic
-// for a fixed seed.
+// order, scores the neighbour through the incremental kernel (only the
+// order suffix from the earlier swapped position is replayed), and
+// accepts worse makespans with a probability that decays linearly over
+// the step budget. The acceptance draw happens before the evaluation,
+// which turns the Metropolis rule into a per-step makespan bound: the
+// evaluation aborts the moment the neighbour exceeds what this step
+// could accept, and an aborted neighbour is exactly a rejected one.
+// Deterministic for a fixed seed.
 type AnnealingScheduler struct {
 	// Variant is the interface-choice rule applied to every evaluation.
 	Variant Variant
 	// Seed drives the move and acceptance streams.
 	Seed int64
-	// Steps is the annealing budget; zero selects 1200. (The pre-model
-	// engine defaulted to 300; DefaultPortfolio keeps one annealer at
-	// the old budget so fixed-seed results never regress, and adds a
-	// second at the new default.)
+	// Steps is the annealing budget; zero selects 4000. (The pre-kernel
+	// engine defaulted to 1200; DefaultPortfolio keeps members at the
+	// smaller budgets alongside the bigger default.)
 	Steps int
+	// FullReplay scores every neighbour with the full-replay path
+	// instead of the incremental kernel, with identical accept/reject
+	// decisions. It exists for the differential tests and costs only
+	// speed.
+	FullReplay bool
 }
 
 // DefaultAnnealingSteps is the step budget a zero Steps selects.
-const DefaultAnnealingSteps = 1200
+const DefaultAnnealingSteps = 4000
 
 // Name returns "anneal(variant,seed=N,steps=N)".
 func (a AnnealingScheduler) Name() string {
@@ -173,23 +307,71 @@ func (a AnnealingScheduler) steps() int {
 	return a.Steps
 }
 
-// Schedule runs the annealing search.
+// annealLocalFraction is the share of annealing moves drawn from the
+// tail window; the remainder are uniform swaps over the whole order.
+const annealLocalFraction = 0.9
+
+// annealTailWindow sizes the local-move window for an order of n cores:
+// swaps inside the last window+1 positions replay only that suffix.
+// Orders too short for a distinct window use uniform moves only.
+func annealTailWindow(n int) int {
+	if n < 3 {
+		return 0
+	}
+	if n-1 < 8 {
+		return n - 1
+	}
+	return 8
+}
+
+// acceptanceBound returns the largest neighbour makespan this step's
+// Metropolis draw accepts: candMs is accepted iff candMs - curMs <
+// -temp*ln(u), so with u drawn before the evaluation the rule collapses
+// to an integer upper bound and "aborted by the bound" coincides
+// exactly with "rejected".
+func acceptanceBound(curMs int, temp, u float64) int {
+	if temp <= 0 {
+		return curMs
+	}
+	allow := -temp * math.Log(u) // u < 1, so allow >= 0; u == 0 allows anything
+	if !(allow < float64(noBound-curMs)) {
+		return noBound
+	}
+	d := int(math.Ceil(allow)) - 1
+	if d < 0 {
+		d = 0
+	}
+	return curMs + d
+}
+
+// Schedule runs the annealing search without an incumbent.
 func (a AnnealingScheduler) Schedule(ctx context.Context, m *Model) (*plan.Plan, error) {
+	return a.ScheduleBounded(ctx, m, nil)
+}
+
+// ScheduleBounded runs the annealing search. The shared incumbent caps
+// each step's acceptance bound (never below the current makespan, so
+// improving moves always evaluate): uphill wandering above the best
+// plan the portfolio already holds is cut off early, deterministically,
+// because the incumbent is sealed before the race starts.
+func (a AnnealingScheduler) ScheduleBounded(ctx context.Context, m *Model, inc *Incumbent) (*plan.Plan, error) {
 	steps := a.steps()
 	algorithm := a.Name()
 	rng := rand.New(rand.NewSource(a.Seed))
+	ev := m.NewEvaluator(a.Variant)
+	defer ev.Close()
 
 	// Start from the default priority order; if that order happens to be
 	// infeasible (order-dependent power failures exist), probe a few
 	// seeded shuffles for a feasible starting point before giving up.
 	order := append([]int(nil), m.DefaultOrder()...)
-	curMs, err := m.Makespan(ctx, a.Variant, order)
+	curMs, _, err := searchEval(ctx, m, ev, a.FullReplay, a.Variant, order, noBound)
 	for probe := 0; err != nil && probe < 8; probe++ {
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-		curMs, err = m.Makespan(ctx, a.Variant, order)
+		curMs, _, err = searchEval(ctx, m, ev, a.FullReplay, a.Variant, order, noBound)
 	}
 	if err != nil {
 		if ctx.Err() != nil {
@@ -202,17 +384,44 @@ func (a AnnealingScheduler) Schedule(ctx context.Context, m *Model) (*plan.Plan,
 	if len(order) < 2 {
 		return m.Plan(ctx, a.Variant, bestOrder, algorithm)
 	}
+	n := len(order)
+	window := annealTailWindow(n)
 	t0 := 0.05 * float64(curMs)
 	for step := 0; step < steps; step++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		i, j := rng.Intn(len(order)), rng.Intn(len(order))
-		if i == j {
-			continue
+		// Move kernel, tuned for the incremental kernel's cost model: a
+		// neighbour costs only the replay from its earlier swapped
+		// position, so most steps swap inside a small tail window (the
+		// cheap, local moves) and the rest swap uniformly for
+		// ergodicity. The move-locality histogram in the bench
+		// trajectory records the resulting replay depths.
+		var i, j int
+		if window > 0 && rng.Float64() < annealLocalFraction {
+			w := 2 + rng.Intn(window)
+			i = n - w
+			j = i + 1 + rng.Intn(w-1)
+		} else {
+			i, j = rng.Intn(n), rng.Intn(n)
+			if i == j {
+				continue
+			}
+		}
+		temp := t0 * float64(steps-step) / float64(steps)
+		bound := acceptanceBound(curMs, temp, rng.Float64())
+		// Cap uphill exploration at the portfolio incumbent: a chain
+		// wandering above the best plan already in hand is spending its
+		// budget where no improvement can come from. Improving moves are
+		// never cut: the cap stays at or above curMs.
+		if ib := inc.Bound(); ib < bound {
+			if ib < curMs {
+				ib = curMs
+			}
+			bound = ib
 		}
 		order[i], order[j] = order[j], order[i]
-		candMs, err := m.Makespan(ctx, a.Variant, order)
+		candMs, pruned, err := searchEval(ctx, m, ev, a.FullReplay, a.Variant, order, bound)
 		if err != nil {
 			if ctx.Err() != nil {
 				return nil, ctx.Err()
@@ -220,18 +429,18 @@ func (a AnnealingScheduler) Schedule(ctx context.Context, m *Model) (*plan.Plan,
 			order[i], order[j] = order[j], order[i] // infeasible move, undo
 			continue
 		}
-		delta := float64(candMs - curMs)
-		temp := t0 * float64(steps-step) / float64(steps)
-		if delta <= 0 || (temp > 0 && rng.Float64() < math.Exp(-delta/temp)) {
-			curMs = candMs
-			if curMs < bestMs {
-				bestMs = curMs
-				bestOrder = append(bestOrder[:0], order...)
-			}
-		} else {
+		if pruned {
 			order[i], order[j] = order[j], order[i] // rejected, undo
+			continue
+		}
+		curMs = candMs
+		if curMs < bestMs {
+			bestMs = curMs
+			bestOrder = append(bestOrder[:0], order...)
 		}
 	}
+	// No inc.Tighten: the incumbent is sealed during the race (see
+	// Incumbent and the matching note in RandomRestartScheduler).
 	return m.Plan(ctx, a.Variant, bestOrder, algorithm)
 }
 
@@ -240,10 +449,9 @@ func (a AnnealingScheduler) Schedule(ctx context.Context, m *Model) (*plan.Plan,
 // benchmark plus the seeded searches. The paper's own rule
 // (greedy/processors-first) and its lookahead repair are always
 // included, so the portfolio result is never worse than either. The
-// search members are a strict superset of the pre-model portfolio for
-// any fixed seed — the restart stream extends the old one and the
-// 300-step annealer is kept alongside the bigger default — so raising
-// the budgets can only improve a fixed-seed result.
+// annealers are staged across budgets (and seeds): short chains
+// converge fast and cover more basins, the long chain spends the
+// throughput the incremental kernel recovered.
 func DefaultPortfolio(seed int64) []Scheduler {
 	return []Scheduler{
 		ListScheduler{GreedyFirstAvailable, ProcessorsFirst},
@@ -255,6 +463,7 @@ func DefaultPortfolio(seed int64) []Scheduler {
 		ListScheduler{LookaheadFastestFinish, DistanceOnly},
 		RandomRestartScheduler{Variant: LookaheadFastestFinish, Seed: seed},
 		AnnealingScheduler{Variant: LookaheadFastestFinish, Seed: seed + 1, Steps: 300},
-		AnnealingScheduler{Variant: LookaheadFastestFinish, Seed: seed + 2},
+		AnnealingScheduler{Variant: LookaheadFastestFinish, Seed: seed + 2, Steps: 1200},
+		AnnealingScheduler{Variant: LookaheadFastestFinish, Seed: seed + 3},
 	}
 }

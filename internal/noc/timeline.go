@@ -1,0 +1,71 @@
+package noc
+
+// Span is a half-open busy interval [Start, End) on a directed link.
+type Span struct{ Start, End int }
+
+// Timelines is the dense per-link reservation state of one scheduling
+// pass: one ordered-by-insertion span list per LinkID. It is built for
+// pooled reuse in hot search loops, so both lifecycle operations are
+// cheap regardless of mesh size:
+//
+//   - Reset is O(1): every link carries an epoch tag, and a tag behind
+//     the current epoch makes the link's recorded spans read as empty.
+//     Nothing is cleared eagerly; a stale list is truncated lazily the
+//     next time the link is written.
+//   - Pop undoes the most recent Add on a link, which lets a search
+//     kernel rewind a pass to an earlier prefix in O(spans removed).
+//
+// Timelines are not safe for concurrent use; give each worker its own.
+type Timelines struct {
+	epoch int
+	// epochs[id] is the epoch that last wrote link id; older entries
+	// mean spans[id] belongs to a dead pass and reads as empty.
+	epochs []int
+	spans  [][]Span
+}
+
+// NewTimelines returns empty timelines for the given number of links.
+func NewTimelines(links int) *Timelines {
+	return &Timelines{
+		epoch:  1,
+		epochs: make([]int, links),
+		spans:  make([][]Span, links),
+	}
+}
+
+// Links returns the number of links the timelines cover.
+func (t *Timelines) Links() int { return len(t.spans) }
+
+// Reset empties every link in O(1) by advancing the epoch.
+func (t *Timelines) Reset() { t.epoch++ }
+
+// Spans returns the live span list of one link, nil when the link is
+// empty this epoch. The slice aliases internal state: it is valid until
+// the next Add, Pop or Reset and must not be mutated.
+func (t *Timelines) Spans(id LinkID) []Span {
+	if t.epochs[id] != t.epoch {
+		return nil
+	}
+	return t.spans[id]
+}
+
+// Add appends a reservation to one link, lazily truncating state left
+// over from earlier epochs.
+func (t *Timelines) Add(id LinkID, s Span) {
+	if t.epochs[id] != t.epoch {
+		t.epochs[id] = t.epoch
+		t.spans[id] = t.spans[id][:0]
+	}
+	t.spans[id] = append(t.spans[id], s)
+}
+
+// Pop removes the most recent reservation of the current epoch from one
+// link. Popping an empty link panics: the caller's undo log claimed a
+// reservation that was never made, which is a kernel bookkeeping bug
+// that must not be absorbed silently.
+func (t *Timelines) Pop(id LinkID) {
+	if t.epochs[id] != t.epoch || len(t.spans[id]) == 0 {
+		panic("noc: Pop on link with no reservation this epoch")
+	}
+	t.spans[id] = t.spans[id][:len(t.spans[id])-1]
+}

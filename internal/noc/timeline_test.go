@@ -1,0 +1,73 @@
+package noc
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestTimelinesEpochReset checks the O(1) reset contract: after Reset,
+// every link reads empty without any per-link clearing, and a stale
+// span list is truncated lazily on the next write.
+func TestTimelinesEpochReset(t *testing.T) {
+	tl := NewTimelines(4)
+	tl.Add(2, Span{10, 20})
+	tl.Add(2, Span{30, 40})
+	tl.Add(3, Span{5, 6})
+	if got := tl.Spans(2); len(got) != 2 {
+		t.Fatalf("link 2 has %d spans, want 2", len(got))
+	}
+
+	tl.Reset()
+	for id := 0; id < tl.Links(); id++ {
+		if got := tl.Spans(LinkID(id)); got != nil {
+			t.Fatalf("after reset link %d still reads %v", id, got)
+		}
+	}
+
+	tl.Add(2, Span{1, 2})
+	if got := tl.Spans(2); !reflect.DeepEqual(got, []Span{{1, 2}}) {
+		t.Fatalf("stale spans leaked through the epoch: %v", got)
+	}
+	if got := tl.Spans(3); got != nil {
+		t.Fatalf("untouched link 3 reads stale spans %v", got)
+	}
+}
+
+// TestTimelinesPop checks the undo path the incremental kernel uses:
+// pops remove the most recent reservation only, and popping beyond what
+// the current epoch added panics instead of resurrecting stale state.
+func TestTimelinesPop(t *testing.T) {
+	tl := NewTimelines(2)
+	tl.Add(0, Span{1, 2})
+	tl.Add(0, Span{3, 4})
+	tl.Pop(0)
+	if got := tl.Spans(0); !reflect.DeepEqual(got, []Span{{1, 2}}) {
+		t.Fatalf("after pop link 0 reads %v", got)
+	}
+	tl.Pop(0)
+	if got := tl.Spans(0); len(got) != 0 {
+		t.Fatalf("after popping everything link 0 reads %v", got)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("pop on an empty link did not panic")
+		}
+	}()
+	tl.Pop(0)
+}
+
+// TestTimelinesPopAcrossEpochs checks that reservations from a dead
+// epoch are not poppable: the undo journal of one pass must never reach
+// into a previous pass's state.
+func TestTimelinesPopAcrossEpochs(t *testing.T) {
+	tl := NewTimelines(1)
+	tl.Add(0, Span{1, 2})
+	tl.Reset()
+	defer func() {
+		if recover() == nil {
+			t.Error("pop across epochs did not panic")
+		}
+	}()
+	tl.Pop(0)
+}

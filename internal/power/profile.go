@@ -99,6 +99,30 @@ func (p *Profile) Add(start, end int, amount float64) {
 	}
 }
 
+// TryAdd reserves amount over [start, end) iff the reservation keeps
+// the profile at or below the ceiling, reporting whether it did. It is
+// CanAdd and Add fused into one pass over the window's segments, for
+// hot scheduling loops that commit exactly what they just probed.
+func (p *Profile) TryAdd(start, end int, amount float64) bool {
+	if amount < 0 || end <= start {
+		return false
+	}
+	p.ensureBoundary(start)
+	p.ensureBoundary(end)
+	i := p.segmentBefore(start)
+	if p.limit != Unlimited {
+		for j := i; j < len(p.times) && p.times[j] < end; j++ {
+			if p.loads[j]+amount > p.limit+1e-9 {
+				return false
+			}
+		}
+	}
+	for ; i < len(p.times) && p.times[i] < end; i++ {
+		p.loads[i] += amount
+	}
+	return true
+}
+
 // ensureBoundary splits the segment containing t so a boundary starts
 // exactly at t.
 func (p *Profile) ensureBoundary(t int) {
@@ -116,6 +140,35 @@ func (p *Profile) ensureBoundary(t int) {
 	copy(p.loads[i+2:], p.loads[i+1:])
 	p.times[i+1] = t
 	p.loads[i+1] = load
+}
+
+// ProfileSnapshot is a saved Profile state. Snapshots are plain value
+// containers: the search kernel keeps one per order position so a
+// scheduling pass can rewind its power state to any prefix without
+// replaying the reservations. The zero value is an empty snapshot.
+type ProfileSnapshot struct {
+	limit float64
+	times []int
+	loads []float64
+}
+
+// Snapshot copies the profile's current state into snap, reusing snap's
+// backing arrays when they are large enough, so checkpoint streams
+// allocate only while they grow.
+func (p *Profile) Snapshot(snap *ProfileSnapshot) {
+	snap.limit = p.limit
+	snap.times = append(snap.times[:0], p.times...)
+	snap.loads = append(snap.loads[:0], p.loads...)
+}
+
+// Restore rewinds the profile to a previously captured snapshot,
+// reusing the profile's backing arrays. Restoring costs one copy of the
+// snapshot's segments — independent of how many reservations were added
+// after the snapshot was taken.
+func (p *Profile) Restore(snap *ProfileSnapshot) {
+	p.limit = snap.limit
+	p.times = append(p.times[:0], snap.times...)
+	p.loads = append(p.loads[:0], snap.loads...)
 }
 
 // NextBoundaryAfter returns the first segment boundary strictly after

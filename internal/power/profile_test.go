@@ -138,3 +138,110 @@ func TestProfileDegenerateWindows(t *testing.T) {
 		t.Error("empty Add created a boundary")
 	}
 }
+
+// TestProfileSnapshotRestore drives a random reservation stream with
+// interleaved snapshots and rewinds, checking a restored profile
+// answers every query exactly like a reference profile that never saw
+// the rolled-back reservations.
+func TestProfileSnapshotRestore(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		limit := 0.0
+		if trial%2 == 0 {
+			limit = 80 + 100*rng.Float64()
+		}
+		profile := NewProfile(limit)
+		reference := NewProfile(limit)
+		var snap ProfileSnapshot
+
+		// Phase 1: shared history, then snapshot.
+		for step := 0; step < 20; step++ {
+			start := rng.Intn(150)
+			end := start + 1 + rng.Intn(40)
+			amount := 5 + 15*rng.Float64()
+			if profile.CanAdd(start, end, amount) {
+				profile.Add(start, end, amount)
+				reference.Add(start, end, amount)
+			}
+		}
+		profile.Snapshot(&snap)
+
+		// Phase 2: divergent reservations on the live profile only.
+		for step := 0; step < 20; step++ {
+			start := rng.Intn(150)
+			end := start + 1 + rng.Intn(40)
+			if amount := 5 + 15*rng.Float64(); profile.CanAdd(start, end, amount) {
+				profile.Add(start, end, amount)
+			}
+		}
+		profile.Restore(&snap)
+
+		for q := 0; q < 40; q++ {
+			qs := rng.Intn(220)
+			qe := qs + rng.Intn(60)
+			got, want := profile.PeakIn(qs, qe), reference.PeakIn(qs, qe)
+			if got != want {
+				t.Fatalf("trial %d: PeakIn(%d,%d) after restore = %g, reference %g", trial, qs, qe, got, want)
+			}
+			amount := 5 + 15*rng.Float64()
+			if g, w := profile.CanAdd(qs, qe, amount), reference.CanAdd(qs, qe, amount); g != w {
+				t.Fatalf("trial %d: CanAdd(%d,%d,%g) after restore = %v, reference %v", trial, qs, qe, amount, g, w)
+			}
+		}
+	}
+}
+
+// TestProfileSnapshotReuse checks a snapshot container is reusable
+// across captures without leaking earlier state.
+func TestProfileSnapshotReuse(t *testing.T) {
+	p := NewProfile(100)
+	var snap ProfileSnapshot
+	p.Add(0, 10, 60)
+	p.Snapshot(&snap)
+	p.Reset(100)
+	p.Add(5, 8, 30)
+	p.Snapshot(&snap) // recapture over the old contents
+	p.Add(5, 8, 50)
+	p.Restore(&snap)
+	if got := p.PeakIn(0, 20); got != 30 {
+		t.Fatalf("restored peak %g, want 30 (second capture only)", got)
+	}
+}
+
+// TestProfileTryAdd checks the fused probe-and-commit agrees with the
+// separate CanAdd/Add pair on a random stream, mutating only on
+// success.
+func TestProfileTryAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		limit := 0.0
+		if trial%2 == 0 {
+			limit = 60 + 80*rng.Float64()
+		}
+		fused := NewProfile(limit)
+		split := NewProfile(limit)
+		for step := 0; step < 80; step++ {
+			start := rng.Intn(150)
+			end := start + 1 + rng.Intn(40)
+			amount := 5 + 25*rng.Float64()
+			want := split.CanAdd(start, end, amount)
+			if want {
+				split.Add(start, end, amount)
+			}
+			if got := fused.TryAdd(start, end, amount); got != want {
+				t.Fatalf("trial %d step %d: TryAdd(%d,%d,%g) = %v, CanAdd %v", trial, step, start, end, amount, got, want)
+			}
+			qs := rng.Intn(200)
+			qe := qs + rng.Intn(50)
+			if g, w := fused.PeakIn(qs, qe), split.PeakIn(qs, qe); g != w {
+				t.Fatalf("trial %d step %d: peaks diverge after TryAdd: %g vs %g", trial, step, g, w)
+			}
+		}
+	}
+	if NewProfile(10).TryAdd(5, 5, 1) {
+		t.Error("TryAdd accepted an empty window")
+	}
+	if NewProfile(10).TryAdd(0, 1, -1) {
+		t.Error("TryAdd accepted a negative amount")
+	}
+}

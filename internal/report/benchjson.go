@@ -28,6 +28,18 @@ type ScheduleBenchRecord struct {
 	NsPerScheduleBest int64 `json:"ns_per_schedule_best"`
 	// Runs is the number of timed calls averaged into NsPerScheduleBest.
 	Runs int `json:"runs"`
+	// OrdersPerSecond is the engine's search throughput: core orders
+	// evaluated per second of portfolio wall time, over the timed runs.
+	// Early-aborted evaluations count — an aborted order is a scored
+	// order — so the figure measures how fast the search space is
+	// covered, the quantity the incremental kernel exists to raise.
+	OrdersPerSecond float64 `json:"orders_per_second"`
+	// MoveLocalityDeciles is the per-step move-locality histogram:
+	// entry d counts the evaluations whose replay started in decile d
+	// of the core order. Bucket 0 holds cold full replays (list rules,
+	// restart shuffles); high buckets hold the suffix-local moves the
+	// incremental kernel scores almost for free.
+	MoveLocalityDeciles []uint64 `json:"move_locality_deciles"`
 }
 
 // ScheduleBench is the full perf-trajectory document.
@@ -46,7 +58,7 @@ type ScheduleBench struct {
 }
 
 // benchRuns is the number of timed ScheduleBest calls per benchmark.
-const benchRuns = 3
+const benchRuns = 5
 
 // PaperProcessors returns the processor-instance count of the paper's
 // evaluation systems: 8, or 6 for the smaller d695.
@@ -103,24 +115,43 @@ func RunScheduleBench(ctx context.Context, benchmarks []string, seed int64, work
 			return nil, err
 		}
 
+		// Each run compiles its own model (matching what ScheduleBest
+		// costs a caller) and contributes its model's search telemetry,
+		// so the throughput figure covers exactly the timed window.
 		var res *core.PortfolioResult
 		var elapsed time.Duration
+		var orders uint64
+		var deciles []uint64
 		for run := 0; run < benchRuns+1; run++ {
 			start := time.Now()
-			res, err = pf.ScheduleBest(ctx, sys, opts)
+			m, err := core.Compile(sys, opts)
+			if err != nil {
+				return nil, fmt.Errorf("report: bench %s: %w", benchName, err)
+			}
+			res, err = pf.ScheduleModel(ctx, m)
 			if err != nil {
 				return nil, fmt.Errorf("report: bench %s: %w", benchName, err)
 			}
 			if run > 0 { // first run warms code and allocator caches
 				elapsed += time.Since(start)
+				st := m.SearchStats()
+				orders += st.Orders
+				if deciles == nil {
+					deciles = make([]uint64, len(st.Locality))
+				}
+				for i, c := range st.Locality {
+					deciles[i] += c
+				}
 			}
 		}
 		out.Records = append(out.Records, ScheduleBenchRecord{
-			Benchmark:         benchName,
-			BestMakespan:      res.Makespan(),
-			BestScheduler:     res.Best,
-			NsPerScheduleBest: elapsed.Nanoseconds() / benchRuns,
-			Runs:              benchRuns,
+			Benchmark:           benchName,
+			BestMakespan:        res.Makespan(),
+			BestScheduler:       res.Best,
+			NsPerScheduleBest:   elapsed.Nanoseconds() / benchRuns,
+			Runs:                benchRuns,
+			OrdersPerSecond:     float64(orders) / elapsed.Seconds(),
+			MoveLocalityDeciles: deciles,
 		})
 	}
 	return out, nil

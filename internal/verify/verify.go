@@ -6,6 +6,12 @@
 // regimes, and checks every result against oracles that do not trust
 // the schedulers:
 //
+//   - incremental-replay: the incremental search kernel
+//     (core.Evaluator) and the stateless full-replay path score a
+//     seeded random walk of related orders identically — same
+//     makespans, same early-abort decisions — on every compiled
+//     regime, so checkpoint restore and bound pruning are re-proven
+//     against the model every sweep.
 //   - validate: every produced plan passes plan.Validate.
 //   - lower-bound: every makespan is at or above the analytic floor
 //     (core.Model.LowerBound) — schedules are measured against what the
@@ -47,6 +53,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"runtime"
 	"sort"
 	"sync"
@@ -66,7 +73,7 @@ import (
 // finding); the rest are the scheduling oracles described in the
 // package comment.
 var oracleNames = []string{
-	"build", "compile", "schedule",
+	"build", "compile", "incremental-replay", "schedule",
 	"validate", "lower-bound", "more-processors-help", "more-power-helps", "replay-window",
 }
 
@@ -203,6 +210,14 @@ func (e Engine) check(ctx context.Context, sc socgen.Scenario, only string) (*Re
 			fail(reg.name, "compile", err)
 			continue
 		}
+		rep.Checked["incremental-replay"]++
+		if err := incrementalReplayCheck(ctx, m, sc.Seed); err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			fail(reg.name, "incremental-replay", err)
+			continue
+		}
 		rep.Checked["schedule"]++
 		res, err := pf.ScheduleModel(ctx, m)
 		if err != nil {
@@ -292,6 +307,71 @@ func (e Engine) check(ctx context.Context, sc socgen.Scenario, only string) (*Re
 		}
 	}
 	return rep, nil
+}
+
+// incrementalReplaySteps is the length of the random walk of related
+// orders the incremental-replay oracle scores per (regime, variant).
+const incrementalReplaySteps = 10
+
+// incrementalReplayCheck is the differential oracle for the incremental
+// search kernel: it walks a seeded chain of random order mutations —
+// the access pattern the annealer drives the kernel with — scoring each
+// order both through a persistent core.Evaluator (which replays only
+// divergent suffixes over its internal checkpoints) and through the
+// stateless full-replay path, under the same early-abort bound. The two
+// paths must agree exactly: same makespan, same pruned flag, same
+// success/failure. Any disagreement means a checkpoint restored stale
+// state or an abort fired unsoundly, and fails the scenario (the
+// shrinker then minimises it like any other oracle violation).
+func incrementalReplayCheck(ctx context.Context, m *core.Model, seed int64) error {
+	rng := rand.New(rand.NewSource(seed ^ 0x1c4e))
+	for _, v := range []core.Variant{core.GreedyFirstAvailable, core.LookaheadFastestFinish} {
+		ev := m.NewEvaluator(v)
+		order := append([]int(nil), m.DefaultOrder()...)
+		n := len(order)
+		prevMs := 0
+		for step := 0; step < incrementalReplaySteps; step++ {
+			if step > 0 && n >= 2 {
+				i, j := rng.Intn(n), rng.Intn(n)
+				order[i], order[j] = order[j], order[i]
+			}
+			// Alternate bounds so the walk exercises completed, tied and
+			// aborted evaluations against the same full replay.
+			bound := 0
+			switch {
+			case step%3 == 1 && prevMs > 0:
+				bound = prevMs
+			case step%3 == 2 && prevMs > 1:
+				bound = prevMs - 1
+			}
+			incMs, incPruned, incErr := ev.Evaluate(ctx, order, bound)
+			fullMs, fullPruned, fullErr := m.MakespanBounded(ctx, v, order, bound)
+			if err := ctx.Err(); err != nil {
+				ev.Close()
+				return err
+			}
+			if (incErr != nil) != (fullErr != nil) {
+				ev.Close()
+				return fmt.Errorf(
+					"kernel and full replay disagree on feasibility at walk step %d (%s, bound %d): incremental err %v, full err %v",
+					step, v, bound, incErr, fullErr)
+			}
+			if incErr != nil {
+				continue // both infeasible at this order: nothing to compare
+			}
+			if incMs != fullMs || incPruned != fullPruned {
+				ev.Close()
+				return fmt.Errorf(
+					"kernel and full replay disagree at walk step %d (%s, bound %d): incremental (ms %d, pruned %v) vs full (ms %d, pruned %v)",
+					step, v, bound, incMs, incPruned, fullMs, fullPruned)
+			}
+			if !fullPruned {
+				prevMs = fullMs
+			}
+		}
+		ev.Close()
+	}
+	return nil
 }
 
 // transplant deep-copies a dominated regime's plan into base-regime
