@@ -4,6 +4,8 @@
 // Usage:
 //
 //	noctest -bench d695 -cpu leon -procs 6 -reuse 6 -power 0.5 -format gantt
+//	noctest -bench d695 -topology torus -procs 6
+//	noctest -bench d695 -failed-links 2 -seed 7 -exclusive-links
 //	noctest -bench p22810 -portfolio -seed 42
 //	noctest -all -timeout 2m
 //	noctest -all -bench d695,p22810
@@ -42,6 +44,7 @@ import (
 	"noctest/internal/replay"
 	"noctest/internal/report"
 	"noctest/internal/soc"
+	"noctest/internal/socgen"
 	"noctest/internal/verify"
 )
 
@@ -50,6 +53,8 @@ type config struct {
 	bench     string
 	benchSet  bool // -bench was given explicitly
 	cpu       string
+	topology  string
+	failed    int
 	procs     int
 	reuse     int
 	power     float64
@@ -70,9 +75,10 @@ type config struct {
 	timeout   time.Duration
 	benchJSON string
 
-	sweep     int
-	sweepOut  string
-	shrinkDir string
+	sweep         int
+	sweepTopology string
+	sweepOut      string
+	shrinkDir     string
 
 	cpuProfile string
 	memProfile string
@@ -82,6 +88,8 @@ func main() {
 	var c config
 	flag.StringVar(&c.bench, "bench", "d695", "benchmark: d695, p22810, p93791, or a path to a .soc file; with -all/-bench-json, a comma-separated list of embedded benchmark names")
 	flag.StringVar(&c.cpu, "cpu", "leon", "processor profile: leon or plasma")
+	flag.StringVar(&c.topology, "topology", "mesh", "NoC fabric: mesh or torus")
+	flag.IntVar(&c.failed, "failed-links", 0, "fail this many NoC channels (sampled deterministically from -seed, routes detour around them)")
 	flag.IntVar(&c.procs, "procs", 6, "processor instances present in the system")
 	flag.IntVar(&c.reuse, "reuse", -1, "processors reused for test (-1: all, 0: none)")
 	flag.Float64Var(&c.power, "power", 0, "power ceiling as a fraction of total core power (0: none)")
@@ -101,6 +109,7 @@ func main() {
 	flag.DurationVar(&c.timeout, "timeout", 0, "overall deadline for portfolio/batch runs (0: none)")
 	flag.StringVar(&c.benchJSON, "bench-json", "", "write the machine-readable perf trajectory (BENCH_schedule.json) to this path and exit")
 	flag.IntVar(&c.sweep, "sweep", 0, "run the scenario-sweep verification engine over this many generated systems and exit non-zero on any oracle violation")
+	flag.StringVar(&c.sweepTopology, "sweep-topology", "", "force every sweep scenario onto one fabric (mesh, torus, degraded); empty mixes all three")
 	flag.StringVar(&c.sweepOut, "sweep-out", "", "write the sweep's JSON summary to this path instead of stdout")
 	flag.StringVar(&c.shrinkDir, "shrink-dir", "testdata/shrunk", "directory for shrunk failure reproductions (empty: do not shrink)")
 	flag.StringVar(&c.cpuProfile, "cpuprofile", "", "write a pprof CPU profile of the run to this path")
@@ -112,13 +121,15 @@ func main() {
 		"variant": true, "priority": true, "exclusive-links": true, "app": true,
 		"wrapper": true, "verify": true, "format": true, "width": true,
 		"portfolio": true, "all": true, "sweep": true, "sweep-out": true,
-		"shrink-dir": true,
+		"shrink-dir": true, "topology": true, "failed-links": true,
+		"sweep-topology": true,
 	}
 	ignoredBySweep := map[string]bool{
 		"bench": true, "cpu": true, "procs": true, "reuse": true, "power": true,
 		"bist": true, "variant": true, "priority": true, "exclusive-links": true,
 		"app": true, "wrapper": true, "verify": true, "format": true, "width": true,
-		"portfolio": true, "all": true, "bench-json": true,
+		"portfolio": true, "all": true, "bench-json": true, "topology": true,
+		"failed-links": true,
 	}
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "bench" {
@@ -194,7 +205,12 @@ func (c config) dispatch() error {
 	if err != nil {
 		return err
 	}
-	cfg := soc.BuildConfig{Processors: c.procs}
+	cfg := soc.BuildConfig{
+		Processors:      c.procs,
+		Topology:        c.topology,
+		FailedLinkCount: c.failed,
+		FailedLinkSeed:  c.seed,
+	}
 	if c.procs > 0 {
 		cfg.Profile, err = soc.ProfileByName(c.cpu)
 		if err != nil {
@@ -346,7 +362,8 @@ func (c config) gridBenchmarks() []string {
 
 // runGrid sweeps benchmarks through the batch portfolio engine.
 func runGrid(ctx context.Context, c config) error {
-	grid := report.GridSpec{Benchmarks: c.gridBenchmarks(), Processor: c.cpu, BISTFactor: c.bist}
+	grid := report.GridSpec{Benchmarks: c.gridBenchmarks(), Processor: c.cpu, BISTFactor: c.bist,
+		Topology: c.topology, FailedLinks: c.failed, FailedLinkSeed: c.seed}
 	pf := core.Portfolio{Schedulers: core.DefaultPortfolio(c.seed), Workers: c.workers}
 	rows, err := report.RunPortfolioGrid(ctx, grid, pf)
 	if err != nil {
@@ -384,11 +401,17 @@ func runBenchJSON(ctx context.Context, c config) error {
 // runSweep drives the scenario-sweep verification engine and reports
 // its summary; any oracle violation is an error so CI fails the run.
 func runSweep(ctx context.Context, c config) error {
+	switch c.sweepTopology {
+	case "", "mesh", "torus", "degraded":
+	default:
+		return fmt.Errorf("unknown -sweep-topology %q (have mesh, torus, degraded)", c.sweepTopology)
+	}
 	sum, err := verify.Sweep(ctx, verify.Config{
 		Scenarios: c.sweep,
 		Seed:      c.seed,
 		Workers:   c.workers,
 		ShrinkDir: c.shrinkDir,
+		Params:    socgen.ScenarioParams{Topology: c.sweepTopology},
 	})
 	if err != nil {
 		return err

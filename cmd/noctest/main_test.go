@@ -235,3 +235,65 @@ func TestRunProfiles(t *testing.T) {
 		}
 	}
 }
+
+// TestRunTopologyFlags drives the -topology and -failed-links paths:
+// both fabrics schedule end to end and the summary names the fabric in
+// the plan notes.
+func TestRunTopologyFlags(t *testing.T) {
+	base := config{bench: "d695", cpu: "leon", procs: 6, reuse: -1,
+		variant: "greedy", priority: "processors-first", app: "bist",
+		bist: 1, format: "summary", width: 80}
+
+	torus := base
+	torus.topology = "torus"
+	out, err := capture(t, func() error { return run(torus) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "fabric: torus 4x4") {
+		t.Errorf("summary does not record the torus fabric:\n%s", out)
+	}
+
+	degraded := base
+	degraded.topology = "mesh"
+	degraded.failed = 2
+	degraded.seed = 7
+	out, err = capture(t, func() error { return run(degraded) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "fabric: degraded mesh 4x4 (2 failed links)") {
+		t.Errorf("summary does not record the degraded fabric:\n%s", out)
+	}
+
+	bad := base
+	bad.topology = "hypercube"
+	if _, err := capture(t, func() error { return run(bad) }); err == nil {
+		t.Error("unknown -topology accepted")
+	}
+}
+
+// TestRunSweepForcedTopology checks -sweep-topology threads through to
+// the generator: a tiny forced-torus sweep completes cleanly.
+func TestRunSweepForcedTopology(t *testing.T) {
+	dir := t.TempDir()
+	sweepOut := filepath.Join(dir, "sweep.json")
+	_, err := capture(t, func() error {
+		return run(config{sweep: 2, seed: 3, sweepTopology: "torus",
+			sweepOut: sweepOut, shrinkDir: ""})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(sweepOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum verify.Summary
+	if err := json.Unmarshal(data, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Scenarios != 2 || sum.Failed() != 0 {
+		t.Errorf("forced-torus sweep summary unexpected: %+v", sum)
+	}
+}

@@ -117,8 +117,8 @@ func TestPackedSystemsScheduleOnPaperMeshes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sys.Net.Mesh.Tiles() >= len(sys.Cores) {
-		t.Fatalf("test premise broken: %d tiles for %d cores", sys.Net.Mesh.Tiles(), len(sys.Cores))
+	if sys.Net.Topo.Tiles() >= len(sys.Cores) {
+		t.Fatalf("test premise broken: %d tiles for %d cores", sys.Net.Topo.Tiles(), len(sys.Cores))
 	}
 	for _, opts := range []Options{
 		{},
@@ -147,13 +147,14 @@ func TestGeneratedExclusiveScenarioMeetsReplayWindows(t *testing.T) {
 	sc := socgen.NewScenario(18, socgen.ScenarioParams{
 		MaxCores:  12,
 		MeshSlack: 3,
+		Topology:  "mesh", // the wire simulator models the plain mesh only
 		SoC:       socgen.Params{MaxPatterns: 120},
 	})
 	sys, err := sc.Build()
 	if err != nil {
 		t.Fatalf("scenario %s: %v", sc, err)
 	}
-	if sys.Net.Mesh.Tiles() < len(sys.Cores) {
+	if sys.Net.Topo.Tiles() < len(sys.Cores) {
 		t.Fatalf("test premise broken: scenario %s packs tiles, wire windows not guaranteed", sc)
 	}
 	p, err := Schedule(sys, Options{ExclusiveLinks: true})

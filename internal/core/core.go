@@ -349,7 +349,7 @@ func orderCoreIndices(sys *soc.System, priority Priority, reused map[int]bool) [
 			if sp.core != 0 && sp.core == c.Core.ID {
 				continue
 			}
-			if d := noc.ManhattanDistance(c.Tile, sp.tile); d < best {
+			if d := sys.Net.Topo.Distance(c.Tile, sp.tile); d < best {
 				best = d
 			}
 		}

@@ -202,7 +202,8 @@ func Compile(sys *soc.System, opts Options) (*Model, error) {
 		limit = opts.PowerLimitFraction * sys.TotalPower()
 	}
 
-	routes, err := noc.NewRouteTable(sys.Net.Mesh, sys.Net.Routing)
+	topo := sys.Net.Topo
+	routes, err := noc.NewRouteTable(topo)
 	if err != nil {
 		return nil, err
 	}
@@ -214,8 +215,12 @@ func Compile(sys *soc.System, opts Options) (*Model, error) {
 		reused:    reusedSet(sys, opts),
 		cores:     sys.Cores,
 		exclusive: opts.ExclusiveLinks,
-		numLinks:  sys.Net.Mesh.LinkCount(),
+		numLinks:  topo.LinkCount(),
 	}
+	// The fabric is recorded on every plan the model produces, so a
+	// serialised plan names its topology and routing algorithm without
+	// out-of-band context.
+	m.notes = append(m.notes, fmt.Sprintf("fabric: %s, routing %s", topo, topo.RoutingName()))
 	ifaces, err := m.compileInterfaces()
 	if err != nil {
 		return nil, err
@@ -285,7 +290,7 @@ func (m *Model) compileInterfaces() ([]compIface, error) {
 		}
 		loadHops := 1 << 30
 		for _, p := range ins {
-			if d := noc.ManhattanDistance(p.Tile, pc.Tile); d < loadHops {
+			if d := m.sys.Net.Topo.Distance(p.Tile, pc.Tile); d < loadHops {
 				loadHops = d
 			}
 		}

@@ -49,32 +49,38 @@ func TestCompileRecordsUnpairedPorts(t *testing.T) {
 		t.Fatal(err)
 	}
 	notes := m.Notes()
-	if len(notes) != 1 {
-		t.Fatalf("got %d notes, want 1: %v", len(notes), notes)
+	if len(notes) != 2 {
+		t.Fatalf("got %d notes, want fabric + unpaired ports: %v", len(notes), notes)
 	}
-	if !strings.Contains(notes[0], "in1") || !strings.Contains(notes[0], "unpaired") {
-		t.Errorf("note does not name the dropped port: %q", notes[0])
+	if !strings.Contains(notes[0], "fabric: mesh") || !strings.Contains(notes[0], "routing xy") {
+		t.Errorf("first note does not record the fabric: %q", notes[0])
+	}
+	if !strings.Contains(notes[1], "in1") || !strings.Contains(notes[1], "unpaired") {
+		t.Errorf("note does not name the dropped port: %q", notes[1])
 	}
 
 	p, err := Schedule(sys, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(p.Notes) != 1 || !strings.Contains(p.Notes[0], "in1") {
+	if len(p.Notes) != 2 || !strings.Contains(p.Notes[1], "in1") {
 		t.Errorf("plan does not carry the dropped-port note: %v", p.Notes)
 	}
 	if !strings.Contains(p.Summary(), "in1") {
 		t.Errorf("summary does not surface the note:\n%s", p.Summary())
 	}
+	if !strings.Contains(p.Summary(), "fabric: mesh") {
+		t.Errorf("summary does not name the fabric:\n%s", p.Summary())
+	}
 
-	// A balanced system records no notes.
+	// A balanced system records only the fabric note.
 	balanced := buildSystem(t, "d695", 6, soc.Leon())
 	mb, err := Compile(balanced, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(mb.Notes()) != 0 {
-		t.Errorf("balanced system got notes: %v", mb.Notes())
+	if n := mb.Notes(); len(n) != 1 || !strings.Contains(n[0], "fabric: mesh 4x4") {
+		t.Errorf("balanced system notes = %v, want just the fabric record", n)
 	}
 }
 

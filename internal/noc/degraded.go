@@ -1,0 +1,246 @@
+package noc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DegradedMesh wraps any fabric with a set of failed channels,
+// modelling a NoC whose router/link self-test (in the Nazari et al.
+// tradition) marked part of the fabric unusable: the failed links
+// disappear from adjacency, enumeration and the LinkID space's live
+// set, and routes that would cross one are re-routed by a
+// deterministic breadth-first detour. Routes that never touch a failed
+// link are the inner fabric's verbatim — so a DegradedMesh with no
+// failures is behaviour-identical to its inner fabric, the identity
+// the verification sweep checks on every scenario.
+//
+// Each failed channel is removed in both directions (a broken physical
+// link carries neither stimulus nor response traffic). Construction
+// fails if the removals disconnect the fabric: a system some tiles
+// cannot reach at all is untestable, which scenario generation treats
+// as a non-draw rather than a schedulable input.
+type DegradedMesh struct {
+	inner Topology
+	// failed marks dead directed links by inner LinkID.
+	failed []bool
+	// failedList holds one canonical representative per failed channel
+	// (smaller tile index first), sorted.
+	failedList []Link
+	// dist holds the degraded hop metric for all tile pairs, row-major
+	// [from*tiles+to], computed by BFS at construction.
+	dist []int32
+}
+
+// NewDegradedMesh wraps inner with the given failed channels; both
+// directions of every listed link are removed, and listing either
+// direction (or both) of a channel is equivalent.
+func NewDegradedMesh(inner Topology, failedLinks []Link) (*DegradedMesh, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("noc: degraded fabric needs an inner topology")
+	}
+	d := &DegradedMesh{
+		inner:  inner,
+		failed: make([]bool, inner.LinkCount()),
+	}
+	seen := make(map[LinkID]bool, len(failedLinks))
+	for _, l := range failedLinks {
+		id := inner.LinkID(l)
+		if id == NoLink {
+			return nil, fmt.Errorf("noc: failed link %s is not a channel of %s", l, inner)
+		}
+		d.failed[id] = true
+		rev := Link{From: l.To, To: l.From}
+		if rid := inner.LinkID(rev); rid != NoLink {
+			d.failed[rid] = true
+		}
+		canon := l
+		if inner.Index(canon.From) > inner.Index(canon.To) {
+			canon = rev
+		}
+		if cid := inner.LinkID(canon); !seen[cid] {
+			seen[cid] = true
+			d.failedList = append(d.failedList, canon)
+		}
+	}
+	sort.Slice(d.failedList, func(i, j int) bool { return lessLink(d.failedList[i], d.failedList[j]) })
+
+	tiles := inner.Tiles()
+	d.dist = make([]int32, tiles*tiles)
+	queue := make([]int, 0, tiles)
+	for src := 0; src < tiles; src++ {
+		row := d.dist[src*tiles : (src+1)*tiles]
+		for i := range row {
+			row[i] = -1
+		}
+		row[src] = 0
+		queue = append(queue[:0], src)
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			from := inner.CoordOf(cur)
+			for _, to := range inner.Neighbors(from) {
+				if d.failed[inner.LinkID(Link{From: from, To: to})] {
+					continue
+				}
+				ti := inner.Index(to)
+				if row[ti] < 0 {
+					row[ti] = row[cur] + 1
+					queue = append(queue, ti)
+				}
+			}
+		}
+		for i, v := range row {
+			if v < 0 {
+				return nil, fmt.Errorf("noc: failed links disconnect %s: tile %s unreachable from %s",
+					inner, inner.CoordOf(i), inner.CoordOf(src))
+			}
+		}
+	}
+	return d, nil
+}
+
+// Inner returns the wrapped fabric.
+func (d *DegradedMesh) Inner() Topology { return d.inner }
+
+// FailedLinks returns the failed channels, one canonical direction
+// each, sorted. The slice is shared — callers must not mutate it.
+func (d *DegradedMesh) FailedLinks() []Link { return d.failedList }
+
+// Kind implements Topology.
+func (d *DegradedMesh) Kind() string { return "degraded" }
+
+// String implements Topology.
+func (d *DegradedMesh) String() string {
+	return fmt.Sprintf("degraded %s (%d failed links)", d.inner, len(d.failedList))
+}
+
+// Dims implements Topology.
+func (d *DegradedMesh) Dims() (int, int) { return d.inner.Dims() }
+
+// Tiles implements Topology.
+func (d *DegradedMesh) Tiles() int { return d.inner.Tiles() }
+
+// Contains implements Topology.
+func (d *DegradedMesh) Contains(c Coord) bool { return d.inner.Contains(c) }
+
+// Index implements Topology.
+func (d *DegradedMesh) Index(c Coord) int { return d.inner.Index(c) }
+
+// CoordOf implements Topology.
+func (d *DegradedMesh) CoordOf(index int) Coord { return d.inner.CoordOf(index) }
+
+// Neighbors implements Topology: the inner neighbours minus failed
+// channels.
+func (d *DegradedMesh) Neighbors(c Coord) []Coord {
+	inner := d.inner.Neighbors(c)
+	out := make([]Coord, 0, len(inner))
+	for _, n := range inner {
+		if !d.failed[d.inner.LinkID(Link{From: c, To: n})] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Links implements Topology.
+func (d *DegradedMesh) Links() []Link {
+	inner := d.inner.Links()
+	out := make([]Link, 0, len(inner))
+	for _, l := range inner {
+		if !d.failed[d.inner.LinkID(l)] {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// LinkCount implements Topology: the inner ID space is kept so link IDs
+// stay comparable across degradation levels; failed slots simply go
+// dead.
+func (d *DegradedMesh) LinkCount() int { return d.inner.LinkCount() }
+
+// LinkID implements Topology.
+func (d *DegradedMesh) LinkID(l Link) LinkID {
+	id := d.inner.LinkID(l)
+	if id == NoLink || d.failed[id] {
+		return NoLink
+	}
+	return id
+}
+
+// LinkByID implements Topology.
+func (d *DegradedMesh) LinkByID(id LinkID) (Link, bool) {
+	if id >= 0 && int(id) < len(d.failed) && d.failed[id] {
+		return Link{}, false
+	}
+	return d.inner.LinkByID(id)
+}
+
+// Route implements Topology: the inner fabric's route when it survives
+// degradation, otherwise a deterministic breadth-first detour (minimal
+// in the degraded metric; ties resolved by the inner neighbour order).
+func (d *DegradedMesh) Route(from, to Coord) []Coord {
+	path := d.inner.Route(from, to)
+	clean := true
+	for i := 1; i < len(path); i++ {
+		if d.failed[d.inner.LinkID(Link{From: path[i-1], To: path[i]})] {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return path
+	}
+	return d.detour(from, to)
+}
+
+// detour computes the BFS shortest path in the degraded fabric. The
+// fabric is connected by construction, so a path always exists.
+func (d *DegradedMesh) detour(from, to Coord) []Coord {
+	tiles := d.inner.Tiles()
+	prev := make([]int32, tiles)
+	for i := range prev {
+		prev[i] = -1
+	}
+	src, dst := d.inner.Index(from), d.inner.Index(to)
+	prev[src] = int32(src)
+	queue := []int{src}
+	for len(queue) > 0 && prev[dst] < 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		curC := d.inner.CoordOf(cur)
+		for _, n := range d.inner.Neighbors(curC) {
+			if d.failed[d.inner.LinkID(Link{From: curC, To: n})] {
+				continue
+			}
+			ni := d.inner.Index(n)
+			if prev[ni] < 0 {
+				prev[ni] = int32(cur)
+				queue = append(queue, ni)
+			}
+		}
+	}
+	if prev[dst] < 0 {
+		panic(fmt.Sprintf("noc: degraded fabric unroutable %s->%s despite connectivity check", from, to))
+	}
+	var rev []int
+	for cur := dst; cur != src; cur = int(prev[cur]) {
+		rev = append(rev, cur)
+	}
+	path := make([]Coord, 0, len(rev)+1)
+	path = append(path, from)
+	for i := len(rev) - 1; i >= 0; i-- {
+		path = append(path, d.inner.CoordOf(rev[i]))
+	}
+	return path
+}
+
+// Distance implements Topology: the BFS hop metric of the degraded
+// fabric.
+func (d *DegradedMesh) Distance(from, to Coord) int {
+	return int(d.dist[d.inner.Index(from)*d.inner.Tiles()+d.inner.Index(to)])
+}
+
+// RoutingName implements Topology.
+func (d *DegradedMesh) RoutingName() string { return d.inner.RoutingName() + "+detour" }

@@ -37,28 +37,39 @@ func (p TransportPower) PathPower(routers int) float64 {
 }
 
 // Characterization bundles everything the planner needs to know about
-// the network: the paper's step-one inputs (topology, routing algorithm,
-// number of routers, flit width, latencies, transport power).
+// the network: the paper's step-one inputs (fabric topology with its
+// routing algorithm, flit width, latencies, transport power).
 type Characterization struct {
-	Mesh    Mesh
-	Routing Routing
-	Timing  Timing
-	Power   TransportPower
+	Topo   Topology
+	Timing Timing
+	Power  TransportPower
 }
 
-// NewCharacterization assembles and validates a characterisation.
+// NewCharacterization assembles and validates a mesh characterisation —
+// the paper's fabric. Other fabrics go through
+// NewFabricCharacterization.
 func NewCharacterization(mesh Mesh, routing Routing, timing Timing, power TransportPower) (Characterization, error) {
-	c := Characterization{Mesh: mesh, Routing: routing, Timing: timing, Power: power}
+	topo, err := NewMeshTopology(mesh, routing)
+	if err != nil {
+		return Characterization{}, err
+	}
+	return NewFabricCharacterization(topo, timing, power)
+}
+
+// NewFabricCharacterization assembles and validates a characterisation
+// of an arbitrary fabric.
+func NewFabricCharacterization(topo Topology, timing Timing, power TransportPower) (Characterization, error) {
+	c := Characterization{Topo: topo, Timing: timing, Power: power}
 	return c, c.Validate()
 }
 
 // Validate checks all components.
 func (c Characterization) Validate() error {
-	if c.Mesh.Width < 1 || c.Mesh.Height < 1 {
-		return fmt.Errorf("noc: characterisation has invalid mesh %dx%d", c.Mesh.Width, c.Mesh.Height)
+	if c.Topo == nil {
+		return fmt.Errorf("noc: characterisation has no topology")
 	}
-	if c.Routing == nil {
-		return fmt.Errorf("noc: characterisation has no routing algorithm")
+	if c.Topo.Tiles() < 1 {
+		return fmt.Errorf("noc: characterisation has empty fabric %s", c.Topo)
 	}
 	if err := c.Timing.Validate(); err != nil {
 		return err
@@ -66,13 +77,25 @@ func (c Characterization) Validate() error {
 	return c.Power.Validate()
 }
 
-// Path routes between two tiles, validating that both lie on the mesh.
+// MeshFabric returns the grid and routing algorithm when the fabric is
+// the paper's plain mesh; ok is false for any other topology (torus,
+// degraded), which the cycle-accurate wire simulator cannot model.
+func (c Characterization) MeshFabric() (Mesh, Routing, bool) {
+	mt, ok := c.Topo.(*MeshTopology)
+	if !ok {
+		return Mesh{}, nil, false
+	}
+	return mt.Mesh(), mt.Routing(), true
+}
+
+// Path routes between two tiles, validating that both lie on the
+// fabric.
 func (c Characterization) Path(from, to Coord) ([]Coord, error) {
-	if !c.Mesh.Contains(from) {
-		return nil, fmt.Errorf("noc: source %v outside %dx%d mesh", from, c.Mesh.Width, c.Mesh.Height)
+	if !c.Topo.Contains(from) {
+		return nil, fmt.Errorf("noc: source %v outside %s", from, c.Topo)
 	}
-	if !c.Mesh.Contains(to) {
-		return nil, fmt.Errorf("noc: destination %v outside %dx%d mesh", to, c.Mesh.Width, c.Mesh.Height)
+	if !c.Topo.Contains(to) {
+		return nil, fmt.Errorf("noc: destination %v outside %s", to, c.Topo)
 	}
-	return c.Routing.Path(from, to), nil
+	return c.Topo.Route(from, to), nil
 }

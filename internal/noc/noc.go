@@ -128,8 +128,14 @@ func (m Mesh) Links() []Link {
 			}
 		}
 	}
-	sort.Slice(links, func(i, j int) bool { return lessLink(links[i], links[j]) })
+	sortLinks(links)
 	return links
+}
+
+// sortLinks orders links deterministically by (From, To) in row-major
+// coordinate order, the enumeration order every topology uses.
+func sortLinks(links []Link) {
+	sort.Slice(links, func(i, j int) bool { return lessLink(links[i], links[j]) })
 }
 
 func lessLink(a, b Link) bool {

@@ -2,16 +2,17 @@ package noc
 
 import "fmt"
 
-// LinkID is a stable dense index for a directed mesh link, suitable for
-// slice-based resource state in hot scheduling loops. IDs are assigned
-// arithmetically from the source tile's row-major index and the link
-// direction, so they are stable across runs and independent of the
-// order links are first seen. Not every ID in [0, LinkCount) names a
-// physical link: tiles on the mesh edge have fewer than four neighbours,
-// and those direction slots stay unused.
+// LinkID is a stable dense index for a directed fabric link, suitable
+// for slice-based resource state in hot scheduling loops. Every
+// topology assigns IDs arithmetically from the source tile's row-major
+// index and the link's direction slot, so they are stable across runs
+// and independent of the order links are first seen. Not every ID in
+// [0, LinkCount) names a physical link: tiles on a mesh edge have fewer
+// than four neighbours, and a degraded fabric's failed channels leave
+// their slots dead.
 type LinkID int32
 
-// NoLink is the sentinel for "not a mesh link".
+// NoLink is the sentinel for "not a fabric link".
 const NoLink LinkID = -1
 
 // linkDirections indexes the four directed-neighbour offsets in the
@@ -52,51 +53,57 @@ func (m Mesh) LinkByID(id LinkID) (Link, bool) {
 	return Link{From: from, To: to}, true
 }
 
-// RouteTable caches every source-to-destination route of a routing
-// algorithm on a mesh, as both coordinate paths and dense link-ID
-// lists. Building the table once and sharing it removes the per-query
-// path allocation that otherwise dominates schedulers which re-route
-// the same pairs thousands of times. The table is immutable after
-// construction and safe for concurrent use; callers must treat the
-// returned slices as read-only.
+// RouteTable caches every source-to-destination route of a fabric, as
+// both coordinate paths and dense link-ID lists. Building the table
+// once and sharing it removes the per-query path allocation that
+// otherwise dominates schedulers which re-route the same pairs
+// thousands of times. The table is immutable after construction and
+// safe for concurrent use; callers must treat the returned slices as
+// read-only.
+//
+// Construction re-verifies the topology contract route by route — a
+// non-minimal path or a hop over a link the topology does not
+// enumerate is a construction error, not a silent mis-schedule.
 type RouteTable struct {
-	mesh    Mesh
-	routing Routing
-	paths   [][]Coord
-	links   [][]LinkID
+	topo  Topology
+	paths [][]Coord
+	links [][]LinkID
 }
 
-// NewRouteTable precomputes all Tiles^2 routes of the routing algorithm
-// on the mesh. For the mesh sizes the planner handles (tens of tiles)
-// the table is a few thousand short slices.
-func NewRouteTable(mesh Mesh, routing Routing) (*RouteTable, error) {
-	if mesh.Width < 1 || mesh.Height < 1 {
-		return nil, fmt.Errorf("noc: route table needs a valid mesh, got %dx%d", mesh.Width, mesh.Height)
+// NewRouteTable precomputes all Tiles^2 routes of the fabric. For the
+// fabric sizes the planner handles (tens of tiles) the table is a few
+// thousand short slices.
+func NewRouteTable(topo Topology) (*RouteTable, error) {
+	if topo == nil {
+		return nil, fmt.Errorf("noc: route table needs a topology")
 	}
-	if routing == nil {
-		return nil, fmt.Errorf("noc: route table needs a routing algorithm")
+	tiles := topo.Tiles()
+	if tiles < 1 {
+		return nil, fmt.Errorf("noc: route table needs a non-empty fabric, got %s", topo)
 	}
-	tiles := mesh.Tiles()
 	t := &RouteTable{
-		mesh:    mesh,
-		routing: routing,
-		paths:   make([][]Coord, tiles*tiles),
-		links:   make([][]LinkID, tiles*tiles),
+		topo:  topo,
+		paths: make([][]Coord, tiles*tiles),
+		links: make([][]LinkID, tiles*tiles),
 	}
 	for fi := 0; fi < tiles; fi++ {
-		from := mesh.CoordOf(fi)
+		from := topo.CoordOf(fi)
 		for ti := 0; ti < tiles; ti++ {
-			to := mesh.CoordOf(ti)
-			path := routing.Path(from, to)
-			if len(path) != ManhattanDistance(from, to)+1 {
-				return nil, fmt.Errorf("noc: routing %s returned non-minimal path %v for %v->%v",
-					routing.Name(), path, from, to)
+			to := topo.CoordOf(ti)
+			path := topo.Route(from, to)
+			if len(path) != topo.Distance(from, to)+1 {
+				return nil, fmt.Errorf("noc: %s routing returned non-minimal path %v for %v->%v",
+					topo, path, from, to)
+			}
+			if len(path) == 0 || path[0] != from || path[len(path)-1] != to {
+				return nil, fmt.Errorf("noc: %s routing returned path %v not spanning %v->%v",
+					topo, path, from, to)
 			}
 			ids := make([]LinkID, 0, len(path)-1)
 			for _, l := range PathLinks(path) {
-				id := mesh.LinkID(l)
+				id := topo.LinkID(l)
 				if id == NoLink {
-					return nil, fmt.Errorf("noc: routing %s produced non-mesh hop %v", routing.Name(), l)
+					return nil, fmt.Errorf("noc: %s routing produced hop %v over no enumerated link", topo, l)
 				}
 				ids = append(ids, id)
 			}
@@ -107,30 +114,27 @@ func NewRouteTable(mesh Mesh, routing Routing) (*RouteTable, error) {
 	return t, nil
 }
 
-// Mesh returns the table's topology.
-func (t *RouteTable) Mesh() Mesh { return t.mesh }
-
-// Routing returns the algorithm the table was built from.
-func (t *RouteTable) Routing() Routing { return t.routing }
+// Topology returns the fabric the table was built from.
+func (t *RouteTable) Topology() Topology { return t.topo }
 
 // Path returns the cached route between two tiles, including both
 // endpoints. The slice is shared — callers must not mutate it.
 func (t *RouteTable) Path(from, to Coord) ([]Coord, error) {
-	if !t.mesh.Contains(from) {
-		return nil, fmt.Errorf("noc: source %v outside %dx%d mesh", from, t.mesh.Width, t.mesh.Height)
+	if !t.topo.Contains(from) {
+		return nil, fmt.Errorf("noc: source %v outside %s", from, t.topo)
 	}
-	if !t.mesh.Contains(to) {
-		return nil, fmt.Errorf("noc: destination %v outside %dx%d mesh", to, t.mesh.Width, t.mesh.Height)
+	if !t.topo.Contains(to) {
+		return nil, fmt.Errorf("noc: destination %v outside %s", to, t.topo)
 	}
-	return t.paths[t.mesh.Index(from)*t.mesh.Tiles()+t.mesh.Index(to)], nil
+	return t.paths[t.topo.Index(from)*t.topo.Tiles()+t.topo.Index(to)], nil
 }
 
 // LinkIDs returns the dense IDs of the directed links the cached route
 // occupies, in path order. The slice is shared — callers must not
 // mutate it.
 func (t *RouteTable) LinkIDs(from, to Coord) ([]LinkID, error) {
-	if !t.mesh.Contains(from) || !t.mesh.Contains(to) {
-		return nil, fmt.Errorf("noc: route %v->%v outside %dx%d mesh", from, to, t.mesh.Width, t.mesh.Height)
+	if !t.topo.Contains(from) || !t.topo.Contains(to) {
+		return nil, fmt.Errorf("noc: route %v->%v outside %s", from, to, t.topo)
 	}
-	return t.links[t.mesh.Index(from)*t.mesh.Tiles()+t.mesh.Index(to)], nil
+	return t.links[t.topo.Index(from)*t.topo.Tiles()+t.topo.Index(to)], nil
 }

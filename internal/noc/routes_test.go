@@ -60,12 +60,19 @@ func TestLinkByIDUnusedSlots(t *testing.T) {
 func TestRouteTableMatchesRouting(t *testing.T) {
 	m := MustMesh(4, 3)
 	for _, r := range []Routing{XY{}, YX{}} {
-		table, err := NewRouteTable(m, r)
+		topo, err := NewMeshTopology(m, r)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if table.Mesh() != m || table.Routing().Name() != r.Name() {
+		table, err := NewRouteTable(topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if table.Topology() != Topology(topo) {
 			t.Fatalf("table identity mismatch")
+		}
+		if gm, gr, ok := (Characterization{Topo: table.Topology()}).MeshFabric(); !ok || gm != m || gr.Name() != r.Name() {
+			t.Fatalf("mesh fabric extraction mismatch: %v %v %v", gm, gr, ok)
 		}
 		for fi := 0; fi < m.Tiles(); fi++ {
 			for ti := 0; ti < m.Tiles(); ti++ {
@@ -103,13 +110,17 @@ func TestRouteTableMatchesRouting(t *testing.T) {
 
 // TestRouteTableRejectsBadInput covers constructor and query errors.
 func TestRouteTableRejectsBadInput(t *testing.T) {
-	if _, err := NewRouteTable(Mesh{}, XY{}); err == nil {
+	if _, err := NewMeshTopology(Mesh{}, XY{}); err == nil {
 		t.Error("invalid mesh accepted")
 	}
-	if _, err := NewRouteTable(MustMesh(2, 2), nil); err == nil {
-		t.Error("nil routing accepted")
+	if _, err := NewRouteTable(nil); err == nil {
+		t.Error("nil topology accepted")
 	}
-	table, err := NewRouteTable(MustMesh(2, 2), XY{})
+	topo, err := NewMeshTopology(MustMesh(2, 2), nil) // nil routing selects XY
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := NewRouteTable(topo)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -114,23 +114,22 @@ func TestCharacterization(t *testing.T) {
 }
 
 func TestCharacterizationValidate(t *testing.T) {
-	good := Characterization{Mesh: MustMesh(2, 2), Routing: XY{}, Timing: DefaultTiming, Power: DefaultTransportPower}
+	topo, err := NewMeshTopology(MustMesh(2, 2), XY{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := Characterization{Topo: topo, Timing: DefaultTiming, Power: DefaultTransportPower}
 	if err := good.Validate(); err != nil {
 		t.Errorf("valid characterisation rejected: %v", err)
 	}
 	bad := good
-	bad.Routing = nil
+	bad.Topo = nil
 	if err := bad.Validate(); err == nil {
-		t.Error("nil routing accepted")
+		t.Error("nil topology accepted")
 	}
 	bad = good
 	bad.Timing.FlitWidth = 0
 	if err := bad.Validate(); err == nil {
 		t.Error("invalid timing accepted")
-	}
-	bad = good
-	bad.Mesh = Mesh{}
-	if err := bad.Validate(); err == nil {
-		t.Error("invalid mesh accepted")
 	}
 }

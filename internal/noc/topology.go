@@ -1,0 +1,243 @@
+package noc
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Topology is the pluggable fabric abstraction behind the planner: the
+// tile set, the link set (with its dense LinkID space), and the
+// deterministic routing algorithm, all in one interface. The paper
+// characterises a fixed 2-D mesh; this interface lets every layer above
+// — route tables, the scheduling model, placement, the scenario
+// generator and the verification sweep — run unchanged on other
+// fabrics (Torus, DegradedMesh).
+//
+// Contract for implementations:
+//
+//   - Tiles are addressed by Coord within the bounding grid reported by
+//     Dims; Index/CoordOf form a bijection with [0, Tiles()).
+//   - Links enumerates every directed link, and LinkID/LinkByID map
+//     links into a dense [0, LinkCount()) space. Not every ID names a
+//     link, but every enumerated link round-trips through both.
+//   - Route is deterministic (equal inputs give equal paths) and
+//     minimal with respect to Distance, the fabric's own hop metric:
+//     len(Route(a,b)) == Distance(a,b)+1. Route(a,a) returns [a], and
+//     every hop of a route is an enumerated link. The noc package's
+//     property tests (topology_test.go) enforce exactly this contract
+//     on every implementation.
+//
+// Implementations must be immutable after construction and safe for
+// concurrent use.
+type Topology interface {
+	// Kind returns the stable fabric token used in scenario files and
+	// reports: "mesh", "torus" or "degraded".
+	Kind() string
+	// String describes the fabric for humans (e.g. "mesh 4x4").
+	String() string
+	// Dims returns the bounding grid extent; every tile lies in
+	// [0, width) x [0, height).
+	Dims() (width, height int)
+	// Tiles returns the number of tiles.
+	Tiles() int
+	// Contains reports whether c is a tile of the fabric.
+	Contains(c Coord) bool
+	// Index returns the dense row-major index of a tile.
+	Index(c Coord) int
+	// CoordOf is the inverse of Index.
+	CoordOf(index int) Coord
+	// Neighbors returns the tiles reachable over one link, in a fixed
+	// deterministic order.
+	Neighbors(c Coord) []Coord
+	// Links enumerates every directed link in deterministic order.
+	Links() []Link
+	// LinkCount returns the size of the dense LinkID space.
+	LinkCount() int
+	// LinkID returns the dense ID of a directed link, or NoLink when
+	// the fabric has no such link.
+	LinkID(l Link) LinkID
+	// LinkByID is the inverse of LinkID; it returns false for IDs that
+	// name no link of this fabric.
+	LinkByID(id LinkID) (Link, bool)
+	// Route returns the deterministic routing path between two tiles,
+	// both endpoints included, minimal w.r.t. Distance.
+	Route(from, to Coord) []Coord
+	// Distance is the fabric's hop metric between two tiles.
+	Distance(from, to Coord) int
+	// RoutingName identifies the routing algorithm in reports and
+	// serialised plans.
+	RoutingName() string
+}
+
+// MeshTopology binds the paper's 2-D mesh grid to a dimension-ordered
+// routing algorithm, implementing Topology behaviour-identically to the
+// pre-interface planner: same links, same dense LinkIDs, same routes.
+type MeshTopology struct {
+	mesh    Mesh
+	routing Routing
+}
+
+// NewMeshTopology returns the mesh fabric; a nil routing selects XY.
+func NewMeshTopology(mesh Mesh, routing Routing) (*MeshTopology, error) {
+	if mesh.Width < 1 || mesh.Height < 1 {
+		return nil, fmt.Errorf("noc: mesh topology needs positive dimensions, got %dx%d", mesh.Width, mesh.Height)
+	}
+	if routing == nil {
+		routing = XY{}
+	}
+	return &MeshTopology{mesh: mesh, routing: routing}, nil
+}
+
+// Mesh returns the underlying grid.
+func (t *MeshTopology) Mesh() Mesh { return t.mesh }
+
+// Routing returns the bound routing algorithm.
+func (t *MeshTopology) Routing() Routing { return t.routing }
+
+// Kind implements Topology.
+func (t *MeshTopology) Kind() string { return "mesh" }
+
+// String implements Topology.
+func (t *MeshTopology) String() string {
+	return fmt.Sprintf("mesh %dx%d", t.mesh.Width, t.mesh.Height)
+}
+
+// Dims implements Topology.
+func (t *MeshTopology) Dims() (int, int) { return t.mesh.Width, t.mesh.Height }
+
+// Tiles implements Topology.
+func (t *MeshTopology) Tiles() int { return t.mesh.Tiles() }
+
+// Contains implements Topology.
+func (t *MeshTopology) Contains(c Coord) bool { return t.mesh.Contains(c) }
+
+// Index implements Topology.
+func (t *MeshTopology) Index(c Coord) int { return t.mesh.Index(c) }
+
+// CoordOf implements Topology.
+func (t *MeshTopology) CoordOf(index int) Coord { return t.mesh.CoordOf(index) }
+
+// Neighbors implements Topology.
+func (t *MeshTopology) Neighbors(c Coord) []Coord { return t.mesh.Neighbors(c) }
+
+// Links implements Topology.
+func (t *MeshTopology) Links() []Link { return t.mesh.Links() }
+
+// LinkCount implements Topology.
+func (t *MeshTopology) LinkCount() int { return t.mesh.LinkCount() }
+
+// LinkID implements Topology.
+func (t *MeshTopology) LinkID(l Link) LinkID { return t.mesh.LinkID(l) }
+
+// LinkByID implements Topology.
+func (t *MeshTopology) LinkByID(id LinkID) (Link, bool) { return t.mesh.LinkByID(id) }
+
+// Route implements Topology.
+func (t *MeshTopology) Route(from, to Coord) []Coord { return t.routing.Path(from, to) }
+
+// Distance implements Topology.
+func (t *MeshTopology) Distance(from, to Coord) int { return ManhattanDistance(from, to) }
+
+// RoutingName implements Topology.
+func (t *MeshTopology) RoutingName() string { return t.routing.Name() }
+
+// NewFabric builds a base fabric of the given kind on a WxH grid with
+// the given dimension-ordered routing (nil selects XY). The empty kind
+// selects "mesh". Degraded fabrics are built by wrapping the result in
+// NewDegradedMesh.
+func NewFabric(kind string, mesh Mesh, routing Routing) (Topology, error) {
+	switch kind {
+	case "", "mesh":
+		return NewMeshTopology(mesh, routing)
+	case "torus":
+		return NewTorus(mesh.Width, mesh.Height, routing)
+	}
+	return nil, fmt.Errorf("noc: unknown fabric kind %q (have mesh, torus)", kind)
+}
+
+// undirectedLinks returns one canonical representative per undirected
+// channel of the fabric — the direction whose source tile has the
+// smaller row-major index — in deterministic order.
+func undirectedLinks(t Topology) []Link {
+	var out []Link
+	for _, l := range t.Links() {
+		if t.Index(l.From) < t.Index(l.To) {
+			out = append(out, l)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return lessLink(out[i], out[j]) })
+	return out
+}
+
+// connectedWithout reports whether the fabric stays connected when the
+// directed links marked true in failed are removed (failures come in
+// both-direction pairs, so undirected reachability is checked).
+func connectedWithout(t Topology, failed []bool) bool {
+	tiles := t.Tiles()
+	if tiles == 0 {
+		return false
+	}
+	seen := make([]bool, tiles)
+	queue := []int{0}
+	seen[0] = true
+	reached := 1
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		from := t.CoordOf(cur)
+		for _, to := range t.Neighbors(from) {
+			id := t.LinkID(Link{From: from, To: to})
+			if id == NoLink || failed[id] {
+				continue
+			}
+			ti := t.Index(to)
+			if !seen[ti] {
+				seen[ti] = true
+				reached++
+				queue = append(queue, ti)
+			}
+		}
+	}
+	return reached == tiles
+}
+
+// SampleFailedLinks deterministically picks up to n failed channels of
+// the fabric from the seed, never disconnecting it: candidates are
+// drawn in seeded shuffle order and a candidate whose removal (both
+// directions) would split the fabric is skipped. Fewer than n links are
+// returned when the fabric has no more removable channels — a 2x2 mesh,
+// for example, is a cycle and survives exactly one failure.
+func SampleFailedLinks(t Topology, n int, seed int64) []Link {
+	if n <= 0 {
+		return nil
+	}
+	candidates := undirectedLinks(t)
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+
+	failed := make([]bool, t.LinkCount())
+	var picked []Link
+	for _, l := range candidates {
+		if len(picked) == n {
+			break
+		}
+		id, rid := t.LinkID(l), t.LinkID(Link{From: l.To, To: l.From})
+		failed[id] = true
+		if rid != NoLink {
+			failed[rid] = true
+		}
+		if !connectedWithout(t, failed) {
+			failed[id] = false
+			if rid != NoLink {
+				failed[rid] = false
+			}
+			continue
+		}
+		picked = append(picked, l)
+	}
+	sort.Slice(picked, func(i, j int) bool { return lessLink(picked[i], picked[j]) })
+	return picked
+}

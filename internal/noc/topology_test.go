@@ -1,0 +1,294 @@
+package noc
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// testFabrics returns a representative set of every Topology
+// implementation: meshes under both dimension orders, tori (odd and
+// even rings, degenerate no-wrap, small non-wrapping dims) and degraded
+// fabrics over both (empty, single failure, seed-sampled sets).
+func testFabrics(t *testing.T) []Topology {
+	t.Helper()
+	var out []Topology
+	mustMesh := func(w, h int, r Routing) Topology {
+		topo, err := NewMeshTopology(MustMesh(w, h), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return topo
+	}
+	mustTorus := func(w, h int, yFirst, noWrap bool) Topology {
+		topo, err := NewTorus(w, h, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		topo.YFirst = yFirst
+		topo.NoWrapX, topo.NoWrapY = noWrap, noWrap
+		return topo
+	}
+	degrade := func(inner Topology, failed []Link) Topology {
+		topo, err := NewDegradedMesh(inner, failed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return topo
+	}
+	out = append(out,
+		mustMesh(4, 3, XY{}),
+		mustMesh(3, 4, YX{}),
+		mustMesh(1, 5, nil),
+		mustTorus(4, 4, false, false),
+		mustTorus(5, 3, true, false),
+		mustTorus(4, 4, false, true), // degenerate: wraps disabled
+		mustTorus(2, 5, false, false),
+		degrade(mustMesh(4, 3, XY{}), nil),
+		degrade(mustMesh(3, 3, XY{}), []Link{{Coord{1, 1}, Coord{2, 1}}}),
+		degrade(mustTorus(4, 4, false, false), SampleFailedLinks(mustTorus(4, 4, false, false), 3, 7)),
+		degrade(mustMesh(4, 4, XY{}), SampleFailedLinks(mustMesh(4, 4, XY{}), 4, 11)),
+	)
+	return out
+}
+
+// TestTopologyRoutingContract is the property suite every fabric must
+// satisfy: Index/CoordOf bijection, link enumeration round-tripping
+// through the dense ID space, and routing that is deterministic,
+// minimal w.r.t. the fabric's own hop metric and confined to enumerated
+// links.
+func TestTopologyRoutingContract(t *testing.T) {
+	for _, topo := range testFabrics(t) {
+		topo := topo
+		t.Run(fmt.Sprintf("%s/%s", topo, topo.RoutingName()), func(t *testing.T) {
+			w, h := topo.Dims()
+			if topo.Tiles() != w*h {
+				t.Fatalf("tiles %d does not cover dims %dx%d", topo.Tiles(), w, h)
+			}
+			for i := 0; i < topo.Tiles(); i++ {
+				c := topo.CoordOf(i)
+				if !topo.Contains(c) || topo.Index(c) != i {
+					t.Fatalf("Index/CoordOf not a bijection at %d (%v)", i, c)
+				}
+			}
+
+			enumerated := make(map[LinkID]Link)
+			for _, l := range topo.Links() {
+				id := topo.LinkID(l)
+				if id == NoLink {
+					t.Fatalf("enumerated link %v has no ID", l)
+				}
+				if int(id) >= topo.LinkCount() {
+					t.Fatalf("link %v id %d outside dense space [0,%d)", l, id, topo.LinkCount())
+				}
+				if prev, dup := enumerated[id]; dup {
+					t.Fatalf("links %v and %v share id %d", prev, l, id)
+				}
+				enumerated[id] = l
+				back, ok := topo.LinkByID(id)
+				if !ok || back != l {
+					t.Fatalf("LinkByID(%d) = %v,%v, want %v", id, back, ok, l)
+				}
+			}
+			// Adjacency agrees with enumeration.
+			for i := 0; i < topo.Tiles(); i++ {
+				from := topo.CoordOf(i)
+				for _, to := range topo.Neighbors(from) {
+					if _, ok := enumerated[topo.LinkID(Link{From: from, To: to})]; !ok {
+						t.Fatalf("neighbour link %v->%v not enumerated", from, to)
+					}
+				}
+			}
+
+			for fi := 0; fi < topo.Tiles(); fi++ {
+				for ti := 0; ti < topo.Tiles(); ti++ {
+					from, to := topo.CoordOf(fi), topo.CoordOf(ti)
+					path := topo.Route(from, to)
+					if !reflect.DeepEqual(path, topo.Route(from, to)) {
+						t.Fatalf("route %v->%v not deterministic", from, to)
+					}
+					if len(path) == 0 || path[0] != from || path[len(path)-1] != to {
+						t.Fatalf("route %v->%v = %v does not span endpoints", from, to, path)
+					}
+					if d := topo.Distance(from, to); len(path) != d+1 {
+						t.Fatalf("route %v->%v length %d not minimal for metric %d", from, to, len(path)-1, d)
+					}
+					for _, l := range PathLinks(path) {
+						if _, ok := enumerated[topo.LinkID(l)]; !ok {
+							t.Fatalf("route %v->%v crosses phantom link %v", from, to, l)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRouteTableOnlyEnumeratedLinks re-asserts the phantom-link
+// property at the RouteTable layer for every fabric: every cached
+// link-ID resolves through LinkByID to a link of the topology.
+func TestRouteTableOnlyEnumeratedLinks(t *testing.T) {
+	for _, topo := range testFabrics(t) {
+		table, err := NewRouteTable(topo)
+		if err != nil {
+			t.Fatalf("%s: %v", topo, err)
+		}
+		for fi := 0; fi < topo.Tiles(); fi++ {
+			for ti := 0; ti < topo.Tiles(); ti++ {
+				from, to := topo.CoordOf(fi), topo.CoordOf(ti)
+				ids, err := table.LinkIDs(from, to)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, id := range ids {
+					if _, ok := topo.LinkByID(id); !ok {
+						t.Fatalf("%s: cached route %v->%v holds phantom id %d", topo, from, to, id)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTorusWrapShortens pins the torus point: opposite edges are one
+// hop apart, and the wrap route really crosses the wrap link.
+func TestTorusWrapShortens(t *testing.T) {
+	topo, err := NewTorus(5, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := topo.Distance(Coord{0, 0}, Coord{4, 0}); d != 1 {
+		t.Fatalf("corner-to-corner X distance %d, want 1 over the wrap", d)
+	}
+	path := topo.Route(Coord{0, 0}, Coord{4, 0})
+	want := []Coord{{0, 0}, {4, 0}}
+	if !reflect.DeepEqual(path, want) {
+		t.Fatalf("wrap route %v, want %v", path, want)
+	}
+	if id := topo.LinkID(Link{Coord{0, 0}, Coord{4, 0}}); id == NoLink {
+		t.Fatal("wrap link not in the dense ID space")
+	}
+	// Mid-ring ties break toward the increasing direction.
+	mid := topo.Route(Coord{0, 0}, Coord{2, 0})
+	if !reflect.DeepEqual(mid, []Coord{{0, 0}, {1, 0}, {2, 0}}) {
+		t.Fatalf("tied ring route %v, want increasing direction", mid)
+	}
+}
+
+// TestDegenerateTorusIsMesh checks the degenerate identity the
+// verification sweep builds on: a torus with both wraps disabled has
+// exactly the mesh's links, IDs, routes and metric.
+func TestDegenerateTorusIsMesh(t *testing.T) {
+	mesh, err := NewMeshTopology(MustMesh(4, 3), XY{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	torus := Torus{Width: 4, Height: 3, NoWrapX: true, NoWrapY: true}
+	if !reflect.DeepEqual(mesh.Links(), torus.Links()) {
+		t.Fatal("degenerate torus enumerates different links than the mesh")
+	}
+	for fi := 0; fi < mesh.Tiles(); fi++ {
+		for ti := 0; ti < mesh.Tiles(); ti++ {
+			from, to := mesh.CoordOf(fi), mesh.CoordOf(ti)
+			if !reflect.DeepEqual(mesh.Route(from, to), torus.Route(from, to)) {
+				t.Fatalf("routes differ at %v->%v", from, to)
+			}
+			if mesh.Distance(from, to) != torus.Distance(from, to) {
+				t.Fatalf("metric differs at %v->%v", from, to)
+			}
+		}
+	}
+	for _, l := range mesh.Links() {
+		if mesh.LinkID(l) != torus.LinkID(l) {
+			t.Fatalf("dense ID differs for %v", l)
+		}
+	}
+}
+
+// TestDegradedMeshDetours checks failures leave the LinkID space but
+// reroute deterministically, and that clean routes stay verbatim.
+func TestDegradedMeshDetours(t *testing.T) {
+	inner, err := NewMeshTopology(MustMesh(3, 3), XY{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := Link{Coord{0, 0}, Coord{1, 0}}
+	topo, err := NewDegradedMesh(inner, []Link{failed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.LinkID(failed) != NoLink {
+		t.Error("failed link still has a live ID")
+	}
+	if topo.LinkID(Link{failed.To, failed.From}) != NoLink {
+		t.Error("reverse direction of failed channel still has a live ID")
+	}
+	if got := len(topo.Links()); got != len(inner.Links())-2 {
+		t.Errorf("degraded fabric enumerates %d links, want %d", got, len(inner.Links())-2)
+	}
+	// The blocked route must detour minimally.
+	path := topo.Route(Coord{0, 0}, Coord{1, 0})
+	if len(path) != 4 || topo.Distance(Coord{0, 0}, Coord{1, 0}) != 3 {
+		t.Errorf("detour %v (metric %d), want a 3-hop path", path, topo.Distance(Coord{0, 0}, Coord{1, 0}))
+	}
+	// An untouched route is the inner fabric's verbatim.
+	// XY from (2,0) exhausts X along y=0 and crosses the failed
+	// channel, so the fabric must reroute it.
+	rerouted := topo.Route(Coord{2, 0}, Coord{0, 2})
+	if reflect.DeepEqual(rerouted, inner.Route(Coord{2, 0}, Coord{0, 2})) {
+		t.Errorf("blocked route not rerouted: %v", rerouted)
+	}
+	verbatim := topo.Route(Coord{2, 0}, Coord{2, 2})
+	if !reflect.DeepEqual(verbatim, inner.Route(Coord{2, 0}, Coord{2, 2})) {
+		t.Errorf("clean route %v rewritten", verbatim)
+	}
+}
+
+// TestDegradedMeshRejectsDisconnection checks a cut that isolates a
+// tile is a construction error.
+func TestDegradedMeshRejectsDisconnection(t *testing.T) {
+	inner, err := NewMeshTopology(MustMesh(2, 2), XY{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := []Link{
+		{Coord{0, 0}, Coord{1, 0}},
+		{Coord{0, 0}, Coord{0, 1}},
+	}
+	if _, err := NewDegradedMesh(inner, cut); err == nil {
+		t.Error("isolating tile (0,0) accepted")
+	}
+	if _, err := NewDegradedMesh(inner, []Link{{Coord{0, 0}, Coord{1, 1}}}); err == nil {
+		t.Error("failing a non-link accepted")
+	}
+}
+
+// TestSampleFailedLinksDeterministicAndConnected pins the sampler: a
+// fixed seed gives a fixed set, the degraded fabric always builds, and
+// an over-ask saturates instead of disconnecting.
+func TestSampleFailedLinksDeterministicAndConnected(t *testing.T) {
+	topo, err := NewMeshTopology(MustMesh(3, 3), XY{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := SampleFailedLinks(topo, 3, 42)
+	b := SampleFailedLinks(topo, 3, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed drew %v then %v", a, b)
+	}
+	if len(a) != 3 {
+		t.Fatalf("asked 3 failed links on 3x3, got %v", a)
+	}
+	if _, err := NewDegradedMesh(topo, a); err != nil {
+		t.Fatalf("sampled set disconnects the fabric: %v", err)
+	}
+	// Over-ask: a 3x3 mesh has 12 channels and 9 tiles, so at most 4
+	// failures can keep it connected (a spanning tree needs 8).
+	many := SampleFailedLinks(topo, 100, 7)
+	if len(many) != 4 {
+		t.Errorf("over-ask returned %d failures, want the 4 the fabric can absorb", len(many))
+	}
+	if _, err := NewDegradedMesh(topo, many); err != nil {
+		t.Errorf("saturated set disconnects the fabric: %v", err)
+	}
+}

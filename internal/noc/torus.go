@@ -1,0 +1,234 @@
+package noc
+
+import "fmt"
+
+// Torus is a WxH grid whose rows and columns close into rings: every
+// tile has all four neighbours, with the grid edges joined by
+// wrap-around channels. Routing stays dimension-ordered but picks, per
+// dimension, the ring direction with fewer hops (ties go the increasing
+// direction), so routes are deterministic and minimal w.r.t. the torus
+// hop metric.
+//
+// A dimension of size < 3 never wraps: its wrap channel would duplicate
+// an existing mesh channel (a 2-ring is a double link, which the dense
+// LinkID space cannot represent), so such dimensions route exactly like
+// the mesh. A torus with both wraps disabled is link-for-link and
+// route-for-route the mesh — the degenerate fabric the verification
+// sweep's mesh≡torus identity oracle is built on.
+type Torus struct {
+	Width, Height int
+	// YFirst routes the Y offset before the X offset (the yx ablation);
+	// default is X first, matching the paper's XY routing.
+	YFirst bool
+	// NoWrapX and NoWrapY suppress the wrap channels of one dimension.
+	NoWrapX, NoWrapY bool
+}
+
+// NewTorus returns a torus fabric of the given dimensions; a nil
+// routing selects X-first dimension order, YX{} selects Y first.
+func NewTorus(width, height int, routing Routing) (Torus, error) {
+	if width < 1 || height < 1 {
+		return Torus{}, fmt.Errorf("noc: torus dimensions must be positive, got %dx%d", width, height)
+	}
+	t := Torus{Width: width, Height: height}
+	if routing != nil {
+		switch routing.Name() {
+		case "xy":
+		case "yx":
+			t.YFirst = true
+		default:
+			return Torus{}, fmt.Errorf("noc: torus supports dimension-ordered routing only, got %q", routing.Name())
+		}
+	}
+	return t, nil
+}
+
+// wrapX reports whether the X dimension actually wraps.
+func (t Torus) wrapX() bool { return !t.NoWrapX && t.Width >= 3 }
+
+// wrapY reports whether the Y dimension actually wraps.
+func (t Torus) wrapY() bool { return !t.NoWrapY && t.Height >= 3 }
+
+// Kind implements Topology.
+func (t Torus) Kind() string { return "torus" }
+
+// String implements Topology.
+func (t Torus) String() string { return fmt.Sprintf("torus %dx%d", t.Width, t.Height) }
+
+// Dims implements Topology.
+func (t Torus) Dims() (int, int) { return t.Width, t.Height }
+
+// Tiles implements Topology.
+func (t Torus) Tiles() int { return t.Width * t.Height }
+
+// Contains implements Topology.
+func (t Torus) Contains(c Coord) bool {
+	return c.X >= 0 && c.X < t.Width && c.Y >= 0 && c.Y < t.Height
+}
+
+// Index implements Topology.
+func (t Torus) Index(c Coord) int { return c.Y*t.Width + c.X }
+
+// CoordOf implements Topology.
+func (t Torus) CoordOf(index int) Coord {
+	return Coord{X: index % t.Width, Y: index / t.Width}
+}
+
+// neighbor returns the tile one hop from c in direction slot d (the
+// linkDirections order: east, west, north, south), wrapping where the
+// dimension wraps; ok is false at a non-wrapping edge.
+func (t Torus) neighbor(c Coord, d int) (Coord, bool) {
+	n := Coord{X: c.X + linkDirections[d].X, Y: c.Y + linkDirections[d].Y}
+	switch {
+	case n.X < 0:
+		if !t.wrapX() {
+			return Coord{}, false
+		}
+		n.X = t.Width - 1
+	case n.X >= t.Width:
+		if !t.wrapX() {
+			return Coord{}, false
+		}
+		n.X = 0
+	case n.Y < 0:
+		if !t.wrapY() {
+			return Coord{}, false
+		}
+		n.Y = t.Height - 1
+	case n.Y >= t.Height:
+		if !t.wrapY() {
+			return Coord{}, false
+		}
+		n.Y = 0
+	}
+	return n, true
+}
+
+// Neighbors implements Topology: east, west, north, south, skipping
+// non-wrapping edges.
+func (t Torus) Neighbors(c Coord) []Coord {
+	out := make([]Coord, 0, 4)
+	for d := range linkDirections {
+		if n, ok := t.neighbor(c, d); ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Links implements Topology.
+func (t Torus) Links() []Link {
+	var links []Link
+	for i := 0; i < t.Tiles(); i++ {
+		from := t.CoordOf(i)
+		for d := range linkDirections {
+			if to, ok := t.neighbor(from, d); ok {
+				links = append(links, Link{From: from, To: to})
+			}
+		}
+	}
+	sortLinks(links)
+	return links
+}
+
+// LinkCount implements Topology: four direction slots per tile, exactly
+// the mesh scheme, so degenerate tori share the mesh's ID assignment.
+func (t Torus) LinkCount() int { return 4 * t.Tiles() }
+
+// LinkID implements Topology.
+func (t Torus) LinkID(l Link) LinkID {
+	if !t.Contains(l.From) || !t.Contains(l.To) {
+		return NoLink
+	}
+	for d := range linkDirections {
+		if to, ok := t.neighbor(l.From, d); ok && to == l.To {
+			return LinkID(4*t.Index(l.From) + d)
+		}
+	}
+	return NoLink
+}
+
+// LinkByID implements Topology.
+func (t Torus) LinkByID(id LinkID) (Link, bool) {
+	if id < 0 || int(id) >= t.LinkCount() {
+		return Link{}, false
+	}
+	from := t.CoordOf(int(id) / 4)
+	to, ok := t.neighbor(from, int(id)%4)
+	if !ok {
+		return Link{}, false
+	}
+	return Link{From: from, To: to}, true
+}
+
+// ringStep returns the stepping direction (+1 or -1) from one ring
+// position to another: the shorter way round when the dimension wraps
+// (ties increase), the monotone way otherwise.
+func ringStep(from, to, size int, wraps bool) int {
+	if !wraps {
+		return step(from, to)
+	}
+	fwd := (to - from + size) % size
+	bwd := (from - to + size) % size
+	if fwd <= bwd {
+		return 1
+	}
+	return -1
+}
+
+// ringDistance returns the hop count between two ring positions.
+func ringDistance(from, to, size int, wraps bool) int {
+	d := abs(from - to)
+	if !wraps {
+		return d
+	}
+	if wrap := size - d; wrap < d {
+		return wrap
+	}
+	return d
+}
+
+// Route implements Topology: dimension-ordered, shortest ring direction
+// per dimension.
+func (t Torus) Route(from, to Coord) []Coord {
+	path := make([]Coord, 0, t.Distance(from, to)+1)
+	cur := from
+	path = append(path, cur)
+	walkX := func() {
+		dir := ringStep(cur.X, to.X, t.Width, t.wrapX())
+		for cur.X != to.X {
+			cur.X = (cur.X + dir + t.Width) % t.Width
+			path = append(path, cur)
+		}
+	}
+	walkY := func() {
+		dir := ringStep(cur.Y, to.Y, t.Height, t.wrapY())
+		for cur.Y != to.Y {
+			cur.Y = (cur.Y + dir + t.Height) % t.Height
+			path = append(path, cur)
+		}
+	}
+	if t.YFirst {
+		walkY()
+		walkX()
+	} else {
+		walkX()
+		walkY()
+	}
+	return path
+}
+
+// Distance implements Topology: the sum of per-dimension ring
+// distances.
+func (t Torus) Distance(from, to Coord) int {
+	return ringDistance(from.X, to.X, t.Width, t.wrapX()) +
+		ringDistance(from.Y, to.Y, t.Height, t.wrapY())
+}
+
+// RoutingName implements Topology.
+func (t Torus) RoutingName() string {
+	if t.YFirst {
+		return "yx"
+	}
+	return "xy"
+}

@@ -104,6 +104,7 @@ type planJSON struct {
 	PowerLimit float64     `json:"power_limit,omitempty"`
 	Makespan   int         `json:"makespan"`
 	PeakPower  float64     `json:"peak_power"`
+	Notes      []string    `json:"notes,omitempty"`
 	Entries    []entryJSON `json:"entries"`
 }
 
@@ -136,6 +137,7 @@ func (p *Plan) WriteJSON(w io.Writer) error {
 		PowerLimit: p.PowerLimit,
 		Makespan:   p.Makespan(),
 		PeakPower:  p.PeakPower(),
+		Notes:      p.Notes,
 	}
 	for _, e := range p.ByStart() {
 		je := entryJSON{

@@ -97,3 +97,19 @@ func TestSummary(t *testing.T) {
 		t.Error("unconstrained plan should say so")
 	}
 }
+
+// TestWriteJSONCarriesNotes pins the reproducibility satellite: the
+// fabric/routing note a compiled model attaches must survive JSON
+// serialisation, so a serialised plan names its topology without
+// out-of-band context.
+func TestWriteJSONCarriesNotes(t *testing.T) {
+	p := samplePlan()
+	p.Notes = []string{"fabric: torus 4x4, routing xy"}
+	var b bytes.Buffer
+	if err := p.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "fabric: torus 4x4, routing xy") {
+		t.Errorf("JSON output lost the fabric note:\n%s", b.String())
+	}
+}

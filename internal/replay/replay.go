@@ -78,9 +78,16 @@ func Replay(sys *soc.System, p *plan.Plan, cfg Config) ([]Result, error) {
 	cfg = cfg.withDefaults(p)
 	timing := sys.Net.Timing
 
+	// The wormhole simulator models the paper's plain mesh only; other
+	// fabrics (torus wrap channels, degraded detours) have no wire model
+	// to replay against.
+	mesh, routing, ok := sys.Net.MeshFabric()
+	if !ok {
+		return nil, fmt.Errorf("replay: fabric %s has no cycle-accurate wire model (mesh only)", sys.Net.Topo)
+	}
 	net, err := sim.New(sim.Config{
-		Mesh:           sys.Net.Mesh,
-		Routing:        sys.Net.Routing,
+		Mesh:           mesh,
+		Routing:        routing,
 		RoutingLatency: timing.RoutingLatency,
 		FlowLatency:    timing.FlowLatency,
 	})

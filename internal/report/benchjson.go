@@ -19,6 +19,10 @@ import (
 type ScheduleBenchRecord struct {
 	// Benchmark names the ITC'02 system.
 	Benchmark string `json:"benchmark"`
+	// Topology describes the NoC fabric the row was measured on (the
+	// canonical cell is the paper's mesh), so trajectory rows stay
+	// comparable as fabrics become configurable.
+	Topology string `json:"topology"`
 	// BestMakespan is the portfolio's winning test time in cycles.
 	BestMakespan int `json:"best_makespan"`
 	// BestScheduler names the winning strategy.
@@ -146,6 +150,7 @@ func RunScheduleBench(ctx context.Context, benchmarks []string, seed int64, work
 		}
 		out.Records = append(out.Records, ScheduleBenchRecord{
 			Benchmark:           benchName,
+			Topology:            sys.Net.Topo.String(),
 			BestMakespan:        res.Makespan(),
 			BestScheduler:       res.Best,
 			NsPerScheduleBest:   elapsed.Nanoseconds() / benchRuns,

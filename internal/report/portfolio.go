@@ -31,6 +31,14 @@ type GridSpec struct {
 	// BISTFactor is the pattern inflation for processor-driven tests;
 	// values below 1 select PaperBISTFactor.
 	BISTFactor float64
+	// Topology selects the NoC fabric the systems are built on: "" or
+	// "mesh" (the paper's), or "torus".
+	Topology string
+	// FailedLinks, when positive, fails that many NoC channels per
+	// system (sampled deterministically from FailedLinkSeed), sweeping
+	// the grid on a degraded fabric.
+	FailedLinks    int
+	FailedLinkSeed int64
 }
 
 func (g GridSpec) withDefaults() GridSpec {
@@ -62,6 +70,8 @@ type GridRow struct {
 	Power     float64
 	Reuse     int // -1 means all processors
 	Exclusive bool
+	// Topology describes the cell's NoC fabric.
+	Topology string
 	// Makespan is the portfolio's winning test time.
 	Makespan int
 	// Greedy is the paper's single-variant baseline
@@ -106,7 +116,13 @@ func RunPortfolioGrid(ctx context.Context, g GridSpec, pf core.Portfolio) ([]Gri
 		if err != nil {
 			return nil, err
 		}
-		sys, err := soc.Build(bench, soc.BuildConfig{Processors: PaperProcessors(benchName), Profile: profile})
+		sys, err := soc.Build(bench, soc.BuildConfig{
+			Processors:      PaperProcessors(benchName),
+			Profile:         profile,
+			Topology:        g.Topology,
+			FailedLinkCount: g.FailedLinks,
+			FailedLinkSeed:  g.FailedLinkSeed,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -124,7 +140,8 @@ func RunPortfolioGrid(ctx context.Context, g GridSpec, pf core.Portfolio) ([]Gri
 					case reuse > 0:
 						opts.MaxReusedProcessors = reuse
 					}
-					row := GridRow{Benchmark: benchName, Power: power, Reuse: reuse, Exclusive: excl}
+					row := GridRow{Benchmark: benchName, Power: power, Reuse: reuse, Exclusive: excl,
+						Topology: sys.Net.Topo.String()}
 					model, err := core.Compile(sys, opts)
 					if err != nil {
 						return nil, fmt.Errorf("report: compile %s: %w", row.Label(), err)
@@ -172,10 +189,10 @@ func RunPortfolioGrid(ctx context.Context, g GridSpec, pf core.Portfolio) ([]Gri
 // RenderGrid renders the sweep as an aligned table.
 func RenderGrid(rows []GridRow) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-36s %12s %12s %7s  %s\n", "cell", "greedy", "portfolio", "gain", "winner")
+	fmt.Fprintf(&b, "%-36s %-14s %12s %12s %7s  %s\n", "cell", "fabric", "greedy", "portfolio", "gain", "winner")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-36s %12d %12d %6.1f%%  %s\n",
-			r.Label(), r.Greedy, r.Makespan, 100*r.Gain, r.Best)
+		fmt.Fprintf(&b, "%-36s %-14s %12d %12d %6.1f%%  %s\n",
+			r.Label(), r.Topology, r.Greedy, r.Makespan, 100*r.Gain, r.Best)
 	}
 	return b.String()
 }

@@ -31,6 +31,24 @@ type BuildConfig struct {
 	Transport noc.TransportPower
 	// Routing overrides the routing algorithm; nil selects XY.
 	Routing noc.Routing
+	// Topology selects the fabric kind built on the grid: "" or "mesh"
+	// (the paper's 2-D mesh) or "torus" (wrap-around channels in every
+	// dimension of size >= 3); see noc.NewFabric.
+	Topology string
+	// Topo overrides the fabric outright with a prebuilt topology; when
+	// set, Mesh dimensions are taken from it and Topology/Routing are
+	// ignored. Failed links still apply on top.
+	Topo noc.Topology
+	// FailedLinks removes NoC channels — both directions of each listed
+	// link — from the fabric, modelling links that failed self-test;
+	// blocked routes detour deterministically (noc.DegradedMesh).
+	FailedLinks []noc.Link
+	// FailedLinkCount, when positive and FailedLinks is empty, samples
+	// that many failed channels deterministically from FailedLinkSeed,
+	// never disconnecting the fabric (noc.SampleFailedLinks).
+	FailedLinkCount int
+	// FailedLinkSeed drives the FailedLinkCount sampling.
+	FailedLinkSeed int64
 	// ExtraPortPairs adds further tester interface pairs beyond the
 	// paper's single input/output pair, placed at the remaining corners.
 	ExtraPortPairs int
@@ -64,7 +82,9 @@ func Build(bench *itc02.SoC, cfg BuildConfig) (*System, error) {
 
 	total := len(bench.Cores) + cfg.Processors
 	mesh := cfg.Mesh
-	if mesh == (noc.Mesh{}) {
+	if cfg.Topo != nil {
+		mesh.Width, mesh.Height = cfg.Topo.Dims()
+	} else if mesh == (noc.Mesh{}) {
 		if m, ok := paperMeshes[bench.Name]; ok {
 			mesh = m
 		} else {
@@ -87,7 +107,32 @@ func Build(bench *itc02.SoC, cfg BuildConfig) (*System, error) {
 	if routing == nil {
 		routing = noc.XY{}
 	}
-	net, err := noc.NewCharacterization(mesh, routing, timing, transport)
+	topo := cfg.Topo
+	if topo == nil {
+		var err error
+		topo, err = noc.NewFabric(cfg.Topology, mesh, routing)
+		if err != nil {
+			return nil, err
+		}
+	}
+	failed := cfg.FailedLinks
+	if len(failed) == 0 && cfg.FailedLinkCount > 0 {
+		failed = noc.SampleFailedLinks(topo, cfg.FailedLinkCount, cfg.FailedLinkSeed)
+		if len(failed) == 0 {
+			// Every channel of the fabric is a bridge (1xN meshes): a
+			// degraded fabric was requested but none can be built, which
+			// must not silently come back as a pristine one.
+			return nil, fmt.Errorf("soc: %s has no removable channel, cannot fail %d links", topo, cfg.FailedLinkCount)
+		}
+	}
+	if len(failed) > 0 {
+		var err error
+		topo, err = noc.NewDegradedMesh(topo, failed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	net, err := noc.NewFabricCharacterization(topo, timing, transport)
 	if err != nil {
 		return nil, err
 	}
@@ -169,7 +214,11 @@ func squareFor(n int) noc.Mesh {
 }
 
 // spreadTiles picks n tiles evenly strided across the mesh in row-major
-// order, so processors end up distributed rather than clustered.
+// order, so processors end up distributed rather than clustered. When
+// the mesh has fewer tiles than processors, tiles are shared round-robin
+// once every tile is occupied — the nudge loop must not keep hunting
+// for a free tile that cannot exist (it used to spin forever, hanging
+// scenario generation on tiny meshes with many processors).
 func spreadTiles(mesh noc.Mesh, n int) []noc.Coord {
 	if n == 0 {
 		return nil
@@ -180,9 +229,14 @@ func spreadTiles(mesh noc.Mesh, n int) []noc.Coord {
 		idx := (i*total + total/2) / maxInt(n, 1) % total
 		tiles = append(tiles, mesh.CoordOf(idx))
 	}
-	// Strides can collide on tiny meshes; nudge duplicates forward.
+	// Strides can collide on tiny meshes; nudge duplicates forward
+	// while free tiles remain, then share round-robin.
 	used := make(map[noc.Coord]bool, n)
 	for i, t := range tiles {
+		if len(used) == total {
+			tiles[i] = mesh.CoordOf((i - total) % total)
+			continue
+		}
 		for used[t] {
 			t = mesh.CoordOf((mesh.Index(t) + 1) % total)
 		}

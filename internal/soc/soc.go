@@ -170,8 +170,8 @@ func (s *System) Validate() error {
 		if err := pc.Core.Validate(); err != nil {
 			return err
 		}
-		if !s.Net.Mesh.Contains(pc.Tile) {
-			return fmt.Errorf("soc: core %d (%s) placed off-mesh at %v", pc.Core.ID, pc.Core.Name, pc.Tile)
+		if !s.Net.Topo.Contains(pc.Tile) {
+			return fmt.Errorf("soc: core %d (%s) placed off-fabric at %v", pc.Core.ID, pc.Core.Name, pc.Tile)
 		}
 		if ids[pc.Core.ID] {
 			return fmt.Errorf("soc: duplicate core id %d", pc.Core.ID)
@@ -188,8 +188,8 @@ func (s *System) Validate() error {
 	}
 	var ins, outs int
 	for _, p := range s.Ports {
-		if !s.Net.Mesh.Contains(p.Tile) {
-			return fmt.Errorf("soc: port %s placed off-mesh at %v", p.Name, p.Tile)
+		if !s.Net.Topo.Contains(p.Tile) {
+			return fmt.Errorf("soc: port %s placed off-fabric at %v", p.Name, p.Tile)
 		}
 		if p.Dir == In {
 			ins++
@@ -265,8 +265,8 @@ func (s *System) InterfaceTiles() []noc.Coord {
 // String renders a one-line summary.
 func (s *System) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s: %dx%d mesh, %d cores (%d processors), %d ports, total power %.0f",
-		s.Name, s.Net.Mesh.Width, s.Net.Mesh.Height,
+	fmt.Fprintf(&b, "%s: %s, %d cores (%d processors), %d ports, total power %.0f",
+		s.Name, s.Net.Topo,
 		len(s.Cores), len(s.Processors()), len(s.Ports), s.TotalPower())
 	return b.String()
 }

@@ -3,6 +3,7 @@ package soc
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"noctest/internal/itc02"
 	"noctest/internal/noc"
@@ -66,8 +67,8 @@ func TestBuildNoProcessors(t *testing.T) {
 	if sys.Name != "d695" {
 		t.Errorf("Name = %q", sys.Name)
 	}
-	if got := sys.Net.Mesh; got != (noc.Mesh{Width: 4, Height: 4}) {
-		t.Errorf("mesh = %+v, want paper's 4x4", got)
+	if w, h := sys.Net.Topo.Dims(); w != 4 || h != 4 || sys.Net.Topo.Kind() != "mesh" {
+		t.Errorf("fabric = %v, want paper's 4x4 mesh", sys.Net.Topo)
 	}
 	if len(sys.Cores) != 10 || len(sys.Processors()) != 0 {
 		t.Errorf("cores = %d, processors = %d", len(sys.Cores), len(sys.Processors()))
@@ -134,8 +135,8 @@ func TestBuildPackedSystems(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", tc.bench, err)
 		}
-		if sys.Net.Mesh.Tiles() != tc.tiles {
-			t.Errorf("%s mesh tiles = %d, want %d", tc.bench, sys.Net.Mesh.Tiles(), tc.tiles)
+		if sys.Net.Topo.Tiles() != tc.tiles {
+			t.Errorf("%s mesh tiles = %d, want %d", tc.bench, sys.Net.Topo.Tiles(), tc.tiles)
 		}
 		if len(sys.Cores) != len(bench.Cores)+tc.procs {
 			t.Errorf("%s cores = %d", tc.bench, len(sys.Cores))
@@ -143,6 +144,83 @@ func TestBuildPackedSystems(t *testing.T) {
 		if err := sys.Validate(); err != nil {
 			t.Errorf("%s: %v", tc.bench, err)
 		}
+	}
+}
+
+// TestBuildManyProcessorsOnTinyMesh is the regression test for the
+// spreadTiles near-hang: more processors than tiles used to spin
+// forever hunting for a free tile (the scenario behind
+// `noctest -sweep 11 -seed 4` stalling at scenario index 10). Tiles
+// must be shared round-robin instead, and the build must validate.
+func TestBuildManyProcessorsOnTinyMesh(t *testing.T) {
+	bench := &itc02.SoC{Name: "tiny", Cores: []itc02.Core{
+		{ID: 1, Name: "a", Inputs: 4, Outputs: 4, Patterns: 5},
+	}}
+	done := make(chan *System, 1)
+	go func() {
+		sys, err := Build(bench, BuildConfig{
+			Mesh:       noc.Mesh{Width: 2, Height: 2},
+			Processors: 5,
+			Profile:    Plasma(),
+		})
+		if err != nil {
+			t.Errorf("build failed: %v", err)
+			done <- nil
+			return
+		}
+		done <- sys
+	}()
+	select {
+	case sys := <-done:
+		if sys == nil {
+			return
+		}
+		if got := len(sys.Processors()); got != 5 {
+			t.Errorf("placed %d processors, want 5", got)
+		}
+		if err := sys.Validate(); err != nil {
+			t.Error(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Build still hangs with more processors than tiles")
+	}
+}
+
+// TestBuildTopologies checks the fabric plumbing end to end: torus and
+// degraded fabrics build, validate and report their kinds, and failed
+// links sampled by count are deterministic.
+func TestBuildTopologies(t *testing.T) {
+	bench := &itc02.SoC{Name: "fab", Cores: []itc02.Core{
+		{ID: 1, Name: "a", Inputs: 4, Outputs: 4, Patterns: 5},
+		{ID: 2, Name: "b", Inputs: 4, Outputs: 4, Patterns: 5},
+	}}
+	torus, err := Build(bench, BuildConfig{Mesh: noc.Mesh{Width: 3, Height: 3}, Topology: "torus"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torus.Net.Topo.Kind() != "torus" {
+		t.Errorf("fabric kind %q, want torus", torus.Net.Topo.Kind())
+	}
+	deg, err := Build(bench, BuildConfig{
+		Mesh: noc.Mesh{Width: 3, Height: 3}, FailedLinkCount: 2, FailedLinkSeed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg.Net.Topo.Kind() != "degraded" {
+		t.Errorf("fabric kind %q, want degraded", deg.Net.Topo.Kind())
+	}
+	deg2, err := Build(bench, BuildConfig{
+		Mesh: noc.Mesh{Width: 3, Height: 3}, FailedLinkCount: 2, FailedLinkSeed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg.Net.Topo.String() != deg2.Net.Topo.String() {
+		t.Errorf("same seed built %s then %s", deg.Net.Topo, deg2.Net.Topo)
+	}
+	if _, err := Build(bench, BuildConfig{Topology: "hypercube"}); err == nil {
+		t.Error("unknown fabric kind accepted")
 	}
 }
 
@@ -158,8 +236,8 @@ func TestBuildUnknownBenchmarkGetsSquareMesh(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sys.Net.Mesh != (noc.Mesh{Width: 3, Height: 3}) {
-		t.Errorf("mesh = %+v, want smallest square 3x3", sys.Net.Mesh)
+	if w, h := sys.Net.Topo.Dims(); w != 3 || h != 3 {
+		t.Errorf("fabric = %v, want smallest square 3x3", sys.Net.Topo)
 	}
 }
 

@@ -165,6 +165,15 @@ type ScenarioParams struct {
 	// [side-1, side+slack-1], floored at 2, so scenarios cover both
 	// packed meshes (several cores per tile) and sparse ones.
 	MeshSlack int
+	// Topology forces every scenario onto one fabric kind ("mesh",
+	// "torus" or "degraded"); empty draws uniformly over the three, so
+	// an unconstrained sweep exercises every fabric. The verification
+	// matrix runs one forced sweep per kind.
+	Topology string
+	// MaxFailedLinks bounds the failed-channel draw of degraded
+	// fabrics (inclusive, from 1); zero selects 3, negative forbids
+	// degradation (degraded draws fall back to mesh).
+	MaxFailedLinks int
 	// SoC carries the per-core distributions; Cores, Seed and Name are
 	// overridden per scenario.
 	SoC Params
@@ -189,6 +198,9 @@ func (p ScenarioParams) withDefaults() ScenarioParams {
 	if p.MeshSlack == 0 {
 		p.MeshSlack = 2
 	}
+	if p.MaxFailedLinks == 0 {
+		p.MaxFailedLinks = 3
+	}
 	return p
 }
 
@@ -212,7 +224,19 @@ type Scenario struct {
 	// ExtraPortPairs is the number of tester port pairs beyond the
 	// default corner pair.
 	ExtraPortPairs int
+	// Topology is the fabric kind the system is placed on: "mesh"
+	// (default, the paper's fabric), "torus", or "degraded" (a mesh
+	// with FailedLinks failed channels).
+	Topology string
+	// FailedLinks is the failed-channel count of a degraded fabric;
+	// the channels themselves are sampled deterministically from Seed
+	// (soc.Build via noc.SampleFailedLinks), so the count plus the seed
+	// reproduce the exact fabric.
+	FailedLinks int
 }
+
+// topologyKinds is the uniform fabric draw of unconstrained sweeps.
+var topologyKinds = []string{"mesh", "torus", "degraded"}
 
 // NewScenario draws a scenario deterministically from seed.
 func NewScenario(seed int64, p ScenarioParams) Scenario {
@@ -241,6 +265,22 @@ func NewScenario(seed int64, p ScenarioParams) Scenario {
 	sp.Cores = cores
 	sp.Seed = r.Int63()
 	sp.Name = fmt.Sprintf("sweep%d", seed)
+	// The topology draws come last so every earlier field keeps its
+	// historical value for a given seed; forcing a kind leaves the rest
+	// of the scenario untouched, which is what lets the verification
+	// matrix compare fabrics on otherwise-identical systems.
+	kind := p.Topology
+	if kind == "" {
+		kind = topologyKinds[r.Intn(len(topologyKinds))]
+	}
+	failed := 0
+	if kind == "degraded" {
+		if p.MaxFailedLinks > 0 {
+			failed = 1 + r.Intn(p.MaxFailedLinks)
+		} else {
+			kind = "mesh"
+		}
+	}
 	return Scenario{
 		Seed:           seed,
 		SoC:            Generate(sp),
@@ -248,13 +288,54 @@ func NewScenario(seed int64, p ScenarioParams) Scenario {
 		Processors:     procs,
 		Profile:        profile,
 		ExtraPortPairs: extra,
+		Topology:       kind,
+		FailedLinks:    failed,
 	}
+}
+
+// WithTopology returns a copy of the scenario moved onto another
+// fabric, leaving the SoC and placement untouched — the construction
+// behind the sweep's cross-fabric regimes and identity oracles.
+func (sc Scenario) WithTopology(kind string, failedLinks int) Scenario {
+	sc.Topology = kind
+	sc.FailedLinks = failedLinks
+	return sc
 }
 
 // Build places the scenario into a validated system.
 func (sc Scenario) Build() (*soc.System, error) {
+	kind := sc.Topology
+	if kind == "degraded" {
+		// A degraded scenario is a mesh with failed channels; the kind
+		// token exists so scenario files read naturally.
+		kind = "mesh"
+	}
 	cfg := soc.BuildConfig{
-		Mesh:           sc.Mesh,
+		Mesh:            sc.Mesh,
+		Processors:      sc.Processors,
+		ExtraPortPairs:  sc.ExtraPortPairs,
+		Topology:        kind,
+		FailedLinkCount: sc.FailedLinks,
+		FailedLinkSeed:  sc.Seed,
+	}
+	if sc.Processors > 0 {
+		profile, err := soc.ProfileByName(sc.Profile)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Profile = profile
+	}
+	return soc.Build(sc.SoC, cfg)
+}
+
+// BuildOn places the scenario on an explicit prebuilt fabric instead
+// of the one its Topology/FailedLinks fields describe — the hook the
+// verification sweep's identity oracles use to compare the mesh
+// against its degenerate encodings (no-wrap torus, zero-failure
+// degraded wrapper) on otherwise-identical systems.
+func (sc Scenario) BuildOn(topo noc.Topology) (*soc.System, error) {
+	cfg := soc.BuildConfig{
+		Topo:           topo,
 		Processors:     sc.Processors,
 		ExtraPortPairs: sc.ExtraPortPairs,
 	}
@@ -270,9 +351,9 @@ func (sc Scenario) Build() (*soc.System, error) {
 
 // String summarises the scenario on one line.
 func (sc Scenario) String() string {
-	return fmt.Sprintf("seed=%d cores=%d mesh=%dx%d procs=%d profile=%s extraports=%d",
+	return fmt.Sprintf("seed=%d cores=%d mesh=%dx%d procs=%d profile=%s extraports=%d topology=%s failedlinks=%d",
 		sc.Seed, len(sc.SoC.Cores), sc.Mesh.Width, sc.Mesh.Height,
-		sc.Processors, sc.Profile, sc.ExtraPortPairs)
+		sc.Processors, sc.Profile, sc.ExtraPortPairs, sc.topologyOrDefault(), sc.FailedLinks)
 }
 
 // Encode writes the scenario as a single itc02-format file: the given
@@ -287,17 +368,29 @@ func (sc Scenario) Encode(w io.Writer, notes ...string) error {
 			}
 		}
 	}
-	if _, err := fmt.Fprintf(w, "# scenario seed=%d mesh=%dx%d procs=%d profile=%s extraports=%d\n",
-		sc.Seed, sc.Mesh.Width, sc.Mesh.Height, sc.Processors, sc.Profile, sc.ExtraPortPairs); err != nil {
+	if _, err := fmt.Fprintf(w, "# scenario seed=%d mesh=%dx%d procs=%d profile=%s extraports=%d topology=%s failedlinks=%d\n",
+		sc.Seed, sc.Mesh.Width, sc.Mesh.Height, sc.Processors, sc.Profile, sc.ExtraPortPairs,
+		sc.topologyOrDefault(), sc.FailedLinks); err != nil {
 		return err
 	}
 	return itc02.Write(w, sc.SoC)
 }
 
+// topologyOrDefault normalises the empty kind to "mesh" for display
+// and serialisation.
+func (sc Scenario) topologyOrDefault() string {
+	if sc.Topology == "" {
+		return "mesh"
+	}
+	return sc.Topology
+}
+
 // ParseScenario reads a scenario file written by Encode: the "# scenario"
-// header comment supplies the placement, the itc02 body supplies the SoC.
+// header comment supplies the placement, the itc02 body supplies the
+// SoC. Files written before the topology layer carry no topology/
+// failedlinks tokens and parse as plain meshes.
 func ParseScenario(text string) (Scenario, error) {
-	sc := Scenario{Profile: "leon"}
+	sc := Scenario{Profile: "leon", Topology: "mesh"}
 	found := false
 	for _, line := range strings.Split(text, "\n") {
 		line = strings.TrimSpace(line)
@@ -325,6 +418,15 @@ func ParseScenario(text string) (Scenario, error) {
 				sc.Profile = val
 			case "extraports":
 				_, err = fmt.Sscanf(val, "%d", &sc.ExtraPortPairs)
+			case "topology":
+				switch val {
+				case "mesh", "torus", "degraded":
+					sc.Topology = val
+				default:
+					err = fmt.Errorf("unknown topology kind %q", val)
+				}
+			case "failedlinks":
+				_, err = fmt.Sscanf(val, "%d", &sc.FailedLinks)
 			default:
 				return Scenario{}, fmt.Errorf("socgen: unknown scenario key %q", key)
 			}

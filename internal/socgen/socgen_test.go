@@ -97,8 +97,8 @@ func TestScenarioBuildsAndValidates(t *testing.T) {
 		if got := len(sys.Processors()); got != sc.Processors {
 			t.Errorf("seed %d: system has %d processors, want %d", seed, got, sc.Processors)
 		}
-		if sys.Net.Mesh != sc.Mesh {
-			t.Errorf("seed %d: mesh %v, want %v", seed, sys.Net.Mesh, sc.Mesh)
+		if w, h := sys.Net.Topo.Dims(); w != sc.Mesh.Width || h != sc.Mesh.Height {
+			t.Errorf("seed %d: fabric %v, want %v", seed, sys.Net.Topo, sc.Mesh)
 		}
 	}
 }
@@ -157,5 +157,89 @@ func TestParseScenarioErrors(t *testing.T) {
 				t.Fatalf("got %v, want containing %q", err, tc.want)
 			}
 		})
+	}
+}
+
+// TestScenarioTopologyDraws covers the fabric distribution: forcing a
+// kind pins every draw, degraded draws carry a failed-link count in
+// [1, MaxFailedLinks], the unconstrained draw mixes all three kinds,
+// and forcing a kind changes nothing else about the scenario.
+func TestScenarioTopologyDraws(t *testing.T) {
+	kinds := map[string]int{}
+	for seed := int64(0); seed < 60; seed++ {
+		sc := NewScenario(seed, ScenarioParams{})
+		kinds[sc.Topology]++
+		switch sc.Topology {
+		case "mesh", "torus":
+			if sc.FailedLinks != 0 {
+				t.Errorf("seed %d: %s scenario has %d failed links", seed, sc.Topology, sc.FailedLinks)
+			}
+		case "degraded":
+			if sc.FailedLinks < 1 || sc.FailedLinks > 3 {
+				t.Errorf("seed %d: degraded failed-link draw %d outside [1,3]", seed, sc.FailedLinks)
+			}
+		default:
+			t.Fatalf("seed %d: unknown kind %q", seed, sc.Topology)
+		}
+
+		forced := NewScenario(seed, ScenarioParams{Topology: "torus"})
+		if forced.Topology != "torus" {
+			t.Fatalf("seed %d: forced torus drew %q", seed, forced.Topology)
+		}
+		free := sc
+		free.Topology, free.FailedLinks = forced.Topology, forced.FailedLinks
+		if !reflect.DeepEqual(free, forced) {
+			t.Errorf("seed %d: forcing the fabric changed other fields", seed)
+		}
+	}
+	for _, kind := range []string{"mesh", "torus", "degraded"} {
+		if kinds[kind] == 0 {
+			t.Errorf("unconstrained draw never produced %s (got %v)", kind, kinds)
+		}
+	}
+	if sc := NewScenario(1, ScenarioParams{MaxFailedLinks: -1, Topology: "degraded"}); sc.Topology != "mesh" {
+		t.Errorf("degradation forbidden but drew %q", sc.Topology)
+	}
+}
+
+// TestScenarioTopologyBuildAndRoundTrip checks torus and degraded
+// scenarios build onto the right fabric and survive Encode/Parse,
+// and that pre-topology scenario files still parse as plain meshes.
+func TestScenarioTopologyBuildAndRoundTrip(t *testing.T) {
+	for _, kind := range []string{"torus", "degraded"} {
+		sc := NewScenario(13, ScenarioParams{Topology: kind})
+		sys, err := sc.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if got := sys.Net.Topo.Kind(); got != kind {
+			t.Errorf("%s scenario built %q fabric", kind, got)
+		}
+		var b strings.Builder
+		if err := sc.Encode(&b); err != nil {
+			t.Fatal(err)
+		}
+		again, err := ParseScenario(b.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sc, again) {
+			t.Errorf("%s round trip changed the scenario:\n got %+v\nwant %+v", kind, again, sc)
+		}
+	}
+
+	legacy := "# scenario seed=5 mesh=2x2 procs=0 profile=plasma extraports=0\n" +
+		"soc x\ncore 1 a\n inputs 1\n outputs 1\n patterns 1\nend\n"
+	sc, err := ParseScenario(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Topology != "mesh" || sc.FailedLinks != 0 {
+		t.Errorf("legacy header parsed as %q/%d, want mesh/0", sc.Topology, sc.FailedLinks)
+	}
+
+	if _, err := ParseScenario("# scenario topology=klein\n" +
+		"soc x\ncore 1 a\n inputs 1\n outputs 1\n patterns 1\nend\n"); err == nil {
+		t.Error("unknown topology kind accepted")
 	}
 }

@@ -19,7 +19,8 @@ const defaultShrinkBudget = 250
 
 // Shrink minimises a failing scenario: it repeatedly tries reductions —
 // dropping the tail half of the cores, dropping single cores, halving
-// every pattern count, shrinking the mesh, removing a processor,
+// every pattern count, shrinking the mesh, simplifying the fabric
+// (fewer failed links, torus back to mesh), removing a processor,
 // removing extra tester ports — and keeps any candidate that still
 // fails the same (regime, oracle) pair as want. The result is the
 // smallest scenario the budget reached; it is guaranteed to still
@@ -101,6 +102,23 @@ func reductions(sc socgen.Scenario) []socgen.Scenario {
 	}
 	if sc.Mesh.Height > 2 {
 		out = append(out, withMesh(sc, sc.Mesh.Width, sc.Mesh.Height-1))
+	}
+
+	// Simplify the fabric: shed failed links one at a time, then fall
+	// back from torus to the plain mesh, so a repro that does not need
+	// the exotic fabric comes back without one.
+	if sc.FailedLinks > 0 {
+		cand := clone(sc)
+		cand.FailedLinks--
+		if cand.FailedLinks == 0 && cand.Topology == "degraded" {
+			cand.Topology = "mesh"
+		}
+		out = append(out, cand)
+	}
+	if sc.Topology == "torus" {
+		cand := clone(sc)
+		cand.Topology = "mesh"
+		out = append(out, cand)
 	}
 
 	// Remove a processor instance, then the extra tester port pairs.

@@ -28,11 +28,24 @@
 //     construction.
 //   - replay-window: circuit-switched (ExclusiveLinks) plans meet their
 //     windows on the cycle-accurate wormhole simulator via
-//     internal/replay. Only endpoint-disjoint plans are checked: when
-//     concurrent tests share a stream endpoint tile (packed meshes) the
-//     single-virtual-channel wire serialises them at the tile's local
-//     port, which the analytic model deliberately abstracts away (see
-//     wireReplayable).
+//     internal/replay. Only endpoint-disjoint plans on the plain mesh
+//     are checked: when concurrent tests share a stream endpoint tile
+//     (packed meshes) the single-virtual-channel wire serialises them
+//     at the tile's local port, which the analytic model deliberately
+//     abstracts away (see wireReplayable), and the simulator has no
+//     wire model for torus wrap channels or degraded detours.
+//   - mesh-torus-identity / mesh-degraded-identity: the topology layer
+//     is behaviour-preserving for the paper's fabric. Every scenario is
+//     rebuilt on the two degenerate fabrics — a torus with its wrap
+//     channels disabled and a DegradedMesh wrapper with no failures —
+//     and must produce exactly the mesh's deterministic plans and
+//     analytic floor.
+//
+// Scenarios draw their fabric (mesh, torus, degraded mesh with failed
+// links) from the generator, and two cross-fabric regimes additionally
+// reschedule every scenario on the fabrics it did not draw, so each
+// sweep exercises compile, the incremental kernel, validation and the
+// lower bound on all three topologies.
 //
 // On any oracle failure the engine auto-shrinks the scenario — dropping
 // cores, halving pattern counts, shrinking the mesh, removing
@@ -54,6 +67,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"reflect"
 	"runtime"
 	"sort"
 	"sync"
@@ -75,12 +89,25 @@ import (
 var oracleNames = []string{
 	"build", "compile", "incremental-replay", "schedule",
 	"validate", "lower-bound", "more-processors-help", "more-power-helps", "replay-window",
+	"mesh-torus-identity", "mesh-degraded-identity",
 }
 
-// regime is one option configuration every scenario is scheduled under.
+// regime is one configuration every scenario is scheduled under: an
+// option set, optionally on a different fabric than the scenario drew.
 type regime struct {
 	name string
 	opts core.Options
+	// topology, when non-empty, moves the scenario onto that fabric
+	// (socgen.Scenario.WithTopology) before compiling. Cross-fabric
+	// regimes run the absolute oracles (compile, incremental-replay,
+	// schedule, validate, lower-bound) but take no part in the
+	// warm-start/inheritance monotonicity construction: a fabric change
+	// reroutes every candidate, so no dominance argument relates its
+	// makespans to the base regime's.
+	topology string
+	// failedLinks is the failed-channel count a "degraded" topology
+	// override uses.
+	failedLinks int
 }
 
 // regimes is the sweep's option grid. "base" dominates "noreuse"
@@ -91,10 +118,16 @@ type regime struct {
 // regimes are listed before "base" so their winning orders can
 // warm-start it; see Check.
 var regimes = []regime{
-	{"noreuse", core.Options{DisableReuse: true}},
-	{"halfpower", core.Options{PowerLimitFraction: 0.5}},
-	{"base", core.Options{}},
-	{"exclusive", core.Options{ExclusiveLinks: true}},
+	{name: "noreuse", opts: core.Options{DisableReuse: true}},
+	{name: "halfpower", opts: core.Options{PowerLimitFraction: 0.5}},
+	{name: "base", opts: core.Options{}},
+	{name: "exclusive", opts: core.Options{ExclusiveLinks: true}},
+	// Cross-fabric regimes: the same system on the other fabrics, so
+	// every sweep schedules every topology no matter what the scenario
+	// drew. A regime matching the scenario's own fabric is skipped —
+	// "base" already covered it.
+	{name: "torus", topology: "torus"},
+	{name: "degraded", topology: "degraded", failedLinks: 2},
 }
 
 // Engine checks scenarios against the oracles. The zero value is ready
@@ -200,12 +233,28 @@ func (e Engine) check(ctx context.Context, sc socgen.Scenario, only string) (*Re
 	// oracles would measure search noise instead of engine soundness.
 	var warmOrders [][]int
 	var inherited []*plan.Plan
+	scKind := sc.Topology
+	if scKind == "" {
+		scKind = "mesh"
+	}
 	for _, reg := range regimes {
 		if only != "" && reg.name != only {
 			continue
 		}
+		regSys := sys
+		if reg.topology != "" {
+			if reg.topology == scKind {
+				continue // the scenario's own fabric; "base" covered it
+			}
+			rep.Checked["build"]++
+			regSys, err = sc.WithTopology(reg.topology, reg.failedLinks).Build()
+			if err != nil {
+				fail(reg.name, "build", err)
+				continue
+			}
+		}
 		rep.Checked["compile"]++
-		m, err := core.Compile(sys, reg.opts)
+		m, err := core.Compile(regSys, reg.opts)
 		if err != nil {
 			fail(reg.name, "compile", err)
 			continue
@@ -236,7 +285,7 @@ func (e Engine) check(ctx context.Context, sc socgen.Scenario, only string) (*Re
 		p := res.Plan
 		switch reg.name {
 		case "noreuse", "halfpower":
-			if order, ok := coreOrder(sys, p); ok {
+			if order, ok := coreOrder(regSys, p); ok {
 				warmOrders = append(warmOrders, order)
 			}
 			inherited = append(inherited, transplant(p, reg.name))
@@ -279,11 +328,35 @@ func (e Engine) check(ctx context.Context, sc socgen.Scenario, only string) (*Re
 		best[reg.name] = p
 		rep.Gaps[reg.name] = float64(p.Makespan()) / float64(bound.Cycles())
 
-		if reg.name == "exclusive" && e.ReplayMaxMakespan > 0 &&
+		// The wire oracle needs the cycle-accurate simulator, which
+		// models the paper's plain mesh only — torus wrap channels and
+		// degraded detours have no wire model, so those fabrics skip it.
+		_, _, onMesh := regSys.Net.MeshFabric()
+		if reg.name == "exclusive" && onMesh && e.ReplayMaxMakespan > 0 &&
 			p.Makespan() <= e.ReplayMaxMakespan && wireReplayable(p) {
 			rep.Checked["replay-window"]++
-			if _, err := replay.Verify(sys, p, replay.Config{MaxPatternsPerTest: e.ReplayPatterns}, 0); err != nil {
+			if _, err := replay.Verify(regSys, p, replay.Config{MaxPatternsPerTest: e.ReplayPatterns}, 0); err != nil {
 				fail(reg.name, "replay-window", err)
+			}
+		}
+	}
+
+	// Identity oracles: the mesh must be bit-identical to its two
+	// degenerate encodings — a torus whose wrap channels are disabled,
+	// and a DegradedMesh wrapper with no failures. Both rebuild the
+	// scenario's system on the degenerate fabric and demand the same
+	// deterministic plans and the same analytic floor, re-proving on
+	// every sweep that the topology abstraction did not perturb the
+	// paper's fabric.
+	if only == "" {
+		idErrs, err := e.identityChecks(ctx, sc)
+		if err != nil {
+			return nil, err
+		}
+		for _, oracle := range []string{"mesh-torus-identity", "mesh-degraded-identity"} {
+			rep.Checked[oracle]++
+			if ierr := idErrs[oracle]; ierr != nil {
+				fail("", oracle, ierr)
 			}
 		}
 	}
@@ -307,6 +380,108 @@ func (e Engine) check(ctx context.Context, sc socgen.Scenario, only string) (*Re
 		}
 	}
 	return rep, nil
+}
+
+// identityVariants are the (options, variant) cells every identity
+// oracle compares across fabrics.
+var identityOpts = []core.Options{{}, {ExclusiveLinks: true}}
+var identityVariants = []core.Variant{core.GreedyFirstAvailable, core.LookaheadFastestFinish}
+
+// identityChecks verifies the degenerate-fabric identities for the
+// scenario: the system rebuilt on each degenerate fabric (a no-wrap
+// torus, a DegradedMesh with zero failures) must produce exactly the
+// mesh system's deterministic plans (same makespans, same entries,
+// under plain and link-exclusive options and both variant rules) and
+// the same analytic lower bound. Feasibility must agree too: an order
+// that fails on one fabric must fail on the other. The mesh side is
+// built, compiled and scheduled once and shared by both oracles; the
+// returned map holds one violation (or nil) per oracle name. The error
+// return is reserved for harness-level problems (cancellation).
+func (e Engine) identityChecks(ctx context.Context, sc socgen.Scenario) (map[string]error, error) {
+	const torusOracle, degradedOracle = "mesh-torus-identity", "mesh-degraded-identity"
+	errs := make(map[string]error, 2)
+	both := func(err error) (map[string]error, error) {
+		errs[torusOracle], errs[degradedOracle] = err, err
+		return errs, nil
+	}
+	meshSys, err := sc.WithTopology("mesh", 0).Build()
+	if err != nil {
+		return both(fmt.Errorf("mesh build: %w", err))
+	}
+	w, h := meshSys.Net.Topo.Dims()
+	deg, err := noc.NewDegradedMesh(meshSys.Net.Topo, nil)
+	if err != nil {
+		return both(fmt.Errorf("degraded wrapper: %w", err))
+	}
+	alts := make(map[string]*soc.System, 2)
+	for oracle, topo := range map[string]noc.Topology{
+		torusOracle:    noc.Torus{Width: w, Height: h, NoWrapX: true, NoWrapY: true},
+		degradedOracle: deg,
+	} {
+		alt, err := sc.BuildOn(topo)
+		if err != nil {
+			errs[oracle] = fmt.Errorf("degenerate build: %w", err)
+			continue
+		}
+		alts[oracle] = alt
+	}
+
+	for _, opts := range identityOpts {
+		// The mesh side of the comparison is shared across both oracles.
+		mMesh, err := core.Compile(meshSys, opts)
+		if err != nil {
+			return both(fmt.Errorf("mesh compile: %w", err))
+		}
+		meshBound := mMesh.LowerBound()
+		meshPlans := make([]*plan.Plan, len(identityVariants))
+		meshErrs := make([]error, len(identityVariants))
+		for vi, v := range identityVariants {
+			meshPlans[vi], meshErrs[vi] = mMesh.Plan(ctx, v, mMesh.DefaultOrder(), "identity")
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
+		}
+
+		for oracle, alt := range alts {
+			if errs[oracle] != nil {
+				continue
+			}
+			mAlt, err := core.Compile(alt, opts)
+			if err != nil {
+				errs[oracle] = fmt.Errorf("degenerate fabric %s failed to compile where the mesh did: %w", alt.Net.Topo, err)
+				continue
+			}
+			if ba := mAlt.LowerBound(); meshBound != ba {
+				errs[oracle] = fmt.Errorf("lower bounds diverge (exclusive=%v): mesh %v vs %s %v",
+					opts.ExclusiveLinks, meshBound, alt.Net.Topo, ba)
+				continue
+			}
+			for vi, v := range identityVariants {
+				pa, errA := mAlt.Plan(ctx, v, mAlt.DefaultOrder(), "identity")
+				if cerr := ctx.Err(); cerr != nil {
+					return nil, cerr
+				}
+				pm, errM := meshPlans[vi], meshErrs[vi]
+				switch {
+				case (errM != nil) != (errA != nil):
+					errs[oracle] = fmt.Errorf("feasibility diverges (%s, exclusive=%v): mesh err %v vs %s err %v",
+						v, opts.ExclusiveLinks, errM, alt.Net.Topo, errA)
+				case errM != nil:
+					// Both infeasible: identical by agreement.
+				case pm.Makespan() != pa.Makespan():
+					errs[oracle] = fmt.Errorf("makespans diverge (%s, exclusive=%v): mesh %d vs %s %d",
+						v, opts.ExclusiveLinks, pm.Makespan(), alt.Net.Topo, pa.Makespan())
+				case !reflect.DeepEqual(pm.Entries, pa.Entries):
+					errs[oracle] = fmt.Errorf("plans diverge entry-wise (%s, exclusive=%v) at equal makespan %d",
+						v, opts.ExclusiveLinks, pm.Makespan())
+				}
+				if errs[oracle] != nil {
+					break
+				}
+			}
+		}
+	}
+	return errs, nil
 }
 
 // incrementalReplaySteps is the length of the random walk of related

@@ -5,9 +5,11 @@ import (
 	"context"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
+	"noctest/internal/core"
 	"noctest/internal/noc"
 	"noctest/internal/plan"
 	"noctest/internal/socgen"
@@ -174,5 +176,111 @@ func TestShrunkCorpusPasses(t *testing.T) {
 	}
 	if found == 0 {
 		t.Error("no .soc files in the shrunk corpus")
+	}
+}
+
+// TestIdentityOraclesCatchFabricDivergence checks both halves of the
+// identity construction: the identities hold on a healthy engine, and
+// the quantities they compare really are sensitive to fabric
+// divergence — a genuinely wrapping torus must produce a different
+// deterministic plan than the mesh, so a regression that made the
+// comparison vacuous (BuildOn ignoring its fabric, or the oracle
+// comparing the mesh against itself) cannot stay green.
+func TestIdentityOraclesCatchFabricDivergence(t *testing.T) {
+	sc := socgen.NewScenario(5, socgen.ScenarioParams{MaxCores: 8, SoC: socgen.Params{MaxPatterns: 60}})
+	errs, err := (Engine{}).identityChecks(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, oracle := range []string{"mesh-torus-identity", "mesh-degraded-identity"} {
+		if errs[oracle] != nil {
+			t.Errorf("%s violated on healthy engine: %v", oracle, errs[oracle])
+		}
+	}
+
+	// Negative half: rebuild the same scenario on a really wrapping
+	// torus and run exactly the comparison the oracle runs. The
+	// scenario's tester ports sit at opposite corners, so wrap channels
+	// shorten their routes and the deterministic plans must differ.
+	meshSys, err := sc.WithTopology("mesh", 0).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, h := meshSys.Net.Topo.Dims()
+	if w < 3 && h < 3 {
+		t.Fatalf("test premise broken: %dx%d grid cannot wrap", w, h)
+	}
+	torusSys, err := sc.BuildOn(noc.Torus{Width: w, Height: h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mMesh, err := core.Compile(meshSys, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mTorus, err := core.Compile(torusSys, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := mMesh.Plan(context.Background(), core.GreedyFirstAvailable, mMesh.DefaultOrder(), "identity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := mTorus.Plan(context.Background(), core.GreedyFirstAvailable, mTorus.DefaultOrder(), "identity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(pm.Entries, pt.Entries) {
+		t.Error("wrapping torus produced the mesh's exact plan: the identity comparison could not catch real divergence")
+	}
+}
+
+// TestCheckCoversAllFabricRegimes runs one full scenario check and
+// asserts the cross-fabric regimes scheduled: a mesh-drawn scenario
+// must also compile and schedule under the torus and degraded regimes.
+func TestCheckCoversAllFabricRegimes(t *testing.T) {
+	sc := socgen.NewScenario(3, socgen.ScenarioParams{
+		MaxCores: 8, Topology: "mesh", SoC: socgen.Params{MaxPatterns: 60},
+	})
+	rep, err := Engine{}.Check(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("healthy scenario failed: %+v", rep.Failures)
+	}
+	for _, reg := range []string{"base", "torus", "degraded"} {
+		if _, ok := rep.Gaps[reg]; !ok {
+			t.Errorf("regime %s produced no gap record (regimes run: %v)", reg, rep.Gaps)
+		}
+	}
+	if rep.Checked["mesh-torus-identity"] != 1 || rep.Checked["mesh-degraded-identity"] != 1 {
+		t.Errorf("identity oracles not checked once each: %v", rep.Checked)
+	}
+}
+
+// TestSweepTopologyMatrix forces each fabric kind through a small
+// sweep, mirroring the CI matrix: every kind must come back clean and
+// the drawn scenarios must actually carry the forced kind.
+func TestSweepTopologyMatrix(t *testing.T) {
+	for _, kind := range []string{"mesh", "torus", "degraded"} {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			cfg := tier1Config()
+			cfg.Scenarios = 6
+			cfg.SkipBenchmarks = true
+			cfg.Params.Topology = kind
+			sum, err := Sweep(context.Background(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n := sum.Failed(); n != 0 {
+				t.Fatalf("%d oracle violations under forced %s fabric:\n%+v", n, kind, sum.Failures)
+			}
+			sc := socgen.NewScenario(scenarioSeed(cfg.Seed, 0), cfg.Params)
+			if sc.Topology != kind {
+				t.Errorf("forced %s drew %q", kind, sc.Topology)
+			}
+		})
 	}
 }

@@ -83,8 +83,24 @@ type (
 	Entry = plan.Entry
 	// Mesh is the NoC grid topology.
 	Mesh = noc.Mesh
+	// Topology is the pluggable NoC fabric abstraction: tiles, links,
+	// dense link IDs and deterministic routing. BuildConfig.Topo accepts
+	// any implementation; Mesh-backed fabrics, Torus and DegradedMesh
+	// ship with the library.
+	Topology = noc.Topology
+	// Torus is the wrap-around fabric: rows and columns close into
+	// rings and dimension-ordered routing takes the shorter direction.
+	Torus = noc.Torus
+	// DegradedMesh wraps any fabric with failed channels around which
+	// routes detour deterministically, modelling partially self-tested
+	// NoCs.
+	DegradedMesh = noc.DegradedMesh
 	// Coord addresses a mesh tile.
 	Coord = noc.Coord
+	// Link is a directed channel between two adjacent routers; pass
+	// Links to BuildConfig.FailedLinks or NewDegradedMesh to fail
+	// specific channels.
+	Link = noc.Link
 	// Timing is the NoC router characterisation.
 	Timing = noc.Timing
 	// Model is the precompiled, immutable scheduling model of one
@@ -145,8 +161,21 @@ func Leon() ProcessorProfile { return soc.Leon() }
 // Plasma returns the MIPS-I processor profile evaluated in the paper.
 func Plasma() ProcessorProfile { return soc.Plasma() }
 
-// BuildSystem places a benchmark plus processors on a mesh NoC.
+// BuildSystem places a benchmark plus processors on a NoC fabric: the
+// paper's mesh by default, or a torus / degraded fabric via
+// BuildConfig.Topology, FailedLinks and Topo.
 func BuildSystem(bench *SoC, cfg BuildConfig) (*System, error) { return soc.Build(bench, cfg) }
+
+// NewDegradedMesh wraps a fabric with failed channels; see noc.DegradedMesh.
+func NewDegradedMesh(inner Topology, failed []Link) (*DegradedMesh, error) {
+	return noc.NewDegradedMesh(inner, failed)
+}
+
+// SampleFailedLinks deterministically picks up to n failed channels of
+// a fabric without disconnecting it; see noc.SampleFailedLinks.
+func SampleFailedLinks(t Topology, n int, seed int64) []Link {
+	return noc.SampleFailedLinks(t, n, seed)
+}
 
 // Schedule plans the complete test of a system and returns a validated
 // plan: one compile, one list-scheduling pass.
