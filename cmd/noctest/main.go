@@ -6,11 +6,13 @@
 //	noctest -bench d695 -cpu leon -procs 6 -reuse 6 -power 0.5 -format gantt
 //	noctest -bench d695 -topology torus -procs 6
 //	noctest -bench d695 -failed-links 2 -seed 7 -exclusive-links
+//	noctest -bench d695 -power 0.5 -preempt -resume-cost 50
 //	noctest -bench p22810 -portfolio -seed 42
 //	noctest -all -timeout 2m
 //	noctest -all -bench d695,p22810
 //	noctest -bench-json BENCH_schedule.json
 //	noctest -sweep 200 -seed 1 -sweep-out sweep.json
+//	noctest -sweep 50 -sweep-preempt preemptive
 //
 // Formats: summary (default), gantt, csv, json, table. -portfolio races
 // the full scheduler portfolio concurrently and reports per-strategy
@@ -64,6 +66,9 @@ type config struct {
 	exclusive bool
 	app       string
 	wrapperW  int
+	preempt   bool
+	maxSegs   int
+	resume    int
 	verify    bool
 	format    string
 	width     int
@@ -77,6 +82,7 @@ type config struct {
 
 	sweep         int
 	sweepTopology string
+	sweepPreempt  string
 	sweepOut      string
 	shrinkDir     string
 
@@ -99,6 +105,9 @@ func main() {
 	flag.BoolVar(&c.exclusive, "exclusive-links", false, "reserve NoC links exclusively per test")
 	flag.StringVar(&c.app, "app", "bist", "processor test application: bist or decompression")
 	flag.IntVar(&c.wrapperW, "wrapper", 0, "wrapper chains per core (0: transport-limited model)")
+	flag.BoolVar(&c.preempt, "preempt", false, "schedule preemptively: split tests into up to 4 segments at pattern boundaries (see -max-segments)")
+	flag.IntVar(&c.maxSegs, "max-segments", 0, "segment cap for preemptive scheduling (implies -preempt when > 1; 0 with -preempt selects 4)")
+	flag.IntVar(&c.resume, "resume-cost", 0, "extra cycles each test resumption pays on top of its path setup")
 	flag.BoolVar(&c.verify, "verify", false, "replay the plan on the cycle-accurate simulator and report the wire-level slack")
 	flag.StringVar(&c.format, "format", "summary", "output: summary, gantt, csv, json, table")
 	flag.IntVar(&c.width, "width", 100, "gantt chart width in columns")
@@ -110,6 +119,7 @@ func main() {
 	flag.StringVar(&c.benchJSON, "bench-json", "", "write the machine-readable perf trajectory (BENCH_schedule.json) to this path and exit")
 	flag.IntVar(&c.sweep, "sweep", 0, "run the scenario-sweep verification engine over this many generated systems and exit non-zero on any oracle violation")
 	flag.StringVar(&c.sweepTopology, "sweep-topology", "", "force every sweep scenario onto one fabric (mesh, torus, degraded); empty mixes all three")
+	flag.StringVar(&c.sweepPreempt, "sweep-preempt", "", "force every sweep scenario's scheduling mode (plain, preemptive); empty mixes both")
 	flag.StringVar(&c.sweepOut, "sweep-out", "", "write the sweep's JSON summary to this path instead of stdout")
 	flag.StringVar(&c.shrinkDir, "shrink-dir", "testdata/shrunk", "directory for shrunk failure reproductions (empty: do not shrink)")
 	flag.StringVar(&c.cpuProfile, "cpuprofile", "", "write a pprof CPU profile of the run to this path")
@@ -122,7 +132,8 @@ func main() {
 		"wrapper": true, "verify": true, "format": true, "width": true,
 		"portfolio": true, "all": true, "sweep": true, "sweep-out": true,
 		"shrink-dir": true, "topology": true, "failed-links": true,
-		"sweep-topology": true,
+		"sweep-topology": true, "sweep-preempt": true,
+		"preempt": true, "max-segments": true, "resume-cost": true,
 	}
 	ignoredBySweep := map[string]bool{
 		"bench": true, "cpu": true, "procs": true, "reuse": true, "power": true,
@@ -130,6 +141,7 @@ func main() {
 		"app": true, "wrapper": true, "verify": true, "format": true, "width": true,
 		"portfolio": true, "all": true, "bench-json": true, "topology": true,
 		"failed-links": true,
+		"preempt":      true, "max-segments": true, "resume-cost": true,
 	}
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "bench" {
@@ -236,6 +248,14 @@ func (c config) options() (core.Options, error) {
 		BISTPatternFactor:  c.bist,
 		ExclusiveLinks:     c.exclusive,
 		WrapperChains:      c.wrapperW,
+		MaxSegments:        c.maxSegs,
+		ResumeCycles:       c.resume,
+	}
+	if c.preempt && opts.MaxSegments == 0 {
+		opts.MaxSegments = 4
+	}
+	if opts.MaxSegments < 0 || opts.ResumeCycles < 0 {
+		return opts, fmt.Errorf("negative -max-segments/-resume-cost")
 	}
 	switch c.app {
 	case "bist":
@@ -380,11 +400,17 @@ func runBenchJSON(ctx context.Context, c config) error {
 	if err != nil {
 		return err
 	}
+	// Refreshing an existing trajectory preserves the hand-maintained
+	// baseline blocks (and any other keys the generator does not own).
+	existing, err := os.ReadFile(c.benchJSON)
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
 	f, err := os.Create(c.benchJSON)
 	if err != nil {
 		return err
 	}
-	if err := bench.WriteJSON(f); err != nil {
+	if err := bench.WriteMergedJSON(f, existing); err != nil {
 		f.Close()
 		return err
 	}
@@ -406,12 +432,17 @@ func runSweep(ctx context.Context, c config) error {
 	default:
 		return fmt.Errorf("unknown -sweep-topology %q (have mesh, torus, degraded)", c.sweepTopology)
 	}
+	switch c.sweepPreempt {
+	case "", "plain", "preemptive":
+	default:
+		return fmt.Errorf("unknown -sweep-preempt %q (have plain, preemptive)", c.sweepPreempt)
+	}
 	sum, err := verify.Sweep(ctx, verify.Config{
 		Scenarios: c.sweep,
 		Seed:      c.seed,
 		Workers:   c.workers,
 		ShrinkDir: c.shrinkDir,
-		Params:    socgen.ScenarioParams{Topology: c.sweepTopology},
+		Params:    socgen.ScenarioParams{Topology: c.sweepTopology, Preemption: c.sweepPreempt},
 	})
 	if err != nil {
 		return err
@@ -436,6 +467,10 @@ func runSweep(ctx context.Context, c config) error {
 	for _, g := range sum.BenchmarkGaps {
 		fmt.Fprintf(os.Stderr, "noctest: %-8s makespan %9d vs lower bound %9d (gap %.2fx)\n",
 			g.Benchmark, g.Makespan, g.LowerBound, g.Gap)
+	}
+	if sum.PreemptionWins > 0 {
+		fmt.Fprintf(os.Stderr, "noctest: preemption strictly improved %d scenarios (best by %d cycles at %s)\n",
+			sum.PreemptionWins, sum.BestPreemptionDelta, sum.BestPreemptionAt)
 	}
 	if n := sum.Failed(); n > 0 {
 		return fmt.Errorf("sweep: %d oracle violations across %d scenarios (see summary failures%s)",

@@ -124,6 +124,30 @@ func TestRunBenchJSON(t *testing.T) {
 	if doc.Seed != 7 {
 		t.Errorf("seed %d, want 7", doc.Seed)
 	}
+
+	// Refreshing in place preserves keys the generator does not own —
+	// the committed file's hand-maintained baseline blocks.
+	tagged := strings.Replace(string(data), "{\n", "{\n  \"baseline_hand_block\": {\"keep\": true},\n", 1)
+	if err := os.WriteFile(path, []byte(tagged), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = capture(t, func() error {
+		return run(config{bench: "d695", benchSet: true, cpu: "leon",
+			bist: 1, seed: 7, benchJSON: path})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "\"baseline_hand_block\"") {
+		t.Errorf("-bench-json clobbered a hand-maintained block:\n%s", data)
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("merged bench json does not parse: %v", err)
+	}
 }
 
 // TestRunSweep drives -sweep end to end: the JSON summary must land in
@@ -295,5 +319,74 @@ func TestRunSweepForcedTopology(t *testing.T) {
 	}
 	if sum.Scenarios != 2 || sum.Failed() != 0 {
 		t.Errorf("forced-torus sweep summary unexpected: %+v", sum)
+	}
+}
+
+// TestRunPreemptFlags drives the preemptive scheduling path: -preempt
+// schedules end to end and the summary notes the segment policy, the
+// cap and resume cost thread through, and bad values are rejected.
+func TestRunPreemptFlags(t *testing.T) {
+	base := config{bench: "d695", cpu: "leon", procs: 6, reuse: -1,
+		variant: "greedy", priority: "processors-first", app: "bist",
+		bist: 1, format: "summary", width: 80}
+
+	pre := base
+	pre.preempt = true
+	pre.resume = 50
+	out, err := capture(t, func() error { return run(pre) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "preemptive: tests split into at most 4 segments") ||
+		!strings.Contains(out, "resume cost 50 cycles") {
+		t.Errorf("summary does not record the preemption policy:\n%s", out)
+	}
+
+	capped := base
+	capped.maxSegs = 2
+	out, err = capture(t, func() error { return run(capped) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "at most 2 segments") {
+		t.Errorf("-max-segments did not thread through:\n%s", out)
+	}
+
+	bad := base
+	bad.maxSegs = -1
+	if _, err := capture(t, func() error { return run(bad) }); err == nil {
+		t.Error("negative -max-segments accepted")
+	}
+}
+
+// TestRunSweepForcedPreemption checks -sweep-preempt threads through to
+// the generator: a tiny forced-preemptive sweep completes cleanly, and
+// an unknown mode is rejected.
+func TestRunSweepForcedPreemption(t *testing.T) {
+	dir := t.TempDir()
+	sweepOut := filepath.Join(dir, "sweep.json")
+	_, err := capture(t, func() error {
+		return run(config{sweep: 2, seed: 3, sweepPreempt: "preemptive",
+			sweepOut: sweepOut, shrinkDir: ""})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(sweepOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum verify.Summary
+	if err := json.Unmarshal(data, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Scenarios != 2 || sum.Failed() != 0 {
+		t.Errorf("forced-preemptive sweep summary unexpected: %+v", sum)
+	}
+
+	if _, err := capture(t, func() error {
+		return run(config{sweep: 1, sweepPreempt: "maybe", shrinkDir: ""})
+	}); err == nil {
+		t.Error("unknown -sweep-preempt accepted")
 	}
 }

@@ -15,23 +15,33 @@ import (
 //
 // Every component is sound for every scheduling strategy and core
 // order, because each argues only from the per-(core, interface)
-// candidate table the strategies themselves place from:
+// candidate table the strategies themselves place from. A candidate's
+// duration is the total busy time of its whole segment chain —
+// resumption re-setups included — so every argument survives the
+// preemptive generalisation unchanged: segments may spread a test over
+// a longer elapsed span, never compress its resource occupancy below
+// the chain total.
 //
-//   - CriticalCore: every core must run one feasible candidate in full,
-//     so no schedule beats the largest per-core minimum duration.
+//   - CriticalCore: every core must run all segments of one feasible
+//     candidate, so no schedule beats the largest per-core minimum
+//     chain total (the segments cannot overlap each other: segment k
+//     precedes k+1 on the same interface).
 //   - InterfaceCapacity: each candidate occupies exactly one interface
-//     for its whole duration and interfaces run one test at a time, so
-//     the total minimum work divided by the interface count is a floor
-//     (optimistically assuming every processor interface is available
-//     from cycle zero).
+//     for its chain total (every segment of a chain stays on the
+//     interface that started it) and interfaces run one test at a
+//     time, so the total minimum work divided by the interface count
+//     is a floor (optimistically assuming every processor interface is
+//     available from cycle zero).
 //   - BottleneckLink (ExclusiveLinks models only): when every feasible
 //     candidate of a core crosses the same directed link, that link
-//     carries the core's minimum duration no matter what the scheduler
-//     picks; concurrent tests may not share the link, so the busiest
-//     link's unavoidable occupancy is a floor.
+//     carries the core's chain total no matter what the scheduler
+//     picks (a preempted test resumes over the same route); concurrent
+//     tests may not share the link, so the busiest link's unavoidable
+//     occupancy is a floor.
 //   - PowerFloor (power-limited models only): the instantaneous draw
 //     never exceeds the ceiling, so the schedule length is at least the
-//     total minimum energy divided by the ceiling.
+//     total minimum energy divided by the ceiling; a chain's energy is
+//     draw times chain total, segment by segment.
 type Bound struct {
 	// CriticalCore is the largest minimum single-test duration.
 	CriticalCore int

@@ -207,6 +207,27 @@ type Options struct {
 	// not the NoC, the per-pattern bottleneck. Zero keeps the paper's
 	// transport-limited model.
 	WrapperChains int
+	// MaxSegments, when above 1, makes scheduling preemptive: every
+	// test is split at pattern boundaries into at most this many
+	// segments (package wrapper's SegmentPatterns policy), each placed
+	// as its own reservation on the test's interface with segment k
+	// always ending before segment k+1 starts. The first segment pays
+	// the test's one-time setup (e.g. the decompression load); every
+	// resumption pays the path setup again plus ResumeCycles. Zero or
+	// one keeps tests atomic and is guaranteed bit-identical to the
+	// non-preemptive engine (internal/verify's single-segment-identity
+	// oracle enforces this on every sweep scenario).
+	MaxSegments int
+	// MinSegmentPatterns floors the segment length in patterns, so
+	// MaxSegments never shreds a short test into setup-dominated
+	// slivers. Zero selects 1 (any split the pattern count allows).
+	MinSegmentPatterns int
+	// ResumeCycles is the extra cost, beyond re-establishing the
+	// transport path, of resuming a preempted test: re-synchronising
+	// the wrapper and (for processor interfaces) restoring the software
+	// test application's state. Charged to every segment after the
+	// first. Zero models a free context switch.
+	ResumeCycles int
 }
 
 func (o Options) withDefaults() Options {
@@ -224,6 +245,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ProcessorBufferWords == 0 {
 		o.ProcessorBufferWords = 8192
+	}
+	if o.MinSegmentPatterns == 0 {
+		o.MinSegmentPatterns = 1
 	}
 	return o
 }
@@ -259,6 +283,15 @@ func (o Options) Validate() error {
 	}
 	if o.WrapperChains < 0 {
 		return fmt.Errorf("core: negative wrapper width %d", o.WrapperChains)
+	}
+	if o.MaxSegments < 0 {
+		return fmt.Errorf("core: negative segment cap %d", o.MaxSegments)
+	}
+	if o.MinSegmentPatterns < 0 {
+		return fmt.Errorf("core: negative segment pattern floor %d", o.MinSegmentPatterns)
+	}
+	if o.ResumeCycles < 0 {
+		return fmt.Errorf("core: negative resume cost %d", o.ResumeCycles)
 	}
 	switch o.Application {
 	case BISTApplication, DecompressionApplication:

@@ -35,12 +35,19 @@ type Evaluator struct {
 	s *scratch
 
 	// ref is the last evaluated order; its first valid positions are
-	// committed in the scratch, with cps[0..valid] current and log[i]
-	// journalling the links position i reserved.
-	ref   []int
-	valid int
-	cps   []checkpoint
-	log   [][]noc.LinkID
+	// committed in the scratch, with cps[0..valid] current. linkLog is
+	// the flat journal of every link reservation the committed prefix
+	// holds, one entry per (segment, link) in commit order; marks[i] is
+	// the journal length before position i was placed, so positions
+	// k..valid-1 undo by popping linkLog down to marks[k]. A flat
+	// journal (rather than one slice per position) is what lets a
+	// position commit a whole segment chain — several reservations per
+	// link — and still rewind with per-link LIFO discipline.
+	ref     []int
+	valid   int
+	cps     []checkpoint
+	linkLog []noc.LinkID
+	marks   []int
 
 	// seen/seenGen validate each order as a permutation in O(n) without
 	// clearing between calls.
@@ -61,13 +68,13 @@ type checkpoint struct {
 // rule, holding a scratch from the model's pool until Close.
 func (m *Model) NewEvaluator(v Variant) *Evaluator {
 	e := &Evaluator{
-		m:    m,
-		v:    v,
-		s:    m.pool.Get().(*scratch),
-		ref:  make([]int, 0, len(m.cores)),
-		cps:  make([]checkpoint, len(m.cores)+1),
-		log:  make([][]noc.LinkID, len(m.cores)),
-		seen: make([]int, len(m.cores)),
+		m:     m,
+		v:     v,
+		s:     m.pool.Get().(*scratch),
+		ref:   make([]int, 0, len(m.cores)),
+		cps:   make([]checkpoint, len(m.cores)+1),
+		marks: make([]int, len(m.cores)+1),
+		seen:  make([]int, len(m.cores)),
 	}
 	e.s.reset(m)
 	e.capture(&e.cps[0], 0)
@@ -94,14 +101,14 @@ func (e *Evaluator) capture(cp *checkpoint, makespan int) {
 
 // rewind restores the scratch to the checkpoint before position k:
 // the journalled link reservations of positions k..valid-1 are popped
-// (O(links undone)), then the interface frontiers and power profile are
-// copied back from cps[k].
+// in reverse commit order (O(reservations undone), preserving each
+// link timeline's LIFO discipline across segment chains), then the
+// interface frontiers and power profile are copied back from cps[k].
 func (e *Evaluator) rewind(k int) int {
-	for i := e.valid - 1; i >= k; i-- {
-		for _, id := range e.log[i] {
-			e.s.lines.Pop(id)
-		}
+	for i := len(e.linkLog) - 1; i >= e.marks[k]; i-- {
+		e.s.lines.Pop(e.linkLog[i])
 	}
+	e.linkLog = e.linkLog[:e.marks[k]]
 	cp := &e.cps[k]
 	copy(e.s.free, cp.free)
 	copy(e.s.activated, cp.activated)
@@ -186,12 +193,12 @@ func (e *Evaluator) Evaluate(ctx context.Context, order []int, bound int) (ms in
 			e.commitPrefix(order, i)
 			return 0, false, err
 		}
-		end, c, err := e.m.place(e.s, e.v, order[i], nil)
+		end, err := e.m.place(e.s, e.v, order[i], nil, &e.linkLog)
 		if err != nil {
 			e.commitPrefix(order, i)
 			return 0, false, err
 		}
-		e.log[i] = c.links
+		e.marks[i+1] = len(e.linkLog)
 		if end > makespan {
 			makespan = end
 		}

@@ -19,6 +19,10 @@ var walkOptionSets = []Options{
 	{ExclusiveLinks: true},
 	{BISTPatternFactor: 3, PowerLimitFraction: 0.5},
 	{DisableReuse: true},
+	// Preemptive regimes: segment chains stress the multi-reservation
+	// journal undo and the chained power-profile restore.
+	{PowerLimitFraction: 0.5, MaxSegments: 4, ResumeCycles: 50},
+	{PowerLimitFraction: 0.3, ExclusiveLinks: true, MaxSegments: 3, MinSegmentPatterns: 2},
 }
 
 // TestEvaluatorMatchesFullReplay is the kernel's central differential
@@ -135,7 +139,13 @@ func TestMakespanAllocsZero(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts are meaningless under the race detector")
 	}
-	for _, opts := range []Options{{PowerLimitFraction: 0.5}, {ExclusiveLinks: true, PowerLimitFraction: 0.5}} {
+	for _, opts := range []Options{
+		{PowerLimitFraction: 0.5},
+		{ExclusiveLinks: true, PowerLimitFraction: 0.5},
+		// The segmented path must stay allocation-free too: chain starts
+		// live in swapped scratch buffers, never per-pass slices.
+		{PowerLimitFraction: 0.5, MaxSegments: 4, ResumeCycles: 20},
+	} {
 		sys := buildSystem(t, "p22810", 8, soc.Leon())
 		m, err := Compile(sys, opts)
 		if err != nil {
@@ -166,31 +176,38 @@ func TestEvaluatorAllocsZero(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts are meaningless under the race detector")
 	}
-	sys := buildSystem(t, "p22810", 8, soc.Leon())
-	m, err := Compile(sys, Options{PowerLimitFraction: 0.5, ExclusiveLinks: true})
-	if err != nil {
-		t.Fatal(err)
-	}
-	ctx := context.Background()
-	ev := m.NewEvaluator(LookaheadFastestFinish)
-	defer ev.Close()
-	order := append([]int(nil), m.DefaultOrder()...)
-	n := len(order)
-	swap := func() { order[n-2], order[n-7] = order[n-7], order[n-2] }
-	for i := 0; i < 3; i++ {
-		if _, _, err := ev.Evaluate(ctx, order, 0); err != nil {
+	for _, opts := range []Options{
+		{PowerLimitFraction: 0.5, ExclusiveLinks: true},
+		// Segment chains journal several reservations per position; once
+		// the flat journal's capacity is warm, rewinds must be free.
+		{PowerLimitFraction: 0.5, ExclusiveLinks: true, MaxSegments: 4, ResumeCycles: 20},
+	} {
+		sys := buildSystem(t, "p22810", 8, soc.Leon())
+		m, err := Compile(sys, opts)
+		if err != nil {
 			t.Fatal(err)
 		}
-		swap()
-	}
-	allocs := testing.AllocsPerRun(100, func() {
-		if _, _, err := ev.Evaluate(ctx, order, 0); err != nil {
-			t.Fatal(err)
+		ctx := context.Background()
+		ev := m.NewEvaluator(LookaheadFastestFinish)
+		order := append([]int(nil), m.DefaultOrder()...)
+		n := len(order)
+		swap := func() { order[n-2], order[n-7] = order[n-7], order[n-2] }
+		for i := 0; i < 3; i++ {
+			if _, _, err := ev.Evaluate(ctx, order, 0); err != nil {
+				t.Fatal(err)
+			}
+			swap()
 		}
-		swap()
-	})
-	if allocs != 0 {
-		t.Errorf("Evaluate allocates %.1f times per pass, want 0", allocs)
+		allocs := testing.AllocsPerRun(100, func() {
+			if _, _, err := ev.Evaluate(ctx, order, 0); err != nil {
+				t.Fatal(err)
+			}
+			swap()
+		})
+		if allocs != 0 {
+			t.Errorf("opts %+v: Evaluate allocates %.1f times per pass, want 0", opts, allocs)
+		}
+		ev.Close()
 	}
 }
 

@@ -61,6 +61,9 @@ type Model struct {
 
 	exclusive bool
 	numLinks  int
+	// maxSegs is the longest segment chain of any candidate, sizing the
+	// per-pass chain buffers; 1 when scheduling is non-preemptive.
+	maxSegs int
 
 	pool  sync.Pool
 	stats searchCounters
@@ -140,7 +143,10 @@ type ifaceModel struct {
 }
 
 // cand is one precompiled (core, interface) placement candidate:
-// everything about the reservation except its start time.
+// everything about the reservation except its start times. The unit of
+// work is the test *segment*: segs always holds at least one element,
+// and the non-preemptive configuration is exactly the one-segment
+// degenerate case, so there is a single placement code path.
 type cand struct {
 	// feasible is false when the candidate can never be placed: the
 	// interface is the core's own processor, or the draw alone exceeds
@@ -149,14 +155,32 @@ type cand struct {
 	setup    int
 	patterns int
 	perPat   int
+	// duration is the total busy time of all segments, including every
+	// resumption's re-setup; for a single segment it equals the classic
+	// setup + patterns*perPat.
 	duration int
 	draw     float64
+	// segs is the candidate's segment chain, split at pattern
+	// boundaries by the options' MaxSegments/MinSegmentPatterns policy.
+	// Segment 0 carries the one-time setup (e.g. the decompression
+	// load); later segments pay the path setup again plus ResumeCycles.
+	segs []segSpec
 	// links lists the dense IDs of every directed link on the stimulus
-	// and response paths; nil unless ExclusiveLinks is set.
+	// and response paths; nil unless ExclusiveLinks is set. Every
+	// segment crosses the same links: a preempted test resumes on the
+	// same interface over the same route.
 	links []noc.LinkID
-	// entry is the plan record template; Start and End are zero until a
-	// pass commits the candidate.
+	// entry is the plan record template; Start, End and the per-segment
+	// fields are filled when a pass commits the candidate.
 	entry plan.Entry
+}
+
+// segSpec is one precompiled segment of a candidate: a contiguous run
+// of patterns with its own setup share.
+type segSpec struct {
+	patterns int
+	setup    int
+	duration int // setup + patterns*perPat
 }
 
 // ErrUnschedulable marks a scheduling failure that is a property of the
@@ -179,6 +203,11 @@ type scratch struct {
 	active    []bool
 	lines     *noc.Timelines
 	profile   *power.Profile
+	// chain and trial hold candidate segment start times while placing
+	// one core: trial is the interface currently being scanned, chain
+	// the best chain found so far (the buffers swap instead of copying).
+	chain []int
+	trial []int
 }
 
 // Compile builds the immutable scheduling model of sys under opts. The
@@ -221,6 +250,15 @@ func Compile(sys *soc.System, opts Options) (*Model, error) {
 	// serialised plan names its topology and routing algorithm without
 	// out-of-band context.
 	m.notes = append(m.notes, fmt.Sprintf("fabric: %s, routing %s", topo, topo.RoutingName()))
+	if opts.MaxSegments > 1 {
+		// Preemption changes what a plan's entries mean (several per
+		// core), so the configuration is recorded on every plan. The
+		// one-segment case adds no note: it is defined to be
+		// indistinguishable from the non-preemptive engine.
+		m.notes = append(m.notes, fmt.Sprintf(
+			"preemptive: tests split into at most %d segments (min %d patterns each, resume cost %d cycles)",
+			opts.MaxSegments, opts.MinSegmentPatterns, opts.ResumeCycles))
+	}
 	ifaces, err := m.compileInterfaces()
 	if err != nil {
 		return nil, err
@@ -358,7 +396,8 @@ func (m *Model) compileCandidates(routes *noc.RouteTable, ifaces []compIface) er
 			hopsIn, hopsOut := len(pathIn)-1, len(pathOut)-1
 
 			perPattern := basePerPattern
-			setup := timing.PathSetupLatency(hopsIn) + timing.PathSetupLatency(hopsOut)
+			pathSetup := timing.PathSetupLatency(hopsIn) + timing.PathSetupLatency(hopsOut)
+			oneTime := 0 // paid by the first segment only
 			patterns := pc.Core.Patterns
 			switch {
 			case ifx.kind == plan.ATE:
@@ -376,14 +415,36 @@ func (m *Model) compileCandidates(routes *noc.RouteTable, ifaces []compIface) er
 				// word production rate competes with the NoC streaming
 				// rate, and the compressed set is first loaded from the
 				// tester port into the processor's buffer (charged as
-				// setup, chunked by buffer size).
+				// one-time setup, chunked by buffer size).
 				inWords := (pc.Core.StimulusBits() + 31) / 32
 				if produce := inWords * m.opts.DecompressionCyclesPerWord; produce > timing.StreamCycles(streamFlits) {
 					perPattern = produce + m.opts.CaptureCycles
 				}
-				setup += m.loadCycles(ifx.loadHops, inWords*pc.Core.Patterns)
+				oneTime = m.loadCycles(ifx.loadHops, inWords*pc.Core.Patterns)
 			}
-			duration := setup + patterns*perPattern
+			setup := pathSetup + oneTime
+
+			// Split the pattern run into the candidate's segment chain.
+			// Every segment re-establishes the transport path; segment 0
+			// additionally pays the one-time setup, later segments the
+			// resume cost. With MaxSegments <= 1 this is one segment of
+			// exactly the classic setup and duration.
+			segCounts := wrapper.SegmentPatterns(patterns, m.opts.MaxSegments, m.opts.MinSegmentPatterns)
+			segs := make([]segSpec, len(segCounts))
+			duration := 0
+			for j, p := range segCounts {
+				su := pathSetup
+				if j == 0 {
+					su += oneTime
+				} else {
+					su += m.opts.ResumeCycles
+				}
+				segs[j] = segSpec{patterns: p, setup: su, duration: su + p*perPattern}
+				duration += segs[j].duration
+			}
+			if len(segs) > m.maxSegs {
+				m.maxSegs = len(segs)
+			}
 
 			draw := pc.Core.Power + transportPower(m.sys.Net.Power, pathIn, pathOut) + ifx.runPower
 			if m.limit > 0 && draw > m.limit+1e-9 {
@@ -411,6 +472,7 @@ func (m *Model) compileCandidates(routes *noc.RouteTable, ifaces []compIface) er
 				perPat:   perPattern,
 				duration: duration,
 				draw:     draw,
+				segs:     segs,
 				links:    links,
 				entry: plan.Entry{
 					CoreID:          pc.Core.ID,
@@ -491,12 +553,18 @@ func (m *Model) DefaultOrder() []int { return m.Order(m.opts.Priority) }
 
 // newScratch allocates pass state sized for the model.
 func (m *Model) newScratch() *scratch {
+	segs := m.maxSegs
+	if segs < 1 {
+		segs = 1
+	}
 	s := &scratch{
 		placedGen: make([]int, len(m.cores)),
 		free:      make([]int, len(m.ifaces)),
 		activated: make([]int, len(m.ifaces)),
 		active:    make([]bool, len(m.ifaces)),
 		profile:   power.NewProfile(m.limit),
+		chain:     make([]int, segs),
+		trial:     make([]int, segs),
 	}
 	if m.exclusive {
 		s.lines = noc.NewTimelines(m.numLinks)
@@ -546,7 +614,11 @@ func (m *Model) MakespanBounded(ctx context.Context, v Variant, order []int, bou
 // Plan replays order against the model and returns the full validated
 // plan. An empty algorithm records "variant/application".
 func (m *Model) Plan(ctx context.Context, v Variant, order []int, algorithm string) (*plan.Plan, error) {
-	entries := make([]plan.Entry, 0, len(m.cores))
+	segs := m.maxSegs
+	if segs < 1 {
+		segs = 1
+	}
+	entries := make([]plan.Entry, 0, len(m.cores)*segs)
 	if _, _, err := m.run(ctx, v, order, noBound, &entries); err != nil {
 		return nil, err
 	}
@@ -605,7 +677,7 @@ func (m *Model) run(ctx context.Context, v Variant, order []int, bound int, entr
 		}
 		s.placedGen[ci] = s.gen
 
-		end, _, err := m.place(s, v, ci, entries)
+		end, err := m.place(s, v, ci, entries, nil)
 		if err != nil {
 			return 0, false, err
 		}
@@ -623,13 +695,19 @@ func (m *Model) run(ctx context.Context, v Variant, order []int, bound int, entr
 }
 
 // place commits core ci on the best interface per the variant rule and
-// returns the reservation end plus the committed candidate (so the
-// incremental kernel can journal the links to undo). Ties keep the
-// first interface scanned, matching the list scheduler's
-// first-available convention.
-func (m *Model) place(s *scratch, v Variant, ci int, entries *[]plan.Entry) (int, *cand, error) {
+// returns the end of the core's last segment. Candidates are placed as
+// segment chains: segment j's window is searched forward from segment
+// j-1's end, so precedence (segment k before k+1) holds by
+// construction, every segment on the same interface over the same
+// route. The greedy rule keys on the first segment's start (the paper's
+// first-available convention, unchanged for one-segment chains) and the
+// lookahead rule on the chain's completion. Ties keep the first
+// interface scanned. When journal is non-nil the committed link
+// reservations are appended, once per segment, so the incremental
+// kernel can undo them in reverse order.
+func (m *Model) place(s *scratch, v Variant, ci int, entries *[]plan.Entry, journal *[]noc.LinkID) (int, error) {
 	row := m.cands[ci]
-	bestIface, bestStart, bestKey := -1, 0, 0
+	bestIface, bestKey, bestEnd := -1, 0, 0
 	for ii := range row {
 		c := &row[ii]
 		if !c.feasible || !s.active[ii] {
@@ -640,10 +718,11 @@ func (m *Model) place(s *scratch, v Variant, ci int, entries *[]plan.Entry) (int
 			from = s.activated[ii]
 		}
 		if bestIface >= 0 {
-			// The placement can only start at or after from, so its key
-			// is bounded below; an interface that cannot strictly beat
-			// the incumbent needs no feasibility scan. Ties keep the
-			// first interface either way.
+			// The chain can only start at or after from, and its segments
+			// run back-to-back at best, so both keys are bounded below;
+			// an interface that cannot strictly beat the incumbent needs
+			// no feasibility scan. Ties keep the first interface either
+			// way.
 			lower := from
 			if v == LookaheadFastestFinish {
 				lower = from + c.duration
@@ -652,54 +731,75 @@ func (m *Model) place(s *scratch, v Variant, ci int, entries *[]plan.Entry) (int
 				continue
 			}
 		}
-		start := s.earliestFeasible(from, c)
-		key := start
+		// Walk the segment chain read-only: each segment's window is the
+		// earliest feasible one at or after its predecessor's end. The
+		// windows are disjoint by construction, so committing the chain
+		// later cannot invalidate these starts.
+		t := from
+		end := 0
+		for j := range c.segs {
+			st := s.earliestFeasible(t, c.segs[j].duration, c)
+			end = st + c.segs[j].duration
+			s.trial[j] = st
+			t = end
+		}
+		key := s.trial[0]
 		if v == LookaheadFastestFinish {
-			key = start + c.duration
+			key = end
 		}
 		if bestIface < 0 || key < bestKey {
-			bestIface, bestStart, bestKey = ii, start, key
+			bestIface, bestKey, bestEnd = ii, key, end
+			s.chain, s.trial = s.trial, s.chain
 		}
 	}
 	if bestIface < 0 {
 		pc := m.cores[ci]
-		return 0, nil, fmt.Errorf("core: core %d (%s) cannot be scheduled on any interface (power limit %.1f too tight?): %w",
+		return 0, fmt.Errorf("core: core %d (%s) cannot be scheduled on any interface (power limit %.1f too tight?): %w",
 			pc.Core.ID, pc.Core.Name, m.limit, ErrUnschedulable)
 	}
 
 	c := &row[bestIface]
-	end := bestStart + c.duration
-	for _, id := range c.links {
-		s.lines.Add(id, noc.Span{Start: bestStart, End: end})
+	for j := range c.segs {
+		sg := &c.segs[j]
+		st := s.chain[j]
+		end := st + sg.duration
+		for _, id := range c.links {
+			s.lines.Add(id, noc.Span{Start: st, End: end})
+		}
+		if !s.profile.TryAdd(st, end, c.draw) {
+			panic(fmt.Sprintf("core: committing feasible placement of core %d failed", m.cores[ci].Core.ID))
+		}
+		if journal != nil {
+			*journal = append(*journal, c.links...)
+		}
+		if entries != nil {
+			e := c.entry
+			e.Segment, e.Segments = j, len(c.segs)
+			e.Setup, e.Patterns = sg.setup, sg.patterns
+			e.Start, e.End = st, end
+			*entries = append(*entries, e)
+		}
 	}
-	if !s.profile.TryAdd(bestStart, end, c.draw) {
-		panic(fmt.Sprintf("core: committing feasible placement of core %d failed", m.cores[ci].Core.ID))
-	}
-	s.free[bestIface] = end
+	s.free[bestIface] = bestEnd
 	if si := m.selfIface[ci]; si >= 0 {
 		s.active[si] = true
-		s.activated[si] = end
+		s.activated[si] = bestEnd
 	}
-	if entries != nil {
-		e := c.entry
-		e.Start, e.End = bestStart, end
-		*entries = append(*entries, e)
-	}
-	return end, c, nil
+	return bestEnd, nil
 }
 
-// earliestFeasible advances a candidate start time past link and power
-// conflicts until the whole [t, t+duration) window is clear. It
-// terminates because every conflict yields a strictly later restart
-// bound and the reservation sets are finite.
-func (s *scratch) earliestFeasible(from int, c *cand) int {
+// earliestFeasible advances a segment start time past link and power
+// conflicts until the whole [t, t+dur) window is clear. It terminates
+// because every conflict yields a strictly later restart bound and the
+// reservation sets are finite.
+func (s *scratch) earliestFeasible(from, dur int, c *cand) int {
 	t := from
 	for {
-		if next, ok := s.linkConflict(t, t+c.duration, c.links); ok {
+		if next, ok := s.linkConflict(t, t+dur, c.links); ok {
 			t = next
 			continue
 		}
-		next := s.profile.FirstFit(t, c.duration, c.draw)
+		next := s.profile.FirstFit(t, dur, c.draw)
 		if next < 0 {
 			// Only reachable when the draw alone exceeds the ceiling,
 			// which compilation filtered out.

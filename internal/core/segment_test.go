@@ -1,0 +1,184 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"noctest/internal/itc02"
+	"noctest/internal/noc"
+	"noctest/internal/soc"
+)
+
+// TestSingleSegmentIdentity is the degenerate-case contract the whole
+// segment refactor rests on: MaxSegments=1 must reproduce the
+// non-preemptive engine bit for bit — same lower bound, same
+// deterministic plans — because a one-segment chain pays exactly the
+// classic setup and duration. internal/verify enforces the same
+// identity on every sweep scenario; this is the direct unit check.
+func TestSingleSegmentIdentity(t *testing.T) {
+	sys := buildSystem(t, "d695", 6, soc.Leon())
+	for _, base := range []Options{
+		{PowerLimitFraction: 0.5, BISTPatternFactor: 3},
+		{ExclusiveLinks: true},
+		{},
+	} {
+		mPlain, err := Compile(sys, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		one := base
+		one.MaxSegments = 1
+		one.ResumeCycles = 75 // must be unobservable: nothing ever resumes
+		mOne, err := Compile(sys, one)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a, b := mPlain.LowerBound(), mOne.LowerBound(); a != b {
+			t.Errorf("opts %+v: lower bound differs: plain %v vs one-segment %v", base, a, b)
+		}
+		for _, v := range []Variant{GreedyFirstAvailable, LookaheadFastestFinish} {
+			pPlain, err := mPlain.Plan(context.Background(), v, mPlain.DefaultOrder(), "t")
+			if err != nil {
+				t.Fatal(err)
+			}
+			pOne, err := mOne.Plan(context.Background(), v, mOne.DefaultOrder(), "t")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(pPlain.Entries, pOne.Entries) {
+				t.Errorf("opts %+v %s: one-segment plan diverges from the plain engine", base, v)
+			}
+		}
+	}
+}
+
+// TestSegmentedPlansAreCompleteChains checks the preemptive plan shape:
+// one entry per segment, contiguous indices on a single interface, the
+// segment pattern counts summing to the core's full (BIST-inflated)
+// count, and no chain longer than the cap. Plan.Validate (run by
+// Model.Plan) already enforces precedence and non-overlap.
+func TestSegmentedPlansAreCompleteChains(t *testing.T) {
+	sys := buildSystem(t, "d695", 6, soc.Leon())
+	opts := Options{PowerLimitFraction: 0.5, MaxSegments: 4, MinSegmentPatterns: 8, ResumeCycles: 30}
+	m, err := Compile(sys, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.Plan(context.Background(), GreedyFirstAvailable, m.DefaultOrder(), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := 0
+	for ci := range m.cands {
+		coreID := m.cores[ci].Core.ID
+		segs := p.SegmentsFor(coreID)
+		if len(segs) == 0 {
+			t.Fatalf("core %d missing from plan", coreID)
+		}
+		if len(segs) > opts.MaxSegments {
+			t.Errorf("core %d has %d segments, cap %d", coreID, len(segs), opts.MaxSegments)
+		}
+		if len(segs) > 1 {
+			split++
+		}
+		patterns := 0
+		for k, e := range segs {
+			if e.Segment != k || e.Segments != len(segs) {
+				t.Errorf("core %d segment %d mislabelled (%d/%d)", coreID, k, e.Segment, e.Segments)
+			}
+			if e.Interface != segs[0].Interface {
+				t.Errorf("core %d migrates interfaces mid-chain", coreID)
+			}
+			if e.Patterns < opts.MinSegmentPatterns && len(segs) > 1 {
+				t.Errorf("core %d segment %d has %d patterns, floor %d", coreID, k, e.Patterns, opts.MinSegmentPatterns)
+			}
+			patterns += e.Patterns
+		}
+		// The chain's pattern total must equal what the placed candidate
+		// tests in full (the interface decides BIST inflation).
+		want := 0
+		for ii := range m.cands[ci] {
+			c := &m.cands[ci][ii]
+			if c.feasible && c.entry.Interface == segs[0].Interface {
+				want = c.patterns
+			}
+		}
+		if patterns != want {
+			t.Errorf("core %d segments cover %d patterns, candidate tests %d", coreID, patterns, want)
+		}
+	}
+	if split == 0 {
+		t.Error("no core was split despite MaxSegments=4 on hundreds of patterns")
+	}
+}
+
+// valleySystem crafts the scheduling shape preemption exists for: a
+// power valley ahead of a peak. D holds ate0 cheaply while E — feasible
+// only on ate0, its ate1 route drawing past the ceiling — must wait for
+// it, creating a near-ceiling peak in the middle of the horizon. C on
+// ate1 fits beside D but not beside E, so an atomic C must clear the
+// whole peak while a segmented C streams part of its patterns in the
+// valley and resumes after.
+func valleySystem(t *testing.T) *soc.System {
+	t.Helper()
+	net, err := noc.NewCharacterization(noc.MustMesh(4, 2), noc.XY{}, noc.DefaultTiming, noc.DefaultTransportPower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := &soc.System{
+		Name: "valley",
+		Net:  net,
+		Cores: []soc.PlacedCore{
+			{Core: itc02.Core{ID: 1, Name: "d", Inputs: 64, Outputs: 64, Patterns: 130, Power: 70}, Tile: noc.Coord{X: 1, Y: 0}},
+			{Core: itc02.Core{ID: 2, Name: "e", Inputs: 64, Outputs: 64, Patterns: 190, Power: 950}, Tile: noc.Coord{X: 1, Y: 1}},
+			{Core: itc02.Core{ID: 3, Name: "c", Inputs: 64, Outputs: 64, Patterns: 300, Power: 500}, Tile: noc.Coord{X: 2, Y: 1}},
+		},
+		Ports: []soc.Port{
+			{Name: "in0", Tile: noc.Coord{X: 0, Y: 0}, Dir: soc.In},
+			{Name: "out0", Tile: noc.Coord{X: 0, Y: 1}, Dir: soc.Out},
+			{Name: "in1", Tile: noc.Coord{X: 3, Y: 0}, Dir: soc.In},
+			{Name: "out1", Tile: noc.Coord{X: 3, Y: 1}, Dir: soc.Out},
+		},
+	}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestPreemptionImprovesMakespan demonstrates a strict win: on the
+// valley system, splitting C into three segments finishes the schedule
+// earlier than any atomic placement of C can, because the first segment
+// runs in the power valley the atomic test must skip entirely.
+func TestPreemptionImprovesMakespan(t *testing.T) {
+	sys := valleySystem(t)
+	order := []int{0, 1, 2} // d, then e (the peak), then c
+	plain, err := Compile(sys, Options{PowerLimit: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := Compile(sys, Options{PowerLimit: 1000, MaxSegments: 3, ResumeCycles: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pPlain, err := plain.Plan(context.Background(), GreedyFirstAvailable, order, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pPre, err := pre.Plan(context.Background(), GreedyFirstAvailable, order, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pPre.Makespan() >= pPlain.Makespan() {
+		t.Fatalf("preemption did not help: segmented %d vs atomic %d\nsegmented:\n%s\natomic:\n%s",
+			pPre.Makespan(), pPlain.Makespan(), pPre.Gantt(80), pPlain.Gantt(80))
+	}
+	segs := pPre.SegmentsFor(3)
+	if len(segs) != 3 {
+		t.Fatalf("c should run as 3 segments, got %d", len(segs))
+	}
+	if segs[0].Start != 0 {
+		t.Errorf("first segment should use the valley from cycle 0, starts at %d", segs[0].Start)
+	}
+}

@@ -31,7 +31,11 @@ func (k InterfaceKind) String() string {
 	return "processor"
 }
 
-// Entry is one scheduled core test.
+// Entry is one scheduled test segment: a contiguous run of a core's
+// patterns placed on one interface. Non-preemptive plans hold exactly
+// one entry per core (Segments 1, or 0 in legacy records); preemptive
+// plans hold one entry per segment, all on the same interface, with
+// segment k ending before segment k+1 starts.
 type Entry struct {
 	// CoreID and CoreName identify the core under test.
 	CoreID   int
@@ -46,12 +50,19 @@ type Entry struct {
 	// InterfaceCoreID is the core ID of the serving processor, or 0 for
 	// the ATE.
 	InterfaceCoreID int
+	// Segment is this entry's 0-based index in its core's segment
+	// chain; Segments is the chain length. Zero Segments marks a legacy
+	// unsegmented record and is treated as a chain of one.
+	Segment, Segments int
 	// Start and End delimit the reservation, in cycles, half-open.
 	Start, End int
-	// Setup is the path-establishment share of the duration.
+	// Setup is the path-establishment share of the duration: the
+	// transport setup of this segment, plus the test's one-time setup
+	// on segment 0 or the resume cost on later segments.
 	Setup int
 	// Patterns and PerPattern decompose the streaming share:
-	// End-Start == Setup + Patterns*PerPattern.
+	// End-Start == Setup + Patterns*PerPattern. Patterns counts this
+	// segment's share of the core's patterns.
 	Patterns   int
 	PerPattern int
 	// PathIn is the stimulus route (source tile to core tile); PathOut
@@ -64,6 +75,15 @@ type Entry struct {
 
 // Duration returns the reservation length in cycles.
 func (e Entry) Duration() int { return e.End - e.Start }
+
+// segments normalises the chain length: legacy unsegmented records
+// (Segments 0) are chains of one.
+func (e Entry) segments() int {
+	if e.Segments < 1 {
+		return 1
+	}
+	return e.Segments
+}
 
 // Plan is a complete test schedule for one system.
 type Plan struct {
@@ -113,7 +133,9 @@ func (p *Plan) Makespan() int {
 	return m
 }
 
-// EntryFor returns the entry testing the given core.
+// EntryFor returns the entry testing the given core; in a preemptive
+// plan, the core's first entry in plan order. Use SegmentsFor for the
+// whole chain.
 func (p *Plan) EntryFor(coreID int) (Entry, bool) {
 	for _, e := range p.Entries {
 		if e.CoreID == coreID {
@@ -121,6 +143,19 @@ func (p *Plan) EntryFor(coreID int) (Entry, bool) {
 		}
 	}
 	return Entry{}, false
+}
+
+// SegmentsFor returns every entry of the given core's segment chain,
+// ordered by segment index; nil when the core is not in the plan.
+func (p *Plan) SegmentsFor(coreID int) []Entry {
+	var out []Entry
+	for _, e := range p.Entries {
+		if e.CoreID == coreID {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Segment < out[j].Segment })
+	return out
 }
 
 // ByStart returns the entries sorted by start time (then core ID).
@@ -198,30 +233,70 @@ func (p *Plan) PowerProfile() []power.Sample {
 // Validate checks every scheduling invariant a correct plan must hold:
 //
 //   - every entry is internally consistent (times, decomposition, paths)
-//   - no core is tested twice
+//   - no core segment is scheduled twice, and each core's segments form
+//     a complete chain: indices 0..Segments-1, a consistent Segments
+//     count, all on one interface
+//   - segment precedence: segment k ends before segment k+1 starts
+//     (the chain's windows never overlap)
 //   - no interface runs two tests at once
 //   - no directed NoC link carries two concurrent tests
-//   - a processor serves as interface only after its own test ends
+//   - a processor serves as interface only after its whole self-test —
+//     every segment — ends
 //   - the power ceiling (when set) is never exceeded
 func (p *Plan) Validate() error {
 	if len(p.Entries) == 0 {
 		return fmt.Errorf("plan: no entries")
 	}
-	coreSeen := make(map[int]bool)
+	type segKey struct{ core, seg int }
+	segSeen := make(map[segKey]bool)
+	chains := make(map[int][]Entry) // core id -> its segment entries
 	ifaceBusy := make(map[string][][2]int)
 	linkBusy := make(map[noc.Link][]busySpan)
-	procTestEnd := make(map[int]int) // processor core id -> self-test end
+	procTestEnd := make(map[int]int) // processor core id -> last self-test segment end
 
 	for _, e := range p.Entries {
 		if err := validateEntry(e); err != nil {
 			return err
 		}
-		if coreSeen[e.CoreID] {
-			return fmt.Errorf("plan: core %d tested twice", e.CoreID)
+		if segSeen[segKey{e.CoreID, e.Segment}] {
+			if e.segments() == 1 && e.Segment == 0 {
+				return fmt.Errorf("plan: core %d tested twice", e.CoreID)
+			}
+			return fmt.Errorf("plan: core %d segment %d scheduled twice", e.CoreID, e.Segment)
 		}
-		coreSeen[e.CoreID] = true
-		if e.IsProcessor {
+		segSeen[segKey{e.CoreID, e.Segment}] = true
+		chains[e.CoreID] = append(chains[e.CoreID], e)
+		if e.IsProcessor && e.End > procTestEnd[e.CoreID] {
 			procTestEnd[e.CoreID] = e.End
+		}
+	}
+
+	for coreID, segs := range chains {
+		want := segs[0].segments()
+		for _, e := range segs {
+			if e.segments() != want {
+				return fmt.Errorf("plan: core %d entries disagree on segment count (%d vs %d)",
+					coreID, e.segments(), want)
+			}
+			if e.Segment < 0 || e.Segment >= want {
+				return fmt.Errorf("plan: core %d segment index %d outside chain of %d", coreID, e.Segment, want)
+			}
+			if e.Interface != segs[0].Interface || e.InterfaceKind != segs[0].InterfaceKind {
+				return fmt.Errorf("plan: core %d segments migrate interfaces (%s vs %s)",
+					coreID, e.Interface, segs[0].Interface)
+			}
+		}
+		if len(segs) != want {
+			return fmt.Errorf("plan: core %d has %d of %d segments", coreID, len(segs), want)
+		}
+		// The dedup above makes the indices distinct and in range, so
+		// sorting by index lines the chain up for the precedence check.
+		sort.Slice(segs, func(i, j int) bool { return segs[i].Segment < segs[j].Segment })
+		for k := 1; k < len(segs); k++ {
+			if segs[k].Start < segs[k-1].End {
+				return fmt.Errorf("plan: core %d segment %d starts at %d before segment %d ends at %d",
+					coreID, k, segs[k].Start, k-1, segs[k-1].End)
+			}
 		}
 	}
 

@@ -7,6 +7,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"noctest/internal/noc"
 )
 
 // Gantt renders the plan as an ASCII chart, one row per interface, time
@@ -69,6 +71,7 @@ func (p *Plan) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	header := []string{
 		"core_id", "core_name", "is_processor", "interface", "interface_kind",
+		"segment", "segments",
 		"start", "end", "duration", "setup", "patterns", "per_pattern", "power",
 	}
 	if err := cw.Write(header); err != nil {
@@ -81,6 +84,8 @@ func (p *Plan) WriteCSV(w io.Writer) error {
 			strconv.FormatBool(e.IsProcessor),
 			e.Interface,
 			e.InterfaceKind.String(),
+			strconv.Itoa(e.Segment),
+			strconv.Itoa(e.segments()),
 			strconv.Itoa(e.Start),
 			strconv.Itoa(e.End),
 			strconv.Itoa(e.Duration()),
@@ -99,29 +104,36 @@ func (p *Plan) WriteCSV(w io.Writer) error {
 
 // planJSON mirrors Plan for stable JSON field naming.
 type planJSON struct {
-	System     string      `json:"system"`
-	Algorithm  string      `json:"algorithm"`
-	PowerLimit float64     `json:"power_limit,omitempty"`
-	Makespan   int         `json:"makespan"`
-	PeakPower  float64     `json:"peak_power"`
-	Notes      []string    `json:"notes,omitempty"`
-	Entries    []entryJSON `json:"entries"`
+	System         string      `json:"system"`
+	Algorithm      string      `json:"algorithm"`
+	PowerLimit     float64     `json:"power_limit,omitempty"`
+	ExclusiveLinks bool        `json:"exclusive_links,omitempty"`
+	Makespan       int         `json:"makespan"`
+	PeakPower      float64     `json:"peak_power"`
+	Notes          []string    `json:"notes,omitempty"`
+	Entries        []entryJSON `json:"entries"`
 }
 
 type entryJSON struct {
-	CoreID        int     `json:"core_id"`
-	CoreName      string  `json:"core_name"`
-	IsProcessor   bool    `json:"is_processor,omitempty"`
-	Interface     string  `json:"interface"`
-	InterfaceKind string  `json:"interface_kind"`
-	Start         int     `json:"start"`
-	End           int     `json:"end"`
-	Setup         int     `json:"setup"`
-	Patterns      int     `json:"patterns"`
-	PerPattern    int     `json:"per_pattern"`
-	Power         float64 `json:"power"`
-	PathIn        []tile  `json:"path_in"`
-	PathOut       []tile  `json:"path_out"`
+	CoreID          int    `json:"core_id"`
+	CoreName        string `json:"core_name"`
+	IsProcessor     bool   `json:"is_processor,omitempty"`
+	Interface       string `json:"interface"`
+	InterfaceKind   string `json:"interface_kind"`
+	InterfaceCoreID int    `json:"interface_core_id,omitempty"`
+	// Segment/Segments serialise only for preemptive chains (Segments
+	// > 1), so single-segment plans keep the legacy record shape and
+	// legacy records parse as unsegmented.
+	Segment    int     `json:"segment,omitempty"`
+	Segments   int     `json:"segments,omitempty"`
+	Start      int     `json:"start"`
+	End        int     `json:"end"`
+	Setup      int     `json:"setup"`
+	Patterns   int     `json:"patterns"`
+	PerPattern int     `json:"per_pattern"`
+	Power      float64 `json:"power"`
+	PathIn     []tile  `json:"path_in"`
+	PathOut    []tile  `json:"path_out"`
 }
 
 type tile struct {
@@ -130,28 +142,36 @@ type tile struct {
 }
 
 // WriteJSON emits the plan as indented JSON with summary fields.
+// Preemptive plans record each segment's index and chain length;
+// single-segment entries keep the legacy record shape. ParseJSON reads
+// the format back.
 func (p *Plan) WriteJSON(w io.Writer) error {
 	out := planJSON{
-		System:     p.System,
-		Algorithm:  p.Algorithm,
-		PowerLimit: p.PowerLimit,
-		Makespan:   p.Makespan(),
-		PeakPower:  p.PeakPower(),
-		Notes:      p.Notes,
+		System:         p.System,
+		Algorithm:      p.Algorithm,
+		PowerLimit:     p.PowerLimit,
+		ExclusiveLinks: p.ExclusiveLinks,
+		Makespan:       p.Makespan(),
+		PeakPower:      p.PeakPower(),
+		Notes:          p.Notes,
 	}
 	for _, e := range p.ByStart() {
 		je := entryJSON{
-			CoreID:        e.CoreID,
-			CoreName:      e.CoreName,
-			IsProcessor:   e.IsProcessor,
-			Interface:     e.Interface,
-			InterfaceKind: e.InterfaceKind.String(),
-			Start:         e.Start,
-			End:           e.End,
-			Setup:         e.Setup,
-			Patterns:      e.Patterns,
-			PerPattern:    e.PerPattern,
-			Power:         e.Power,
+			CoreID:          e.CoreID,
+			CoreName:        e.CoreName,
+			IsProcessor:     e.IsProcessor,
+			Interface:       e.Interface,
+			InterfaceKind:   e.InterfaceKind.String(),
+			InterfaceCoreID: e.InterfaceCoreID,
+			Start:           e.Start,
+			End:             e.End,
+			Setup:           e.Setup,
+			Patterns:        e.Patterns,
+			PerPattern:      e.PerPattern,
+			Power:           e.Power,
+		}
+		if e.Segments > 1 {
+			je.Segment, je.Segments = e.Segment, e.Segments
 		}
 		for _, c := range e.PathIn {
 			je.PathIn = append(je.PathIn, tile{c.X, c.Y})
@@ -164,6 +184,62 @@ func (p *Plan) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// ParseJSON reads a plan previously written by WriteJSON, including
+// legacy records without segment or exclusive-link fields (which parse
+// as unsegmented packet-switched plans). The derived makespan and
+// peak-power fields are recomputed, not trusted; call Validate to
+// check the scheduling invariants.
+func ParseJSON(r io.Reader) (*Plan, error) {
+	var in planJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("plan: parse: %w", err)
+	}
+	p := &Plan{
+		System:         in.System,
+		Algorithm:      in.Algorithm,
+		PowerLimit:     in.PowerLimit,
+		ExclusiveLinks: in.ExclusiveLinks,
+		Notes:          in.Notes,
+	}
+	for _, je := range in.Entries {
+		e := Entry{
+			CoreID:          je.CoreID,
+			CoreName:        je.CoreName,
+			IsProcessor:     je.IsProcessor,
+			Interface:       je.Interface,
+			InterfaceCoreID: je.InterfaceCoreID,
+			Segment:         je.Segment,
+			Segments:        je.Segments,
+			Start:           je.Start,
+			End:             je.End,
+			Setup:           je.Setup,
+			Patterns:        je.Patterns,
+			PerPattern:      je.PerPattern,
+			Power:           je.Power,
+		}
+		if e.Segments == 0 {
+			e.Segments = 1
+		}
+		switch je.InterfaceKind {
+		case ATE.String():
+			e.InterfaceKind = ATE
+		case Processor.String():
+			e.InterfaceKind = Processor
+		default:
+			return nil, fmt.Errorf("plan: parse: core %d has unknown interface kind %q", je.CoreID, je.InterfaceKind)
+		}
+		for _, tl := range je.PathIn {
+			e.PathIn = append(e.PathIn, noc.Coord{X: tl.X, Y: tl.Y})
+		}
+		for _, tl := range je.PathOut {
+			e.PathOut = append(e.PathOut, noc.Coord{X: tl.X, Y: tl.Y})
+		}
+		p.Entries = append(p.Entries, e)
+	}
+	return p, nil
 }
 
 // Summary renders a human-readable digest: makespan, peak power and

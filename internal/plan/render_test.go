@@ -4,8 +4,11 @@ import (
 	"bytes"
 	"encoding/csv"
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
+
+	"noctest/internal/noc"
 )
 
 func TestGantt(t *testing.T) {
@@ -111,5 +114,126 @@ func TestWriteJSONCarriesNotes(t *testing.T) {
 	}
 	if !strings.Contains(b.String(), "fabric: torus 4x4, routing xy") {
 		t.Errorf("JSON output lost the fabric note:\n%s", b.String())
+	}
+}
+
+// segmentedPlan extends samplePlan's shape with a three-segment chain:
+// core 3 is preempted twice on ate1, resuming after gaps.
+func segmentedPlan() *Plan {
+	p := samplePlan()
+	p.Algorithm = "greedy/preemptive"
+	for k, span := range [][2]int{{0, 40}, {60, 100}, {120, 170}} {
+		p.Entries = append(p.Entries, Entry{
+			CoreID: 3, CoreName: "c",
+			Interface: "ate1", InterfaceKind: ATE,
+			Segment: k, Segments: 3,
+			Start: span[0], End: span[1], Setup: 5, Patterns: 3, PerPattern: 10,
+			PathIn:  []noc.Coord{{X: 3, Y: 0}, {X: 2, Y: 0}},
+			PathOut: []noc.Coord{{X: 2, Y: 0}, {X: 3, Y: 1}},
+			Power:   100,
+		})
+	}
+	return p
+}
+
+// TestJSONRoundTrip is the encode/parse contract for both plan shapes:
+// what WriteJSON emits, ParseJSON reads back entry for entry —
+// segment labels, paths and exclusive-link mode included — and the
+// round-tripped plan re-serialises to identical bytes.
+func TestJSONRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		plan *Plan
+	}{
+		{"plain", samplePlan()},
+		{"segmented", segmentedPlan()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.plan.ExclusiveLinks = tc.name == "segmented"
+			var b bytes.Buffer
+			if err := tc.plan.WriteJSON(&b); err != nil {
+				t.Fatal(err)
+			}
+			got, err := ParseJSON(bytes.NewReader(b.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.System != tc.plan.System || got.Algorithm != tc.plan.Algorithm ||
+				got.PowerLimit != tc.plan.PowerLimit || got.ExclusiveLinks != tc.plan.ExclusiveLinks {
+				t.Errorf("header drifted: %+v", got)
+			}
+			if got.Makespan() != tc.plan.Makespan() || got.PeakPower() != tc.plan.PeakPower() {
+				t.Errorf("metrics drifted: makespan %d/%d peak %g/%g",
+					got.Makespan(), tc.plan.Makespan(), got.PeakPower(), tc.plan.PeakPower())
+			}
+			// WriteJSON orders by start and a chain of one may be recorded
+			// as Segments 0 or 1; compare in that normal form.
+			want := tc.plan.ByStart()
+			for i := range want {
+				want[i].Segments = want[i].segments()
+			}
+			if len(got.Entries) != len(want) {
+				t.Fatalf("entry count %d, want %d", len(got.Entries), len(want))
+			}
+			for i := range want {
+				if !reflect.DeepEqual(got.Entries[i], want[i]) {
+					t.Errorf("entry %d drifted:\n got %+v\nwant %+v", i, got.Entries[i], want[i])
+				}
+			}
+			var b2 bytes.Buffer
+			if err := got.WriteJSON(&b2); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(b.Bytes(), b2.Bytes()) {
+				t.Error("round-tripped plan serialises differently")
+			}
+		})
+	}
+}
+
+// TestParseJSONLegacy pins backwards compatibility: records written
+// before the segment refactor carry no segment, segments,
+// interface_core_id or exclusive_links fields and must parse as
+// unsegmented packet-switched plans that Validate accepts.
+func TestParseJSONLegacy(t *testing.T) {
+	legacy := `{
+  "system": "old",
+  "algorithm": "greedy/legacy",
+  "makespan": 160,
+  "peak_power": 300,
+  "entries": [
+    {
+      "core_id": 11, "core_name": "proc1", "is_processor": true,
+      "interface": "ate0", "interface_kind": "ate",
+      "start": 0, "end": 110, "setup": 10, "patterns": 10, "per_pattern": 10,
+      "power": 300,
+      "path_in": [{"x": 0, "y": 0}, {"x": 1, "y": 0}],
+      "path_out": [{"x": 1, "y": 0}, {"x": 2, "y": 0}]
+    }
+  ]
+}`
+	p, err := ParseJSON(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ExclusiveLinks {
+		t.Error("legacy plan parsed as exclusive-links")
+	}
+	e := p.Entries[0]
+	if e.Segments != 1 || e.Segment != 0 {
+		t.Errorf("legacy entry segments = %d/%d, want chain of one", e.Segment, e.Segments)
+	}
+	if e.InterfaceKind != ATE || len(e.PathIn) != 2 {
+		t.Errorf("legacy entry drifted: %+v", e)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("legacy plan fails validation: %v", err)
+	}
+
+	if _, err := ParseJSON(strings.NewReader(`{"entries":[{"interface_kind":"weird"}]}`)); err == nil {
+		t.Error("unknown interface kind accepted")
+	}
+	if _, err := ParseJSON(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -168,4 +169,104 @@ func (b *ScheduleBench) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(b)
+}
+
+// WriteMergedJSON renders the document like WriteJSON while preserving
+// every top-level key of a previous document that this generator does
+// not own — the hand-maintained baseline_* blocks BENCH_schedule.json
+// carries — in their original position. Keys the generator owns are
+// replaced with fresh values; an existing document that does not parse
+// is an error (refusing to silently clobber it), and an empty existing
+// byte slice degrades to a plain write.
+func (b *ScheduleBench) WriteMergedJSON(w io.Writer, existing []byte) error {
+	ownData, err := json.Marshal(b)
+	if err != nil {
+		return err
+	}
+	ownOrder, vals, err := topLevelKeys(ownData)
+	if err != nil {
+		return err
+	}
+	order := ownOrder
+	if len(bytes.TrimSpace(existing)) > 0 {
+		prevOrder, prevVals, err := topLevelKeys(existing)
+		if err != nil {
+			return fmt.Errorf("report: existing trajectory does not parse (refusing to overwrite): %w", err)
+		}
+		own := make(map[string]bool, len(ownOrder))
+		for _, k := range ownOrder {
+			own[k] = true
+		}
+		order = order[:0:0]
+		seen := make(map[string]bool, len(prevOrder))
+		for _, k := range prevOrder {
+			seen[k] = true
+			order = append(order, k)
+			if !own[k] {
+				vals[k] = prevVals[k]
+			}
+		}
+		for _, k := range ownOrder {
+			if !seen[k] {
+				order = append(order, k)
+			}
+		}
+	}
+
+	var out bytes.Buffer
+	out.WriteString("{\n")
+	for i, k := range order {
+		key, err := json.Marshal(k)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&out, "  %s: ", key)
+		var val bytes.Buffer
+		if err := json.Indent(&val, vals[k], "  ", "  "); err != nil {
+			return err
+		}
+		out.Write(val.Bytes())
+		if i < len(order)-1 {
+			out.WriteString(",")
+		}
+		out.WriteString("\n")
+	}
+	out.WriteString("}\n")
+	_, err = w.Write(out.Bytes())
+	return err
+}
+
+// topLevelKeys splits one JSON object into its top-level keys, in
+// document order, and their raw values.
+func topLevelKeys(data []byte) ([]string, map[string]json.RawMessage, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	t, err := dec.Token()
+	if err != nil {
+		return nil, nil, err
+	}
+	if d, ok := t.(json.Delim); !ok || d != '{' {
+		return nil, nil, fmt.Errorf("top-level JSON value is %v, not an object", t)
+	}
+	var order []string
+	vals := make(map[string]json.RawMessage)
+	for dec.More() {
+		kt, err := dec.Token()
+		if err != nil {
+			return nil, nil, err
+		}
+		key, ok := kt.(string)
+		if !ok {
+			return nil, nil, fmt.Errorf("non-string object key %v", kt)
+		}
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err != nil {
+			return nil, nil, fmt.Errorf("value of %q: %w", key, err)
+		}
+		order = append(order, key)
+		vals[key] = raw
+	}
+	if _, err := dec.Token(); err != nil {
+		return nil, nil, err
+	}
+	return order, vals, nil
 }

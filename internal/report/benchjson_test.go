@@ -1,0 +1,151 @@
+package report
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"noctest/internal/core"
+	"noctest/internal/itc02"
+)
+
+func sampleBench() *ScheduleBench {
+	return &ScheduleBench{
+		Seed:    7,
+		Workers: 2,
+		Options: "leon/full-reuse/power=0.5/bist=3",
+		Records: []ScheduleBenchRecord{{
+			Benchmark: "d695", Topology: "mesh 4x4", BestMakespan: 118980,
+			BestScheduler: "greedy", NsPerScheduleBest: 100, Runs: 5,
+			OrdersPerSecond: 42, MoveLocalityDeciles: []uint64{1, 2},
+		}},
+	}
+}
+
+// TestWriteMergedJSONPreservesUnknownKeys is the clobber-protection
+// contract for BENCH_schedule.json: refreshing the trajectory must
+// replace the generated keys, keep every key the generator does not
+// own (the hand-maintained baseline blocks) byte-for-byte in content
+// and in their original position, and refuse an unparsable original.
+func TestWriteMergedJSONPreservesUnknownKeys(t *testing.T) {
+	b := sampleBench()
+	existing := `{
+  "seed": 1,
+  "workers": 0,
+  "baseline_pre_model_engine": {
+    "comment": "hand-maintained",
+    "d695": {"best_makespan": 118980}
+  },
+  "options": "stale",
+  "baseline_pre_kernel_engine": {"d695": {"orders_per_second": 357566}},
+  "records": []
+}`
+	var out bytes.Buffer
+	if err := b.WriteMergedJSON(&out, []byte(existing)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The merged document parses back into the fresh trajectory plus
+	// the preserved blocks.
+	var merged map[string]json.RawMessage
+	if err := json.Unmarshal(out.Bytes(), &merged); err != nil {
+		t.Fatalf("merged output does not parse: %v\n%s", err, out.String())
+	}
+	var doc ScheduleBench
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Seed != 7 || doc.Options != b.Options || len(doc.Records) != 1 {
+		t.Errorf("generated keys not refreshed: %+v", doc)
+	}
+	for _, key := range []string{"baseline_pre_model_engine", "baseline_pre_kernel_engine"} {
+		if _, ok := merged[key]; !ok {
+			t.Errorf("preserved key %s missing:\n%s", key, out.String())
+		}
+	}
+	if !strings.Contains(out.String(), `"comment": "hand-maintained"`) {
+		t.Errorf("preserved block content lost:\n%s", out.String())
+	}
+	// Original key order: the baseline blocks stay where they were
+	// (between workers and options, and between options and records).
+	idx := func(s string) int { return strings.Index(out.String(), `"`+s+`"`) }
+	order := []string{"seed", "workers", "baseline_pre_model_engine", "options", "baseline_pre_kernel_engine", "records"}
+	for i := 1; i < len(order); i++ {
+		if idx(order[i-1]) < 0 || idx(order[i-1]) > idx(order[i]) {
+			t.Fatalf("key order not preserved, want %v:\n%s", order, out.String())
+		}
+	}
+
+	// Merging is idempotent over its own output.
+	var again bytes.Buffer
+	if err := b.WriteMergedJSON(&again, out.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), again.Bytes()) {
+		t.Errorf("re-merge changed the document:\n%s\nvs\n%s", out.String(), again.String())
+	}
+
+	// No existing document: identical to a plain write, modulo Go's
+	// encoder emitting a trailing newline in both cases.
+	var plain, fresh bytes.Buffer
+	if err := b.WriteJSON(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteMergedJSON(&fresh, nil); err != nil {
+		t.Fatal(err)
+	}
+	var a, c any
+	if err := json.Unmarshal(plain.Bytes(), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(fresh.Bytes(), &c); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fresh.String(), `"seed": 7`) {
+		t.Errorf("fresh merged write missing content:\n%s", fresh.String())
+	}
+
+	// A corrupt original is an error, not a silent overwrite.
+	if err := b.WriteMergedJSON(&bytes.Buffer{}, []byte("{broken")); err == nil ||
+		!strings.Contains(err.Error(), "refusing to overwrite") {
+		t.Errorf("corrupt existing document accepted: %v", err)
+	}
+	if err := b.WriteMergedJSON(&bytes.Buffer{}, []byte("[1,2]")); err == nil {
+		t.Error("non-object existing document accepted")
+	}
+}
+
+// TestCanonicalMakespansPinned is the fixed-seed identity guard behind
+// the committed trajectory: on the canonical reproduction cell with the
+// default portfolio at seed 1, the best makespans of the three embedded
+// benchmarks are exact constants (the best_makespan values committed in
+// BENCH_schedule.json). Any engine refactor that perturbs placement —
+// segment handling, candidate order, tie-breaks — shows up here as an
+// exact diff rather than as noise in a timing file.
+func TestCanonicalMakespansPinned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("schedules all three embedded benchmarks")
+	}
+	want := map[string]int{"d695": 118980, "p22810": 376151, "p93791": 506455}
+	pf := core.Portfolio{Schedulers: core.DefaultPortfolio(1), Workers: 1}
+	for _, name := range itc02.BenchmarkNames() {
+		sys, opts, err := CanonicalSystem(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := core.Compile(sys, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := pf.ScheduleModel(context.Background(), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Makespan() != want[name] {
+			t.Errorf("%s: canonical seed-1 makespan %d, want %d (BENCH_schedule.json)",
+				name, res.Makespan(), want[name])
+		}
+	}
+}

@@ -170,6 +170,12 @@ type ScenarioParams struct {
 	// an unconstrained sweep exercises every fabric. The verification
 	// matrix runs one forced sweep per kind.
 	Topology string
+	// Preemption forces every scenario's scheduling mode: "plain"
+	// scenarios never segment (MaxSegments 0), "preemptive" scenarios
+	// always draw a segment cap, and the empty default mixes the two
+	// uniformly so an unconstrained sweep exercises both engines. The
+	// verification matrix runs one forced sweep per mode.
+	Preemption string
 	// MaxFailedLinks bounds the failed-channel draw of degraded
 	// fabrics (inclusive, from 1); zero selects 3, negative forbids
 	// degradation (degraded draws fall back to mesh).
@@ -233,6 +239,14 @@ type Scenario struct {
 	// (soc.Build via noc.SampleFailedLinks), so the count plus the seed
 	// reproduce the exact fabric.
 	FailedLinks int
+	// MaxSegments is the preemptive segment cap the scenario schedules
+	// under (core.Options.MaxSegments); zero keeps the classic atomic
+	// engine.
+	MaxSegments int
+	// ResumeCost is the per-resumption re-setup cost in cycles
+	// (core.Options.ResumeCycles); meaningful only when MaxSegments
+	// allows splitting.
+	ResumeCost int
 }
 
 // topologyKinds is the uniform fabric draw of unconstrained sweeps.
@@ -281,6 +295,27 @@ func NewScenario(seed int64, p ScenarioParams) Scenario {
 			kind = "mesh"
 		}
 	}
+	// The preemption draws use their own seed-derived stream: forcing a
+	// mode changes nothing else about the scenario, and forcing a
+	// topology (which consumes a different number of main-stream draws)
+	// changes nothing about the preemption fields.
+	pr := rand.New(rand.NewSource(seed ^ 0x9e6d))
+	gate := pr.Intn(2)
+	segCap := 2 + pr.Intn(3)
+	resume := 40 * pr.Intn(3)
+	switch p.Preemption {
+	case "plain":
+		segCap = 0
+	case "preemptive":
+		// keep the drawn cap
+	default:
+		if gate == 0 {
+			segCap = 0
+		}
+	}
+	if segCap == 0 {
+		resume = 0
+	}
 	return Scenario{
 		Seed:           seed,
 		SoC:            Generate(sp),
@@ -290,6 +325,8 @@ func NewScenario(seed int64, p ScenarioParams) Scenario {
 		ExtraPortPairs: extra,
 		Topology:       kind,
 		FailedLinks:    failed,
+		MaxSegments:    segCap,
+		ResumeCost:     resume,
 	}
 }
 
@@ -351,9 +388,10 @@ func (sc Scenario) BuildOn(topo noc.Topology) (*soc.System, error) {
 
 // String summarises the scenario on one line.
 func (sc Scenario) String() string {
-	return fmt.Sprintf("seed=%d cores=%d mesh=%dx%d procs=%d profile=%s extraports=%d topology=%s failedlinks=%d",
+	return fmt.Sprintf("seed=%d cores=%d mesh=%dx%d procs=%d profile=%s extraports=%d topology=%s failedlinks=%d preempt=%d resume-cost=%d",
 		sc.Seed, len(sc.SoC.Cores), sc.Mesh.Width, sc.Mesh.Height,
-		sc.Processors, sc.Profile, sc.ExtraPortPairs, sc.topologyOrDefault(), sc.FailedLinks)
+		sc.Processors, sc.Profile, sc.ExtraPortPairs, sc.topologyOrDefault(), sc.FailedLinks,
+		sc.MaxSegments, sc.ResumeCost)
 }
 
 // Encode writes the scenario as a single itc02-format file: the given
@@ -368,9 +406,9 @@ func (sc Scenario) Encode(w io.Writer, notes ...string) error {
 			}
 		}
 	}
-	if _, err := fmt.Fprintf(w, "# scenario seed=%d mesh=%dx%d procs=%d profile=%s extraports=%d topology=%s failedlinks=%d\n",
+	if _, err := fmt.Fprintf(w, "# scenario seed=%d mesh=%dx%d procs=%d profile=%s extraports=%d topology=%s failedlinks=%d preempt=%d resume-cost=%d\n",
 		sc.Seed, sc.Mesh.Width, sc.Mesh.Height, sc.Processors, sc.Profile, sc.ExtraPortPairs,
-		sc.topologyOrDefault(), sc.FailedLinks); err != nil {
+		sc.topologyOrDefault(), sc.FailedLinks, sc.MaxSegments, sc.ResumeCost); err != nil {
 		return err
 	}
 	return itc02.Write(w, sc.SoC)
@@ -388,7 +426,9 @@ func (sc Scenario) topologyOrDefault() string {
 // ParseScenario reads a scenario file written by Encode: the "# scenario"
 // header comment supplies the placement, the itc02 body supplies the
 // SoC. Files written before the topology layer carry no topology/
-// failedlinks tokens and parse as plain meshes.
+// failedlinks tokens and parse as plain meshes; files written before
+// the preemption layer carry no preempt/resume-cost tokens and parse
+// as non-preemptive scenarios.
 func ParseScenario(text string) (Scenario, error) {
 	sc := Scenario{Profile: "leon", Topology: "mesh"}
 	found := false
@@ -427,6 +467,10 @@ func ParseScenario(text string) (Scenario, error) {
 				}
 			case "failedlinks":
 				_, err = fmt.Sscanf(val, "%d", &sc.FailedLinks)
+			case "preempt":
+				_, err = fmt.Sscanf(val, "%d", &sc.MaxSegments)
+			case "resume-cost":
+				_, err = fmt.Sscanf(val, "%d", &sc.ResumeCost)
 			default:
 				return Scenario{}, fmt.Errorf("socgen: unknown scenario key %q", key)
 			}

@@ -243,3 +243,70 @@ func TestScenarioTopologyBuildAndRoundTrip(t *testing.T) {
 		t.Error("unknown topology kind accepted")
 	}
 }
+
+// TestScenarioPreemptionDraws covers the preemption distribution:
+// forcing a mode pins it without perturbing anything else, the mixed
+// default produces both modes, preemptive draws stay in range, and the
+// fields survive the Encode/Parse round trip while pre-preemption
+// files parse as plain scenarios.
+func TestScenarioPreemptionDraws(t *testing.T) {
+	modes := map[bool]int{}
+	for seed := int64(0); seed < 60; seed++ {
+		sc := NewScenario(seed, ScenarioParams{})
+		modes[sc.MaxSegments > 0]++
+		if sc.MaxSegments != 0 && (sc.MaxSegments < 2 || sc.MaxSegments > 4) {
+			t.Errorf("seed %d: segment cap %d outside {0, 2..4}", seed, sc.MaxSegments)
+		}
+		if sc.MaxSegments == 0 && sc.ResumeCost != 0 {
+			t.Errorf("seed %d: plain scenario carries resume cost %d", seed, sc.ResumeCost)
+		}
+		if sc.ResumeCost%40 != 0 || sc.ResumeCost > 80 {
+			t.Errorf("seed %d: resume cost %d outside {0, 40, 80}", seed, sc.ResumeCost)
+		}
+
+		plain := NewScenario(seed, ScenarioParams{Preemption: "plain"})
+		if plain.MaxSegments != 0 || plain.ResumeCost != 0 {
+			t.Errorf("seed %d: forced plain drew cap %d cost %d", seed, plain.MaxSegments, plain.ResumeCost)
+		}
+		pre := NewScenario(seed, ScenarioParams{Preemption: "preemptive"})
+		if pre.MaxSegments < 2 {
+			t.Errorf("seed %d: forced preemptive drew cap %d", seed, pre.MaxSegments)
+		}
+		// Forcing the mode leaves every other field alone.
+		free := sc
+		free.MaxSegments, free.ResumeCost = plain.MaxSegments, plain.ResumeCost
+		if !reflect.DeepEqual(free, plain) {
+			t.Errorf("seed %d: forcing plain changed other fields", seed)
+		}
+		free.MaxSegments, free.ResumeCost = pre.MaxSegments, pre.ResumeCost
+		if !reflect.DeepEqual(free, pre) {
+			t.Errorf("seed %d: forcing preemptive changed other fields", seed)
+		}
+	}
+	if modes[false] == 0 || modes[true] == 0 {
+		t.Errorf("mixed draw never produced both modes: %v", modes)
+	}
+
+	sc := NewScenario(7, ScenarioParams{Preemption: "preemptive"})
+	var b strings.Builder
+	if err := sc.Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseScenario(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sc, again) {
+		t.Errorf("preemptive round trip changed the scenario:\n got %+v\nwant %+v", again, sc)
+	}
+
+	legacy := "# scenario seed=5 mesh=2x2 procs=0 profile=plasma extraports=0 topology=torus failedlinks=0\n" +
+		"soc x\ncore 1 a\n inputs 1\n outputs 1\n patterns 1\nend\n"
+	old, err := ParseScenario(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.MaxSegments != 0 || old.ResumeCost != 0 {
+		t.Errorf("pre-preemption header parsed as cap %d cost %d, want 0/0", old.MaxSegments, old.ResumeCost)
+	}
+}

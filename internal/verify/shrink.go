@@ -32,9 +32,10 @@ func (e Engine) Shrink(ctx context.Context, sc socgen.Scenario, want Failure, bu
 	// Failures confined to an independent regime re-check just that
 	// regime; "base" failures (including the cross-regime oracles, which
 	// anchor there) need the full run since base inherits from the
-	// constrained regimes.
+	// constrained regimes, and "preemptive" failures likewise anchor on
+	// halfpower's plans and floor.
 	only := want.Regime
-	if only == "base" {
+	if only == "base" || only == "preemptive" {
 		only = ""
 	}
 	stillFails := func(cand socgen.Scenario) (bool, error) {
@@ -118,6 +119,26 @@ func reductions(sc socgen.Scenario) []socgen.Scenario {
 	if sc.Topology == "torus" {
 		cand := clone(sc)
 		cand.Topology = "mesh"
+		out = append(out, cand)
+	}
+
+	// Shed preemption: drop the segment cap outright, lower it one step
+	// (floor 2 — one means no splitting), then zero the resume cost, so
+	// a repro that does not need segmentation comes back atomic and one
+	// that does comes back with the smallest cap that still fails.
+	if sc.MaxSegments > 0 {
+		cand := clone(sc)
+		cand.MaxSegments, cand.ResumeCost = 0, 0
+		out = append(out, cand)
+	}
+	if sc.MaxSegments > 2 {
+		cand := clone(sc)
+		cand.MaxSegments--
+		out = append(out, cand)
+	}
+	if sc.MaxSegments > 0 && sc.ResumeCost > 0 {
+		cand := clone(sc)
+		cand.ResumeCost = 0
 		out = append(out, cand)
 	}
 

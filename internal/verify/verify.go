@@ -40,12 +40,29 @@
 //     channels disabled and a DegradedMesh wrapper with no failures —
 //     and must produce exactly the mesh's deterministic plans and
 //     analytic floor.
+//   - single-segment-identity: the preemptive generalisation is
+//     behaviour-preserving for the classic engine. Every scenario is
+//     recompiled with MaxSegments=1 (a nonzero resume cost attached,
+//     which nothing may ever observe) and must produce exactly the
+//     plain model's deterministic plans, analytic floor and
+//     feasibility verdicts, under plain, link-exclusive and
+//     power-limited options.
+//   - preemption-dominance: allowing preemption never worsens the best
+//     power-limited makespan. Any atomic halfpower plan is a legal
+//     outcome under the preemptive regime (chains of one), so the
+//     engine warm-starts the segmented search with halfpower's winning
+//     order and inherits its plan outright when the search fails to
+//     beat it; the oracle then guards that dominance reasoning, like
+//     more-processors-help does for interface reuse.
 //
 // Scenarios draw their fabric (mesh, torus, degraded mesh with failed
-// links) from the generator, and two cross-fabric regimes additionally
-// reschedule every scenario on the fabrics it did not draw, so each
-// sweep exercises compile, the incremental kernel, validation and the
-// lower bound on all three topologies.
+// links) and their preemption mode (a segment cap and resume cost, or
+// the classic atomic engine) from the generator; two cross-fabric
+// regimes additionally reschedule every scenario on the fabrics it did
+// not draw, and the preemptive regime reschedules every scenario under
+// a segment cap, so each sweep exercises compile, the incremental
+// kernel, validation and the lower bound on all three topologies and
+// both engines.
 //
 // On any oracle failure the engine auto-shrinks the scenario — dropping
 // cores, halving pattern counts, shrinking the mesh, removing
@@ -88,8 +105,9 @@ import (
 // package comment.
 var oracleNames = []string{
 	"build", "compile", "incremental-replay", "schedule",
-	"validate", "lower-bound", "more-processors-help", "more-power-helps", "replay-window",
-	"mesh-torus-identity", "mesh-degraded-identity",
+	"validate", "lower-bound", "more-processors-help", "more-power-helps",
+	"preemption-dominance", "replay-window",
+	"mesh-torus-identity", "mesh-degraded-identity", "single-segment-identity",
 }
 
 // regime is one configuration every scenario is scheduled under: an
@@ -108,6 +126,12 @@ type regime struct {
 	// failedLinks is the failed-channel count a "degraded" topology
 	// override uses.
 	failedLinks int
+	// preemptive marks the regime whose options come from the
+	// scenario's preemption draw (segment cap and resume cost on top of
+	// the halfpower ceiling) rather than from opts. It anchors on
+	// "halfpower" — warm starts, inheritance and the analytic floor —
+	// so it runs only when halfpower produced a plan.
+	preemptive bool
 }
 
 // regimes is the sweep's option grid. "base" dominates "noreuse"
@@ -120,6 +144,10 @@ type regime struct {
 var regimes = []regime{
 	{name: "noreuse", opts: core.Options{DisableReuse: true}},
 	{name: "halfpower", opts: core.Options{PowerLimitFraction: 0.5}},
+	// The preemptive regime re-runs halfpower's ceiling with the
+	// scenario's segment cap; it must follow halfpower (it inherits
+	// from it) and precede nothing — base takes no plans from it.
+	{name: "preemptive", preemptive: true},
 	{name: "base", opts: core.Options{}},
 	{name: "exclusive", opts: core.Options{ExclusiveLinks: true}},
 	// Cross-fabric regimes: the same system on the other fabrics, so
@@ -191,6 +219,12 @@ type Report struct {
 	// its best makespan over the analytic lower bound (>= 1 when the
 	// lower-bound oracle holds).
 	Gaps map[string]float64
+	// PreemptionChecked reports whether both halfpower and the
+	// preemptive regime produced plans; PreemptionDelta is then
+	// halfpower's best makespan minus the preemptive best — positive
+	// exactly when splitting tests strictly improved the schedule.
+	PreemptionChecked bool
+	PreemptionDelta   int
 }
 
 // Failed reports whether any oracle was violated.
@@ -233,6 +267,7 @@ func (e Engine) check(ctx context.Context, sc socgen.Scenario, only string) (*Re
 	// oracles would measure search noise instead of engine soundness.
 	var warmOrders [][]int
 	var inherited []*plan.Plan
+	var hpBound core.Bound
 	scKind := sc.Topology
 	if scKind == "" {
 		scKind = "mesh"
@@ -253,8 +288,22 @@ func (e Engine) check(ctx context.Context, sc socgen.Scenario, only string) (*Re
 				continue
 			}
 		}
+		opts := reg.opts
+		if reg.preemptive {
+			if best["halfpower"] == nil {
+				// No anchor: the halfpower ceiling was unschedulable for
+				// this system (or the regime was filtered out), so the
+				// dominance construction has nothing to stand on.
+				continue
+			}
+			segCap := sc.MaxSegments
+			if segCap == 0 {
+				segCap = 3 // plain scenarios still exercise the segmented engine
+			}
+			opts = core.Options{PowerLimitFraction: 0.5, MaxSegments: segCap, ResumeCycles: sc.ResumeCost}
+		}
 		rep.Checked["compile"]++
-		m, err := core.Compile(regSys, reg.opts)
+		m, err := core.Compile(regSys, opts)
 		if err != nil {
 			fail(reg.name, "compile", err)
 			continue
@@ -288,7 +337,24 @@ func (e Engine) check(ctx context.Context, sc socgen.Scenario, only string) (*Re
 			if order, ok := coreOrder(regSys, p); ok {
 				warmOrders = append(warmOrders, order)
 			}
-			inherited = append(inherited, transplant(p, reg.name))
+			inherited = append(inherited, transplant(p, reg.name, 0))
+		case "preemptive":
+			// Warm-start with halfpower's winning order and inherit its
+			// plan outright, ceiling kept: an atomic plan is a legal
+			// outcome of a regime that merely *allows* preemption, so
+			// permitting splits may never lose to it. This mirrors the
+			// base regime's construction over noreuse/halfpower.
+			hp := best["halfpower"]
+			if order, ok := coreOrder(regSys, hp); ok {
+				for _, v := range []core.Variant{core.GreedyFirstAvailable, core.LookaheadFastestFinish} {
+					warm, err := m.Plan(ctx, v, order, fmt.Sprintf("warm-start(%s)", v))
+					if err != nil {
+						continue
+					}
+					p = plan.Best(p, warm)
+				}
+			}
+			p = plan.Best(p, transplant(hp, "halfpower", hp.PowerLimit))
 		case "base":
 			// Warm starts: replay the constrained winners' orders on the
 			// unconstrained model, where the greedy placement may find
@@ -319,6 +385,16 @@ func (e Engine) check(ctx context.Context, sc socgen.Scenario, only string) (*Re
 			continue
 		}
 		bound := m.LowerBound()
+		if reg.name == "halfpower" {
+			hpBound = bound
+		}
+		if reg.preemptive {
+			// The segmented model's own floor counts resume re-setups in
+			// every chain total, which the inherited atomic plan never
+			// pays; the plain halfpower floor is sound for both shapes
+			// (the segmented floor dominates it component by component).
+			bound = hpBound
+		}
 		rep.Checked["lower-bound"]++
 		if p.Makespan() < bound.Cycles() {
 			fail(reg.name, "lower-bound", fmt.Errorf(
@@ -359,6 +435,16 @@ func (e Engine) check(ctx context.Context, sc socgen.Scenario, only string) (*Re
 				fail("", oracle, ierr)
 			}
 		}
+		// The preemption layer's own degenerate-case identity: a cap of
+		// one segment must be indistinguishable from the classic engine.
+		rep.Checked["single-segment-identity"]++
+		vErr, err := singleSegmentIdentity(ctx, sys, sc.ResumeCost)
+		if err != nil {
+			return nil, err
+		}
+		if vErr != nil {
+			fail("", "single-segment-identity", vErr)
+		}
 	}
 
 	// Differential oracles: the dominated regimes may never beat "base".
@@ -376,6 +462,21 @@ func (e Engine) check(ctx context.Context, sc socgen.Scenario, only string) (*Re
 				fail("base", dom.oracle, fmt.Errorf(
 					"best makespan %d under base options worse than %d under %s, yet every %s plan is feasible under base",
 					base.Makespan(), other.Makespan(), dom.name, dom.name))
+			}
+		}
+	}
+	// Preemption anchors on halfpower instead of base: under the same
+	// ceiling, allowing splits (plus inheriting the atomic winner) may
+	// never worsen the best makespan.
+	if hp, ok := best["halfpower"]; ok {
+		if pre, ok := best["preemptive"]; ok {
+			rep.Checked["preemption-dominance"]++
+			rep.PreemptionChecked = true
+			rep.PreemptionDelta = hp.Makespan() - pre.Makespan()
+			if pre.Makespan() > hp.Makespan() {
+				fail("preemptive", "preemption-dominance", fmt.Errorf(
+					"best makespan %d under the preemptive regime worse than %d under halfpower, yet every halfpower plan is a legal preemptive outcome",
+					pre.Makespan(), hp.Makespan()))
 			}
 		}
 	}
@@ -484,6 +585,59 @@ func (e Engine) identityChecks(ctx context.Context, sc socgen.Scenario) (map[str
 	return errs, nil
 }
 
+// segIdentityOpts are the option cells the single-segment identity
+// oracle compares: the plain engine's three behavioural regimes.
+var segIdentityOpts = []core.Options{{}, {ExclusiveLinks: true}, {PowerLimitFraction: 0.5}}
+
+// singleSegmentIdentity verifies the preemption layer's degenerate
+// case on the scenario's own system: recompiling with MaxSegments=1 —
+// and a nonzero resume cost that nothing may ever observe, since a
+// chain of one never resumes — must reproduce the plain model exactly:
+// same analytic floor, same deterministic plans under both variant
+// rules, same feasibility verdicts. The first return is the oracle
+// violation (nil when the identity holds); the second is reserved for
+// harness-level problems (cancellation).
+func singleSegmentIdentity(ctx context.Context, sys *soc.System, resume int) (error, error) {
+	if resume == 0 {
+		resume = 75 // plain scenarios still pin the degenerate case
+	}
+	for _, opts := range segIdentityOpts {
+		mPlain, errP := core.Compile(sys, opts)
+		one := opts
+		one.MaxSegments = 1
+		one.ResumeCycles = resume
+		mOne, errO := core.Compile(sys, one)
+		if (errP != nil) != (errO != nil) {
+			return fmt.Errorf("compile feasibility diverges (opts %+v): plain err %v vs one-segment err %v",
+				opts, errP, errO), nil
+		}
+		if errP != nil {
+			continue // both refuse: identical by agreement
+		}
+		if a, b := mPlain.LowerBound(), mOne.LowerBound(); a != b {
+			return fmt.Errorf("lower bounds diverge (opts %+v): plain %v vs one-segment %v", opts, a, b), nil
+		}
+		for _, v := range identityVariants {
+			pP, perr := mPlain.Plan(ctx, v, mPlain.DefaultOrder(), "identity")
+			pO, oerr := mOne.Plan(ctx, v, mOne.DefaultOrder(), "identity")
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
+			switch {
+			case (perr != nil) != (oerr != nil):
+				return fmt.Errorf("feasibility diverges (%s, opts %+v): plain err %v vs one-segment err %v",
+					v, opts, perr, oerr), nil
+			case perr != nil:
+				// Both infeasible: identical by agreement.
+			case !reflect.DeepEqual(pP.Entries, pO.Entries):
+				return fmt.Errorf("plans diverge entry-wise (%s, opts %+v): plain makespan %d vs one-segment %d",
+					v, opts, pP.Makespan(), pO.Makespan()), nil
+			}
+		}
+	}
+	return nil, nil
+}
+
 // incrementalReplaySteps is the length of the random walk of related
 // orders the incremental-replay oracle scores per (regime, variant).
 const incrementalReplaySteps = 10
@@ -549,13 +703,15 @@ func incrementalReplayCheck(ctx context.Context, m *core.Model, seed int64) erro
 	return nil
 }
 
-// transplant deep-copies a dominated regime's plan into base-regime
-// form: the power ceiling is lifted and the provenance recorded. The
-// entries are copied so later inspection of the donor plan never sees
-// mutations of the inherited one.
-func transplant(p *plan.Plan, from string) *plan.Plan {
+// transplant deep-copies a dominated regime's plan into the dominant
+// regime's form: the power ceiling is replaced (zero lifts it, for
+// inheritance into base; the donor's own ceiling keeps it, for
+// inheritance into the preemptive regime) and the provenance recorded.
+// The entries are copied so later inspection of the donor plan never
+// sees mutations of the inherited one.
+func transplant(p *plan.Plan, from string, limit float64) *plan.Plan {
 	cp := *p
-	cp.PowerLimit = 0
+	cp.PowerLimit = limit
 	cp.Algorithm = fmt.Sprintf("inherited(%s:%s)", from, p.Algorithm)
 	cp.Entries = make([]plan.Entry, len(p.Entries))
 	copy(cp.Entries, p.Entries)
@@ -687,6 +843,14 @@ type Summary struct {
 	// all scenarios and regimes, with its location.
 	WorstGap   float64 `json:"worst_lower_bound_gap"`
 	WorstGapAt string  `json:"worst_gap_at,omitempty"`
+	// PreemptionWins counts scenarios where the preemptive regime's
+	// best makespan strictly beat halfpower's; BestPreemptionDelta is
+	// the largest such improvement in cycles, with its location. A
+	// sweep with wins > 0 is the evidence that preemption pays on
+	// contended systems, not just ties via inheritance.
+	PreemptionWins      int    `json:"preemption_wins"`
+	BestPreemptionDelta int    `json:"best_preemption_delta,omitempty"`
+	BestPreemptionAt    string `json:"best_preemption_at,omitempty"`
 	// BenchmarkGaps holds the embedded-benchmark tightness records.
 	BenchmarkGaps []BenchmarkGap `json:"benchmark_gaps,omitempty"`
 	Failures      []Failure      `json:"failures,omitempty"`
@@ -788,6 +952,13 @@ feed:
 			if gap > sum.WorstGap {
 				sum.WorstGap = gap
 				sum.WorstGapAt = fmt.Sprintf("seed=%d regime=%s", scenarios[i].Seed, reg.name)
+			}
+		}
+		if rep.PreemptionChecked && rep.PreemptionDelta > 0 {
+			sum.PreemptionWins++
+			if rep.PreemptionDelta > sum.BestPreemptionDelta {
+				sum.BestPreemptionDelta = rep.PreemptionDelta
+				sum.BestPreemptionAt = fmt.Sprintf("seed=%d", scenarios[i].Seed)
 			}
 		}
 		if rep.Failed() {

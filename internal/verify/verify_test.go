@@ -284,3 +284,62 @@ func TestSweepTopologyMatrix(t *testing.T) {
 		})
 	}
 }
+
+// TestCheckPreemptiveRegime runs one full check on a forced-preemptive
+// scenario and asserts the preemption layer engaged end to end: the
+// preemptive regime produced a gap record against the halfpower floor,
+// the dominance oracle compared the two regimes (and held, with a
+// non-negative improvement), and the single-segment identity ran.
+func TestCheckPreemptiveRegime(t *testing.T) {
+	sc := socgen.NewScenario(3, socgen.ScenarioParams{
+		MaxCores: 8, Preemption: "preemptive", SoC: socgen.Params{MaxPatterns: 60},
+	})
+	if sc.MaxSegments < 2 {
+		t.Fatalf("test premise broken: forced preemptive drew cap %d", sc.MaxSegments)
+	}
+	rep, err := Engine{}.Check(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("healthy preemptive scenario failed: %+v", rep.Failures)
+	}
+	if _, ok := rep.Gaps["preemptive"]; !ok {
+		t.Errorf("preemptive regime produced no gap record (regimes run: %v)", rep.Gaps)
+	}
+	if rep.Checked["preemption-dominance"] != 1 || rep.Checked["single-segment-identity"] != 1 {
+		t.Errorf("preemption oracles not checked once each: %v", rep.Checked)
+	}
+	if !rep.PreemptionChecked {
+		t.Error("preemption delta not recorded despite both regimes scheduling")
+	}
+	if rep.PreemptionDelta < 0 {
+		t.Errorf("preemption worsened the makespan by %d cycles", -rep.PreemptionDelta)
+	}
+}
+
+// TestSweepPreemptionMatrix forces each scheduling mode through a small
+// sweep, mirroring the CI matrix: both must come back clean and the
+// drawn scenarios must actually carry the forced mode.
+func TestSweepPreemptionMatrix(t *testing.T) {
+	for _, mode := range []string{"plain", "preemptive"} {
+		mode := mode
+		t.Run(mode, func(t *testing.T) {
+			cfg := tier1Config()
+			cfg.Scenarios = 6
+			cfg.SkipBenchmarks = true
+			cfg.Params.Preemption = mode
+			sum, err := Sweep(context.Background(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n := sum.Failed(); n != 0 {
+				t.Fatalf("%d oracle violations under forced %s mode:\n%+v", n, mode, sum.Failures)
+			}
+			sc := socgen.NewScenario(scenarioSeed(cfg.Seed, 0), cfg.Params)
+			if (sc.MaxSegments > 0) != (mode == "preemptive") {
+				t.Errorf("forced %s drew segment cap %d", mode, sc.MaxSegments)
+			}
+		})
+	}
+}

@@ -78,6 +78,45 @@ func (d Design) TestCycles(patterns int) int {
 	return (1+maxS)*patterns + minS
 }
 
+// SegmentPatterns splits a test's pattern count into preemptable
+// segments at pattern boundaries: a pattern is the natural preemption
+// point, because the wrapper's scan state is quiescent between the
+// capture of one pattern and the shift-in of the next, so a test can
+// stop after any pattern and resume later by re-establishing its
+// transport path (the scheduler charges that re-setup separately).
+//
+// The split is balanced: at most maxSegments segments, none shorter
+// than minPatterns (zero or negative selects 1), earlier segments take
+// the remainder so lengths differ by at most one pattern. maxSegments
+// of zero or one — or a pattern count too small to split — returns the
+// whole test as a single segment, which is how the scheduler's
+// non-preemptive mode stays bit-identical to the pre-segment engine.
+// The returned counts are positive and sum to patterns.
+func SegmentPatterns(patterns, maxSegments, minPatterns int) []int {
+	if minPatterns < 1 {
+		minPatterns = 1
+	}
+	segs := maxSegments
+	if segs < 1 {
+		segs = 1
+	}
+	if most := patterns / minPatterns; segs > most {
+		segs = most
+	}
+	if segs < 1 {
+		segs = 1
+	}
+	out := make([]int, segs)
+	base, extra := patterns/segs, patterns%segs
+	for i := range out {
+		out[i] = base
+		if i < extra {
+			out[i]++
+		}
+	}
+	return out
+}
+
 // BFD designs a wrapper with the Best Fit Decreasing heuristic:
 // internal scan chains (unbreakable) are placed longest-first onto the
 // currently shortest wrapper chain; functional inputs and outputs

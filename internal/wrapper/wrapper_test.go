@@ -140,3 +140,80 @@ func TestBFDRandomizedInvariants(t *testing.T) {
 		}
 	}
 }
+
+// TestSegmentPatterns pins the segmentation policy: balanced
+// pattern-boundary splits, the minimum-length floor, and the degenerate
+// single-segment cases the scheduler's bit-identity guarantee rests on.
+func TestSegmentPatterns(t *testing.T) {
+	cases := []struct {
+		patterns, max, min int
+		want               []int
+	}{
+		{100, 0, 0, []int{100}}, // preemption off
+		{100, 1, 0, []int{100}}, // explicit single segment
+		{100, 4, 0, []int{25, 25, 25, 25}},
+		{10, 4, 0, []int{3, 3, 2, 2}},   // remainder to the front
+		{100, 4, 30, []int{34, 33, 33}}, // floor caps the split at 3
+		{5, 4, 10, []int{5}},            // too short to split at all
+		{3, 8, 1, []int{1, 1, 1}},       // never more segments than patterns
+		{1, 3, 0, []int{1}},
+	}
+	for _, c := range cases {
+		got := SegmentPatterns(c.patterns, c.max, c.min)
+		if len(got) != len(c.want) {
+			t.Errorf("SegmentPatterns(%d,%d,%d) = %v, want %v", c.patterns, c.max, c.min, got, c.want)
+			continue
+		}
+		sum := 0
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("SegmentPatterns(%d,%d,%d) = %v, want %v", c.patterns, c.max, c.min, got, c.want)
+				break
+			}
+			sum += got[i]
+		}
+		if sum != c.patterns {
+			t.Errorf("SegmentPatterns(%d,%d,%d) sums to %d", c.patterns, c.max, c.min, sum)
+		}
+	}
+}
+
+// TestSegmentPatternsProperties fuzzes the policy invariants: counts
+// positive, sum preserved, cap and floor respected, balance within one.
+func TestSegmentPatternsProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		patterns := 1 + r.Intn(2000)
+		max := r.Intn(10)
+		min := r.Intn(40)
+		segs := SegmentPatterns(patterns, max, min)
+		if max < 1 {
+			max = 1
+		}
+		if len(segs) > max {
+			t.Fatalf("(%d,%d,%d): %d segments over cap", patterns, max, min, len(segs))
+		}
+		sum, lo, hi := 0, segs[0], segs[0]
+		for _, s := range segs {
+			sum += s
+			if s < lo {
+				lo = s
+			}
+			if s > hi {
+				hi = s
+			}
+		}
+		if sum != patterns {
+			t.Fatalf("(%d,%d,%d): sum %d != %d", patterns, max, min, sum, patterns)
+		}
+		if lo < 1 {
+			t.Fatalf("(%d,%d,%d): empty segment", patterns, max, min)
+		}
+		if len(segs) > 1 && min > 0 && lo < min {
+			t.Fatalf("(%d,%d,%d): segment %d under floor", patterns, max, min, lo)
+		}
+		if hi-lo > 1 {
+			t.Fatalf("(%d,%d,%d): unbalanced split %v", patterns, max, min, segs)
+		}
+	}
+}
