@@ -267,14 +267,22 @@ func BenchmarkPortfolio(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/portfolio_workers%d", benchName, workers), func(b *testing.B) {
 				pf := core.Portfolio{Schedulers: core.DefaultPortfolio(1), Workers: workers}
 				var res *core.PortfolioResult
+				var orders uint64
 				for i := 0; i < b.N; i++ {
-					var err error
-					res, err = pf.ScheduleBest(context.Background(), sys, opts)
+					m, err := core.Compile(sys, opts)
 					if err != nil {
 						b.Fatal(err)
 					}
+					res, err = pf.ScheduleModel(context.Background(), m)
+					if err != nil {
+						b.Fatal(err)
+					}
+					orders += m.SearchStats().Orders
 				}
 				b.ReportMetric(float64(res.Makespan()), "cycles_portfolio")
+				// The throughput the perf trajectory tracks, emitted per
+				// sample so cmd/benchgate can gate regressions on it.
+				b.ReportMetric(float64(orders)/b.Elapsed().Seconds(), "orders_per_sec")
 			})
 		}
 	}

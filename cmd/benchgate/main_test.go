@@ -1,0 +1,142 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+func writeBench(t *testing.T, name, body string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseBenchFile(t *testing.T) {
+	p := writeBench(t, "b.txt", `goos: linux
+cpu: whatever
+BenchmarkPortfolio/p93791/portfolio_workers1-4   1  16802536 ns/op  506455 cycles_portfolio  342924 orders_per_sec
+BenchmarkPortfolio/p93791/portfolio_workers1-4   1  16900000 ns/op  506455 cycles_portfolio  340000 orders_per_sec
+BenchmarkOther-4   2  100 ns/op
+PASS
+`)
+	s, err := parseBenchFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s["BenchmarkPortfolio/p93791/portfolio_workers1"]
+	if got == nil {
+		t.Fatalf("benchmark name not parsed (CPU suffix not stripped?): %v", s)
+	}
+	if len(got["ns/op"]) != 2 || len(got["orders_per_sec"]) != 2 {
+		t.Fatalf("sample counts wrong: %v", got)
+	}
+	if got["orders_per_sec"][0] != 342924 {
+		t.Fatalf("orders_per_sec[0] = %v", got["orders_per_sec"][0])
+	}
+	if len(s["BenchmarkOther"]["ns/op"]) != 1 {
+		t.Fatalf("BenchmarkOther not parsed: %v", s)
+	}
+}
+
+func lines(name string, orders []float64) string {
+	out := ""
+	for _, o := range orders {
+		out += name + "-1   1  1000000 ns/op  " + strconv.FormatFloat(o, 'f', -1, 64) + " orders_per_sec\n"
+	}
+	return out
+}
+
+func TestCompareGatesRegressions(t *testing.T) {
+	name := "BenchmarkPortfolio/p93791/portfolio_workers1"
+	base := writeBench(t, "base.txt", lines(name, []float64{1000000, 1010000, 990000, 1005000, 995000, 1002000}))
+
+	cases := []struct {
+		label     string
+		head      []float64
+		regressed bool
+	}{
+		{"clean", []float64{1001000, 998000, 1003000, 997000, 1000000, 1004000}, false},
+		{"regressed", []float64{800000, 810000, 790000, 805000, 795000, 802000}, true},
+		{"small_dip", []float64{950000, 960000, 940000, 955000, 945000, 952000}, false},
+		{"improved", []float64{1300000, 1310000, 1290000, 1305000, 1295000, 1302000}, false},
+	}
+	for _, tc := range cases {
+		bs, err := parseBenchFile(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs, err := parseBenchFile(writeBench(t, "head.txt", lines(name, tc.head)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		vs := compare(bs, hs, "BenchmarkPortfolio", 0.10, 0.05, 4)
+		if len(vs) != 1 {
+			t.Fatalf("%s: want 1 verdict, got %v", tc.label, vs)
+		}
+		if vs[0].regressed != tc.regressed {
+			t.Errorf("%s: regressed = %v (delta %.1f%%, p=%.3f), want %v",
+				tc.label, vs[0].regressed, vs[0].delta*100, vs[0].p, tc.regressed)
+		}
+		if vs[0].unit != "orders_per_sec" {
+			t.Errorf("%s: gated on %s, want orders_per_sec", tc.label, vs[0].unit)
+		}
+	}
+}
+
+func TestCompareFallsBackToNsPerOp(t *testing.T) {
+	name := "BenchmarkPortfolio/p22810/single"
+	// Baseline predates the orders_per_sec metric: ns/op only.
+	baseBody := ""
+	for _, ns := range []float64{1000000, 1010000, 990000, 1005000, 995000, 1002000} {
+		baseBody += name + "-1   1  " + strconv.FormatFloat(ns, 'f', -1, 64) + " ns/op\n"
+	}
+	headBody := lines(name, []float64{500000, 500000, 500000, 500000}) // ns/op fixed at 1000000
+	bs, err := parseBenchFile(writeBench(t, "base.txt", baseBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := parseBenchFile(writeBench(t, "head.txt", headBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := compare(bs, hs, "BenchmarkPortfolio", 0.10, 0.05, 4)
+	if len(vs) != 1 || vs[0].unit != "ns/op" {
+		t.Fatalf("want ns/op fallback verdict, got %+v", vs)
+	}
+	if vs[0].regressed {
+		t.Fatalf("equal ns/op medians flagged as regression: %+v", vs[0])
+	}
+	// A 2x ns/op slowdown must regress under the fallback metric.
+	slowBody := ""
+	for _, ns := range []float64{2000000, 2020000, 1980000, 2010000} {
+		slowBody += name + "-1   1  " + strconv.FormatFloat(ns, 'f', -1, 64) + " ns/op\n"
+	}
+	hs2, err := parseBenchFile(writeBench(t, "slow.txt", slowBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs2 := compare(bs, hs2, "BenchmarkPortfolio", 0.10, 0.05, 4)
+	if len(vs2) != 1 || !vs2[0].regressed {
+		t.Fatalf("2x ns/op slowdown not gated: %+v", vs2)
+	}
+}
+
+func TestMannWhitneyP(t *testing.T) {
+	same := []float64{1, 2, 3, 4, 5, 6}
+	if p := mannWhitneyP(same, same); p < 0.5 {
+		t.Errorf("identical samples p=%v, want ~1", p)
+	}
+	lo := []float64{1, 2, 3, 4, 5, 6}
+	hi := []float64{10, 11, 12, 13, 14, 15}
+	if p := mannWhitneyP(lo, hi); p >= 0.05 {
+		t.Errorf("cleanly separated samples p=%v, want < 0.05", p)
+	}
+	if p := mannWhitneyP([]float64{5, 5, 5}, []float64{5, 5, 5}); p != 1 {
+		t.Errorf("all-tied samples p=%v, want 1", p)
+	}
+}

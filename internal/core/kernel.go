@@ -11,13 +11,25 @@ import (
 // Evaluator is the incremental search kernel: it scores a stream of
 // related core orders against one model, replaying only the suffix
 // that differs from the previously evaluated order. After every
-// placement it checkpoints the pass state — interface frontiers, the
-// power profile, the running makespan — and journals the committed link
-// reservations, so rewinding to position k costs one checkpoint copy
-// plus popping the journalled links (the link timelines themselves are
-// epoch-tagged and never rebuilt). A neighbourhood search whose moves
-// touch position k onward therefore pays only for positions >= k,
-// instead of the whole order that Model.Makespan replays.
+// placement it checkpoints the cheap pass state — interface frontiers
+// and the running makespan — and journals the committed reservations
+// (link spans, power-profile edits, and the placement records
+// themselves), so rewinding to position k costs one frontier copy plus
+// popping the journals. The power journal restores the profile's
+// arrays bitwise (see power.Journal), which is what keeps incremental
+// results exactly equal to full replays, float rounding included.
+//
+// On top of suffix replay the kernel carries a true delta-evaluation
+// path for the window moves local search lives on: when a move changes
+// only a window of a fully committed order, the window is replayed and
+// its outcome compared against the reference checkpoints — identical
+// interface frontiers, identical per-core reservations, and no
+// reordered pair of overlapping reservations (so even float summation
+// order is preserved). On a match the rest of the order is provably
+// unchanged: the suffix placements are fast-forwarded straight from
+// the reservation journal without rescanning a single interface, and
+// the move's makespan is read off the final checkpoint. Any mismatch
+// falls back to plain suffix replay, costing only the comparison.
 //
 // Evaluate also takes an incumbent bound and aborts a pass the moment
 // its partial makespan exceeds it (see MakespanBounded for why that is
@@ -25,29 +37,58 @@ import (
 // evaluated prefix, which the next Evaluate reuses like any other.
 //
 // The kernel produces exactly the makespans of the full-replay path:
-// internal/verify's incremental-replay oracle cross-checks the two on
-// every sweep scenario. An Evaluator owns pooled scratch state and is
-// not safe for concurrent use; each search chain creates its own and
-// must Close it to return the scratch to the model's pool.
+// internal/verify's incremental-replay and delta-replay oracles
+// cross-check the paths on every sweep scenario. An Evaluator owns
+// pooled scratch state and is not safe for concurrent use; each search
+// chain creates its own and must Close it to return the scratch to the
+// model's pool.
 type Evaluator struct {
 	m *Model
 	v Variant
 	s *scratch
 
 	// ref is the last evaluated order; its first valid positions are
-	// committed in the scratch, with cps[0..valid] current. linkLog is
-	// the flat journal of every link reservation the committed prefix
-	// holds, one entry per (segment, link) in commit order; marks[i] is
-	// the journal length before position i was placed, so positions
-	// k..valid-1 undo by popping linkLog down to marks[k]. A flat
-	// journal (rather than one slice per position) is what lets a
-	// position commit a whole segment chain — several reservations per
-	// link — and still rewind with per-link LIFO discipline.
-	ref     []int
-	valid   int
-	cps     []checkpoint
-	linkLog []noc.LinkID
-	marks   []int
+	// committed in the scratch, with cps[0..valid] current. undo holds
+	// the flat journals of everything the committed prefix reserved;
+	// marks[i] records the journal lengths before position i was
+	// placed, so positions k..valid-1 undo by popping each journal down
+	// to marks[k]. Flat journals (rather than one slice per position)
+	// are what let a position commit a whole segment chain — several
+	// reservations per link — and still rewind with per-link LIFO
+	// discipline.
+	ref   []int
+	valid int
+	cps   []checkpoint
+	undo  evalUndo
+	marks []evalMark
+
+	// delta gates the delta-evaluation fast-forward; the differential
+	// oracle disables it to build its forced-suffix-replay arm.
+	delta bool
+	// refRes snapshots the reference's window+suffix reservation
+	// records before a delta attempt's rewind discards them; refWinLen
+	// is the number of entries belonging to the changed window, and
+	// refMarks the reference's journal marks over the saved tail — the
+	// pieces restoreRef needs to rebuild the reference exactly.
+	refRes    []resRec
+	refWinLen int
+	refMarks  []evalMark
+	// refCps holds reference checkpoints displaced by a delta-eligible
+	// candidate's captures: captureAt swaps the old checkpoint out
+	// instead of overwriting it, so restoreRef can swap it back.
+	refCps []checkpoint
+	// resOff/resPos are generation-tagged per-core lookups used by the
+	// delta match: the core's group offset in refRes and its reference
+	// position in the window.
+	resOff []int
+	resPos []int
+	resGen []int
+	resCtr int
+
+	// batchIdx/batchDiv order a batch of moves by divergence without
+	// allocating.
+	batchIdx []int
+	batchDiv []int
 
 	// seen/seenGen validate each order as a permutation in O(n) without
 	// clearing between calls.
@@ -55,28 +96,58 @@ type Evaluator struct {
 	seenGen int
 }
 
-// checkpoint is the pass state before placing one position.
+// checkpoint is the cheap pass state before placing one position. The
+// power profile is deliberately absent: profile history lives in the
+// undo journal, which restores it bitwise at any depth.
 type checkpoint struct {
 	makespan  int
 	free      []int
 	activated []int
 	active    []bool
-	profile   power.ProfileSnapshot
+}
+
+// evalMark records the undo-journal lengths before one position was
+// placed.
+type evalMark struct {
+	links, res, prof int
+}
+
+// evalUndo aggregates the kernel's undo journals: the link reservations
+// (popped LIFO per link), the power-profile edit journal, and the
+// reservation records themselves — one per committed segment, carrying
+// enough to re-commit the placement without rediscovering it.
+type evalUndo struct {
+	links []noc.LinkID
+	res   []resRec
+	prof  power.Journal
+}
+
+// resRec is one committed segment reservation: which core, on which
+// interface, over which span. The candidate table recovers everything
+// else (links, draw) from (core, iface).
+type resRec struct {
+	core, iface, start, end int
 }
 
 // NewEvaluator returns an incremental evaluator for one interface-choice
 // rule, holding a scratch from the model's pool until Close.
 func (m *Model) NewEvaluator(v Variant) *Evaluator {
 	e := &Evaluator{
-		m:     m,
-		v:     v,
-		s:     m.pool.Get().(*scratch),
-		ref:   make([]int, 0, len(m.cores)),
-		cps:   make([]checkpoint, len(m.cores)+1),
-		marks: make([]int, len(m.cores)+1),
-		seen:  make([]int, len(m.cores)),
+		m:      m,
+		v:      v,
+		s:      m.pool.Get().(*scratch),
+		ref:    make([]int, 0, len(m.cores)),
+		cps:    make([]checkpoint, len(m.cores)+1),
+		refCps: make([]checkpoint, len(m.cores)+1),
+		marks:  make([]evalMark, len(m.cores)+1),
+		delta:  true,
+		resOff: make([]int, len(m.cores)),
+		resPos: make([]int, len(m.cores)),
+		resGen: make([]int, len(m.cores)),
+		seen:   make([]int, len(m.cores)),
 	}
 	e.s.reset(m)
+	e.undo.prof.Reset()
 	e.capture(&e.cps[0], 0)
 	return e
 }
@@ -90,39 +161,65 @@ func (e *Evaluator) Close() {
 	}
 }
 
-// capture snapshots the scratch into cp, reusing cp's backing arrays.
+// SetDeltaEnabled toggles the delta-evaluation fast-forward. It exists
+// for the differential oracle, which races a delta-enabled evaluator
+// against a forced-suffix-replay one and a full replay; disabling never
+// changes results, only how they are computed.
+func (e *Evaluator) SetDeltaEnabled(on bool) { e.delta = on }
+
+// captureAt checkpoints the scratch at position pos. While a
+// delta-eligible candidate is being replayed (preserve=true) the
+// reference's checkpoint is swapped aside into refCps first instead of
+// being overwritten, so a later restoreRef can swap it back; cps always
+// holds the current (candidate) state either way, which is what every
+// commit path needs.
+func (e *Evaluator) captureAt(pos, makespan int, preserve bool) {
+	if preserve {
+		e.cps[pos], e.refCps[pos] = e.refCps[pos], e.cps[pos]
+	}
+	e.capture(&e.cps[pos], makespan)
+}
+
+// capture snapshots the scratch frontiers into cp, reusing cp's backing
+// arrays.
 func (e *Evaluator) capture(cp *checkpoint, makespan int) {
 	cp.makespan = makespan
 	cp.free = append(cp.free[:0], e.s.free...)
 	cp.activated = append(cp.activated[:0], e.s.activated...)
 	cp.active = append(cp.active[:0], e.s.active...)
-	e.s.profile.Snapshot(&cp.profile)
 }
 
-// rewind restores the scratch to the checkpoint before position k:
-// the journalled link reservations of positions k..valid-1 are popped
-// in reverse commit order (O(reservations undone), preserving each
-// link timeline's LIFO discipline across segment chains), then the
-// interface frontiers and power profile are copied back from cps[k].
+// rewind restores the scratch to the checkpoint before position k: the
+// journalled reservations of positions k..valid-1 are popped in reverse
+// commit order (links with per-link LIFO discipline, the power profile
+// bitwise via its journal), then the interface frontiers are copied
+// back from cps[k].
 func (e *Evaluator) rewind(k int) int {
-	for i := len(e.linkLog) - 1; i >= e.marks[k]; i-- {
-		e.s.lines.Pop(e.linkLog[i])
+	mk := e.marks[k]
+	for i := len(e.undo.links) - 1; i >= mk.links; i-- {
+		e.s.lines.Pop(e.undo.links[i])
 	}
-	e.linkLog = e.linkLog[:e.marks[k]]
+	e.undo.links = e.undo.links[:mk.links]
+	e.undo.res = e.undo.res[:mk.res]
+	e.undo.prof.Undo(e.s.profile, mk.prof)
 	cp := &e.cps[k]
 	copy(e.s.free, cp.free)
 	copy(e.s.activated, cp.activated)
 	copy(e.s.active, cp.active)
-	e.s.profile.Restore(&cp.profile)
 	e.valid = k
 	return cp.makespan
 }
 
 // divergence returns the first position where order differs from the
-// committed prefix of the reference order.
+// committed prefix of the reference order. It tolerates wrong-length
+// orders (EvaluateBatch sorts by divergence before validation runs).
 func (e *Evaluator) divergence(order []int) int {
 	k := 0
-	for k < e.valid && order[k] == e.ref[k] {
+	lim := e.valid
+	if len(order) < lim {
+		lim = len(order)
+	}
+	for k < lim && order[k] == e.ref[k] {
 		k++
 	}
 	return k
@@ -149,15 +246,18 @@ func (e *Evaluator) checkPermutation(order []int) error {
 
 // Evaluate scores order under the evaluator's variant rule and returns
 // its makespan, replaying only the positions at or after the first
-// difference from the previously evaluated order. The pass aborts with
-// pruned=true as soon as the partial makespan exceeds bound; the value
-// returned is then the makespan right after the first placement that
-// crossed the bound — exactly what the full-replay path reports, even
-// when that placement sits inside the reused prefix (the checkpoints'
-// makespans are monotone in position, so the crossing is found without
-// replaying anything). A non-positive bound disables pruning. On error
-// the prefix evaluated so far is retained, so infeasible neighbours
-// cost only their divergent suffix too.
+// difference from the previously evaluated order — and, for window
+// moves against a fully committed reference, often only the changed
+// window itself (see the delta path on the type comment). The pass
+// aborts with pruned=true as soon as the partial makespan exceeds
+// bound; the value returned is then the makespan right after the first
+// placement that crossed the bound — exactly what the full-replay path
+// reports, even when that placement sits inside the reused prefix or
+// the fast-forwarded suffix (checkpoint makespans are monotone in
+// position, so the crossing is found without replaying anything). A
+// non-positive bound disables pruning. On error the prefix evaluated so
+// far is retained, so infeasible neighbours cost only their divergent
+// suffix too.
 func (e *Evaluator) Evaluate(ctx context.Context, order []int, bound int) (ms int, pruned bool, err error) {
 	if err := e.checkPermutation(order); err != nil {
 		return 0, false, err
@@ -169,6 +269,31 @@ func (e *Evaluator) Evaluate(ctx context.Context, order []int, bound int) (ms in
 	e.m.stats.orders.Add(1)
 	e.m.stats.recordLocality(k, len(order))
 	e.m.stats.replayed.Add(uint64(k))
+
+	// Delta attempt: the reference must be fully committed and the
+	// change confined to a window [k..deltaJ] with a non-empty suffix
+	// after it. The reference's tail — reservation records and journal
+	// marks — is saved before the rewind discards it, both to compare
+	// against and to restore from: a candidate the bound rejects is
+	// rolled back so the evaluator keeps holding the fully committed
+	// reference, which keeps the whole move stream delta-eligible
+	// instead of only the first move after an acceptance. Two
+	// permutations cannot differ in exactly one position, so k < n-2 is
+	// the tightest useful gate.
+	deltaJ, deltaK := -1, -1
+	if e.delta && e.valid == len(order) && k < len(order)-2 {
+		j := len(order) - 1
+		for j > k && order[j] == e.ref[j] {
+			j--
+		}
+		if j < len(order)-1 {
+			deltaJ, deltaK = j, k
+			e.refRes = append(e.refRes[:0], e.undo.res[e.marks[k].res:]...)
+			e.refWinLen = e.marks[j+1].res - e.marks[k].res
+			e.refMarks = append(e.refMarks[:0], e.marks[k+1:len(order)+1]...)
+		}
+	}
+
 	makespan := e.rewind(k)
 
 	if makespan > bound {
@@ -193,26 +318,246 @@ func (e *Evaluator) Evaluate(ctx context.Context, order []int, bound int) (ms in
 			e.commitPrefix(order, i)
 			return 0, false, err
 		}
-		end, err := e.m.place(e.s, e.v, order[i], nil, &e.linkLog)
+		end, err := e.m.place(e.s, e.v, order[i], nil, &e.undo)
 		if err != nil {
 			e.commitPrefix(order, i)
 			return 0, false, err
 		}
-		e.marks[i+1] = len(e.linkLog)
+		e.marks[i+1] = evalMark{links: len(e.undo.links), res: len(e.undo.res), prof: e.undo.prof.Mark()}
 		if end > makespan {
 			makespan = end
 		}
-		e.capture(&e.cps[i+1], makespan)
+		if i == deltaJ && makespan <= bound {
+			// The window is fully replayed and cps[i+1] still holds the
+			// reference's state after it: compare before capturing over
+			// it. On a match the suffix is provably identical to the
+			// reference's and is fast-forwarded from the journal.
+			if e.deltaMatch(order, k, deltaJ, makespan) {
+				return e.fastForward(order, k, deltaJ, bound)
+			}
+			deltaJ = -1
+		}
 		if makespan > bound {
-			e.commitPrefix(order, i+1)
 			e.m.stats.pruned.Add(1)
 			e.m.stats.placed.Add(uint64(i + 1 - k))
+			if deltaK >= 0 && i+1 < len(order) {
+				// A delta-eligible candidate the bound rejected: roll it
+				// back and re-commit the reference from the saved journal
+				// (the reference's suffix checkpoints are still intact),
+				// so the next window move is delta-eligible too. The
+				// returned partial makespan is already exact. Crossing
+				// inside the window never replayed the suffix at all.
+				e.restoreRef(deltaK, i)
+				if deltaJ >= 0 {
+					e.m.stats.deltaHits.Add(1)
+				}
+				return makespan, true, nil
+			}
+			e.captureAt(i+1, makespan, deltaK >= 0)
+			e.commitPrefix(order, i+1)
 			return makespan, true, nil
 		}
+		e.captureAt(i+1, makespan, deltaK >= 0)
 	}
 	e.commitPrefix(order, len(order))
 	e.m.stats.placed.Add(uint64(len(order) - k))
 	return makespan, false, nil
+}
+
+// deltaMatch reports whether replaying the changed window [k..j] of
+// order reproduced the reference pass's state at position j+1 exactly,
+// which proves the suffix would replay unchanged. Three checks, all
+// exact:
+//
+//  1. The running makespan and every interface frontier
+//     (free/activated/active) equal checkpoint j+1's.
+//  2. Every window core committed the identical reservations it held in
+//     the reference pass — same interface, same segment spans — so the
+//     resource state is the same set of reservations.
+//  3. No two window reservations that changed relative commit order
+//     overlap in time. Overlapping reservations sum into the same
+//     profile segments, and float addition is order-sensitive; spans
+//     that do not overlap never touch the same segment, so the
+//     profile's load arrays are bitwise identical too, and the suffix's
+//     feasibility decisions cannot diverge even by an ulp.
+func (e *Evaluator) deltaMatch(order []int, k, j, makespan int) bool {
+	cp := &e.cps[j+1]
+	if makespan != cp.makespan {
+		return false
+	}
+	for i := range e.s.free {
+		if e.s.free[i] != cp.free[i] || e.s.activated[i] != cp.activated[i] || e.s.active[i] != cp.active[i] {
+			return false
+		}
+	}
+
+	newRes := e.undo.res[e.marks[k].res:]
+	if len(newRes) != e.refWinLen {
+		return false
+	}
+	// Per-core identity: each window core's contiguous reservation
+	// group must match its reference group elementwise. Core groups are
+	// contiguous in both logs (a placement commits its whole chain),
+	// and a window core appears exactly once.
+	e.resCtr++
+	for off := 0; off < e.refWinLen; {
+		c := e.refRes[off].core
+		e.resGen[c] = e.resCtr
+		e.resOff[c] = off
+		for off < e.refWinLen && e.refRes[off].core == c {
+			off++
+		}
+	}
+	for off := 0; off < len(newRes); {
+		c := newRes[off].core
+		if e.resGen[c] != e.resCtr {
+			return false
+		}
+		ro := e.resOff[c]
+		for off < len(newRes) && newRes[off].core == c {
+			if ro >= e.refWinLen || e.refRes[ro] != newRes[off] {
+				return false
+			}
+			ro++
+			off++
+		}
+		if ro < e.refWinLen && e.refRes[ro].core == c {
+			return false // reference group is longer than the new one
+		}
+	}
+
+	// Reordered pairs must be span-disjoint. Window positions p < q in
+	// the new order whose cores sat in the opposite order in the
+	// reference commit their reservations in swapped sequence; if any
+	// of their spans overlap, the profile sums could differ in rounding
+	// and the proof above would not cover the suffix.
+	for q := k; q <= j; q++ {
+		e.resPos[e.ref[q]] = q
+	}
+	for p := k; p <= j; p++ {
+		a := order[p]
+		for q := p + 1; q <= j; q++ {
+			b := order[q]
+			if e.resPos[a] > e.resPos[b] && e.groupsOverlap(a, b) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// groupsOverlap reports whether any reservation span of core a overlaps
+// any span of core b, both read from the reference window log (the
+// per-core identity check has already proven the new spans equal).
+func (e *Evaluator) groupsOverlap(a, b int) bool {
+	for i := e.resOff[a]; i < e.refWinLen && e.refRes[i].core == a; i++ {
+		for q := e.resOff[b]; q < e.refWinLen && e.refRes[q].core == b; q++ {
+			if e.refRes[i].start < e.refRes[q].end && e.refRes[q].start < e.refRes[i].end {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// fastForward re-commits the reference suffix after a successful delta
+// match: positions j+1 onward are replayed straight from the saved
+// reservation log — link spans re-added, profile edits re-journaled, no
+// interface rescans — and the frontiers restored from the (still valid)
+// reference checkpoints. When the reference's monotone checkpoint
+// makespans cross the bound inside the suffix, the fast-forward stops
+// at the crossing exactly like a replay would, reporting the same
+// partial makespan with the same committed prefix.
+func (e *Evaluator) fastForward(order []int, k, j, bound int) (int, bool, error) {
+	n := len(order)
+	final := e.cps[n].makespan
+	last := n
+	pruned := false
+	if final > bound {
+		lo, hi := j+2, n
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if e.cps[mid].makespan > bound {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		last = lo
+		final = e.cps[lo].makespan
+		pruned = true
+	}
+
+	endOff := len(e.refRes)
+	if last < n {
+		endOff = e.marks[last].res - e.marks[k].res
+	}
+	for idx := e.refWinLen; idx < endOff; idx++ {
+		r := e.refRes[idx]
+		c := &e.m.cands[r.core][r.iface]
+		for _, id := range c.links {
+			e.s.lines.Add(id, noc.Span{Start: r.start, End: r.end})
+			e.undo.links = append(e.undo.links, id)
+		}
+		e.s.profile.AddJournaled(r.start, r.end, c.draw, &e.undo.prof)
+		e.undo.res = append(e.undo.res, r)
+	}
+	// The per-position journal counts of the re-committed suffix equal
+	// the reference's, so marks[j+2..last] are still correct without
+	// being rewritten; the frontier state is the stopping checkpoint's.
+	cp := &e.cps[last]
+	copy(e.s.free, cp.free)
+	copy(e.s.activated, cp.activated)
+	copy(e.s.active, cp.active)
+	e.commitPrefix(order, last)
+	e.m.stats.placed.Add(uint64(j + 1 - k))
+	e.m.stats.replayed.Add(uint64(last - (j + 1)))
+	e.m.stats.deltaHits.Add(1)
+	if pruned {
+		e.m.stats.pruned.Add(1)
+	}
+	return final, pruned, nil
+}
+
+// restoreRef rebuilds the fully committed reference after a
+// delta-eligible candidate was resolved without needing its state: the
+// candidate's journalled reservations are popped back to the window
+// start and the reference's tail re-committed verbatim from the saved
+// reservation log, its journal marks copied back, and its frontiers
+// restored from the final checkpoint. Every piece is exact (the power
+// journal restores bitwise, the re-commit replays the identical edits
+// in the identical order), so the evaluator is indistinguishable from
+// one that never saw the candidate. hi is the last position whose
+// checkpoint the candidate's captures displaced into refCps; those are
+// swapped back in.
+func (e *Evaluator) restoreRef(k, hi int) {
+	n := len(e.ref)
+	for p := k + 1; p <= hi; p++ {
+		e.cps[p], e.refCps[p] = e.refCps[p], e.cps[p]
+	}
+	mk := e.marks[k]
+	for i := len(e.undo.links) - 1; i >= mk.links; i-- {
+		e.s.lines.Pop(e.undo.links[i])
+	}
+	e.undo.links = e.undo.links[:mk.links]
+	e.undo.res = e.undo.res[:mk.res]
+	e.undo.prof.Undo(e.s.profile, mk.prof)
+	for idx := range e.refRes {
+		r := &e.refRes[idx]
+		c := &e.m.cands[r.core][r.iface]
+		for _, id := range c.links {
+			e.s.lines.Add(id, noc.Span{Start: r.start, End: r.end})
+			e.undo.links = append(e.undo.links, id)
+		}
+		e.s.profile.AddJournaled(r.start, r.end, c.draw, &e.undo.prof)
+		e.undo.res = append(e.undo.res, *r)
+	}
+	copy(e.marks[k+1:n+1], e.refMarks)
+	cp := &e.cps[n]
+	copy(e.s.free, cp.free)
+	copy(e.s.activated, cp.activated)
+	copy(e.s.active, cp.active)
+	e.valid = n
 }
 
 // commitPrefix records that the first n positions of order are now the
@@ -220,4 +565,60 @@ func (e *Evaluator) Evaluate(ctx context.Context, order []int, bound int) (ms in
 func (e *Evaluator) commitPrefix(order []int, n int) {
 	e.ref = append(e.ref[:0], order...)
 	e.valid = n
+}
+
+// EvaluateBatch scores a stream of moves in one call, filling results
+// with exactly what Evaluate would have returned for each (orders[i],
+// bounds[i]) pair — results are state-independent, so the batch's
+// outcome does not depend on evaluation order. Internally the moves are
+// evaluated sorted by descending divergence from the committed
+// reference: each evaluation then replays only from its own divergence
+// instead of from the deepest point an earlier sibling disturbed, which
+// is what amortizes checkpoint reuse across a whole neighbourhood. A
+// nil bounds applies no bound; mismatched lengths error. The slices are
+// the caller's scratch: nothing is retained.
+func (e *Evaluator) EvaluateBatch(ctx context.Context, orders [][]int, bounds []int, results []EvalResult) error {
+	if len(results) != len(orders) {
+		return fmt.Errorf("core: batch results cover %d of %d orders", len(results), len(orders))
+	}
+	if bounds != nil && len(bounds) != len(orders) {
+		return fmt.Errorf("core: batch bounds cover %d of %d orders", len(bounds), len(orders))
+	}
+	e.batchIdx = e.batchIdx[:0]
+	e.batchDiv = e.batchDiv[:0]
+	for i := range orders {
+		d := e.divergence(orders[i])
+		at := len(e.batchIdx)
+		e.batchIdx = append(e.batchIdx, 0)
+		e.batchDiv = append(e.batchDiv, 0)
+		for at > 0 && e.batchDiv[at-1] < d {
+			e.batchIdx[at] = e.batchIdx[at-1]
+			e.batchDiv[at] = e.batchDiv[at-1]
+			at--
+		}
+		e.batchIdx[at], e.batchDiv[at] = i, d
+	}
+	for _, i := range e.batchIdx {
+		bound := 0
+		if bounds != nil {
+			bound = bounds[i]
+		}
+		ms, pruned, err := e.Evaluate(ctx, orders[i], bound)
+		results[i] = EvalResult{Makespan: ms, Pruned: pruned, Err: err}
+		if err != nil && ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// EvalResult is one order's outcome within an EvaluateBatch call.
+type EvalResult struct {
+	// Makespan is the order's (possibly partial, when Pruned) makespan.
+	Makespan int
+	// Pruned reports that the evaluation aborted at the bound.
+	Pruned bool
+	// Err is the evaluation's failure (e.g. an infeasible order), nil
+	// on success.
+	Err error
 }

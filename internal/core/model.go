@@ -55,6 +55,11 @@ type Model struct {
 	ifaces    []ifaceModel
 	// cands is indexed [core index][interface index].
 	cands [][]cand
+	// scanDur mirrors cands with just the placement scan's needs — the
+	// candidate's total duration, or -1 when infeasible — so the
+	// per-placement interface scan streams over a compact array instead
+	// of striding through the full candidate structs.
+	scanDur [][]int
 	// orders caches the core-index ordering of every Priority rule,
 	// indexed by Priority.
 	orders [priorityCount][]int
@@ -74,11 +79,12 @@ type Model struct {
 // observational only — they never influence scheduling decisions — so
 // their cross-worker interleaving cannot perturb deterministic results.
 type searchCounters struct {
-	orders   atomic.Uint64
-	pruned   atomic.Uint64
-	placed   atomic.Uint64
-	replayed atomic.Uint64
-	locality [localityBuckets]atomic.Uint64
+	orders    atomic.Uint64
+	pruned    atomic.Uint64
+	placed    atomic.Uint64
+	replayed  atomic.Uint64
+	deltaHits atomic.Uint64
+	locality  [localityBuckets]atomic.Uint64
 }
 
 // localityBuckets is the resolution of the move-locality histogram: one
@@ -111,6 +117,10 @@ type SearchStats struct {
 	// Replayed counts core placements restored from checkpoints instead
 	// of being re-evaluated — the work the incremental kernel avoided.
 	Replayed uint64
+	// DeltaHits counts evaluations resolved by the delta fast-forward:
+	// only the changed window was replayed and the suffix re-committed
+	// straight from the reservation journal, no interface rescans.
+	DeltaHits uint64
 	// Locality is the move-locality histogram: Locality[d] counts the
 	// evaluations whose replay started in decile d of the order, so
 	// bucket 0 holds cold full replays and bucket 9 the most local
@@ -124,10 +134,11 @@ type SearchStats struct {
 // passes are in flight is approximate.
 func (m *Model) SearchStats() SearchStats {
 	st := SearchStats{
-		Orders:   m.stats.orders.Load(),
-		Pruned:   m.stats.pruned.Load(),
-		Placed:   m.stats.placed.Load(),
-		Replayed: m.stats.replayed.Load(),
+		Orders:    m.stats.orders.Load(),
+		Pruned:    m.stats.pruned.Load(),
+		Placed:    m.stats.placed.Load(),
+		Replayed:  m.stats.replayed.Load(),
+		DeltaHits: m.stats.deltaHits.Load(),
 	}
 	for i := range st.Locality {
 		st.Locality[i] = m.stats.locality[i].Load()
@@ -208,6 +219,17 @@ type scratch struct {
 	// the best chain found so far (the buffers swap instead of copying).
 	chain []int
 	trial []int
+	// scan holds the feasible interfaces of the core being placed,
+	// sorted by the lower bound of their placement key, so the cheap
+	// bound ordering decides which interfaces ever pay for a full
+	// feasibility walk.
+	scan []scanEnt
+}
+
+// scanEnt is one interface candidate in a placement scan: its index,
+// its frontier, and the lower bound of its placement key.
+type scanEnt struct {
+	lower, from, iface int
 }
 
 // Compile builds the immutable scheduling model of sys under opts. The
@@ -355,6 +377,7 @@ func (m *Model) compileInterfaces() ([]compIface, error) {
 func (m *Model) compileCandidates(routes *noc.RouteTable, ifaces []compIface) error {
 	timing := m.sys.Net.Timing
 	m.cands = make([][]cand, len(m.cores))
+	m.scanDur = make([][]int, len(m.cores))
 	m.selfIface = make([]int, len(m.cores))
 	for ci, pc := range m.cores {
 		m.selfIface[ci] = -1
@@ -491,6 +514,15 @@ func (m *Model) compileCandidates(routes *noc.RouteTable, ifaces []compIface) er
 			}
 		}
 		m.cands[ci] = row
+		durs := make([]int, len(row))
+		for ii := range row {
+			if row[ii].feasible {
+				durs[ii] = row[ii].duration
+			} else {
+				durs[ii] = -1
+			}
+		}
+		m.scanDur[ci] = durs
 	}
 	return nil
 }
@@ -565,6 +597,7 @@ func (m *Model) newScratch() *scratch {
 		profile:   power.NewProfile(m.limit),
 		chain:     make([]int, segs),
 		trial:     make([]int, segs),
+		scan:      make([]scanEnt, len(m.ifaces)),
 	}
 	if m.exclusive {
 		s.lines = noc.NewTimelines(m.numLinks)
@@ -702,60 +735,81 @@ func (m *Model) run(ctx context.Context, v Variant, order []int, bound int, entr
 // route. The greedy rule keys on the first segment's start (the paper's
 // first-available convention, unchanged for one-segment chains) and the
 // lookahead rule on the chain's completion. Ties keep the first
-// interface scanned. When journal is non-nil the committed link
-// reservations are appended, once per segment, so the incremental
-// kernel can undo them in reverse order.
-func (m *Model) place(s *scratch, v Variant, ci int, entries *[]plan.Entry, journal *[]noc.LinkID) (int, error) {
+// interface scanned. When undo is non-nil every committed reservation
+// is journalled — link spans, power-profile edits (bitwise-undoable),
+// and one resRec per segment — so the incremental kernel can rewind the
+// placement exactly and fast-forward it again without re-deriving it.
+func (m *Model) place(s *scratch, v Variant, ci int, entries *[]plan.Entry, undo *evalUndo) (int, error) {
 	row := m.cands[ci]
-	bestIface, bestKey, bestEnd := -1, 0, 0
-	for ii := range row {
-		c := &row[ii]
-		if !c.feasible || !s.active[ii] {
+	// Collect the feasible interfaces with the lower bound of their
+	// placement key (the chain can only start at or after the frontier,
+	// and its segments run back-to-back at best, so both keys are
+	// bounded below), tracking the minimum (lower bound, index) as the
+	// scan goes. The selection below minimises (key, index) exactly like
+	// an index-order scan of every interface would; the bounds only
+	// decide which interfaces ever pay for a full feasibility walk.
+	nscan := 0
+	minAt, minLower, minFrom := -1, 0, 0
+	for ii, d := range m.scanDur[ci] {
+		if d < 0 || !s.active[ii] {
 			continue
 		}
 		from := s.free[ii]
 		if s.activated[ii] > from {
 			from = s.activated[ii]
 		}
-		if bestIface >= 0 {
-			// The chain can only start at or after from, and its segments
-			// run back-to-back at best, so both keys are bounded below;
-			// an interface that cannot strictly beat the incumbent needs
-			// no feasibility scan. Ties keep the first interface either
-			// way.
-			lower := from
-			if v == LookaheadFastestFinish {
-				lower = from + c.duration
-			}
-			if lower >= bestKey {
-				continue
-			}
-		}
-		// Walk the segment chain read-only: each segment's window is the
-		// earliest feasible one at or after its predecessor's end. The
-		// windows are disjoint by construction, so committing the chain
-		// later cannot invalidate these starts.
-		t := from
-		end := 0
-		for j := range c.segs {
-			st := s.earliestFeasible(t, c.segs[j].duration, c)
-			end = st + c.segs[j].duration
-			s.trial[j] = st
-			t = end
-		}
-		key := s.trial[0]
+		lower := from
 		if v == LookaheadFastestFinish {
-			key = end
+			lower = from + d
 		}
-		if bestIface < 0 || key < bestKey {
-			bestIface, bestKey, bestEnd = ii, key, end
-			s.chain, s.trial = s.trial, s.chain
+		s.scan[nscan] = scanEnt{lower: lower, from: from, iface: ii}
+		nscan++
+		if minAt < 0 || lower < minLower {
+			minAt, minLower, minFrom = ii, lower, from
 		}
 	}
-	if bestIface < 0 {
+	if minAt < 0 {
 		pc := m.cores[ci]
 		return 0, fmt.Errorf("core: core %d (%s) cannot be scheduled on any interface (power limit %.1f too tight?): %w",
 			pc.Core.ID, pc.Core.Name, m.limit, ErrUnschedulable)
+	}
+	// Walk the minimum-bound interface first. When its key lands exactly
+	// on its lower bound no other interface can win — every other bound
+	// is at least this key, and an equal-bound interface has a higher
+	// index, so at best it ties and loses the tie — which makes the
+	// common placement a single feasibility walk with no sorting at all.
+	key, end := s.walkChain(&row[minAt], minFrom, v)
+	bestIface, bestKey, bestEnd := minAt, key, end
+	s.chain, s.trial = s.trial, s.chain
+	if key > minLower {
+		// Inconclusive: order the collected interfaces by (lower bound,
+		// index) and scan until the bounds prove the incumbent optimal.
+		for si := 1; si < nscan; si++ {
+			at := si
+			ent := s.scan[si]
+			for at > 0 && s.scan[at-1].lower > ent.lower {
+				s.scan[at] = s.scan[at-1]
+				at--
+			}
+			s.scan[at] = ent
+		}
+		for si := 0; si < nscan; si++ {
+			ent := &s.scan[si]
+			if ent.lower > bestKey {
+				break // sorted: nothing later can beat or tie the incumbent
+			}
+			if ent.iface == minAt {
+				continue // already walked, seeded the incumbent
+			}
+			if ent.lower == bestKey && ent.iface > bestIface {
+				continue // can at best tie, and then loses to the lower index
+			}
+			key, end = s.walkChain(&row[ent.iface], ent.from, v)
+			if key < bestKey || (key == bestKey && ent.iface < bestIface) {
+				bestIface, bestKey, bestEnd = ent.iface, key, end
+				s.chain, s.trial = s.trial, s.chain
+			}
+		}
 	}
 
 	c := &row[bestIface]
@@ -766,11 +820,16 @@ func (m *Model) place(s *scratch, v Variant, ci int, entries *[]plan.Entry, jour
 		for _, id := range c.links {
 			s.lines.Add(id, noc.Span{Start: st, End: end})
 		}
-		if !s.profile.TryAdd(st, end, c.draw) {
+		if undo != nil {
+			// earliestFeasible proved the window clears the ceiling, so
+			// the journaled commit skips the probe; the differential
+			// oracles cross-check the committed state against full
+			// replays.
+			undo.links = append(undo.links, c.links...)
+			s.profile.AddJournaled(st, end, c.draw, &undo.prof)
+			undo.res = append(undo.res, resRec{core: ci, iface: bestIface, start: st, end: end})
+		} else if !s.profile.TryAdd(st, end, c.draw) {
 			panic(fmt.Sprintf("core: committing feasible placement of core %d failed", m.cores[ci].Core.ID))
-		}
-		if journal != nil {
-			*journal = append(*journal, c.links...)
 		}
 		if entries != nil {
 			e := c.entry
@@ -786,6 +845,27 @@ func (m *Model) place(s *scratch, v Variant, ci int, entries *[]plan.Entry, jour
 		s.activated[si] = bestEnd
 	}
 	return bestEnd, nil
+}
+
+// walkChain finds the candidate chain's segment starts read-only: each
+// segment's window is the earliest feasible one at or after its
+// predecessor's end, left in s.trial. The windows are disjoint by
+// construction, so committing the chain later cannot invalidate them.
+// It returns the variant's placement key (first start, or chain
+// completion for the lookahead rule) and the chain's end.
+func (s *scratch) walkChain(c *cand, from int, v Variant) (key, end int) {
+	t := from
+	for j := range c.segs {
+		st := s.earliestFeasible(t, c.segs[j].duration, c)
+		end = st + c.segs[j].duration
+		s.trial[j] = st
+		t = end
+	}
+	key = s.trial[0]
+	if v == LookaheadFastestFinish {
+		key = end
+	}
+	return key, end
 }
 
 // earliestFeasible advances a segment start time past link and power

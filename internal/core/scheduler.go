@@ -290,13 +290,25 @@ type AnnealingScheduler struct {
 	// decisions. It exists for the differential tests and costs only
 	// speed.
 	FullReplay bool
+	// MoveWindow, when positive, confines every move to swaps inside
+	// the last MoveWindow+1 positions instead of the default mix of
+	// adaptive tail-window and uniform swaps. This is the lane regime:
+	// small windows keep each neighbour inside the kernel's delta path,
+	// so a walker evaluates moves at several times the mixed-move rate
+	// and spends its budget intensifying around the incumbent basin.
+	// Zero keeps the default move kernel (and the pinned trajectories).
+	MoveWindow int
 }
 
 // DefaultAnnealingSteps is the step budget a zero Steps selects.
 const DefaultAnnealingSteps = 4000
 
-// Name returns "anneal(variant,seed=N,steps=N)".
+// Name returns "anneal(variant,seed=N,steps=N)", with ",window=N"
+// appended for lane-regime walkers.
 func (a AnnealingScheduler) Name() string {
+	if a.MoveWindow > 0 {
+		return fmt.Sprintf("anneal(%s,seed=%d,steps=%d,window=%d)", a.Variant, a.Seed, a.steps(), a.MoveWindow)
+	}
 	return fmt.Sprintf("anneal(%s,seed=%d,steps=%d)", a.Variant, a.Seed, a.steps())
 }
 
@@ -386,6 +398,13 @@ func (a AnnealingScheduler) ScheduleBounded(ctx context.Context, m *Model, inc *
 	}
 	n := len(order)
 	window := annealTailWindow(n)
+	lane := a.MoveWindow > 0 && window > 0
+	if lane && a.MoveWindow < window {
+		window = a.MoveWindow
+		if window < 2 {
+			window = 2
+		}
+	}
 	t0 := 0.05 * float64(curMs)
 	for step := 0; step < steps; step++ {
 		if err := ctx.Err(); err != nil {
@@ -398,7 +417,7 @@ func (a AnnealingScheduler) ScheduleBounded(ctx context.Context, m *Model, inc *
 		// ergodicity. The move-locality histogram in the bench
 		// trajectory records the resulting replay depths.
 		var i, j int
-		if window > 0 && rng.Float64() < annealLocalFraction {
+		if window > 0 && (lane || rng.Float64() < annealLocalFraction) {
 			w := 2 + rng.Intn(window)
 			i = n - w
 			j = i + 1 + rng.Intn(w-1)
@@ -466,4 +485,29 @@ func DefaultPortfolio(seed int64) []Scheduler {
 		AnnealingScheduler{Variant: LookaheadFastestFinish, Seed: seed + 2, Steps: 1200},
 		AnnealingScheduler{Variant: LookaheadFastestFinish, Seed: seed + 3},
 	}
+}
+
+// LaneMoveWindow is the tail-window size lane walkers draw moves from:
+// small enough that every neighbour stays inside the kernel's delta
+// path, large enough that the walk still reorders more than one pair.
+const LaneMoveWindow = 3
+
+// LanePortfolio returns DefaultPortfolio plus lanes additional
+// independently-seeded annealing walkers in the lane regime (moves
+// confined to a LaneMoveWindow tail window, where the delta kernel
+// scores neighbours without suffix replays). The lanes share the
+// portfolio's sealed incumbent like every other member, so each lane's
+// result is interleaving-independent and the portfolio best can only
+// improve on the default set. lanes <= 0 returns DefaultPortfolio
+// unchanged; lane seeds follow the default members' block.
+func LanePortfolio(seed int64, lanes int) []Scheduler {
+	scheds := DefaultPortfolio(seed)
+	for l := 0; l < lanes; l++ {
+		scheds = append(scheds, AnnealingScheduler{
+			Variant:    LookaheadFastestFinish,
+			Seed:       seed + 4 + int64(l),
+			MoveWindow: LaneMoveWindow,
+		})
+	}
+	return scheds
 }

@@ -45,6 +45,14 @@ type ScheduleBenchRecord struct {
 	// restart shuffles); high buckets hold the suffix-local moves the
 	// incremental kernel scores almost for free.
 	MoveLocalityDeciles []uint64 `json:"move_locality_deciles"`
+	// DeltaHitRate is the fraction of evaluated orders the kernel's
+	// delta path resolved without replaying the suffix (checkpoint
+	// match + journal fast-forward, or a bound rejection restored from
+	// the reference log), over the timed runs.
+	DeltaHitRate float64 `json:"delta_hit_rate"`
+	// Lanes is the number of extra lane walkers (core.LanePortfolio)
+	// the row was measured with; 0 is the default portfolio.
+	Lanes int `json:"lanes"`
 }
 
 // ScheduleBench is the full perf-trajectory document.
@@ -101,10 +109,12 @@ func CanonicalSystem(benchName string) (*soc.System, core.Options, error) {
 // RunScheduleBench measures every named benchmark (nil selects all
 // embedded benchmarks) under the canonical portfolio configuration:
 // Leon processors at full reuse, the paper's 50% power ceiling and BIST
-// factor, default portfolio with the given seed. Each benchmark is
-// scheduled benchRuns+1 times — one warm-up, then timed runs — and the
-// mean wall time and (seed-deterministic) best makespan are recorded.
-func RunScheduleBench(ctx context.Context, benchmarks []string, seed int64, workers int) (*ScheduleBench, error) {
+// factor, default portfolio with the given seed plus lanes extra lane
+// walkers (lanes <= 0 measures the default portfolio alone). Each
+// benchmark is scheduled benchRuns+1 times — one warm-up, then timed
+// runs — and the mean wall time and (seed-deterministic) best makespan
+// are recorded.
+func RunScheduleBench(ctx context.Context, benchmarks []string, seed int64, workers, lanes int) (*ScheduleBench, error) {
 	if len(benchmarks) == 0 {
 		benchmarks = itc02.BenchmarkNames()
 	}
@@ -113,7 +123,10 @@ func RunScheduleBench(ctx context.Context, benchmarks []string, seed int64, work
 		Workers: workers,
 		Options: fmt.Sprintf("leon/full-reuse/power=%g/bist=%g", PaperPowerFraction, PaperBISTFactor),
 	}
-	pf := core.Portfolio{Schedulers: core.DefaultPortfolio(seed), Workers: workers}
+	if lanes < 0 {
+		lanes = 0
+	}
+	pf := core.Portfolio{Schedulers: core.LanePortfolio(seed, lanes), Workers: workers}
 	for _, benchName := range benchmarks {
 		sys, opts, err := CanonicalSystem(benchName)
 		if err != nil {
@@ -125,7 +138,7 @@ func RunScheduleBench(ctx context.Context, benchmarks []string, seed int64, work
 		// so the throughput figure covers exactly the timed window.
 		var res *core.PortfolioResult
 		var elapsed time.Duration
-		var orders uint64
+		var orders, deltaHits uint64
 		var deciles []uint64
 		for run := 0; run < benchRuns+1; run++ {
 			start := time.Now()
@@ -141,6 +154,7 @@ func RunScheduleBench(ctx context.Context, benchmarks []string, seed int64, work
 				elapsed += time.Since(start)
 				st := m.SearchStats()
 				orders += st.Orders
+				deltaHits += st.DeltaHits
 				if deciles == nil {
 					deciles = make([]uint64, len(st.Locality))
 				}
@@ -158,6 +172,8 @@ func RunScheduleBench(ctx context.Context, benchmarks []string, seed int64, work
 			Runs:                benchRuns,
 			OrdersPerSecond:     float64(orders) / elapsed.Seconds(),
 			MoveLocalityDeciles: deciles,
+			DeltaHitRate:        float64(deltaHits) / float64(orders),
+			Lanes:               lanes,
 		})
 	}
 	return out, nil

@@ -104,7 +104,7 @@ import (
 // finding); the rest are the scheduling oracles described in the
 // package comment.
 var oracleNames = []string{
-	"build", "compile", "incremental-replay", "schedule",
+	"build", "compile", "incremental-replay", "delta-replay", "schedule",
 	"validate", "lower-bound", "more-processors-help", "more-power-helps",
 	"preemption-dominance", "replay-window",
 	"mesh-torus-identity", "mesh-degraded-identity", "single-segment-identity",
@@ -314,6 +314,14 @@ func (e Engine) check(ctx context.Context, sc socgen.Scenario, only string) (*Re
 				return nil, ctx.Err()
 			}
 			fail(reg.name, "incremental-replay", err)
+			continue
+		}
+		rep.Checked["delta-replay"]++
+		if err := deltaReplayCheck(ctx, m, sc.Seed); err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			fail(reg.name, "delta-replay", err)
 			continue
 		}
 		rep.Checked["schedule"]++
@@ -699,6 +707,98 @@ func incrementalReplayCheck(ctx context.Context, m *core.Model, seed int64) erro
 			}
 		}
 		ev.Close()
+	}
+	return nil
+}
+
+// deltaReplaySteps is the length of the window-move walk the
+// delta-replay oracle scores per (regime, variant).
+const deltaReplaySteps = 24
+
+// deltaReplayCheck is the differential oracle for the kernel's
+// delta-evaluation path: it walks a seeded chain of the window moves
+// local search is made of — adjacent and near-adjacent swaps inside a
+// small window at a random position, the shape that keeps the
+// delta path eligible — and scores each order through three arms that
+// must agree exactly: a delta-enabled Evaluator, a second Evaluator
+// with the delta path disabled (forced suffix replay over the same
+// checkpoints), and the stateless full replay. Bounds alternate like
+// the incremental-replay oracle's so accepted, tied and bound-aborted
+// moves (including the restore-from-reference rollback) are all
+// exercised, on plain and preemptive regimes alike. Any disagreement —
+// makespan, pruned flag or feasibility — fails the scenario and goes
+// to the shrinker.
+func deltaReplayCheck(ctx context.Context, m *core.Model, seed int64) error {
+	rng := rand.New(rand.NewSource(seed ^ 0x7de1))
+	for _, v := range []core.Variant{core.GreedyFirstAvailable, core.LookaheadFastestFinish} {
+		evD := m.NewEvaluator(v)
+		evR := m.NewEvaluator(v)
+		evR.SetDeltaEnabled(false)
+		order := append([]int(nil), m.DefaultOrder()...)
+		n := len(order)
+		if n < 3 {
+			evD.Close()
+			evR.Close()
+			continue
+		}
+		prevMs := 0
+		for step := 0; step < deltaReplaySteps; step++ {
+			if step > 0 {
+				// Window moves at a random position: adjacent swaps and
+				// swaps across a window of up to 4, with an occasional
+				// uniform swap for the fallback paths.
+				switch {
+				case step%6 == 5:
+					i, j := rng.Intn(n), rng.Intn(n)
+					order[i], order[j] = order[j], order[i]
+				default:
+					w := 2 + rng.Intn(3)
+					if w > n-1 {
+						w = n - 1
+					}
+					i := rng.Intn(n - w)
+					j := i + 1 + rng.Intn(w)
+					order[i], order[j] = order[j], order[i]
+				}
+			}
+			bound := 0
+			switch {
+			case step%3 == 1 && prevMs > 0:
+				bound = prevMs
+			case step%3 == 2 && prevMs > 1:
+				bound = prevMs - 1
+			}
+			dMs, dPruned, dErr := evD.Evaluate(ctx, order, bound)
+			rMs, rPruned, rErr := evR.Evaluate(ctx, order, bound)
+			fullMs, fullPruned, fullErr := m.MakespanBounded(ctx, v, order, bound)
+			if err := ctx.Err(); err != nil {
+				evD.Close()
+				evR.Close()
+				return err
+			}
+			if (dErr != nil) != (fullErr != nil) || (rErr != nil) != (fullErr != nil) {
+				evD.Close()
+				evR.Close()
+				return fmt.Errorf(
+					"delta walk step %d (%s, bound %d): feasibility disagrees: delta err %v, replay err %v, full err %v",
+					step, v, bound, dErr, rErr, fullErr)
+			}
+			if fullErr != nil {
+				continue // all three infeasible: nothing to compare
+			}
+			if dMs != fullMs || dPruned != fullPruned || rMs != fullMs || rPruned != fullPruned {
+				evD.Close()
+				evR.Close()
+				return fmt.Errorf(
+					"delta walk step %d (%s, bound %d): delta (ms %d, pruned %v) vs forced replay (ms %d, pruned %v) vs full (ms %d, pruned %v)",
+					step, v, bound, dMs, dPruned, rMs, rPruned, fullMs, fullPruned)
+			}
+			if !fullPruned {
+				prevMs = fullMs
+			}
+		}
+		evD.Close()
+		evR.Close()
 	}
 	return nil
 }
