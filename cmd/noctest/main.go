@@ -176,6 +176,12 @@ func run(c config) error {
 	if c.lanes < 0 {
 		return fmt.Errorf("invalid -lanes %d: lane count cannot be negative", c.lanes)
 	}
+	if c.timeout < 0 {
+		// A negative deadline used to be silently ignored (the > 0 guard
+		// in dispatch dropped it), turning a typo like -timeout -2m into
+		// an unbounded run. Reject it like every other invalid flag.
+		return fmt.Errorf("invalid -timeout %v: deadline must be positive (0 disables it)", c.timeout)
+	}
 	if c.cpuProfile != "" {
 		f, err := os.Create(c.cpuProfile)
 		if err != nil {

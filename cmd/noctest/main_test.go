@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"noctest/internal/report"
 	"noctest/internal/verify"
@@ -252,6 +253,9 @@ func TestRunFlagValidation(t *testing.T) {
 		{"benchmark", func(c *config) { c.bench = "nonexistent-bench" }, "neither an embedded benchmark"},
 		{"cpu", func(c *config) { c.cpu = "pentium" }, "unknown processor profile"},
 		{"lanes", func(c *config) { c.lanes = -3; c.portfolio = true }, "invalid -lanes"},
+		// A negative deadline used to be silently dropped (scheduling
+		// unbounded); it must be rejected before any mode dispatches.
+		{"timeout", func(c *config) { c.timeout = -2 * time.Minute; c.portfolio = true }, "invalid -timeout"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

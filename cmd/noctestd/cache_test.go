@@ -1,0 +1,141 @@
+package main
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"noctest/internal/core"
+	"noctest/internal/itc02"
+	"noctest/internal/soc"
+)
+
+// compileD695 compiles a real model so cache tests exercise the same
+// value type production does.
+func compileD695(t *testing.T) func() (*core.Model, error) {
+	t.Helper()
+	return func() (*core.Model, error) {
+		bench, err := itc02.Benchmark("d695")
+		if err != nil {
+			return nil, err
+		}
+		sys, err := soc.Build(bench, soc.BuildConfig{})
+		if err != nil {
+			return nil, err
+		}
+		return core.Compile(sys, core.Options{})
+	}
+}
+
+// TestCacheHitMissCounters pins the basic contract: first Get is a
+// miss that compiles, second is a hit that does not.
+func TestCacheHitMissCounters(t *testing.T) {
+	mc := newModelCache(4)
+	compile := compileD695(t)
+	m1, hit, err := mc.Get("k", compile)
+	if err != nil || hit || m1 == nil {
+		t.Fatalf("first Get: model=%v hit=%v err=%v, want miss with model", m1, hit, err)
+	}
+	m2, hit, err := mc.Get("k", compile)
+	if err != nil || !hit {
+		t.Fatalf("second Get: hit=%v err=%v, want hit", hit, err)
+	}
+	if m1 != m2 {
+		t.Error("hit returned a different model pointer")
+	}
+	if h, m, c := mc.hits.Load(), mc.misses.Load(), mc.compiles.Load(); h != 1 || m != 1 || c != 1 {
+		t.Errorf("counters hits=%d misses=%d compiles=%d, want 1/1/1", h, m, c)
+	}
+}
+
+// TestCacheLRUEviction fills past capacity and checks the least
+// recently used key — not the most recently touched one — is evicted.
+func TestCacheLRUEviction(t *testing.T) {
+	mc := newModelCache(2)
+	stub := func() (*core.Model, error) { return &core.Model{}, nil }
+	mc.Get("a", stub)
+	mc.Get("b", stub)
+	mc.Get("a", stub) // touch a: b is now LRU
+	mc.Get("c", stub) // evicts b
+	if ev := mc.evictions.Load(); ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+	if _, hit, _ := mc.Get("a", stub); !hit {
+		t.Error("a was evicted but was recently used")
+	}
+	if _, hit, _ := mc.Get("c", stub); !hit {
+		t.Error("c was evicted but was just inserted")
+	}
+	if _, hit, _ := mc.Get("b", stub); hit {
+		t.Error("b survived but was the least recently used key")
+	}
+	if n := mc.Len(); n > 2 {
+		t.Errorf("cache holds %d entries past capacity 2", n)
+	}
+}
+
+// TestCacheSingleflight races many Gets on one cold key and checks
+// exactly one compile ran — the in-flight entry serves the rest.
+func TestCacheSingleflight(t *testing.T) {
+	mc := newModelCache(4)
+	var compiles atomic.Int32
+	gate := make(chan struct{})
+	compile := func() (*core.Model, error) {
+		compiles.Add(1)
+		<-gate // hold the compile open until every waiter is queued
+		return &core.Model{}, nil
+	}
+	const N = 8
+	var wg sync.WaitGroup
+	models := make([]*core.Model, N)
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, _, err := mc.Get("k", compile)
+			if err != nil {
+				t.Errorf("Get: %v", err)
+			}
+			models[i] = m
+		}(i)
+	}
+	// Release the compile once the loser goroutines have had a chance
+	// to register as waiters; correctness does not depend on the
+	// timing, only the compile count does not.
+	close(gate)
+	wg.Wait()
+	if c := compiles.Load(); c != 1 {
+		t.Fatalf("%d compiles for one key, want 1 (singleflight)", c)
+	}
+	for i := 1; i < N; i++ {
+		if models[i] != models[0] {
+			t.Fatalf("waiter %d got a different model", i)
+		}
+	}
+}
+
+// TestCacheErrorNotCached checks a failed compile is returned but not
+// retained: the next Get retries.
+func TestCacheErrorNotCached(t *testing.T) {
+	mc := newModelCache(4)
+	boom := errors.New("boom")
+	calls := 0
+	flaky := func() (*core.Model, error) {
+		calls++
+		if calls == 1 {
+			return nil, boom
+		}
+		return &core.Model{}, nil
+	}
+	if _, _, err := mc.Get("k", flaky); !errors.Is(err, boom) {
+		t.Fatalf("first Get err = %v, want boom", err)
+	}
+	m, hit, err := mc.Get("k", flaky)
+	if err != nil || hit || m == nil {
+		t.Fatalf("retry after error: model=%v hit=%v err=%v, want fresh compile", m, hit, err)
+	}
+	if calls != 2 {
+		t.Errorf("compile ran %d times, want 2 (error must not be cached)", calls)
+	}
+}

@@ -1,0 +1,261 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"noctest/internal/itc02"
+	"noctest/internal/report"
+)
+
+// loadbenchConfig shapes the self-contained load benchmark: an
+// in-process server hammered by a burst of concurrent mixed-benchmark
+// requests, once per cache regime.
+type loadbenchConfig struct {
+	requests    int
+	concurrency int
+	search      string
+	seed        int64
+	out         string
+}
+
+// loadbenchMix is the benchmark rotation of the burst: the paper's
+// three systems under their canonical serving parameters.
+var loadbenchMix = []string{"d695", "p22810", "p93791"}
+
+// benchRequest is one prebuilt request of the mix.
+type benchRequest struct {
+	name  string
+	body  []byte
+	query string
+}
+
+// buildMix renders the upload and query string of each benchmark in
+// the rotation under the paper's canonical configuration.
+func buildMix(lb loadbenchConfig) ([]benchRequest, error) {
+	reqs := make([]benchRequest, 0, len(loadbenchMix))
+	for _, name := range loadbenchMix {
+		bench, err := itc02.Benchmark(name)
+		if err != nil {
+			return nil, err
+		}
+		body, err := itc02.WriteString(bench)
+		if err != nil {
+			return nil, err
+		}
+		query := fmt.Sprintf("procs=%d&cpu=leon&power=%g&bist=%g&search=%s&seed=%d",
+			report.PaperProcessors(name), report.PaperPowerFraction, report.PaperBISTFactor,
+			lb.search, lb.seed)
+		reqs = append(reqs, benchRequest{name: name, body: []byte(body), query: query})
+	}
+	return reqs, nil
+}
+
+// runLoadbench boots an in-process server, runs the cold burst (every
+// request bypasses the model cache, paying the full parse+build+compile
+// an empty cache would charge it) and then the warm burst (the three
+// models pre-warmed, every request a cache hit), and returns the
+// two-phase document. The returned error is non-nil when any request
+// answered something other than 2xx or 429 — the benchmark doubles as
+// a smoke test of the serving path under real concurrency.
+func runLoadbench(scfg serverConfig, lb loadbenchConfig) (*report.ServeBench, error) {
+	if lb.requests < len(loadbenchMix) {
+		return nil, fmt.Errorf("loadbench needs at least %d requests to cover the mix, got %d", len(loadbenchMix), lb.requests)
+	}
+	if lb.concurrency < 1 {
+		return nil, fmt.Errorf("loadbench concurrency must be positive, got %d", lb.concurrency)
+	}
+	// The benchmark measures latency under queueing, not rejection:
+	// size the queue to park the whole burst so every request is
+	// served. Backpressure itself is exercised by the handler tests.
+	if scfg.queueDepth < 2*lb.concurrency {
+		scfg.queueDepth = 2 * lb.concurrency
+	}
+	srv := newServer(scfg)
+	scfg = srv.cfg // normalized
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	mix, err := buildMix(lb)
+	if err != nil {
+		return nil, err
+	}
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        lb.concurrency,
+		MaxIdleConnsPerHost: lb.concurrency,
+	}}
+
+	doc := &report.ServeBench{
+		Seed:        lb.seed,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Workers:     scfg.workers,
+		QueueDepth:  scfg.queueDepth,
+		Concurrency: lb.concurrency,
+		Requests:    lb.requests,
+		Search:      lb.search,
+		Mix:         append([]string(nil), loadbenchMix...),
+	}
+
+	cold, err := runPhase(client, base, srv, mix, lb, "cold")
+	if err != nil {
+		return nil, err
+	}
+	doc.Phases = append(doc.Phases, cold)
+
+	// Pre-warm: one sequential request per mix member populates the
+	// cache, so the warm burst measures pure hits.
+	for _, mr := range mix {
+		if err := doRequest(client, base, mr, false); err != nil {
+			return nil, fmt.Errorf("pre-warming %s: %v", mr.name, err)
+		}
+	}
+	warm, err := runPhase(client, base, srv, mix, lb, "warm")
+	if err != nil {
+		return nil, err
+	}
+	doc.Phases = append(doc.Phases, warm)
+
+	var bad int
+	for _, ph := range doc.Phases {
+		bad += ph.Errors
+	}
+	if bad > 0 {
+		return doc, fmt.Errorf("loadbench: %d requests failed with a status other than 2xx/429", bad)
+	}
+	return doc, nil
+}
+
+// doRequest posts one mix member and drains the response, returning an
+// error on any non-200.
+func doRequest(client *http.Client, base string, mr benchRequest, bypass bool) error {
+	url := base + "/schedule?" + mr.query
+	if bypass {
+		url += "&cache=no"
+	}
+	resp, err := client.Post(url, "text/plain", strings.NewReader(string(mr.body)))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// runPhase fires lb.requests round-robin over the mix with
+// lb.concurrency in-flight workers and folds latencies plus the
+// server's counter deltas into one ServePhase.
+func runPhase(client *http.Client, base string, srv *server, mix []benchRequest, lb loadbenchConfig, phase string) (report.ServePhase, error) {
+	before := srv.stats()
+	bypass := phase == "cold"
+
+	type outcome struct {
+		latency time.Duration
+		status  int
+		err     error
+	}
+	outcomes := make([]outcome, lb.requests)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	workers := lb.concurrency
+	if workers > lb.requests {
+		workers = lb.requests
+	}
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				mr := mix[i%len(mix)]
+				url := base + "/schedule?" + mr.query
+				if bypass {
+					url += "&cache=no"
+				}
+				t0 := time.Now()
+				resp, err := client.Post(url, "text/plain", strings.NewReader(string(mr.body)))
+				if err != nil {
+					outcomes[i] = outcome{err: err}
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				outcomes[i] = outcome{latency: time.Since(t0), status: resp.StatusCode}
+			}
+		}()
+	}
+	for i := 0; i < lb.requests; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	wall := time.Since(start)
+	after := srv.stats()
+
+	ph := report.ServePhase{
+		Phase:       phase,
+		WallMs:      float64(wall) / float64(time.Millisecond),
+		Compiles:    after.Cache.Compiles - before.Cache.Compiles,
+		CacheHits:   after.Cache.Hits - before.Cache.Hits,
+		CacheMisses: after.Cache.Misses - before.Cache.Misses,
+	}
+	var latencies []time.Duration
+	for _, oc := range outcomes {
+		switch {
+		case oc.err != nil:
+			ph.Errors++
+		case oc.status == http.StatusOK:
+			ph.OK++
+			latencies = append(latencies, oc.latency)
+		case oc.status == http.StatusTooManyRequests:
+			ph.Rejected429++
+		default:
+			ph.Errors++
+		}
+	}
+	ph.P50Ms, ph.P90Ms, ph.P99Ms, ph.MaxMs = report.LatencyQuantiles(latencies)
+	if wall > 0 {
+		ph.PlansPerSecond = float64(ph.OK) / wall.Seconds()
+	}
+	return ph, nil
+}
+
+// writeLoadbench writes the document to lb.out and prints the human
+// summary.
+func writeLoadbench(doc *report.ServeBench, lb loadbenchConfig) error {
+	f, err := os.Create(lb.out)
+	if err != nil {
+		return err
+	}
+	if err := doc.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Print(doc.Summary())
+	if len(doc.Phases) == 2 && doc.Phases[1].P99Ms >= doc.Phases[0].P99Ms {
+		fmt.Fprintf(os.Stderr, "warning: warm p99 (%.2fms) not below cold p99 (%.2fms)\n",
+			doc.Phases[1].P99Ms, doc.Phases[0].P99Ms)
+	}
+	fmt.Printf("wrote %s\n", lb.out)
+	return nil
+}

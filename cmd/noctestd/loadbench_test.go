@@ -1,0 +1,48 @@
+package main
+
+import (
+	"testing"
+)
+
+// TestLoadbenchSmoke runs a scaled-down benchmark end to end and pins
+// the property the full run certifies: every request succeeds, the
+// cold phase compiles per request, and the warm phase rides the cache
+// without a single Compile.
+func TestLoadbenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load benchmark smoke is not short")
+	}
+	lb := loadbenchConfig{requests: 24, concurrency: 8, search: "quick", seed: 1}
+	doc, err := runLoadbench(serverConfig{}, lb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Phases) != 2 {
+		t.Fatalf("phases = %d, want cold+warm", len(doc.Phases))
+	}
+	cold, warm := doc.Phases[0], doc.Phases[1]
+	if cold.Phase != "cold" || warm.Phase != "warm" {
+		t.Fatalf("phase order %q/%q, want cold/warm", cold.Phase, warm.Phase)
+	}
+	for _, ph := range doc.Phases {
+		if ph.Errors != 0 || ph.Rejected429 != 0 {
+			t.Errorf("%s phase: %d errors, %d rejections, want none", ph.Phase, ph.Errors, ph.Rejected429)
+		}
+		if ph.OK != lb.requests {
+			t.Errorf("%s phase: %d ok, want %d", ph.Phase, ph.OK, lb.requests)
+		}
+		if ph.P99Ms <= 0 || ph.PlansPerSecond <= 0 {
+			t.Errorf("%s phase: empty figures %+v", ph.Phase, ph)
+		}
+	}
+	if cold.Compiles != uint64(lb.requests) {
+		t.Errorf("cold phase compiled %d times, want one per request (%d)", cold.Compiles, lb.requests)
+	}
+	// The defining warm-cache property: no request pays Compile.
+	if warm.Compiles != 0 {
+		t.Errorf("warm phase compiled %d times, want 0", warm.Compiles)
+	}
+	if warm.CacheHits != uint64(lb.requests) {
+		t.Errorf("warm phase cache hits = %d, want %d", warm.CacheHits, lb.requests)
+	}
+}

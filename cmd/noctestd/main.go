@@ -1,0 +1,108 @@
+// Command noctestd serves the noctest scheduling engine over HTTP:
+// POST an itc02 benchmark or socgen scenario to /schedule and get back
+// a validated test plan. Compiled models are cached by content hash so
+// repeated systems skip Compile; a bounded scheduling pool turns
+// overload into queueing and then 429s; ?timeout= bounds each request
+// and returns the anytime best plan found within it; ?stream=1 streams
+// incumbent improvements as NDJSON while the race runs.
+//
+// Usage:
+//
+//	noctestd -addr :8080
+//	noctestd -loadbench -loadbench-requests 3072 -loadbench-concurrency 1024
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+func main() {
+	var (
+		addr           = flag.String("addr", ":8080", "listen address")
+		cacheEntries   = flag.Int("cache", 64, "compiled-model cache capacity, entries")
+		workers        = flag.Int("workers", 0, "concurrent scheduling jobs (0 = GOMAXPROCS)")
+		queueDepth     = flag.Int("queue", 256, "requests parked waiting for a slot before 429")
+		requestWorkers = flag.Int("request-workers", 1, "portfolio workers per request")
+		defaultTimeout = flag.Duration("default-timeout", 30*time.Second, "per-request deadline when ?timeout= is absent")
+		maxTimeout     = flag.Duration("max-timeout", 5*time.Minute, "ceiling on client-supplied ?timeout=")
+
+		loadbench  = flag.Bool("loadbench", false, "run the load benchmark against an in-process server instead of serving")
+		lbRequests = flag.Int("loadbench-requests", 3072, "load benchmark: total requests per phase")
+		lbConc     = flag.Int("loadbench-concurrency", 1024, "load benchmark: concurrent in-flight requests")
+		lbSearch   = flag.String("loadbench-search", "quick", "load benchmark: per-request portfolio (quick or full)")
+		lbSeed     = flag.Int64("loadbench-seed", 1, "load benchmark: search seed")
+		lbOut      = flag.String("loadbench-out", "BENCH_serve.json", "load benchmark: output document")
+	)
+	flag.Parse()
+	if err := run(serverConfig{
+		cacheEntries:   *cacheEntries,
+		workers:        *workers,
+		queueDepth:     *queueDepth,
+		requestWorkers: *requestWorkers,
+		defaultTimeout: *defaultTimeout,
+		maxTimeout:     *maxTimeout,
+	}, *addr, *loadbench, loadbenchConfig{
+		requests:    *lbRequests,
+		concurrency: *lbConc,
+		search:      *lbSearch,
+		seed:        *lbSeed,
+		out:         *lbOut,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "noctestd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(scfg serverConfig, addr string, bench bool, lb loadbenchConfig) error {
+	if scfg.defaultTimeout < 0 || scfg.maxTimeout < 0 {
+		return fmt.Errorf("invalid timeout configuration: deadlines must be positive")
+	}
+	if bench {
+		if lb.search != "quick" && lb.search != "full" {
+			return fmt.Errorf("invalid -loadbench-search %q: want quick or full", lb.search)
+		}
+		doc, err := runLoadbench(scfg, lb)
+		if doc != nil {
+			if werr := writeLoadbench(doc, lb); werr != nil && err == nil {
+				err = werr
+			}
+		}
+		return err
+	}
+
+	srv := newServer(scfg)
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("noctestd listening on %s (workers=%d queue=%d cache=%d entries)",
+		addr, srv.cfg.workers, srv.cfg.queueDepth, srv.cfg.cacheEntries)
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

@@ -1,0 +1,637 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"noctest/internal/core"
+	"noctest/internal/itc02"
+	"noctest/internal/soc"
+	"noctest/internal/socgen"
+)
+
+// serverConfig bounds the server's resources. Zero fields select the
+// documented defaults via normalize.
+type serverConfig struct {
+	// cacheEntries bounds the compiled-model LRU.
+	cacheEntries int
+	// workers bounds concurrent scheduling jobs (compile + portfolio
+	// race); queueDepth the extra requests parked waiting for a slot
+	// before the server answers 429.
+	workers    int
+	queueDepth int
+	// requestWorkers is the portfolio's Workers per request: 1 keeps a
+	// request on one CPU so concurrent requests, not strategies, fill
+	// the machine.
+	requestWorkers int
+	// defaultTimeout is the per-request deadline when ?timeout= is
+	// absent; maxTimeout clamps client-supplied deadlines.
+	defaultTimeout time.Duration
+	maxTimeout     time.Duration
+	// maxBody bounds uploads, bytes.
+	maxBody int64
+}
+
+func (c serverConfig) normalize() serverConfig {
+	if c.cacheEntries == 0 {
+		c.cacheEntries = 64
+	}
+	if c.workers < 1 {
+		c.workers = runtime.GOMAXPROCS(0)
+	}
+	if c.queueDepth < 0 {
+		c.queueDepth = 0
+	}
+	if c.requestWorkers < 1 {
+		c.requestWorkers = 1
+	}
+	if c.defaultTimeout <= 0 {
+		c.defaultTimeout = 30 * time.Second
+	}
+	if c.maxTimeout <= 0 {
+		c.maxTimeout = 5 * time.Minute
+	}
+	if c.maxBody <= 0 {
+		c.maxBody = 8 << 20
+	}
+	return c
+}
+
+// server is the scheduling service: a model cache in front of the
+// compile-once/search-many engine, plus a bounded scheduling pool so a
+// request burst degrades into queueing and then explicit 429s instead
+// of unbounded goroutines fighting for the CPUs.
+type server struct {
+	cfg   serverConfig
+	cache *modelCache
+
+	// slots is the scheduling pool: a job runs while it holds a slot.
+	// queued counts requests holding-or-waiting-for slots; admission
+	// compares it against workers+queueDepth before blocking, which is
+	// what turns overload into 429 instead of a pile-up.
+	slots  chan struct{}
+	queued atomic.Int64
+
+	requests, okCount, clientErrs, serverErrs, rejected atomic.Uint64
+}
+
+func newServer(cfg serverConfig) *server {
+	cfg = cfg.normalize()
+	return &server{
+		cfg:   cfg,
+		cache: newModelCache(cfg.cacheEntries),
+		slots: make(chan struct{}, cfg.workers),
+	}
+}
+
+// Handler returns the service's routes.
+func (s *server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/schedule", s.handleSchedule)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+// scheduleParams is one request's decoded query string.
+type scheduleParams struct {
+	timeout     time.Duration
+	stream      bool
+	bypassCache bool
+	search      string // "quick" (list rules only) or "full" (LanePortfolio)
+	seed        int64
+	lanes       int
+
+	// Placement and option parameters; all participate in the cache key.
+	procs       int
+	cpu         string
+	topology    string
+	failedLinks int
+	power       float64
+	bist        float64
+	reuse       int // -1 all processors, 0 none, N first N
+	exclusive   bool
+	app         string
+	maxSegments int
+	resumeCost  int
+
+	// placementSet records whether any placement parameter was given
+	// explicitly; scenario uploads carry their own placement and reject
+	// the conflict instead of silently ignoring half of it.
+	placementSet bool
+}
+
+func parseScheduleParams(q url.Values, cfg serverConfig) (scheduleParams, error) {
+	p := scheduleParams{
+		timeout: cfg.defaultTimeout,
+		search:  "full",
+		seed:    1,
+		cpu:     "leon",
+		reuse:   -1,
+		app:     "bist",
+	}
+	if raw := q.Get("timeout"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil {
+			return p, fmt.Errorf("invalid timeout %q: %v", raw, err)
+		}
+		if d <= 0 {
+			return p, fmt.Errorf("invalid timeout %q: per-request deadline must be positive", raw)
+		}
+		if d > cfg.maxTimeout {
+			d = cfg.maxTimeout
+		}
+		p.timeout = d
+	}
+	var err error
+	boolParam := func(name string, dst *bool) {
+		if err != nil || !q.Has(name) {
+			return
+		}
+		raw := q.Get(name)
+		switch strings.ToLower(raw) {
+		case "", "1", "true", "yes", "on":
+			*dst = true
+		case "0", "false", "no", "off":
+			*dst = false
+		default:
+			err = fmt.Errorf("invalid %s %q: want a boolean", name, raw)
+		}
+	}
+	intParam := func(name string, dst *int, min int, placement bool) {
+		if err != nil || !q.Has(name) {
+			return
+		}
+		v, perr := strconv.Atoi(q.Get(name))
+		if perr != nil || v < min {
+			err = fmt.Errorf("invalid %s %q: want an integer >= %d", name, q.Get(name), min)
+			return
+		}
+		*dst = v
+		if placement {
+			p.placementSet = true
+		}
+	}
+	floatParam := func(name string, dst *float64, min float64) {
+		if err != nil || !q.Has(name) {
+			return
+		}
+		v, perr := strconv.ParseFloat(q.Get(name), 64)
+		if perr != nil || v < min {
+			err = fmt.Errorf("invalid %s %q: want a number >= %g", name, q.Get(name), min)
+			return
+		}
+		*dst = v
+	}
+	stringParam := func(name string, dst *string, allowed []string, placement bool) {
+		if err != nil || !q.Has(name) {
+			return
+		}
+		raw := strings.ToLower(q.Get(name))
+		for _, a := range allowed {
+			if raw == a {
+				*dst = raw
+				if placement {
+					p.placementSet = true
+				}
+				return
+			}
+		}
+		err = fmt.Errorf("invalid %s %q: want one of %s", name, q.Get(name), strings.Join(allowed, "|"))
+	}
+	boolParam("stream", &p.stream)
+	if q.Has("cache") {
+		switch strings.ToLower(q.Get("cache")) {
+		case "no", "bypass", "0", "false", "off":
+			p.bypassCache = true
+		case "", "yes", "1", "true", "on":
+		default:
+			err = fmt.Errorf("invalid cache %q: want yes or no", q.Get("cache"))
+		}
+	}
+	stringParam("search", &p.search, []string{"quick", "full"}, false)
+	intParam("lanes", &p.lanes, 0, false)
+	if err == nil && q.Has("seed") {
+		v, perr := strconv.ParseInt(q.Get("seed"), 10, 64)
+		if perr != nil {
+			err = fmt.Errorf("invalid seed %q: want an integer", q.Get("seed"))
+		} else {
+			p.seed = v
+		}
+	}
+	intParam("procs", &p.procs, 0, true)
+	stringParam("cpu", &p.cpu, []string{"leon", "plasma"}, true)
+	stringParam("topology", &p.topology, []string{"mesh", "torus"}, true)
+	intParam("failed-links", &p.failedLinks, 0, true)
+	floatParam("power", &p.power, 0)
+	floatParam("bist", &p.bist, 0)
+	intParam("reuse", &p.reuse, -1, false)
+	boolParam("exclusive-links", &p.exclusive)
+	stringParam("app", &p.app, []string{"bist", "decompression"}, false)
+	intParam("max-segments", &p.maxSegments, 0, false)
+	intParam("resume-cost", &p.resumeCost, 0, false)
+	return p, err
+}
+
+// coreOptions translates the request into engine options. Placement
+// fields are consumed by buildModel instead.
+func (p scheduleParams) coreOptions() core.Options {
+	opts := core.Options{
+		PowerLimitFraction: p.power,
+		BISTPatternFactor:  p.bist,
+		ExclusiveLinks:     p.exclusive,
+		MaxSegments:        p.maxSegments,
+		ResumeCycles:       p.resumeCost,
+	}
+	switch p.reuse {
+	case -1:
+	case 0:
+		opts.DisableReuse = true
+	default:
+		opts.MaxReusedProcessors = p.reuse
+	}
+	if p.app == "decompression" {
+		opts.Application = core.DecompressionApplication
+	}
+	return opts
+}
+
+// cacheKey hashes the upload together with every compile-relevant
+// parameter, so one cached model is exactly one (system, options,
+// topology) point. Search-side parameters — seed, lanes, search,
+// timeout, stream — stay out: they shape the race, not the model, and
+// one cached model serves them all. The failed-link seed enters only
+// when links actually fail; otherwise it does not affect the build.
+func (p scheduleParams) cacheKey(body []byte) string {
+	flSeed := int64(0)
+	if p.failedLinks > 0 {
+		flSeed = p.seed
+	}
+	params := fmt.Sprintf("procs=%d|cpu=%s|topology=%s|failed=%d|flseed=%d|power=%g|bist=%g|reuse=%d|exclusive=%t|app=%s|maxsegs=%d|resume=%d",
+		p.procs, p.cpu, p.topology, p.failedLinks, flSeed,
+		p.power, p.bist, p.reuse, p.exclusive, p.app, p.maxSegments, p.resumeCost)
+	h := sha256.New()
+	h.Write(body)
+	h.Write([]byte{0})
+	h.Write([]byte(params))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// isScenario reports whether an upload is a socgen scenario file (its
+// "# scenario" header line) rather than a plain itc02 description.
+func isScenario(body []byte) bool {
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "# scenario ") {
+			return true
+		}
+	}
+	return false
+}
+
+// buildModel parses the upload and compiles it under the request's
+// options. Every error here is the client's: a malformed upload or an
+// inconsistent parameter set.
+func buildModel(body []byte, p scheduleParams) (*core.Model, error) {
+	opts := p.coreOptions()
+	if isScenario(body) {
+		sc, err := socgen.ParseScenario(string(body))
+		if err != nil {
+			return nil, err
+		}
+		sys, err := sc.Build()
+		if err != nil {
+			return nil, err
+		}
+		// The scenario header, not the query string, carries the
+		// preemption regime of a scenario upload.
+		opts.MaxSegments = sc.MaxSegments
+		opts.ResumeCycles = sc.ResumeCost
+		return core.Compile(sys, opts)
+	}
+	bench, err := itc02.Parse(bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	cfg := soc.BuildConfig{
+		Processors:      p.procs,
+		Topology:        p.topology,
+		FailedLinkCount: p.failedLinks,
+		FailedLinkSeed:  p.seed,
+	}
+	if p.procs > 0 {
+		profile, err := soc.ProfileByName(p.cpu)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Profile = profile
+	}
+	sys, err := soc.Build(bench, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return core.Compile(sys, opts)
+}
+
+// schedulers returns the request's strategy set: "quick" is the seven
+// deterministic list rules (microsecond-scale, throughput serving),
+// "full" the whole lane portfolio (search-quality serving).
+func (p scheduleParams) schedulers() []core.Scheduler {
+	if p.search == "quick" {
+		return []core.Scheduler{
+			core.ListScheduler{Variant: core.GreedyFirstAvailable, Priority: core.ProcessorsFirst},
+			core.ListScheduler{Variant: core.LookaheadFastestFinish, Priority: core.ProcessorsFirst},
+			core.ListScheduler{Variant: core.GreedyFirstAvailable, Priority: core.VolumeDescending},
+			core.ListScheduler{Variant: core.LookaheadFastestFinish, Priority: core.VolumeDescending},
+			core.ListScheduler{Variant: core.GreedyFirstAvailable, Priority: core.LongestTestFirst},
+			core.ListScheduler{Variant: core.LookaheadFastestFinish, Priority: core.LongestTestFirst},
+			core.ListScheduler{Variant: core.LookaheadFastestFinish, Priority: core.DistanceOnly},
+		}
+	}
+	return core.LanePortfolio(p.seed, p.lanes)
+}
+
+// strategyJSON is one portfolio member's outcome in the response.
+type strategyJSON struct {
+	Name      string  `json:"name"`
+	Makespan  int     `json:"makespan,omitempty"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+	Err       string  `json:"err,omitempty"`
+}
+
+// scheduleResponse is the final JSON document of a /schedule call (and
+// the "result" event of a streamed one).
+type scheduleResponse struct {
+	Event      string          `json:"event,omitempty"`
+	System     string          `json:"system"`
+	Makespan   int             `json:"makespan"`
+	Best       string          `json:"best"`
+	Cache      string          `json:"cache"` // hit | miss | bypass
+	CompileMs  float64         `json:"compile_ms"`
+	ScheduleMs float64         `json:"schedule_ms"`
+	Partial    bool            `json:"partial"`
+	Strategies []strategyJSON  `json:"strategies"`
+	Plan       json.RawMessage `json:"plan"`
+}
+
+// streamEvent is one NDJSON line before the result: the model became
+// ready, or the race's running best improved.
+type streamEvent struct {
+	Event     string  `json:"event"` // "model" | "improvement" | "error"
+	System    string  `json:"system,omitempty"`
+	Cache     string  `json:"cache,omitempty"`
+	CompileMs float64 `json:"compile_ms,omitempty"`
+	Scheduler string  `json:"scheduler,omitempty"`
+	Makespan  int     `json:"makespan,omitempty"`
+	ElapsedMs float64 `json:"elapsed_ms,omitempty"`
+	Error     string  `json:"error,omitempty"`
+	Status    int     `json:"status,omitempty"`
+}
+
+func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodPost {
+		s.clientErrs.Add(1)
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST an itc02 or scenario description", http.StatusMethodNotAllowed)
+		return
+	}
+	p, err := parseScheduleParams(r.URL.Query(), s.cfg)
+	if err != nil {
+		s.clientErrs.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.maxBody))
+	if err != nil {
+		s.clientErrs.Add(1)
+		http.Error(w, fmt.Sprintf("reading upload: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(bytes.TrimSpace(body)) == 0 {
+		s.clientErrs.Add(1)
+		http.Error(w, "empty upload: POST an itc02 or scenario description", http.StatusBadRequest)
+		return
+	}
+	scenario := isScenario(body)
+	if scenario && p.placementSet {
+		s.clientErrs.Add(1)
+		http.Error(w, "scenario uploads carry their own placement: procs/cpu/topology/failed-links query parameters conflict with the \"# scenario\" header", http.StatusBadRequest)
+		return
+	}
+
+	// The deadline covers the whole job — queue wait, compile, race —
+	// so a client's budget bounds its true latency, not just the search.
+	ctx, cancel := context.WithTimeout(r.Context(), p.timeout)
+	defer cancel()
+
+	// Admission: refuse immediately once workers+queueDepth jobs are
+	// already holding or awaiting slots, otherwise wait for a slot (the
+	// deadline still ticking).
+	if s.queued.Add(1) > int64(s.cfg.workers+s.cfg.queueDepth) {
+		s.queued.Add(-1)
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "scheduling queue full", http.StatusTooManyRequests)
+		return
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.slots <- struct{}{}:
+		defer func() { <-s.slots }()
+	case <-ctx.Done():
+		s.clientErrs.Add(1)
+		http.Error(w, "deadline expired while queued for a scheduling slot", http.StatusGatewayTimeout)
+		return
+	}
+
+	// Resolve the model: cache hit, shared in-flight compile, or a
+	// fresh compile (miss or explicit bypass).
+	compileStart := time.Now()
+	var m *core.Model
+	cacheState := "miss"
+	if p.bypassCache {
+		cacheState = "bypass"
+		m, err = s.cache.Bypass(func() (*core.Model, error) { return buildModel(body, p) })
+	} else {
+		var hit bool
+		m, hit, err = s.cache.Get(p.cacheKey(body), func() (*core.Model, error) { return buildModel(body, p) })
+		if hit {
+			cacheState = "hit"
+		}
+	}
+	compileMs := float64(time.Since(compileStart)) / float64(time.Millisecond)
+	if err != nil {
+		s.clientErrs.Add(1)
+		http.Error(w, fmt.Sprintf("upload does not compile: %v", err), http.StatusBadRequest)
+		return
+	}
+
+	var stream *json.Encoder
+	flush := func() {}
+	if p.stream {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		stream = json.NewEncoder(w)
+		if f, ok := w.(http.Flusher); ok {
+			flush = f.Flush
+		}
+		stream.Encode(streamEvent{Event: "model", System: m.System().Name, Cache: cacheState, CompileMs: compileMs})
+		flush()
+	}
+
+	// Race the portfolio. Run state is per-call, so concurrent requests
+	// may share one cached model freely; the Progress hook forwards the
+	// run's anytime improvements onto the stream as they land.
+	pf := core.Portfolio{Schedulers: p.schedulers(), Workers: s.cfg.requestWorkers}
+	if stream != nil {
+		pf.Progress = func(ev core.ProgressEvent) {
+			stream.Encode(streamEvent{
+				Event:     "improvement",
+				Scheduler: ev.Scheduler,
+				Makespan:  ev.Makespan,
+				ElapsedMs: float64(ev.Elapsed) / float64(time.Millisecond),
+			})
+			flush()
+		}
+	}
+	scheduleStart := time.Now()
+	res, err := pf.ScheduleModel(ctx, m)
+	scheduleMs := float64(time.Since(scheduleStart)) / float64(time.Millisecond)
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, core.ErrUnschedulable):
+			// A property of the uploaded system under these options, not
+			// of the server: no interface can carry some test.
+			status = http.StatusUnprocessableEntity
+		case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+			// The deadline expired before any strategy finished, so there
+			// is no anytime plan to return.
+			status = http.StatusGatewayTimeout
+		}
+		if status == http.StatusInternalServerError {
+			s.serverErrs.Add(1)
+		} else {
+			s.clientErrs.Add(1)
+		}
+		if stream != nil {
+			stream.Encode(streamEvent{Event: "error", Error: err.Error(), Status: status})
+			flush()
+			return
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+
+	resp := scheduleResponse{
+		System:     m.System().Name,
+		Makespan:   res.Plan.Makespan(),
+		Best:       res.Best,
+		Cache:      cacheState,
+		CompileMs:  compileMs,
+		ScheduleMs: scheduleMs,
+		// The deadline fired mid-race and this is the anytime best of
+		// the strategies that did finish.
+		Partial: ctx.Err() != nil,
+	}
+	for _, vr := range res.Results {
+		if vr.Scheduler == "" {
+			continue // never started before the deadline
+		}
+		sj := strategyJSON{Name: vr.Scheduler, Makespan: vr.Makespan,
+			ElapsedMs: float64(vr.Elapsed) / float64(time.Millisecond)}
+		if vr.Err != nil {
+			sj.Err = vr.Err.Error()
+		}
+		resp.Strategies = append(resp.Strategies, sj)
+	}
+	var planBuf bytes.Buffer
+	if err := res.Plan.WriteJSON(&planBuf); err != nil {
+		s.serverErrs.Add(1)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	resp.Plan = json.RawMessage(bytes.TrimSpace(planBuf.Bytes()))
+	s.okCount.Add(1)
+	if stream != nil {
+		resp.Event = "result"
+		stream.Encode(&resp)
+		flush()
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(&resp)
+}
+
+// statsResponse is the /stats document; the load benchmark diffs it
+// around each phase.
+type statsResponse struct {
+	Cache struct {
+		Entries   int    `json:"entries"`
+		Capacity  int    `json:"capacity"`
+		Hits      uint64 `json:"hits"`
+		Misses    uint64 `json:"misses"`
+		Bypassed  uint64 `json:"bypassed"`
+		Evictions uint64 `json:"evictions"`
+		Compiles  uint64 `json:"compiles"`
+	} `json:"cache"`
+	Pool struct {
+		Workers    int    `json:"workers"`
+		QueueDepth int    `json:"queue_depth"`
+		Running    int    `json:"running"`
+		Queued     int64  `json:"queued"`
+		Rejected   uint64 `json:"rejected"`
+	} `json:"pool"`
+	Requests struct {
+		Total        uint64 `json:"total"`
+		OK           uint64 `json:"ok"`
+		ClientErrors uint64 `json:"client_errors"`
+		ServerErrors uint64 `json:"server_errors"`
+	} `json:"requests"`
+}
+
+func (s *server) stats() statsResponse {
+	var st statsResponse
+	st.Cache.Entries = s.cache.Len()
+	st.Cache.Capacity = s.cfg.cacheEntries
+	st.Cache.Hits = s.cache.hits.Load()
+	st.Cache.Misses = s.cache.misses.Load()
+	st.Cache.Bypassed = s.cache.bypassed.Load()
+	st.Cache.Evictions = s.cache.evictions.Load()
+	st.Cache.Compiles = s.cache.compiles.Load()
+	st.Pool.Workers = s.cfg.workers
+	st.Pool.QueueDepth = s.cfg.queueDepth
+	st.Pool.Running = len(s.slots)
+	st.Pool.Queued = s.queued.Load()
+	st.Pool.Rejected = s.rejected.Load()
+	st.Requests.Total = s.requests.Load()
+	st.Requests.OK = s.okCount.Load()
+	st.Requests.ClientErrors = s.clientErrs.Load()
+	st.Requests.ServerErrors = s.serverErrs.Load()
+	return st
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.stats())
+}

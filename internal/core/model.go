@@ -565,7 +565,9 @@ func (m *Model) Options() Options { return m.opts }
 func (m *Model) PowerLimit() float64 { return m.limit }
 
 // Notes returns compile observations (e.g. dropped unpaired tester
-// ports) that are attached to every plan the model produces.
+// ports) that are attached to every plan the model produces. The slice
+// is the model's own and must not be modified; plans get their own
+// copy.
 func (m *Model) Notes() []string { return m.notes }
 
 // Order returns the core indices in the given priority rule's order.
@@ -663,8 +665,12 @@ func (m *Model) Plan(ctx context.Context, v Variant, order []int, algorithm stri
 		Algorithm:      algorithm,
 		PowerLimit:     m.limit,
 		ExclusiveLinks: m.exclusive,
-		Notes:          m.notes,
-		Entries:        entries,
+		// The notes are copied, not aliased: plans outlive the run that
+		// produced them, and a consumer appending its own note to a plan
+		// must never race another plan built from the same cached model
+		// (the slice has spare capacity from compile-time appends).
+		Notes:   append([]string(nil), m.notes...),
+		Entries: entries,
 	}
 	sort.Slice(p.Entries, func(i, j int) bool {
 		if p.Entries[i].Start != p.Entries[j].Start {

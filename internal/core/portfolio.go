@@ -24,6 +24,28 @@ type Portfolio struct {
 	// Workers bounds the concurrent scheduler runs; values below 1
 	// select GOMAXPROCS.
 	Workers int
+	// Progress, when non-nil, receives one event per completed strategy
+	// whose validated plan strictly improves on every strategy completed
+	// before it in the same run — the anytime incumbent stream a serving
+	// frontend forwards to its caller. Events are delivered serially (the
+	// portfolio holds a lock across the call), so the callback needs no
+	// locking of its own but must return promptly. The stream is
+	// observational only: completion order depends on goroutine
+	// interleaving, so the event sequence may differ between runs, but
+	// the run's final result never does — selection still happens after
+	// the race from the full result set, in portfolio order.
+	Progress func(ProgressEvent)
+}
+
+// ProgressEvent is one live observation of a portfolio run: a strategy
+// finished with a validated plan better than any completed before it.
+type ProgressEvent struct {
+	// Scheduler is the strategy that produced the improvement.
+	Scheduler string
+	// Makespan is the improved plan's total test time.
+	Makespan int
+	// Elapsed is the strategy's wall time within the run.
+	Elapsed time.Duration
 }
 
 // VariantResult is one scheduler's outcome within a portfolio run.
@@ -85,6 +107,17 @@ func (pf Portfolio) ScheduleBest(ctx context.Context, sys *soc.System, opts Opti
 // the bound inside every concurrent anneal/restart chain. The incumbent
 // is sealed once the race begins — see Incumbent for why live feeding
 // would trade the engine's determinism contract for nothing.
+//
+// ScheduleModel may be called concurrently on the same model: every
+// piece of run state — the incumbent, the plan/result slices, the
+// progress stream, each strategy's evaluator and rng — is allocated per
+// call, and the only state the calls share through the model is the
+// scratch pool (checked out per pass) and the atomic telemetry
+// counters, neither of which feeds back into scheduling decisions. Two
+// concurrent runs on one model therefore return results bit-identical
+// to the same runs performed serially; the regression test racing them
+// under the race detector pins this, because a long-running server
+// answers many requests from one cached model.
 func (pf Portfolio) ScheduleModel(ctx context.Context, m *Model) (*PortfolioResult, error) {
 	scheds := pf.Schedulers
 	if len(scheds) == 0 {
@@ -112,6 +145,10 @@ func (pf Portfolio) ScheduleModel(ctx context.Context, m *Model) (*PortfolioResu
 	plans := make([]*plan.Plan, len(scheds))
 	results := make([]VariantResult, len(scheds))
 	jobs := make(chan int)
+	// Progress state is per run, never per model: two requests racing the
+	// same cached model each see only their own improvement stream.
+	var progressMu sync.Mutex
+	progressBest := -1
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -135,6 +172,14 @@ func (pf Portfolio) ScheduleModel(ctx context.Context, m *Model) (*PortfolioResu
 				if err == nil {
 					res.Makespan = p.Makespan()
 					plans[i] = p
+					if pf.Progress != nil {
+						progressMu.Lock()
+						if progressBest < 0 || res.Makespan < progressBest {
+							progressBest = res.Makespan
+							pf.Progress(ProgressEvent{Scheduler: res.Scheduler, Makespan: res.Makespan, Elapsed: res.Elapsed})
+						}
+						progressMu.Unlock()
+					}
 				}
 				results[i] = res
 			}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"reflect"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -421,5 +422,131 @@ func TestLanesRespectWorkerBound(t *testing.T) {
 	}
 	if got := atomic.LoadInt32(&max); got > 2 {
 		t.Errorf("%d schedulers ran concurrently, want <= 2 (the worker bound)", got)
+	}
+}
+
+// TestScheduleModelConcurrentSameModel is the serving regression test:
+// several ScheduleModel calls racing one shared compiled model (the
+// cached-model reuse pattern a long-running server lives on) must
+// return results bit-identical to the same runs performed serially.
+// Run under -race it additionally proves the shared model carries no
+// unsynchronised run state.
+func TestScheduleModelConcurrentSameModel(t *testing.T) {
+	sys := buildSystem(t, "p22810", 8, soc.Leon())
+	opts := Options{PowerLimitFraction: 0.5, BISTPatternFactor: 3}
+	m, err := Compile(sys, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lane walkers included deliberately: they exercise the delta
+	// kernel's journals and checkpoint pools, exactly the state that
+	// must hang off the run (the evaluator), never the model.
+	newPF := func() Portfolio {
+		pf := smallPortfolio(11)
+		pf.Schedulers = append(pf.Schedulers,
+			AnnealingScheduler{Variant: LookaheadFastestFinish, Seed: 15, Steps: 60, MoveWindow: LaneMoveWindow})
+		pf.Workers = 2
+		return pf
+	}
+
+	serial, err := newPF().ScheduleModel(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const racers = 4
+	results := make([]*PortfolioResult, racers)
+	errs := make([]error, racers)
+	var wg sync.WaitGroup
+	for r := 0; r < racers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			results[r], errs[r] = newPF().ScheduleModel(context.Background(), m)
+		}(r)
+	}
+	wg.Wait()
+
+	for r := 0; r < racers; r++ {
+		if errs[r] != nil {
+			t.Fatalf("concurrent run %d failed: %v", r, errs[r])
+		}
+		res := results[r]
+		if res.Best != serial.Best {
+			t.Errorf("concurrent run %d winner %s != serial winner %s", r, res.Best, serial.Best)
+		}
+		if !reflect.DeepEqual(res.Plan.Entries, serial.Plan.Entries) {
+			t.Errorf("concurrent run %d plan entries differ from the serial run", r)
+		}
+		for i, vr := range res.Results {
+			if vr.Err != nil {
+				t.Errorf("concurrent run %d strategy %s failed: %v", r, vr.Scheduler, vr.Err)
+			}
+			if vr.Scheduler != serial.Results[i].Scheduler || vr.Makespan != serial.Results[i].Makespan {
+				t.Errorf("concurrent run %d strategy %d: got %s/%d, serial %s/%d",
+					r, i, vr.Scheduler, vr.Makespan, serial.Results[i].Scheduler, serial.Results[i].Makespan)
+			}
+		}
+	}
+}
+
+// TestPlanNotesIsolated checks that plans built from one model never
+// alias the model's note storage: appending to one plan's notes must
+// not leak into the model or into sibling plans — the hazard of
+// serving thousands of plans from a single cached model.
+func TestPlanNotesIsolated(t *testing.T) {
+	sys := buildSystem(t, "d695", 6, soc.Leon())
+	m, err := Compile(sys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := m.Plan(context.Background(), GreedyFirstAvailable, m.DefaultOrder(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := len(m.Notes())
+	p1.Notes = append(p1.Notes, "consumer annotation")
+	p2, err := m.Plan(context.Background(), GreedyFirstAvailable, m.DefaultOrder(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Notes()) != before {
+		t.Fatalf("model notes grew from %d to %d after a plan append", before, len(m.Notes()))
+	}
+	for _, n := range p2.Notes {
+		if n == "consumer annotation" {
+			t.Fatalf("sibling plan inherited a consumer's note: %v", p2.Notes)
+		}
+	}
+}
+
+// TestPortfolioProgressStream checks the anytime progress hook: events
+// carry strictly decreasing makespans, the last event names the final
+// winner's makespan, and a hook-free run is unaffected.
+func TestPortfolioProgressStream(t *testing.T) {
+	sys := buildSystem(t, "d695", 6, soc.Leon())
+	opts := Options{PowerLimitFraction: 0.5, BISTPatternFactor: 3}
+	m, err := Compile(sys, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []ProgressEvent
+	pf := smallPortfolio(3)
+	pf.Progress = func(ev ProgressEvent) { events = append(events, ev) }
+	res, err := pf.ScheduleModel(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no progress events from a successful run")
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Makespan >= events[i-1].Makespan {
+			t.Errorf("event %d makespan %d does not improve on %d", i, events[i].Makespan, events[i-1].Makespan)
+		}
+	}
+	last := events[len(events)-1]
+	if last.Makespan != res.Makespan() {
+		t.Errorf("last event makespan %d != final result %d", last.Makespan, res.Makespan())
 	}
 }

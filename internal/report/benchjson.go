@@ -192,8 +192,10 @@ func (b *ScheduleBench) WriteJSON(w io.Writer) error {
 // not own — the hand-maintained baseline_* blocks BENCH_schedule.json
 // carries — in their original position. Keys the generator owns are
 // replaced with fresh values; an existing document that does not parse
-// is an error (refusing to silently clobber it), and an empty existing
-// byte slice degrades to a plain write.
+// — including one with duplicate top-level keys, where "preserve" would
+// silently keep only the last duplicate — is an error (refusing to
+// silently clobber it), and an empty existing byte slice degrades to a
+// plain write.
 func (b *ScheduleBench) WriteMergedJSON(w io.Writer, existing []byte) error {
 	ownData, err := json.Marshal(b)
 	if err != nil {
@@ -277,6 +279,12 @@ func topLevelKeys(data []byte) ([]string, map[string]json.RawMessage, error) {
 		var raw json.RawMessage
 		if err := dec.Decode(&raw); err != nil {
 			return nil, nil, fmt.Errorf("value of %q: %w", key, err)
+		}
+		if _, dup := vals[key]; dup {
+			// Go's decoder tolerates duplicate keys, but merging on top of
+			// one would silently keep only the last value — dropping a
+			// hand-maintained baseline block without a trace. Refuse.
+			return nil, nil, fmt.Errorf("duplicate top-level key %q", key)
 		}
 		order = append(order, key)
 		vals[key] = raw

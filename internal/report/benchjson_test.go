@@ -149,3 +149,33 @@ func TestCanonicalMakespansPinned(t *testing.T) {
 		}
 	}
 }
+
+// TestWriteMergedJSONRefusesDuplicateKeys pins the duplicate-key
+// bugfix: an existing trajectory carrying the same top-level key twice
+// used to be merged last-wins — silently dropping the earlier block —
+// and must now refuse with an error naming the duplicate, writing
+// nothing.
+func TestWriteMergedJSONRefusesDuplicateKeys(t *testing.T) {
+	b := sampleBench()
+	existing := `{
+  "baseline_pre_model_engine": {"d695": {"best_makespan": 1}},
+  "seed": 1,
+  "baseline_pre_model_engine": {"d695": {"best_makespan": 2}},
+  "records": []
+}`
+	var out bytes.Buffer
+	err := b.WriteMergedJSON(&out, []byte(existing))
+	if err == nil {
+		t.Fatalf("duplicate top-level key accepted; wrote:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "duplicate top-level key") ||
+		!strings.Contains(err.Error(), "baseline_pre_model_engine") {
+		t.Errorf("error does not name the duplicate key: %v", err)
+	}
+	if !strings.Contains(err.Error(), "refusing to overwrite") {
+		t.Errorf("error does not carry the clobber-protection context: %v", err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("refused merge still wrote %d bytes", out.Len())
+	}
+}

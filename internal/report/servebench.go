@@ -1,0 +1,114 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ServeBench is the machine-readable load-benchmark document for the
+// scheduling server (BENCH_serve.json): plans/sec and tail latency of
+// noctestd under a burst of concurrent mixed-benchmark requests, one
+// phase per cache regime, committed next to BENCH_schedule.json so the
+// serving trajectory is diffable across PRs the same way the engine
+// trajectory is.
+type ServeBench struct {
+	// Seed drives every request's portfolio searches.
+	Seed int64 `json:"seed"`
+	// GOMAXPROCS records the host parallelism the figures were taken at;
+	// plans/sec scales with it, so rows from different machines are not
+	// directly comparable.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Workers is the server's bounded scheduling pool (concurrent
+	// portfolio runs); QueueDepth the extra requests it parks before
+	// answering 429.
+	Workers    int `json:"workers"`
+	QueueDepth int `json:"queue_depth"`
+	// Concurrency is the number of in-flight client requests the burst
+	// holds open; Requests the total per phase.
+	Concurrency int `json:"concurrency"`
+	Requests    int `json:"requests"`
+	// Search names the per-request portfolio preset measured ("quick" or
+	// "full"); Mix the benchmark rotation of the burst.
+	Search string   `json:"search"`
+	Mix    []string `json:"mix"`
+	// Phases holds one entry per cache regime, cold first.
+	Phases []ServePhase `json:"phases"`
+}
+
+// ServePhase is one burst's outcome under one cache regime.
+type ServePhase struct {
+	// Phase is "cold" (the cache is bypassed, so every request pays
+	// parse+build+compile, the cost an empty cache would charge it) or
+	// "warm" (every request hits the pre-warmed model cache).
+	Phase string `json:"phase"`
+	// OK counts 2xx responses; Rejected429 the backpressure rejections;
+	// Errors everything else (must be zero in a healthy run).
+	OK          int `json:"ok"`
+	Rejected429 int `json:"rejected_429"`
+	Errors      int `json:"errors"`
+	// PlansPerSecond is completed plans over the burst's wall time.
+	PlansPerSecond float64 `json:"plans_per_second"`
+	// Latency quantiles of successful requests, milliseconds.
+	P50Ms float64 `json:"p50_ms"`
+	P90Ms float64 `json:"p90_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+	// WallMs is the whole burst's wall time.
+	WallMs float64 `json:"wall_ms"`
+	// Compiles is how many model compilations the server performed
+	// during the phase: one per request in the cold regime, zero in the
+	// warm one — the direct evidence warm requests skip Compile.
+	Compiles uint64 `json:"compiles"`
+	// CacheHits and CacheMisses are the server's cache counters over the
+	// phase (bypassed cold requests count as neither).
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+}
+
+// LatencyQuantiles computes the (p50, p90, p99, max) of a latency
+// sample, in milliseconds. The slice is sorted in place; an empty
+// sample returns zeros.
+func LatencyQuantiles(samples []time.Duration) (p50, p90, p99, max float64) {
+	if len(samples) == 0 {
+		return 0, 0, 0, 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	at := func(q float64) float64 {
+		// Nearest-rank on the sorted sample: the smallest value with at
+		// least q of the mass at or below it, the standard conservative
+		// percentile for latency reporting.
+		i := int(q*float64(len(samples))+0.999999) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(samples) {
+			i = len(samples) - 1
+		}
+		return float64(samples[i]) / float64(time.Millisecond)
+	}
+	return at(0.50), at(0.90), at(0.99), float64(samples[len(samples)-1]) / float64(time.Millisecond)
+}
+
+// WriteJSON renders the document with stable indentation so diffs stay
+// readable in version control.
+func (b *ServeBench) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// Summary renders a one-line-per-phase human summary for logs.
+func (b *ServeBench) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "serve bench: %d requests x %d concurrent (%s portfolio, mix %s, workers=%d queue=%d)\n",
+		b.Requests, b.Concurrency, b.Search, strings.Join(b.Mix, ","), b.Workers, b.QueueDepth)
+	for _, ph := range b.Phases {
+		fmt.Fprintf(&sb, "  %-5s %8.1f plans/s  p50 %7.2fms  p99 %7.2fms  max %7.2fms  (%d ok, %d x 429, %d errors, %d compiles)\n",
+			ph.Phase, ph.PlansPerSecond, ph.P50Ms, ph.P99Ms, ph.MaxMs, ph.OK, ph.Rejected429, ph.Errors, ph.Compiles)
+	}
+	return sb.String()
+}

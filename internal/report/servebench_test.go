@@ -1,0 +1,70 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLatencyQuantiles pins the nearest-rank convention on a known
+// sample: quantiles come from the sorted data, never interpolated past
+// the max, and the degenerate cases behave.
+func TestLatencyQuantiles(t *testing.T) {
+	samples := make([]time.Duration, 100)
+	for i := range samples {
+		samples[i] = time.Duration(100-i) * time.Millisecond // descending: must be sorted internally
+	}
+	p50, p90, p99, max := LatencyQuantiles(samples)
+	if p50 != 50 || p90 != 90 || p99 != 99 || max != 100 {
+		t.Errorf("got p50=%g p90=%g p99=%g max=%g, want 50/90/99/100", p50, p90, p99, max)
+	}
+	if p50, _, p99, max := quantiles3(t, []time.Duration{7 * time.Millisecond}); p50 != 7 || p99 != 7 || max != 7 {
+		t.Errorf("single sample: got p50=%g p99=%g max=%g, want all 7", p50, p99, max)
+	}
+	if p50, p90, p99, max := LatencyQuantiles(nil); p50 != 0 || p90 != 0 || p99 != 0 || max != 0 {
+		t.Error("empty sample must return zeros")
+	}
+}
+
+func quantiles3(t *testing.T, s []time.Duration) (float64, float64, float64, float64) {
+	t.Helper()
+	return LatencyQuantiles(s)
+}
+
+// TestServeBenchJSONRoundTrip checks the document writes indented,
+// parseable JSON carrying every field the acceptance criteria read.
+func TestServeBenchJSONRoundTrip(t *testing.T) {
+	b := &ServeBench{
+		Seed: 1, GOMAXPROCS: 4, Workers: 4, QueueDepth: 2048,
+		Concurrency: 1024, Requests: 3072, Search: "quick",
+		Mix: []string{"d695", "p22810", "p93791"},
+		Phases: []ServePhase{
+			{Phase: "cold", OK: 3072, PlansPerSecond: 700, P50Ms: 1.2, P90Ms: 2.5, P99Ms: 4.0, MaxMs: 9, WallMs: 4000, Compiles: 3072},
+			{Phase: "warm", OK: 3072, PlansPerSecond: 1500, P50Ms: 0.5, P90Ms: 1.0, P99Ms: 2.0, MaxMs: 5, WallMs: 2000, CacheHits: 3072},
+		},
+	}
+	var buf bytes.Buffer
+	if err := b.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back ServeBench
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("output does not parse: %v\n%s", err, buf.String())
+	}
+	if len(back.Phases) != 2 || back.Phases[0].Phase != "cold" || back.Phases[1].Phase != "warm" {
+		t.Fatalf("phases lost in round trip: %+v", back.Phases)
+	}
+	if back.Phases[1].P99Ms >= back.Phases[0].P99Ms {
+		t.Fatalf("sample document must model warm p99 < cold p99, got %+v", back.Phases)
+	}
+	for _, key := range []string{"plans_per_second", "p99_ms", "rejected_429", "compiles", "cache_hits"} {
+		if !strings.Contains(buf.String(), key) {
+			t.Errorf("JSON missing %q:\n%s", key, buf.String())
+		}
+	}
+	if sum := b.Summary(); !strings.Contains(sum, "cold") || !strings.Contains(sum, "warm") || !strings.Contains(sum, "plans/s") {
+		t.Errorf("summary missing phases: %s", sum)
+	}
+}
