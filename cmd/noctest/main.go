@@ -13,6 +13,7 @@
 //	noctest -bench-json BENCH_schedule.json
 //	noctest -sweep 200 -seed 1 -sweep-out sweep.json
 //	noctest -sweep 50 -sweep-preempt preemptive
+//	noctest -bench d695 -serve-url http://127.0.0.1:8080
 //
 // Formats: summary (default), gantt, csv, json, table. -portfolio races
 // the full scheduler portfolio concurrently and reports per-strategy
@@ -31,15 +32,21 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/url"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
+	"noctest/internal/client"
 	"noctest/internal/core"
 	"noctest/internal/itc02"
 	"noctest/internal/plan"
@@ -72,6 +79,8 @@ type config struct {
 	verify    bool
 	format    string
 	width     int
+
+	serveURL string
 
 	portfolio bool
 	all       bool
@@ -112,6 +121,7 @@ func main() {
 	flag.BoolVar(&c.verify, "verify", false, "replay the plan on the cycle-accurate simulator and report the wire-level slack")
 	flag.StringVar(&c.format, "format", "summary", "output: summary, gantt, csv, json, table")
 	flag.IntVar(&c.width, "width", 100, "gantt chart width in columns")
+	flag.StringVar(&c.serveURL, "serve-url", "", "schedule remotely: POST the benchmark to a running noctestd at this base URL (retrying client with capped backoff) instead of scheduling locally")
 	flag.BoolVar(&c.portfolio, "portfolio", false, "race the full scheduler portfolio and keep the best plan")
 	flag.BoolVar(&c.all, "all", false, "sweep every benchmark x {power, reuse, links} through the portfolio engine")
 	flag.Int64Var(&c.seed, "seed", 1, "seed for the portfolio's randomized searches")
@@ -221,6 +231,9 @@ func (c config) dispatch() error {
 	}
 	if c.benchJSON != "" {
 		return runBenchJSON(ctx, c)
+	}
+	if c.serveURL != "" {
+		return runServe(ctx, c)
 	}
 	if c.all {
 		return runGrid(ctx, c)
@@ -368,6 +381,110 @@ func (c config) schedule(ctx context.Context, sys *soc.System, opts core.Options
 		return p.WriteJSON(os.Stdout)
 	case "table":
 		fmt.Println(sys)
+		fmt.Print(p.Summary())
+		fmt.Print(p.Gantt(c.width))
+	default:
+		return fmt.Errorf("unknown format %q", c.format)
+	}
+	return nil
+}
+
+// runServe schedules remotely: the benchmark upload is POSTed to a
+// running noctestd through the retrying client (transient 429/5xx
+// answers and transport resets are absorbed by capped jittered
+// backoff), and the returned plan is re-validated locally before
+// printing — a buggy or mid-drain server cannot hand the caller a
+// malformed plan unnoticed.
+func runServe(ctx context.Context, c config) error {
+	bench, err := loadBench(c.bench)
+	if err != nil {
+		return err
+	}
+	body, err := itc02.WriteString(bench)
+	if err != nil {
+		return err
+	}
+	q := url.Values{}
+	q.Set("procs", strconv.Itoa(c.procs))
+	q.Set("cpu", c.cpu)
+	q.Set("topology", c.topology)
+	if c.failed > 0 {
+		q.Set("failed-links", strconv.Itoa(c.failed))
+	}
+	if c.power > 0 {
+		q.Set("power", strconv.FormatFloat(c.power, 'g', -1, 64))
+	}
+	q.Set("bist", strconv.FormatFloat(c.bist, 'g', -1, 64))
+	if c.reuse >= 0 {
+		q.Set("reuse", strconv.Itoa(c.reuse))
+	}
+	if c.exclusive {
+		q.Set("exclusive-links", "1")
+	}
+	q.Set("app", c.app)
+	maxSegs := c.maxSegs
+	if c.preempt && maxSegs == 0 {
+		maxSegs = 4
+	}
+	if maxSegs > 0 {
+		q.Set("max-segments", strconv.Itoa(maxSegs))
+	}
+	if c.resume > 0 {
+		q.Set("resume-cost", strconv.Itoa(c.resume))
+	}
+	q.Set("search", "full")
+	q.Set("seed", strconv.FormatInt(c.seed, 10))
+	if c.lanes > 0 {
+		q.Set("lanes", strconv.Itoa(c.lanes))
+	}
+	if c.timeout > 0 {
+		q.Set("timeout", c.timeout.String())
+	}
+
+	cl := &client.Client{Base: c.serveURL, Seed: c.seed}
+	resp, err := cl.Schedule(ctx, q.Encode(), []byte(body))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server answered %d after %d retries: %s",
+			resp.StatusCode, resp.Retries, strings.TrimSpace(string(resp.Body)))
+	}
+	var sr struct {
+		System   string          `json:"system"`
+		Makespan int             `json:"makespan"`
+		Best     string          `json:"best"`
+		Cache    string          `json:"cache"`
+		Partial  bool            `json:"partial"`
+		Plan     json.RawMessage `json:"plan"`
+	}
+	if err := json.Unmarshal(resp.Body, &sr); err != nil {
+		return fmt.Errorf("malformed server response: %v", err)
+	}
+	p, err := plan.ParseJSON(bytes.NewReader(sr.Plan))
+	if err != nil {
+		return fmt.Errorf("server plan does not parse: %v", err)
+	}
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("server plan fails local validation: %v", err)
+	}
+
+	partial := ""
+	if sr.Partial {
+		partial = " (partial: server deadline expired mid-race)"
+	}
+	fmt.Printf("served by %s: %s best %s, %d cycles, cache %s, %d retries%s\n",
+		c.serveURL, sr.System, sr.Best, sr.Makespan, sr.Cache, resp.Retries, partial)
+	switch c.format {
+	case "summary":
+		fmt.Print(p.Summary())
+	case "gantt":
+		fmt.Print(p.Gantt(c.width))
+	case "csv":
+		return p.WriteCSV(os.Stdout)
+	case "json":
+		return p.WriteJSON(os.Stdout)
+	case "table":
 		fmt.Print(p.Summary())
 		fmt.Print(p.Gantt(c.width))
 	default:

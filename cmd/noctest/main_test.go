@@ -3,13 +3,19 @@ package main
 import (
 	"encoding/json"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"noctest/internal/core"
+	"noctest/internal/itc02"
 	"noctest/internal/report"
+	"noctest/internal/soc"
 	"noctest/internal/verify"
 )
 
@@ -425,4 +431,109 @@ func TestRunSweepForcedPreemption(t *testing.T) {
 	}); err == nil {
 		t.Error("unknown -sweep-preempt accepted")
 	}
+}
+
+// TestRunServeURL drives the -serve-url remote path against a fake
+// noctestd: the first attempt answers 503 so the retrying client has
+// to earn the result, the second answers a real schedule response, and
+// the command validates the plan locally before printing it.
+func TestRunServeURL(t *testing.T) {
+	bench, err := itc02.Benchmark("d695")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := soc.Build(bench, soc.BuildConfig{Processors: 6, Profile: soc.Leon()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.Schedule(sys, core.Options{BISTPatternFactor: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var planBuf strings.Builder
+	if err := p.WriteJSON(&planBuf); err != nil {
+		t.Fatal(err)
+	}
+	respBody, err := json.Marshal(map[string]any{
+		"system": sys.Name, "makespan": p.Makespan(), "best": "fake-strategy",
+		"cache": "hit", "partial": false,
+		"plan": json.RawMessage(planBuf.String()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/schedule" {
+			t.Errorf("fake server got path %q", r.URL.Path)
+		}
+		q := r.URL.Query()
+		if q.Get("procs") != "6" || q.Get("cpu") != "leon" || q.Get("search") != "full" || q.Get("seed") != "7" {
+			t.Errorf("query missing expected parameters: %s", r.URL.RawQuery)
+		}
+		if body, _ := io.ReadAll(r.Body); !strings.Contains(string(body), "d695") {
+			t.Error("upload does not carry the benchmark")
+		}
+		if calls.Add(1) == 1 {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write(respBody)
+	}))
+	defer srv.Close()
+
+	out, err := capture(t, func() error {
+		return run(config{bench: "d695", cpu: "leon", procs: 6, reuse: -1,
+			variant: "greedy", priority: "processors-first", app: "bist",
+			bist: 1, format: "summary", width: 80,
+			serveURL: srv.URL, seed: 7})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("fake server saw %d calls, want 2 (one 503 + one retry)", calls.Load())
+	}
+	for _, want := range []string{"served by", "fake-strategy", "1 retries", "makespan:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("serve output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunServeURLRejectsBadServer pins the failure paths: a terminal
+// error status becomes a command error carrying the body, and a 200
+// whose plan does not validate is rejected — the client never trusts
+// the server's plan blindly.
+func TestRunServeURLRejectsBadServer(t *testing.T) {
+	base := config{bench: "d695", cpu: "leon", procs: 6, reuse: -1,
+		variant: "greedy", priority: "processors-first", app: "bist",
+		bist: 1, format: "summary", width: 80, seed: 1}
+
+	t.Run("terminal error status", func(t *testing.T) {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, "upload does not compile", http.StatusBadRequest)
+		}))
+		defer srv.Close()
+		c := base
+		c.serveURL = srv.URL
+		_, err := capture(t, func() error { return run(c) })
+		if err == nil || !strings.Contains(err.Error(), "server answered 400") {
+			t.Fatalf("got %v, want the 400 surfaced", err)
+		}
+	})
+
+	t.Run("malformed plan", func(t *testing.T) {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			io.WriteString(w, `{"system":"x","makespan":1,"best":"b","plan":{"entries":[]}}`)
+		}))
+		defer srv.Close()
+		c := base
+		c.serveURL = srv.URL
+		_, err := capture(t, func() error { return run(c) })
+		if err == nil || !strings.Contains(err.Error(), "plan") {
+			t.Fatalf("got %v, want a plan validation failure", err)
+		}
+	})
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"container/list"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -79,17 +80,39 @@ func (mc *modelCache) Get(key string, compile func() (*core.Model, error)) (*cor
 	mc.mu.Unlock()
 
 	mc.compiles.Add(1)
-	ent.model, ent.err = compile()
-	if ent.err != nil {
-		mc.mu.Lock()
-		if el2, ok := mc.byKey[key]; ok && el2 == el {
-			mc.ll.Remove(el)
-			delete(mc.byKey, key)
+	// A panicking compile must not strand the in-flight entry: waiters
+	// would block on ready forever and the key would be poisoned. The
+	// deferred cleanup converts the panic into the entry's error, wakes
+	// every waiter, drops the entry so the next Get retries — and then
+	// lets the panic continue to the caller (the HTTP panic guard turns
+	// it into a 500 incident there).
+	completed := false
+	defer func() {
+		if completed {
+			return
 		}
-		mc.mu.Unlock()
+		ent.err = fmt.Errorf("model compile panicked; retry")
+		mc.dropEntry(key, el)
+		close(ent.ready)
+	}()
+	ent.model, ent.err = compile()
+	completed = true
+	if ent.err != nil {
+		mc.dropEntry(key, el)
 	}
 	close(ent.ready)
 	return ent.model, false, ent.err
+}
+
+// dropEntry removes the entry from the cache if it is still the one
+// registered under key (a sibling may have replaced it).
+func (mc *modelCache) dropEntry(key string, el *list.Element) {
+	mc.mu.Lock()
+	if el2, ok := mc.byKey[key]; ok && el2 == el {
+		mc.ll.Remove(el)
+		delete(mc.byKey, key)
+	}
+	mc.mu.Unlock()
 }
 
 // Bypass compiles without consulting or filling the cache — the cold

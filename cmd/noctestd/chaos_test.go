@@ -1,0 +1,285 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"noctest/internal/client"
+	"noctest/internal/fault"
+	"noctest/internal/plan"
+	"noctest/internal/resultstore"
+)
+
+// chaosSeed picks the soak's seed: CHAOS_SEED when set (CI uploads the
+// value on failure so a red run replays exactly), a fixed default
+// otherwise — the schedule is deterministic either way.
+func chaosSeed(t *testing.T) int64 {
+	if env := os.Getenv("CHAOS_SEED"); env != "" {
+		seed, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			t.Fatalf("CHAOS_SEED=%q does not parse: %v", env, err)
+		}
+		return seed
+	}
+	return 20260808
+}
+
+// TestChaosSoak drives an in-process server through a seeded
+// randomized fault schedule — injected compile errors and stalls,
+// panicking strategies, failing journal writes, and a mid-run store
+// kill — and asserts the robustness contract: every request ends in a
+// well-formed terminal response, no goroutine leaks, and after a
+// simulated crash (torn journal tail) a restarted server replays the
+// memoized canonical result bit-identically.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak is seconds-long; skipped under -short")
+	}
+	leakCheck(t)
+	seed := chaosSeed(t)
+	t.Logf("chaos seed %d (set CHAOS_SEED to replay)", seed)
+
+	journal := filepath.Join(t.TempDir(), "journal")
+	spec := fmt.Sprintf("seed=%d;compile.err=0.15;compile.slow=0.2:5ms;sched.panic=0.2;store.write=0.1", seed)
+	inj, err := fault.Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := resultstore.Open(journal, resultstore.Options{Faults: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	s := newServer(serverConfig{
+		workers: 4, queueDepth: 8, requestWorkers: 1,
+		defaultTimeout: 30 * time.Second,
+		store:          store, faults: inj,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Phase 1 — canonical result. The retrying client absorbs the
+	// injected compile failures; the loop runs until a repeat request
+	// answers from the memo, which proves the record reached both the
+	// index and the journal. That memoized body is the baseline the
+	// post-crash replay must reproduce bit for bit.
+	cl := &client.Client{
+		Base: ts.URL, Seed: seed,
+		MaxRetries: 8, BaseDelay: time.Millisecond, MaxDelay: 20 * time.Millisecond,
+	}
+	canonicalQ := "procs=6&cpu=leon&power=0.5&bist=3&search=quick&seed=1"
+	canonicalBody := []byte(benchBody(t, "d695"))
+	var baseline scheduleResponse
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("canonical result never memoized")
+		}
+		resp, err := cl.Schedule(context.Background(), canonicalQ, canonicalBody)
+		if err != nil {
+			t.Fatalf("canonical request: %v", err)
+		}
+		if resp.StatusCode != 200 {
+			continue // terminal 500 after budget: the drill won this round
+		}
+		var sr scheduleResponse
+		if err := json.Unmarshal(resp.Body, &sr); err != nil {
+			t.Fatalf("canonical response does not parse: %v", err)
+		}
+		if sr.Cache == "memo" {
+			baseline = sr
+			break
+		}
+	}
+	if baseline.Makespan <= 0 {
+		t.Fatal("baseline has no plan")
+	}
+
+	// Phase 2 — request storm under the full fault schedule. Each
+	// worker draws its own deterministic stream of request shapes; the
+	// store is killed under the server halfway through, so the second
+	// half also exercises memo writes against a dead journal.
+	mix := []struct {
+		name  string
+		query string
+	}{
+		{"d695", "procs=6&cpu=leon&power=0.5&bist=3&search=quick"},
+		{"p22810", "procs=8&cpu=leon&power=0.5&bist=3&search=quick"},
+		{"d695", "procs=6&cpu=plasma&search=quick&seed=5"},
+	}
+	const workers, perWorker = 6, 25
+	type badResp struct {
+		worker, i int
+		detail    string
+	}
+	var mu sync.Mutex
+	var bad []badResp
+	report := func(w, i int, format string, args ...any) {
+		mu.Lock()
+		bad = append(bad, badResp{w, i, fmt.Sprintf(format, args...)})
+		mu.Unlock()
+	}
+	storm := func(half int) {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed + int64(1000*half+w)))
+				hc := ts.Client()
+				for i := 0; i < perWorker; i++ {
+					mr := mix[rng.Intn(len(mix))]
+					query := mr.query
+					body := benchBody(t, mr.name)
+					stream := false
+					switch rng.Intn(10) {
+					case 0:
+						query += "&cache=no"
+					case 1:
+						query += "&stream=1"
+						stream = true
+					case 2:
+						body = "this is not an itc02 file\n" // must 400, never 5xx-loop
+					}
+					resp, err := hc.Post(ts.URL+"/schedule?"+query, "text/plain", strings.NewReader(body))
+					if err != nil {
+						report(w, i, "transport error: %v", err)
+						continue
+					}
+					raw, rerr := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if rerr != nil {
+						report(w, i, "reading body: %v", rerr)
+						continue
+					}
+					switch resp.StatusCode {
+					case 200:
+						if stream {
+							if err := checkStreamBody(raw); err != nil {
+								report(w, i, "stream: %v", err)
+							}
+							continue
+						}
+						var sr scheduleResponse
+						if err := json.Unmarshal(raw, &sr); err != nil {
+							report(w, i, "200 body does not parse: %v", err)
+							continue
+						}
+						p, err := plan.ParseJSON(bytes.NewReader(sr.Plan))
+						if err != nil {
+							report(w, i, "200 plan does not parse: %v", err)
+							continue
+						}
+						if err := p.Validate(); err != nil {
+							report(w, i, "200 plan invalid: %v", err)
+						}
+					case 400, 429, 500, 503, 504:
+						// Well-formed terminal failures under chaos. 400 only
+						// for the deliberately bad upload.
+						if resp.StatusCode == 400 && !strings.Contains(body, "not an itc02") {
+							report(w, i, "valid upload answered 400: %s", raw)
+						}
+					default:
+						report(w, i, "unexpected status %d: %s", resp.StatusCode, raw)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	storm(0)
+	store.Kill() // the journal writer dies under the live server
+	storm(1)
+	mu.Lock()
+	for _, b := range bad {
+		t.Errorf("worker %d request %d: %s", b.worker, b.i, b.detail)
+	}
+	mu.Unlock()
+	st := s.stats()
+	if st.Faults.Points["compile.err"].Fired == 0 || st.Faults.Points["sched.panic"].Fired == 0 {
+		t.Errorf("fault schedule never fired: %+v", st.Faults.Points)
+	}
+	if !st.Memo.Dead {
+		t.Error("stats do not report the killed store")
+	}
+	ts.Close()
+
+	// Phase 3 — crash recovery. The dead journal gets a torn final
+	// record, as a process killed mid-append leaves; a fresh store must
+	// truncate it on replay — never serve it — and a fresh server must
+	// answer the canonical request from the memo, bit-identical to the
+	// pre-crash baseline, without compiling anything.
+	if err := resultstore.TornWrite(journal, "torn-by-crash", []byte(strings.Repeat("x", 512))); err != nil {
+		t.Fatal(err)
+	}
+	store2, err := resultstore.Open(journal, resultstore.Options{})
+	if err != nil {
+		t.Fatalf("reopening journal after crash: %v", err)
+	}
+	defer store2.Close()
+	st2 := store2.Stats()
+	if st2.TruncatedBytes == 0 {
+		t.Error("torn tail was not truncated on recovery")
+	}
+	if _, ok := store2.Get("torn-by-crash"); ok {
+		t.Error("torn record was served after recovery")
+	}
+	if st2.Recovered == 0 {
+		t.Fatal("no records survived recovery; the canonical memo is gone")
+	}
+	s2 := newServer(serverConfig{store: store2})
+	replayed := decodeSchedule(t, post(s2, canonicalQ, string(canonicalBody)))
+	if replayed.Cache != "memo" {
+		t.Fatalf("post-crash canonical request cache = %q, want memo", replayed.Cache)
+	}
+	if replayed.Makespan != baseline.Makespan || replayed.Best != baseline.Best ||
+		!bytes.Equal(replayed.Plan, baseline.Plan) {
+		t.Error("post-crash memo replay is not bit-identical to the baseline")
+	}
+	if s2.stats().Cache.Compiles != 0 {
+		t.Error("memo replay compiled a model")
+	}
+}
+
+// checkStreamBody asserts an NDJSON body is well-formed and terminal:
+// every line parses, and the last event is a result or an error.
+func checkStreamBody(raw []byte) error {
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	last := ""
+	n := 0
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var probe struct {
+			Event string `json:"event"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return fmt.Errorf("line %d does not parse: %v (%s)", n, err, line)
+		}
+		last = probe.Event
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if last != "result" && last != "error" {
+		return fmt.Errorf("stream ended with event %q after %d lines, want result or error", last, n)
+	}
+	return nil
+}

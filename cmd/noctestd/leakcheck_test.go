@@ -1,0 +1,107 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// leakAllowlist names goroutines that may legitimately outlive a test:
+// the test harness itself, the runtime's own workers, and net/http
+// keepalive machinery that drains asynchronously after a server or
+// client closes.
+var leakAllowlist = []string{
+	"testing.tRunner",
+	"testing.(*T).Run",
+	"testing.runTests",
+	"runtime.goexit",
+	"runtime.gc",
+	"runtime.bgsweep",
+	"runtime.bgscavenge",
+	"runtime.forcegchelper",
+	"runtime/trace",
+	"os/signal.signal_recv",
+	"os/signal.loop",
+	// Client/server keepalive connections park here between requests
+	// and unwind on their own schedule after Close.
+	"net/http.(*persistConn).readLoop",
+	"net/http.(*persistConn).writeLoop",
+	"net/http.(*Server).Serve",
+	"net/http.(*conn).serve",
+	"net/http/httptest.(*Server).goServe",
+}
+
+// goroutineStacks returns every live goroutine's stack, one string per
+// goroutine.
+func goroutineStacks() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	return strings.Split(string(buf), "\n\n")
+}
+
+// goroutineID extracts the "goroutine N" prefix identifying one stack.
+func goroutineID(stack string) string {
+	line, _, _ := strings.Cut(stack, "\n")
+	if i := strings.Index(line, " ["); i > 0 {
+		return line[:i]
+	}
+	return line
+}
+
+func allowed(stack string) bool {
+	for _, a := range leakAllowlist {
+		if strings.Contains(stack, a) {
+			return true
+		}
+	}
+	return false
+}
+
+// leakCheck snapshots the goroutines alive now and registers a cleanup
+// asserting no new unexpected ones survive the test. Cleanups run LIFO,
+// so call it first — before starting servers — and every server the
+// test starts is already closed when the check runs. Asynchronous
+// teardown (connection goroutines unwinding after Close) is absorbed
+// by a retry loop, so the check flags real leaks, not scheduling noise.
+func leakCheck(t *testing.T) {
+	t.Helper()
+	before := make(map[string]bool)
+	for _, g := range goroutineStacks() {
+		before[goroutineID(g)] = true
+	}
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		var leaked []string
+		for {
+			leaked = leaked[:0]
+			for _, g := range goroutineStacks() {
+				if g == "" || before[goroutineID(g)] || allowed(g) {
+					continue
+				}
+				leaked = append(leaked, g)
+			}
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		msg := &strings.Builder{}
+		fmt.Fprintf(msg, "%d goroutines leaked:\n", len(leaked))
+		for _, g := range leaked {
+			fmt.Fprintf(msg, "\n%s\n", g)
+		}
+		t.Error(msg.String())
+	})
+}

@@ -1,16 +1,17 @@
 package main
 
 import (
+	"context"
 	"fmt"
-	"io"
 	"net"
 	"net/http"
 	"os"
 	"runtime"
-	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"noctest/internal/client"
 	"noctest/internal/itc02"
 	"noctest/internal/report"
 )
@@ -93,10 +94,23 @@ func runLoadbench(scfg serverConfig, lb loadbenchConfig) (*report.ServeBench, er
 	if err != nil {
 		return nil, err
 	}
-	client := &http.Client{Transport: &http.Transport{
-		MaxIdleConns:        lb.concurrency,
-		MaxIdleConnsPerHost: lb.concurrency,
-	}}
+	// The burst runs through the retrying client the serving tools
+	// share: a transient 429/5xx is retried with capped jittered
+	// backoff (honoring Retry-After), so the phase figures measure the
+	// service contract a retrying caller actually experiences. Retries
+	// are counted per phase; terminal non-2xx statuses still fail the
+	// run below.
+	cl := &client.Client{
+		Base: base,
+		HTTP: &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        lb.concurrency,
+			MaxIdleConnsPerHost: lb.concurrency,
+		}},
+		MaxRetries: 2,
+		BaseDelay:  50 * time.Millisecond,
+		MaxDelay:   2 * time.Second,
+		Seed:       lb.seed,
+	}
 
 	doc := &report.ServeBench{
 		Seed:        lb.seed,
@@ -109,7 +123,7 @@ func runLoadbench(scfg serverConfig, lb loadbenchConfig) (*report.ServeBench, er
 		Mix:         append([]string(nil), loadbenchMix...),
 	}
 
-	cold, err := runPhase(client, base, srv, mix, lb, "cold")
+	cold, err := runPhase(cl, srv, mix, lb, "cold")
 	if err != nil {
 		return nil, err
 	}
@@ -118,11 +132,11 @@ func runLoadbench(scfg serverConfig, lb loadbenchConfig) (*report.ServeBench, er
 	// Pre-warm: one sequential request per mix member populates the
 	// cache, so the warm burst measures pure hits.
 	for _, mr := range mix {
-		if err := doRequest(client, base, mr, false); err != nil {
+		if err := doRequest(cl, mr, false); err != nil {
 			return nil, fmt.Errorf("pre-warming %s: %v", mr.name, err)
 		}
 	}
-	warm, err := runPhase(client, base, srv, mix, lb, "warm")
+	warm, err := runPhase(cl, srv, mix, lb, "warm")
 	if err != nil {
 		return nil, err
 	}
@@ -138,19 +152,15 @@ func runLoadbench(scfg serverConfig, lb loadbenchConfig) (*report.ServeBench, er
 	return doc, nil
 }
 
-// doRequest posts one mix member and drains the response, returning an
-// error on any non-200.
-func doRequest(client *http.Client, base string, mr benchRequest, bypass bool) error {
-	url := base + "/schedule?" + mr.query
+// doRequest posts one mix member through the retrying client,
+// returning an error on any terminal non-200.
+func doRequest(cl *client.Client, mr benchRequest, bypass bool) error {
+	query := mr.query
 	if bypass {
-		url += "&cache=no"
+		query += "&cache=no"
 	}
-	resp, err := client.Post(url, "text/plain", strings.NewReader(string(mr.body)))
+	resp, err := cl.Schedule(context.Background(), query, mr.body)
 	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
 		return err
 	}
 	if resp.StatusCode != http.StatusOK {
@@ -162,7 +172,7 @@ func doRequest(client *http.Client, base string, mr benchRequest, bypass bool) e
 // runPhase fires lb.requests round-robin over the mix with
 // lb.concurrency in-flight workers and folds latencies plus the
 // server's counter deltas into one ServePhase.
-func runPhase(client *http.Client, base string, srv *server, mix []benchRequest, lb loadbenchConfig, phase string) (report.ServePhase, error) {
+func runPhase(cl *client.Client, srv *server, mix []benchRequest, lb loadbenchConfig, phase string) (report.ServePhase, error) {
 	before := srv.stats()
 	bypass := phase == "cold"
 
@@ -172,6 +182,7 @@ func runPhase(client *http.Client, base string, srv *server, mix []benchRequest,
 		err     error
 	}
 	outcomes := make([]outcome, lb.requests)
+	var retries atomic.Int64
 	work := make(chan int)
 	var wg sync.WaitGroup
 	workers := lb.concurrency
@@ -185,18 +196,17 @@ func runPhase(client *http.Client, base string, srv *server, mix []benchRequest,
 			defer wg.Done()
 			for i := range work {
 				mr := mix[i%len(mix)]
-				url := base + "/schedule?" + mr.query
+				query := mr.query
 				if bypass {
-					url += "&cache=no"
+					query += "&cache=no"
 				}
 				t0 := time.Now()
-				resp, err := client.Post(url, "text/plain", strings.NewReader(string(mr.body)))
+				resp, err := cl.Schedule(context.Background(), query, mr.body)
 				if err != nil {
 					outcomes[i] = outcome{err: err}
 					continue
 				}
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
+				retries.Add(int64(resp.Retries))
 				outcomes[i] = outcome{latency: time.Since(t0), status: resp.StatusCode}
 			}
 		}()
@@ -211,6 +221,7 @@ func runPhase(client *http.Client, base string, srv *server, mix []benchRequest,
 
 	ph := report.ServePhase{
 		Phase:       phase,
+		Retries:     int(retries.Load()),
 		WallMs:      float64(wall) / float64(time.Millisecond),
 		Compiles:    after.Cache.Compiles - before.Cache.Compiles,
 		CacheHits:   after.Cache.Hits - before.Cache.Hits,

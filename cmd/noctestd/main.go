@@ -6,9 +6,19 @@
 // and returns the anytime best plan found within it; ?stream=1 streams
 // incumbent improvements as NDJSON while the race runs.
 //
+// Robustness: -store journals complete results to a crash-safe
+// append-only file, so a warm restart replays repeat requests without
+// re-racing; SIGTERM/SIGINT drains gracefully (readiness on /readyz
+// flips to 503, in-flight work finishes up to -drain-timeout, then
+// returns anytime partial plans); handler panics recover to 500s with
+// incident IDs; a panicking portfolio strategy degrades its race to
+// the survivors. -fault-spec enables the seeded fault injector for
+// chaos drills (see internal/fault for the grammar) — never set it in
+// production.
+//
 // Usage:
 //
-//	noctestd -addr :8080
+//	noctestd -addr :8080 -store noctestd.journal
 //	noctestd -loadbench -loadbench-requests 3072 -loadbench-concurrency 1024
 package main
 
@@ -23,6 +33,9 @@ import (
 	"os/signal"
 	"syscall"
 	"time"
+
+	"noctest/internal/fault"
+	"noctest/internal/resultstore"
 )
 
 func main() {
@@ -34,6 +47,10 @@ func main() {
 		requestWorkers = flag.Int("request-workers", 1, "portfolio workers per request")
 		defaultTimeout = flag.Duration("default-timeout", 30*time.Second, "per-request deadline when ?timeout= is absent")
 		maxTimeout     = flag.Duration("max-timeout", 5*time.Minute, "ceiling on client-supplied ?timeout=")
+		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget after SIGTERM: in-flight requests outliving it return their anytime partial plans")
+		storePath      = flag.String("store", "", "journal complete results to this file for crash-safe memoization (empty: disabled)")
+		storeSync      = flag.Bool("store-sync", false, "fsync the result journal after every append")
+		faultSpec      = flag.String("fault-spec", "", "enable the seeded fault injector with this spec (chaos drills only; see internal/fault)")
 
 		loadbench  = flag.Bool("loadbench", false, "run the load benchmark against an in-process server instead of serving")
 		lbRequests = flag.Int("loadbench-requests", 3072, "load benchmark: total requests per phase")
@@ -50,7 +67,8 @@ func main() {
 		requestWorkers: *requestWorkers,
 		defaultTimeout: *defaultTimeout,
 		maxTimeout:     *maxTimeout,
-	}, *addr, *loadbench, loadbenchConfig{
+		drainTimeout:   *drainTimeout,
+	}, *addr, *storePath, *storeSync, *faultSpec, *loadbench, loadbenchConfig{
 		requests:    *lbRequests,
 		concurrency: *lbConc,
 		search:      *lbSearch,
@@ -62,9 +80,28 @@ func main() {
 	}
 }
 
-func run(scfg serverConfig, addr string, bench bool, lb loadbenchConfig) error {
-	if scfg.defaultTimeout < 0 || scfg.maxTimeout < 0 {
+func run(scfg serverConfig, addr, storePath string, storeSync bool, faultSpec string, bench bool, lb loadbenchConfig) error {
+	if scfg.defaultTimeout < 0 || scfg.maxTimeout < 0 || scfg.drainTimeout < 0 {
 		return fmt.Errorf("invalid timeout configuration: deadlines must be positive")
+	}
+	inj, err := fault.Parse(faultSpec)
+	if err != nil {
+		return err
+	}
+	if inj != nil {
+		log.Printf("noctestd: FAULT INJECTION ACTIVE (%s) — chaos drill configuration, not production", inj)
+		scfg.faults = inj
+	}
+	if storePath != "" {
+		store, err := resultstore.Open(storePath, resultstore.Options{Sync: storeSync, Faults: inj})
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		st := store.Stats()
+		log.Printf("noctestd: result journal %s: %d records replayed, %d corrupted tail bytes truncated",
+			storePath, st.Recovered, st.TruncatedBytes)
+		scfg.store = store
 	}
 	if bench {
 		if lb.search != "quick" && lb.search != "full" {
@@ -95,7 +132,14 @@ func run(scfg serverConfig, addr string, bench bool, lb loadbenchConfig) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		// Graceful drain: stop accepting (readiness flips to 503 so load
+		// balancers reroute), finish in-flight work up to the drain
+		// budget — requests outliving it return anytime partial plans —
+		// then close the listener. The extra grace on Shutdown covers
+		// writing those final responses.
+		log.Printf("noctestd: drain started (budget %v)", srv.cfg.drainTimeout)
+		srv.BeginDrain()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), srv.cfg.drainTimeout+5*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(shutdownCtx); err != nil {
 			return err
@@ -103,6 +147,7 @@ func run(scfg serverConfig, addr string, bench bool, lb loadbenchConfig) error {
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			return err
 		}
+		log.Printf("noctestd: drain complete")
 		return nil
 	}
 }

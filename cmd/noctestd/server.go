@@ -9,16 +9,22 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"net/url"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"noctest/internal/core"
+	"noctest/internal/fault"
 	"noctest/internal/itc02"
+	"noctest/internal/plan"
+	"noctest/internal/resultstore"
 	"noctest/internal/soc"
 	"noctest/internal/socgen"
 )
@@ -43,6 +49,17 @@ type serverConfig struct {
 	maxTimeout     time.Duration
 	// maxBody bounds uploads, bytes.
 	maxBody int64
+	// drainTimeout bounds graceful drain: after BeginDrain, in-flight
+	// requests that outlive it are cancelled (returning their anytime
+	// partial plans, as an expired ?timeout= already does).
+	drainTimeout time.Duration
+	// store, when non-nil, memoizes complete results persistently: a
+	// repeat (model, search params) request replays the journalled
+	// plan without re-racing. Nil disables memoization.
+	store *resultstore.Store
+	// faults, when non-nil, injects seeded failures at the named
+	// points for chaos drills. Nil (production) is inert.
+	faults *fault.Injector
 }
 
 func (c serverConfig) normalize() serverConfig {
@@ -67,6 +84,9 @@ func (c serverConfig) normalize() serverConfig {
 	if c.maxBody <= 0 {
 		c.maxBody = 8 << 20
 	}
+	if c.drainTimeout <= 0 {
+		c.drainTimeout = 30 * time.Second
+	}
 	return c
 }
 
@@ -86,27 +106,107 @@ type server struct {
 	queued atomic.Int64
 
 	requests, okCount, clientErrs, serverErrs, rejected atomic.Uint64
+
+	// Drain state: draining flips on SIGTERM (readiness goes false, new
+	// scheduling work is refused with 503), and drainCtx is cancelled
+	// once the drain deadline passes, which cancels in-flight requests
+	// into their anytime-partial path.
+	draining    atomic.Bool
+	drainOnce   sync.Once
+	drainCtx    context.Context
+	drainCancel context.CancelFunc
+	drained     atomic.Uint64 // requests refused while draining
+
+	// Robustness telemetry: HTTP handlers recovered to a 500 (each gets
+	// an incident ID), and portfolio strategies that panicked but were
+	// isolated by the engine.
+	incidents      atomic.Uint64
+	strategyPanics atomic.Uint64
+
+	// Memoization telemetry (persistent result store, when configured).
+	memoHits, memoMisses, memoStores, memoErrs atomic.Uint64
 }
 
 func newServer(cfg serverConfig) *server {
 	cfg = cfg.normalize()
-	return &server{
+	s := &server{
 		cfg:   cfg,
 		cache: newModelCache(cfg.cacheEntries),
 		slots: make(chan struct{}, cfg.workers),
 	}
+	s.drainCtx, s.drainCancel = context.WithCancel(context.Background())
+	return s
 }
 
-// Handler returns the service's routes.
+// BeginDrain flips the server into draining: readiness reports 503,
+// new /schedule requests are refused with 503 + Retry-After (a
+// load balancer or retrying client moves them to another replica),
+// and a timer arms so in-flight requests outliving cfg.drainTimeout
+// are cancelled — each returns its anytime partial plan, exactly as
+// an expired per-request deadline does. Idempotent.
+func (s *server) BeginDrain() {
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		time.AfterFunc(s.cfg.drainTimeout, s.drainCancel)
+	})
+}
+
+// Handler returns the service's routes. Every route runs inside the
+// panic guard: a handler panic is recovered to a 500 carrying an
+// incident ID instead of killing the connection (or, unguarded, the
+// whole process under http.Server's per-connection recover).
 func (s *server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/schedule", s.handleSchedule)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/schedule", s.guard(s.handleSchedule))
+	mux.HandleFunc("/stats", s.guard(s.handleStats))
+	// Liveness: the process is up and able to answer. Stays 200 while
+	// draining — a liveness probe that failed during drain would get
+	// the pod killed before its in-flight work finished.
+	mux.HandleFunc("/healthz", s.guard(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.draining.Load() {
+			io.WriteString(w, "ok (draining)\n")
+			return
+		}
 		io.WriteString(w, "ok\n")
-	})
+	}))
+	// Readiness: willing to accept new scheduling work. 503 while
+	// draining, so load balancers stop routing here before the drain
+	// deadline starts cancelling anything.
+	mux.HandleFunc("/readyz", s.guard(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.draining.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, "draining\n")
+			return
+		}
+		io.WriteString(w, "ready\n")
+	}))
 	return mux
+}
+
+// guard wraps a handler with recover-to-500: the panic is logged with
+// a stack and an incident ID the 500 body echoes, so an operator can
+// match a client-reported failure to one server-side stack. A request
+// that already streamed its headers gets the incident line in its
+// body — still a terminal, parse-stopping end to the stream.
+func (s *server) guard(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if v == http.ErrAbortHandler {
+				panic(v) // deliberate connection abort, not an incident
+			}
+			id := fmt.Sprintf("incident-%06d", s.incidents.Add(1))
+			s.serverErrs.Add(1)
+			log.Printf("noctestd: %s: panic serving %s %s: %v\n%s", id, r.Method, r.URL.Path, v, debug.Stack())
+			http.Error(w, fmt.Sprintf("internal error (%s)", id), http.StatusInternalServerError)
+		}()
+		h(w, r)
+	}
 }
 
 // scheduleParams is one request's decoded query string.
@@ -293,6 +393,39 @@ func (p scheduleParams) cacheKey(body []byte) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// memoKey extends the model cache key with the search-side parameters
+// that shape the race's outcome. A complete (non-partial) result is a
+// pure function of (model, scheduler set, seed) — ScheduleModel is
+// interleaving-independent by contract — so the memo key must add
+// exactly search, seed and lanes to the compile key, and nothing
+// timing-dependent like the request deadline.
+func (p scheduleParams) memoKey(body []byte) string {
+	return p.cacheKey(body) + fmt.Sprintf("|search=%s|seed=%d|lanes=%d", p.search, p.seed, p.lanes)
+}
+
+// memoRecord is the journalled form of one complete result: exactly
+// the response fields a replay reproduces bit-identically. Timings and
+// per-strategy statistics stay out — they describe the original run,
+// not the answer.
+type memoRecord struct {
+	System   string          `json:"system"`
+	Makespan int             `json:"makespan"`
+	Best     string          `json:"best"`
+	Plan     json.RawMessage `json:"plan"`
+}
+
+// panicStrategy is the fault injector's sched.panic payload: a
+// portfolio member that panics mid-race, exercising the engine's
+// panic isolation end to end (the race must degrade to the surviving
+// strategies and the request must still answer 200).
+type panicStrategy struct{}
+
+func (panicStrategy) Name() string { return "fault.panic" }
+
+func (panicStrategy) Schedule(context.Context, *core.Model) (*plan.Plan, error) {
+	panic("injected strategy panic (sched.panic)")
+}
+
 // isScenario reports whether an upload is a socgen scenario file (its
 // "# scenario" header line) rather than a plain itc02 description.
 func isScenario(body []byte) bool {
@@ -411,6 +544,15 @@ func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST an itc02 or scenario description", http.StatusMethodNotAllowed)
 		return
 	}
+	if s.draining.Load() {
+		// Draining: this replica finishes what it holds but takes no
+		// new scheduling work. 503 + Retry-After sends retrying
+		// clients (and load balancers watching /readyz) elsewhere.
+		s.drained.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "server is draining", http.StatusServiceUnavailable)
+		return
+	}
 	p, err := parseScheduleParams(r.URL.Query(), s.cfg)
 	if err != nil {
 		s.clientErrs.Add(1)
@@ -435,10 +577,48 @@ func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Persistent memoization: a complete result for the same (model,
+	// search params) replays from the journal without taking a pool
+	// slot or re-racing anything. ?cache=no bypasses it (the cold
+	// regime must stay measurable) and streams skip the lookup — a
+	// streaming client asked to watch the race, not read its cache.
+	memoKey := ""
+	if s.cfg.store != nil && !p.bypassCache {
+		memoKey = p.memoKey(body)
+		if !p.stream {
+			if raw, ok := s.cfg.store.Get(memoKey); ok {
+				var rec memoRecord
+				if err := json.Unmarshal(raw, &rec); err == nil {
+					s.memoHits.Add(1)
+					s.okCount.Add(1)
+					w.Header().Set("Content-Type", "application/json")
+					enc := json.NewEncoder(w)
+					enc.SetIndent("", "  ")
+					enc.Encode(&scheduleResponse{
+						System:   rec.System,
+						Makespan: rec.Makespan,
+						Best:     rec.Best,
+						Cache:    "memo",
+						Plan:     rec.Plan,
+					})
+					return
+				}
+				// An undecodable record is treated as a miss; the journal
+				// checksums make this unreachable short of a logic bug.
+				s.memoErrs.Add(1)
+			}
+			s.memoMisses.Add(1)
+		}
+	}
+
 	// The deadline covers the whole job — queue wait, compile, race —
 	// so a client's budget bounds its true latency, not just the search.
 	ctx, cancel := context.WithTimeout(r.Context(), p.timeout)
 	defer cancel()
+	// Drain integration: once the drain deadline passes, in-flight
+	// requests are cancelled too, collapsing into the same anytime-
+	// partial path an expired ?timeout= takes.
+	defer context.AfterFunc(s.drainCtx, cancel)()
 
 	// Admission: refuse immediately once workers+queueDepth jobs are
 	// already holding or awaiting slots, otherwise wait for a slot (the
@@ -461,24 +641,52 @@ func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Resolve the model: cache hit, shared in-flight compile, or a
-	// fresh compile (miss or explicit bypass).
+	// fresh compile (miss or explicit bypass). The compile function is
+	// where the compile fault points live: a slow compile stalls here
+	// (bounded by the request deadline), an injected compile error
+	// surfaces as a transient 500 below — and is never cached.
+	compile := func() (*core.Model, error) {
+		if d, ok := s.cfg.faults.Delay(fault.CompileSlow); ok {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		if s.cfg.faults.Should(fault.CompileErr) {
+			return nil, fault.Errorf("compile of %d-byte upload", len(body))
+		}
+		return buildModel(body, p)
+	}
 	compileStart := time.Now()
 	var m *core.Model
 	cacheState := "miss"
 	if p.bypassCache {
 		cacheState = "bypass"
-		m, err = s.cache.Bypass(func() (*core.Model, error) { return buildModel(body, p) })
+		m, err = s.cache.Bypass(compile)
 	} else {
 		var hit bool
-		m, hit, err = s.cache.Get(p.cacheKey(body), func() (*core.Model, error) { return buildModel(body, p) })
+		m, hit, err = s.cache.Get(p.cacheKey(body), compile)
 		if hit {
 			cacheState = "hit"
 		}
 	}
 	compileMs := float64(time.Since(compileStart)) / float64(time.Millisecond)
 	if err != nil {
-		s.clientErrs.Add(1)
-		http.Error(w, fmt.Sprintf("upload does not compile: %v", err), http.StatusBadRequest)
+		switch {
+		case errors.Is(err, fault.ErrInjected):
+			// A drill-injected transient, not a property of the upload:
+			// answer a retryable 500 (and the cache has already dropped
+			// the errored entry, so the retry recompiles).
+			s.serverErrs.Add(1)
+			http.Error(w, fmt.Sprintf("transient compile failure: %v", err), http.StatusInternalServerError)
+		case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+			s.clientErrs.Add(1)
+			http.Error(w, "deadline expired while compiling the model", http.StatusGatewayTimeout)
+		default:
+			s.clientErrs.Add(1)
+			http.Error(w, fmt.Sprintf("upload does not compile: %v", err), http.StatusBadRequest)
+		}
 		return
 	}
 
@@ -497,22 +705,40 @@ func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 
 	// Race the portfolio. Run state is per-call, so concurrent requests
 	// may share one cached model freely; the Progress hook forwards the
-	// run's anytime improvements onto the stream as they land.
-	pf := core.Portfolio{Schedulers: p.schedulers(), Workers: s.cfg.requestWorkers}
+	// run's anytime improvements onto the stream as they land. A
+	// sched.panic drill appends a panicking member: the engine isolates
+	// it and the race degrades to the survivors.
+	scheds := p.schedulers()
+	if s.cfg.faults.Should(fault.SchedPanic) {
+		scheds = append(scheds, panicStrategy{})
+	}
+	pf := core.Portfolio{Schedulers: scheds, Workers: s.cfg.requestWorkers}
 	if stream != nil {
 		pf.Progress = func(ev core.ProgressEvent) {
-			stream.Encode(streamEvent{
+			if stream.Encode(streamEvent{
 				Event:     "improvement",
 				Scheduler: ev.Scheduler,
 				Makespan:  ev.Makespan,
 				ElapsedMs: float64(ev.Elapsed) / float64(time.Millisecond),
-			})
+			}) != nil {
+				// The streaming client is gone (net/http usually cancels
+				// r.Context() itself, but a half-dead proxied connection
+				// can surface only as write errors): cancel the race so
+				// the pool slot frees promptly instead of searching for a
+				// reader that left.
+				cancel()
+			}
 			flush()
 		}
 	}
 	scheduleStart := time.Now()
 	res, err := pf.ScheduleModel(ctx, m)
 	scheduleMs := float64(time.Since(scheduleStart)) / float64(time.Millisecond)
+	if res != nil {
+		if n := res.Panics(); n > 0 {
+			s.strategyPanics.Add(uint64(n))
+		}
+	}
 	if err != nil {
 		status := http.StatusInternalServerError
 		switch {
@@ -568,6 +794,21 @@ func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp.Plan = json.RawMessage(bytes.TrimSpace(planBuf.Bytes()))
+	// Journal complete results only: a partial plan depends on when the
+	// deadline fired, a complete one is a deterministic function of the
+	// memo key. A failed journal append is counted, never fatal — losing
+	// a memo costs a future re-race, not this answer.
+	if memoKey != "" && !resp.Partial {
+		rec, merr := json.Marshal(memoRecord{System: resp.System, Makespan: resp.Makespan, Best: resp.Best, Plan: resp.Plan})
+		if merr == nil {
+			merr = s.cfg.store.Put(memoKey, rec)
+		}
+		if merr != nil {
+			s.memoErrs.Add(1)
+		} else {
+			s.memoStores.Add(1)
+		}
+	}
 	s.okCount.Add(1)
 	if stream != nil {
 		resp.Event = "result"
@@ -606,6 +847,36 @@ type statsResponse struct {
 		ClientErrors uint64 `json:"client_errors"`
 		ServerErrors uint64 `json:"server_errors"`
 	} `json:"requests"`
+	Memo struct {
+		Enabled bool `json:"enabled"`
+		// Entries/Recovered/TruncatedBytes/Dead mirror the store; Hits
+		// are requests answered from the journal without re-racing.
+		Entries        int    `json:"entries"`
+		Hits           uint64 `json:"hits"`
+		Misses         uint64 `json:"misses"`
+		Stores         uint64 `json:"stores"`
+		WriteErrors    uint64 `json:"write_errors"`
+		Recovered      int    `json:"recovered"`
+		TruncatedBytes int64  `json:"truncated_bytes"`
+		Dead           bool   `json:"dead"`
+	} `json:"memo"`
+	Robustness struct {
+		// Draining reports the readiness state; DrainRejected the
+		// requests refused while draining.
+		Draining      bool   `json:"draining"`
+		DrainRejected uint64 `json:"drain_rejected"`
+		// Incidents counts handler panics recovered to 500s;
+		// StrategyPanics portfolio members that panicked and were
+		// isolated while their race degraded to the survivors.
+		Incidents      uint64 `json:"incidents"`
+		StrategyPanics uint64 `json:"strategy_panics"`
+	} `json:"robustness"`
+	Faults struct {
+		// Spec is the active injection spec ("off" in production);
+		// Points per-point drawn/fired telemetry.
+		Spec   string                 `json:"spec"`
+		Points map[string]fault.Count `json:"points,omitempty"`
+	} `json:"faults"`
 }
 
 func (s *server) stats() statsResponse {
@@ -626,6 +897,24 @@ func (s *server) stats() statsResponse {
 	st.Requests.OK = s.okCount.Load()
 	st.Requests.ClientErrors = s.clientErrs.Load()
 	st.Requests.ServerErrors = s.serverErrs.Load()
+	if s.cfg.store != nil {
+		ss := s.cfg.store.Stats()
+		st.Memo.Enabled = true
+		st.Memo.Entries = ss.Entries
+		st.Memo.Recovered = ss.Recovered
+		st.Memo.TruncatedBytes = ss.TruncatedBytes
+		st.Memo.Dead = ss.Dead
+		st.Memo.Hits = s.memoHits.Load()
+		st.Memo.Misses = s.memoMisses.Load()
+		st.Memo.Stores = s.memoStores.Load()
+		st.Memo.WriteErrors = s.memoErrs.Load()
+	}
+	st.Robustness.Draining = s.draining.Load()
+	st.Robustness.DrainRejected = s.drained.Load()
+	st.Robustness.Incidents = s.incidents.Load()
+	st.Robustness.StrategyPanics = s.strategyPanics.Load()
+	st.Faults.Spec = s.cfg.faults.String()
+	st.Faults.Points = s.cfg.faults.Counts()
 	return st
 }
 

@@ -1,0 +1,242 @@
+// Package client is the retrying HTTP client for the noctestd
+// scheduling service, shared by noctest -serve-url and the load
+// benchmark. It retries only failures where a retry is safe and can
+// help: transport errors, 429 backpressure (honoring Retry-After),
+// and transient 5xx statuses. POSTing to /schedule is idempotent —
+// scheduling is a pure computation over the upload, with no
+// server-side state a duplicate could corrupt — which is what makes
+// retrying a request that may already have run safe; the client is
+// not suitable for non-idempotent APIs. Delays follow capped
+// exponential backoff with full jitter so a fleet of retrying clients
+// does not re-synchronize into the burst that caused the 429s.
+package client
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Response is one request's terminal outcome after retries.
+type Response struct {
+	// StatusCode is the final HTTP status.
+	StatusCode int
+	// Body is the final response body, fully read.
+	Body []byte
+	// Retries counts the re-sent attempts (0: first attempt answered).
+	Retries int
+}
+
+// Client posts to a noctestd instance with retries. The zero value of
+// every field selects a sensible default; Base is required.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP is the transport; nil selects a plain http.Client.
+	HTTP *http.Client
+	// MaxRetries bounds the re-sent attempts after the first (default
+	// 4, so at most 5 requests hit the wire).
+	MaxRetries int
+	// BaseDelay seeds the backoff (default 100ms); MaxDelay caps it
+	// (default 5s). Attempt n sleeps a jittered value in
+	// [d/2, d] for d = min(MaxDelay, BaseDelay * 2^n); a Retry-After
+	// header raises the sleep to at least its value.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Seed drives the jitter stream, so tests get reproducible delays.
+	// 0 seeds from the clock.
+	Seed int64
+	// OnRetry, when non-nil, observes every scheduled retry before its
+	// sleep: the attempt number (1-based), why, and the delay chosen.
+	OnRetry func(attempt int, reason string, delay time.Duration)
+	// SleepFn replaces the inter-attempt sleep; tests substitute an
+	// instant one. Nil selects a real context-respecting sleep.
+	SleepFn func(ctx context.Context, d time.Duration) error
+
+	once sync.Once
+	mu   sync.Mutex
+	rng  *rand.Rand
+}
+
+func (c *Client) init() {
+	c.once.Do(func() {
+		seed := c.Seed
+		if seed == 0 {
+			seed = time.Now().UnixNano()
+		}
+		c.rng = rand.New(rand.NewSource(seed))
+	})
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{}
+}
+
+func (c *Client) maxRetries() int {
+	if c.MaxRetries < 0 {
+		return 0
+	}
+	if c.MaxRetries == 0 {
+		return 4
+	}
+	return c.MaxRetries
+}
+
+func (c *Client) baseDelay() time.Duration {
+	if c.BaseDelay <= 0 {
+		return 100 * time.Millisecond
+	}
+	return c.BaseDelay
+}
+
+func (c *Client) maxDelay() time.Duration {
+	if c.MaxDelay <= 0 {
+		return 5 * time.Second
+	}
+	return c.MaxDelay
+}
+
+// retryable reports whether a status is worth another attempt.
+// 429 is explicit backpressure; 500 covers transient server faults
+// (noctestd's injected-fault and panic-recovery paths answer 500);
+// 502/503 are a dying or draining replica behind a proxy; 504 a
+// deadline that a now-warm cache may beat. Every other status is
+// terminal: a 4xx retried verbatim can only fail the same way.
+func retryable(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests,
+		http.StatusInternalServerError,
+		http.StatusBadGateway,
+		http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// backoff picks the attempt's jittered delay, raised to retryAfter
+// when the server asked for a longer pause.
+func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	d := c.baseDelay() << attempt
+	if max := c.maxDelay(); d > max || d <= 0 {
+		d = max
+	}
+	c.mu.Lock()
+	jittered := d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	c.mu.Unlock()
+	if retryAfter > jittered {
+		jittered = retryAfter
+	}
+	if max := c.maxDelay(); jittered > max {
+		jittered = max
+	}
+	return jittered
+}
+
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	if c.SleepFn != nil {
+		return c.SleepFn(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// parseRetryAfter reads a Retry-After header's delay-seconds form.
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(strings.TrimSpace(h)); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return 0
+}
+
+// Post sends body to path (an absolute path plus optional query, e.g.
+// "/schedule?search=quick") until a terminal response, the retry
+// budget, or the context ends. The terminal response — any status —
+// is returned with a nil error; an error means no response was
+// obtained at all.
+func (c *Client) Post(ctx context.Context, path string, body []byte) (*Response, error) {
+	c.init()
+	url := strings.TrimRight(c.Base, "/") + path
+	var lastErr error
+	retries := 0
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "text/plain")
+		resp, err := c.httpClient().Do(req)
+		var status int
+		var respBody []byte
+		var retryAfter time.Duration
+		reason := ""
+		if err != nil {
+			// Transport failure: the request may not have reached the
+			// server, and /schedule is idempotent if it did.
+			lastErr = err
+			reason = fmt.Sprintf("transport: %v", err)
+		} else {
+			respBody, err = io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				lastErr = err
+				reason = fmt.Sprintf("reading response: %v", err)
+			} else {
+				status = resp.StatusCode
+				if !retryable(status) {
+					return &Response{StatusCode: status, Body: respBody, Retries: retries}, nil
+				}
+				retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
+				reason = fmt.Sprintf("status %d", status)
+			}
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if attempt >= c.maxRetries() {
+			if status != 0 {
+				// Out of budget with a response in hand: the response is
+				// the outcome, retryable or not.
+				return &Response{StatusCode: status, Body: respBody, Retries: retries}, nil
+			}
+			return nil, fmt.Errorf("client: %d attempts failed, last: %w", attempt+1, lastErr)
+		}
+		delay := c.backoff(attempt, retryAfter)
+		if c.OnRetry != nil {
+			c.OnRetry(attempt+1, reason, delay)
+		}
+		if err := c.sleep(ctx, delay); err != nil {
+			return nil, err
+		}
+		retries++
+	}
+}
+
+// Schedule posts an upload to /schedule with the given raw query
+// string ("" for defaults).
+func (c *Client) Schedule(ctx context.Context, query string, upload []byte) (*Response, error) {
+	path := "/schedule"
+	if query != "" {
+		path += "?" + query
+	}
+	return c.Post(ctx, path, upload)
+}

@@ -1,0 +1,203 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// instant makes a client whose sleeps are recorded, not slept.
+func instant(c *Client) *[]time.Duration {
+	var slept []time.Duration
+	c.SleepFn = func(ctx context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return ctx.Err()
+	}
+	return &slept
+}
+
+func TestFirstAttemptSuccess(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		fmt.Fprintf(w, "echo:%s", body)
+	}))
+	defer srv.Close()
+	cl := &Client{Base: srv.URL, Seed: 1}
+	instant(cl)
+	resp, err := cl.Schedule(context.Background(), "search=quick", []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 || string(resp.Body) != "echo:hello" || resp.Retries != 0 {
+		t.Errorf("resp = %d %q retries=%d", resp.StatusCode, resp.Body, resp.Retries)
+	}
+}
+
+func TestRetriesTransient5xxThenSucceeds(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+	cl := &Client{Base: srv.URL, Seed: 1}
+	instant(cl)
+	resp, err := cl.Post(context.Background(), "/schedule", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 || resp.Retries != 2 {
+		t.Errorf("status %d retries %d, want 200 after 2 retries", resp.StatusCode, resp.Retries)
+	}
+}
+
+func TestDoesNotRetryClientErrors(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "bad upload", http.StatusBadRequest)
+	}))
+	defer srv.Close()
+	cl := &Client{Base: srv.URL, Seed: 1}
+	instant(cl)
+	resp, err := cl.Post(context.Background(), "/schedule", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 400 {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("a 400 was retried: %d requests hit the wire", n)
+	}
+}
+
+func TestHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "2")
+			http.Error(w, "busy", http.StatusTooManyRequests)
+			return
+		}
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+	var reasons []string
+	cl := &Client{
+		Base: srv.URL, Seed: 1,
+		BaseDelay: time.Millisecond, MaxDelay: 10 * time.Second,
+		OnRetry: func(attempt int, reason string, delay time.Duration) {
+			reasons = append(reasons, reason)
+		},
+	}
+	slept := instant(cl)
+	resp, err := cl.Post(context.Background(), "/schedule", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 || resp.Retries != 1 {
+		t.Fatalf("resp = %d retries=%d", resp.StatusCode, resp.Retries)
+	}
+	if len(*slept) != 1 || (*slept)[0] < 2*time.Second {
+		t.Errorf("slept %v, want the Retry-After floor of 2s to win over the 1ms backoff", *slept)
+	}
+	if len(reasons) != 1 || reasons[0] != "status 429" {
+		t.Errorf("OnRetry reasons = %v", reasons)
+	}
+}
+
+func TestBudgetExhaustedReturnsLastResponse(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	cl := &Client{Base: srv.URL, Seed: 1, MaxRetries: 2}
+	instant(cl)
+	resp, err := cl.Post(context.Background(), "/schedule", nil)
+	if err != nil {
+		t.Fatalf("a terminal response in hand must not become an error: %v", err)
+	}
+	if resp.StatusCode != 503 || resp.Retries != 2 {
+		t.Errorf("resp = %d retries=%d, want 503 after the full budget", resp.StatusCode, resp.Retries)
+	}
+}
+
+func TestTransportErrorRetriedThenReported(t *testing.T) {
+	// A server that never existed: every attempt is a transport error.
+	cl := &Client{Base: "http://127.0.0.1:1", Seed: 1, MaxRetries: 2}
+	instant(cl)
+	_, err := cl.Post(context.Background(), "/schedule", nil)
+	if err == nil {
+		t.Fatal("expected an error when no attempt ever got a response")
+	}
+}
+
+func TestBackoffCappedAndJittered(t *testing.T) {
+	cl := &Client{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Seed: 7}
+	cl.init()
+	for attempt := 0; attempt < 20; attempt++ {
+		d := cl.backoff(attempt, 0)
+		if d > time.Second {
+			t.Fatalf("attempt %d: delay %v exceeds cap", attempt, d)
+		}
+		if d <= 0 {
+			t.Fatalf("attempt %d: non-positive delay %v", attempt, d)
+		}
+	}
+	// Deep attempts shift BaseDelay far past overflow; the cap must hold.
+	if d := cl.backoff(62, 0); d > time.Second || d <= 0 {
+		t.Errorf("overflowed attempt delay = %v", d)
+	}
+	// Same seed, same draws.
+	a := &Client{BaseDelay: 100 * time.Millisecond, Seed: 99}
+	b := &Client{BaseDelay: 100 * time.Millisecond, Seed: 99}
+	a.init()
+	b.init()
+	for i := 0; i < 10; i++ {
+		if da, db := a.backoff(i, 0), b.backoff(i, 0); da != db {
+			t.Fatalf("same-seed backoff diverged at %d: %v vs %v", i, da, db)
+		}
+	}
+}
+
+func TestContextCancelDuringSleep(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "busy", http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cl := &Client{Base: srv.URL, Seed: 1}
+	cl.SleepFn = func(ctx context.Context, d time.Duration) error {
+		cancel()
+		return ctx.Err()
+	}
+	_, err := cl.Post(ctx, "/schedule", nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := map[string]time.Duration{
+		"":      0,
+		"5":     5 * time.Second,
+		" 10 ":  10 * time.Second,
+		"-3":    0,
+		"later": 0, // HTTP-date form unsupported: fall back to backoff
+	}
+	for h, want := range cases {
+		if got := parseRetryAfter(h); got != want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", h, got, want)
+		}
+	}
+}

@@ -2,14 +2,48 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"noctest/internal/plan"
 	"noctest/internal/soc"
 )
+
+// PanicError records a strategy that panicked during a portfolio run.
+// The panic is recovered at the strategy boundary — one broken search
+// must degrade the race to its surviving members, not kill the whole
+// process a server is running it in — and surfaces as the strategy's
+// Err in the run's Results, where callers count it with errors.As.
+type PanicError struct {
+	// Scheduler is the strategy that panicked.
+	Scheduler string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack string
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("core: scheduler %s panicked: %v", e.Scheduler, e.Value)
+}
+
+// runShielded runs one strategy with panic isolation: a panic becomes
+// a *PanicError result instead of unwinding into the worker pool.
+func runShielded(ctx context.Context, s Scheduler, m *Model, inc *Incumbent) (p *plan.Plan, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			p, err = nil, &PanicError{Scheduler: s.Name(), Value: v, Stack: string(debug.Stack())}
+		}
+	}()
+	if bs, ok := s.(BoundedScheduler); ok {
+		return bs.ScheduleBounded(ctx, m, inc)
+	}
+	return s.Schedule(ctx, m)
+}
 
 // Portfolio races a set of schedulers over a goroutine worker pool and
 // keeps the minimum-makespan plan. The system is compiled once into a
@@ -72,6 +106,19 @@ type PortfolioResult struct {
 
 // Makespan returns the winning plan's makespan.
 func (r *PortfolioResult) Makespan() int { return r.Plan.Makespan() }
+
+// Panics counts the run's strategies that panicked (Err holds a
+// *PanicError): the race degraded to the surviving members.
+func (r *PortfolioResult) Panics() int {
+	n := 0
+	for _, vr := range r.Results {
+		var pe *PanicError
+		if errors.As(vr.Err, &pe) {
+			n++
+		}
+	}
+	return n
+}
 
 // ScheduleBest races the default portfolio over sys under opts and
 // returns the minimum-makespan plan with per-variant statistics.
@@ -156,13 +203,7 @@ func (pf Portfolio) ScheduleModel(ctx context.Context, m *Model) (*PortfolioResu
 			defer wg.Done()
 			for i := range jobs {
 				start := time.Now()
-				var p *plan.Plan
-				var err error
-				if bs, ok := scheds[i].(BoundedScheduler); ok {
-					p, err = bs.ScheduleBounded(ctx, m, inc)
-				} else {
-					p, err = scheds[i].Schedule(ctx, m)
-				}
+				p, err := runShielded(ctx, scheds[i], m, inc)
 				if err == nil {
 					if verr := p.Validate(); verr != nil {
 						err = fmt.Errorf("core: %s produced invalid plan: %w", scheds[i].Name(), verr)

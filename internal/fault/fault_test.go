@@ -1,0 +1,214 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseOff(t *testing.T) {
+	for _, spec := range []string{"", "off", "  off  ", "   "} {
+		in, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		if in != nil {
+			t.Fatalf("Parse(%q) = %v, want nil injector", spec, in)
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	in, err := Parse("seed=7; compile.err=0.2 ; compile.slow=0.1:25ms;sched.panic=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Seed() != 7 {
+		t.Errorf("seed = %d, want 7", in.Seed())
+	}
+	got := in.String()
+	want := "seed=7;compile.err=0.2;compile.slow=0.1:25ms;sched.panic=0.05"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	// Round-trip: the canonical form parses back to itself.
+	in2, err := Parse(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in2.String() != got {
+		t.Errorf("round-trip = %q, want %q", in2.String(), got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"compile.err",            // no value
+		"compile.err=nope",       // bad probability
+		"compile.err=1.5",        // out of range
+		"compile.err=-0.1",       // out of range
+		"compile.oops=0.5",       // unknown point: typos must not silently disable a drill
+		"seed=abc",               // bad seed
+		"compile.slow=0.5:xyz",   // bad duration argument
+		"compile.slow=0.5:-10ms", // negative duration
+	}
+	for _, spec := range cases {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+// TestDeterminism asserts the core contract: the nth decision at a
+// point is a pure function of (seed, point, n), no matter how calls to
+// other points interleave.
+func TestDeterminism(t *testing.T) {
+	draw := func(in *Injector, n int) []bool {
+		out := make([]bool, n)
+		for i := range out {
+			out[i] = in.Should(CompileErr)
+		}
+		return out
+	}
+	a, _ := Parse("seed=42;compile.err=0.5;store.write=0.5")
+	b, _ := Parse("seed=42;compile.err=0.5;store.write=0.5")
+	// Interleave store.write draws on b only; compile.err's stream must
+	// not shift.
+	seqA := draw(a, 100)
+	var seqB []bool
+	for i := 0; i < 100; i++ {
+		b.Should(StoreWrite)
+		seqB = append(seqB, b.Should(CompileErr))
+	}
+	for i := range seqA {
+		if seqA[i] != seqB[i] {
+			t.Fatalf("decision %d diverged under cross-point interleaving: %v vs %v", i, seqA[i], seqB[i])
+		}
+	}
+	// A different seed must give a different sequence (overwhelmingly).
+	c, _ := Parse("seed=43;compile.err=0.5")
+	seqC := draw(c, 100)
+	same := 0
+	for i := range seqA {
+		if seqA[i] == seqC[i] {
+			same++
+		}
+	}
+	if same == len(seqA) {
+		t.Error("seed=42 and seed=43 drew identical 100-decision sequences")
+	}
+}
+
+func TestProbabilityEndpoints(t *testing.T) {
+	in, _ := Parse("compile.err=1;store.write=0")
+	for i := 0; i < 50; i++ {
+		if !in.Should(CompileErr) {
+			t.Fatal("probability 1 failed to fire")
+		}
+		if in.Should(StoreWrite) {
+			t.Fatal("probability 0 fired")
+		}
+	}
+	cs := in.Counts()
+	if c := cs["compile.err"]; c.Checked != 50 || c.Fired != 50 {
+		t.Errorf("compile.err counts = %+v, want 50/50", c)
+	}
+	if c := cs["store.write"]; c.Checked != 50 || c.Fired != 0 {
+		t.Errorf("store.write counts = %+v, want 50/0", c)
+	}
+}
+
+func TestDelay(t *testing.T) {
+	in, _ := Parse("compile.slow=1:25ms;compile.err=1")
+	if d, ok := in.Delay(CompileSlow); !ok || d != 25*time.Millisecond {
+		t.Errorf("Delay(compile.slow) = %v, %v; want 25ms, true", d, ok)
+	}
+	// A delay point with no argument gets the 10ms default.
+	if d, ok := in.Delay(CompileErr); !ok || d != 10*time.Millisecond {
+		t.Errorf("Delay with no arg = %v, %v; want 10ms, true", d, ok)
+	}
+	// An absent point never delays.
+	if _, ok := in.Delay(SchedPanic); ok {
+		t.Error("Delay fired for a point absent from the spec")
+	}
+}
+
+func TestSetProbability(t *testing.T) {
+	in, _ := Parse("seed=5;compile.err=0")
+	if in.Should(CompileErr) {
+		t.Fatal("fired at probability 0")
+	}
+	in.SetProbability(CompileErr, 1)
+	if !in.Should(CompileErr) {
+		t.Fatal("did not fire after SetProbability(1)")
+	}
+	// Adding a point the spec never named works and clamps.
+	in.SetProbability(StoreTorn, 7)
+	if !in.Should(StoreTorn) {
+		t.Fatal("added point with clamped probability 1 did not fire")
+	}
+	in.SetProbability(StoreTorn, -3)
+	if in.Should(StoreTorn) {
+		t.Fatal("clamped probability 0 fired")
+	}
+	if !strings.Contains(in.String(), "store.torn=0") {
+		t.Errorf("String() = %q, want store.torn=0 entry", in.String())
+	}
+}
+
+func TestNilInjector(t *testing.T) {
+	var in *Injector
+	if in.Should(CompileErr) {
+		t.Error("nil injector fired")
+	}
+	if _, ok := in.Delay(CompileSlow); ok {
+		t.Error("nil injector delayed")
+	}
+	in.SetProbability(CompileErr, 1) // must not panic
+	if in.Seed() != 0 {
+		t.Error("nil injector seed != 0")
+	}
+	if in.Counts() != nil {
+		t.Error("nil injector counts != nil")
+	}
+	if in.String() != "off" {
+		t.Errorf("nil injector String() = %q, want off", in.String())
+	}
+}
+
+func TestErrorf(t *testing.T) {
+	err := Errorf("store append %d", 3)
+	if !errors.Is(err, ErrInjected) {
+		t.Error("Errorf result does not wrap ErrInjected")
+	}
+	if !strings.Contains(err.Error(), "store append 3") {
+		t.Errorf("message %q missing detail", err)
+	}
+}
+
+func TestConcurrentDraws(t *testing.T) {
+	// Hammer one injector from many goroutines; the race detector is
+	// the assertion, plus counts must tally exactly.
+	in, _ := Parse("seed=9;compile.err=0.5;store.write=0.5;sched.panic=0.5")
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				in.Should(CompileErr)
+				in.Should(StoreWrite)
+				in.SetProbability(SchedPanic, 0.5)
+				in.Should(SchedPanic)
+				in.Counts()
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	cs := in.Counts()
+	if c := cs["compile.err"]; c.Checked != 8*500 {
+		t.Errorf("compile.err checked = %d, want %d", c.Checked, 8*500)
+	}
+}

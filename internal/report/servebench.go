@@ -45,11 +45,15 @@ type ServePhase struct {
 	// parse+build+compile, the cost an empty cache would charge it) or
 	// "warm" (every request hits the pre-warmed model cache).
 	Phase string `json:"phase"`
-	// OK counts 2xx responses; Rejected429 the backpressure rejections;
-	// Errors everything else (must be zero in a healthy run).
+	// OK counts 2xx responses; Rejected429 the backpressure rejections
+	// still terminal after the client's retry budget; Errors everything
+	// else (must be zero in a healthy run). Retries counts the
+	// re-sent attempts the retrying client spent absorbing transient
+	// 429/5xx answers within the phase.
 	OK          int `json:"ok"`
 	Rejected429 int `json:"rejected_429"`
 	Errors      int `json:"errors"`
+	Retries     int `json:"retries"`
 	// PlansPerSecond is completed plans over the burst's wall time.
 	PlansPerSecond float64 `json:"plans_per_second"`
 	// Latency quantiles of successful requests, milliseconds.

@@ -1,0 +1,324 @@
+// Package resultstore is the server's crash-safe persistent result
+// memoization: an append-only, checksummed journal of (key, value)
+// records on disk, fronted by an in-memory index. A warm restart
+// replays the journal and answers repeat requests without re-racing
+// the portfolio — ROADMAP's "persistent result memoization" rung —
+// and the format is designed around the one failure a single
+// append-only file actually meets in production: a process killed
+// mid-append, leaving a torn final record.
+//
+// Journal format, little-endian, one frame per record:
+//
+//	[keyLen uint32][valLen uint32][key bytes][val bytes][crc32 uint32]
+//
+// The CRC (IEEE) covers the header and both payloads. Replay walks
+// frames from the start; the first short, oversized, or checksum-
+// mismatching frame ends the replay and the file is truncated back to
+// the end of the last good record, so a torn tail is dropped — never
+// served, never allowed to hide records appended after it. Later
+// records win duplicate keys, which is what makes the journal an
+// upsert log rather than a write-once map.
+//
+// A failed append rolls the file back to the record boundary so the
+// store stays usable; an append torn by the fault injector (or any
+// rollback that itself fails) marks the store dead — reads keep
+// serving from memory, writes fail fast with ErrDead, and the next
+// Open recovers the journal exactly as a real crash would.
+package resultstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"noctest/internal/fault"
+)
+
+// ErrDead marks writes attempted after the store's journal writer has
+// been lost (torn write, failed rollback, or Kill). The in-memory
+// index keeps serving reads.
+var ErrDead = errors.New("resultstore: journal writer dead")
+
+const (
+	headerLen = 8
+	crcLen    = 4
+	// maxKeyLen and maxValLen bound a frame a replay will believe.
+	// Anything larger is corruption: keys are content hashes plus a
+	// short parameter tail, values one JSON result document.
+	maxKeyLen = 1 << 16
+	maxValLen = 1 << 28
+)
+
+// Options configures Open.
+type Options struct {
+	// Sync fsyncs the journal after every append. Off by default: the
+	// journal is a cache, and the checksummed frames already make a
+	// lost tail safe — Sync trades append latency for surviving power
+	// loss with the last record intact.
+	Sync bool
+	// Faults, when non-nil, injects write failures (fault.StoreWrite)
+	// and torn appends (fault.StoreTorn) for chaos drills.
+	Faults *fault.Injector
+}
+
+// Stats is a snapshot of the store's counters.
+type Stats struct {
+	// Entries is the live index size; Path the journal file.
+	Entries int    `json:"entries"`
+	Path    string `json:"path,omitempty"`
+	// Recovered counts records replayed at Open; TruncatedBytes the
+	// corrupted tail bytes dropped by that replay (0 on a clean file).
+	Recovered      int   `json:"recovered"`
+	TruncatedBytes int64 `json:"truncated_bytes"`
+	// Hits/Misses count Get outcomes; Puts successful appends;
+	// PutErrors failed ones (injected or real).
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Puts      uint64 `json:"puts"`
+	PutErrors uint64 `json:"put_errors"`
+	// Dead reports the journal writer is gone (reads still served).
+	Dead bool `json:"dead"`
+}
+
+// Store is the journal plus its in-memory index. All methods are safe
+// for concurrent use.
+type Store struct {
+	mu    sync.Mutex
+	f     *os.File
+	path  string
+	opts  Options
+	index map[string][]byte
+	off   int64 // end of the last good record == append position
+	dead  bool
+
+	recovered      int
+	truncatedBytes int64
+	hits, misses   uint64
+	puts, putErrs  uint64
+}
+
+// Open opens (creating if absent) the journal at path, replays every
+// intact record into memory, and truncates any corrupted tail so the
+// next append starts at a record boundary.
+func Open(path string, opts Options) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	s := &Store{f: f, path: path, opts: opts, index: make(map[string][]byte)}
+	if err := s.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// replay scans the journal from the start, indexing good records and
+// truncating at the first bad one.
+func (s *Store) replay() error {
+	size, err := s.f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	var off int64
+	header := make([]byte, headerLen)
+	for off < size {
+		if _, err := io.ReadFull(s.f, header); err != nil {
+			break // short header: torn tail
+		}
+		keyLen := binary.LittleEndian.Uint32(header[0:4])
+		valLen := binary.LittleEndian.Uint32(header[4:8])
+		if keyLen == 0 || keyLen > maxKeyLen || valLen > maxValLen {
+			break // implausible lengths: corruption
+		}
+		rest := make([]byte, int(keyLen)+int(valLen)+crcLen)
+		if _, err := io.ReadFull(s.f, rest); err != nil {
+			break // short payload: torn tail
+		}
+		crc := crc32.NewIEEE()
+		crc.Write(header)
+		crc.Write(rest[:keyLen+valLen])
+		if crc.Sum32() != binary.LittleEndian.Uint32(rest[keyLen+valLen:]) {
+			break // checksum mismatch: torn or bit-rotted record
+		}
+		key := string(rest[:keyLen])
+		s.index[key] = append([]byte(nil), rest[keyLen:keyLen+valLen]...)
+		s.recovered++
+		off += int64(headerLen + len(rest))
+	}
+	if off < size {
+		// Everything past the first bad frame is unreachable (frame
+		// boundaries are lost), so recovery drops it and restores the
+		// append invariant: the file ends at a record boundary.
+		if err := s.f.Truncate(off); err != nil {
+			return fmt.Errorf("resultstore: truncating corrupted tail: %w", err)
+		}
+		s.truncatedBytes = size - off
+	}
+	if _, err := s.f.Seek(off, io.SeekStart); err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	s.off = off
+	return nil
+}
+
+// frame renders one record.
+func frame(key string, val []byte) []byte {
+	buf := make([]byte, headerLen+len(key)+len(val)+crcLen)
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(key)))
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(val)))
+	copy(buf[headerLen:], key)
+	copy(buf[headerLen+len(key):], val)
+	crc := crc32.ChecksumIEEE(buf[:headerLen+len(key)+len(val)])
+	binary.LittleEndian.PutUint32(buf[headerLen+len(key)+len(val):], crc)
+	return buf
+}
+
+// Get returns the value stored under key. The returned slice is the
+// index's copy; callers must not mutate it.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.index[key]
+	if ok {
+		s.hits++
+	} else {
+		s.misses++
+	}
+	return v, ok
+}
+
+// Put appends a record and updates the index. A clean write failure
+// (including an injected fault.StoreWrite) leaves the journal at its
+// previous record boundary and the store usable; a torn write marks
+// the store dead.
+func (s *Store) Put(key string, val []byte) error {
+	if key == "" || len(key) > maxKeyLen || len(val) > maxValLen {
+		return fmt.Errorf("resultstore: record out of bounds: key %d bytes, val %d bytes", len(key), len(val))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dead {
+		s.putErrs++
+		return ErrDead
+	}
+	buf := frame(key, val)
+	if s.opts.Faults.Should(fault.StoreTorn) {
+		// A crash mid-append: half the frame reaches the disk, the
+		// writer is gone. The torn tail stays for the next Open's
+		// recovery to truncate — exactly the scenario the chaos soak
+		// restarts into.
+		s.f.Write(buf[:len(buf)/2])
+		s.f.Sync()
+		s.dead = true
+		s.putErrs++
+		return fault.Errorf("torn journal append for %q", key)
+	}
+	if s.opts.Faults.Should(fault.StoreWrite) {
+		s.putErrs++
+		return fault.Errorf("journal append for %q", key)
+	}
+	n, err := s.f.Write(buf)
+	if err != nil {
+		s.putErrs++
+		// Roll back to the record boundary so a partial platform write
+		// cannot corrupt the journal for later appends.
+		if n > 0 {
+			if terr := s.f.Truncate(s.off); terr != nil {
+				s.dead = true
+				return fmt.Errorf("resultstore: append failed (%v) and rollback failed: %w", err, terr)
+			}
+			s.f.Seek(s.off, io.SeekStart)
+		}
+		return fmt.Errorf("resultstore: append: %w", err)
+	}
+	if s.opts.Sync {
+		if err := s.f.Sync(); err != nil {
+			s.putErrs++
+			return fmt.Errorf("resultstore: sync: %w", err)
+		}
+	}
+	s.off += int64(len(buf))
+	s.index[key] = append([]byte(nil), val...)
+	s.puts++
+	return nil
+}
+
+// Len returns the live index size.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Stats snapshots the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Entries:        len(s.index),
+		Path:           s.path,
+		Recovered:      s.recovered,
+		TruncatedBytes: s.truncatedBytes,
+		Hits:           s.hits,
+		Misses:         s.misses,
+		Puts:           s.puts,
+		PutErrors:      s.putErrs,
+		Dead:           s.dead,
+	}
+}
+
+// Kill simulates losing the journal writer mid-run — the "store dies
+// under the server" chaos phase. Reads keep answering from memory;
+// writes fail fast with ErrDead. The journal file keeps whatever was
+// durably appended before the kill.
+func (s *Store) Kill() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dead {
+		return
+	}
+	s.dead = true
+	s.f.Close()
+}
+
+// Close syncs and closes the journal. The store is unusable after.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dead {
+		return nil
+	}
+	s.dead = true
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	return nil
+}
+
+// TornWrite appends the first half of a valid frame for (key, val) to
+// the journal at path — the tail a crash mid-append leaves. It exists
+// for crash-recovery tests; the next Open must truncate it away.
+func TornWrite(path, key string, val []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	buf := frame(key, val)
+	if _, err := f.Write(buf[:len(buf)/2]); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

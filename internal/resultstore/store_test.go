@@ -1,0 +1,242 @@
+package resultstore
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"noctest/internal/fault"
+)
+
+func openT(t *testing.T, path string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	s := openT(t, path, Options{})
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("empty store answered a Get")
+	}
+	if err := s.Put("a", []byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("b", []byte("beta")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Get("a"); !ok || string(v) != "alpha" {
+		t.Fatalf("Get(a) = %q, %v", v, ok)
+	}
+	st := s.Stats()
+	if st.Entries != 2 || st.Puts != 2 || st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestReopenReplaysAndLastWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	s := openT(t, path, Options{})
+	s.Put("a", []byte("old"))
+	s.Put("b", []byte("beta"))
+	s.Put("a", []byte("new")) // duplicate key: later record wins on replay
+	s.Close()
+
+	s2 := openT(t, path, Options{})
+	st := s2.Stats()
+	if st.Recovered != 3 || st.TruncatedBytes != 0 || st.Entries != 2 {
+		t.Fatalf("replay stats = %+v, want 3 recovered, 0 truncated, 2 entries", st)
+	}
+	if v, _ := s2.Get("a"); string(v) != "new" {
+		t.Errorf("Get(a) after replay = %q, want new (last wins)", v)
+	}
+	if v, _ := s2.Get("b"); string(v) != "beta" {
+		t.Errorf("Get(b) after replay = %q", v)
+	}
+}
+
+func TestTornTailTruncatedOnReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	s := openT(t, path, Options{})
+	s.Put("good", []byte("kept"))
+	s.Close()
+	sizeBefore, _ := os.Stat(path)
+
+	// A crash mid-append leaves half a frame at the tail.
+	if err := TornWrite(path, "torn", []byte("lost-forever")); err != nil {
+		t.Fatal(err)
+	}
+	sizeTorn, _ := os.Stat(path)
+	if sizeTorn.Size() <= sizeBefore.Size() {
+		t.Fatal("TornWrite appended nothing")
+	}
+
+	s2 := openT(t, path, Options{})
+	st := s2.Stats()
+	if st.Recovered != 1 {
+		t.Errorf("recovered = %d, want 1", st.Recovered)
+	}
+	if want := sizeTorn.Size() - sizeBefore.Size(); st.TruncatedBytes != want {
+		t.Errorf("truncatedBytes = %d, want %d", st.TruncatedBytes, want)
+	}
+	if _, ok := s2.Get("torn"); ok {
+		t.Error("torn record was served")
+	}
+	if v, _ := s2.Get("good"); string(v) != "kept" {
+		t.Errorf("good record lost: %q", v)
+	}
+	// The file is back at a record boundary: appends work and survive
+	// another replay.
+	if err := s2.Put("after", []byte("recovery")); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3 := openT(t, path, Options{})
+	if st := s3.Stats(); st.Recovered != 2 || st.TruncatedBytes != 0 {
+		t.Errorf("post-recovery replay stats = %+v", st)
+	}
+	if v, _ := s3.Get("after"); string(v) != "recovery" {
+		t.Errorf("post-recovery append lost: %q", v)
+	}
+}
+
+func TestMidFileCorruptionDropsTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	s := openT(t, path, Options{})
+	s.Put("a", []byte("alpha"))
+	firstLen, _ := os.Stat(path)
+	s.Put("b", []byte("beta"))
+	s.Put("c", []byte("gamma"))
+	s.Close()
+
+	// Flip a byte inside record b's payload: replay must stop there —
+	// frame boundaries past a bad frame are untrustworthy — dropping
+	// both b and c.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[firstLen.Size()+headerLen+1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openT(t, path, Options{})
+	st := s2.Stats()
+	if st.Recovered != 1 || st.Entries != 1 {
+		t.Fatalf("stats after mid-file corruption = %+v, want 1 record", st)
+	}
+	if _, ok := s2.Get("b"); ok {
+		t.Error("corrupted record served")
+	}
+	if _, ok := s2.Get("c"); ok {
+		t.Error("record past the corruption served (boundaries are lost)")
+	}
+	if st.TruncatedBytes == 0 {
+		t.Error("truncatedBytes = 0, want the dropped tail counted")
+	}
+}
+
+func TestInjectedWriteErrorLeavesStoreUsable(t *testing.T) {
+	inj, err := fault.Parse("seed=1;store.write=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "j")
+	s := openT(t, path, Options{Faults: inj})
+	if err := s.Put("a", []byte("alpha")); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("Put under store.write=1 = %v, want ErrInjected", err)
+	}
+	if _, ok := s.Get("a"); ok {
+		t.Error("failed Put left an index entry")
+	}
+	// Drill over: the store must be fully usable — a clean write failure
+	// is transient, not fatal.
+	inj.SetProbability(fault.StoreWrite, 0)
+	if err := s.Put("a", []byte("alpha")); err != nil {
+		t.Fatalf("Put after drill: %v", err)
+	}
+	st := s.Stats()
+	if st.Dead || st.Puts != 1 || st.PutErrors != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestInjectedTornWriteKillsStoreAndRecovers(t *testing.T) {
+	inj, err := fault.Parse("seed=1;store.torn=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "j")
+	s, err := Open(path, Options{Faults: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("a", []byte("alpha")); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("torn Put = %v, want ErrInjected", err)
+	}
+	if err := s.Put("b", []byte("beta")); !errors.Is(err, ErrDead) {
+		t.Fatalf("Put on dead store = %v, want ErrDead", err)
+	}
+	if !s.Stats().Dead {
+		t.Error("store not marked dead after torn append")
+	}
+
+	s2 := openT(t, path, Options{})
+	st := s2.Stats()
+	if st.Recovered != 0 || st.TruncatedBytes == 0 {
+		t.Errorf("recovery stats = %+v, want 0 recovered and a truncated tail", st)
+	}
+	if err := s2.Put("b", []byte("beta")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKill(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	s := openT(t, path, Options{})
+	s.Put("a", []byte("alpha"))
+	s.Kill()
+	// Reads keep serving from memory; writes fail fast.
+	if v, ok := s.Get("a"); !ok || string(v) != "alpha" {
+		t.Errorf("Get after Kill = %q, %v", v, ok)
+	}
+	if err := s.Put("b", []byte("beta")); !errors.Is(err, ErrDead) {
+		t.Errorf("Put after Kill = %v, want ErrDead", err)
+	}
+	// Durably-appended records survive the kill.
+	s2 := openT(t, path, Options{})
+	if v, _ := s2.Get("a"); string(v) != "alpha" {
+		t.Errorf("record lost across Kill+reopen: %q", v)
+	}
+}
+
+func TestSyncOption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	s := openT(t, path, Options{Sync: true})
+	big := bytes.Repeat([]byte("x"), 4096)
+	if err := s.Put("big", big); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Get("big"); !bytes.Equal(v, big) {
+		t.Error("big value corrupted")
+	}
+}
+
+func TestPutBounds(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	s := openT(t, path, Options{})
+	if err := s.Put("", []byte("v")); err == nil {
+		t.Error("empty key accepted")
+	}
+	if err := s.Put(string(bytes.Repeat([]byte("k"), maxKeyLen+1)), []byte("v")); err == nil {
+		t.Error("oversized key accepted")
+	}
+}
