@@ -12,10 +12,16 @@
 // than -min-samples samples on either side the significance test has no
 // power, so the gate falls back to the median delta alone.
 //
-// The gated metric is orders_per_sec (higher is better) when both
-// files report it, and ns/op (lower is better) otherwise, so the gate
-// still works against baselines recorded before the throughput metric
-// existed.
+// Two families of metric are gated independently for every benchmark:
+//
+//   - Speed: orders_per_sec (higher is better) when both files report
+//     it, and ns/op (lower is better) otherwise, so the gate still
+//     works against baselines recorded before the throughput metric
+//     existed. Gated with -threshold.
+//   - Quality: every cycles_* metric present in both files (lower is
+//     better — these are best-makespan constants, deterministic per
+//     seed). Gated with -quality-threshold, default 0: any worsened
+//     makespan fails CI exactly like a throughput regression.
 package main
 
 import (
@@ -140,7 +146,28 @@ type verdict struct {
 	regressed  bool
 }
 
-func compare(base, head samples, filter string, threshold, alpha float64, minSamples int) []verdict {
+// judge scores one (benchmark, metric) pair; a nil verdict means the
+// metric is missing on either side.
+func judge(base, head samples, name, unit string, higherBetter bool, threshold, alpha float64, minSamples int) *verdict {
+	bs, hs := base[name][unit], head[name][unit]
+	if len(bs) == 0 || len(hs) == 0 {
+		return nil
+	}
+	bm, hm := median(bs), median(hs)
+	v := verdict{name: name, unit: unit, base: bm, head: hm, p: mannWhitneyP(bs, hs)}
+	if bm != 0 {
+		v.delta = (hm - bm) / bm
+	}
+	worse := v.delta
+	if higherBetter {
+		worse = -worse
+	}
+	v.regressed = worse > threshold &&
+		(v.p < alpha || len(bs) < minSamples || len(hs) < minSamples)
+	return &v
+}
+
+func compare(base, head samples, filter string, threshold, qualityThreshold, alpha float64, minSamples int) []verdict {
 	names := make([]string, 0, len(head))
 	for name := range head {
 		if strings.HasPrefix(name, filter) && base[name] != nil {
@@ -155,28 +182,31 @@ func compare(base, head samples, filter string, threshold, alpha float64, minSam
 		if len(base[name][unit]) == 0 || len(head[name][unit]) == 0 {
 			unit, higherBetter = "ns/op", false
 		}
-		bs, hs := base[name][unit], head[name][unit]
-		if len(bs) == 0 || len(hs) == 0 {
-			continue
+		if v := judge(base, head, name, unit, higherBetter, threshold, alpha, minSamples); v != nil {
+			out = append(out, *v)
 		}
-		bm, hm := median(bs), median(hs)
-		v := verdict{name: name, unit: unit, base: bm, head: hm, p: mannWhitneyP(bs, hs)}
-		if bm != 0 {
-			v.delta = (hm - bm) / bm
+		// Quality gate: every cycles_* metric both sides report is a
+		// best-makespan constant — lower is better, and with the default
+		// quality threshold of 0 any worsening regresses.
+		units := make([]string, 0, len(head[name]))
+		for u := range head[name] {
+			if strings.HasPrefix(u, "cycles_") {
+				units = append(units, u)
+			}
 		}
-		worse := v.delta
-		if higherBetter {
-			worse = -worse
+		sort.Strings(units)
+		for _, u := range units {
+			if v := judge(base, head, name, u, false, qualityThreshold, alpha, minSamples); v != nil {
+				out = append(out, *v)
+			}
 		}
-		v.regressed = worse > threshold &&
-			(v.p < alpha || len(bs) < minSamples || len(hs) < minSamples)
-		out = append(out, v)
 	}
 	return out
 }
 
 func main() {
 	threshold := flag.Float64("threshold", 0.10, "relative median regression that fails the gate")
+	qualityThreshold := flag.Float64("quality-threshold", 0, "relative cycles_* (best makespan) worsening that fails the gate")
 	alpha := flag.Float64("alpha", 0.05, "significance level for the Mann-Whitney test")
 	minSamples := flag.Int("min-samples", 4, "samples per side below which the gate skips the significance test")
 	filter := flag.String("filter", "BenchmarkPortfolio", "benchmark name prefix to gate")
@@ -190,7 +220,7 @@ func main() {
 		var head samples
 		head, err = parseBenchFile(flag.Arg(1))
 		if err == nil {
-			verdicts := compare(base, head, *filter, *threshold, *alpha, *minSamples)
+			verdicts := compare(base, head, *filter, *threshold, *qualityThreshold, *alpha, *minSamples)
 			if len(verdicts) == 0 {
 				fmt.Fprintf(os.Stderr, "benchgate: no %s benchmarks common to both files\n", *filter)
 				os.Exit(2)
@@ -206,7 +236,7 @@ func main() {
 					v.name, v.base, v.head, v.unit, v.delta*100, v.p, status)
 			}
 			if failed > 0 {
-				fmt.Fprintf(os.Stderr, "benchgate: %d benchmark(s) regressed beyond %.0f%%\n", failed, *threshold*100)
+				fmt.Fprintf(os.Stderr, "benchgate: %d metric(s) regressed\n", failed)
 				os.Exit(1)
 			}
 			return

@@ -74,7 +74,7 @@ func TestCompareGatesRegressions(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		vs := compare(bs, hs, "BenchmarkPortfolio", 0.10, 0.05, 4)
+		vs := compare(bs, hs, "BenchmarkPortfolio", 0.10, 0, 0.05, 4)
 		if len(vs) != 1 {
 			t.Fatalf("%s: want 1 verdict, got %v", tc.label, vs)
 		}
@@ -104,7 +104,7 @@ func TestCompareFallsBackToNsPerOp(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	vs := compare(bs, hs, "BenchmarkPortfolio", 0.10, 0.05, 4)
+	vs := compare(bs, hs, "BenchmarkPortfolio", 0.10, 0, 0.05, 4)
 	if len(vs) != 1 || vs[0].unit != "ns/op" {
 		t.Fatalf("want ns/op fallback verdict, got %+v", vs)
 	}
@@ -120,7 +120,7 @@ func TestCompareFallsBackToNsPerOp(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	vs2 := compare(bs, hs2, "BenchmarkPortfolio", 0.10, 0.05, 4)
+	vs2 := compare(bs, hs2, "BenchmarkPortfolio", 0.10, 0, 0.05, 4)
 	if len(vs2) != 1 || !vs2[0].regressed {
 		t.Fatalf("2x ns/op slowdown not gated: %+v", vs2)
 	}
@@ -138,5 +138,64 @@ func TestMannWhitneyP(t *testing.T) {
 	}
 	if p := mannWhitneyP([]float64{5, 5, 5}, []float64{5, 5, 5}); p != 1 {
 		t.Errorf("all-tied samples p=%v, want 1", p)
+	}
+}
+
+// qlines renders bench lines carrying both the throughput metric and a
+// deterministic cycles_portfolio makespan constant.
+func qlines(name string, cycles float64, orders []float64) string {
+	out := ""
+	for _, o := range orders {
+		out += name + "-1   1  1000000 ns/op  " +
+			strconv.FormatFloat(cycles, 'f', -1, 64) + " cycles_portfolio  " +
+			strconv.FormatFloat(o, 'f', -1, 64) + " orders_per_sec\n"
+	}
+	return out
+}
+
+// TestCompareGatesQuality pins the best-makespan gate: a worsened
+// cycles_portfolio constant regresses at the default quality threshold
+// of 0 even when throughput holds, an improved one passes, and both
+// metrics are reported per benchmark.
+func TestCompareGatesQuality(t *testing.T) {
+	name := "BenchmarkPortfolio/p93791/portfolio_workers1"
+	orders := []float64{1000000, 1010000, 990000, 1005000, 995000, 1002000}
+	base := writeBench(t, "base.txt", qlines(name, 506455, orders))
+
+	cases := []struct {
+		label     string
+		cycles    float64
+		regressed bool
+	}{
+		{"pinned", 506455, false},
+		{"improved", 506000, false},
+		{"worsened", 506600, true},
+	}
+	for _, tc := range cases {
+		bs, err := parseBenchFile(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs, err := parseBenchFile(writeBench(t, "head.txt", qlines(name, tc.cycles, orders)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		vs := compare(bs, hs, "BenchmarkPortfolio", 0.10, 0, 0.05, 4)
+		if len(vs) != 2 {
+			t.Fatalf("%s: want speed + quality verdicts, got %+v", tc.label, vs)
+		}
+		var quality *verdict
+		for i := range vs {
+			if vs[i].unit == "cycles_portfolio" {
+				quality = &vs[i]
+			}
+		}
+		if quality == nil {
+			t.Fatalf("%s: no cycles_portfolio verdict in %+v", tc.label, vs)
+		}
+		if quality.regressed != tc.regressed {
+			t.Errorf("%s: quality regressed = %v (delta %+.4f%%, p=%.3f), want %v",
+				tc.label, quality.regressed, quality.delta*100, quality.p, tc.regressed)
+		}
 	}
 }

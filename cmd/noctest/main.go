@@ -524,11 +524,21 @@ func runGrid(ctx context.Context, c config) error {
 }
 
 // runBenchJSON measures the portfolio on each benchmark and writes the
-// machine-readable perf trajectory.
+// machine-readable perf trajectory. With -lanes > 0 the trajectory
+// carries both configurations — the laneless quality path and the
+// lane-extended portfolio — as separate records distinguished by each
+// record's "lanes" key, so one regeneration refreshes the whole file.
 func runBenchJSON(ctx context.Context, c config) error {
-	bench, err := report.RunScheduleBench(ctx, c.gridBenchmarks(), c.seed, c.workers, c.lanes)
+	bench, err := report.RunScheduleBench(ctx, c.gridBenchmarks(), c.seed, c.workers, 0)
 	if err != nil {
 		return err
+	}
+	if c.lanes > 0 {
+		laneBench, err := report.RunScheduleBench(ctx, c.gridBenchmarks(), c.seed, c.workers, c.lanes)
+		if err != nil {
+			return err
+		}
+		bench.Records = append(bench.Records, laneBench.Records...)
 	}
 	// Refreshing an existing trajectory preserves the hand-maintained
 	// baseline blocks (and any other keys the generator does not own).

@@ -130,3 +130,26 @@ func (mc *modelCache) Len() int {
 	defer mc.mu.Unlock()
 	return mc.ll.Len()
 }
+
+// SearchStats sums the kernel search telemetry of every ready cached
+// model — orders scored, delta hits, fallback reasons, lane activity —
+// without blocking on in-flight compiles: an entry still compiling is
+// skipped. The second result is the number of models aggregated.
+func (mc *modelCache) SearchStats() (core.SearchStats, int) {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	var agg core.SearchStats
+	models := 0
+	for el := mc.ll.Front(); el != nil; el = el.Next() {
+		ent := el.Value.(*cacheEntry)
+		select {
+		case <-ent.ready:
+			if ent.err == nil && ent.model != nil {
+				agg.Add(ent.model.SearchStats())
+				models++
+			}
+		default: // still compiling: skip rather than stall /stats
+		}
+	}
+	return agg, models
+}

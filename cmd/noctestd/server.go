@@ -877,6 +877,24 @@ type statsResponse struct {
 		Spec   string                 `json:"spec"`
 		Points map[string]fault.Count `json:"points,omitempty"`
 	} `json:"faults"`
+	Search struct {
+		// Models is how many ready cached models the counters below
+		// aggregate over; in-flight compiles are skipped, so the numbers
+		// lag an active compile but never block the endpoint.
+		Models        int     `json:"models"`
+		Orders        uint64  `json:"orders"`
+		Placed        uint64  `json:"placed"`
+		Replayed      uint64  `json:"replayed"`
+		Pruned        uint64  `json:"pruned"`
+		DeltaHits     uint64  `json:"delta_hits"`
+		DeltaAdjacent uint64  `json:"delta_adjacent"`
+		DeltaHitRate  float64 `json:"delta_hit_rate"`
+		// Fallbacks mirrors BENCH_schedule.json's delta_fallbacks keys:
+		// why delta-eligible moves fell back to suffix replay.
+		Fallbacks        map[string]uint64 `json:"delta_fallbacks"`
+		LaneMigrations   uint64            `json:"lane_migrations"`
+		LaneImprovements uint64            `json:"lane_improvements"`
+	} `json:"search"`
 }
 
 func (s *server) stats() statsResponse {
@@ -915,6 +933,26 @@ func (s *server) stats() statsResponse {
 	st.Robustness.StrategyPanics = s.strategyPanics.Load()
 	st.Faults.Spec = s.cfg.faults.String()
 	st.Faults.Points = s.cfg.faults.Counts()
+	search, models := s.cache.SearchStats()
+	st.Search.Models = models
+	st.Search.Orders = search.Orders
+	st.Search.Placed = search.Placed
+	st.Search.Replayed = search.Replayed
+	st.Search.Pruned = search.Pruned
+	st.Search.DeltaHits = search.DeltaHits
+	st.Search.DeltaAdjacent = search.DeltaAdjacent
+	if search.Orders > 0 {
+		st.Search.DeltaHitRate = float64(search.DeltaHits) / float64(search.Orders)
+	}
+	st.Search.Fallbacks = map[string]uint64{
+		"frontier_mismatch":    search.FallbackFrontier,
+		"reservation_mismatch": search.FallbackReservation,
+		"span_overlap":         search.FallbackOverlap,
+		"no_suffix":            search.FallbackNoSuffix,
+		"adjacent_rule":        search.FallbackAdjacent,
+	}
+	st.Search.LaneMigrations = search.LaneMigrations
+	st.Search.LaneImprovements = search.LaneImprovements
 	return st
 }
 

@@ -335,3 +335,32 @@ func TestCacheKeyCoversOptions(t *testing.T) {
 		t.Error("different upload bytes share a key")
 	}
 }
+
+// TestStatsSearchCounters pins the /stats search section: after a
+// schedule request the ready cached model's kernel telemetry — orders
+// scored, the delta-hit rate and the fallback taxonomy — is aggregated
+// and exported, matching the counter names BENCH_schedule.json uses.
+func TestStatsSearchCounters(t *testing.T) {
+	s := newServer(serverConfig{})
+	if resp := decodeSchedule(t, post(s, "search=quick", benchBody(t, "d695"))); resp.Makespan <= 0 {
+		t.Fatalf("schedule makespan = %d, want positive", resp.Makespan)
+	}
+	st := s.stats()
+	if st.Search.Models < 1 {
+		t.Fatalf("search.models = %d, want >= 1", st.Search.Models)
+	}
+	if st.Search.Orders == 0 {
+		t.Error("search.orders = 0 after a schedule request")
+	}
+	if st.Search.Placed == 0 {
+		t.Error("search.placed = 0 after a schedule request")
+	}
+	if st.Search.DeltaHitRate < 0 || st.Search.DeltaHitRate > 1 {
+		t.Errorf("search.delta_hit_rate = %v, want within [0, 1]", st.Search.DeltaHitRate)
+	}
+	for _, key := range []string{"frontier_mismatch", "reservation_mismatch", "span_overlap", "no_suffix", "adjacent_rule"} {
+		if _, ok := st.Search.Fallbacks[key]; !ok {
+			t.Errorf("search.delta_fallbacks missing key %q", key)
+		}
+	}
+}

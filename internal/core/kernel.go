@@ -11,13 +11,15 @@ import (
 // Evaluator is the incremental search kernel: it scores a stream of
 // related core orders against one model, replaying only the suffix
 // that differs from the previously evaluated order. After every
-// placement it checkpoints the cheap pass state — interface frontiers
-// and the running makespan — and journals the committed reservations
-// (link spans, power-profile edits, and the placement records
-// themselves), so rewinding to position k costs one frontier copy plus
-// popping the journals. The power journal restores the profile's
-// arrays bitwise (see power.Journal), which is what keeps incremental
-// results exactly equal to full replays, float rounding included.
+// placement it checkpoints the pass state — interface frontiers, the
+// running makespan, and a snapshot of the power profile's arrays — and
+// journals the committed reservations (link spans and the placement
+// records themselves), so rewinding to position k costs one frontier
+// copy, one profile-array copy, and popping the journals. Restoring
+// the profile from a snapshot is bitwise (the arrays are copied
+// verbatim), which is what keeps incremental results exactly equal to
+// full replays, float rounding included — and it costs the same
+// whether one position is undone or thirty.
 //
 // On top of suffix replay the kernel carries a true delta-evaluation
 // path for the window moves local search lives on: when a move changes
@@ -58,13 +60,16 @@ type Evaluator struct {
 	// discipline.
 	ref   []int
 	valid int
-	cps   []checkpoint
+	cps   []*checkpoint
 	undo  evalUndo
 	marks []evalMark
 
 	// delta gates the delta-evaluation fast-forward; the differential
 	// oracle disables it to build its forced-suffix-replay arm.
 	delta bool
+	// trusted skips per-call permutation validation; see
+	// SetTrustedOrders.
+	trusted bool
 	// refRes snapshots the reference's window+suffix reservation
 	// records before a delta attempt's rewind discards them; refWinLen
 	// is the number of entries belonging to the changed window, and
@@ -75,8 +80,10 @@ type Evaluator struct {
 	refMarks  []evalMark
 	// refCps holds reference checkpoints displaced by a delta-eligible
 	// candidate's captures: captureAt swaps the old checkpoint out
-	// instead of overwriting it, so restoreRef can swap it back.
-	refCps []checkpoint
+	// instead of overwriting it — a pointer swap, since checkpoints now
+	// carry profile snapshots and copying them by value would be a
+	// 100-byte duffcopy per capture — so restoreRef can swap it back.
+	refCps []*checkpoint
 	// resOff/resPos are generation-tagged per-core lookups used by the
 	// delta match: the core's group offset in refRes and its reference
 	// position in the window.
@@ -96,30 +103,32 @@ type Evaluator struct {
 	seenGen int
 }
 
-// checkpoint is the cheap pass state before placing one position. The
-// power profile is deliberately absent: profile history lives in the
-// undo journal, which restores it bitwise at any depth.
+// checkpoint is the pass state before placing one position: the
+// running makespan, the interface frontiers, and a verbatim snapshot
+// of the power profile's segment arrays. The snapshot is what makes
+// rewinding O(profile size) regardless of how many reservations are
+// being undone — and what lets the delta paths install a proven-equal
+// profile state with one copy instead of re-summing a suffix.
 type checkpoint struct {
-	makespan  int
-	free      []int
-	activated []int
-	active    []bool
+	makespan int
+	fr       []frontier
+	prof     power.ProfileSnapshot
 }
 
 // evalMark records the undo-journal lengths before one position was
 // placed.
 type evalMark struct {
-	links, res, prof int
+	links, res int
 }
 
 // evalUndo aggregates the kernel's undo journals: the link reservations
-// (popped LIFO per link), the power-profile edit journal, and the
-// reservation records themselves — one per committed segment, carrying
-// enough to re-commit the placement without rediscovering it.
+// (popped LIFO per link) and the reservation records themselves — one
+// per committed segment, carrying enough to re-commit the placement
+// without rediscovering it. The power profile needs no journal: every
+// checkpoint snapshots it, and rewinds restore the snapshot.
 type evalUndo struct {
 	links []noc.LinkID
 	res   []resRec
-	prof  power.Journal
 }
 
 // resRec is one committed segment reservation: which core, on which
@@ -137,8 +146,8 @@ func (m *Model) NewEvaluator(v Variant) *Evaluator {
 		v:      v,
 		s:      m.pool.Get().(*scratch),
 		ref:    make([]int, 0, len(m.cores)),
-		cps:    make([]checkpoint, len(m.cores)+1),
-		refCps: make([]checkpoint, len(m.cores)+1),
+		cps:    make([]*checkpoint, len(m.cores)+1),
+		refCps: make([]*checkpoint, len(m.cores)+1),
 		marks:  make([]evalMark, len(m.cores)+1),
 		delta:  true,
 		resOff: make([]int, len(m.cores)),
@@ -146,9 +155,12 @@ func (m *Model) NewEvaluator(v Variant) *Evaluator {
 		resGen: make([]int, len(m.cores)),
 		seen:   make([]int, len(m.cores)),
 	}
+	for i := range e.cps {
+		e.cps[i] = &checkpoint{}
+		e.refCps[i] = &checkpoint{}
+	}
 	e.s.reset(m)
-	e.undo.prof.Reset()
-	e.capture(&e.cps[0], 0)
+	e.capture(e.cps[0], 0)
 	return e
 }
 
@@ -167,6 +179,14 @@ func (e *Evaluator) Close() {
 // changes results, only how they are computed.
 func (e *Evaluator) SetDeltaEnabled(on bool) { e.delta = on }
 
+// SetTrustedOrders disables per-call permutation validation. The
+// package's own search chains mutate a validated base permutation by
+// swaps and shuffles, so every order they pass is a permutation by
+// construction and the O(n) check per move is pure overhead; external
+// callers should leave validation on — a non-permutation order then
+// errors instead of corrupting the evaluator.
+func (e *Evaluator) SetTrustedOrders(on bool) { e.trusted = on }
+
 // captureAt checkpoints the scratch at position pos. While a
 // delta-eligible candidate is being replayed (preserve=true) the
 // reference's checkpoint is swapped aside into refCps first instead of
@@ -177,22 +197,22 @@ func (e *Evaluator) captureAt(pos, makespan int, preserve bool) {
 	if preserve {
 		e.cps[pos], e.refCps[pos] = e.refCps[pos], e.cps[pos]
 	}
-	e.capture(&e.cps[pos], makespan)
+	e.capture(e.cps[pos], makespan)
 }
 
-// capture snapshots the scratch frontiers into cp, reusing cp's backing
-// arrays.
+// capture snapshots the scratch frontiers and the power profile into
+// cp, reusing cp's backing arrays.
 func (e *Evaluator) capture(cp *checkpoint, makespan int) {
 	cp.makespan = makespan
-	cp.free = append(cp.free[:0], e.s.free...)
-	cp.activated = append(cp.activated[:0], e.s.activated...)
-	cp.active = append(cp.active[:0], e.s.active...)
+	cp.fr = append(cp.fr[:0], e.s.fr...)
+	e.s.profile.Snapshot(&cp.prof)
 }
 
 // rewind restores the scratch to the checkpoint before position k: the
-// journalled reservations of positions k..valid-1 are popped in reverse
-// commit order (links with per-link LIFO discipline, the power profile
-// bitwise via its journal), then the interface frontiers are copied
+// journalled link reservations of positions k..valid-1 are popped in
+// reverse commit order (per-link LIFO discipline), the power profile is
+// restored bitwise from checkpoint k's snapshot — one array copy, no
+// matter how deep the rewind — and the interface frontiers are copied
 // back from cps[k].
 func (e *Evaluator) rewind(k int) int {
 	mk := e.marks[k]
@@ -201,11 +221,9 @@ func (e *Evaluator) rewind(k int) int {
 	}
 	e.undo.links = e.undo.links[:mk.links]
 	e.undo.res = e.undo.res[:mk.res]
-	e.undo.prof.Undo(e.s.profile, mk.prof)
-	cp := &e.cps[k]
-	copy(e.s.free, cp.free)
-	copy(e.s.activated, cp.activated)
-	copy(e.s.active, cp.active)
+	cp := e.cps[k]
+	e.s.profile.Restore(&cp.prof)
+	copy(e.s.fr, cp.fr)
 	e.valid = k
 	return cp.makespan
 }
@@ -259,8 +277,10 @@ func (e *Evaluator) checkPermutation(order []int) error {
 // far is retained, so infeasible neighbours cost only their divergent
 // suffix too.
 func (e *Evaluator) Evaluate(ctx context.Context, order []int, bound int) (ms int, pruned bool, err error) {
-	if err := e.checkPermutation(order); err != nil {
-		return 0, false, err
+	if !e.trusted {
+		if err := e.checkPermutation(order); err != nil {
+			return 0, false, err
+		}
 	}
 	if bound <= 0 {
 		bound = noBound
@@ -277,20 +297,79 @@ func (e *Evaluator) Evaluate(ctx context.Context, order []int, bound int) (ms in
 	// against and to restore from: a candidate the bound rejects is
 	// rolled back so the evaluator keeps holding the fully committed
 	// reference, which keeps the whole move stream delta-eligible
-	// instead of only the first move after an acceptance. Two
-	// permutations cannot differ in exactly one position, so k < n-2 is
-	// the tightest useful gate.
+	// instead of only the first move after an acceptance.
+	//
+	// Before the windowed path, three answers that need no replay at
+	// all: a no-op order is read off the final checkpoint; a prefix
+	// that already crosses the bound is answered from the (monotone)
+	// prefix checkpoints without even rewinding; and an adjacent
+	// transposition is tried against the O(1) adjacent-swap rule,
+	// which proves from the reference journal alone that the swapped
+	// order reproduces the identical schedule. All three leave the
+	// committed reference untouched on the pruned/no-op outcomes, so
+	// the move stream stays delta-eligible move after move.
 	deltaJ, deltaK := -1, -1
-	if e.delta && e.valid == len(order) && k < len(order)-2 {
-		j := len(order) - 1
+	n := len(order)
+	if e.delta && e.valid == n {
+		if k == n {
+			// No-op: order is bitwise the committed reference.
+			e.m.stats.deltaHits.Add(1)
+			e.m.stats.deltaAdjacent.Add(1)
+			final := e.cps[n].makespan
+			if final <= bound {
+				return final, false, nil
+			}
+			lo, hi := 1, n
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if e.cps[mid].makespan > bound {
+					hi = mid
+				} else {
+					lo = mid + 1
+				}
+			}
+			e.m.stats.pruned.Add(1)
+			return e.cps[lo].makespan, true, nil
+		}
+		if e.cps[k].makespan > bound {
+			// The reused prefix alone crosses the bound: answer from
+			// the checkpoints and keep the reference fully committed.
+			lo, hi := 1, k
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if e.cps[mid].makespan > bound {
+					hi = mid
+				} else {
+					lo = mid + 1
+				}
+			}
+			e.m.stats.pruned.Add(1)
+			return e.cps[lo].makespan, true, nil
+		}
+		j := n - 1
 		for j > k && order[j] == e.ref[j] {
 			j--
 		}
-		if j < len(order)-1 {
+		if j == k+1 && order[k] == e.ref[k+1] && order[k+1] == e.ref[k] {
+			// Adjacent transposition (an order differing in exactly two
+			// positions always is one): try the O(1) rule. It works with
+			// an empty suffix too, which is what recovers the lane
+			// regime's tail swaps for the delta path.
+			if ms, pruned, ok := e.adjacentSwap(order, k, bound); ok {
+				return ms, pruned, nil
+			}
+			e.m.stats.fbAdjacent.Add(1)
+		}
+		switch {
+		case j < n-1:
 			deltaJ, deltaK = j, k
 			e.refRes = append(e.refRes[:0], e.undo.res[e.marks[k].res:]...)
 			e.refWinLen = e.marks[j+1].res - e.marks[k].res
-			e.refMarks = append(e.refMarks[:0], e.marks[k+1:len(order)+1]...)
+			e.refMarks = append(e.refMarks[:0], e.marks[k+1:n+1]...)
+		default:
+			// The move touches the last position: no suffix exists to
+			// splice, so only the adjacent rule could have resolved it.
+			e.m.stats.fbNoSuffix.Add(1)
 		}
 	}
 
@@ -323,7 +402,7 @@ func (e *Evaluator) Evaluate(ctx context.Context, order []int, bound int) (ms in
 			e.commitPrefix(order, i)
 			return 0, false, err
 		}
-		e.marks[i+1] = evalMark{links: len(e.undo.links), res: len(e.undo.res), prof: e.undo.prof.Mark()}
+		e.marks[i+1] = evalMark{links: len(e.undo.links), res: len(e.undo.res)}
 		if end > makespan {
 			makespan = end
 		}
@@ -340,12 +419,15 @@ func (e *Evaluator) Evaluate(ctx context.Context, order []int, bound int) (ms in
 		if makespan > bound {
 			e.m.stats.pruned.Add(1)
 			e.m.stats.placed.Add(uint64(i + 1 - k))
-			if deltaK >= 0 && i+1 < len(order) {
+			if deltaK >= 0 {
 				// A delta-eligible candidate the bound rejected: roll it
 				// back and re-commit the reference from the saved journal
 				// (the reference's suffix checkpoints are still intact),
-				// so the next window move is delta-eligible too. The
-				// returned partial makespan is already exact. Crossing
+				// so the next window move is delta-eligible too — crucially
+				// including a crossing at the very last position, where
+				// committing the rejected candidate would leave a partial
+				// reference and force the next move into a full replay.
+				// The returned partial makespan is already exact. Crossing
 				// inside the window never replayed the suffix at all.
 				e.restoreRef(deltaK, i)
 				if deltaJ >= 0 {
@@ -374,25 +456,31 @@ func (e *Evaluator) Evaluate(ctx context.Context, order []int, bound int) (ms in
 //  2. Every window core committed the identical reservations it held in
 //     the reference pass — same interface, same segment spans — so the
 //     resource state is the same set of reservations.
-//  3. No two window reservations that changed relative commit order
-//     overlap in time. Overlapping reservations sum into the same
-//     profile segments, and float addition is order-sensitive; spans
-//     that do not overlap never touch the same segment, so the
-//     profile's load arrays are bitwise identical too, and the suffix's
-//     feasibility decisions cannot diverge even by an ulp.
+//  3. The profile's load arrays are bitwise identical. With exact
+//     power arithmetic (Model.exactDraws) this follows from check 2
+//     alone: the same reservation set sums to the same integral loads
+//     in any order. Otherwise no two window reservations that changed
+//     relative commit order may overlap in time — overlapping
+//     reservations sum into the same profile segments, and float
+//     addition is order-sensitive; spans that do not overlap never
+//     touch the same segment, so the suffix's feasibility decisions
+//     cannot diverge even by an ulp.
 func (e *Evaluator) deltaMatch(order []int, k, j, makespan int) bool {
-	cp := &e.cps[j+1]
+	cp := e.cps[j+1]
 	if makespan != cp.makespan {
+		e.m.stats.fbFrontier.Add(1)
 		return false
 	}
-	for i := range e.s.free {
-		if e.s.free[i] != cp.free[i] || e.s.activated[i] != cp.activated[i] || e.s.active[i] != cp.active[i] {
+	for i := range e.s.fr {
+		if e.s.fr[i] != cp.fr[i] {
+			e.m.stats.fbFrontier.Add(1)
 			return false
 		}
 	}
 
 	newRes := e.undo.res[e.marks[k].res:]
 	if len(newRes) != e.refWinLen {
+		e.m.stats.fbReservation.Add(1)
 		return false
 	}
 	// Per-core identity: each window core's contiguous reservation
@@ -411,26 +499,33 @@ func (e *Evaluator) deltaMatch(order []int, k, j, makespan int) bool {
 	for off := 0; off < len(newRes); {
 		c := newRes[off].core
 		if e.resGen[c] != e.resCtr {
+			e.m.stats.fbReservation.Add(1)
 			return false
 		}
 		ro := e.resOff[c]
 		for off < len(newRes) && newRes[off].core == c {
 			if ro >= e.refWinLen || e.refRes[ro] != newRes[off] {
+				e.m.stats.fbReservation.Add(1)
 				return false
 			}
 			ro++
 			off++
 		}
 		if ro < e.refWinLen && e.refRes[ro].core == c {
+			e.m.stats.fbReservation.Add(1)
 			return false // reference group is longer than the new one
 		}
 	}
 
-	// Reordered pairs must be span-disjoint. Window positions p < q in
-	// the new order whose cores sat in the opposite order in the
-	// reference commit their reservations in swapped sequence; if any
-	// of their spans overlap, the profile sums could differ in rounding
-	// and the proof above would not cover the suffix.
+	// Reordered pairs must be span-disjoint unless power arithmetic is
+	// exact. Window positions p < q in the new order whose cores sat in
+	// the opposite order in the reference commit their reservations in
+	// swapped sequence; if any of their spans overlap, the profile sums
+	// could differ in rounding and the proof above would not cover the
+	// suffix.
+	if e.m.exactDraws {
+		return true
+	}
 	for q := k; q <= j; q++ {
 		e.resPos[e.ref[q]] = q
 	}
@@ -439,6 +534,7 @@ func (e *Evaluator) deltaMatch(order []int, k, j, makespan int) bool {
 		for q := p + 1; q <= j; q++ {
 			b := order[q]
 			if e.resPos[a] > e.resPos[b] && e.groupsOverlap(a, b) {
+				e.m.stats.fbOverlap.Add(1)
 				return false
 			}
 		}
@@ -460,19 +556,267 @@ func (e *Evaluator) groupsOverlap(a, b int) bool {
 	return false
 }
 
-// fastForward re-commits the reference suffix after a successful delta
-// match: positions j+1 onward are replayed straight from the saved
-// reservation log — link spans re-added, profile edits re-journaled, no
-// interface rescans — and the frontiers restored from the (still valid)
-// reference checkpoints. When the reference's monotone checkpoint
-// makespans cross the bound inside the suffix, the fast-forward stops
-// at the crossing exactly like a replay would, reporting the same
-// partial makespan with the same committed prefix.
+// adjacentSwap resolves an adjacent transposition of reference
+// positions k and k+1 in O(interfaces + segments), with no replay and
+// no rescans, by proving from the reference journal that the swapped
+// order commits the identical schedule. With a = ref[k], b = ref[k+1],
+// the proof obligations are:
+//
+//   - a and b sit on different interfaces, and commit order cannot
+//     change the resource state even by an ulp: either the model's
+//     power arithmetic is exact (integral draws — profile sums are
+//     order-invariant, and the reference pass already certified the
+//     two chains' coexistence on every shared segment and link), or
+//     every a-span is time-disjoint from every b-span so the two
+//     chains never touch the same profile segment at all.
+//   - b's interface is already active at checkpoint k and is not
+//     activated or fronted by a, so b sees the same frontier placed
+//     first as it did placed second.
+//   - b's reference chain is tight — first segment on its frontier,
+//     segments back-to-back — so it sits on its absolute lower bound
+//     and removing a's reservations cannot let it start earlier.
+//   - No other interface's frontier lower bound at checkpoint k can
+//     beat b's placement key under the (key, index) tie-break, so b's
+//     interface choice is stable placed first.
+//   - Placed second, a's only new competitor is b's newly activated
+//     processor interface; its lower bound must lose to a's reference
+//     key too. Every other interface only looks worse (b's frontier
+//     moved later, b's reservations added), and a's own chain
+//     reproduces because the candidate's feasible sets are subsets of
+//     the reference's that still contain a's (greedy-minimal) chain.
+//
+// When every obligation holds the swapped order provably reproduces
+// the reference state at k+2 and the identical suffix, so the result
+// is read off the reference checkpoints: the only running makespans
+// that differ are at positions k and k+1, and they are recomputed
+// from the chain ends for the bound-crossing search. A pruned verdict
+// returns without touching any state (the reference stays committed);
+// an accepted one re-commits the journal tail in the swapped order via
+// commitAdjacent. Any failed obligation reports ok=false and the move
+// falls back to the windowed delta or plain suffix replay.
+func (e *Evaluator) adjacentSwap(order []int, k, bound int) (ms int, pruned, ok bool) {
+	n := len(order)
+	a, b := e.ref[k], e.ref[k+1]
+	aRecs := e.undo.res[e.marks[k].res:e.marks[k+1].res]
+	bRecs := e.undo.res[e.marks[k+1].res:e.marks[k+2].res]
+	if len(aRecs) == 0 || len(bRecs) == 0 {
+		return 0, false, false
+	}
+	ifA, ifB := aRecs[0].iface, bRecs[0].iface
+	cpK := e.cps[k]
+	sibB := e.m.selfIface[b]
+	if ifA == ifB || !cpK.fr[ifB].active || sibB == ifA {
+		return 0, false, false
+	}
+	if !e.m.exactDraws {
+		// Inexact power arithmetic: only span-disjoint chains are safe
+		// to reorder, because overlapping spans sum into the same
+		// profile segments and float addition is order-sensitive.
+		for i := range aRecs {
+			for q := range bRecs {
+				if aRecs[i].start < bRecs[q].end && bRecs[q].start < aRecs[i].end {
+					return 0, false, false
+				}
+			}
+		}
+	}
+	fromB := cpK.fr[ifB].free
+	if cpK.fr[ifB].activated > fromB {
+		fromB = cpK.fr[ifB].activated
+	}
+	if bRecs[0].start != fromB {
+		return 0, false, false
+	}
+	for i := 1; i < len(bRecs); i++ {
+		if bRecs[i].start != bRecs[i-1].end {
+			return 0, false, false
+		}
+	}
+	endB := bRecs[len(bRecs)-1].end
+	keyB := bRecs[0].start
+	if e.v == LookaheadFastestFinish {
+		keyB = endB
+	}
+	for ii, d := range e.m.scanDur[b] {
+		f := &cpK.fr[ii]
+		if d < 0 || ii == ifB || !f.active {
+			continue
+		}
+		from := f.free
+		if f.activated > from {
+			from = f.activated
+		}
+		lower := from
+		if e.v == LookaheadFastestFinish {
+			lower += d
+		}
+		if lower < keyB || (lower == keyB && ii < ifB) {
+			return 0, false, false
+		}
+	}
+	endA := aRecs[len(aRecs)-1].end
+	keyA := aRecs[0].start
+	if e.v == LookaheadFastestFinish {
+		keyA = endA
+	}
+	if sibB >= 0 {
+		if d := e.m.scanDur[a][sibB]; d >= 0 {
+			lower := endB
+			if e.v == LookaheadFastestFinish {
+				lower += d
+			}
+			if lower < keyA || (lower == keyA && sibB < ifA) {
+				return 0, false, false
+			}
+		}
+	}
+
+	// Proven: the swap is a schedule no-op. Candidate running makespans
+	// are the reference checkpoints' except at k (after placing b) and
+	// k+1 (after placing a, which equals checkpoint k+2's).
+	mK := cpK.makespan
+	if endB > mK {
+		mK = endB
+	}
+	final := e.cps[n].makespan
+	ms = final
+	if final > bound {
+		pruned = true
+		switch {
+		case mK > bound:
+			ms = mK
+		case e.cps[k+2].makespan > bound:
+			ms = e.cps[k+2].makespan
+		default:
+			lo, hi := k+3, n
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if e.cps[mid].makespan > bound {
+					hi = mid
+				} else {
+					lo = mid + 1
+				}
+			}
+			ms = e.cps[lo].makespan
+		}
+	}
+	e.m.stats.deltaHits.Add(1)
+	e.m.stats.deltaAdjacent.Add(1)
+	e.m.stats.replayed.Add(uint64(n - k))
+	if pruned {
+		// Rejected by the bound: leave the committed reference exactly
+		// as it was, so the next move is still delta-eligible.
+		e.m.stats.pruned.Add(1)
+		return ms, true, true
+	}
+	e.commitAdjacent(order, k, endB, sibB, ifB)
+	return ms, false, true
+}
+
+// commitAdjacent makes the swapped order the committed reference after
+// a successful adjacentSwap. The physical schedule is unchanged, but
+// the journals must reflect the new commit order, so the tail is saved,
+// rewound to k, and re-committed verbatim with b's chain first: the
+// reordered chains commit the identical reservation set, so the profile
+// state stays bitwise identical (span-disjoint chains never touch the
+// same segment; overlapping ones are only reordered under exact power
+// arithmetic, where sums are order-invariant). Every journal records a
+// fixed count of entries per reservation regardless of commit order —
+// one resRec per segment, one link entry per link — so the per-position
+// journal counts, and therefore marks[k+2..n], are preserved, and the
+// suffix checkpoints' profile snapshots stay valid. Only checkpoint k+1
+// and marks[k+1] describe genuinely different intermediate state: b's
+// chain is re-summed onto checkpoint k's profile (recommit) to build
+// its snapshot, while a's chain and the suffix re-enter the journals
+// without profile work (recommitRes) and the final profile is installed
+// from checkpoint n's snapshot, bitwise equal to the re-summed state.
+func (e *Evaluator) commitAdjacent(order []int, k, endB, sibB, ifB int) {
+	n := len(order)
+	aLen := e.marks[k+1].res - e.marks[k].res
+	bLen := e.marks[k+2].res - e.marks[k+1].res
+	e.refRes = append(e.refRes[:0], e.undo.res[e.marks[k].res:]...)
+	e.rewind(k)
+	e.recommit(e.refRes[aLen : aLen+bLen])
+	e.marks[k+1] = evalMark{links: len(e.undo.links), res: len(e.undo.res)}
+
+	prev := e.cps[k]
+	mK := prev.makespan
+	if endB > mK {
+		mK = endB
+	}
+	cp := e.cps[k+1]
+	cp.makespan = mK
+	cp.fr = append(cp.fr[:0], prev.fr...)
+	cp.fr[ifB].free = endB
+	if sibB >= 0 {
+		cp.fr[sibB].active = true
+		cp.fr[sibB].activated = endB
+	}
+	e.s.profile.Snapshot(&cp.prof)
+
+	e.recommitRes(e.refRes[:aLen])
+	e.recommitRes(e.refRes[aLen+bLen:])
+
+	fin := e.cps[n]
+	copy(e.s.fr, fin.fr)
+	e.s.profile.Restore(&fin.prof)
+	e.commitPrefix(order, n)
+}
+
+// recommit replays saved reservation records straight into the journals
+// and the power profile — link spans re-added, loads re-summed with the
+// exact arithmetic of a fresh placement, no rescans.
+func (e *Evaluator) recommit(recs []resRec) {
+	for idx := range recs {
+		r := recs[idx]
+		c := &e.m.cands[r.core][r.iface]
+		for _, id := range c.links {
+			e.s.lines.Add(id, noc.Span{Start: r.start, End: r.end})
+			e.undo.links = append(e.undo.links, id)
+		}
+		e.s.profile.Add(r.start, r.end, c.draw)
+		e.undo.res = append(e.undo.res, r)
+	}
+}
+
+// recommitRes is recommit without the profile work, for callers that
+// install the final profile state from a checkpoint snapshot instead of
+// re-summing it: only the link spans and reservation records re-enter
+// the journals.
+func (e *Evaluator) recommitRes(recs []resRec) {
+	for idx := range recs {
+		r := recs[idx]
+		c := &e.m.cands[r.core][r.iface]
+		for _, id := range c.links {
+			e.s.lines.Add(id, noc.Span{Start: r.start, End: r.end})
+			e.undo.links = append(e.undo.links, id)
+		}
+		e.undo.res = append(e.undo.res, r)
+	}
+}
+
+// fastForward finishes a successful delta match. An accepted candidate
+// re-commits the reference suffix straight from the saved reservation
+// log — link spans re-added, no interface rescans — and restores the
+// frontiers and the power profile from the (still valid) reference
+// checkpoint at n: the match proved the candidate's window reproduced
+// the reference's profile state bitwise, so the reference's final
+// snapshot IS the candidate's final profile, installed with one copy
+// instead of re-summing the suffix. The candidate is left fully
+// committed so the next window move is delta-eligible. When the reference's monotone checkpoint
+// makespans cross the bound inside the suffix the candidate is rejected
+// anyway, so instead of committing it — which would make the caller's
+// swap-back the next divergence and poison the following move's match —
+// the replayed window is rolled back and the reference re-committed:
+// the evaluator keeps holding the caller's current order, and the
+// reported makespan is still the crossing checkpoint's, exactly what a
+// replay would report.
 func (e *Evaluator) fastForward(order []int, k, j, bound int) (int, bool, error) {
 	n := len(order)
 	final := e.cps[n].makespan
-	last := n
-	pruned := false
+	e.m.stats.placed.Add(uint64(j + 1 - k))
+	e.m.stats.replayed.Add(uint64(n - (j + 1)))
+	e.m.stats.deltaHits.Add(1)
 	if final > bound {
 		lo, hi := j+2, n
 		for lo < hi {
@@ -483,40 +827,17 @@ func (e *Evaluator) fastForward(order []int, k, j, bound int) (int, bool, error)
 				lo = mid + 1
 			}
 		}
-		last = lo
-		final = e.cps[lo].makespan
-		pruned = true
+		e.restoreRef(k, j)
+		e.m.stats.pruned.Add(1)
+		return e.cps[lo].makespan, true, nil
 	}
 
-	endOff := len(e.refRes)
-	if last < n {
-		endOff = e.marks[last].res - e.marks[k].res
-	}
-	for idx := e.refWinLen; idx < endOff; idx++ {
-		r := e.refRes[idx]
-		c := &e.m.cands[r.core][r.iface]
-		for _, id := range c.links {
-			e.s.lines.Add(id, noc.Span{Start: r.start, End: r.end})
-			e.undo.links = append(e.undo.links, id)
-		}
-		e.s.profile.AddJournaled(r.start, r.end, c.draw, &e.undo.prof)
-		e.undo.res = append(e.undo.res, r)
-	}
-	// The per-position journal counts of the re-committed suffix equal
-	// the reference's, so marks[j+2..last] are still correct without
-	// being rewritten; the frontier state is the stopping checkpoint's.
-	cp := &e.cps[last]
-	copy(e.s.free, cp.free)
-	copy(e.s.activated, cp.activated)
-	copy(e.s.active, cp.active)
-	e.commitPrefix(order, last)
-	e.m.stats.placed.Add(uint64(j + 1 - k))
-	e.m.stats.replayed.Add(uint64(last - (j + 1)))
-	e.m.stats.deltaHits.Add(1)
-	if pruned {
-		e.m.stats.pruned.Add(1)
-	}
-	return final, pruned, nil
+	e.recommitRes(e.refRes[e.refWinLen:])
+	cp := e.cps[n]
+	copy(e.s.fr, cp.fr)
+	e.s.profile.Restore(&cp.prof)
+	e.commitPrefix(order, n)
+	return final, false, nil
 }
 
 // restoreRef rebuilds the fully committed reference after a
@@ -524,12 +845,12 @@ func (e *Evaluator) fastForward(order []int, k, j, bound int) (int, bool, error)
 // candidate's journalled reservations are popped back to the window
 // start and the reference's tail re-committed verbatim from the saved
 // reservation log, its journal marks copied back, and its frontiers
-// restored from the final checkpoint. Every piece is exact (the power
-// journal restores bitwise, the re-commit replays the identical edits
-// in the identical order), so the evaluator is indistinguishable from
-// one that never saw the candidate. hi is the last position whose
-// checkpoint the candidate's captures displaced into refCps; those are
-// swapped back in.
+// and power profile restored from the final checkpoint — the profile
+// with one snapshot copy, bitwise the state the reference held, no
+// re-summing. The evaluator is indistinguishable from one that never
+// saw the candidate. hi is the last position whose checkpoint the
+// candidate's captures displaced into refCps; those are swapped back
+// in.
 func (e *Evaluator) restoreRef(k, hi int) {
 	n := len(e.ref)
 	for p := k + 1; p <= hi; p++ {
@@ -541,22 +862,11 @@ func (e *Evaluator) restoreRef(k, hi int) {
 	}
 	e.undo.links = e.undo.links[:mk.links]
 	e.undo.res = e.undo.res[:mk.res]
-	e.undo.prof.Undo(e.s.profile, mk.prof)
-	for idx := range e.refRes {
-		r := &e.refRes[idx]
-		c := &e.m.cands[r.core][r.iface]
-		for _, id := range c.links {
-			e.s.lines.Add(id, noc.Span{Start: r.start, End: r.end})
-			e.undo.links = append(e.undo.links, id)
-		}
-		e.s.profile.AddJournaled(r.start, r.end, c.draw, &e.undo.prof)
-		e.undo.res = append(e.undo.res, *r)
-	}
+	e.recommitRes(e.refRes)
 	copy(e.marks[k+1:n+1], e.refMarks)
-	cp := &e.cps[n]
-	copy(e.s.free, cp.free)
-	copy(e.s.activated, cp.activated)
-	copy(e.s.active, cp.active)
+	cp := e.cps[n]
+	copy(e.s.fr, cp.fr)
+	e.s.profile.Restore(&cp.prof)
 	e.valid = n
 }
 

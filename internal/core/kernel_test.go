@@ -422,3 +422,62 @@ func TestEvaluateBatchAllocsZero(t *testing.T) {
 		t.Errorf("EvaluateBatch allocates %.1f times per batch, want 0", allocs)
 	}
 }
+
+// TestEvaluatorAdjacentAllocsZero pins the O(1) adjacent-commutation
+// path: pure adjacent swaps against a warm committed reference must
+// answer through the adjacent rule — checked via the DeltaAdjacent
+// counter, so a silent fallback to suffix replay fails the test — and
+// must not allocate, including the bound-rejected restore.
+func TestEvaluatorAdjacentAllocsZero(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are meaningless under the race detector")
+	}
+	for _, opts := range []Options{
+		{PowerLimitFraction: 0.5},
+		{PowerLimitFraction: 0.5, MaxSegments: 4, ResumeCycles: 20},
+	} {
+		sys := buildSystem(t, "p22810", 8, soc.Leon())
+		m, err := Compile(sys, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		ev := m.NewEvaluator(LookaheadFastestFinish)
+		order := append([]int(nil), m.DefaultOrder()...)
+		ms, _, err := ev.Evaluate(ctx, order, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		step := 0
+		move := func() (bound int) {
+			// Adjacent swaps marching across the middle of the order,
+			// with a periodic tight bound for the rejected-restore arm.
+			p := 3 + step%7
+			order[p], order[p+1] = order[p+1], order[p]
+			if step%3 == 2 {
+				bound = ms - 1
+			}
+			step++
+			return bound
+		}
+		for i := 0; i < 8; i++ { // warm the reference and journals
+			if _, _, err := ev.Evaluate(ctx, order, move()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		before := m.SearchStats()
+		allocs := testing.AllocsPerRun(100, func() {
+			if _, _, err := ev.Evaluate(ctx, order, move()); err != nil {
+				t.Fatal(err)
+			}
+		})
+		after := m.SearchStats()
+		if allocs != 0 {
+			t.Errorf("opts %+v: adjacent-path Evaluate allocates %.1f times per pass, want 0", opts, allocs)
+		}
+		if after.DeltaAdjacent == before.DeltaAdjacent {
+			t.Errorf("opts %+v: adjacent swaps never took the adjacent-commutation path", opts)
+		}
+		ev.Close()
+	}
+}

@@ -69,6 +69,15 @@ type Model struct {
 	// maxSegs is the longest segment chain of any candidate, sizing the
 	// per-pass chain buffers; 1 when scheduling is non-preemptive.
 	maxSegs int
+	// exactDraws records that every candidate power draw is a
+	// non-negative integer and the sum of all cores' largest draws stays
+	// below 2^52. Every reachable profile load is then a subset sum of
+	// draws — an exact integer below 2^53 — so float64 addition never
+	// rounds and summation order cannot change a load even bitwise. The
+	// incremental kernel uses this to lift its span-disjointness
+	// fallbacks: reordered commits of the same reservation set provably
+	// reproduce the identical profile.
+	exactDraws bool
 
 	pool  sync.Pool
 	stats searchCounters
@@ -84,7 +93,23 @@ type searchCounters struct {
 	placed    atomic.Uint64
 	replayed  atomic.Uint64
 	deltaHits atomic.Uint64
-	locality  [localityBuckets]atomic.Uint64
+	// deltaAdjacent counts the subset of deltaHits resolved by the O(1)
+	// adjacent-swap/no-op rule: no window replay, no suffix re-commit,
+	// the result read straight off the reference checkpoints.
+	deltaAdjacent atomic.Uint64
+	// Fallback-reason counters: why a delta-eligible evaluation missed
+	// the splice and fell back to suffix replay. One of these increments
+	// exactly when a pass saved a delta window but never fast-forwarded.
+	fbFrontier    atomic.Uint64 // makespan/frontier mismatch at window end
+	fbReservation atomic.Uint64 // per-core reservation groups differ
+	fbOverlap     atomic.Uint64 // reordered spans overlap (float inexactness)
+	fbNoSuffix    atomic.Uint64 // move touches the last position: empty suffix
+	fbAdjacent    atomic.Uint64 // adjacent-rule precondition failed
+	// Adaptive-lane counters: anchor migrations and improving accepts
+	// observed by adaptive walkers.
+	laneMigrations atomic.Uint64
+	laneImprove    atomic.Uint64
+	locality       [localityBuckets]atomic.Uint64
 }
 
 // localityBuckets is the resolution of the move-locality histogram: one
@@ -121,11 +146,76 @@ type SearchStats struct {
 	// only the changed window was replayed and the suffix re-committed
 	// straight from the reservation journal, no interface rescans.
 	DeltaHits uint64
+	// DeltaAdjacent counts the subset of DeltaHits resolved by the O(1)
+	// adjacent-swap/no-op rule without replaying anything at all.
+	DeltaAdjacent uint64
+	// FallbackFrontier..FallbackAdjacent classify why delta-eligible
+	// evaluations missed the splice: the window-end state diverged
+	// (frontier/makespan mismatch), the suffix reservations landed on
+	// different cores/interfaces, reordered spans overlapped in time
+	// (the float-summation-order hazard), the move touched the final
+	// position so no suffix existed, or an O(1) adjacent-rule
+	// precondition failed and the move took the windowed path instead.
+	FallbackFrontier    uint64
+	FallbackReservation uint64
+	FallbackOverlap     uint64
+	FallbackNoSuffix    uint64
+	FallbackAdjacent    uint64
+	// LaneMigrations counts adaptive-lane anchor moves; LaneImprovements
+	// counts lane-accepted moves that strictly improved the walker's
+	// current makespan.
+	LaneMigrations   uint64
+	LaneImprovements uint64
 	// Locality is the move-locality histogram: Locality[d] counts the
 	// evaluations whose replay started in decile d of the order, so
 	// bucket 0 holds cold full replays and bucket 9 the most local
 	// suffix moves.
 	Locality [localityBuckets]uint64
+}
+
+// Add accumulates o into s field by field. Aggregators (the bench
+// reporter, the server's /stats) use it to sum telemetry across models
+// or to combine per-run snapshot diffs.
+func (s *SearchStats) Add(o SearchStats) {
+	s.Orders += o.Orders
+	s.Pruned += o.Pruned
+	s.Placed += o.Placed
+	s.Replayed += o.Replayed
+	s.DeltaHits += o.DeltaHits
+	s.DeltaAdjacent += o.DeltaAdjacent
+	s.FallbackFrontier += o.FallbackFrontier
+	s.FallbackReservation += o.FallbackReservation
+	s.FallbackOverlap += o.FallbackOverlap
+	s.FallbackNoSuffix += o.FallbackNoSuffix
+	s.FallbackAdjacent += o.FallbackAdjacent
+	s.LaneMigrations += o.LaneMigrations
+	s.LaneImprovements += o.LaneImprovements
+	for i := range s.Locality {
+		s.Locality[i] += o.Locality[i]
+	}
+}
+
+// Sub returns the field-wise difference s - o: the telemetry accrued
+// between two snapshots of the same model.
+func (s SearchStats) Sub(o SearchStats) SearchStats {
+	d := s
+	d.Orders -= o.Orders
+	d.Pruned -= o.Pruned
+	d.Placed -= o.Placed
+	d.Replayed -= o.Replayed
+	d.DeltaHits -= o.DeltaHits
+	d.DeltaAdjacent -= o.DeltaAdjacent
+	d.FallbackFrontier -= o.FallbackFrontier
+	d.FallbackReservation -= o.FallbackReservation
+	d.FallbackOverlap -= o.FallbackOverlap
+	d.FallbackNoSuffix -= o.FallbackNoSuffix
+	d.FallbackAdjacent -= o.FallbackAdjacent
+	d.LaneMigrations -= o.LaneMigrations
+	d.LaneImprovements -= o.LaneImprovements
+	for i := range d.Locality {
+		d.Locality[i] -= o.Locality[i]
+	}
+	return d
 }
 
 // SearchStats returns a snapshot of the model's cumulative search
@@ -134,11 +224,19 @@ type SearchStats struct {
 // passes are in flight is approximate.
 func (m *Model) SearchStats() SearchStats {
 	st := SearchStats{
-		Orders:    m.stats.orders.Load(),
-		Pruned:    m.stats.pruned.Load(),
-		Placed:    m.stats.placed.Load(),
-		Replayed:  m.stats.replayed.Load(),
-		DeltaHits: m.stats.deltaHits.Load(),
+		Orders:              m.stats.orders.Load(),
+		Pruned:              m.stats.pruned.Load(),
+		Placed:              m.stats.placed.Load(),
+		Replayed:            m.stats.replayed.Load(),
+		DeltaHits:           m.stats.deltaHits.Load(),
+		DeltaAdjacent:       m.stats.deltaAdjacent.Load(),
+		FallbackFrontier:    m.stats.fbFrontier.Load(),
+		FallbackReservation: m.stats.fbReservation.Load(),
+		FallbackOverlap:     m.stats.fbOverlap.Load(),
+		FallbackNoSuffix:    m.stats.fbNoSuffix.Load(),
+		FallbackAdjacent:    m.stats.fbAdjacent.Load(),
+		LaneMigrations:      m.stats.laneMigrations.Load(),
+		LaneImprovements:    m.stats.laneImprove.Load(),
 	}
 	for i := range st.Locality {
 		st.Locality[i] = m.stats.locality[i].Load()
@@ -209,16 +307,25 @@ var ErrUnschedulable = errors.New("no feasible interface")
 type scratch struct {
 	gen       int
 	placedGen []int
-	free      []int
-	activated []int
-	active    []bool
-	lines     *noc.Timelines
+	// fr packs each interface's scheduling state — last-reservation end,
+	// activation time, existence — into one array, so the per-placement
+	// scan walks a couple of cache lines instead of three parallel
+	// slices, and checkpoint captures copy one slice instead of three.
+	fr    []frontier
+	lines *noc.Timelines
 	profile   *power.Profile
 	// chain and trial hold candidate segment start times while placing
 	// one core: trial is the interface currently being scanned, chain
 	// the best chain found so far (the buffers swap instead of copying).
 	chain []int
 	trial []int
+	// probeS/probeE/probeOK are the window buffers of the batched power
+	// probe (power.Profile.CanAddBatch): the tight back-to-back segment
+	// chain tested with one amortised gallop before the per-segment
+	// feasibility walk.
+	probeS  []int
+	probeE  []int
+	probeOK []bool
 	// scan holds the feasible interfaces of the core being placed,
 	// sorted by the lower bound of their placement key, so the cheap
 	// bound ordering decides which interfaces ever pay for a full
@@ -230,6 +337,16 @@ type scratch struct {
 // its frontier, and the lower bound of its placement key.
 type scanEnt struct {
 	lower, from, iface int
+}
+
+// frontier is one interface's scheduling state: the time its last
+// reservation ends (free), the earliest time it may be used at all
+// (activated — a processor interface opens when its processor's first
+// test ends), and whether it exists yet in the pass.
+type frontier struct {
+	free      int
+	activated int
+	active    bool
 }
 
 // Compile builds the immutable scheduling model of sys under opts. The
@@ -524,6 +641,34 @@ func (m *Model) compileCandidates(routes *noc.RouteTable, ifaces []compIface) er
 		}
 		m.scanDur[ci] = durs
 	}
+
+	// Detect exact power arithmetic (see the exactDraws field): integral
+	// draws whose worst-case concurrent sum stays far below 2^53 make
+	// profile sums order-invariant, which widens the incremental kernel's
+	// reorder proofs. ITC'02 power figures and the transport/processor
+	// charges are integers, so real systems qualify; any synthetic
+	// fractional draw simply keeps the conservative span-disjoint rules.
+	m.exactDraws = true
+	sumMax := 0.0
+	for ci := range m.cands {
+		rowMax := 0.0
+		for ii := range m.cands[ci] {
+			c := &m.cands[ci][ii]
+			if !c.feasible {
+				continue
+			}
+			if c.draw < 0 || c.draw != math.Trunc(c.draw) {
+				m.exactDraws = false
+			}
+			if c.draw > rowMax {
+				rowMax = c.draw
+			}
+		}
+		sumMax += rowMax
+	}
+	if sumMax > 1<<52 {
+		m.exactDraws = false
+	}
 	return nil
 }
 
@@ -593,12 +738,13 @@ func (m *Model) newScratch() *scratch {
 	}
 	s := &scratch{
 		placedGen: make([]int, len(m.cores)),
-		free:      make([]int, len(m.ifaces)),
-		activated: make([]int, len(m.ifaces)),
-		active:    make([]bool, len(m.ifaces)),
+		fr:        make([]frontier, len(m.ifaces)),
 		profile:   power.NewProfile(m.limit),
 		chain:     make([]int, segs),
 		trial:     make([]int, segs),
+		probeS:    make([]int, segs),
+		probeE:    make([]int, segs),
+		probeOK:   make([]bool, segs),
 		scan:      make([]scanEnt, len(m.ifaces)),
 	}
 	if m.exclusive {
@@ -614,9 +760,7 @@ func (m *Model) newScratch() *scratch {
 func (s *scratch) reset(m *Model) {
 	s.gen++
 	for i, ifx := range m.ifaces {
-		s.free[i] = 0
-		s.activated[i] = 0
-		s.active[i] = ifx.kind == plan.ATE
+		s.fr[i] = frontier{active: ifx.kind == plan.ATE}
 	}
 	if s.lines != nil {
 		s.lines.Reset()
@@ -754,22 +898,20 @@ func (m *Model) place(s *scratch, v Variant, ci int, entries *[]plan.Entry, undo
 	// scan goes. The selection below minimises (key, index) exactly like
 	// an index-order scan of every interface would; the bounds only
 	// decide which interfaces ever pay for a full feasibility walk.
-	nscan := 0
 	minAt, minLower, minFrom := -1, 0, 0
 	for ii, d := range m.scanDur[ci] {
-		if d < 0 || !s.active[ii] {
+		f := &s.fr[ii]
+		if d < 0 || !f.active {
 			continue
 		}
-		from := s.free[ii]
-		if s.activated[ii] > from {
-			from = s.activated[ii]
+		from := f.free
+		if f.activated > from {
+			from = f.activated
 		}
 		lower := from
 		if v == LookaheadFastestFinish {
 			lower = from + d
 		}
-		s.scan[nscan] = scanEnt{lower: lower, from: from, iface: ii}
-		nscan++
 		if minAt < 0 || lower < minLower {
 			minAt, minLower, minFrom = ii, lower, from
 		}
@@ -788,16 +930,33 @@ func (m *Model) place(s *scratch, v Variant, ci int, entries *[]plan.Entry, undo
 	bestIface, bestKey, bestEnd := minAt, key, end
 	s.chain, s.trial = s.trial, s.chain
 	if key > minLower {
-		// Inconclusive: order the collected interfaces by (lower bound,
-		// index) and scan until the bounds prove the incumbent optimal.
-		for si := 1; si < nscan; si++ {
-			at := si
-			ent := s.scan[si]
-			for at > 0 && s.scan[at-1].lower > ent.lower {
+		// Inconclusive: collect the feasible interfaces ordered by
+		// (lower bound, index) — built only now, so the common
+		// conclusive placement never writes a scan entry — and walk
+		// until the bounds prove the incumbent optimal. The insertion
+		// keeps equal bounds in index order, exactly like sorting a
+		// collected array would.
+		nscan := 0
+		for ii, d := range m.scanDur[ci] {
+			f := &s.fr[ii]
+			if d < 0 || !f.active {
+				continue
+			}
+			from := f.free
+			if f.activated > from {
+				from = f.activated
+			}
+			lower := from
+			if v == LookaheadFastestFinish {
+				lower = from + d
+			}
+			at := nscan
+			for at > 0 && s.scan[at-1].lower > lower {
 				s.scan[at] = s.scan[at-1]
 				at--
 			}
-			s.scan[at] = ent
+			s.scan[at] = scanEnt{lower: lower, from: from, iface: ii}
+			nscan++
 		}
 		for si := 0; si < nscan; si++ {
 			ent := &s.scan[si]
@@ -828,11 +987,12 @@ func (m *Model) place(s *scratch, v Variant, ci int, entries *[]plan.Entry, undo
 		}
 		if undo != nil {
 			// earliestFeasible proved the window clears the ceiling, so
-			// the journaled commit skips the probe; the differential
-			// oracles cross-check the committed state against full
-			// replays.
+			// the commit skips the probe; no profile journal is kept —
+			// the kernel snapshots the profile at every checkpoint and
+			// rewinds by restoring, and the differential oracles
+			// cross-check the committed state against full replays.
 			undo.links = append(undo.links, c.links...)
-			s.profile.AddJournaled(st, end, c.draw, &undo.prof)
+			s.profile.Add(st, end, c.draw)
 			undo.res = append(undo.res, resRec{core: ci, iface: bestIface, start: st, end: end})
 		} else if !s.profile.TryAdd(st, end, c.draw) {
 			panic(fmt.Sprintf("core: committing feasible placement of core %d failed", m.cores[ci].Core.ID))
@@ -845,10 +1005,9 @@ func (m *Model) place(s *scratch, v Variant, ci int, entries *[]plan.Entry, undo
 			*entries = append(*entries, e)
 		}
 	}
-	s.free[bestIface] = bestEnd
+	s.fr[bestIface].free = bestEnd
 	if si := m.selfIface[ci]; si >= 0 {
-		s.active[si] = true
-		s.activated[si] = bestEnd
+		s.fr[si] = frontier{free: s.fr[si].free, activated: bestEnd, active: true}
 	}
 	return bestEnd, nil
 }
@@ -860,6 +1019,29 @@ func (m *Model) place(s *scratch, v Variant, ci int, entries *[]plan.Entry, undo
 // It returns the variant's placement key (first start, or chain
 // completion for the lookahead rule) and the chain's end.
 func (s *scratch) walkChain(c *cand, from int, v Variant) (key, end int) {
+	if len(c.segs) > 1 && len(c.links) == 0 {
+		// Batched probe: with no exclusive links the only obstacle is
+		// the power profile, so test the tight back-to-back chain with
+		// one amortised gallop. When every window clears the ceiling
+		// the chain is exactly what the per-segment walk would produce
+		// — each earliestFeasible call returns its lower bound — and
+		// the loop below is skipped entirely.
+		n := len(c.segs)
+		t := from
+		for j := range c.segs {
+			s.probeS[j] = t
+			t += c.segs[j].duration
+			s.probeE[j] = t
+		}
+		if s.profile.CanAddBatch(s.probeS[:n], s.probeE[:n], c.draw, s.probeOK[:n]) {
+			copy(s.trial[:n], s.probeS[:n])
+			key = s.trial[0]
+			if v == LookaheadFastestFinish {
+				key = t
+			}
+			return key, t
+		}
+	}
 	t := from
 	for j := range c.segs {
 		st := s.earliestFeasible(t, c.segs[j].duration, c)

@@ -191,6 +191,7 @@ func (r RandomRestartScheduler) ScheduleBounded(ctx context.Context, m *Model, i
 	algorithm := r.Name()
 	ev := m.NewEvaluator(r.Variant)
 	defer ev.Close()
+	ev.SetTrustedOrders(true) // orders are swaps/shuffles of a valid permutation
 
 	// A list-schedule failure can be order-dependent (e.g. a tight power
 	// ceiling hit from an unlucky permutation), so a failed pass —
@@ -298,16 +299,32 @@ type AnnealingScheduler struct {
 	// and spends its budget intensifying around the incumbent basin.
 	// Zero keeps the default move kernel (and the pinned trajectories).
 	MoveWindow int
+	// Adaptive lets a lane walker migrate its move window instead of
+	// pinning it to the tail: the walker tracks per-anchor acceptance
+	// and improvement counts, and an epoch (laneEpoch steps) with no
+	// improving accept slides the window one width toward the front of
+	// the order — wrapping to the historically most productive anchor —
+	// so lane budget chases the positions where swaps actually move the
+	// makespan instead of grinding accepted laterals at the tail. The
+	// policy consumes no extra randomness and reads only per-walker
+	// state, so results stay deterministic per seed and independent of
+	// worker interleaving. Ignored unless MoveWindow selects the lane
+	// regime.
+	Adaptive bool
 }
 
 // DefaultAnnealingSteps is the step budget a zero Steps selects.
 const DefaultAnnealingSteps = 4000
 
 // Name returns "anneal(variant,seed=N,steps=N)", with ",window=N"
-// appended for lane-regime walkers.
+// appended for lane-regime walkers and ",adaptive" for migrating ones.
 func (a AnnealingScheduler) Name() string {
 	if a.MoveWindow > 0 {
-		return fmt.Sprintf("anneal(%s,seed=%d,steps=%d,window=%d)", a.Variant, a.Seed, a.steps(), a.MoveWindow)
+		suffix := ""
+		if a.Adaptive {
+			suffix = ",adaptive"
+		}
+		return fmt.Sprintf("anneal(%s,seed=%d,steps=%d,window=%d%s)", a.Variant, a.Seed, a.steps(), a.MoveWindow, suffix)
 	}
 	return fmt.Sprintf("anneal(%s,seed=%d,steps=%d)", a.Variant, a.Seed, a.steps())
 }
@@ -322,6 +339,10 @@ func (a AnnealingScheduler) steps() int {
 // annealLocalFraction is the share of annealing moves drawn from the
 // tail window; the remainder are uniform swaps over the whole order.
 const annealLocalFraction = 0.9
+
+// laneEpoch is the adaptive-lane evaluation period: after this many
+// steps without an improving accept, the walker migrates its window.
+const laneEpoch = 128
 
 // annealTailWindow sizes the local-move window for an order of n cores:
 // swaps inside the last window+1 positions replay only that suffix.
@@ -372,6 +393,7 @@ func (a AnnealingScheduler) ScheduleBounded(ctx context.Context, m *Model, inc *
 	rng := rand.New(rand.NewSource(a.Seed))
 	ev := m.NewEvaluator(a.Variant)
 	defer ev.Close()
+	ev.SetTrustedOrders(true) // orders are swaps/shuffles of a valid permutation
 
 	// Start from the default priority order; if that order happens to be
 	// infeasible (order-dependent power failures exist), probe a few
@@ -405,6 +427,17 @@ func (a AnnealingScheduler) ScheduleBounded(ctx context.Context, m *Model, inc *
 			window = 2
 		}
 	}
+	// Adaptive-lane state: anchor is the last position of the move
+	// window (n-1 reproduces the fixed tail regime); improvedAt and
+	// acceptedAt are lifetime per-anchor counts driving migration.
+	adaptive := lane && a.Adaptive && n-1 > window
+	anchor := n - 1
+	var improvedAt, acceptedAt []int
+	epochImproved := 0
+	if adaptive {
+		improvedAt = make([]int, n)
+		acceptedAt = make([]int, n)
+	}
 	t0 := 0.05 * float64(curMs)
 	for step := 0; step < steps; step++ {
 		if err := ctx.Err(); err != nil {
@@ -419,7 +452,7 @@ func (a AnnealingScheduler) ScheduleBounded(ctx context.Context, m *Model, inc *
 		var i, j int
 		if window > 0 && (lane || rng.Float64() < annealLocalFraction) {
 			w := 2 + rng.Intn(window)
-			i = n - w
+			i = anchor + 1 - w
 			j = i + 1 + rng.Intn(w-1)
 		} else {
 			i, j = rng.Intn(n), rng.Intn(n)
@@ -446,16 +479,48 @@ func (a AnnealingScheduler) ScheduleBounded(ctx context.Context, m *Model, inc *
 				return nil, ctx.Err()
 			}
 			order[i], order[j] = order[j], order[i] // infeasible move, undo
-			continue
-		}
-		if pruned {
+		} else if pruned {
 			order[i], order[j] = order[j], order[i] // rejected, undo
-			continue
+		} else {
+			if lane && candMs < curMs {
+				m.stats.laneImprove.Add(1)
+			}
+			if adaptive {
+				acceptedAt[anchor]++
+				if candMs < curMs {
+					improvedAt[anchor]++
+					epochImproved++
+				}
+			}
+			curMs = candMs
+			if curMs < bestMs {
+				bestMs = curMs
+				bestOrder = append(bestOrder[:0], order...)
+			}
 		}
-		curMs = candMs
-		if curMs < bestMs {
-			bestMs = curMs
-			bestOrder = append(bestOrder[:0], order...)
+		if adaptive && (step+1)%laneEpoch == 0 {
+			if epochImproved == 0 {
+				// A dry epoch: slide the window one width toward the
+				// front; below the lowest valid anchor, wrap to the most
+				// productive anchor seen so far (ties to the higher
+				// acceptance count, then to the tail).
+				next := anchor - window
+				if next < window {
+					best := n - 1
+					for p := n - 1; p >= window; p-- {
+						if improvedAt[p] > improvedAt[best] ||
+							(improvedAt[p] == improvedAt[best] && acceptedAt[p] > acceptedAt[best]) {
+							best = p
+						}
+					}
+					next = best
+				}
+				if next != anchor {
+					anchor = next
+					m.stats.laneMigrations.Add(1)
+				}
+			}
+			epochImproved = 0
 		}
 	}
 	// No inc.Tighten: the incumbent is sealed during the race (see
@@ -469,8 +534,13 @@ func (a AnnealingScheduler) ScheduleBounded(ctx context.Context, m *Model, inc *
 // (greedy/processors-first) and its lookahead repair are always
 // included, so the portfolio result is never worse than either. The
 // annealers are staged across budgets (and seeds): short chains
-// converge fast and cover more basins, the long chain spends the
-// throughput the incremental kernel recovered.
+// converge fast and cover more basins, and the long chains spend the
+// throughput the incremental kernel recovered. Growing the long-chain
+// pool is always quality-monotone — the portfolio takes the best over
+// members and every prior member keeps its seed and budget — and it
+// amortizes the fixed compile-and-list cost over more search, which is
+// what the quality-path orders/s figure in BENCH_schedule.json
+// measures.
 func DefaultPortfolio(seed int64) []Scheduler {
 	return []Scheduler{
 		ListScheduler{GreedyFirstAvailable, ProcessorsFirst},
@@ -484,6 +554,9 @@ func DefaultPortfolio(seed int64) []Scheduler {
 		AnnealingScheduler{Variant: LookaheadFastestFinish, Seed: seed + 1, Steps: 300},
 		AnnealingScheduler{Variant: LookaheadFastestFinish, Seed: seed + 2, Steps: 1200},
 		AnnealingScheduler{Variant: LookaheadFastestFinish, Seed: seed + 3},
+		AnnealingScheduler{Variant: LookaheadFastestFinish, Seed: seed + 4},
+		AnnealingScheduler{Variant: LookaheadFastestFinish, Seed: seed + 5},
+		AnnealingScheduler{Variant: LookaheadFastestFinish, Seed: seed + 6},
 	}
 }
 
@@ -493,20 +566,25 @@ func DefaultPortfolio(seed int64) []Scheduler {
 const LaneMoveWindow = 3
 
 // LanePortfolio returns DefaultPortfolio plus lanes additional
-// independently-seeded annealing walkers in the lane regime (moves
-// confined to a LaneMoveWindow tail window, where the delta kernel
-// scores neighbours without suffix replays). The lanes share the
+// independently-seeded annealing walkers in the adaptive lane regime
+// (moves confined to a LaneMoveWindow window whose anchor migrates
+// toward productive positions, where the delta kernel scores
+// neighbours without suffix replays). The lanes share the
 // portfolio's sealed incumbent like every other member, so each lane's
 // result is interleaving-independent and the portfolio best can only
 // improve on the default set. lanes <= 0 returns DefaultPortfolio
 // unchanged; lane seeds follow the default members' block.
 func LanePortfolio(seed int64, lanes int) []Scheduler {
 	scheds := DefaultPortfolio(seed)
+	// Lane seeds start past the default portfolio's own seed range
+	// (seed+1..seed+6), so no walker shares a stream with a full-window
+	// member.
 	for l := 0; l < lanes; l++ {
 		scheds = append(scheds, AnnealingScheduler{
 			Variant:    LookaheadFastestFinish,
-			Seed:       seed + 4 + int64(l),
+			Seed:       seed + 7 + int64(l),
 			MoveWindow: LaneMoveWindow,
+			Adaptive:   true,
 		})
 	}
 	return scheds

@@ -105,6 +105,62 @@ func (p *Profile) CanAdd(start, end int, amount float64) bool {
 	return p.PeakIn(start, end)+amount <= p.limit+1e-9
 }
 
+// CanAddBatch evaluates CanAdd for every window [starts[k], ends[k])
+// with one shared boundary search instead of one per window, writing
+// each verdict into out[k] and reporting whether every window passed.
+// The windows must be sorted by ascending start — the batch walks the
+// boundary array with a single forward cursor, so one backward gallop
+// under the first start is amortised across the whole batch and w
+// probes cost O(log n + touched + w) instead of w independent
+// searches. Each out[k] is exactly CanAdd(starts[k], ends[k], amount).
+func (p *Profile) CanAddBatch(starts, ends []int, amount float64, out []bool) bool {
+	all := true
+	if p.limit == Unlimited {
+		for k := range starts {
+			out[k] = amount >= 0 && ends[k] > starts[k]
+			all = all && out[k]
+		}
+		return all
+	}
+	if amount < 0 || amount > p.limit+1e-9 {
+		// A draw above the ceiling fails every window, including the
+		// zero-load stretch before the first boundary — without this
+		// precheck the segment scan below would vacuously pass windows
+		// that overlap no segments.
+		for k := range starts {
+			out[k] = false
+		}
+		return len(starts) == 0
+	}
+	base := -1
+	if len(p.times) > 0 && len(starts) > 0 {
+		base = p.segmentBefore(starts[0])
+	}
+	for k, s := range starts {
+		e := ends[k]
+		if e <= s {
+			out[k] = false
+			all = false
+			continue
+		}
+		for base+1 < len(p.times) && p.times[base+1] <= s {
+			base++
+		}
+		ok := true
+		if base >= 0 && p.loads[base]+amount > p.limit+1e-9 {
+			ok = false
+		}
+		for j := base + 1; ok && j < len(p.times) && p.times[j] < e; j++ {
+			if p.loads[j]+amount > p.limit+1e-9 {
+				ok = false
+			}
+		}
+		out[k] = ok
+		all = all && ok
+	}
+	return all
+}
+
 // Add records a reservation unconditionally; callers gate on CanAdd.
 // Scheduling passes intentionally separate the check from the commit so
 // a feasibility scan can probe many windows before reserving one.
@@ -112,9 +168,24 @@ func (p *Profile) Add(start, end int, amount float64) {
 	if end <= start {
 		return
 	}
-	p.ensureBoundary(start)
-	p.ensureBoundary(end)
-	for i := p.segmentBefore(start); i < len(p.times) && p.times[i] < end; i++ {
+	i, _ := p.ensureBoundaryAt(start)
+	// The end boundary is found by walking forward from start — the
+	// same segments the load bump must visit anyway — instead of a
+	// second search from the top. j lands on the first boundary at or
+	// beyond end (i < j always: times[i] == start < end).
+	j := i
+	for j < len(p.times) && p.times[j] < end {
+		j++
+	}
+	if j == len(p.times) || p.times[j] != end {
+		p.times = append(p.times, 0)
+		p.loads = append(p.loads, 0)
+		copy(p.times[j+1:], p.times[j:])
+		copy(p.loads[j+1:], p.loads[j:])
+		p.times[j] = end
+		p.loads[j] = p.loads[j-1]
+	}
+	for ; i < j; i++ {
 		p.loads[i] += amount
 	}
 }

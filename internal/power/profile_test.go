@@ -245,3 +245,84 @@ func TestProfileTryAdd(t *testing.T) {
 		t.Error("TryAdd accepted a negative amount")
 	}
 }
+
+// TestCanAddBatchMatchesCanAdd drives the batched probe with random
+// sorted window batches over a randomly loaded profile and checks
+// every verdict — and the all-passed summary — against the scalar
+// CanAdd, including unlimited profiles, over-ceiling draws and empty
+// windows mixed into the batch.
+func TestCanAddBatchMatchesCanAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 60; trial++ {
+		limit := 0.0
+		if trial%3 != 0 {
+			limit = 40 + 120*rng.Float64()
+		}
+		p := NewProfile(limit)
+		for i := 0; i < 30; i++ {
+			start := rng.Intn(200)
+			end := start + 1 + rng.Intn(40)
+			amount := 5 + 15*rng.Float64()
+			if p.CanAdd(start, end, amount) {
+				p.Add(start, end, amount)
+			}
+		}
+		for batchTrial := 0; batchTrial < 20; batchTrial++ {
+			n := 1 + rng.Intn(8)
+			starts := make([]int, n)
+			ends := make([]int, n)
+			out := make([]bool, n)
+			cursor := rng.Intn(40)
+			for k := 0; k < n; k++ {
+				cursor += rng.Intn(30)
+				starts[k] = cursor
+				switch rng.Intn(5) {
+				case 0: // empty window mixed in
+					ends[k] = cursor - rng.Intn(3)
+				default:
+					ends[k] = cursor + 1 + rng.Intn(35)
+				}
+			}
+			amount := 5 + 15*rng.Float64()
+			if batchTrial%7 == 6 {
+				amount = limit + 50 // over-ceiling: every window must fail
+			}
+			all := p.CanAddBatch(starts, ends, amount, out)
+			wantAll := true
+			for k := range starts {
+				want := p.CanAdd(starts[k], ends[k], amount)
+				wantAll = wantAll && want
+				if out[k] != want {
+					t.Fatalf("trial %d batch %d window %d: CanAddBatch(%d,%d,%g) = %v, CanAdd %v",
+						trial, batchTrial, k, starts[k], ends[k], amount, out[k], want)
+				}
+			}
+			if all != wantAll {
+				t.Fatalf("trial %d batch %d: CanAddBatch all = %v, want %v", trial, batchTrial, all, wantAll)
+			}
+		}
+	}
+}
+
+// TestCanAddBatchAllocsZero pins the batched probe's allocation
+// behaviour: the kernel calls it once per segment-chain candidate on
+// the hot scheduling path, so probing any batch against a warm profile
+// must not allocate.
+func TestCanAddBatchAllocsZero(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are meaningless under the race detector")
+	}
+	p := NewProfile(100)
+	for i := 0; i < 40; i++ {
+		p.Add(i*7, i*7+15, 20)
+	}
+	starts := []int{10, 40, 90, 160, 230}
+	ends := []int{25, 70, 140, 200, 260}
+	out := make([]bool, len(starts))
+	allocs := testing.AllocsPerRun(200, func() {
+		p.CanAddBatch(starts, ends, 30, out)
+	})
+	if allocs != 0 {
+		t.Errorf("CanAddBatch allocates %.1f times per probe, want 0", allocs)
+	}
+}

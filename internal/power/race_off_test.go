@@ -1,0 +1,7 @@
+//go:build !race
+
+package power
+
+// raceEnabled lets allocation-count tests skip themselves: the race
+// detector's instrumentation allocates on the paths under test.
+const raceEnabled = false

@@ -50,6 +50,20 @@ type ScheduleBenchRecord struct {
 	// match + journal fast-forward, or a bound rejection restored from
 	// the reference log), over the timed runs.
 	DeltaHitRate float64 `json:"delta_hit_rate"`
+	// DeltaAdjacentRate is the fraction of evaluated orders the O(1)
+	// adjacent-swap/no-op rule resolved with no replay at all — a
+	// subset of DeltaHitRate.
+	DeltaAdjacentRate float64 `json:"delta_adjacent_rate"`
+	// DeltaFallbacks classifies why delta-eligible evaluations missed
+	// the splice, by reason (see core.SearchStats): frontier mismatch,
+	// reservation mismatch, span overlap (float-order hazard), empty
+	// suffix, failed adjacent-rule precondition.
+	DeltaFallbacks map[string]uint64 `json:"delta_fallbacks"`
+	// LaneMigrations counts adaptive-lane anchor moves over the timed
+	// runs; LaneImprovements counts lane moves that strictly improved a
+	// walker's current makespan.
+	LaneMigrations   uint64 `json:"lane_migrations"`
+	LaneImprovements uint64 `json:"lane_improvements"`
 	// Lanes is the number of extra lane walkers (core.LanePortfolio)
 	// the row was measured with; 0 is the default portfolio.
 	Lanes int `json:"lanes"`
@@ -138,8 +152,7 @@ func RunScheduleBench(ctx context.Context, benchmarks []string, seed int64, work
 		// so the throughput figure covers exactly the timed window.
 		var res *core.PortfolioResult
 		var elapsed time.Duration
-		var orders, deltaHits uint64
-		var deciles []uint64
+		var agg core.SearchStats
 		for run := 0; run < benchRuns+1; run++ {
 			start := time.Now()
 			m, err := core.Compile(sys, opts)
@@ -152,17 +165,11 @@ func RunScheduleBench(ctx context.Context, benchmarks []string, seed int64, work
 			}
 			if run > 0 { // first run warms code and allocator caches
 				elapsed += time.Since(start)
-				st := m.SearchStats()
-				orders += st.Orders
-				deltaHits += st.DeltaHits
-				if deciles == nil {
-					deciles = make([]uint64, len(st.Locality))
-				}
-				for i, c := range st.Locality {
-					deciles[i] += c
-				}
+				agg.Add(m.SearchStats())
 			}
 		}
+		deciles := make([]uint64, len(agg.Locality))
+		copy(deciles, agg.Locality[:])
 		out.Records = append(out.Records, ScheduleBenchRecord{
 			Benchmark:           benchName,
 			Topology:            sys.Net.Topo.String(),
@@ -170,10 +177,20 @@ func RunScheduleBench(ctx context.Context, benchmarks []string, seed int64, work
 			BestScheduler:       res.Best,
 			NsPerScheduleBest:   elapsed.Nanoseconds() / benchRuns,
 			Runs:                benchRuns,
-			OrdersPerSecond:     float64(orders) / elapsed.Seconds(),
+			OrdersPerSecond:     float64(agg.Orders) / elapsed.Seconds(),
 			MoveLocalityDeciles: deciles,
-			DeltaHitRate:        float64(deltaHits) / float64(orders),
-			Lanes:               lanes,
+			DeltaHitRate:        float64(agg.DeltaHits) / float64(agg.Orders),
+			DeltaAdjacentRate:   float64(agg.DeltaAdjacent) / float64(agg.Orders),
+			DeltaFallbacks: map[string]uint64{
+				"frontier_mismatch":    agg.FallbackFrontier,
+				"reservation_mismatch": agg.FallbackReservation,
+				"span_overlap":         agg.FallbackOverlap,
+				"no_suffix":            agg.FallbackNoSuffix,
+				"adjacent_rule":        agg.FallbackAdjacent,
+			},
+			LaneMigrations:   agg.LaneMigrations,
+			LaneImprovements: agg.LaneImprovements,
+			Lanes:            lanes,
 		})
 	}
 	return out, nil

@@ -128,7 +128,7 @@ func TestCanonicalMakespansPinned(t *testing.T) {
 	if testing.Short() {
 		t.Skip("schedules all three embedded benchmarks")
 	}
-	want := map[string]int{"d695": 118980, "p22810": 376151, "p93791": 506455}
+	want := map[string]int{"d695": 118980, "p22810": 373924, "p93791": 506455}
 	pf := core.Portfolio{Schedulers: core.DefaultPortfolio(1), Workers: 1}
 	for _, name := range itc02.BenchmarkNames() {
 		sys, opts, err := CanonicalSystem(name)

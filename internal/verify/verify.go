@@ -712,22 +712,26 @@ func incrementalReplayCheck(ctx context.Context, m *core.Model, seed int64) erro
 }
 
 // deltaReplaySteps is the length of the window-move walk the
-// delta-replay oracle scores per (regime, variant).
-const deltaReplaySteps = 24
+// delta-replay oracle scores per (regime, variant). A multiple of 8 so
+// every move class in the modular schedule below gets equal coverage.
+const deltaReplaySteps = 48
 
 // deltaReplayCheck is the differential oracle for the kernel's
-// delta-evaluation path: it walks a seeded chain of the window moves
-// local search is made of — adjacent and near-adjacent swaps inside a
-// small window at a random position, the shape that keeps the
-// delta path eligible — and scores each order through three arms that
-// must agree exactly: a delta-enabled Evaluator, a second Evaluator
-// with the delta path disabled (forced suffix replay over the same
-// checkpoints), and the stateless full replay. Bounds alternate like
-// the incremental-replay oracle's so accepted, tied and bound-aborted
-// moves (including the restore-from-reference rollback) are all
-// exercised, on plain and preemptive regimes alike. Any disagreement —
-// makespan, pruned flag or feasibility — fails the scenario and goes
-// to the shrinker.
+// delta-evaluation path: it walks a seeded chain of the move shapes
+// local search actually emits — pure adjacent swaps (the O(1) rule),
+// no-op resubmissions of the identical order, tail-adjacent swaps at
+// the final position (the reference-crossing case), near-adjacent
+// swaps inside a window whose anchor sweeps across the order the way
+// an adaptive lane's MoveWindow migrates, and an occasional uniform
+// swap for the fallback paths — and scores each order through three
+// arms that must agree exactly: a delta-enabled Evaluator, a second
+// Evaluator with the delta path disabled (forced suffix replay over
+// the same checkpoints), and the stateless full replay. Bounds
+// alternate like the incremental-replay oracle's so accepted, tied and
+// bound-aborted moves (including the restore-from-reference rollback)
+// are all exercised, on plain and preemptive regimes alike. Any
+// disagreement — makespan, pruned flag or feasibility — fails the
+// scenario and goes to the shrinker.
 func deltaReplayCheck(ctx context.Context, m *core.Model, seed int64) error {
 	rng := rand.New(rand.NewSource(seed ^ 0x7de1))
 	for _, v := range []core.Variant{core.GreedyFirstAvailable, core.LookaheadFastestFinish} {
@@ -742,23 +746,44 @@ func deltaReplayCheck(ctx context.Context, m *core.Model, seed int64) error {
 			continue
 		}
 		prevMs := 0
+		anchor := 0
 		for step := 0; step < deltaReplaySteps; step++ {
 			if step > 0 {
-				// Window moves at a random position: adjacent swaps and
-				// swaps across a window of up to 4, with an occasional
-				// uniform swap for the fallback paths.
-				switch {
-				case step%6 == 5:
+				switch step % 8 {
+				case 5:
+					// Uniform swap: arbitrary distance, for the
+					// frontier/reservation fallback paths.
 					i, j := rng.Intn(n), rng.Intn(n)
 					order[i], order[j] = order[j], order[i]
+				case 6:
+					// No-op: resubmit the identical order. The kernel
+					// must answer from the reference without replaying.
+				case 7:
+					// Tail-adjacent swap at the final position — the
+					// crossing case where the candidate ends exactly at
+					// the reference's last checkpoint.
+					order[n-2], order[n-1] = order[n-1], order[n-2]
+				case 3:
+					// Pure adjacent swap at a random position: the O(1)
+					// commutation rule.
+					i := rng.Intn(n - 1)
+					order[i], order[i+1] = order[i+1], order[i]
 				default:
+					// Near-adjacent swap in a window of up to 4 whose
+					// anchor sweeps forward across the order, the move
+					// stream an adaptive lane's migrating MoveWindow
+					// produces.
 					w := 2 + rng.Intn(3)
 					if w > n-1 {
 						w = n - 1
 					}
-					i := rng.Intn(n - w)
+					if anchor > n-1-w {
+						anchor = 0
+					}
+					i := anchor
 					j := i + 1 + rng.Intn(w)
 					order[i], order[j] = order[j], order[i]
+					anchor += 1 + rng.Intn(3)
 				}
 			}
 			bound := 0
